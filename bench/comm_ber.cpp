@@ -1,0 +1,116 @@
+// E12 — link-level workload study: BER curves for the WLAN-style link built
+// from the repository's kernels (K=7 convolutional code + Viterbi decoder,
+// block interleaver) over the two channel models. Regenerates the classic
+// shapes: coding gain below the hard-decision threshold, the coded/uncoded
+// crossover above it, and interleaving gain on burst channels.
+#include <cmath>
+#include <iostream>
+
+#include "comm/channel.hpp"
+#include "comm/link.hpp"
+#include "comm/ofdm.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+using namespace adriatic;
+using namespace adriatic::comm;
+
+int main() {
+  constexpr usize kFrames = 25;
+
+  Table t1("BER vs channel error rate (BSC, " + std::to_string(kFrames) +
+           " frames x 960 bits)");
+  t1.header({"channel BER", "uncoded BER", "coded BER (K=7)", "coded FER",
+             "coding gain"});
+
+  bool gain_at_low_p = true;
+  bool crossover_seen = false;
+  for (const double p :
+       {0.001, 0.005, 0.01, 0.02, 0.04, 0.08, 0.12}) {
+    LinkConfig uncoded;
+    uncoded.coded = false;
+    LinkConfig coded;
+    BscChannel ch_u(p, 100);
+    BscChannel ch_c(p, 100);
+    const auto r_u = run_link(ch_u, uncoded, kFrames);
+    const auto r_c = run_link(ch_c, coded, kFrames);
+    const double gain =
+        r_c.ber() > 0.0 ? r_u.ber() / r_c.ber()
+                        : static_cast<double>(r_u.payload_bits);
+    t1.row({Table::num(p, 3), Table::num(r_u.ber(), 5),
+            Table::num(r_c.ber(), 5), Table::num(r_c.fer(), 2),
+            r_c.ber() > 0.0 ? Table::num(gain, 1) + "x" : ">uncounted"});
+    if (p <= 0.02 && r_c.ber() >= r_u.ber()) gain_at_low_p = false;
+    if (p >= 0.08 && r_c.ber() > r_u.ber()) crossover_seen = true;
+  }
+  t1.print(std::cout);
+
+  Table t2("Burst channel (Gilbert-Elliott): interleaving ablation");
+  t2.header({"mean burst [bits]", "avg channel BER", "coded BER",
+             "coded+interleaved BER", "interleaving gain"});
+  bool interleave_helps = true;
+  for (const double mean_burst : {4.0, 8.0, 16.0}) {
+    GilbertElliottParams p;
+    p.p_bad_to_good = 1.0 / mean_burst;
+    p.p_good_to_bad = 0.02 / mean_burst;  // keep average rate comparable
+    p.error_rate_good = 0.001;
+    p.error_rate_bad = 0.45;
+    LinkConfig plain;
+    LinkConfig inter;
+    inter.interleave = true;
+    inter.interleave_rows = 32;
+    inter.interleave_cols = 61;
+    GilbertElliottChannel ch1(p, 5);
+    GilbertElliottChannel ch2(p, 5);
+    const auto r_plain = run_link(ch1, plain, kFrames);
+    const auto r_inter = run_link(ch2, inter, kFrames);
+    const double gain = r_inter.ber() > 0.0
+                            ? r_plain.ber() / r_inter.ber()
+                            : static_cast<double>(r_plain.payload_bits);
+    t2.row({Table::num(mean_burst, 0),
+            Table::num(ch1.average_error_rate(), 4),
+            Table::num(r_plain.ber(), 5), Table::num(r_inter.ber(), 5),
+            r_inter.ber() > 0.0 ? Table::num(gain, 1) + "x" : "inf"});
+    if (r_inter.ber() >= r_plain.ber() && r_plain.ber() > 0.0)
+      interleave_helps = false;
+  }
+  t2.print(std::cout);
+
+  // OFDM physical layer: measured QPSK BER over AWGN vs the Q-function
+  // prediction. With our DFT-scaled-by-1/N receiver, the per-bin decision
+  // distance is A/N against noise sigma_t/sqrt(N), so
+  // BER_theory = Q(A / (sigma_t * sqrt(N))).
+  Table t3("OFDM/QPSK over AWGN: measured vs theoretical BER");
+  t3.header({"time-domain sigma", "measured BER", "theoretical Q()",
+             "ratio"});
+  OfdmParams p;
+  Xoshiro256 rng(2026);
+  std::vector<u8> bits(64 * 1024);
+  for (auto& b : bits) b = static_cast<u8>(rng.next() & 1);
+  auto q_func = [](double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); };
+  bool theory_matches = true;
+  for (const double sigma : {600.0, 800.0, 1024.0, 1400.0}) {
+    comm::AwgnChannel ch(sigma, 9);
+    const double measured = bit_error_rate(bits, ofdm_link(bits, p, ch));
+    const double arg = static_cast<double>(p.amplitude) /
+                       (sigma * std::sqrt(static_cast<double>(
+                                    p.n_subcarriers)));
+    const double theory = q_func(arg);
+    const double ratio = theory > 0.0 ? measured / theory : 0.0;
+    t3.row({Table::num(sigma, 0), Table::num(measured, 5),
+            Table::num(theory, 5), Table::num(ratio, 2)});
+    if (theory > 1e-4 && (ratio < 0.5 || ratio > 2.0)) theory_matches = false;
+  }
+  t3.print(std::cout);
+
+  std::cout << "\nshape checks:\n"
+            << "  * coding gain below the hard-decision threshold (p <= 2%): "
+            << (gain_at_low_p ? "YES" : "NO") << '\n'
+            << "  * coded link degrades past the threshold (p >= 8%): "
+            << (crossover_seen ? "YES" : "NO") << '\n'
+            << "  * interleaving cuts residual BER on burst channels: "
+            << (interleave_helps ? "YES" : "NO") << '\n'
+            << "  * OFDM/QPSK BER tracks the Q-function within 2x: "
+            << (theory_matches ? "YES" : "NO") << '\n';
+  return gain_at_low_p && interleave_helps && theory_matches ? 0 : 1;
+}

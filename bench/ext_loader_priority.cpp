@@ -1,0 +1,116 @@
+// E10 — extension ablation: bus priority of the DRCF's configuration
+// fetches. On a shared, loaded bus the context-switch latency depends on who
+// wins arbitration: a low-priority loader is starved by traffic, a
+// high-priority loader starves the traffic. Sweeps loader priority against
+// fixed-priority background masters under priority arbitration, and
+// contrasts round-robin arbitration where priority is ignored.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "soc/traffic_gen.hpp"
+
+using namespace adriatic;
+using namespace adriatic::kern::literals;
+using adriatic::bench::DrcfRig;
+
+namespace {
+
+constexpr int kSwitches = 16;
+constexpr u64 kCtxWords = 1024;
+constexpr u32 kTrafficPriority = 3;
+
+struct Outcome {
+  bool starved = false;  ///< Loader never won the bus within the time limit.
+  kern::Time mean_switch;
+  double traffic_latency_ns = 0.0;
+};
+
+Outcome run(bus::ArbPolicy policy, u32 loader_priority) {
+  drcf::DrcfConfig dc;
+  dc.technology = drcf::varicore_like();
+  dc.technology.per_switch_overhead = kern::Time::zero();
+  dc.load_priority = loader_priority;
+  bus::BusConfig bc;
+  bc.cycle_time = 10_ns;
+  bc.arbitration = policy;
+  DrcfRig rig(2, kCtxWords, dc, bc);
+
+  // Several background masters: priority arbitration only bites when more
+  // than one requester is queued at once.
+  mem::Memory data_ram(rig.top, "data_ram", 0x8000, 4096);
+  rig.sys_bus.bind_slave(data_ram);
+  std::vector<std::unique_ptr<soc::TrafficGen>> gens;
+  for (int g = 0; g < 3; ++g) {
+    soc::TrafficGenConfig tg;
+    tg.base = 0x8000;
+    tg.window_words = 4096;
+    tg.burst_words = 16;
+    tg.period = 150_ns;  // saturating
+    tg.priority = kTrafficPriority;
+    tg.seed = 7 + static_cast<u64>(g);
+    gens.push_back(std::make_unique<soc::TrafficGen>(
+        rig.top, "traffic" + std::to_string(g), tg));
+    gens.back()->mst_port.bind(rig.sys_bus);
+  }
+
+  Outcome out{};
+  bool driver_done = false;
+  rig.top.spawn_thread("driver", [&] {
+    bus::word r = 0;
+    const kern::Time t0 = rig.sim.now();
+    // The driver's own register reads go at top priority; the measured
+    // variable is purely the loader's priority.
+    for (int i = 0; i < kSwitches; ++i)
+      rig.sys_bus.read(rig.ctx_addr(static_cast<usize>(i % 2)), &r,
+                       /*priority=*/10);
+    out.mean_switch =
+        kern::Time::ps((rig.sim.now() - t0).picoseconds() / kSwitches);
+    driver_done = true;
+    rig.sim.stop();
+  });
+  rig.sim.run(kern::Time::ms(100));
+  out.starved = !driver_done;
+  double lat = 0.0;
+  for (const auto& g : gens) lat += g->mean_burst_latency_ns();
+  out.traffic_latency_ns = lat / static_cast<double>(gens.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Table t("Extension - configuration-loader bus priority under heavy load "
+          "(traffic priority " +
+          std::to_string(kTrafficPriority) + ")");
+  t.header({"arbitration", "loader priority", "mean switch [us]",
+            "traffic burst latency [ns]"});
+
+  std::vector<Outcome> prio_outcomes;
+  for (const u32 prio : {0u, 3u, 7u}) {
+    const auto o = run(bus::ArbPolicy::kPriority, prio);
+    prio_outcomes.push_back(o);
+    t.row({"priority", Table::integer(prio),
+           o.starved ? "STARVED" : Table::num(o.mean_switch.to_us(), 2),
+           Table::num(o.traffic_latency_ns, 0)});
+  }
+  for (const u32 prio : {0u, 7u}) {
+    const auto o = run(bus::ArbPolicy::kRoundRobin, prio);
+    t.row({"round-robin", Table::integer(prio),
+           o.starved ? "STARVED" : Table::num(o.mean_switch.to_us(), 2),
+           Table::num(o.traffic_latency_ns, 0)});
+  }
+  t.print(std::cout);
+
+  const bool shape_ok =
+      prio_outcomes[0].starved && !prio_outcomes[1].starved &&
+      prio_outcomes[2].mean_switch < prio_outcomes[1].mean_switch &&
+      prio_outcomes[2].traffic_latency_ns > prio_outcomes[1].traffic_latency_ns;
+  std::cout << "\nshape checks: "
+            << (shape_ok ? "YES" : "NO") << '\n'
+            << "  * a loader below the traffic priority starves outright\n"
+            << "  * raising the loader above the traffic shortens switches "
+               "at the traffic's expense\n"
+            << "  * under round-robin, the loader priority is ignored "
+               "(rows match)\n";
+  return shape_ok ? 0 : 1;
+}

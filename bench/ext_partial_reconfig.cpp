@@ -1,0 +1,130 @@
+// E8 — extension study (the paper's Sec. 5.3 "other parameters, such as
+// dealing with partial reconfiguration or power consumption, may be
+// devised"): multi-slot DRCF (partial reconfiguration) under three access
+// patterns, ablating slot count and replacement policy, with the energy
+// accounting the paper also lists as future work.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/random.hpp"
+
+using namespace adriatic;
+using namespace adriatic::kern::literals;
+using adriatic::bench::DrcfRig;
+
+namespace {
+
+constexpr usize kContexts = 6;
+constexpr int kAccesses = 120;
+constexpr u64 kCtxWords = 512;
+
+enum class Pattern { kCyclic, kRandom, kSkewed };
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kCyclic:
+      return "cyclic";
+    case Pattern::kRandom:
+      return "uniform random";
+    case Pattern::kSkewed:
+      return "skewed (80/20)";
+  }
+  return "?";
+}
+
+usize next_ctx(Pattern p, int i, Xoshiro256& rng) {
+  switch (p) {
+    case Pattern::kCyclic:
+      return static_cast<usize>(i) % kContexts;
+    case Pattern::kRandom:
+      return static_cast<usize>(rng.next_below(kContexts));
+    case Pattern::kSkewed:
+      // 80% of accesses go to contexts 0-1.
+      return rng.next_bool(0.8) ? rng.next_below(2)
+                                : 2 + rng.next_below(kContexts - 2);
+  }
+  return 0;
+}
+
+struct Result {
+  u64 switches;
+  double hit_rate;
+  kern::Time total;
+  double energy_uj;
+};
+
+Result run(u32 slots, drcf::ReplacementPolicy policy, Pattern pattern) {
+  drcf::DrcfConfig dc;
+  dc.technology = drcf::varicore_like();
+  dc.slots = slots;
+  dc.replacement = policy;
+  bus::BusConfig bc;
+  bc.cycle_time = 10_ns;
+  DrcfRig rig(kContexts, kCtxWords, dc, bc);
+  rig.top.spawn_thread("driver", [&] {
+    Xoshiro256 rng(42);
+    bus::word r = 0;
+    for (int i = 0; i < kAccesses; ++i) {
+      rig.sys_bus.read(rig.ctx_addr(next_ctx(pattern, i, rng)), &r);
+      kern::wait(1_us);
+    }
+  });
+  rig.sim.run();
+  const auto& s = rig.fabric.stats();
+  Result res;
+  res.switches = s.switches;
+  res.hit_rate = static_cast<double>(s.hits) /
+                 static_cast<double>(s.hits + s.misses);
+  res.total = rig.sim.now();
+  res.energy_uj = s.reconfig_energy_j * 1e6;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  Table t("Extension - partial reconfiguration: slots x policy x pattern (" +
+          std::to_string(kContexts) + " contexts, " +
+          std::to_string(kAccesses) + " accesses)");
+  t.header({"pattern", "slots", "policy", "switches", "hit rate",
+            "total time [us]", "reconf energy [uJ]"});
+
+  const std::pair<drcf::ReplacementPolicy, const char*> policies[] = {
+      {drcf::ReplacementPolicy::kLru, "LRU"},
+      {drcf::ReplacementPolicy::kFifo, "FIFO"},
+      {drcf::ReplacementPolicy::kMru, "MRU"},
+  };
+
+  bool more_slots_help = true;
+  for (const Pattern pattern :
+       {Pattern::kCyclic, Pattern::kRandom, Pattern::kSkewed}) {
+    u64 last_switches = ~0ULL;
+    for (const u32 slots : {1u, 2u, 4u, 6u}) {
+      for (const auto& [policy, pname] : policies) {
+        if (slots == 1 && policy != drcf::ReplacementPolicy::kLru)
+          continue;  // single slot: policy is irrelevant
+        const auto r = run(slots, policy, pattern);
+        t.row({pattern_name(pattern), Table::integer(slots), pname,
+               Table::integer(static_cast<long long>(r.switches)),
+               Table::num(r.hit_rate, 3), Table::num(r.total.to_us(), 1),
+               Table::num(r.energy_uj, 2)});
+        if (policy == drcf::ReplacementPolicy::kLru) {
+          if (pattern == Pattern::kSkewed && slots > 1)
+            more_slots_help &= r.switches <= last_switches;
+          last_switches = r.switches;
+        }
+      }
+    }
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nshape checks:\n"
+      << "  * slots == contexts -> switches == contexts (cold loads only)\n"
+      << "  * cyclic + LRU thrashes when slots < contexts (classic LRU "
+         "pathology; MRU wins there)\n"
+      << "  * skewed pattern: more slots monotonically reduce switches: "
+      << (more_slots_help ? "YES" : "NO") << '\n'
+      << "  * energy tracks switch count x context size (power extension)\n";
+  return more_slots_help ? 0 : 1;
+}

@@ -1,0 +1,234 @@
+// E9 — methodology cost: the paper's pitch is "quick design space
+// exploration", so the models must simulate fast. Google-benchmark
+// microbenchmarks of the kernel primitives and of the DRCF wrapper's
+// overhead versus a raw accelerator model.
+#include <benchmark/benchmark.h>
+
+#include "accel/accel_lib.hpp"
+#include "bench_common.hpp"
+
+using namespace adriatic;
+using namespace adriatic::kern::literals;
+
+namespace {
+
+// -- Kernel primitives ---------------------------------------------------------
+
+void BM_EventNotifyWait(benchmark::State& state) {
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  kern::Event ping(sim, "ping"), pong(sim, "pong");
+  u64 round_trips = 0;
+  top.spawn_thread("a", [&] {
+    for (;;) {
+      ping.notify_delta();
+      kern::wait(pong);
+    }
+  });
+  top.spawn_thread("b", [&] {
+    for (;;) {
+      kern::wait(ping);
+      ++round_trips;
+      // The ping-pong lives entirely in delta cycles (time never advances);
+      // punch out of run() every 1000 round trips.
+      if (round_trips % 1000 == 0) sim.stop();
+      pong.notify_delta();
+    }
+  });
+  sim.elaborate();
+  for (auto _ : state) sim.run();
+  state.SetItemsProcessed(static_cast<i64>(round_trips));
+}
+BENCHMARK(BM_EventNotifyWait);
+
+void BM_TimedEvents(benchmark::State& state) {
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  u64 wakes = 0;
+  top.spawn_thread("t", [&] {
+    for (;;) {
+      kern::wait(1_ns);
+      ++wakes;
+    }
+  });
+  sim.elaborate();
+  for (auto _ : state) sim.run(kern::Time::us(1));  // 1000 timed wakeups
+  state.SetItemsProcessed(static_cast<i64>(wakes));
+}
+BENCHMARK(BM_TimedEvents);
+
+void BM_SignalPropagation(benchmark::State& state) {
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  kern::Signal<u32> sig(top, "sig");
+  u64 observed = 0;
+  kern::SpawnOptions opts;
+  opts.sensitivity = {&sig.value_changed_event()};
+  opts.dont_initialize = true;
+  top.spawn_method("observer", [&] { ++observed; }, opts);
+  top.spawn_thread("driver", [&] {
+    u32 v = 0;
+    for (;;) {
+      sig.write(++v);
+      kern::wait(1_ns);
+    }
+  });
+  sim.elaborate();
+  for (auto _ : state) sim.run(kern::Time::us(1));
+  state.SetItemsProcessed(static_cast<i64>(observed));
+}
+BENCHMARK(BM_SignalPropagation);
+
+void BM_ClockEdges(benchmark::State& state) {
+  kern::Simulation sim;
+  kern::Clock clk(sim, "clk", 10_ns);
+  kern::Module top(sim, "top");
+  u64 edges = 0;
+  kern::SpawnOptions opts;
+  opts.sensitivity = {&clk.posedge_event()};
+  opts.dont_initialize = true;
+  top.spawn_method("counter", [&] { ++edges; }, opts);
+  sim.elaborate();
+  for (auto _ : state) sim.run(kern::Time::us(10));  // 1000 periods
+  state.SetItemsProcessed(static_cast<i64>(edges));
+}
+BENCHMARK(BM_ClockEdges);
+
+// -- Bus and DRCF costs ---------------------------------------------------------
+
+void BM_BusTransaction(benchmark::State& state) {
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  bus::Bus b(top, "bus");
+  mem::Memory m(top, "ram", 0, 4096);
+  b.bind_slave(m);
+  u64 xfers = 0;
+  top.spawn_thread("master", [&] {
+    bus::word w = 0;
+    for (;;) {
+      b.read(static_cast<bus::addr_t>(xfers % 4096), &w);
+      ++xfers;
+    }
+  });
+  sim.elaborate();
+  for (auto _ : state) sim.run(kern::Time::us(20));  // 1000 transactions
+  state.SetItemsProcessed(static_cast<i64>(xfers));
+}
+BENCHMARK(BM_BusTransaction);
+
+void BM_DrcfHitForwarding(benchmark::State& state) {
+  drcf::DrcfConfig dc;
+  dc.technology = drcf::varicore_like();
+  adriatic::bench::DrcfRig rig(2, 64, dc);
+  u64 reads = 0;
+  rig.top.spawn_thread("driver", [&] {
+    bus::word w = 0;
+    rig.sys_bus.read(rig.ctx_addr(0), &w);  // warm
+    for (;;) {
+      rig.sys_bus.read(rig.ctx_addr(0), &w);  // hit path
+      ++reads;
+    }
+  });
+  rig.sim.elaborate();
+  for (auto _ : state) rig.sim.run(kern::Time::us(20));
+  state.SetItemsProcessed(static_cast<i64>(reads));
+}
+BENCHMARK(BM_DrcfHitForwarding);
+
+void BM_DrcfContextSwitch(benchmark::State& state) {
+  drcf::DrcfConfig dc;
+  dc.technology = drcf::varicore_like();
+  dc.technology.per_switch_overhead = kern::Time::zero();
+  adriatic::bench::DrcfRig rig(2, static_cast<u64>(state.range(0)), dc);
+  u64 switches = 0;
+  rig.top.spawn_thread("driver", [&] {
+    bus::word w = 0;
+    for (;;) {
+      rig.sys_bus.read(rig.ctx_addr(switches % 2), &w);
+      ++switches;
+    }
+  });
+  rig.sim.elaborate();
+  for (auto _ : state) rig.sim.run(kern::Time::ms(1));
+  state.SetItemsProcessed(static_cast<i64>(switches));
+}
+BENCHMARK(BM_DrcfContextSwitch)->Arg(64)->Arg(1024);
+
+// Raw accelerator model vs DRCF-wrapped accelerator: wall-clock cost of the
+// methodology itself (events simulated per second of host time).
+void BM_RawAccelerator(benchmark::State& state) {
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  bus::Bus b(top, "bus");
+  mem::Memory ram(top, "ram", 0x1000, 4096);
+  b.bind_slave(ram);
+  soc::HwAccel acc(top, "acc", 0x100, accel::make_crc_spec());
+  acc.mst_port.bind(b);
+  b.bind_slave(acc);
+  u64 runs = 0;
+  top.spawn_thread("driver", [&] {
+    bus::word w;
+    for (;;) {
+      w = 0x1000;
+      b.write(0x100 + soc::HwAccel::kSrc, &w);
+      w = 0x1100;
+      b.write(0x100 + soc::HwAccel::kDst, &w);
+      w = 16;
+      b.write(0x100 + soc::HwAccel::kLen, &w);
+      w = 1;
+      b.write(0x100 + soc::HwAccel::kCtrl, &w);
+      kern::wait(acc.done_event());
+      w = 0;
+      b.write(0x100 + soc::HwAccel::kStatus, &w);
+      ++runs;
+    }
+  });
+  sim.elaborate();
+  for (auto _ : state) sim.run(kern::Time::ms(1));
+  state.SetItemsProcessed(static_cast<i64>(runs));
+}
+BENCHMARK(BM_RawAccelerator);
+
+void BM_DrcfWrappedAccelerator(benchmark::State& state) {
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  bus::Bus b(top, "bus");
+  mem::Memory ram(top, "ram", 0x1000, 4096);
+  mem::Memory cfg(top, "cfg", 0x100000, 1024);
+  b.bind_slave(ram);
+  b.bind_slave(cfg);
+  soc::HwAccel acc(top, "acc", 0x100, accel::make_crc_spec());
+  acc.mst_port.bind(b);
+  drcf::DrcfConfig dc;
+  dc.technology = drcf::varicore_like();
+  drcf::Drcf fabric(top, "drcf", dc);
+  fabric.add_context(acc, {.config_address = 0x100000, .size_words = 64});
+  fabric.mst_port.bind(b);
+  b.bind_slave(fabric);
+  u64 runs = 0;
+  top.spawn_thread("driver", [&] {
+    bus::word w;
+    for (;;) {
+      w = 0x1000;
+      b.write(0x100 + soc::HwAccel::kSrc, &w);
+      w = 0x1100;
+      b.write(0x100 + soc::HwAccel::kDst, &w);
+      w = 16;
+      b.write(0x100 + soc::HwAccel::kLen, &w);
+      w = 1;
+      b.write(0x100 + soc::HwAccel::kCtrl, &w);
+      kern::wait(acc.done_event());
+      w = 0;
+      b.write(0x100 + soc::HwAccel::kStatus, &w);
+      ++runs;
+    }
+  });
+  sim.elaborate();
+  for (auto _ : state) sim.run(kern::Time::ms(1));
+  state.SetItemsProcessed(static_cast<i64>(runs));
+}
+BENCHMARK(BM_DrcfWrappedAccelerator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// E2 — Sec. 5.2 worked example: the automatic transformation of a top-level
+// module with a hardware accelerator into one that instantiates a DRCF.
+// Regenerates (i) the paper's before/after listings, (ii) a functional
+// equivalence check of the two architectures, (iii) the cost of modeling:
+// simulated time and event counts for the raw vs transformed model.
+#include <iostream>
+
+#include "accel/accel_lib.hpp"
+#include "netlist/design.hpp"
+#include "netlist/elaborate.hpp"
+#include "transform/transform.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace adriatic;
+using namespace adriatic::kern::literals;
+
+namespace {
+
+netlist::Design make_design() {
+  netlist::Design d;
+  netlist::BusDecl bus_decl;
+  bus_decl.config.cycle_time = 10_ns;
+  d.add("system_bus", bus_decl);
+
+  netlist::MemoryDecl ram;
+  ram.low = 0x1000;
+  ram.words = 4096;
+  ram.bus = "system_bus";
+  d.add("ram", ram);
+
+  netlist::MemoryDecl cfg;
+  cfg.low = 0x100000;
+  cfg.words = 1u << 17;
+  cfg.bus = "system_bus";
+  d.add("cfg_mem", cfg);
+
+  netlist::HwAccelDecl hwa;
+  hwa.base = 0x100;
+  hwa.spec = accel::make_crc_spec();
+  hwa.slave_bus = hwa.master_bus = "system_bus";
+  d.add("hwa", hwa);
+
+  netlist::HwAccelDecl hwb;
+  hwb.base = 0x200;
+  hwb.spec = accel::make_quant_spec(75);
+  hwb.slave_bus = hwb.master_bus = "system_bus";
+  d.add("hwb", hwb);
+
+  netlist::ProcessorDecl cpu;
+  cpu.master_bus = "system_bus";
+  cpu.program = [](soc::Cpu& c) {
+    std::vector<bus::word> data(64);
+    for (usize i = 0; i < data.size(); ++i)
+      data[i] = static_cast<bus::word>(17 * i + 3);
+    c.burst_write(0x1000, data);
+    for (int round = 0; round < 3; ++round) {
+      c.write(0x100 + soc::HwAccel::kSrc, 0x1000);
+      c.write(0x100 + soc::HwAccel::kDst, 0x1100);
+      c.write(0x100 + soc::HwAccel::kLen, 64);
+      c.write(0x100 + soc::HwAccel::kCtrl, 1);
+      c.poll_until(0x100 + soc::HwAccel::kStatus, soc::HwAccel::kDone,
+                   100_ns);
+      c.write(0x100 + soc::HwAccel::kStatus, 0);
+      c.write(0x200 + soc::HwAccel::kSrc, 0x1100);
+      c.write(0x200 + soc::HwAccel::kDst, 0x1200);
+      c.write(0x200 + soc::HwAccel::kLen, 64);
+      c.write(0x200 + soc::HwAccel::kCtrl, 1);
+      c.poll_until(0x200 + soc::HwAccel::kStatus, soc::HwAccel::kDone,
+                   100_ns);
+      c.write(0x200 + soc::HwAccel::kStatus, 0);
+    }
+  };
+  d.add("cpu", cpu);
+  return d;
+}
+
+struct RunInfo {
+  std::vector<bus::word> result;
+  kern::Time sim_time;
+  u64 activations;
+  u64 deltas;
+};
+
+RunInfo run(netlist::Design& d) {
+  kern::Simulation sim;
+  netlist::Elaborated e(sim, d);
+  sim.run();
+  RunInfo r;
+  for (u32 i = 0; i < 64; ++i)
+    r.result.push_back(e.get_memory("ram").peek(0x1200 + i));
+  r.sim_time = sim.now();
+  r.activations = sim.activations();
+  r.deltas = sim.delta_count();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  auto original = make_design();
+  auto transformed = make_design();
+
+  transform::TransformOptions opt;
+  opt.drcf_config.technology = drcf::varicore_like();
+  opt.config_memory = "cfg_mem";
+  const std::vector<std::string> candidates{"hwa", "hwb"};
+  const auto report =
+      transform::transform_to_drcf(transformed, candidates, opt);
+  if (!report.ok) {
+    for (const auto& d : report.diagnostics) std::cerr << d << '\n';
+    return 1;
+  }
+
+  std::cout << "=== phase 1+2: module & instance analysis ===\n";
+  for (const auto& c : report.candidates) {
+    std::cout << "  " << c.instance << ": interface " << c.interface
+              << ", range [" << strfmt("0x%X", c.low) << ", "
+              << strfmt("0x%X", c.high) << "], " << c.gates << " gates -> "
+              << c.context_words << " config words @ "
+              << strfmt("0x%X", c.config_address) << '\n';
+    for (const auto& p : c.ports) std::cout << "      port    " << p << '\n';
+    for (const auto& b : c.bindings)
+      std::cout << "      binding " << b << '\n';
+  }
+
+  std::cout << "\n=== phase 3+4: listings (paper Sec. 5.2) ===\n";
+  std::cout << "--- before ---\n" << report.before_listing;
+  std::cout << "--- after ---\n" << report.after_listing << '\n';
+
+  const auto r_orig = run(original);
+  const auto r_drcf = run(transformed);
+
+  const bool equivalent = r_orig.result == r_drcf.result;
+  std::cout << "=== functional equivalence ===\n"
+            << (equivalent ? "identical results across 3 rounds of "
+                             "CRC+quantise on both architectures\n"
+                           : "MISMATCH!\n");
+
+  Table t("modeling cost: raw vs DRCF model");
+  t.header({"model", "simulated time", "process activations", "delta cycles",
+            "ctx switches"});
+  t.row({"original (2 dedicated accelerators)", r_orig.sim_time.str(),
+         Table::integer(static_cast<long long>(r_orig.activations)),
+         Table::integer(static_cast<long long>(r_orig.deltas)), "-"});
+  t.row({"transformed (1 DRCF)", r_drcf.sim_time.str(),
+         Table::integer(static_cast<long long>(r_drcf.activations)),
+         Table::integer(static_cast<long long>(r_drcf.deltas)), "6"});
+  t.print(std::cout);
+
+  std::cout << "\nDRCF adds "
+            << Table::num(
+                   (r_drcf.sim_time - r_orig.sim_time).to_us(), 1)
+            << " us of reconfiguration to the application (6 switches)\n";
+  return equivalent ? 0 : 1;
+}

@@ -1,0 +1,161 @@
+// Binary-software SoC: an instruction-set-simulated TinyRISC core runs an
+// assembled program from memory (instruction fetches are real bus traffic),
+// drives two DRCF-wrapped accelerators through their register windows, and
+// synchronises on the interrupt controller instead of polling. The whole
+// system — including the software — is declared in the netlist and the DRCF
+// comes from the automatic transformation.
+//
+// Build & run:  ./build/examples/iss_system
+#include <iostream>
+
+#include "accel/accel_lib.hpp"
+#include "morphosys/assembler.hpp"
+#include "netlist/design.hpp"
+#include "netlist/elaborate.hpp"
+#include "netlist/report.hpp"
+#include "transform/transform.hpp"
+
+using namespace adriatic;
+using namespace adriatic::kern::literals;
+
+int main() {
+  netlist::Design d;
+  netlist::BusDecl bus_decl;
+  bus_decl.config.cycle_time = 10_ns;
+  d.add("system_bus", bus_decl);
+
+  netlist::MemoryDecl code;
+  code.low = 0x8000;
+  code.words = 2048;
+  code.bus = "system_bus";
+  d.add("code", code);
+
+  netlist::MemoryDecl data;
+  data.low = 0x1000;
+  data.words = 4096;
+  data.bus = "system_bus";
+  d.add("data", data);
+
+  netlist::MemoryDecl cfg;
+  cfg.low = 0x100000;
+  cfg.words = 1u << 16;
+  cfg.bus = "system_bus";
+  d.add("cfg_mem", cfg);
+
+  netlist::HwAccelDecl crc;
+  crc.base = 0x100;
+  crc.spec = accel::make_crc_spec();
+  crc.slave_bus = crc.master_bus = "system_bus";
+  d.add("crc", crc);
+
+  netlist::HwAccelDecl quant;
+  quant.base = 0x200;
+  quant.spec = accel::make_quant_spec(80);
+  quant.slave_bus = quant.master_bus = "system_bus";
+  d.add("quant", quant);
+
+  netlist::IrqControllerDecl irq;
+  irq.base = 0x400;
+  irq.bus = "system_bus";
+  irq.lines = {{0, "crc"}, {1, "quant"}};
+  d.add("irq", irq);
+
+  // The firmware: for 4 frames, run quant on the frame, then CRC its
+  // output, waiting on interrupts each time.
+  netlist::IssDecl iss;
+  iss.master_bus = "system_bus";
+  iss.code_memory = "code";
+  iss.config.reset_pc = 0x8000;
+  iss.config.icache_line_words = 16;
+  iss.program = morphosys::assemble(R"(
+    ADDI r5, r0, 0x400     ; IRQ controller
+    ADDI r2, r0, 3
+    STW  r5, 2, r2         ; enable lines 0 and 1
+    ADDI r10, r0, 4        ; frame counter
+    frame:
+    ; --- quantiser pass: data[0x1000..0x103F] -> 0x1100 ---
+    ADDI r1, r0, 0x200
+    ADDI r2, r0, 0x1000
+    STW  r1, 2, r2
+    ADDI r2, r0, 0x1100
+    STW  r1, 3, r2
+    ADDI r2, r0, 64
+    STW  r1, 4, r2
+    ADDI r2, r0, 1
+    STW  r1, 0, r2
+    waitq:
+    LDW  r4, r5, 0
+    BEQ  r4, r0, waitq
+    ADDI r2, r0, 2
+    STW  r5, 3, r2         ; ack line 1
+    ADDI r2, r0, 0
+    STW  r1, 1, r2         ; clear accel status
+    ; --- CRC pass: 0x1100 -> 0x1200 ---
+    ADDI r1, r0, 0x100
+    ADDI r2, r0, 0x1100
+    STW  r1, 2, r2
+    ADDI r2, r0, 0x1200
+    STW  r1, 3, r2
+    ADDI r2, r0, 64
+    STW  r1, 4, r2
+    ADDI r2, r0, 1
+    STW  r1, 0, r2
+    waitc:
+    LDW  r4, r5, 0
+    BEQ  r4, r0, waitc
+    ADDI r2, r0, 1
+    STW  r5, 3, r2         ; ack line 0
+    ADDI r2, r0, 0
+    STW  r1, 1, r2
+    ADDI r10, r10, -1
+    BNE  r10, r0, frame
+    HALT
+  )");
+  d.add("cpu", iss);
+
+  // Fold the two accelerators into a DRCF.
+  transform::TransformOptions opt;
+  opt.drcf_config.technology = drcf::morphosys_like();
+  opt.config_memory = "cfg_mem";
+  const std::vector<std::string> candidates{"crc", "quant"};
+  const auto report = transform::transform_to_drcf(d, candidates, opt);
+  if (!report.ok) {
+    for (const auto& diag : report.diagnostics) std::cerr << diag << '\n';
+    return 1;
+  }
+
+  kern::Simulation sim;
+  netlist::Elaborated e(sim, d);
+  // Seed frame data.
+  std::vector<bus::word> frame(64);
+  for (usize i = 0; i < frame.size(); ++i)
+    frame[i] = static_cast<bus::word>(40 * (i % 9));
+  e.get_memory("data").load(0x1000, frame);
+  sim.run();
+
+  const auto& cpu = e.get_iss("cpu");
+  if (!cpu.stats().halted || cpu.stats().illegal_instruction) {
+    std::cerr << "firmware did not halt cleanly\n";
+    return 1;
+  }
+
+  // Check the final CRC against the functional kernels.
+  const auto q = accel::make_quant_spec(80).fn(frame);
+  const u32 expect = accel::crc32_words(q);
+  const u32 got =
+      static_cast<u32>(e.get_memory("data").peek(0x1200 + 64));
+  std::cout << "firmware result check: "
+            << (got == expect ? "CRC matches the functional model"
+                              : "MISMATCH")
+            << "\n\n";
+
+  netlist::SystemReport sys_report(d, e);
+  sys_report.print(std::cout);
+
+  const auto& s = cpu.stats();
+  std::cout << "\nfirmware: " << s.instructions << " instructions, "
+            << s.ifetch_reads << " i-fetch bus reads ("
+            << s.icache_hits << " line-buffer hits), " << s.data_reads
+            << " data reads, " << s.data_writes << " data writes\n";
+  return got == expect ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// MorphoSys demo (paper Sec. 3c): assembles a TinyRISC program that streams
+// data through the 8x8 RC array, demonstrating SIMD execution and the
+// double-context-plane background reload ("while the RC array is executing
+// one of the 16 contexts, the other 16 can be reloaded").
+//
+// The kernel: per-pixel brightness/contrast adjust, y = (x * gain) >> 4 + bias,
+// as two contexts executed back to back over a 512-pixel tile.
+//
+// Build & run:  ./build/examples/morphosys_demo
+#include <iostream>
+
+#include "morphosys/morphosys_lib.hpp"
+#include "util/table.hpp"
+
+using namespace adriatic;
+using namespace adriatic::morphosys;
+
+int main() {
+  Machine machine;
+
+  // -- Contexts ---------------------------------------------------------------
+  // Context 0: multiply by gain (reads the frame buffer, keeps in reg0).
+  Context scale;
+  for (auto& w : scale.rows) {
+    w.op = RcOp::kMul;
+    w.src_a = MuxSel::kFrameBuf;
+    w.src_b = MuxSel::kImm;
+    w.imm = 20;  // gain (x20/16 = 1.25 after the shift in context 1)
+    w.dst_reg = 0;
+  }
+  // Context 1: shift + bias, write back to the frame buffer.
+  Context bias;
+  for (auto& w : bias.rows) {
+    w.op = RcOp::kShr;
+    w.src_a = MuxSel::kReg0;
+    w.src_b = MuxSel::kImm;
+    w.imm = 4;
+    w.dst_reg = 1;
+    w.write_fb = true;
+  }
+  machine.store_context_image(0x4000, scale);
+  machine.store_context_image(0x4008, bias);
+
+  // -- Input tile --------------------------------------------------------------
+  constexpr usize kTile = 512;  // 8 array-fulls of 64 pixels
+  std::vector<i32> pixels(kTile);
+  for (usize i = 0; i < kTile; ++i) pixels[i] = static_cast<i32>(i % 200);
+  machine.mem_load(0x100, pixels);
+
+  // -- Program -----------------------------------------------------------------
+  const auto program = assemble(R"(
+    ADDI r1, r0, 0x100    ; tile source in main memory
+    ADDI r2, r0, 0        ; frame buffer cursor
+    ADDI r4, r0, 0x4000   ; context images
+    DMACL 0, r4, 2        ; both contexts into plane 0
+    DMALD r1, r2, 512     ; stream the tile into the frame buffer
+    WAITDMA
+    ; prefetch the next tile's contexts into plane 1 while the array runs
+    DMACL 1, r4, 2
+    RAMODE row
+    ADDI r6, r0, 8        ; 8 chunks of 64 pixels
+    chunk:
+    RAEXEC 0, 0, r2, 1    ; context 0: scale this chunk
+    RAEXEC 0, 1, r2, 1    ; context 1: shift+write back
+    ADDI r2, r2, 64
+    ADDI r6, r6, -1
+    BNE r6, r0, chunk
+    WAITDMA
+    ADDI r2, r0, 0
+    ADDI r5, r0, 0x800    ; results to main memory
+    DMAST r2, r5, 512
+    WAITDMA
+    HALT
+  )");
+
+  if (!machine.run(program)) {
+    std::cerr << "program did not halt\n";
+    return 1;
+  }
+
+  // -- Verify -------------------------------------------------------------------
+  usize errors = 0;
+  for (usize i = 0; i < kTile; ++i) {
+    const i32 expect = (pixels[i] * 20) >> 4;
+    if (machine.mem_read(0x800 + i) != expect) ++errors;
+  }
+  std::cout << "functional check: " << (kTile - errors) << "/" << kTile
+            << " pixels correct\n\n";
+
+  const auto& s = machine.stats();
+  Table t("MorphoSys run statistics");
+  t.header({"metric", "value"});
+  t.row({"total cycles", Table::integer(static_cast<long long>(s.cycles))});
+  t.row({"TinyRISC instructions",
+         Table::integer(static_cast<long long>(s.risc_instructions))});
+  t.row({"RC-array cycles",
+         Table::integer(static_cast<long long>(s.ra_cycles))});
+  t.row({"array utilization",
+         Table::num(machine.array_utilization() * 100.0, 1) + " %"});
+  t.row({"contexts loaded",
+         Table::integer(static_cast<long long>(s.contexts_loaded))});
+  t.row({"DMA busy cycles",
+         Table::integer(static_cast<long long>(s.dma_busy_cycles))});
+  t.row({"cycles overlapped (array + DMA)",
+         Table::integer(static_cast<long long>(s.overlapped_cycles))});
+  t.row({"RA stall cycles (same-plane reload)",
+         Table::integer(static_cast<long long>(s.ra_stall_cycles))});
+  t.print(std::cout);
+
+  std::cout << "\nThe plane-1 reload overlapped " << s.overlapped_cycles
+            << " array cycles - the paper's background-reconfiguration "
+               "property.\n";
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+// Umbrella header for the workload kernels.
+#pragma once
+
+#include "accel/aes.hpp"
+#include "accel/crc.hpp"
+#include "accel/dct.hpp"
+#include "accel/fft.hpp"
+#include "accel/fir.hpp"
+#include "accel/kernel_spec.hpp"
+#include "accel/matmul.hpp"
+#include "accel/motion.hpp"
+#include "accel/viterbi.hpp"
+#include "accel/zigzag_rle.hpp"

@@ -1,0 +1,151 @@
+#include "accel/aes.hpp"
+
+#include <cstring>
+
+#include "util/types.hpp"
+
+namespace adriatic::accel {
+namespace {
+
+const std::array<u8, 256>& sbox() {
+  static const std::array<u8, 256> box = [] {
+    // Generate the S-box from the multiplicative inverse in GF(2^8)
+    // followed by the affine transform — avoids a 256-entry literal.
+    std::array<u8, 256> s{};
+    auto mul = [](u8 a, u8 b) {
+      u8 p = 0;
+      for (int i = 0; i < 8; ++i) {
+        if (b & 1) p ^= a;
+        const bool hi = a & 0x80;
+        a <<= 1;
+        if (hi) a ^= 0x1B;
+        b >>= 1;
+      }
+      return p;
+    };
+    // Inverses via brute force (fine at init time).
+    std::array<u8, 256> inv{};
+    for (int a = 1; a < 256; ++a)
+      for (int b = 1; b < 256; ++b)
+        if (mul(static_cast<u8>(a), static_cast<u8>(b)) == 1) {
+          inv[static_cast<usize>(a)] = static_cast<u8>(b);
+          break;
+        }
+    for (int i = 0; i < 256; ++i) {
+      const u8 x = inv[static_cast<usize>(i)];
+      u8 y = x;
+      u8 r = 0x63;
+      for (int k = 0; k < 4; ++k) {
+        y = static_cast<u8>((y << 1) | (y >> 7));
+        r ^= y;
+      }
+      s[static_cast<usize>(i)] = static_cast<u8>(r ^ x ^ 0);
+    }
+    return s;
+  }();
+  return box;
+}
+
+u8 xtime(u8 x) { return static_cast<u8>((x << 1) ^ ((x & 0x80) ? 0x1B : 0)); }
+
+void sub_bytes(AesBlock& s) {
+  for (auto& b : s) b = sbox()[b];
+}
+
+void shift_rows(AesBlock& s) {
+  // Column-major state: s[c*4 + r].
+  AesBlock t = s;
+  for (int r = 1; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      s[static_cast<usize>(c * 4 + r)] =
+          t[static_cast<usize>(((c + r) % 4) * 4 + r)];
+}
+
+void mix_columns(AesBlock& s) {
+  for (int c = 0; c < 4; ++c) {
+    u8* col = &s[static_cast<usize>(c * 4)];
+    const u8 a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<u8>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+    col[1] = static_cast<u8>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+    col[2] = static_cast<u8>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+    col[3] = static_cast<u8>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
+void add_round_key(AesBlock& s, const u8* rk) {
+  for (usize i = 0; i < 16; ++i) s[i] ^= rk[i];
+}
+
+std::array<u8, 176> expand_key(const AesKey& key) {
+  std::array<u8, 176> w{};
+  std::memcpy(w.data(), key.data(), 16);
+  u8 rcon = 1;
+  for (usize i = 16; i < 176; i += 4) {
+    u8 t[4];
+    std::memcpy(t, &w[i - 4], 4);
+    if (i % 16 == 0) {
+      const u8 tmp = t[0];
+      t[0] = static_cast<u8>(sbox()[t[1]] ^ rcon);
+      t[1] = sbox()[t[2]];
+      t[2] = sbox()[t[3]];
+      t[3] = sbox()[tmp];
+      rcon = xtime(rcon);
+    }
+    for (usize k = 0; k < 4; ++k) w[i + k] = static_cast<u8>(w[i - 16 + k] ^ t[k]);
+  }
+  return w;
+}
+
+}  // namespace
+
+AesBlock aes128_encrypt(const AesBlock& plain, const AesKey& key) {
+  const auto rk = expand_key(key);
+  AesBlock s = plain;
+  add_round_key(s, rk.data());
+  for (int round = 1; round <= 9; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, rk.data() + round * 16);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, rk.data() + 160);
+  return s;
+}
+
+KernelSpec make_aes_spec(const AesKey& key) {
+  KernelSpec spec;
+  spec.name = "aes128";
+  spec.fn = [key](std::span<const bus::word> in) {
+    std::vector<i32> out;
+    out.reserve(round_up<usize>(in.size(), 4));
+    for (usize base = 0; base < in.size(); base += 4) {
+      AesBlock block{};
+      for (usize w = 0; w < 4; ++w) {
+        const u32 v = base + w < in.size() ? static_cast<u32>(in[base + w]) : 0;
+        for (usize b = 0; b < 4; ++b)
+          block[w * 4 + b] = static_cast<u8>((v >> (8 * b)) & 0xFF);
+      }
+      const AesBlock enc = aes128_encrypt(block, key);
+      for (usize w = 0; w < 4; ++w) {
+        u32 v = 0;
+        for (usize b = 0; b < 4; ++b)
+          v |= static_cast<u32>(enc[w * 4 + b]) << (8 * b);
+        out.push_back(static_cast<i32>(v));
+      }
+    }
+    return out;
+  };
+  // Iterative round datapath: ~1 cycle per round + key add => 11 cycles per
+  // 4-word block.
+  spec.hw_cycles = [](usize len) { return ceil_div<u64>(len, 4) * 11 + 4; };
+  // SW: ~40 instructions per byte per round in table-less code.
+  spec.sw_instructions = [](usize len) {
+    return ceil_div<u64>(len, 4) * 16ULL * 10 * 40;
+  };
+  spec.gate_count = 28'000;  // round datapath + key schedule + sboxes
+  return spec;
+}
+
+}  // namespace adriatic::accel

@@ -1,0 +1,23 @@
+// AES-128 block encryption — the link-layer security kernel; a good DRCF
+// context because its gate cost rivals the DSP kernels but it is active in
+// different runtime periods than the receive chain.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "accel/kernel_spec.hpp"
+
+namespace adriatic::accel {
+
+using AesKey = std::array<u8, 16>;
+using AesBlock = std::array<u8, 16>;
+
+/// Encrypts one 16-byte block with AES-128 (FIPS-197).
+[[nodiscard]] AesBlock aes128_encrypt(const AesBlock& plain, const AesKey& key);
+
+/// Kernel spec: processes input as 4-word (16-byte) blocks in ECB mode with
+/// the given key; trailing partial blocks are zero-padded.
+[[nodiscard]] KernelSpec make_aes_spec(const AesKey& key);
+
+}  // namespace adriatic::accel

@@ -1,0 +1,58 @@
+#include "accel/crc.hpp"
+
+#include <array>
+
+namespace adriatic::accel {
+namespace {
+
+const std::array<u32, 256>& crc_table() {
+  static const std::array<u32, 256> table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+u32 crc32(std::span<const u8> data) {
+  const auto& t = crc_table();
+  u32 c = 0xFFFFFFFFu;
+  for (const u8 b : data) c = t[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+u32 crc32_words(std::span<const i32> words) {
+  const auto& t = crc_table();
+  u32 c = 0xFFFFFFFFu;
+  for (const i32 w : words) {
+    const u32 v = static_cast<u32>(w);
+    for (int i = 0; i < 4; ++i)
+      c = t[(c ^ ((v >> (8 * i)) & 0xFFu)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+KernelSpec make_crc_spec() {
+  KernelSpec spec;
+  spec.name = "crc32";
+  spec.fn = [](std::span<const bus::word> in) {
+    std::vector<i32> out(in.begin(), in.end());
+    out.push_back(static_cast<i32>(crc32_words(in)));
+    return out;
+  };
+  // Parallel 32-bit CRC: one word per cycle.
+  spec.hw_cycles = [](usize len) { return static_cast<u64>(len) + 2; };
+  // SW table-driven: ~6 instructions per byte.
+  spec.sw_instructions = [](usize len) { return static_cast<u64>(len) * 4 * 6; };
+  spec.gate_count = 3'500;
+  return spec;
+}
+
+}  // namespace adriatic::accel

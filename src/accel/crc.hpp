@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial) — frame-check kernel for the WLAN example.
+#pragma once
+
+#include <span>
+
+#include "accel/kernel_spec.hpp"
+
+namespace adriatic::accel {
+
+/// CRC-32 over a byte stream (reflected, init 0xFFFFFFFF, final xor).
+[[nodiscard]] u32 crc32(std::span<const u8> data);
+
+/// CRC-32 over bus words (little-endian byte order within each word).
+[[nodiscard]] u32 crc32_words(std::span<const i32> words);
+
+/// Kernel spec: consumes N payload words, emits [payload..., crc] (N+1
+/// words) so a checker can verify frames in-stream.
+[[nodiscard]] KernelSpec make_crc_spec();
+
+}  // namespace adriatic::accel

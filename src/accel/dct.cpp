@@ -1,0 +1,158 @@
+#include "accel/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/types.hpp"
+
+namespace adriatic::accel {
+namespace {
+
+// Separable DCT basis, computed once.
+const std::array<double, 64>& dct_basis() {
+  static const std::array<double, 64> basis = [] {
+    std::array<double, 64> b{};
+    for (usize k = 0; k < 8; ++k) {
+      const double scale = k == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (usize n = 0; n < 8; ++n)
+        b[k * 8 + n] = scale * std::cos((2.0 * static_cast<double>(n) + 1.0) *
+                                        static_cast<double>(k) *
+                                        std::numbers::pi / 16.0);
+    }
+    return b;
+  }();
+  return basis;
+}
+
+// JPEG Annex K luminance table.
+constexpr std::array<i32, 64> kJpegLuma = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+}  // namespace
+
+std::array<i32, 64> dct8x8(std::span<const i32> block) {
+  const auto& b = dct_basis();
+  std::array<double, 64> tmp{};
+  // Rows.
+  for (usize r = 0; r < 8; ++r)
+    for (usize k = 0; k < 8; ++k) {
+      double acc = 0.0;
+      for (usize n = 0; n < 8; ++n)
+        acc += b[k * 8 + n] *
+               static_cast<double>(n + r * 8 < block.size() ? block[r * 8 + n]
+                                                            : 0);
+      tmp[r * 8 + k] = acc;
+    }
+  // Columns.
+  std::array<i32, 64> out{};
+  for (usize c = 0; c < 8; ++c)
+    for (usize k = 0; k < 8; ++k) {
+      double acc = 0.0;
+      for (usize n = 0; n < 8; ++n) acc += b[k * 8 + n] * tmp[n * 8 + c];
+      out[k * 8 + c] = static_cast<i32>(std::lround(acc));
+    }
+  return out;
+}
+
+std::array<i32, 64> idct8x8(std::span<const i32> coeffs) {
+  const auto& b = dct_basis();
+  std::array<double, 64> tmp{};
+  // Columns (inverse).
+  for (usize c = 0; c < 8; ++c)
+    for (usize n = 0; n < 8; ++n) {
+      double acc = 0.0;
+      for (usize k = 0; k < 8; ++k)
+        acc += b[k * 8 + n] *
+               static_cast<double>(k * 8 + c < coeffs.size() ? coeffs[k * 8 + c]
+                                                             : 0);
+      tmp[n * 8 + c] = acc;
+    }
+  // Rows (inverse).
+  std::array<i32, 64> out{};
+  for (usize r = 0; r < 8; ++r)
+    for (usize n = 0; n < 8; ++n) {
+      double acc = 0.0;
+      for (usize k = 0; k < 8; ++k) acc += b[k * 8 + n] * tmp[r * 8 + k];
+      out[r * 8 + n] = static_cast<i32>(std::lround(acc));
+    }
+  return out;
+}
+
+std::array<i32, 64> quant_matrix(int quality) {
+  if (quality < 1) quality = 1;
+  if (quality > 100) quality = 100;
+  const int scale =
+      quality < 50 ? 5000 / quality : 200 - 2 * quality;  // libjpeg formula
+  std::array<i32, 64> q{};
+  for (usize i = 0; i < 64; ++i) {
+    i32 v = (kJpegLuma[i] * scale + 50) / 100;
+    if (v < 1) v = 1;
+    if (v > 255) v = 255;
+    q[i] = v;
+  }
+  return q;
+}
+
+std::array<i32, 64> quantise(std::span<const i32> coeffs,
+                             std::span<const i32> matrix) {
+  std::array<i32, 64> out{};
+  for (usize i = 0; i < 64; ++i) {
+    const i32 c = i < coeffs.size() ? coeffs[i] : 0;
+    const i32 q = i < matrix.size() ? matrix[i] : 1;
+    // Round-to-nearest division, preserving sign.
+    out[i] = c >= 0 ? (c + q / 2) / q : -((-c + q / 2) / q);
+  }
+  return out;
+}
+
+KernelSpec make_dct_spec() {
+  KernelSpec spec;
+  spec.name = "dct8x8";
+  spec.fn = [](std::span<const bus::word> in) {
+    std::vector<i32> out;
+    out.reserve(round_up<usize>(in.size(), 64));
+    for (usize base = 0; base < in.size(); base += 64) {
+      const usize n = std::min<usize>(64, in.size() - base);
+      std::vector<i32> block(64, 0);
+      for (usize i = 0; i < n; ++i) block[i] = in[base + i];
+      const auto c = dct8x8(block);
+      out.insert(out.end(), c.begin(), c.end());
+    }
+    return out;
+  };
+  // Row-column datapath: 16 inner products of 8 MACs each per block, one
+  // inner product per cycle with 8-wide MAC array => 128 cycles/block.
+  spec.hw_cycles = [](usize len) {
+    return ceil_div<u64>(len, 64) * 128 + 10;
+  };
+  spec.sw_instructions = [](usize len) {
+    return ceil_div<u64>(len, 64) * (2ULL * 8 * 8 * 8 * 2 + 256);
+  };
+  spec.gate_count = 22'000;  // 8-wide MAC array + transpose buffer + control
+  return spec;
+}
+
+KernelSpec make_quant_spec(int quality) {
+  KernelSpec spec;
+  spec.name = "quant_q" + std::to_string(quality);
+  const auto matrix = quant_matrix(quality);
+  spec.fn = [matrix](std::span<const bus::word> in) {
+    std::vector<i32> out;
+    out.reserve(round_up<usize>(in.size(), 64));
+    for (usize base = 0; base < in.size(); base += 64) {
+      const usize n = std::min<usize>(64, in.size() - base);
+      const auto q = quantise(in.subspan(base, n), matrix);
+      out.insert(out.end(), q.begin(), q.end());
+    }
+    return out;
+  };
+  spec.hw_cycles = [](usize len) { return static_cast<u64>(len) + 4; };
+  spec.sw_instructions = [](usize len) { return static_cast<u64>(len) * 8; };
+  spec.gate_count = 6'000;  // divider pipeline + table
+  return spec;
+}
+
+}  // namespace adriatic::accel

@@ -1,0 +1,35 @@
+// 8x8 DCT-II and JPEG-style quantiser — the video-encoder kernels used by
+// the DRCF video example (the paper's "HW accelerators not used at the same
+// time" candidacy rule fits intra-frame pipelines like this).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "accel/kernel_spec.hpp"
+
+namespace adriatic::accel {
+
+/// Forward 8x8 DCT-II on one block of 64 samples (row-major), output
+/// rounded to integers. Input values are pixel-ish magnitudes (<= 12 bits).
+[[nodiscard]] std::array<i32, 64> dct8x8(std::span<const i32> block);
+
+/// Inverse of dct8x8 (for round-trip checks).
+[[nodiscard]] std::array<i32, 64> idct8x8(std::span<const i32> coeffs);
+
+/// JPEG luminance quantisation matrix scaled by `quality` in [1,100].
+[[nodiscard]] std::array<i32, 64> quant_matrix(int quality);
+
+/// Quantise one 64-coefficient block with the given matrix.
+[[nodiscard]] std::array<i32, 64> quantise(std::span<const i32> coeffs,
+                                           std::span<const i32> matrix);
+
+/// DCT kernel: processes whole 64-word blocks; trailing partial blocks are
+/// zero-padded.
+[[nodiscard]] KernelSpec make_dct_spec();
+
+/// Quantiser kernel at the given quality.
+[[nodiscard]] KernelSpec make_quant_spec(int quality);
+
+}  // namespace adriatic::accel

@@ -1,0 +1,114 @@
+#include "accel/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/types.hpp"
+
+namespace adriatic::accel {
+namespace {
+
+usize bit_reverse(usize x, unsigned bits) {
+  usize r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+
+i16 sat16(i32 v) {
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return static_cast<i16>(v);
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> fft_ref(
+    std::span<const std::complex<double>> in) {
+  const usize n = in.size();
+  std::vector<std::complex<double>> out(n);
+  for (usize k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (usize t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                         static_cast<double>(n);
+      acc += in[t] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<i32> fft_q15(std::span<const i32> packed_in) {
+  const usize n = packed_in.size();
+  if (!is_pow2(n) || n < 2)
+    throw std::invalid_argument("fft_q15: length must be a power of two >= 2");
+  const unsigned bits = static_cast<unsigned>(__builtin_ctzll(n));
+
+  // Unpack with bit-reversed reordering.
+  std::vector<i32> re(n), im(n);
+  for (usize i = 0; i < n; ++i) {
+    const usize j = bit_reverse(i, bits);
+    re[i] = unpack_re(packed_in[j]);
+    im[i] = unpack_im(packed_in[j]);
+  }
+
+  for (usize len = 2; len <= n; len <<= 1) {
+    const usize half = len / 2;
+    for (usize base = 0; base < n; base += len) {
+      for (usize k = 0; k < half; ++k) {
+        const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(len);
+        const i32 wr = static_cast<i32>(std::lround(std::cos(ang) * 32767.0));
+        const i32 wi = static_cast<i32>(std::lround(std::sin(ang) * 32767.0));
+        const usize a = base + k;
+        const usize b = base + k + half;
+        // t = w * x[b]  (Q15 multiply)
+        const i32 tr = static_cast<i32>(
+            (static_cast<i64>(wr) * re[b] - static_cast<i64>(wi) * im[b]) >>
+            15);
+        const i32 ti = static_cast<i32>(
+            (static_cast<i64>(wr) * im[b] + static_cast<i64>(wi) * re[b]) >>
+            15);
+        // Butterfly with 1/2 scaling per stage.
+        const i32 ar = re[a], ai = im[a];
+        re[a] = (ar + tr) >> 1;
+        im[a] = (ai + ti) >> 1;
+        re[b] = (ar - tr) >> 1;
+        im[b] = (ai - ti) >> 1;
+      }
+    }
+  }
+
+  std::vector<i32> out(n);
+  for (usize i = 0; i < n; ++i) out[i] = pack_cplx(sat16(re[i]), sat16(im[i]));
+  return out;
+}
+
+KernelSpec make_fft_spec(usize n_points) {
+  if (!is_pow2(n_points))
+    throw std::invalid_argument("make_fft_spec: N must be a power of two");
+  KernelSpec spec;
+  spec.name = "fft" + std::to_string(n_points);
+  spec.fn = [](std::span<const bus::word> in) { return fft_q15(in); };
+  const u64 n = n_points;
+  const u64 log2n = static_cast<u64>(__builtin_ctzll(n_points));
+  // One butterfly per cycle; transforms of ceil(len/N) blocks.
+  spec.hw_cycles = [n, log2n](usize len) {
+    const u64 blocks = ceil_div<u64>(len, n);
+    return blocks * (n / 2) * log2n + 8;  // + pipeline latency
+  };
+  // SW: ~20 instructions per butterfly (complex MAC in scalar integer code).
+  spec.sw_instructions = [n, log2n](usize len) {
+    const u64 blocks = ceil_div<u64>(len, n);
+    return blocks * (n / 2) * log2n * 20 + 64;
+  };
+  // Butterfly datapath (4 multipliers, 6 adders) + twiddle ROM + control.
+  spec.gate_count = 18'000 + 40 * n;  // grows with transform buffer
+  return spec;
+}
+
+}  // namespace adriatic::accel

@@ -1,0 +1,38 @@
+// Radix-2 decimation-in-time FFT over Q15 complex samples, as used by the
+// OFDM (WLAN) receive chain that motivates the ADRIATIC case studies.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "accel/kernel_spec.hpp"
+
+namespace adriatic::accel {
+
+/// A complex sample packed into one bus word: re in the low 16 bits,
+/// im in the high 16 bits, both Q15.
+[[nodiscard]] constexpr i32 pack_cplx(i16 re, i16 im) {
+  return static_cast<i32>(static_cast<u32>(static_cast<u16>(re)) |
+                          (static_cast<u32>(static_cast<u16>(im)) << 16));
+}
+[[nodiscard]] constexpr i16 unpack_re(i32 w) {
+  return static_cast<i16>(static_cast<u32>(w) & 0xFFFFu);
+}
+[[nodiscard]] constexpr i16 unpack_im(i32 w) {
+  return static_cast<i16>((static_cast<u32>(w) >> 16) & 0xFFFFu);
+}
+
+/// In-place-style FFT of packed samples; input length must be a power of 2.
+/// Each butterfly stage scales by 1/2 to avoid overflow (total 1/N scaling).
+[[nodiscard]] std::vector<i32> fft_q15(std::span<const i32> packed_in);
+
+/// Reference double-precision FFT for accuracy checks.
+[[nodiscard]] std::vector<std::complex<double>> fft_ref(
+    std::span<const std::complex<double>> in);
+
+/// Kernel spec: a pipelined butterfly datapath processing one butterfly per
+/// cycle — N/2*log2(N) butterflies per transform.
+[[nodiscard]] KernelSpec make_fft_spec(usize n_points);
+
+}  // namespace adriatic::accel

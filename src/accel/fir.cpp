@@ -1,0 +1,59 @@
+#include "accel/fir.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace adriatic::accel {
+
+std::vector<i32> fir_filter(std::span<const i32> taps,
+                            std::span<const i32> x) {
+  std::vector<i32> y(x.size(), 0);
+  for (usize n = 0; n < x.size(); ++n) {
+    i64 acc = 0;
+    for (usize k = 0; k < taps.size() && k <= n; ++k)
+      acc += static_cast<i64>(taps[k]) * static_cast<i64>(x[n - k]);
+    y[n] = static_cast<i32>(acc >> 15);
+  }
+  return y;
+}
+
+std::vector<i32> fir_lowpass_taps(usize n) {
+  // Hamming-windowed sinc, cutoff 0.25 of Nyquist, quantized to Q15.
+  std::vector<i32> taps(n);
+  const double fc = 0.25;
+  const double mid = static_cast<double>(n - 1) / 2.0;
+  for (usize i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    const double sinc =
+        t == 0.0 ? 2.0 * fc
+                 : std::sin(2.0 * std::numbers::pi * fc * t) /
+                       (std::numbers::pi * t);
+    const double w =
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                               static_cast<double>(n - 1));
+    taps[i] = static_cast<i32>(std::lround(sinc * w * 32768.0));
+  }
+  return taps;
+}
+
+KernelSpec make_fir_spec(std::vector<i32> taps) {
+  KernelSpec spec;
+  spec.name = "fir" + std::to_string(taps.size());
+  const usize ntaps = taps.size();
+  spec.fn = [taps = std::move(taps)](std::span<const bus::word> in) {
+    return fir_filter(taps, in);
+  };
+  // One MAC array: output per cycle after pipeline fill.
+  spec.hw_cycles = [ntaps](usize len) {
+    return static_cast<u64>(len) + static_cast<u64>(ntaps);
+  };
+  // Software: ~2 instructions per MAC plus loop overhead.
+  spec.sw_instructions = [ntaps](usize len) {
+    return static_cast<u64>(len) * (2 * static_cast<u64>(ntaps) + 6);
+  };
+  // ~1.1k gates per Q15 MAC stage (multiplier + adder + registers).
+  spec.gate_count = static_cast<u64>(ntaps) * 1100;
+  return spec;
+}
+
+}  // namespace adriatic::accel

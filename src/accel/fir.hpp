@@ -1,0 +1,22 @@
+// Integer FIR filter (Q15 coefficients), the classic streaming DSP kernel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "accel/kernel_spec.hpp"
+
+namespace adriatic::accel {
+
+/// y[n] = (sum_k taps[k] * x[n-k]) >> 15, with zero initial state.
+[[nodiscard]] std::vector<i32> fir_filter(std::span<const i32> taps,
+                                          std::span<const i32> x);
+
+/// Symmetric low-pass test taps (Q15), length `n`.
+[[nodiscard]] std::vector<i32> fir_lowpass_taps(usize n);
+
+/// Kernel spec for a `taps`-tap FIR. A dedicated datapath computes one
+/// output per cycle after a pipeline fill of `taps` cycles.
+[[nodiscard]] KernelSpec make_fir_spec(std::vector<i32> taps);
+
+}  // namespace adriatic::accel

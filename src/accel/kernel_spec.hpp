@@ -1,0 +1,35 @@
+// A workload kernel as seen by the system model: a pure function over word
+// buffers plus a timing/area profile. The same spec backs a hardwired
+// accelerator, a DRCF context, or a software task — which is exactly the
+// comparison the paper's design-space exploration needs (Fig. 2, Sec. 5.1).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bus/interfaces.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::accel {
+
+struct KernelSpec {
+  std::string name;
+  /// Pure functional behaviour: input words -> output words.
+  std::function<std::vector<bus::word>(std::span<const bus::word>)> fn;
+  /// Hardware compute cycles for `len` input words (spatial implementation).
+  std::function<u64(usize len)> hw_cycles;
+  /// Software instruction count for `len` input words (temporal
+  /// implementation on the processor model).
+  std::function<u64(usize len)> sw_instructions;
+  /// ASIC-equivalent gate count of a dedicated implementation.
+  u64 gate_count = 0;
+
+  [[nodiscard]] bool valid() const {
+    return static_cast<bool>(fn) && static_cast<bool>(hw_cycles) &&
+           static_cast<bool>(sw_instructions) && !name.empty();
+  }
+};
+
+}  // namespace adriatic::accel

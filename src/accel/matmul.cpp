@@ -1,0 +1,41 @@
+#include "accel/matmul.hpp"
+
+#include <stdexcept>
+
+namespace adriatic::accel {
+
+std::vector<i32> matmul(std::span<const i32> a, std::span<const i32> b,
+                        usize n) {
+  if (a.size() < n * n || b.size() < n * n)
+    throw std::invalid_argument("matmul: operand too small");
+  std::vector<i32> c(n * n, 0);
+  for (usize i = 0; i < n; ++i)
+    for (usize k = 0; k < n; ++k) {
+      const i64 aik = a[i * n + k];
+      for (usize j = 0; j < n; ++j)
+        c[i * n + j] = static_cast<i32>(c[i * n + j] +
+                                        aik * static_cast<i64>(b[k * n + j]));
+    }
+  return c;
+}
+
+KernelSpec make_matmul_spec(usize n) {
+  if (n == 0) throw std::invalid_argument("make_matmul_spec: n == 0");
+  KernelSpec spec;
+  spec.name = "matmul" + std::to_string(n);
+  spec.fn = [n](std::span<const bus::word> in) {
+    std::vector<i32> a(n * n, 0), b(n * n, 0);
+    for (usize i = 0; i < n * n && i < in.size(); ++i) a[i] = in[i];
+    for (usize i = 0; i < n * n && n * n + i < in.size(); ++i)
+      b[i] = in[n * n + i];
+    return matmul(a, b, n);
+  };
+  const u64 nn = n;
+  // Systolic row: n MACs working in parallel => n^2 cycles per product.
+  spec.hw_cycles = [nn](usize /*len*/) { return nn * nn + 2 * nn; };
+  spec.sw_instructions = [nn](usize /*len*/) { return nn * nn * nn * 3 + 32; };
+  spec.gate_count = 1'200 * n + 4'000;  // MAC row + buffers
+  return spec;
+}
+
+}  // namespace adriatic::accel

@@ -1,0 +1,19 @@
+// Dense integer matrix multiply — the canonical data-parallel kernel for the
+// MorphoSys-style coarse-grained array comparison.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "accel/kernel_spec.hpp"
+
+namespace adriatic::accel {
+
+/// C = A * B for row-major n x n matrices.
+[[nodiscard]] std::vector<i32> matmul(std::span<const i32> a,
+                                      std::span<const i32> b, usize n);
+
+/// Kernel spec: input is 2*n*n words (A then B), output n*n words.
+[[nodiscard]] KernelSpec make_matmul_spec(usize n);
+
+}  // namespace adriatic::accel

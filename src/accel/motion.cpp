@@ -1,0 +1,66 @@
+#include "accel/motion.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "util/types.hpp"
+
+namespace adriatic::accel {
+
+MotionVector full_search(std::span<const i32> block,
+                         std::span<const i32> reference, int range) {
+  if (range < 0) throw std::invalid_argument("full_search: negative range");
+  const usize win = 8 + 2 * static_cast<usize>(range);
+  if (block.size() < 64 || reference.size() < win * win)
+    throw std::invalid_argument("full_search: operand too small");
+
+  MotionVector best;
+  best.sad = std::numeric_limits<u32>::max();
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      u32 sad = 0;
+      const usize oy = static_cast<usize>(dy + range);
+      const usize ox = static_cast<usize>(dx + range);
+      for (usize r = 0; r < 8; ++r)
+        for (usize c = 0; c < 8; ++c)
+          sad += static_cast<u32>(
+              std::abs(block[r * 8 + c] -
+                       reference[(oy + r) * win + (ox + c)]));
+      if (sad < best.sad) {
+        best.sad = sad;
+        best.dx = dx;
+        best.dy = dy;
+      }
+    }
+  }
+  return best;
+}
+
+KernelSpec make_motion_spec(int range) {
+  if (range < 1) throw std::invalid_argument("make_motion_spec: range < 1");
+  KernelSpec spec;
+  spec.name = "me_fs_r" + std::to_string(range);
+  const usize win = 8 + 2 * static_cast<usize>(range);
+  spec.fn = [range, win](std::span<const bus::word> in) {
+    std::vector<i32> block(64, 0);
+    std::vector<i32> ref(win * win, 0);
+    for (usize i = 0; i < 64 && i < in.size(); ++i) block[i] = in[i];
+    for (usize i = 0; i < ref.size() && 64 + i < in.size(); ++i)
+      ref[i] = in[64 + i];
+    const auto mv = full_search(block, ref, range);
+    return std::vector<i32>{mv.dx, mv.dy, static_cast<i32>(mv.sad)};
+  };
+  const u64 positions = (2ULL * static_cast<u64>(range) + 1) *
+                        (2ULL * static_cast<u64>(range) + 1);
+  // A 64-PE SAD array evaluates one candidate position per cycle.
+  spec.hw_cycles = [positions](usize /*len*/) { return positions + 12; };
+  // SW: 64 abs-diffs x ~4 instructions per candidate.
+  spec.sw_instructions = [positions](usize /*len*/) {
+    return positions * 64 * 4 + 128;
+  };
+  spec.gate_count = 38'000;  // 64 PE SAD tree + window buffer + control
+  return spec;
+}
+
+}  // namespace adriatic::accel

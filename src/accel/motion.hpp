@@ -1,0 +1,29 @@
+// Full-search block motion estimation over an 8x8 block and a configurable
+// search window — the dominant kernel of a video encoder front-end and the
+// heaviest of the DRCF video contexts.
+#pragma once
+
+#include <span>
+
+#include "accel/kernel_spec.hpp"
+
+namespace adriatic::accel {
+
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  u32 sad = 0;
+};
+
+/// Exhaustive search of the 8x8 `block` inside `reference` (a
+/// (8+2*range) x (8+2*range) window, row-major); returns the displacement
+/// with minimum sum-of-absolute-differences (ties: first in raster order).
+[[nodiscard]] MotionVector full_search(std::span<const i32> block,
+                                       std::span<const i32> reference,
+                                       int range);
+
+/// Kernel spec: input = 64 block words + window words (derived from range);
+/// output = [dx, dy, sad].
+[[nodiscard]] KernelSpec make_motion_spec(int range);
+
+}  // namespace adriatic::accel

@@ -1,0 +1,133 @@
+#include "accel/viterbi.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "util/types.hpp"
+
+namespace adriatic::accel {
+namespace {
+
+constexpr unsigned kK = 7;                   // constraint length
+constexpr unsigned kStates = 1u << (kK - 1); // 64
+// 133 octal = 0b1011011, 171 octal = 0b1111001, in the bit order
+// (input bit at MSB of the 7-bit shift register).
+constexpr u32 kGen0 = 0x5B;  // 133 octal
+constexpr u32 kGen1 = 0x79;  // 171 octal
+
+[[nodiscard]] u8 parity(u32 v) { return static_cast<u8>(__builtin_popcount(v) & 1); }
+
+/// Output pair for (current 6-bit state, input bit).
+[[nodiscard]] std::array<u8, 2> encode_step(u32 state, u8 bit) {
+  const u32 reg = (static_cast<u32>(bit) << 6) | state;  // newest bit at MSB
+  return {parity(reg & kGen0), parity(reg & kGen1)};
+}
+
+}  // namespace
+
+std::vector<u8> conv_encode(std::span<const u8> bits) {
+  std::vector<u8> out;
+  out.reserve(2 * (bits.size() + kK - 1));
+  u32 state = 0;
+  auto push = [&](u8 bit) {
+    const auto pair = encode_step(state, bit);
+    out.push_back(pair[0]);
+    out.push_back(pair[1]);
+    state = ((static_cast<u32>(bit) << 6) | state) >> 1;
+  };
+  for (const u8 b : bits) push(b & 1);
+  for (unsigned i = 0; i < kK - 1; ++i) push(0);  // flush
+  return out;
+}
+
+std::vector<u8> viterbi_decode(std::span<const u8> coded) {
+  const usize nsteps = coded.size() / 2;
+  if (nsteps == 0) return {};
+  constexpr u32 kInf = std::numeric_limits<u32>::max() / 2;
+
+  std::vector<u32> metric(kStates, kInf);
+  metric[0] = 0;  // encoder starts in state 0
+  std::vector<std::vector<u8>> decisions(nsteps, std::vector<u8>(kStates, 0));
+
+  for (usize t = 0; t < nsteps; ++t) {
+    const u8 r0 = coded[2 * t] & 1;
+    const u8 r1 = coded[2 * t + 1] & 1;
+    std::vector<u32> next(kStates, kInf);
+    for (u32 s = 0; s < kStates; ++s) {
+      if (metric[s] >= kInf) continue;
+      for (u8 bit = 0; bit < 2; ++bit) {
+        const auto exp = encode_step(s, bit);
+        const u32 ns = ((static_cast<u32>(bit) << 6) | s) >> 1;
+        const u32 bm = static_cast<u32>((exp[0] != r0) + (exp[1] != r1));
+        const u32 cand = metric[s] + bm;
+        if (cand < next[ns]) {
+          next[ns] = cand;
+          // Record the predecessor's low bit to rebuild the path: store the
+          // input bit and the predecessor state parity bit.
+          decisions[t][ns] = static_cast<u8>((s & 1) | (bit << 1));
+        }
+      }
+    }
+    metric = std::move(next);
+  }
+
+  // Traceback from state 0 (the flush drives the encoder back to 0).
+  u32 state = 0;
+  std::vector<u8> rev;
+  rev.reserve(nsteps);
+  for (usize t = nsteps; t-- > 0;) {
+    const u8 d = decisions[t][state];
+    const u8 bit = (d >> 1) & 1;
+    rev.push_back(bit);
+    // Predecessor: state' such that ((bit<<6)|s')>>1 == state.
+    state = ((state << 1) | (d & 1)) & (kStates - 1);
+  }
+  std::reverse(rev.begin(), rev.end());
+  // Drop the K-1 flush bits.
+  if (rev.size() >= kK - 1) rev.resize(rev.size() - (kK - 1));
+  return rev;
+}
+
+std::vector<i32> pack_bits(std::span<const u8> bits) {
+  std::vector<i32> words(ceil_div<usize>(bits.size(), 32), 0);
+  for (usize i = 0; i < bits.size(); ++i)
+    if (bits[i] & 1)
+      words[i / 32] |= static_cast<i32>(1u << (i % 32));
+  return words;
+}
+
+std::vector<u8> unpack_bits(std::span<const i32> words, usize nbits) {
+  std::vector<u8> bits(nbits, 0);
+  for (usize i = 0; i < nbits && i / 32 < words.size(); ++i)
+    bits[i] = static_cast<u8>((static_cast<u32>(words[i / 32]) >> (i % 32)) & 1);
+  return bits;
+}
+
+KernelSpec make_viterbi_spec() {
+  KernelSpec spec;
+  spec.name = "viterbi_k7";
+  spec.fn = [](std::span<const bus::word> in) {
+    // All input words are coded bits; the bit count is 32*words (the caller
+    // pads with zero bits, which decode as trailing zeros and are dropped by
+    // framing above this layer).
+    const auto coded = unpack_bits(in, in.size() * 32);
+    const auto bits = viterbi_decode(coded);
+    return pack_bits(bits);
+  };
+  // Dedicated ACS array updates all 64 states per cycle: 1 cycle per coded
+  // pair (= per 2 input bits), plus traceback at ~1 cycle per step.
+  spec.hw_cycles = [](usize len) {
+    const u64 steps = static_cast<u64>(len) * 32 / 2;
+    return steps * 2 + 70;
+  };
+  // SW: 64 states x 2 branches x ~6 instructions per trellis step.
+  spec.sw_instructions = [](usize len) {
+    const u64 steps = static_cast<u64>(len) * 32 / 2;
+    return steps * 64 * 2 * 6 + steps * 4;
+  };
+  spec.gate_count = 45'000;  // 64 ACS units + path memory control
+  return spec;
+}
+
+}  // namespace adriatic::accel

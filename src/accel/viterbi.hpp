@@ -1,0 +1,30 @@
+// Rate-1/2, constraint-length-7 convolutional code (the 802.11a/g code,
+// generators 133/171 octal): encoder and hard-decision Viterbi decoder.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "accel/kernel_spec.hpp"
+
+namespace adriatic::accel {
+
+/// Encodes bits (0/1 per entry) -> 2 coded bits per input bit. The encoder
+/// is flushed with K-1 = 6 tail zeros, so output size is 2*(n+6).
+[[nodiscard]] std::vector<u8> conv_encode(std::span<const u8> bits);
+
+/// Hard-decision Viterbi decode of a coded stream produced by conv_encode
+/// (including the tail); returns the original bits.
+[[nodiscard]] std::vector<u8> viterbi_decode(std::span<const u8> coded);
+
+/// Word-oriented wrapper used as a DRCF context: each input word carries 32
+/// coded bits (LSB first); output words carry decoded bits packed the same
+/// way. `payload_bits` is fixed per invocation block.
+[[nodiscard]] KernelSpec make_viterbi_spec();
+
+/// Bit packing helpers shared with the WLAN example.
+[[nodiscard]] std::vector<i32> pack_bits(std::span<const u8> bits);
+[[nodiscard]] std::vector<u8> unpack_bits(std::span<const i32> words,
+                                          usize nbits);
+
+}  // namespace adriatic::accel

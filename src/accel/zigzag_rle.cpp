@@ -1,0 +1,106 @@
+#include "accel/zigzag_rle.hpp"
+
+#include "util/types.hpp"
+
+namespace adriatic::accel {
+
+const std::array<u8, 64>& zigzag_order() {
+  static const std::array<u8, 64> order = [] {
+    // Generate the canonical diagonal scan.
+    std::array<u8, 64> o{};
+    usize idx = 0;
+    for (int s = 0; s < 15; ++s) {
+      if (s % 2 == 0) {
+        // Up-right diagonals run bottom-left to top-right.
+        for (int r = std::min(s, 7); r >= 0 && s - r <= 7; --r)
+          o[idx++] = static_cast<u8>(r * 8 + (s - r));
+      } else {
+        for (int c = std::min(s, 7); c >= 0 && s - c <= 7; --c)
+          o[idx++] = static_cast<u8>((s - c) * 8 + c);
+      }
+    }
+    return o;
+  }();
+  return order;
+}
+
+std::array<i32, 64> zigzag_scan(std::span<const i32> block) {
+  const auto& order = zigzag_order();
+  std::array<i32, 64> out{};
+  for (usize i = 0; i < 64; ++i)
+    out[i] = order[i] < block.size() ? block[order[i]] : 0;
+  return out;
+}
+
+std::array<i32, 64> zigzag_unscan(std::span<const i32> scanned) {
+  const auto& order = zigzag_order();
+  std::array<i32, 64> out{};
+  for (usize i = 0; i < 64 && i < scanned.size(); ++i)
+    out[order[i]] = scanned[i];
+  return out;
+}
+
+std::vector<i32> rle_encode(std::span<const i32> scanned) {
+  std::vector<i32> symbols;
+  u32 run = 0;
+  usize last_nonzero = 0;
+  bool any = false;
+  for (usize i = 0; i < scanned.size(); ++i)
+    if (scanned[i] != 0) {
+      last_nonzero = i;
+      any = true;
+    }
+  if (!any) {
+    symbols.push_back(0);  // immediate end-of-block
+    return symbols;
+  }
+  for (usize i = 0; i <= last_nonzero; ++i) {
+    if (scanned[i] == 0) {
+      ++run;
+      continue;
+    }
+    symbols.push_back(static_cast<i32>((run << 16) |
+                                       (static_cast<u32>(scanned[i]) &
+                                        0xFFFFu)));
+    run = 0;
+  }
+  if (last_nonzero + 1 < scanned.size()) symbols.push_back(0);  // EOB
+  return symbols;
+}
+
+std::array<i32, 64> rle_decode(std::span<const i32> symbols) {
+  std::array<i32, 64> out{};
+  usize pos = 0;
+  for (const i32 sym : symbols) {
+    if (sym == 0) break;  // end of block
+    const u32 run = static_cast<u32>(sym) >> 16;
+    const i32 value = static_cast<i16>(static_cast<u32>(sym) & 0xFFFFu);
+    pos += run;
+    if (pos >= 64) break;
+    out[pos++] = value;
+  }
+  return out;
+}
+
+KernelSpec make_rle_spec() {
+  KernelSpec spec;
+  spec.name = "zigzag_rle";
+  spec.fn = [](std::span<const bus::word> in) {
+    std::vector<i32> out;
+    for (usize base = 0; base < in.size(); base += 64) {
+      const usize n = std::min<usize>(64, in.size() - base);
+      const auto scanned = zigzag_scan(in.subspan(base, n));
+      const auto symbols = rle_encode(scanned);
+      out.push_back(static_cast<i32>(symbols.size()));
+      out.insert(out.end(), symbols.begin(), symbols.end());
+    }
+    return out;
+  };
+  // Scan + RLE pipeline: one coefficient per cycle.
+  spec.hw_cycles = [](usize len) { return static_cast<u64>(len) + 6; };
+  spec.sw_instructions = [](usize len) { return static_cast<u64>(len) * 7; };
+  spec.gate_count = 5'500;
+  return spec;
+}
+
+}  // namespace adriatic::accel

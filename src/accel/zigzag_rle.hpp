@@ -1,0 +1,34 @@
+// Zigzag scan + zero run-length encoding of quantised 8x8 coefficient
+// blocks — the entropy-coding front half of the video encoder chain
+// (the symbol stream a Huffman/arithmetic stage would consume).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "accel/kernel_spec.hpp"
+
+namespace adriatic::accel {
+
+/// The JPEG zigzag order (index i of the scan -> position in the 8x8 block).
+[[nodiscard]] const std::array<u8, 64>& zigzag_order();
+
+/// Scans a 64-coefficient block in zigzag order.
+[[nodiscard]] std::array<i32, 64> zigzag_scan(std::span<const i32> block);
+
+/// RLE symbols: (run of zeros, value) pairs; (0,0) terminates a block early
+/// (end-of-block). Encoded into words as (run << 16) | (value & 0xFFFF).
+[[nodiscard]] std::vector<i32> rle_encode(std::span<const i32> scanned);
+
+/// Inverse: expands RLE words back to the 64-coefficient zigzag sequence.
+[[nodiscard]] std::array<i32, 64> rle_decode(std::span<const i32> symbols);
+
+/// Undo the zigzag scan.
+[[nodiscard]] std::array<i32, 64> zigzag_unscan(std::span<const i32> scanned);
+
+/// Kernel spec: consumes whole 64-word quantised blocks, emits the
+/// variable-length RLE stream prefixed per block with its symbol count.
+[[nodiscard]] KernelSpec make_rle_spec();
+
+}  // namespace adriatic::accel

@@ -1,0 +1,69 @@
+#include "bus/arbiter.hpp"
+
+#include "kernel/simulation.hpp"
+
+namespace adriatic::bus {
+
+Arbiter::Arbiter(kern::Object& owner, ArbPolicy policy)
+    : owner_(&owner), policy_(policy) {}
+
+kern::Time Arbiter::acquire(u32 priority) {
+  auto& sim = owner_->sim();
+  if (!busy_ && waiters_.empty()) {
+    busy_ = true;
+    ++grants_;
+    return kern::Time::zero();
+  }
+  const kern::Time start = sim.now();
+  auto req = std::make_unique<Request>();
+  req->priority = priority;
+  req->seq = seq_++;
+  req->grant = std::make_unique<kern::Event>(sim);
+  kern::Event& grant = *req->grant;
+  waiters_.push_back(std::move(req));
+  kern::wait(grant);  // release() notifies and removes the entry
+  const kern::Time waited = sim.now() - start;
+  total_wait_ += waited;
+  ++grants_;
+  ++contended_;
+  return waited;
+}
+
+void Arbiter::release() {
+  if (waiters_.empty()) {
+    busy_ = false;
+    return;
+  }
+  const usize next = pick_next();
+  // Resource stays busy; hand it to the winner in this same instant.
+  waiters_[next]->grant->notify();
+  waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(next));
+  ++rr_counter_;
+}
+
+usize Arbiter::pick_next() const {
+  switch (policy_) {
+    case ArbPolicy::kPriority: {
+      usize best = 0;
+      for (usize i = 1; i < waiters_.size(); ++i) {
+        const auto& a = *waiters_[i];
+        const auto& b = *waiters_[best];
+        if (a.priority > b.priority ||
+            (a.priority == b.priority && a.seq < b.seq))
+          best = i;
+      }
+      return best;
+    }
+    case ArbPolicy::kRoundRobin:
+      return static_cast<usize>(rr_counter_ % waiters_.size());
+    case ArbPolicy::kFifo:
+    default: {
+      usize best = 0;
+      for (usize i = 1; i < waiters_.size(); ++i)
+        if (waiters_[i]->seq < waiters_[best]->seq) best = i;
+      return best;
+    }
+  }
+}
+
+}  // namespace adriatic::bus

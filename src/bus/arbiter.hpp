@@ -1,0 +1,55 @@
+// Bus arbitration: serializes thread-process masters onto a shared resource
+// under a pluggable policy, and accounts contention time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernel/event.hpp"
+#include "kernel/object.hpp"
+#include "kernel/time.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::bus {
+
+enum class ArbPolicy : u8 {
+  kPriority,    ///< Highest numeric priority wins; FIFO among equals.
+  kRoundRobin,  ///< Rotate grants across requesters (by arrival order ring).
+  kFifo,        ///< Strict arrival order.
+};
+
+class Arbiter {
+ public:
+  Arbiter(kern::Object& owner, ArbPolicy policy);
+
+  /// Blocks the calling thread until the resource is granted.
+  /// Returns the simulated time spent waiting.
+  kern::Time acquire(u32 priority);
+  void release();
+
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] u64 grants() const noexcept { return grants_; }
+  [[nodiscard]] u64 contended_grants() const noexcept { return contended_; }
+  [[nodiscard]] kern::Time total_wait() const noexcept { return total_wait_; }
+
+ private:
+  struct Request {
+    u32 priority;
+    u64 seq;
+    std::unique_ptr<kern::Event> grant;
+  };
+
+  usize pick_next() const;
+
+  kern::Object* owner_;
+  ArbPolicy policy_;
+  bool busy_ = false;
+  u64 seq_ = 0;
+  u64 grants_ = 0;
+  u64 contended_ = 0;
+  u64 rr_counter_ = 0;
+  kern::Time total_wait_;
+  std::vector<std::unique_ptr<Request>> waiters_;
+};
+
+}  // namespace adriatic::bus

@@ -1,0 +1,54 @@
+// Bus-to-bus bridge: appears as a slave window on the upstream bus and
+// forwards decoded accesses as a master on the downstream bus. Lets designs
+// model hierarchical interconnects (e.g. a slow peripheral bus behind the
+// system bus).
+#pragma once
+
+#include <string>
+
+#include "bus/interfaces.hpp"
+#include "kernel/module.hpp"
+#include "kernel/port.hpp"
+
+namespace adriatic::bus {
+
+class Bridge : public kern::Module, public BusSlaveIf {
+ public:
+  /// Forwards upstream accesses in [low, high] to the downstream bus,
+  /// shifted by `offset` (downstream address = upstream address + offset).
+  Bridge(kern::Object& parent, std::string name, addr_t low, addr_t high,
+         i64 offset = 0)
+      : Module(parent, std::move(name)),
+        mst_port(*this, "mst_port"),
+        low_(low),
+        high_(high),
+        offset_(offset) {}
+
+  kern::Port<BusMasterIf> mst_port;
+
+  [[nodiscard]] addr_t get_low_add() const override { return low_; }
+  [[nodiscard]] addr_t get_high_add() const override { return high_; }
+
+  bool read(addr_t add, word* data) override {
+    ++forwarded_;
+    return mst_port->read(translate(add), data, 0) == BusStatus::kOk;
+  }
+  bool write(addr_t add, word* data) override {
+    ++forwarded_;
+    return mst_port->write(translate(add), data, 0) == BusStatus::kOk;
+  }
+
+  [[nodiscard]] u64 forwarded() const noexcept { return forwarded_; }
+
+ private:
+  [[nodiscard]] addr_t translate(addr_t add) const {
+    return static_cast<addr_t>(static_cast<i64>(add) + offset_);
+  }
+
+  addr_t low_;
+  addr_t high_;
+  i64 offset_;
+  u64 forwarded_ = 0;
+};
+
+}  // namespace adriatic::bus

@@ -1,0 +1,145 @@
+#include "bus/bus.hpp"
+
+#include <stdexcept>
+
+#include "kernel/simulation.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::bus {
+
+Bus::Bus(kern::Object& parent, std::string name, BusConfig cfg)
+    : Module(parent, std::move(name)),
+      cfg_(cfg),
+      arbiter_(*this, cfg.arbitration) {
+  sim().at_elaboration([this] { check_address_map(); });
+}
+
+Bus::Bus(kern::Simulation& sim_, std::string name, BusConfig cfg)
+    : Module(sim_, std::move(name)),
+      cfg_(cfg),
+      arbiter_(*this, cfg.arbitration) {
+  sim().at_elaboration([this] { check_address_map(); });
+}
+
+void Bus::bind_slave(BusSlaveIf& slave) { slaves_.push_back(&slave); }
+
+void Bus::check_address_map() const {
+  for (usize i = 0; i < slaves_.size(); ++i) {
+    const addr_t lo_i = slaves_[i]->get_low_add();
+    const addr_t hi_i = slaves_[i]->get_high_add();
+    if (lo_i > hi_i)
+      throw std::logic_error(name() + ": slave with inverted address range");
+    for (usize j = i + 1; j < slaves_.size(); ++j) {
+      const addr_t lo_j = slaves_[j]->get_low_add();
+      const addr_t hi_j = slaves_[j]->get_high_add();
+      if (lo_i <= hi_j && lo_j <= hi_i)
+        throw std::logic_error(name() + ": overlapping slave address ranges");
+    }
+  }
+}
+
+BusSlaveIf* Bus::decode(addr_t add) const {
+  for (BusSlaveIf* s : slaves_)
+    if (add >= s->get_low_add() && add <= s->get_high_add()) return s;
+  return nullptr;
+}
+
+BusStatus Bus::transfer(addr_t add, word* data, usize len, bool is_read,
+                        u32 priority, std::span<const word> wdata) {
+  BusSlaveIf* slave = decode(add);
+  if (slave == nullptr || add + len - 1 > slave->get_high_add()) {
+    ++stats_.unmapped;
+    return BusStatus::kUnmapped;
+  }
+
+  const u32 beats_per_word = ceil_div<u32>(32, cfg_.data_width_bits);
+  const kern::Time occupancy =
+      cfg_.cycle_time *
+      (cfg_.address_cycles +
+       static_cast<u64>(len) * beats_per_word * cfg_.data_cycles);
+
+  stats_.wait_time += arbiter_.acquire(priority);
+  kern::wait(occupancy);
+  stats_.busy_time += occupancy;
+  stats_.beats += len * beats_per_word;
+  if (is_read)
+    ++stats_.reads;
+  else
+    ++stats_.writes;
+  if (len > 1) ++stats_.bursts;
+
+  bool ok = true;
+  if (cfg_.split_transactions) {
+    // Split: the bus is free again while the slave services the request.
+    arbiter_.release();
+    for (usize i = 0; i < len && ok; ++i) {
+      if (is_read) {
+        ok = slave->read(add + static_cast<addr_t>(i), data + i);
+      } else {
+        word w = wdata[i];
+        ok = slave->write(add + static_cast<addr_t>(i), &w);
+      }
+    }
+  } else {
+    // Blocking: the bus is held for the entire slave call — if the slave
+    // suspends (DRCF context switch), every other master is locked out.
+    for (usize i = 0; i < len && ok; ++i) {
+      if (is_read) {
+        ok = slave->read(add + static_cast<addr_t>(i), data + i);
+      } else {
+        word w = wdata[i];
+        ok = slave->write(add + static_cast<addr_t>(i), &w);
+      }
+    }
+    arbiter_.release();
+  }
+
+  if (!ok) {
+    ++stats_.slave_errors;
+    return BusStatus::kSlaveError;
+  }
+  return BusStatus::kOk;
+}
+
+BusStatus Bus::read(addr_t add, word* data, u32 priority) {
+  return transfer(add, data, 1, true, priority, {});
+}
+
+BusStatus Bus::write(addr_t add, word* data, u32 priority) {
+  return transfer(add, nullptr, 1, false, priority, std::span<const word>(data, 1));
+}
+
+BusStatus Bus::burst_read(addr_t add, std::span<word> data, u32 priority) {
+  usize done = 0;
+  while (done < data.size()) {
+    const usize chunk = std::min<usize>(cfg_.max_burst, data.size() - done);
+    const BusStatus st = transfer(add + static_cast<addr_t>(done),
+                                  data.data() + done, chunk, true, priority, {});
+    if (st != BusStatus::kOk) return st;
+    done += chunk;
+  }
+  return BusStatus::kOk;
+}
+
+BusStatus Bus::burst_write(addr_t add, std::span<const word> data,
+                           u32 priority) {
+  usize done = 0;
+  while (done < data.size()) {
+    const usize chunk = std::min<usize>(cfg_.max_burst, data.size() - done);
+    const BusStatus st =
+        transfer(add + static_cast<addr_t>(done), nullptr, chunk, false,
+                 priority, data.subspan(done, chunk));
+    if (st != BusStatus::kOk) return st;
+    done += chunk;
+  }
+  return BusStatus::kOk;
+}
+
+double Bus::utilization() const {
+  const auto elapsed = sim().now().picoseconds();
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(stats_.busy_time.picoseconds()) /
+         static_cast<double>(elapsed);
+}
+
+}  // namespace adriatic::bus

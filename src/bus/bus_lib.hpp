@@ -1,0 +1,8 @@
+// Umbrella header for the bus substrate.
+#pragma once
+
+#include "bus/arbiter.hpp"
+#include "bus/bridge.hpp"
+#include "bus/bus.hpp"
+#include "bus/direct_link.hpp"
+#include "bus/interfaces.hpp"

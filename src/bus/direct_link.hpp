@@ -1,0 +1,66 @@
+// Zero-contention point-to-point connection implementing BusMasterIf.
+// Models a dedicated port (e.g. a private configuration-memory bus for the
+// DRCF — the memory-organisation alternative of paper Sec. 5.3/5.4 that
+// avoids the shared-bus deadlock).
+#pragma once
+
+#include <string>
+
+#include "bus/interfaces.hpp"
+#include "kernel/module.hpp"
+#include "kernel/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace adriatic::bus {
+
+class DirectLink : public kern::Module, public BusMasterIf {
+ public:
+  DirectLink(kern::Object& parent, std::string name,
+             kern::Time word_time = kern::Time::ns(10))
+      : Module(parent, std::move(name)), word_time_(word_time) {}
+
+  void bind_slave(BusSlaveIf& slave) { slave_ = &slave; }
+
+  BusStatus read(addr_t add, word* data, u32 /*priority*/) override {
+    return one(add, data, true);
+  }
+  BusStatus write(addr_t add, word* data, u32 /*priority*/) override {
+    return one(add, data, false);
+  }
+  BusStatus burst_read(addr_t add, std::span<word> data,
+                       u32 /*priority*/) override {
+    for (usize i = 0; i < data.size(); ++i) {
+      const BusStatus st = one(add + static_cast<addr_t>(i), &data[i], true);
+      if (st != BusStatus::kOk) return st;
+    }
+    return BusStatus::kOk;
+  }
+  BusStatus burst_write(addr_t add, std::span<const word> data,
+                        u32 /*priority*/) override {
+    for (usize i = 0; i < data.size(); ++i) {
+      word w = data[i];
+      const BusStatus st = one(add + static_cast<addr_t>(i), &w, false);
+      if (st != BusStatus::kOk) return st;
+    }
+    return BusStatus::kOk;
+  }
+
+  [[nodiscard]] u64 transfers() const noexcept { return transfers_; }
+
+ private:
+  BusStatus one(addr_t add, word* data, bool is_read) {
+    if (slave_ == nullptr || add < slave_->get_low_add() ||
+        add > slave_->get_high_add())
+      return BusStatus::kUnmapped;
+    if (!word_time_.is_zero()) kern::wait(word_time_);
+    ++transfers_;
+    const bool ok = is_read ? slave_->read(add, data) : slave_->write(add, data);
+    return ok ? BusStatus::kOk : BusStatus::kSlaveError;
+  }
+
+  kern::Time word_time_;
+  BusSlaveIf* slave_ = nullptr;
+  u64 transfers_ = 0;
+};
+
+}  // namespace adriatic::bus

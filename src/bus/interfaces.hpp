@@ -1,0 +1,52 @@
+// Bus interfaces. BusSlaveIf reproduces the paper's `bus_slv_if` verbatim
+// (Sec. 5.2): address-range discovery via get_low_add()/get_high_add() is
+// what lets the DRCF transformation build its routing multiplexer — the
+// paper's Sec. 5.4 limitation 2 makes this pair mandatory.
+#pragma once
+
+#include <span>
+
+#include "kernel/channel.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::bus {
+
+/// Word type carried by the bus (the paper's sc_int<DATAW> with DATAW=32).
+using word = i32;
+/// Address type (the paper's sc_uint<ADDW>).
+using addr_t = u32;
+
+class BusSlaveIf : public virtual kern::Interface {
+ public:
+  [[nodiscard]] virtual addr_t get_low_add() const = 0;
+  [[nodiscard]] virtual addr_t get_high_add() const = 0;
+  /// Word read/write; returns false on error. May block (split transaction)
+  /// when called from a thread process.
+  virtual bool read(addr_t add, word* data) = 0;
+  virtual bool write(addr_t add, word* data) = 0;
+};
+
+enum class BusStatus : u8 {
+  kOk,
+  kUnmapped,    ///< No slave decodes the address.
+  kSlaveError,  ///< Slave returned false.
+};
+
+/// Master-side interface: what a module's `mst_port` sees. Implemented by
+/// arbitrated buses and by zero-contention direct links.
+class BusMasterIf : public virtual kern::Interface {
+ public:
+  virtual BusStatus read(addr_t add, word* data, u32 priority) = 0;
+  virtual BusStatus write(addr_t add, word* data, u32 priority) = 0;
+  /// Burst transfers move len consecutive words; the bus is arbitrated once.
+  virtual BusStatus burst_read(addr_t add, std::span<word> data,
+                               u32 priority) = 0;
+  virtual BusStatus burst_write(addr_t add, std::span<const word> data,
+                                u32 priority) = 0;
+
+  // Convenience overloads with default priority.
+  BusStatus read(addr_t add, word* data) { return read(add, data, 0); }
+  BusStatus write(addr_t add, word* data) { return write(add, data, 0); }
+};
+
+}  // namespace adriatic::bus

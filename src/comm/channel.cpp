@@ -1,0 +1,92 @@
+#include "comm/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adriatic::comm {
+
+std::vector<u8> BscChannel::transmit(std::span<const u8> bits) {
+  std::vector<u8> out(bits.begin(), bits.end());
+  for (auto& b : out) {
+    if (rng_.next_bool(p_)) {
+      b ^= 1;
+      ++errors_;
+    }
+  }
+  return out;
+}
+
+std::vector<u8> GilbertElliottChannel::transmit(std::span<const u8> bits) {
+  std::vector<u8> out(bits.begin(), bits.end());
+  for (auto& b : out) {
+    // State transition first, then the state's error draw.
+    if (bad_) {
+      if (rng_.next_bool(params_.p_bad_to_good)) bad_ = false;
+    } else {
+      if (rng_.next_bool(params_.p_good_to_bad)) bad_ = true;
+    }
+    const double p = bad_ ? params_.error_rate_bad : params_.error_rate_good;
+    if (rng_.next_bool(p)) {
+      b ^= 1;
+      ++errors_;
+    }
+  }
+  return out;
+}
+
+double GilbertElliottChannel::average_error_rate() const {
+  // Stationary distribution of the two-state chain.
+  const double pi_bad = params_.p_good_to_bad /
+                        (params_.p_good_to_bad + params_.p_bad_to_good);
+  return pi_bad * params_.error_rate_bad +
+         (1.0 - pi_bad) * params_.error_rate_good;
+}
+
+std::vector<u8> interleave(std::span<const u8> bits, usize rows, usize cols) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("interleave: zero dimension");
+  const usize block = rows * cols;
+  const usize blocks = ceil_div<usize>(bits.size(), block);
+  std::vector<u8> out(blocks * block, 0);
+  for (usize blk = 0; blk < blocks; ++blk) {
+    for (usize r = 0; r < rows; ++r) {
+      for (usize c = 0; c < cols; ++c) {
+        const usize src = blk * block + r * cols + c;
+        const usize dst = blk * block + c * rows + r;
+        out[dst] = src < bits.size() ? bits[src] : 0;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<u8> deinterleave(std::span<const u8> bits, usize rows, usize cols,
+                             usize original_size) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("deinterleave: zero dimension");
+  const usize block = rows * cols;
+  const usize blocks = ceil_div<usize>(bits.size(), block);
+  std::vector<u8> out(blocks * block, 0);
+  for (usize blk = 0; blk < blocks; ++blk) {
+    for (usize r = 0; r < rows; ++r) {
+      for (usize c = 0; c < cols; ++c) {
+        const usize dst = blk * block + r * cols + c;
+        const usize src = blk * block + c * rows + r;
+        out[dst] = src < bits.size() ? bits[src] : 0;
+      }
+    }
+  }
+  out.resize(std::min(original_size, out.size()));
+  return out;
+}
+
+double bit_error_rate(std::span<const u8> sent, std::span<const u8> received) {
+  const usize n = std::min(sent.size(), received.size());
+  if (n == 0) return 0.0;
+  usize errors = 0;
+  for (usize i = 0; i < n; ++i)
+    if ((sent[i] & 1) != (received[i] & 1)) ++errors;
+  return static_cast<double>(errors) / static_cast<double>(n);
+}
+
+}  // namespace adriatic::comm

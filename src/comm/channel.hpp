@@ -1,0 +1,69 @@
+// Channel models for the WLAN-style link experiments: a memoryless binary
+// symmetric channel and a two-state Gilbert-Elliott burst channel, plus a
+// block interleaver that spreads burst errors across codewords.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::comm {
+
+/// Memoryless binary symmetric channel: each bit flips with probability p.
+class BscChannel {
+ public:
+  explicit BscChannel(double error_rate, u64 seed = 1)
+      : p_(error_rate), rng_(seed) {}
+
+  [[nodiscard]] std::vector<u8> transmit(std::span<const u8> bits);
+  [[nodiscard]] u64 errors_injected() const noexcept { return errors_; }
+
+ private:
+  double p_;
+  Xoshiro256 rng_;
+  u64 errors_ = 0;
+};
+
+/// Gilbert-Elliott burst channel: a two-state Markov chain alternating a
+/// good state (low error rate) and a bad state (high error rate). Burst
+/// length is geometric with mean 1/p_bad_to_good.
+struct GilbertElliottParams {
+  double p_good_to_bad = 0.01;
+  double p_bad_to_good = 0.2;   ///< Mean burst length = 5 bits.
+  double error_rate_good = 0.0005;
+  double error_rate_bad = 0.3;
+};
+
+class GilbertElliottChannel {
+ public:
+  explicit GilbertElliottChannel(GilbertElliottParams params, u64 seed = 1)
+      : params_(params), rng_(seed) {}
+
+  [[nodiscard]] std::vector<u8> transmit(std::span<const u8> bits);
+  [[nodiscard]] u64 errors_injected() const noexcept { return errors_; }
+  /// Long-run average error rate of the chain (for matching a BSC).
+  [[nodiscard]] double average_error_rate() const;
+
+ private:
+  GilbertElliottParams params_;
+  Xoshiro256 rng_;
+  bool bad_ = false;
+  u64 errors_ = 0;
+};
+
+/// Block interleaver: writes row-major into a rows x cols matrix, reads
+/// column-major. depth = rows; the input is zero-padded to a whole block.
+[[nodiscard]] std::vector<u8> interleave(std::span<const u8> bits, usize rows,
+                                         usize cols);
+/// Exact inverse over the padded block; returns `original_size` bits.
+[[nodiscard]] std::vector<u8> deinterleave(std::span<const u8> bits,
+                                           usize rows, usize cols,
+                                           usize original_size);
+
+/// Bit-error-rate of `received` vs `sent` (compares min length).
+[[nodiscard]] double bit_error_rate(std::span<const u8> sent,
+                                    std::span<const u8> received);
+
+}  // namespace adriatic::comm

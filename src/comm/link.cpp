@@ -1,0 +1,59 @@
+#include "comm/link.hpp"
+
+#include "accel/viterbi.hpp"
+#include "util/random.hpp"
+
+namespace adriatic::comm {
+
+template <typename Channel>
+LinkResult run_link(Channel& channel, const LinkConfig& cfg, usize frames,
+                    u64 seed) {
+  LinkResult result;
+  Xoshiro256 rng(seed);
+  for (usize f = 0; f < frames; ++f) {
+    std::vector<u8> payload(cfg.frame_bits);
+    for (auto& b : payload) b = static_cast<u8>(rng.next() & 1);
+
+    std::vector<u8> tx;
+    if (cfg.coded) {
+      tx = accel::conv_encode(payload);
+    } else {
+      tx.assign(payload.begin(), payload.end());
+    }
+    const usize coded_size = tx.size();
+    if (cfg.interleave)
+      tx = interleave(tx, cfg.interleave_rows, cfg.interleave_cols);
+
+    auto rx = channel.transmit(tx);
+
+    if (cfg.interleave)
+      rx = deinterleave(rx, cfg.interleave_rows, cfg.interleave_cols,
+                        coded_size);
+    std::vector<u8> decoded;
+    if (cfg.coded) {
+      decoded = accel::viterbi_decode(rx);
+      decoded.resize(payload.size(), 0);
+    } else {
+      decoded = std::move(rx);
+    }
+
+    usize frame_bit_errors = 0;
+    for (usize i = 0; i < payload.size(); ++i)
+      if ((payload[i] & 1) != (decoded[i] & 1)) ++frame_bit_errors;
+
+    ++result.frames;
+    result.payload_bits += payload.size();
+    result.bit_errors += frame_bit_errors;
+    if (frame_bit_errors > 0) ++result.frame_errors;
+  }
+  result.channel_errors = channel.errors_injected();
+  return result;
+}
+
+template LinkResult run_link<BscChannel>(BscChannel&, const LinkConfig&,
+                                         usize, u64);
+template LinkResult run_link<GilbertElliottChannel>(GilbertElliottChannel&,
+                                                    const LinkConfig&, usize,
+                                                    u64);
+
+}  // namespace adriatic::comm

@@ -1,0 +1,48 @@
+// End-to-end link simulation: convolutional coding (+ optional interleaving)
+// over a channel model, with BER measurement. This is the workload the
+// paper's WLAN context motivates, used by the Viterbi BER experiments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::comm {
+
+struct LinkConfig {
+  bool coded = true;          ///< K=7 rate-1/2 convolutional code.
+  bool interleave = false;    ///< Block interleaver over the coded bits.
+  usize interleave_rows = 16;
+  usize interleave_cols = 24;
+  usize frame_bits = 960;     ///< Payload bits per frame.
+};
+
+struct LinkResult {
+  u64 frames = 0;
+  u64 payload_bits = 0;
+  u64 bit_errors = 0;
+  u64 frame_errors = 0;   ///< Frames with at least one residual bit error.
+  u64 channel_errors = 0; ///< Raw errors the channel injected.
+  [[nodiscard]] double ber() const {
+    return payload_bits == 0
+               ? 0.0
+               : static_cast<double>(bit_errors) /
+                     static_cast<double>(payload_bits);
+  }
+  [[nodiscard]] double fer() const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(frame_errors) /
+                             static_cast<double>(frames);
+  }
+};
+
+/// Runs `frames` random frames through encode -> channel -> decode.
+/// `Channel` needs a `transmit(span<const u8>) -> vector<u8>` method and an
+/// `errors_injected()` accessor (BscChannel, GilbertElliottChannel).
+template <typename Channel>
+LinkResult run_link(Channel& channel, const LinkConfig& cfg, usize frames,
+                    u64 seed = 1);
+
+}  // namespace adriatic::comm

@@ -1,0 +1,303 @@
+#include "drcf/drcf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "kernel/simulation.hpp"
+#include "util/log.hpp"
+
+namespace adriatic::drcf {
+
+Drcf::Drcf(kern::Object& parent, std::string name, DrcfConfig cfg)
+    : Module(parent, std::move(name)),
+      clk(*this, "clk", /*min_bindings=*/0),
+      mst_port(*this, "mst_port"),
+      cfg_(cfg),
+      slot_table_(cfg.slots, cfg.replacement),
+      load_request_event_(sim(), this->name() + ".load_request"),
+      any_loaded_event_(sim(), this->name() + ".loaded"),
+      fabric_idle_event_(sim(), this->name() + ".fabric_idle"),
+      drain_event_(sim(), this->name() + ".drain") {
+  spawn_thread("arb_and_instr", [this] { arb_and_instr(); }).set_daemon();
+}
+
+usize Drcf::add_context(bus::BusSlaveIf& inner, ContextParams params) {
+  if (params.size_words == 0)
+    params.size_words = cfg_.technology.context_words(params.gates);
+  if (params.size_words == 0)
+    throw std::invalid_argument(
+        name() + ": context needs size_words or gates to derive it");
+  // Address ranges of contexts must not overlap — the multiplexer routes by
+  // address (the union interface the transformation builds).
+  for (const auto& c : contexts_) {
+    if (inner.get_low_add() <= c->inner->get_high_add() &&
+        c->inner->get_low_add() <= inner.get_high_add())
+      throw std::logic_error(name() + ": overlapping context address ranges");
+  }
+  auto ctx = std::make_unique<Context>();
+  ctx->inner = &inner;
+  ctx->params = params;
+  ctx->loaded_event = std::make_unique<kern::Event>(
+      sim(), name() + ".ctx" + std::to_string(contexts_.size()) + ".loaded");
+  contexts_.push_back(std::move(ctx));
+  return contexts_.size() - 1;
+}
+
+bus::addr_t Drcf::get_low_add() const {
+  bus::addr_t lo = std::numeric_limits<bus::addr_t>::max();
+  for (const auto& c : contexts_) lo = std::min(lo, c->inner->get_low_add());
+  return contexts_.empty() ? 0 : lo;
+}
+
+bus::addr_t Drcf::get_high_add() const {
+  bus::addr_t hi = 0;
+  for (const auto& c : contexts_) hi = std::max(hi, c->inner->get_high_add());
+  return hi;
+}
+
+std::optional<usize> Drcf::decode(bus::addr_t add) const {
+  for (usize i = 0; i < contexts_.size(); ++i) {
+    const auto* inner = contexts_[i]->inner;
+    if (add >= inner->get_low_add() && add <= inner->get_high_add()) return i;
+  }
+  return std::nullopt;
+}
+
+bool Drcf::read(bus::addr_t add, bus::word* data) {
+  return forward(add, data, true);
+}
+
+bool Drcf::write(bus::addr_t add, bus::word* data) {
+  return forward(add, data, false);
+}
+
+bool Drcf::forward(bus::addr_t add, bus::word* data, bool is_read) {
+  const auto target = decode(add);
+  if (!target.has_value()) return false;
+  Context& ctx = *contexts_[*target];
+
+  // Scheduler steps 2-4: forward to the active context, or suspend the call
+  // across a context switch.
+  bool counted_miss = false;
+  const kern::Time t0 = sim().now();
+  for (;;) {
+    const auto slot = slot_table_.lookup(*target);
+    if (slot.has_value()) {
+      if (cfg_.slots == 1 && reconfiguring_) {
+        // Single-context fabric is unusable while reconfiguring, even for
+        // the (about-to-be-replaced) resident context.
+        ++ctx.stats.blocked_accesses;
+        while (reconfiguring_) kern::wait(fabric_idle_event_);
+        continue;  // residency may have changed; re-route
+      }
+      if (counted_miss) {
+        ctx.stats.blocked_time += sim().now() - t0;
+      } else {
+        ++stats_.hits;
+      }
+      // Pin the context so arb_and_instr cannot reconfigure it away while
+      // the forwarded call is in flight.
+      slot_table_.touch(*slot);
+      ++ctx.pins;
+      ++ctx.stats.accesses;
+      const bool ok =
+          is_read ? ctx.inner->read(add, data) : ctx.inner->write(add, data);
+      --ctx.pins;
+      drain_event_.notify();
+      return ok;
+    }
+    if (!counted_miss) {
+      counted_miss = true;
+      ++stats_.misses;
+      ++ctx.stats.blocked_accesses;
+    }
+    ++ctx.waiters;
+    request_load(*target);
+    kern::wait(*ctx.loaded_event);
+    --ctx.waiters;
+    drain_event_.notify();
+    if (ctx.load_failed) return false;  // configuration fetch failed
+  }
+}
+
+void Drcf::request_load(usize ctx) {
+  if (contexts_.at(ctx)->load_pending) return;
+  if (slot_table_.lookup(ctx).has_value()) return;
+  contexts_[ctx]->load_pending = true;
+  contexts_[ctx]->load_failed = false;  // a fresh attempt
+  load_queue_.push_back(ctx);
+  load_request_event_.notify();
+}
+
+void Drcf::prefetch(usize ctx) {
+  if (ctx >= contexts_.size())
+    throw std::out_of_range(name() + ": prefetch of unknown context");
+  if (slot_table_.lookup(ctx).has_value()) return;
+  ++stats_.prefetches;
+  request_load(ctx);
+}
+
+void Drcf::close_residency(Context& c, kern::Time at) {
+  c.stats.active_time += at - c.residency_start;
+}
+
+void Drcf::arb_and_instr() {
+  std::vector<bus::word> fetch_buf;
+  for (;;) {
+    while (load_queue_.empty()) kern::wait(load_request_event_);
+    const usize target = load_queue_.front();
+    load_queue_.erase(load_queue_.begin());
+    Context& ctx = *contexts_[target];
+    if (slot_table_.lookup(target).has_value()) {
+      ctx.load_pending = false;
+      ctx.loaded_event->notify();
+      continue;
+    }
+
+    // Choose a slot; an evicted context must first drain — in-flight
+    // forwarded calls and already-woken waiters finish before the fabric
+    // under them is reprogrammed.
+    SlotTable::Victim victim{};
+    for (;;) {
+      victim = slot_table_.choose(target);
+      if (!victim.evicted.has_value()) break;
+      Context& old = *contexts_[*victim.evicted];
+      if (old.pins == 0 && old.waiters == 0) break;
+      kern::wait(drain_event_);
+      if (slot_table_.lookup(target).has_value()) break;  // loaded meanwhile
+    }
+    if (slot_table_.lookup(target).has_value()) {
+      ctx.load_pending = false;
+      ctx.loaded_event->notify();
+      continue;
+    }
+    const kern::Time t0 = sim().now();
+    reconfiguring_ = true;
+
+    if (victim.evicted.has_value()) {
+      Context& old = *contexts_[*victim.evicted];
+      close_residency(old, t0);
+      slot_table_.evict(victim.slot);
+    }
+
+    // Step 4: generate the configuration reads into the fabric. This is the
+    // real bus traffic the paper insists must be modeled. With
+    // model_config_traffic off, fall back to the analytical delay of the
+    // related-work approaches the paper criticises (Sec. 4, [8]).
+    bool fetch_ok = true;
+    u64 remaining = cfg_.model_config_traffic ? ctx.params.size_words : 0;
+    if (!cfg_.model_config_traffic && cfg_.assumed_fetch_words_per_us > 0.0) {
+      const double us = static_cast<double>(ctx.params.size_words) /
+                        cfg_.assumed_fetch_words_per_us;
+      kern::wait(kern::Time::ps(static_cast<u64>(us * 1e6)));
+    }
+    bus::addr_t a = ctx.params.config_address;
+    while (remaining > 0) {
+      const usize chunk =
+          static_cast<usize>(std::min<u64>(cfg_.fetch_burst, remaining));
+      fetch_buf.assign(chunk, 0);
+      const auto st = mst_port->burst_read(a, fetch_buf, cfg_.load_priority);
+      if (st != bus::BusStatus::kOk) {
+        log::error() << name() << ": context " << target
+                     << " configuration fetch failed (status "
+                     << static_cast<int>(st) << ")";
+        fetch_ok = false;
+        break;
+      }
+      a += static_cast<bus::addr_t>(chunk);
+      remaining -= chunk;
+      stats_.config_words_fetched += chunk;
+      ctx.stats.config_words_fetched += chunk;
+    }
+
+    if (!fetch_ok) {
+      // The fabric holds no valid configuration for this context; fail the
+      // suspended callers instead of installing garbage (or deadlocking).
+      ++stats_.fetch_errors;
+      ctx.load_pending = false;
+      ctx.load_failed = true;
+      reconfiguring_ = false;
+      ctx.loaded_event->notify();
+      fabric_idle_event_.notify();
+      continue;
+    }
+
+    // Technology and designer-specified extra latency.
+    const kern::Time extra =
+        ctx.params.extra_delay + cfg_.technology.per_switch_overhead;
+    if (!extra.is_zero()) kern::wait(extra);
+
+    const kern::Time load_time = sim().now() - t0;
+    ctx.stats.reconfig_time += load_time;
+    stats_.reconfig_busy_time += load_time;
+    stats_.reconfig_energy_j +=
+        cfg_.technology.reconfig_power_w * load_time.to_sec();
+    ++stats_.switches;
+
+    slot_table_.install(victim.slot, target);
+    ctx.residency_start = sim().now();
+    ++ctx.stats.activations;
+    ctx.load_pending = false;
+    reconfiguring_ = false;
+    if (active_ctx_signal_ != nullptr)
+      active_ctx_signal_->write(static_cast<u32>(target));
+
+    ctx.loaded_event->notify();
+    any_loaded_event_.notify_delta();
+    fabric_idle_event_.notify();
+  }
+}
+
+ContextStats Drcf::context_stats(usize ctx) const {
+  const Context& c = *contexts_.at(ctx);
+  ContextStats s = c.stats;
+  if (slot_table_.lookup(ctx).has_value())
+    s.active_time += sim().now() - c.residency_start;
+  return s;
+}
+
+kern::Signal<u32>& Drcf::trace_active_context() {
+  if (active_ctx_signal_ == nullptr) {
+    active_ctx_signal_owner_ = std::make_unique<kern::Signal<u32>>(
+        *this, "active_context", std::numeric_limits<u32>::max());
+    active_ctx_signal_ = active_ctx_signal_owner_.get();
+  }
+  return *active_ctx_signal_;
+}
+
+void Drcf::reset_stats() {
+  stats_ = DrcfStats{};
+  const kern::Time now = sim().now();
+  for (auto& c : contexts_) {
+    c->stats = ContextStats{};
+    if (slot_table_.lookup(static_cast<usize>(&c - contexts_.data()))
+            .has_value())
+      c->residency_start = now;
+  }
+}
+
+double Drcf::total_energy_j(double clock_mhz) const {
+  double active_j = 0.0;
+  for (usize i = 0; i < contexts_.size(); ++i) {
+    const auto s = context_stats(i);
+    const double watts = static_cast<double>(contexts_[i]->params.gates) *
+                         cfg_.technology.uw_per_gate_mhz * clock_mhz * 1e-6;
+    active_j += watts * s.active_time.to_sec();
+  }
+  return active_j + stats_.reconfig_energy_j;
+}
+
+double Drcf::resident_power_mw(double clock_mhz) const {
+  double uw = 0.0;
+  for (u32 slot = 0; slot < slot_table_.slots(); ++slot) {
+    const auto r = slot_table_.resident(slot);
+    if (!r.has_value()) continue;
+    uw += static_cast<double>(contexts_[*r]->params.gates) *
+          cfg_.technology.uw_per_gate_mhz * clock_mhz;
+  }
+  return uw / 1000.0;
+}
+
+}  // namespace adriatic::drcf

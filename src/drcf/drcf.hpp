@@ -1,0 +1,169 @@
+// The DRCF — Dynamically Reconfigurable Fabric component (paper Sec. 5.2/5.3).
+//
+// Several candidate modules ("contexts") are folded into one bus slave that
+// implements the union of their interfaces. A context scheduler and
+// instrumentation process (the paper's `arb_and_instr`) owns the fabric:
+//
+//   1. Every interface-method call is decoded to its target context.
+//   2. Calls to the active (resident) context are forwarded directly.
+//   3. Calls to a non-resident context trigger a context switch.
+//   4. During the switch the call is suspended while arb_and_instr generates
+//      real configuration reads from the context's memory region — so the
+//      memory traffic of reconfiguration is visible to the whole system.
+//   5. The scheduler tracks active time and reconfiguration time per context.
+//
+// Extensions beyond the paper's base model (its own listed future work):
+// multi-slot partial reconfiguration with replacement policies, background
+// prefetch (MorphoSys-style double context plane), and energy accounting.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/interfaces.hpp"
+#include "drcf/context.hpp"
+#include "drcf/slot_table.hpp"
+#include "drcf/technology.hpp"
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/port.hpp"
+#include "kernel/signal.hpp"
+
+namespace adriatic::drcf {
+
+struct DrcfConfig {
+  ReconfigTechnology technology = varicore_like();
+  /// Fabric slots that can hold contexts concurrently (1 = the paper's base
+  /// single-context model; >1 models partial reconfiguration).
+  u32 slots = 1;
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  /// Bus priority of configuration fetches.
+  u32 load_priority = 0;
+  /// Fetch chunk for configuration reads (words per burst request).
+  u32 fetch_burst = 64;
+  /// When false, context switches cost only a fixed analytical delay and
+  /// generate NO bus traffic — the OCAPI-XL-style modeling the paper
+  /// criticises ("the memory traffic associated to context switching is not
+  /// modeled", Sec. 4 [8]). Kept as an ablation knob to quantify the
+  /// fidelity the full model buys.
+  bool model_config_traffic = true;
+  /// Analytical switch delay used when model_config_traffic is false:
+  /// size_words / assumed_words_per_second. Zero = instantaneous switches.
+  double assumed_fetch_words_per_us = 100.0;
+};
+
+struct DrcfStats {
+  u64 switches = 0;            ///< Context loads performed.
+  u64 prefetches = 0;          ///< Background loads that were hints.
+  u64 hits = 0;                ///< Calls served without a switch.
+  u64 misses = 0;              ///< Calls that required a switch.
+  u64 config_words_fetched = 0;
+  u64 fetch_errors = 0;        ///< Configuration fetches that failed.
+  kern::Time reconfig_busy_time;  ///< Fabric time spent reconfiguring.
+  double reconfig_energy_j = 0.0;
+};
+
+class Drcf : public kern::Module, public bus::BusSlaveIf {
+ public:
+  Drcf(kern::Object& parent, std::string name, DrcfConfig cfg = {});
+
+  kern::In<bool> clk;  ///< Mirrors the paper's DRCF template shape.
+  /// Master port used by arb_and_instr to fetch configurations.
+  kern::Port<bus::BusMasterIf> mst_port;
+
+  /// Registers a wrapped module as context; returns its context id.
+  /// If `params.size_words == 0` it is derived from `params.gates` via the
+  /// technology's configuration density.
+  usize add_context(bus::BusSlaveIf& inner, ContextParams params);
+
+  // BusSlaveIf: the union of all contexts' address ranges ------------------
+  [[nodiscard]] bus::addr_t get_low_add() const override;
+  [[nodiscard]] bus::addr_t get_high_add() const override;
+  bool read(bus::addr_t add, bus::word* data) override;
+  bool write(bus::addr_t add, bus::word* data) override;
+
+  /// Non-blocking hint: load `ctx` into a slot in the background (models
+  /// MorphoSys's "reload the other 16 contexts while executing").
+  void prefetch(usize ctx);
+
+  // Introspection ------------------------------------------------------------
+  [[nodiscard]] usize context_count() const noexcept {
+    return contexts_.size();
+  }
+  [[nodiscard]] std::optional<usize> resident_in_slot(u32 slot) const {
+    return slot_table_.resident(slot);
+  }
+  [[nodiscard]] bool is_resident(usize ctx) const {
+    return slot_table_.lookup(ctx).has_value();
+  }
+  /// Per-context instrumentation; closes open residency periods at now().
+  [[nodiscard]] ContextStats context_stats(usize ctx) const;
+  [[nodiscard]] const ContextParams& context_params(usize ctx) const {
+    return contexts_.at(ctx)->params;
+  }
+  [[nodiscard]] const DrcfStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const DrcfConfig& config() const noexcept { return cfg_; }
+  /// Notified (delta) after every completed context load.
+  [[nodiscard]] kern::Event& context_loaded_event() noexcept {
+    return any_loaded_event_;
+  }
+
+  /// Active power of the currently resident contexts at `clock_mhz`, per
+  /// the technology's uW/gate/MHz model.
+  [[nodiscard]] double resident_power_mw(double clock_mhz) const;
+
+  /// Total energy estimate over the simulation so far: reconfiguration
+  /// energy (tracked exactly) plus active energy of resident contexts
+  /// integrated over their residency time at `clock_mhz`.
+  [[nodiscard]] double total_energy_j(double clock_mhz) const;
+
+  /// Exposes the active context index as a traceable signal (VCD-friendly);
+  /// value is the last installed context id. Call before the first switch.
+  [[nodiscard]] kern::Signal<u32>& trace_active_context();
+
+  /// Clears aggregate and per-context statistics (steady-state measurement
+  /// after warm-up). Residency baselines restart at the current time.
+  void reset_stats();
+
+ private:
+  struct Context {
+    bus::BusSlaveIf* inner;
+    ContextParams params;
+    ContextStats stats;
+    std::unique_ptr<kern::Event> loaded_event;
+    kern::Time residency_start;  ///< Valid while resident.
+    bool load_pending = false;
+    /// Set when the most recent load attempt's configuration fetch failed;
+    /// suspended callers observe it and fail their calls.
+    bool load_failed = false;
+    /// Forwarded calls currently in flight — the fabric cannot be
+    /// reconfigured away underneath them.
+    u32 pins = 0;
+    /// Callers suspended waiting for this context to load; they must get a
+    /// chance to forward before the context may be evicted again.
+    u32 waiters = 0;
+  };
+
+  void arb_and_instr();  ///< The scheduler/instrumentation process.
+  void request_load(usize ctx);
+  bool forward(bus::addr_t add, bus::word* data, bool is_read);
+  [[nodiscard]] std::optional<usize> decode(bus::addr_t add) const;
+  void close_residency(Context& c, kern::Time at);
+
+  DrcfConfig cfg_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  SlotTable slot_table_;
+  std::vector<usize> load_queue_;
+  kern::Event load_request_event_;
+  kern::Event any_loaded_event_;
+  kern::Event fabric_idle_event_;  ///< Single-slot: fabric usable again.
+  kern::Event drain_event_;        ///< A pin or waiter count decreased.
+  bool reconfiguring_ = false;
+  DrcfStats stats_;
+  std::unique_ptr<kern::Signal<u32>> active_ctx_signal_owner_;
+  kern::Signal<u32>* active_ctx_signal_ = nullptr;
+};
+
+}  // namespace adriatic::drcf

@@ -1,0 +1,8 @@
+// Umbrella header for the DRCF core library.
+#pragma once
+
+#include "drcf/context.hpp"
+#include "drcf/drcf.hpp"
+#include "drcf/power_trace.hpp"
+#include "drcf/slot_table.hpp"
+#include "drcf/technology.hpp"

@@ -1,0 +1,59 @@
+// Power-profile tracer for a DRCF: samples the fabric's power draw at a
+// fixed interval — active (technology uW/gate/MHz over the resident
+// contexts) plus reconfiguration power while a switch is in flight. This is
+// the observable form of the power extension the paper lists as a future
+// modeling parameter (Sec. 5.3).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "drcf/drcf.hpp"
+#include "kernel/module.hpp"
+
+namespace adriatic::drcf {
+
+class PowerTracer : public kern::Module {
+ public:
+  struct Sample {
+    kern::Time time;
+    double active_mw;
+    double reconfig_mw;
+    [[nodiscard]] double total_mw() const { return active_mw + reconfig_mw; }
+  };
+
+  /// Samples every `interval` for `window` of simulated time (zero window =
+  /// until stop() is called). NOTE: while sampling, the tracer keeps timed
+  /// events pending, so an unbounded Simulation::run() will not return
+  /// until the window elapses or stop() is called.
+  PowerTracer(kern::Object& parent, std::string name, Drcf& fabric,
+              double clock_mhz, kern::Time interval,
+              kern::Time window = kern::Time::zero());
+
+  /// Stops sampling after the current interval.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] double peak_mw() const;
+  [[nodiscard]] double mean_mw() const;
+  /// Energy integral over the sampled window (trapezoid on fixed steps).
+  [[nodiscard]] double energy_mj() const;
+
+  /// CSV dump: time_us,active_mw,reconfig_mw.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  void sample();
+
+  Drcf* fabric_;
+  double clock_mhz_;
+  kern::Time interval_;
+  kern::Time window_;
+  bool stopped_ = false;
+  kern::Time last_reconfig_busy_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace adriatic::drcf

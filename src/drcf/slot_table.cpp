@@ -1,0 +1,52 @@
+#include "drcf/slot_table.hpp"
+
+#include <stdexcept>
+
+namespace adriatic::drcf {
+
+SlotTable::SlotTable(u32 slots, ReplacementPolicy policy) : policy_(policy) {
+  if (slots == 0) throw std::invalid_argument("SlotTable: zero slots");
+  entries_.resize(slots);
+}
+
+std::optional<u32> SlotTable::lookup(usize ctx) const {
+  for (u32 s = 0; s < slots(); ++s)
+    if (entries_[s].ctx == ctx) return s;
+  return std::nullopt;
+}
+
+SlotTable::Victim SlotTable::choose(usize /*ctx*/) const {
+  // Prefer a free slot.
+  for (u32 s = 0; s < slots(); ++s)
+    if (!entries_[s].ctx.has_value()) return {s, std::nullopt};
+
+  u32 victim = 0;
+  for (u32 s = 1; s < slots(); ++s) {
+    const Entry& a = entries_[s];
+    const Entry& v = entries_[victim];
+    switch (policy_) {
+      case ReplacementPolicy::kLru:
+        if (a.touched_seq < v.touched_seq) victim = s;
+        break;
+      case ReplacementPolicy::kFifo:
+        if (a.installed_seq < v.installed_seq) victim = s;
+        break;
+      case ReplacementPolicy::kMru:
+        if (a.touched_seq > v.touched_seq) victim = s;
+        break;
+    }
+  }
+  return {victim, entries_[victim].ctx};
+}
+
+void SlotTable::install(u32 slot, usize ctx) {
+  entries_.at(slot).ctx = ctx;
+  entries_[slot].installed_seq = ++seq_;
+  entries_[slot].touched_seq = seq_;
+}
+
+void SlotTable::evict(u32 slot) { entries_.at(slot).ctx.reset(); }
+
+void SlotTable::touch(u32 slot) { entries_.at(slot).touched_seq = ++seq_; }
+
+}  // namespace adriatic::drcf

@@ -1,0 +1,59 @@
+// Slot bookkeeping for the DRCF: which contexts are resident in which
+// fabric slot, and which resident context to evict on a miss. Single-slot
+// (the paper's base model) is the slots==1 case; multi-slot models partial
+// reconfiguration (listed by the paper as a future parameter, Sec. 5.3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace adriatic::drcf {
+
+enum class ReplacementPolicy : u8 {
+  kLru,   ///< Evict the least recently used resident context.
+  kFifo,  ///< Evict the oldest-installed resident context.
+  kMru,   ///< Evict the most recently used (anti-streaming; ablation).
+};
+
+class SlotTable {
+ public:
+  SlotTable(u32 slots, ReplacementPolicy policy);
+
+  /// Slot holding `ctx`, if resident.
+  [[nodiscard]] std::optional<u32> lookup(usize ctx) const;
+
+  /// Picks the slot to (re)use for a miss on `ctx`: a free slot if any,
+  /// otherwise the policy's victim. Does not install.
+  struct Victim {
+    u32 slot;
+    std::optional<usize> evicted;  ///< Context displaced, if the slot was used.
+  };
+  [[nodiscard]] Victim choose(usize ctx) const;
+
+  void install(u32 slot, usize ctx);
+  void evict(u32 slot);
+  /// Records an access for recency-based policies.
+  void touch(u32 slot);
+
+  [[nodiscard]] u32 slots() const noexcept {
+    return static_cast<u32>(entries_.size());
+  }
+  [[nodiscard]] std::optional<usize> resident(u32 slot) const {
+    return entries_[slot].ctx;
+  }
+
+ private:
+  struct Entry {
+    std::optional<usize> ctx;
+    u64 installed_seq = 0;
+    u64 touched_seq = 0;
+  };
+
+  ReplacementPolicy policy_;
+  u64 seq_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace adriatic::drcf

@@ -1,0 +1,51 @@
+#include "drcf/technology.hpp"
+
+namespace adriatic::drcf {
+
+ReconfigTechnology virtex2pro_like() {
+  ReconfigTechnology t;
+  t.name = "virtex2pro";
+  t.granularity = Granularity::kFine;
+  // SRAM LUT fabric: a logic gate costs tens of configuration bits once
+  // LUT masks, routing and CLB control are counted.
+  t.bits_per_gate = 48.0;
+  t.uw_per_gate_mhz = 0.12;
+  t.reconfig_power_w = 0.15;
+  t.per_switch_overhead = kern::Time::us(2);  // ICAP setup, frame addressing
+  t.area_factor = 12.0;
+  t.clock_derating = 0.35;
+  t.context_planes = 1;
+  return t;
+}
+
+ReconfigTechnology varicore_like() {
+  ReconfigTechnology t;
+  t.name = "varicore";
+  t.granularity = Granularity::kFine;
+  t.bits_per_gate = 24.0;  // embedded PEG blocks, denser config encoding
+  t.uw_per_gate_mhz = 0.075;  // the paper's quoted figure
+  t.reconfig_power_w = 0.08;
+  t.per_switch_overhead = kern::Time::ns(500);
+  t.area_factor = 8.0;
+  t.clock_derating = 0.5;  // up to 250 MHz in 0.18u per the paper
+  t.context_planes = 1;
+  return t;
+}
+
+ReconfigTechnology morphosys_like() {
+  ReconfigTechnology t;
+  t.name = "morphosys";
+  t.granularity = Granularity::kCoarse;
+  // Word-level RCs: one 32-bit context word steers a whole 16-bit datapath
+  // cell (~600 gate-equivalents) -> far fewer bits per gate.
+  t.bits_per_gate = 0.6;
+  t.uw_per_gate_mhz = 0.06;
+  t.reconfig_power_w = 0.03;
+  t.per_switch_overhead = kern::Time::ns(10);  // context-plane select
+  t.area_factor = 3.0;
+  t.clock_derating = 0.8;
+  t.context_planes = 2;  // 16 contexts execute while 16 reload
+  return t;
+}
+
+}  // namespace adriatic::drcf

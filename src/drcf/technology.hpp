@@ -1,0 +1,60 @@
+// Reconfigurable-technology parameter library (paper Secs. 3 and 5.5): the
+// three classes the paper surveys, with datasheet-derived defaults, so the
+// same system model can be evaluated against fine-grained FPGAs, embedded
+// FPGA cores, and coarse-grained arrays by swapping one struct.
+#pragma once
+
+#include <string>
+
+#include "kernel/time.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::drcf {
+
+enum class Granularity : u8 { kFine, kMedium, kCoarse };
+
+struct ReconfigTechnology {
+  std::string name;
+  Granularity granularity = Granularity::kFine;
+  /// Configuration bits needed per ASIC-equivalent gate. Fine-grained SRAM
+  /// FPGAs spend far more configuration state per logic function than
+  /// coarse-grained word-level arrays.
+  double bits_per_gate = 20.0;
+  /// Active power of mapped logic, in microwatts per gate per MHz (the
+  /// paper quotes VariCore at 0.075 uW/gate/MHz).
+  double uw_per_gate_mhz = 0.075;
+  /// Power drawn by the configuration circuitry while reconfiguring (W).
+  double reconfig_power_w = 0.05;
+  /// Fixed controller overhead added to every context switch.
+  kern::Time per_switch_overhead = kern::Time::ns(100);
+  /// Area inflation of reconfigurable fabric vs dedicated ASIC gates —
+  /// Fig. 2's "factor of 100-1000" efficiency gap shows up here and in the
+  /// clock derating below.
+  double area_factor = 8.0;
+  /// Achievable clock relative to an ASIC implementation (<= 1.0).
+  double clock_derating = 0.4;
+  /// Context planes that can hold configurations simultaneously with
+  /// single-cycle switching between them (MorphoSys: 2 planes of 16 words;
+  /// single-context FPGAs: 1).
+  u32 context_planes = 1;
+
+  /// Words of configuration data for a block of `gates` gates.
+  [[nodiscard]] u64 context_words(u64 gates) const {
+    const double bits = static_cast<double>(gates) * bits_per_gate;
+    return static_cast<u64>((bits + 31.0) / 32.0);
+  }
+};
+
+/// Xilinx Virtex-II-Pro-class system-level FPGA (paper Sec. 3a): fine grain,
+/// 1-bit granularity, big SRAM bitstreams, full-device reconfiguration.
+[[nodiscard]] ReconfigTechnology virtex2pro_like();
+
+/// Actel VariCore-class embedded FPGA core (paper Sec. 3b): fine/medium
+/// grain, modest size (2.5k-40k ASIC gates), 0.075 uW/gate/MHz.
+[[nodiscard]] ReconfigTechnology varicore_like();
+
+/// MorphoSys-class coarse-grained array (paper Sec. 3c): word-level RCs,
+/// tiny contexts, double context plane enabling background reload.
+[[nodiscard]] ReconfigTechnology morphosys_like();
+
+}  // namespace adriatic::drcf

@@ -1,0 +1,85 @@
+#include "dse/advisor.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace adriatic::dse {
+
+namespace {
+
+bool concurrent(const BlockProfile& a, usize a_idx, const BlockProfile& b,
+                usize b_idx) {
+  return std::find(a.concurrent_with.begin(), a.concurrent_with.end(),
+                   b_idx) != a.concurrent_with.end() ||
+         std::find(b.concurrent_with.begin(), b.concurrent_with.end(),
+                   a_idx) != b.concurrent_with.end();
+}
+
+}  // namespace
+
+Advice advise_partitioning(std::span<const BlockProfile> blocks,
+                           const AdvisorOptions& opt) {
+  Advice advice;
+  std::vector<bool> assigned(blocks.size(), false);
+
+  // Rule 1: greedily group compatible blocks — similar size, low duty cycle,
+  // never active simultaneously.
+  for (usize i = 0; i < blocks.size(); ++i) {
+    if (assigned[i]) continue;
+    if (blocks[i].duty_cycle > opt.duty_cycle_limit) continue;
+    std::vector<usize> group{i};
+    for (usize j = i + 1; j < blocks.size(); ++j) {
+      if (assigned[j]) continue;
+      if (blocks[j].duty_cycle > opt.duty_cycle_limit) continue;
+      // Size compatibility with everyone already in the group.
+      bool compatible = true;
+      for (const usize g : group) {
+        const u64 lo = std::min(blocks[g].gates, blocks[j].gates);
+        const u64 hi = std::max(blocks[g].gates, blocks[j].gates);
+        if (lo == 0 ||
+            static_cast<double>(hi) / static_cast<double>(lo) >
+                opt.size_ratio_limit) {
+          compatible = false;
+          break;
+        }
+        if (concurrent(blocks[g], g, blocks[j], j)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) group.push_back(j);
+    }
+    if (group.size() >= opt.min_group) {
+      for (const usize g : group) assigned[g] = true;
+      advice.rationale.push_back(strfmt(
+          "rule 1: %zu similar-sized, non-concurrent blocks share one DRCF",
+          group.size()));
+      advice.drcf_groups.push_back(std::move(group));
+    }
+  }
+
+  // Rules 2 and 3 for whatever is left.
+  for (usize i = 0; i < blocks.size(); ++i) {
+    if (assigned[i]) continue;
+    const auto& b = blocks[i];
+    if (b.spec_volatile || b.next_gen_changes) {
+      advice.reconfigurable_singletons.push_back(i);
+      advice.rationale.push_back(
+          b.name + (b.spec_volatile
+                        ? ": rule 2 — specification changes foreseeable"
+                        : ": rule 3 — next-generation feature growth"));
+    } else {
+      std::string reason;
+      if (b.duty_cycle > opt.duty_cycle_limit)
+        reason = strfmt("duty cycle %.2f keeps it resident", b.duty_cycle);
+      else
+        reason = "no size-compatible, non-concurrent partner";
+      advice.rationale.push_back(b.name + ": dedicated — " + reason);
+      advice.dedicated.emplace_back(i, std::move(reason));
+    }
+  }
+  return advice;
+}
+
+}  // namespace adriatic::dse

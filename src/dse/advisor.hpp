@@ -1,0 +1,52 @@
+// Partitioning advisor implementing the paper's Sec. 5.1 rules of thumb for
+// choosing dynamically reconfigurable implementation:
+//   1. Several roughly same-sized accelerators that are not used at the same
+//      time (or at full capacity) -> fold them into a DRCF.
+//   2. Parts with foreseeable specification changes -> reconfigurable.
+//   3. Parts that will change in future product generations -> reconfigurable.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace adriatic::dse {
+
+/// One candidate functional block as seen at partitioning time.
+struct BlockProfile {
+  std::string name;
+  u64 gates = 0;              ///< Dedicated implementation size.
+  double duty_cycle = 0.0;    ///< Fraction of runtime the block is active.
+  /// Indices (into the same profile list) of blocks this one runs
+  /// concurrently with; concurrent blocks cannot share a single-slot DRCF.
+  std::vector<usize> concurrent_with;
+  bool spec_volatile = false;     ///< Rule 2: standard still evolving.
+  bool next_gen_changes = false;  ///< Rule 3: planned feature growth.
+};
+
+struct AdvisorOptions {
+  /// "Roughly same size": max/min gate ratio within a DRCF group.
+  double size_ratio_limit = 4.0;
+  /// Blocks busier than this are poor DRCF candidates (always resident).
+  double duty_cycle_limit = 0.6;
+  /// Minimum group size for a DRCF to beat dedicated logic.
+  usize min_group = 2;
+};
+
+struct Advice {
+  /// Groups of block indices recommended to share one DRCF each.
+  std::vector<std::vector<usize>> drcf_groups;
+  /// Blocks recommended reconfigurable for rule 2/3 reasons even if alone.
+  std::vector<usize> reconfigurable_singletons;
+  /// Blocks recommended to stay dedicated, with the reason.
+  std::vector<std::pair<usize, std::string>> dedicated;
+  /// Per-decision explanations, in input order.
+  std::vector<std::string> rationale;
+};
+
+[[nodiscard]] Advice advise_partitioning(std::span<const BlockProfile> blocks,
+                                         const AdvisorOptions& opt = {});
+
+}  // namespace adriatic::dse

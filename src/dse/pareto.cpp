@@ -1,0 +1,29 @@
+#include "dse/pareto.hpp"
+
+#include <stdexcept>
+
+namespace adriatic::dse {
+
+bool dominates(const DesignPoint& a, const DesignPoint& b) {
+  if (a.objectives.size() != b.objectives.size())
+    throw std::invalid_argument("dominates: objective arity mismatch");
+  bool strictly_better = false;
+  for (usize i = 0; i < a.objectives.size(); ++i) {
+    if (a.objectives[i] > b.objectives[i]) return false;
+    if (a.objectives[i] < b.objectives[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<usize> pareto_front(std::span<const DesignPoint> points) {
+  std::vector<usize> front;
+  for (usize i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (usize j = 0; j < points.size() && !dominated; ++j)
+      if (j != i && dominates(points[j], points[i])) dominated = true;
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace adriatic::dse

@@ -1,0 +1,26 @@
+// Pareto-front extraction for design-space exploration results. All
+// objectives are minimised; flip signs for maximisation.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace adriatic::dse {
+
+struct DesignPoint {
+  std::string label;
+  std::vector<double> objectives;  ///< All minimised.
+};
+
+/// True if a dominates b: a is no worse in every objective and strictly
+/// better in at least one. Points must have equal arity.
+[[nodiscard]] bool dominates(const DesignPoint& a, const DesignPoint& b);
+
+/// Returns the indices of the non-dominated points, in input order.
+[[nodiscard]] std::vector<usize> pareto_front(
+    std::span<const DesignPoint> points);
+
+}  // namespace adriatic::dse

@@ -1,0 +1,61 @@
+#include "dse/profiler.hpp"
+
+namespace adriatic::dse {
+
+void ActivityProfiler::watch(kern::Object& owner, soc::HwAccel& acc) {
+  auto w = std::make_unique<Watched>();
+  Watched* wp = w.get();
+  w->acc = &acc;
+  w->on_start = std::make_unique<kern::MethodProcess>(
+      owner, acc.basename() + "_prof_start", [this, wp] {
+        wp->open = true;
+        wp->open_start = sim_->now();
+      });
+  w->on_start->sensitive(acc.started_event());
+  w->on_start->dont_initialize();
+  w->on_done = std::make_unique<kern::MethodProcess>(
+      owner, acc.basename() + "_prof_done", [this, wp] {
+        if (!wp->open) return;
+        wp->open = false;
+        wp->intervals.push_back({wp->open_start, sim_->now()});
+      });
+  w->on_done->sensitive(acc.done_event());
+  w->on_done->dont_initialize();
+  watched_.push_back(std::move(w));
+}
+
+double ActivityProfiler::duty_cycle(usize i) const {
+  const Watched& w = *watched_.at(i);
+  const double total = static_cast<double>(sim_->now().picoseconds());
+  if (total == 0.0) return 0.0;
+  u64 busy = 0;
+  for (const auto& iv : w.intervals)
+    busy += (iv.end - iv.start).picoseconds();
+  if (w.open) busy += (sim_->now() - w.open_start).picoseconds();
+  return static_cast<double>(busy) / total;
+}
+
+bool ActivityProfiler::overlapped(usize a, usize b) const {
+  const auto& ia = watched_.at(a)->intervals;
+  const auto& ib = watched_.at(b)->intervals;
+  for (const auto& x : ia)
+    for (const auto& y : ib)
+      if (x.start < y.end && y.start < x.end) return true;
+  return false;
+}
+
+std::vector<BlockProfile> ActivityProfiler::profiles() const {
+  std::vector<BlockProfile> out;
+  for (usize i = 0; i < watched_.size(); ++i) {
+    BlockProfile p;
+    p.name = watched_[i]->acc->basename();
+    p.gates = watched_[i]->acc->spec().gate_count;
+    p.duty_cycle = duty_cycle(i);
+    for (usize j = 0; j < watched_.size(); ++j)
+      if (j != i && overlapped(i, j)) p.concurrent_with.push_back(j);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace adriatic::dse

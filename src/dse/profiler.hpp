@@ -1,0 +1,68 @@
+// Activity profiler — the paper's Sec. 6 future work: "analysis methods of
+// the system specification need to be investigated so that there could be
+// tool-based input to the designer hinting which parts of the application
+// are candidates to implementation in dynamically reconfigurable hardware."
+//
+// The profiler watches accelerators during a simulation of the *hardwired*
+// architecture, records their busy intervals, and emits the BlockProfiles
+// (duty cycle, pairwise concurrency, gate counts) the partitioning advisor
+// consumes — closing the loop: simulate -> profile -> advise -> transform.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dse/advisor.hpp"
+#include "kernel/process.hpp"
+#include "kernel/simulation.hpp"
+#include "kernel/time.hpp"
+#include "soc/hwacc.hpp"
+
+namespace adriatic::dse {
+
+class ActivityProfiler {
+ public:
+  explicit ActivityProfiler(kern::Simulation& sim) : sim_(&sim) {}
+
+  /// Watches an accelerator; `owner` hosts the profiling processes.
+  void watch(kern::Object& owner, soc::HwAccel& acc);
+
+  /// Busy intervals recorded for watched accelerator `i` (in watch order).
+  struct Interval {
+    kern::Time start;
+    kern::Time end;
+  };
+  [[nodiscard]] const std::vector<Interval>& intervals(usize i) const {
+    return watched_.at(i)->intervals;
+  }
+
+  /// Fraction of [window_start, now] the accelerator was busy.
+  [[nodiscard]] double duty_cycle(usize i) const;
+
+  /// True if the two accelerators' busy intervals ever overlapped.
+  [[nodiscard]] bool overlapped(usize a, usize b) const;
+
+  /// Emits advisor-ready profiles: name and gates from the accelerator's
+  /// spec, duty cycle and concurrency from the recorded intervals.
+  [[nodiscard]] std::vector<BlockProfile> profiles() const;
+
+  [[nodiscard]] usize watched_count() const noexcept {
+    return watched_.size();
+  }
+
+ private:
+  struct Watched {
+    soc::HwAccel* acc;
+    std::vector<Interval> intervals;
+    kern::Time open_start;
+    bool open = false;
+    std::unique_ptr<kern::MethodProcess> on_start;
+    std::unique_ptr<kern::MethodProcess> on_done;
+  };
+
+  kern::Simulation* sim_;
+  std::vector<std::unique_ptr<Watched>> watched_;
+};
+
+}  // namespace adriatic::dse

@@ -1,0 +1,56 @@
+// Area and static-cost estimators (paper Sec. 5.5: processing speed,
+// resources for the largest context, and reconfiguration cost are the three
+// quantities a system-level model must expose per technology).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "drcf/context.hpp"
+#include "drcf/technology.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::estimate {
+
+/// ASIC-equivalent gates of a set of dedicated accelerators: the sum.
+[[nodiscard]] inline u64 hardwired_gates(std::span<const u64> kernel_gates) {
+  u64 total = 0;
+  for (const u64 g : kernel_gates) total += g;
+  return total;
+}
+
+/// Fabric gates needed when the same kernels share a DRCF with `slots`
+/// concurrent slots: the fabric must fit the largest `slots` contexts
+/// simultaneously, inflated by the technology's area factor, plus the
+/// context-store and controller overhead (paper Sec. 2: "memories storing
+/// configurations, circuit required to control the reconfiguration").
+struct DrcfArea {
+  u64 fabric_gates = 0;       ///< Reconfigurable fabric (inflated).
+  u64 controller_gates = 0;   ///< Scheduler + decode logic.
+  u64 config_store_words = 0; ///< Context memory footprint (all contexts).
+  [[nodiscard]] u64 total_gate_equivalents() const {
+    // A 32-bit config word costs roughly 1.5 gate-equivalents of SRAM.
+    return fabric_gates + controller_gates +
+           static_cast<u64>(static_cast<double>(config_store_words) * 1.5);
+  }
+};
+
+[[nodiscard]] inline DrcfArea drcf_area(std::span<const u64> kernel_gates,
+                                        const drcf::ReconfigTechnology& tech,
+                                        u32 slots = 1) {
+  DrcfArea a;
+  // The `slots` largest contexts must be resident at once.
+  std::vector<u64> sorted(kernel_gates.begin(), kernel_gates.end());
+  std::sort(sorted.rbegin(), sorted.rend());
+  u64 resident = 0;
+  for (usize i = 0; i < std::min<usize>(slots, sorted.size()); ++i)
+    resident += sorted[i];
+  a.fabric_gates =
+      static_cast<u64>(static_cast<double>(resident) * tech.area_factor);
+  a.controller_gates = 2'500 + 150 * static_cast<u64>(kernel_gates.size());
+  for (const u64 g : kernel_gates) a.config_store_words += tech.context_words(g);
+  return a;
+}
+
+}  // namespace adriatic::estimate

@@ -1,0 +1,94 @@
+#include "estimate/efficiency.hpp"
+
+#include <stdexcept>
+
+namespace adriatic::estimate {
+
+const char* style_name(ArchStyle s) {
+  switch (s) {
+    case ArchStyle::kGpp:
+      return "GPP (SW)";
+    case ArchStyle::kDsp:
+      return "DSP";
+    case ArchStyle::kAsip:
+      return "ASIP";
+    case ArchStyle::kReconfigurable:
+      return "Reconfigurable";
+    case ArchStyle::kAsic:
+      return "ASIC";
+  }
+  return "?";
+}
+
+StyleResult evaluate_style(ArchStyle style, const accel::KernelSpec& spec,
+                           usize len,
+                           const drcf::ReconfigTechnology& reconfig,
+                           const EfficiencyParams& p) {
+  if (!spec.valid()) throw std::invalid_argument("evaluate_style: bad spec");
+  StyleResult r;
+  r.style = style;
+  r.name = style_name(style);
+
+  // Common work unit across styles: primitive operations, approximated by
+  // the scalar instruction count (one primitive op per instruction). A
+  // spatial datapath retires many primitive ops per cycle — that ratio
+  // (sw_instructions / hw_cycles) is exactly its parallelism.
+  const double ops = static_cast<double>(spec.sw_instructions(len));
+  const double sw_instr = ops;
+  const double gates = static_cast<double>(spec.gate_count);
+
+  switch (style) {
+    case ArchStyle::kGpp: {
+      const double cycles = sw_instr * p.gpp_cpi;
+      r.exec_time_us = cycles / p.clock_mhz;
+      r.power_mw = p.gpp_mw_per_mhz * p.clock_mhz;
+      r.flexibility = 1.0;
+      break;
+    }
+    case ArchStyle::kDsp: {
+      const double cycles = sw_instr * p.gpp_cpi / p.dsp_speedup;
+      r.exec_time_us = cycles / p.clock_mhz;
+      r.power_mw = p.gpp_mw_per_mhz * p.clock_mhz * p.dsp_power_factor;
+      r.flexibility = 0.8;
+      break;
+    }
+    case ArchStyle::kAsip: {
+      const double cycles = sw_instr * p.gpp_cpi / p.asip_speedup;
+      r.exec_time_us = cycles / p.clock_mhz;
+      r.power_mw = p.gpp_mw_per_mhz * p.clock_mhz * p.asip_power_factor;
+      r.flexibility = 0.5;
+      break;
+    }
+    case ArchStyle::kReconfigurable: {
+      const double fabric_mhz = p.asic_clock_mhz * reconfig.clock_derating;
+      r.exec_time_us = static_cast<double>(spec.hw_cycles(len)) / fabric_mhz;
+      r.power_mw = gates * reconfig.uw_per_gate_mhz * fabric_mhz / 1000.0;
+      r.flexibility = 0.35;
+      break;
+    }
+    case ArchStyle::kAsic: {
+      r.exec_time_us =
+          static_cast<double>(spec.hw_cycles(len)) / p.asic_clock_mhz;
+      r.power_mw = gates * p.asic_uw_per_gate_mhz * p.asic_clock_mhz / 1000.0;
+      r.flexibility = 0.0;
+      break;
+    }
+  }
+
+  r.mops = r.exec_time_us > 0.0 ? ops / r.exec_time_us : 0.0;
+  r.mops_per_mw = r.power_mw > 0.0 ? r.mops / r.power_mw : 0.0;
+  return r;
+}
+
+std::vector<StyleResult> efficiency_ladder(
+    const accel::KernelSpec& spec, usize len,
+    const drcf::ReconfigTechnology& reconfig, const EfficiencyParams& p) {
+  std::vector<StyleResult> out;
+  for (const ArchStyle s :
+       {ArchStyle::kGpp, ArchStyle::kDsp, ArchStyle::kAsip,
+        ArchStyle::kReconfigurable, ArchStyle::kAsic})
+    out.push_back(evaluate_style(s, spec, len, reconfig, p));
+  return out;
+}
+
+}  // namespace adriatic::estimate

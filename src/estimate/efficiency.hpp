@@ -1,0 +1,63 @@
+// Implementation-efficiency models behind the paper's Fig. 2: the same
+// kernel evaluated across architectural styles (general-purpose processor,
+// DSP, ASIP, reconfigurable fabric, dedicated ASIC). The absolute numbers
+// are calibrated to the figure's published bands (GPP 0.1-1 MIPS/mW, DSP
+// 1-10, ASIP 10-100 MOPS/mW, reconfigurable/ASIC 100-1000 MOPS/mW with a
+// 100-1000x ASIC-vs-GPP gap) and to the datasheet figures quoted in Sec. 3
+// (PPC405: 0.9 mW/MHz; VariCore: 0.075 uW/gate/MHz).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/kernel_spec.hpp"
+#include "drcf/technology.hpp"
+
+namespace adriatic::estimate {
+
+enum class ArchStyle : u8 {
+  kGpp,            ///< Instruction-set processor (temporal computation).
+  kDsp,            ///< MAC-oriented instruction set.
+  kAsip,           ///< Application-specific instruction set.
+  kReconfigurable, ///< DRCF-style fabric (spatial, post-fab programmable).
+  kAsic,           ///< Dedicated mapped hardware.
+};
+
+struct StyleResult {
+  ArchStyle style{};
+  std::string name;
+  double exec_time_us = 0.0;   ///< Kernel execution time on this style.
+  double power_mw = 0.0;       ///< Active power while executing.
+  double mops = 0.0;           ///< Throughput in ASIC-normalised Mops/s.
+  double mops_per_mw = 0.0;    ///< The Fig. 2 efficiency axis.
+  double flexibility = 0.0;    ///< Qualitative 0..1 (Fig. 2's other axis).
+};
+
+struct EfficiencyParams {
+  double clock_mhz = 100.0;      ///< Common system clock.
+  double asic_clock_mhz = 300.0; ///< Dedicated logic clocks higher.
+  double gpp_cpi = 1.4;
+  double gpp_mw_per_mhz = 0.9;   ///< Paper's PPC405 figure.
+  double dsp_speedup = 4.0;      ///< Packed-MAC advantage over GPP.
+  double dsp_power_factor = 0.8; ///< Relative to the GPP at same clock.
+  double asip_speedup = 8.0;
+  double asip_power_factor = 0.6;
+  double asic_uw_per_gate_mhz = 0.008;
+};
+
+/// Evaluates one style for a kernel processing `len` input words. The
+/// `reconfig` technology supplies the fabric's clock derating and power.
+[[nodiscard]] StyleResult evaluate_style(
+    ArchStyle style, const accel::KernelSpec& spec, usize len,
+    const drcf::ReconfigTechnology& reconfig,
+    const EfficiencyParams& params = {});
+
+/// All five styles, GPP first (ascending efficiency in Fig. 2's layout).
+[[nodiscard]] std::vector<StyleResult> efficiency_ladder(
+    const accel::KernelSpec& spec, usize len,
+    const drcf::ReconfigTechnology& reconfig,
+    const EfficiencyParams& params = {});
+
+[[nodiscard]] const char* style_name(ArchStyle s);
+
+}  // namespace adriatic::estimate

@@ -1,0 +1,35 @@
+// Primitive-channel base: channels mutate visible state only in the update
+// phase, via the request_update()/update() protocol (sc_prim_channel).
+#pragma once
+
+#include "kernel/object.hpp"
+
+namespace adriatic::kern {
+
+/// Marker base for channel interfaces (sc_interface analogue). Interfaces
+/// are abstract method sets implemented by channels and accessed via ports.
+class Interface {
+ public:
+  virtual ~Interface() = default;
+};
+
+class Channel : public Object {
+ public:
+  using Object::Object;
+  [[nodiscard]] const char* kind() const override { return "channel"; }
+
+ protected:
+  friend class Simulation;
+
+  /// Queues this channel for an update() call at the end of the current
+  /// evaluation phase. Idempotent within a delta cycle.
+  void request_update();
+
+  /// Applies pending writes; runs in the update phase.
+  virtual void update() {}
+
+ private:
+  bool update_requested_ = false;
+};
+
+}  // namespace adriatic::kern

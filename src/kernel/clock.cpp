@@ -1,0 +1,52 @@
+#include "kernel/clock.hpp"
+
+#include <stdexcept>
+
+namespace adriatic::kern {
+
+Clock::Clock(Simulation& sim, std::string name, Time period, double duty,
+             Time start)
+    : Signal<bool>(sim, std::move(name), false), period_(period) {
+  init(duty, start);
+}
+
+Clock::Clock(Object& parent, std::string name, Time period, double duty,
+             Time start)
+    : Signal<bool>(parent, std::move(name), false), period_(period) {
+  init(duty, start);
+}
+
+void Clock::init(double duty, Time start) {
+  if (period_.is_zero()) throw std::invalid_argument("Clock: zero period");
+  if (duty <= 0.0 || duty >= 1.0)
+    throw std::invalid_argument("Clock: duty must be in (0,1)");
+  high_time_ = Time::ps(
+      static_cast<u64>(static_cast<double>(period_.picoseconds()) * duty));
+  if (high_time_.is_zero()) high_time_ = Time::ps(1);
+  low_time_ = period_ - high_time_;
+
+  tick_event_ = std::make_unique<Event>(sim(), name() + ".tick");
+  tick_process_ = std::make_unique<MethodProcess>(
+      *this, "tick_proc", [this] { tick(); });
+  tick_process_->sensitive(*tick_event_);
+  tick_process_->dont_initialize();
+  // First rising edge.
+  tick_event_->notify(start.is_zero() ? Time::ps(0) : start);
+  if (start.is_zero()) {
+    // notify(0) degrades to a delta notification: first edge in delta 1.
+    tick_event_->notify_delta();
+  }
+}
+
+void Clock::tick() {
+  if (next_is_pos_) {
+    write(true);
+    tick_event_->notify(high_time_);
+  } else {
+    write(false);
+    tick_event_->notify(low_time_);
+  }
+  next_is_pos_ = !next_is_pos_;
+}
+
+}  // namespace adriatic::kern

@@ -1,0 +1,36 @@
+// Periodic boolean clock channel (sc_clock analogue).
+#pragma once
+
+#include "kernel/module.hpp"
+#include "kernel/signal.hpp"
+
+namespace adriatic::kern {
+
+class Clock : public Signal<bool> {
+ public:
+  /// A clock with the given period; rises first at `start`, stays high for
+  /// duty*period, low for the remainder.
+  Clock(Simulation& sim, std::string name, Time period, double duty = 0.5,
+        Time start = Time::zero());
+  Clock(Object& parent, std::string name, Time period, double duty = 0.5,
+        Time start = Time::zero());
+
+  [[nodiscard]] const char* kind() const override { return "clock"; }
+  [[nodiscard]] Time period() const noexcept { return period_; }
+  [[nodiscard]] double frequency_mhz() const noexcept {
+    return period_.is_zero() ? 0.0 : 1e6 / static_cast<double>(period_.picoseconds());
+  }
+
+ private:
+  void init(double duty, Time start);
+  void tick();
+
+  Time period_;
+  Time high_time_;
+  Time low_time_;
+  bool next_is_pos_ = true;
+  std::unique_ptr<Event> tick_event_;
+  std::unique_ptr<MethodProcess> tick_process_;
+};
+
+}  // namespace adriatic::kern

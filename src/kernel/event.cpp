@@ -1,0 +1,72 @@
+#include "kernel/event.hpp"
+
+#include <algorithm>
+
+#include "kernel/process.hpp"
+#include "kernel/simulation.hpp"
+
+namespace adriatic::kern {
+
+Event::Event(Simulation& sim, std::string name)
+    : sim_(&sim), name_(std::move(name)) {}
+
+Event::~Event() = default;
+
+void Event::notify() {
+  // Immediate notification overrides any pending one and fires now.
+  ++generation_;
+  pending_ = Pending::kNone;
+  trigger();
+}
+
+void Event::notify_delta() {
+  if (pending_ == Pending::kDelta) return;
+  // A pending timed notification is later than a delta: override it.
+  ++generation_;
+  pending_ = Pending::kDelta;
+  sim_->schedule_delta(*this);
+}
+
+void Event::notify(Time delay) {
+  if (delay.is_zero()) {
+    notify_delta();
+    return;
+  }
+  const Time abs = sim_->now() + delay;
+  if (pending_ == Pending::kDelta) return;  // delta is earlier
+  if (pending_ == Pending::kTimed && pending_time_ <= abs) return;
+  ++generation_;
+  pending_ = Pending::kTimed;
+  pending_time_ = abs;
+  sim_->schedule_timed(*this, abs);
+}
+
+void Event::cancel() {
+  ++generation_;
+  pending_ = Pending::kNone;
+}
+
+void Event::trigger() {
+  // The event is firing: any bookkeeping for a pending notification is void.
+  ++generation_;
+  pending_ = Pending::kNone;
+
+  // Dynamic waiters are one-shot; detach them before calling back, since a
+  // woken process may immediately re-register.
+  std::vector<Process*> dyn;
+  dyn.swap(dynamic_waiters_);
+  for (Process* p : dyn) p->dynamic_triggered(*this);
+
+  // Static sensitivity persists across triggers.
+  for (Process* p : static_waiters_) p->static_triggered();
+}
+
+void Event::add_static(Process& p) { static_waiters_.push_back(&p); }
+
+void Event::remove_static(Process& p) { std::erase(static_waiters_, &p); }
+
+void Event::add_dynamic(Process& p) { dynamic_waiters_.push_back(&p); }
+
+void Event::remove_dynamic(Process& p) { std::erase(dynamic_waiters_, &p); }
+
+}  // namespace adriatic::kern

@@ -1,0 +1,86 @@
+// Event queue channel (sc_event_queue analogue): unlike a plain Event —
+// which holds at most one pending notification — an EventQueue remembers
+// every notify() and fires its output event once per queued notification,
+// in time order. Useful for modeling request streams where coincident
+// notifications must not collapse.
+#pragma once
+
+#include <queue>
+
+#include "kernel/channel.hpp"
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/simulation.hpp"
+#include "kernel/time.hpp"
+
+namespace adriatic::kern {
+
+class EventQueue : public Module {
+ public:
+  EventQueue(Simulation& sim, std::string name) : Module(sim, std::move(name)) {
+    init();
+  }
+  EventQueue(Object& parent, std::string name)
+      : Module(parent, std::move(name)) {
+    init();
+  }
+
+  /// Queues a notification `delay` from now. Multiple pending notifications
+  /// coexist; each produces one trigger of default_event().
+  void notify(Time delay = Time::zero()) {
+    const Time at = sim().now() + delay;
+    pending_.push(at);
+    ++queued_;
+    arm();
+  }
+
+  /// Drops all pending notifications.
+  void cancel_all() {
+    pending_ = {};
+    timer_->cancel();
+  }
+
+  /// The event that fires once per queued notification.
+  [[nodiscard]] Event& default_event() noexcept { return *out_; }
+
+  [[nodiscard]] usize pending_count() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] u64 total_queued() const noexcept { return queued_; }
+
+ private:
+  void init() {
+    out_ = std::make_unique<Event>(sim(), name() + ".out");
+    timer_ = std::make_unique<Event>(sim(), name() + ".timer");
+    auto& proc = spawn_method("pump", [this] { pump(); });
+    proc.sensitive(*timer_);
+    proc.dont_initialize();
+  }
+
+  void arm() {
+    if (pending_.empty()) return;
+    const Time next = pending_.top();
+    const Time now = sim().now();
+    // Event::notify keeps the earliest pending notification, which is
+    // exactly the semantics we need for the head of the queue.
+    timer_->notify(next > now ? next - now : Time::zero());
+  }
+
+  void pump() {
+    const Time now = sim().now();
+    // Fire exactly one notification per trigger; coincident entries are
+    // spread over consecutive delta cycles (sc_event_queue behaviour).
+    if (!pending_.empty() && pending_.top() <= now) {
+      pending_.pop();
+      out_->notify_delta();
+    }
+    arm();
+  }
+
+  std::priority_queue<Time, std::vector<Time>, std::greater<Time>> pending_;
+  std::unique_ptr<Event> out_;
+  std::unique_ptr<Event> timer_;
+  u64 queued_ = 0;
+};
+
+}  // namespace adriatic::kern

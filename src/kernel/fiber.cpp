@@ -1,0 +1,77 @@
+#include "kernel/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace adriatic::kern {
+
+struct Fiber::Impl {
+  ucontext_t ctx{};
+  ucontext_t return_ctx{};
+  std::vector<char> stack;
+};
+
+namespace {
+// The fiber currently executing on this thread (nullptr = scheduler context).
+thread_local Fiber* t_current = nullptr;
+// Handoff slot for the trampoline, which makecontext cannot pass pointers to
+// portably (its varargs are ints).
+thread_local Fiber* t_starting = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : impl_(std::make_unique<Impl>()), fn_(std::move(fn)) {
+  impl_->stack.resize(stack_bytes);
+}
+
+Fiber::~Fiber() {
+  // Destroying a live suspended fiber abandons its stack frame. That is the
+  // normal fate of simulation processes still blocked when the simulation is
+  // torn down; destructors of locals on the fiber stack do not run, exactly
+  // as in the SystemC reference simulator.
+}
+
+void Fiber::trampoline() {
+  Fiber* self = t_starting;
+  t_starting = nullptr;
+  assert(self != nullptr);
+  self->fn_();
+  self->finished_ = true;
+  // Return to the scheduler for the last time.
+  swapcontext(&self->impl_->ctx, &self->impl_->return_ctx);
+}
+
+void Fiber::resume() {
+  if (finished_) return;
+  assert(t_current == nullptr && "resume() must be called from the scheduler");
+  if (!started_) {
+    started_ = true;
+    if (getcontext(&impl_->ctx) != 0)
+      throw std::runtime_error("Fiber: getcontext failed");
+    impl_->ctx.uc_stack.ss_sp = impl_->stack.data();
+    impl_->ctx.uc_stack.ss_size = impl_->stack.size();
+    impl_->ctx.uc_link = nullptr;
+    t_starting = this;
+    makecontext(&impl_->ctx, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                0);
+  }
+  t_current = this;
+  swapcontext(&impl_->return_ctx, &impl_->ctx);
+  t_current = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current;
+  assert(self != nullptr && "yield() must be called from inside a fiber");
+  t_current = nullptr;
+  swapcontext(&self->impl_->ctx, &self->impl_->return_ctx);
+  t_current = self;
+}
+
+bool Fiber::in_fiber() noexcept { return t_current != nullptr; }
+
+}  // namespace adriatic::kern

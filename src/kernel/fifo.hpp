@@ -1,0 +1,96 @@
+// Bounded FIFO channel with blocking and non-blocking access (sc_fifo).
+#pragma once
+
+#include <deque>
+#include <stdexcept>
+
+#include "kernel/channel.hpp"
+#include "kernel/event.hpp"
+#include "kernel/simulation.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::kern {
+
+template <typename T>
+class FifoInIf : public virtual Interface {
+ public:
+  virtual T read() = 0;                 ///< Blocking (thread processes only).
+  virtual bool nb_read(T& out) = 0;     ///< Non-blocking.
+  [[nodiscard]] virtual usize num_available() const = 0;
+  [[nodiscard]] virtual Event& data_written_event() = 0;
+};
+
+template <typename T>
+class FifoOutIf : public virtual Interface {
+ public:
+  virtual void write(const T& v) = 0;   ///< Blocking (thread processes only).
+  virtual bool nb_write(const T& v) = 0;
+  [[nodiscard]] virtual usize num_free() const = 0;
+  [[nodiscard]] virtual Event& data_read_event() = 0;
+};
+
+template <typename T>
+class Fifo : public Channel, public FifoInIf<T>, public FifoOutIf<T> {
+ public:
+  Fifo(Simulation& sim, std::string name, usize capacity = 16)
+      : Channel(sim, std::move(name)),
+        capacity_(capacity),
+        written_(this->sim(), this->name() + ".written"),
+        read_ev_(this->sim(), this->name() + ".read") {
+    if (capacity_ == 0) throw std::invalid_argument("Fifo: zero capacity");
+  }
+
+  Fifo(Object& parent, std::string name, usize capacity = 16)
+      : Channel(parent, std::move(name)),
+        capacity_(capacity),
+        written_(this->sim(), this->name() + ".written"),
+        read_ev_(this->sim(), this->name() + ".read") {
+    if (capacity_ == 0) throw std::invalid_argument("Fifo: zero capacity");
+  }
+
+  [[nodiscard]] const char* kind() const override { return "fifo"; }
+
+  T read() override {
+    while (buf_.empty()) wait(written_);
+    T v = std::move(buf_.front());
+    buf_.pop_front();
+    read_ev_.notify_delta();
+    return v;
+  }
+
+  bool nb_read(T& out) override {
+    if (buf_.empty()) return false;
+    out = std::move(buf_.front());
+    buf_.pop_front();
+    read_ev_.notify_delta();
+    return true;
+  }
+
+  void write(const T& v) override {
+    while (buf_.size() >= capacity_) wait(read_ev_);
+    buf_.push_back(v);
+    written_.notify_delta();
+  }
+
+  bool nb_write(const T& v) override {
+    if (buf_.size() >= capacity_) return false;
+    buf_.push_back(v);
+    written_.notify_delta();
+    return true;
+  }
+
+  [[nodiscard]] usize num_available() const override { return buf_.size(); }
+  [[nodiscard]] usize num_free() const override {
+    return capacity_ - buf_.size();
+  }
+  [[nodiscard]] Event& data_written_event() override { return written_; }
+  [[nodiscard]] Event& data_read_event() override { return read_ev_; }
+
+ private:
+  usize capacity_;
+  std::deque<T> buf_;
+  Event written_;
+  Event read_ev_;
+};
+
+}  // namespace adriatic::kern

@@ -1,0 +1,18 @@
+// Umbrella header for the simulation kernel: a from-scratch implementation
+// of the SystemC 2.0 modeling primitives the ADRIATIC methodology builds on.
+#pragma once
+
+#include "kernel/channel.hpp"
+#include "kernel/clock.hpp"
+#include "kernel/event.hpp"
+#include "kernel/event_queue.hpp"
+#include "kernel/fifo.hpp"
+#include "kernel/module.hpp"
+#include "kernel/object.hpp"
+#include "kernel/port.hpp"
+#include "kernel/process.hpp"
+#include "kernel/signal.hpp"
+#include "kernel/simulation.hpp"
+#include "kernel/sync.hpp"
+#include "kernel/time.hpp"
+#include "kernel/vcd.hpp"

@@ -1,0 +1,35 @@
+#include "kernel/module.hpp"
+
+#include "kernel/event.hpp"
+
+namespace adriatic::kern {
+
+namespace {
+template <typename P>
+P& finish_spawn(std::vector<std::unique_ptr<Process>>& owned,
+                std::unique_ptr<P> p, const SpawnOptions& opts) {
+  for (Event* e : opts.sensitivity) p->sensitive(*e);
+  if (opts.dont_initialize) p->dont_initialize();
+  P& ref = *p;
+  owned.push_back(std::move(p));
+  return ref;
+}
+}  // namespace
+
+ThreadProcess& Module::spawn_thread(std::string name,
+                                    std::function<void()> fn,
+                                    SpawnOptions opts) {
+  auto p = std::make_unique<ThreadProcess>(*this, std::move(name),
+                                           std::move(fn), opts.stack_bytes);
+  return finish_spawn(processes_, std::move(p), opts);
+}
+
+MethodProcess& Module::spawn_method(std::string name,
+                                    std::function<void()> fn,
+                                    SpawnOptions opts) {
+  auto p =
+      std::make_unique<MethodProcess>(*this, std::move(name), std::move(fn));
+  return finish_spawn(processes_, std::move(p), opts);
+}
+
+}  // namespace adriatic::kern

@@ -1,0 +1,47 @@
+// Module base (sc_module analogue): a named hierarchy node that owns
+// processes and ports. Processes are spawned with explicit sensitivity
+// options rather than SystemC's macro magic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/object.hpp"
+#include "kernel/process.hpp"
+
+namespace adriatic::kern {
+
+struct SpawnOptions {
+  std::vector<Event*> sensitivity;  ///< Static sensitivity list.
+  bool dont_initialize = false;     ///< Skip the initialization activation.
+  usize stack_bytes = 256 * 1024;   ///< Thread processes only.
+};
+
+class Module : public Object {
+ public:
+  Module(Simulation& sim, std::string name) : Object(sim, std::move(name)) {}
+  Module(Object& parent, std::string name)
+      : Object(parent, std::move(name)) {}
+
+  [[nodiscard]] const char* kind() const override { return "module"; }
+
+  /// Spawns an SC_THREAD-style process owned by this module.
+  ThreadProcess& spawn_thread(std::string name, std::function<void()> fn,
+                              SpawnOptions opts = {});
+
+  /// Spawns an SC_METHOD-style process owned by this module.
+  MethodProcess& spawn_method(std::string name, std::function<void()> fn,
+                              SpawnOptions opts = {});
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes()
+      const noexcept {
+    return processes_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace adriatic::kern

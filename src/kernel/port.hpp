@@ -1,0 +1,99 @@
+// Ports (sc_port analogue): typed access points through which a module calls
+// interface methods on channels bound during elaboration. Ports record their
+// bindings so the transformation pass (paper Fig. 4 phase 2, "analysis of
+// instance") can discover a design's connectivity without source parsing.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "kernel/channel.hpp"
+#include "kernel/object.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::kern {
+
+class PortBase : public Object {
+ public:
+  PortBase(Object& owner, std::string name, std::string interface_name,
+           usize min_bindings)
+      : Object(owner, std::move(name)),
+        interface_name_(std::move(interface_name)),
+        min_bindings_(min_bindings) {}
+
+  [[nodiscard]] const char* kind() const override { return "port"; }
+
+  /// Demangled-ish name of the interface this port requires.
+  [[nodiscard]] const std::string& interface_name() const noexcept {
+    return interface_name_;
+  }
+
+  /// Full names of channels bound to this port (empty string for anonymous
+  /// interfaces that are not simulation Objects).
+  [[nodiscard]] const std::vector<std::string>& bound_channel_names()
+      const noexcept {
+    return bound_names_;
+  }
+
+  [[nodiscard]] virtual usize binding_count() const noexcept = 0;
+
+  /// Elaboration-time check that enough interfaces were bound.
+  void check_binding() const {
+    if (binding_count() < min_bindings_)
+      throw std::logic_error("port " + name() + " requires " +
+                             std::to_string(min_bindings_) +
+                             " binding(s), has " +
+                             std::to_string(binding_count()));
+  }
+
+ protected:
+  void record_binding(Interface& iface) {
+    if (auto* obj = dynamic_cast<Object*>(&iface))
+      bound_names_.push_back(obj->name());
+    else
+      bound_names_.emplace_back();
+  }
+
+ private:
+  std::string interface_name_;
+  usize min_bindings_;
+  std::vector<std::string> bound_names_;
+};
+
+/// A port requiring interface IF. Supports multiple bindings (multiport);
+/// operator-> dispatches to the first binding.
+template <typename IF>
+class Port : public PortBase {
+  static_assert(std::is_base_of_v<Interface, IF>,
+                "Port interface must derive from kern::Interface");
+
+ public:
+  Port(Object& owner, std::string name, usize min_bindings = 1)
+      : PortBase(owner, std::move(name), typeid(IF).name(), min_bindings) {}
+
+  void bind(IF& iface) {
+    ifaces_.push_back(&iface);
+    record_binding(iface);
+  }
+  void operator()(IF& iface) { bind(iface); }
+
+  [[nodiscard]] usize binding_count() const noexcept override {
+    return ifaces_.size();
+  }
+  [[nodiscard]] usize size() const noexcept { return ifaces_.size(); }
+
+  [[nodiscard]] IF* operator->() const {
+    if (ifaces_.empty())
+      throw std::logic_error("port " + name() + " used before binding");
+    return ifaces_.front();
+  }
+
+  [[nodiscard]] IF& operator[](usize i) const { return *ifaces_.at(i); }
+
+ private:
+  std::vector<IF*> ifaces_;
+};
+
+}  // namespace adriatic::kern

@@ -1,0 +1,170 @@
+#include "kernel/process.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "kernel/event.hpp"
+#include "kernel/simulation.hpp"
+#include "util/log.hpp"
+
+namespace adriatic::kern {
+
+Process::Process(Object& parent, std::string name)
+    : Object(parent, std::move(name)) {
+  timeout_event_ =
+      std::make_unique<Event>(sim(), this->name() + ".timeout");
+  terminated_event_ =
+      std::make_unique<Event>(sim(), this->name() + ".terminated");
+  sim().adopt_process(*this);
+}
+
+Process::~Process() {
+  for (Event* e : static_events_) e->remove_static(*this);
+  clear_dynamic_waits();
+}
+
+void Process::sensitive(Event& e) {
+  static_events_.push_back(&e);
+  e.add_static(*this);
+}
+
+void Process::static_triggered() {
+  if (state_ != State::kWaitStatic) return;
+  mark_ready();
+}
+
+void Process::dynamic_triggered(Event& e) {
+  // The event has already removed us from its own waiter list.
+  if (state_ != State::kWaitDynamic) return;
+  std::erase(waited_events_, &e);
+  if (wait_mode_ == WaitMode::kAnd) {
+    if (and_pending_ > 0) --and_pending_;
+    if (and_pending_ > 0) return;  // keep waiting for the rest
+  }
+  timed_out_ = (&e == timeout_event_.get());
+  clear_dynamic_waits();
+  mark_ready();
+}
+
+void Process::clear_dynamic_waits() {
+  for (Event* e : waited_events_) e->remove_dynamic(*this);
+  waited_events_.clear();
+  timeout_event_->cancel();
+  wait_mode_ = WaitMode::kNone;
+  and_pending_ = 0;
+}
+
+void Process::mark_ready() {
+  state_ = State::kReady;
+  sim().make_runnable(*this);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadProcess
+
+ThreadProcess::ThreadProcess(Object& parent, std::string name,
+                             std::function<void()> fn, usize stack_bytes)
+    : Process(parent, std::move(name)),
+      fiber_(std::move(fn), stack_bytes) {}
+
+void ThreadProcess::activate() {
+  fiber_.resume();
+  if (fiber_.finished()) {
+    state_ = State::kTerminated;
+    clear_dynamic_waits();
+    terminated_event_->notify_delta();
+  }
+}
+
+void ThreadProcess::suspend() {
+  Fiber::yield();
+  // Execution resumes here when the scheduler re-activates us.
+}
+
+void ThreadProcess::wait_static() {
+  if (static_events_.empty())
+    log::warn() << name()
+                << ": wait() with empty static sensitivity never returns";
+  state_ = State::kWaitStatic;
+  suspend();
+}
+
+void ThreadProcess::wait_event(Event& e) {
+  timed_out_ = false;
+  wait_mode_ = WaitMode::kOr;
+  waited_events_.push_back(&e);
+  e.add_dynamic(*this);
+  state_ = State::kWaitDynamic;
+  suspend();
+}
+
+void ThreadProcess::wait_time(Time t) {
+  timeout_event_->notify(t);
+  wait_event(*timeout_event_);
+  timed_out_ = false;  // a plain timed wait is not a "timeout"
+}
+
+void ThreadProcess::wait_time_event(Time t, Event& e) {
+  timed_out_ = false;
+  wait_mode_ = WaitMode::kOr;
+  timeout_event_->notify(t);
+  waited_events_.push_back(timeout_event_.get());
+  timeout_event_->add_dynamic(*this);
+  waited_events_.push_back(&e);
+  e.add_dynamic(*this);
+  state_ = State::kWaitDynamic;
+  suspend();
+}
+
+void ThreadProcess::wait_any(std::span<Event* const> events) {
+  if (events.empty()) throw std::invalid_argument("wait_any: empty list");
+  timed_out_ = false;
+  wait_mode_ = WaitMode::kOr;
+  for (Event* e : events) {
+    waited_events_.push_back(e);
+    e->add_dynamic(*this);
+  }
+  state_ = State::kWaitDynamic;
+  suspend();
+}
+
+void ThreadProcess::wait_all(std::span<Event* const> events) {
+  if (events.empty()) throw std::invalid_argument("wait_all: empty list");
+  timed_out_ = false;
+  wait_mode_ = WaitMode::kAnd;
+  and_pending_ = events.size();
+  for (Event* e : events) {
+    waited_events_.push_back(e);
+    e->add_dynamic(*this);
+  }
+  state_ = State::kWaitDynamic;
+  suspend();
+}
+
+// ---------------------------------------------------------------------------
+// MethodProcess
+
+MethodProcess::MethodProcess(Object& parent, std::string name,
+                             std::function<void()> fn)
+    : Process(parent, std::move(name)), fn_(std::move(fn)) {}
+
+void MethodProcess::activate() {
+  // Default resumption is static sensitivity; the body may override it by
+  // calling next_trigger().
+  state_ = State::kWaitStatic;
+  fn_();
+}
+
+void MethodProcess::next_trigger(Event& e) {
+  wait_mode_ = WaitMode::kOr;
+  waited_events_.push_back(&e);
+  e.add_dynamic(*this);
+  state_ = State::kWaitDynamic;
+}
+
+void MethodProcess::next_trigger(Time t) {
+  timeout_event_->notify(t);
+  next_trigger(*timeout_event_);
+}
+
+}  // namespace adriatic::kern

@@ -1,0 +1,120 @@
+// Signal channels (sc_signal analogue) with evaluate/update semantics: a
+// write becomes visible in the next delta cycle, and value changes notify
+// value_changed_event(); arithmetic signals also provide pos/neg edges.
+#pragma once
+
+#include <type_traits>
+
+#include "kernel/channel.hpp"
+#include "kernel/event.hpp"
+#include "kernel/port.hpp"
+#include "kernel/simulation.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::kern {
+
+template <typename T>
+class SignalInIf : public virtual Interface {
+ public:
+  [[nodiscard]] virtual const T& read() const = 0;
+  [[nodiscard]] virtual Event& value_changed_event() = 0;
+};
+
+template <typename T>
+class SignalInOutIf : public virtual SignalInIf<T> {
+ public:
+  virtual void write(const T& value) = 0;
+};
+
+template <typename T>
+class Signal : public Channel, public virtual SignalInOutIf<T> {
+ public:
+  Signal(Simulation& sim, std::string name, T initial = T{})
+      : Channel(sim, std::move(name)),
+        cur_(initial),
+        next_(initial),
+        value_changed_(this->sim(), this->name() + ".value_changed"),
+        posedge_(this->sim(), this->name() + ".posedge"),
+        negedge_(this->sim(), this->name() + ".negedge") {}
+
+  Signal(Object& parent, std::string name, T initial = T{})
+      : Channel(parent, std::move(name)),
+        cur_(initial),
+        next_(initial),
+        value_changed_(this->sim(), this->name() + ".value_changed"),
+        posedge_(this->sim(), this->name() + ".posedge"),
+        negedge_(this->sim(), this->name() + ".negedge") {}
+
+  [[nodiscard]] const char* kind() const override { return "signal"; }
+
+  [[nodiscard]] const T& read() const override { return cur_; }
+  [[nodiscard]] operator const T&() const { return cur_; }
+
+  void write(const T& value) override {
+    next_ = value;
+    if (!(next_ == cur_)) request_update();
+  }
+  Signal& operator=(const T& value) {
+    write(value);
+    return *this;
+  }
+
+  [[nodiscard]] Event& value_changed_event() override {
+    return value_changed_;
+  }
+  /// 0 -> nonzero transition (arithmetic types only).
+  [[nodiscard]] Event& posedge_event() { return posedge_; }
+  /// nonzero -> 0 transition (arithmetic types only).
+  [[nodiscard]] Event& negedge_event() { return negedge_; }
+
+  /// Number of committed value changes (for instrumentation).
+  [[nodiscard]] u64 change_count() const noexcept { return changes_; }
+
+ protected:
+  void update() override {
+    if (next_ == cur_) return;
+    const T old = cur_;
+    cur_ = next_;
+    ++changes_;
+    value_changed_.notify_delta();
+    if constexpr (std::is_arithmetic_v<T>) {
+      if (old == T{} && cur_ != T{}) posedge_.notify_delta();
+      if (old != T{} && cur_ == T{}) negedge_.notify_delta();
+    } else {
+      (void)old;
+    }
+  }
+
+ private:
+  T cur_;
+  T next_;
+  u64 changes_ = 0;
+  Event value_changed_;
+  Event posedge_;
+  Event negedge_;
+};
+
+/// Convenience input port for a signal of T.
+template <typename T>
+class In : public Port<SignalInIf<T>> {
+ public:
+  using Port<SignalInIf<T>>::Port;
+  [[nodiscard]] const T& read() const { return (*this)->read(); }
+  [[nodiscard]] Event& value_changed_event() {
+    return (*this)->value_changed_event();
+  }
+};
+
+/// Convenience output (in/out) port for a signal of T.
+template <typename T>
+class Out : public Port<SignalInOutIf<T>> {
+ public:
+  using Port<SignalInOutIf<T>>::Port;
+  void write(const T& v) { (*this)->write(v); }
+  [[nodiscard]] const T& read() const { return (*this)->read(); }
+  [[nodiscard]] Event& value_changed_event() {
+    return (*this)->value_changed_event();
+  }
+};
+
+}  // namespace adriatic::kern

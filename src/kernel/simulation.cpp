@@ -1,0 +1,272 @@
+#include "kernel/simulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "kernel/channel.hpp"
+#include "kernel/event.hpp"
+#include "kernel/object.hpp"
+#include "kernel/port.hpp"
+#include "kernel/process.hpp"
+#include "kernel/vcd.hpp"
+#include "util/log.hpp"
+
+namespace adriatic::kern {
+
+namespace {
+// The process executing right now on this OS thread; lets the free wait()
+// functions find their process without a global simulation context.
+thread_local Process* t_running = nullptr;
+
+[[nodiscard]] ThreadProcess& running_thread(const char* what) {
+  auto* tp = dynamic_cast<ThreadProcess*>(t_running);
+  if (tp == nullptr)
+    throw std::logic_error(std::string(what) +
+                           " may only be called from a thread process");
+  return *tp;
+}
+}  // namespace
+
+Simulation::Simulation() = default;
+Simulation::~Simulation() = default;
+
+// ---------------------------------------------------------------------------
+// Registration
+
+void Simulation::register_object(Object& o) {
+  auto [it, inserted] = objects_.emplace(o.name(), &o);
+  if (!inserted)
+    throw std::invalid_argument("duplicate object name: " + o.name());
+  if (o.parent() == nullptr) top_level_.push_back(&o);
+}
+
+void Simulation::unregister_object(Object& o) {
+  objects_.erase(o.name());
+  if (o.parent() == nullptr) std::erase(top_level_, &o);
+  if (auto* p = dynamic_cast<Process*>(&o)) {
+    std::erase(processes_, p);
+    std::erase(runnable_, p);
+    std::erase(pending_dynamic_, p);
+  }
+}
+
+void Simulation::adopt_process(Process& p) {
+  processes_.push_back(&p);
+  // Processes spawned after elaboration (dynamic spawning) join the
+  // schedule at the next delta cycle — deferred so that configuration
+  // applied right after construction (dont_initialize, sensitivity) is
+  // honoured before the first activation.
+  if (elaborated_) pending_dynamic_.push_back(&p);
+}
+
+Object* Simulation::find_object(const std::string& full_name) const {
+  auto it = objects_.find(full_name);
+  return it == objects_.end() ? nullptr : it->second;
+}
+
+std::vector<Object*> Simulation::top_level_objects() const {
+  return top_level_;
+}
+
+std::vector<Process*> Simulation::starved_processes() const {
+  std::vector<Process*> out;
+  for (Process* p : processes_)
+    if (p->state() == Process::State::kWaitDynamic && p->is_thread() &&
+        !p->is_daemon())
+      out.push_back(p);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Elaboration
+
+void Simulation::at_elaboration(std::function<void()> fn) {
+  elaboration_hooks_.push_back(std::move(fn));
+}
+
+void Simulation::elaborate() {
+  if (elaborated_) return;
+  for (auto& hook : elaboration_hooks_) hook();
+  // Port binding checks.
+  for (auto& [name, obj] : objects_) {
+    if (auto* port = dynamic_cast<PortBase*>(obj)) port->check_binding();
+  }
+  // Initial activation of all processes (unless dont_initialize).
+  for (Process* p : processes_) {
+    if (p->wants_initialize()) {
+      make_runnable(*p);
+    } else {
+      p->state_ = Process::State::kWaitStatic;
+    }
+  }
+  elaborated_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling primitives
+
+void Simulation::make_runnable(Process& p) {
+  if (p.state() == Process::State::kTerminated) return;
+  if (p.in_runnable_queue_) return;
+  p.in_runnable_queue_ = true;
+  p.state_ = Process::State::kReady;
+  runnable_.push_back(&p);
+}
+
+void Simulation::schedule_timed(Event& e, Time abs_time) {
+  timed_queue_.push(TimedEntry{abs_time, timed_seq_++, &e, e.generation_});
+}
+
+void Simulation::unschedule_timed(Event& e) {
+  // Lazy removal: stale queue entries are skipped by generation check.
+  (void)e;
+}
+
+void Simulation::schedule_delta(Event& e) { delta_queue_.push_back(&e); }
+
+void Simulation::request_update(Channel& ch) { update_queue_.push_back(&ch); }
+
+void Simulation::attach_tracer(TraceFile& tf) { tracers_.push_back(&tf); }
+
+void Simulation::detach_tracer(TraceFile& tf) { std::erase(tracers_, &tf); }
+
+// ---------------------------------------------------------------------------
+// Scheduler phases
+
+void Simulation::evaluate() {
+  while (!runnable_.empty()) {
+    Process* p = runnable_.front();
+    runnable_.pop_front();
+    p->in_runnable_queue_ = false;
+    current_process_ = p;
+    t_running = p;
+    ++activations_;
+    p->activate();
+    t_running = nullptr;
+    current_process_ = nullptr;
+  }
+}
+
+void Simulation::update() {
+  // update() must not request further updates; snapshot the queue.
+  std::vector<Channel*> q;
+  q.swap(update_queue_);
+  for (Channel* ch : q) {
+    ch->update_requested_ = false;
+    ch->update();
+  }
+}
+
+bool Simulation::notify_delta_queue() {
+  std::vector<Event*> q;
+  q.swap(delta_queue_);
+  for (Event* e : q) {
+    if (e->pending_ == Event::Pending::kDelta) e->trigger();
+  }
+  return !runnable_.empty();
+}
+
+void Simulation::sample_tracers() {
+  for (TraceFile* tf : tracers_) tf->cycle(now_);
+}
+
+bool Simulation::delta_cycle() {
+  evaluate();
+  // Activate processes spawned during the evaluation phase: their
+  // post-construction configuration (sensitivity, dont_initialize) is final
+  // by now, and they must be able to receive this delta's notifications.
+  if (!pending_dynamic_.empty()) {
+    std::vector<Process*> pending;
+    pending.swap(pending_dynamic_);
+    for (Process* p : pending) {
+      if (p->wants_initialize()) {
+        make_runnable(*p);
+      } else {
+        p->state_ = Process::State::kWaitStatic;
+      }
+    }
+  }
+  update();
+  ++delta_count_;
+  return notify_delta_queue();
+}
+
+StopReason Simulation::run(Time duration) {
+  if (!elaborated_) elaborate();
+  stop_requested_ = false;
+  const bool bounded = duration != Time::max();
+  const Time end = bounded ? now_ + duration : Time::max();
+
+  for (;;) {
+    // Run delta cycles while there is immediate work: runnable processes,
+    // pending channel updates, or pending delta notifications (the latter
+    // can exist without runnables, e.g. notify_delta() before run()).
+    while (!runnable_.empty() || !update_queue_.empty() ||
+           !delta_queue_.empty() || !pending_dynamic_.empty()) {
+      delta_cycle();
+      if (stop_requested_) {
+        sample_tracers();
+        return StopReason::kExplicitStop;
+      }
+    }
+    sample_tracers();
+
+    // Advance to the next valid timed notification.
+    for (;;) {
+      if (timed_queue_.empty()) return StopReason::kNoActivity;
+      const TimedEntry top = timed_queue_.top();
+      if (top.event->generation_ != top.generation ||
+          top.event->pending_ != Event::Pending::kTimed ||
+          top.event->pending_time_ != top.time) {
+        timed_queue_.pop();  // stale (cancelled or overridden)
+        continue;
+      }
+      if (bounded && top.time > end) {
+        now_ = end;
+        return StopReason::kTimeLimit;
+      }
+      now_ = top.time;
+      // Trigger every valid entry scheduled for this instant.
+      while (!timed_queue_.empty() && timed_queue_.top().time == now_) {
+        const TimedEntry entry = timed_queue_.top();
+        timed_queue_.pop();
+        if (entry.event->generation_ == entry.generation &&
+            entry.event->pending_ == Event::Pending::kTimed &&
+            entry.event->pending_time_ == now_) {
+          entry.event->trigger();
+        }
+      }
+      break;
+    }
+  }
+}
+
+bool Simulation::pending_activity() const noexcept {
+  return !runnable_.empty() || !delta_queue_.empty() ||
+         !timed_queue_.empty() || !pending_dynamic_.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Free wait functions
+
+void wait() { running_thread("wait()").wait_static(); }
+
+void wait(Event& e) { running_thread("wait(event)").wait_event(e); }
+
+void wait(Time t) { running_thread("wait(time)").wait_time(t); }
+
+void wait(Time t, Event& e) {
+  running_thread("wait(time, event)").wait_time_event(t, e);
+}
+
+void wait_any(std::span<Event* const> events) {
+  running_thread("wait_any").wait_any(events);
+}
+
+void wait_all(std::span<Event* const> events) {
+  running_thread("wait_all").wait_all(events);
+}
+
+bool timed_out() { return running_thread("timed_out()").timed_out(); }
+
+}  // namespace adriatic::kern

@@ -1,0 +1,146 @@
+// The simulation context and scheduler: evaluate / update / delta-notify /
+// timed-notify phases per the SystemC 2.0 functional specification.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::kern {
+
+class Object;
+class Event;
+class Process;
+class Channel;
+class TraceFile;
+
+/// Why a run() call returned.
+enum class StopReason : u8 {
+  kTimeLimit,    ///< Reached the requested duration.
+  kNoActivity,   ///< Event queues drained; simulation quiescent.
+  kExplicitStop, ///< A process called Simulation::stop().
+};
+
+class Simulation {
+ public:
+  Simulation();
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // -- Control --------------------------------------------------------------
+
+  /// Runs for `duration` of simulated time (default: until no activity).
+  StopReason run(Time duration = Time::max());
+  /// Requests the scheduler to stop after the current delta cycle.
+  void stop() noexcept { stop_requested_ = true; }
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] u64 delta_count() const noexcept { return delta_count_; }
+  [[nodiscard]] u64 activations() const noexcept { return activations_; }
+  [[nodiscard]] bool pending_activity() const noexcept;
+
+  // -- Elaboration ----------------------------------------------------------
+
+  /// Runs binding checks and prepares initial process activation. Called
+  /// automatically by the first run(); may be called explicitly.
+  void elaborate();
+  [[nodiscard]] bool elaborated() const noexcept { return elaborated_; }
+  /// Registers a callback to run at elaboration (used for binding checks).
+  void at_elaboration(std::function<void()> fn);
+
+  // -- Introspection --------------------------------------------------------
+
+  [[nodiscard]] Object* find_object(const std::string& full_name) const;
+  [[nodiscard]] std::vector<Object*> top_level_objects() const;
+  /// Thread processes left blocked on dynamic waits when the simulation went
+  /// quiescent — the observable signature of a model deadlock (e.g. the
+  /// paper's Sec. 5.4 blocking-bus case).
+  [[nodiscard]] std::vector<Process*> starved_processes() const;
+
+  /// The process currently executing, or nullptr between activations.
+  [[nodiscard]] Process* current_process() const noexcept {
+    return current_process_;
+  }
+
+  // -- Kernel-internal interface (used by Event/Process/Channel) ------------
+
+  void make_runnable(Process& p);
+  void schedule_timed(Event& e, Time abs_time);
+  void unschedule_timed(Event& e);
+  void schedule_delta(Event& e);
+  void request_update(Channel& ch);
+  void attach_tracer(TraceFile& tf);
+  void detach_tracer(TraceFile& tf);
+
+ private:
+  friend class Object;
+  friend class Process;
+
+  void register_object(Object& o);
+  void unregister_object(Object& o);
+  void adopt_process(Process& p);
+
+  /// Runs one evaluation phase + update phase + delta notifications.
+  /// Returns true if more runnable processes emerged.
+  bool delta_cycle();
+  void evaluate();
+  void update();
+  bool notify_delta_queue();
+  void sample_tracers();
+
+  struct TimedEntry {
+    Time time;
+    u64 seq;      ///< FIFO tie-break among same-time entries.
+    Event* event;
+    u64 generation;
+    [[nodiscard]] bool operator>(const TimedEntry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  Time now_;
+  u64 delta_count_ = 0;
+  u64 activations_ = 0;
+  u64 timed_seq_ = 0;
+  bool elaborated_ = false;
+  bool stop_requested_ = false;
+
+  std::deque<Process*> runnable_;
+  std::vector<Event*> delta_queue_;
+  std::vector<Channel*> update_queue_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
+                      std::greater<TimedEntry>>
+      timed_queue_;
+
+  Process* current_process_ = nullptr;
+  std::map<std::string, Object*> objects_;
+  std::vector<Object*> top_level_;
+  std::vector<Process*> processes_;
+  /// Spawned after elaboration; activated at the next delta cycle.
+  std::vector<Process*> pending_dynamic_;
+  std::vector<std::function<void()>> elaboration_hooks_;
+  std::vector<TraceFile*> tracers_;
+};
+
+// -- Free wait() functions (SystemC style), callable from thread processes --
+
+void wait();
+void wait(Event& e);
+void wait(Time t);
+void wait(Time t, Event& e);
+void wait_any(std::span<Event* const> events);
+void wait_all(std::span<Event* const> events);
+/// True if the calling thread's last wait(Time, Event&) ended by timeout.
+[[nodiscard]] bool timed_out();
+
+}  // namespace adriatic::kern

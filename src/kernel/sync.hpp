@@ -1,0 +1,87 @@
+// Mutex and semaphore channels (sc_mutex / sc_semaphore analogues). Used by
+// bus models to serialize masters in blocking (non-split) mode.
+#pragma once
+
+#include "kernel/channel.hpp"
+#include "kernel/event.hpp"
+#include "kernel/simulation.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::kern {
+
+class Mutex : public Channel, public virtual Interface {
+ public:
+  Mutex(Simulation& sim, std::string name)
+      : Channel(sim, std::move(name)),
+        unlocked_(this->sim(), this->name() + ".unlocked") {}
+  Mutex(Object& parent, std::string name)
+      : Channel(parent, std::move(name)),
+        unlocked_(this->sim(), this->name() + ".unlocked") {}
+
+  [[nodiscard]] const char* kind() const override { return "mutex"; }
+
+  /// Blocking lock; callable only from thread processes.
+  void lock() {
+    while (locked_) wait(unlocked_);
+    locked_ = true;
+    ++acquisitions_;
+  }
+
+  [[nodiscard]] bool try_lock() {
+    if (locked_) return false;
+    locked_ = true;
+    ++acquisitions_;
+    return true;
+  }
+
+  void unlock() {
+    locked_ = false;
+    unlocked_.notify();  // immediate: a waiter can win in this delta
+  }
+
+  [[nodiscard]] bool is_locked() const noexcept { return locked_; }
+  [[nodiscard]] u64 acquisitions() const noexcept { return acquisitions_; }
+
+ private:
+  bool locked_ = false;
+  u64 acquisitions_ = 0;
+  Event unlocked_;
+};
+
+class Semaphore : public Channel, public virtual Interface {
+ public:
+  Semaphore(Simulation& sim, std::string name, usize initial)
+      : Channel(sim, std::move(name)),
+        count_(initial),
+        posted_(this->sim(), this->name() + ".posted") {}
+  Semaphore(Object& parent, std::string name, usize initial)
+      : Channel(parent, std::move(name)),
+        count_(initial),
+        posted_(this->sim(), this->name() + ".posted") {}
+
+  [[nodiscard]] const char* kind() const override { return "semaphore"; }
+
+  void acquire() {
+    while (count_ == 0) wait(posted_);
+    --count_;
+  }
+
+  [[nodiscard]] bool try_acquire() {
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  void release() {
+    ++count_;
+    posted_.notify();
+  }
+
+  [[nodiscard]] usize value() const noexcept { return count_; }
+
+ private:
+  usize count_;
+  Event posted_;
+};
+
+}  // namespace adriatic::kern

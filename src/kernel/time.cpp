@@ -1,0 +1,21 @@
+#include "kernel/time.hpp"
+
+#include "util/strings.hpp"
+
+namespace adriatic::kern {
+
+std::string Time::str() const {
+  const u64 v = ps_;
+  if (v == 0) return "0 s";
+  if (v % 1'000'000'000'000ULL == 0)
+    return strfmt("%llu s", static_cast<unsigned long long>(v / 1'000'000'000'000ULL));
+  if (v % 1'000'000'000ULL == 0)
+    return strfmt("%llu ms", static_cast<unsigned long long>(v / 1'000'000'000ULL));
+  if (v % 1'000'000ULL == 0)
+    return strfmt("%llu us", static_cast<unsigned long long>(v / 1'000'000ULL));
+  if (v % 1'000ULL == 0)
+    return strfmt("%llu ns", static_cast<unsigned long long>(v / 1'000ULL));
+  return strfmt("%llu ps", static_cast<unsigned long long>(v));
+}
+
+}  // namespace adriatic::kern

@@ -1,0 +1,94 @@
+// Simulated time. SystemC 2.0 models time as an unsigned multiple of a time
+// resolution; we fix the resolution at 1 picosecond, which spans ~213 days of
+// simulated time in 64 bits — ample for system-level models.
+#pragma once
+
+#include <compare>
+#include <limits>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace adriatic::kern {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time ps(u64 v) { return Time(v); }
+  [[nodiscard]] static constexpr Time ns(u64 v) { return Time(v * 1'000ULL); }
+  [[nodiscard]] static constexpr Time us(u64 v) {
+    return Time(v * 1'000'000ULL);
+  }
+  [[nodiscard]] static constexpr Time ms(u64 v) {
+    return Time(v * 1'000'000'000ULL);
+  }
+  [[nodiscard]] static constexpr Time sec(u64 v) {
+    return Time(v * 1'000'000'000'000ULL);
+  }
+  [[nodiscard]] static constexpr Time zero() { return Time(0); }
+  [[nodiscard]] static constexpr Time max() {
+    return Time(std::numeric_limits<u64>::max());
+  }
+
+  /// Construct from a floating-point count of nanoseconds (rounds down).
+  [[nodiscard]] static constexpr Time from_ns(double v) {
+    return Time(static_cast<u64>(v * 1e3));
+  }
+
+  [[nodiscard]] constexpr u64 picoseconds() const { return ps_; }
+  [[nodiscard]] constexpr double to_ns() const {
+    return static_cast<double>(ps_) / 1e3;
+  }
+  [[nodiscard]] constexpr double to_us() const {
+    return static_cast<double>(ps_) / 1e6;
+  }
+  [[nodiscard]] constexpr double to_ms() const {
+    return static_cast<double>(ps_) / 1e9;
+  }
+  [[nodiscard]] constexpr double to_sec() const {
+    return static_cast<double>(ps_) / 1e12;
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return ps_ == 0; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) {
+    ps_ += rhs.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ps_ -= rhs.ps_;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr Time operator+(Time a, Time b) {
+    return Time(a.ps_ + b.ps_);
+  }
+  [[nodiscard]] friend constexpr Time operator-(Time a, Time b) {
+    return Time(a.ps_ - b.ps_);
+  }
+  [[nodiscard]] friend constexpr Time operator*(Time a, u64 k) {
+    return Time(a.ps_ * k);
+  }
+  [[nodiscard]] friend constexpr Time operator*(u64 k, Time a) {
+    return Time(a.ps_ * k);
+  }
+  [[nodiscard]] friend constexpr u64 operator/(Time a, Time b) {
+    return b.ps_ ? a.ps_ / b.ps_ : 0;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit Time(u64 ps) : ps_(ps) {}
+  u64 ps_ = 0;
+};
+
+namespace literals {
+constexpr Time operator""_ps(unsigned long long v) { return Time::ps(v); }
+constexpr Time operator""_ns(unsigned long long v) { return Time::ns(v); }
+constexpr Time operator""_us(unsigned long long v) { return Time::us(v); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::ms(v); }
+}  // namespace literals
+
+}  // namespace adriatic::kern

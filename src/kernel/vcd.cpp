@@ -1,0 +1,70 @@
+#include "kernel/vcd.hpp"
+
+#include "kernel/simulation.hpp"
+
+namespace adriatic::kern {
+
+TraceFile::TraceFile(Simulation& sim, const std::string& path)
+    : sim_(&sim), out_(path) {
+  sim_->attach_tracer(*this);
+}
+
+TraceFile::~TraceFile() {
+  sim_->detach_tracer(*this);
+  out_.flush();
+}
+
+std::string TraceFile::make_id(usize index) {
+  // VCD identifiers: printable ASCII 33..126, base-94.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+std::string TraceFile::to_bits(u64 v, usize width) {
+  std::string s(width, '0');
+  for (usize i = 0; i < width; ++i)
+    if ((v >> i) & 1) s[width - 1 - i] = '1';
+  return s;
+}
+
+void TraceFile::write_header() {
+  out_ << "$timescale 1ps $end\n$scope module adriatic $end\n";
+  for (auto& item : items_) {
+    out_ << "$var wire " << item.width << ' ' << item.id << ' ' << item.name
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void TraceFile::cycle(Time now) {
+  if (!header_written_) write_header();
+  // Only one sample per simulated instant (the settled values).
+  if (have_last_time_ && now == last_time_) {
+    // Re-sample in place: later deltas at the same instant supersede.
+  }
+  bool time_emitted = false;
+  for (auto& item : items_) {
+    std::string v = item.sample();
+    if (v == item.last) continue;
+    if (!time_emitted) {
+      out_ << '#' << now.picoseconds() << '\n';
+      time_emitted = true;
+    }
+    if (item.width == 1) {
+      out_ << v << item.id << '\n';
+    } else {
+      out_ << 'b' << v << ' ' << item.id << '\n';
+    }
+    item.last = std::move(v);
+    ++samples_;
+  }
+  have_last_time_ = true;
+  last_time_ = now;
+}
+
+}  // namespace adriatic::kern

@@ -1,0 +1,67 @@
+// Value-change-dump (VCD) tracing so waveforms from the system-level models
+// can be inspected in standard viewers (GTKWave et al.).
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/signal.hpp"
+#include "kernel/time.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::kern {
+
+class Simulation;
+
+class TraceFile {
+ public:
+  TraceFile(Simulation& sim, const std::string& path);
+  ~TraceFile();
+
+  TraceFile(const TraceFile&) = delete;
+  TraceFile& operator=(const TraceFile&) = delete;
+
+  /// Traces a boolean or integral signal under `display_name`.
+  template <typename T>
+  void trace(SignalInIf<T>& sig, const std::string& display_name) {
+    static_assert(std::is_integral_v<T>, "VCD tracing needs integral values");
+    Item item;
+    item.name = display_name;
+    item.id = make_id(items_.size());
+    item.width = std::is_same_v<T, bool> ? 1 : sizeof(T) * 8;
+    item.sample = [&sig, width = item.width] {
+      return to_bits(static_cast<u64>(sig.read()), width);
+    };
+    items_.push_back(std::move(item));
+  }
+
+  /// Called by the simulation whenever signal values settle; writes deltas.
+  void cycle(Time now);
+
+  [[nodiscard]] u64 samples_written() const noexcept { return samples_; }
+
+ private:
+  struct Item {
+    std::string name;
+    std::string id;
+    usize width = 1;
+    std::function<std::string()> sample;
+    std::string last;
+  };
+
+  static std::string make_id(usize index);
+  static std::string to_bits(u64 v, usize width);
+  void write_header();
+
+  Simulation* sim_;
+  std::ofstream out_;
+  std::vector<Item> items_;
+  bool header_written_ = false;
+  bool have_last_time_ = false;
+  Time last_time_;
+  u64 samples_ = 0;
+};
+
+}  // namespace adriatic::kern

@@ -1,0 +1,64 @@
+// Failure-injection memory: a RAM whose reads flip bits with a configured
+// probability — modeling soft errors in the buffers between accelerator
+// stages. Used to verify that the system-level models propagate corruption
+// observably (e.g. the CRC stage catches it) rather than masking faults.
+#pragma once
+
+#include "memory/memory.hpp"
+#include "util/random.hpp"
+
+namespace adriatic::mem {
+
+struct FaultConfig {
+  /// Probability that any given read returns a corrupted word.
+  double read_error_rate = 0.0;
+  /// Bits flipped per corrupted word (1 = single-event upset).
+  u32 bits_per_error = 1;
+  u64 seed = 0xFA017;
+  /// Inject only within [window_low, window_high] (0,0 = everywhere).
+  bus::addr_t window_low = 0;
+  bus::addr_t window_high = 0;
+};
+
+class FaultyMemory : public Memory {
+ public:
+  FaultyMemory(kern::Object& parent, std::string name, bus::addr_t low,
+               usize size_words, FaultConfig fault,
+               kern::Time read_latency = kern::Time::zero(),
+               kern::Time write_latency = kern::Time::zero())
+      : Memory(parent, std::move(name), low, size_words, read_latency,
+               write_latency),
+        fault_(fault),
+        rng_(fault.seed) {}
+
+  bool read(bus::addr_t add, bus::word* data) override {
+    const bool ok = Memory::read(add, data);
+    if (!ok || data == nullptr) return ok;
+    if (!in_window(add)) return true;
+    if (fault_.read_error_rate > 0.0 &&
+        rng_.next_bool(fault_.read_error_rate)) {
+      u32 v = static_cast<u32>(*data);
+      for (u32 i = 0; i < std::max<u32>(1, fault_.bits_per_error); ++i)
+        v ^= 1u << rng_.next_below(32);
+      *data = static_cast<bus::word>(v);
+      ++injected_errors_;
+    }
+    return true;
+  }
+
+  [[nodiscard]] u64 injected_errors() const noexcept {
+    return injected_errors_;
+  }
+
+ private:
+  [[nodiscard]] bool in_window(bus::addr_t add) const {
+    if (fault_.window_low == 0 && fault_.window_high == 0) return true;
+    return add >= fault_.window_low && add <= fault_.window_high;
+  }
+
+  FaultConfig fault_;
+  Xoshiro256 rng_;
+  u64 injected_errors_ = 0;
+};
+
+}  // namespace adriatic::mem

@@ -1,0 +1,68 @@
+#include "memory/memory.hpp"
+
+#include <stdexcept>
+
+namespace adriatic::mem {
+
+Memory::Memory(kern::Object& parent, std::string name, bus::addr_t low,
+               usize size_words, kern::Time read_latency,
+               kern::Time write_latency)
+    : Module(parent, std::move(name)),
+      low_(low),
+      words_(size_words, 0),
+      read_latency_(read_latency),
+      write_latency_(write_latency) {
+  if (size_words == 0) throw std::invalid_argument(this->name() + ": empty");
+}
+
+bool Memory::read(bus::addr_t add, bus::word* data) {
+  if (!in_range(add) || data == nullptr) {
+    ++stats_.errors;
+    return false;
+  }
+  if (!read_latency_.is_zero()) kern::wait(read_latency_);
+  *data = words_[add - low_];
+  ++stats_.reads;
+  return true;
+}
+
+bool Memory::write(bus::addr_t add, bus::word* data) {
+  if (!in_range(add) || data == nullptr) {
+    ++stats_.errors;
+    return false;
+  }
+  if (!write_latency_.is_zero()) kern::wait(write_latency_);
+  words_[add - low_] = *data;
+  ++stats_.writes;
+  return true;
+}
+
+void Memory::load(bus::addr_t add, std::span<const bus::word> data) {
+  if (!in_range(add) || add + data.size() - 1 > get_high_add())
+    throw std::out_of_range(name() + ": load outside memory");
+  for (usize i = 0; i < data.size(); ++i) words_[add - low_ + i] = data[i];
+}
+
+bus::word Memory::peek(bus::addr_t add) const {
+  if (!in_range(add)) throw std::out_of_range(name() + ": peek outside memory");
+  return words_[add - low_];
+}
+
+void Memory::poke(bus::addr_t add, bus::word value) {
+  if (!in_range(add)) throw std::out_of_range(name() + ": poke outside memory");
+  words_[add - low_] = value;
+}
+
+Rom::Rom(kern::Object& parent, std::string name, bus::addr_t low,
+         std::span<const bus::word> contents, kern::Time read_latency)
+    : Memory(parent, std::move(name), low,
+             contents.empty() ? 1 : contents.size(), read_latency) {
+  if (!contents.empty()) load(low, contents);
+}
+
+bool Rom::write(bus::addr_t /*add*/, bus::word* /*data*/) {
+  ++stats_.errors;
+  return false;
+}
+
+}  // namespace adriatic::mem

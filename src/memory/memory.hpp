@@ -1,0 +1,67 @@
+// Timing-parameterised memory slaves: RAM, ROM, and the configuration
+// (context) memory that stores DRCF bitstreams. Word-addressed: each bus
+// address holds one 32-bit word.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bus/interfaces.hpp"
+#include "kernel/module.hpp"
+#include "kernel/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace adriatic::mem {
+
+struct MemoryStats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 errors = 0;  ///< Out-of-range or read-only violations.
+};
+
+class Memory : public kern::Module, public bus::BusSlaveIf {
+ public:
+  Memory(kern::Object& parent, std::string name, bus::addr_t low,
+         usize size_words, kern::Time read_latency = kern::Time::zero(),
+         kern::Time write_latency = kern::Time::zero());
+
+  // BusSlaveIf ----------------------------------------------------------------
+  [[nodiscard]] bus::addr_t get_low_add() const override { return low_; }
+  [[nodiscard]] bus::addr_t get_high_add() const override {
+    return low_ + static_cast<bus::addr_t>(words_.size()) - 1;
+  }
+  bool read(bus::addr_t add, bus::word* data) override;
+  bool write(bus::addr_t add, bus::word* data) override;
+
+  // Backdoor access (no timing, no stats) — loaders and checkers only.
+  void load(bus::addr_t add, std::span<const bus::word> data);
+  [[nodiscard]] bus::word peek(bus::addr_t add) const;
+  void poke(bus::addr_t add, bus::word value);
+
+  [[nodiscard]] const MemoryStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] usize size_words() const noexcept { return words_.size(); }
+
+ protected:
+  [[nodiscard]] bool in_range(bus::addr_t add) const {
+    return add >= low_ && add <= get_high_add();
+  }
+
+  bus::addr_t low_;
+  std::vector<bus::word> words_;
+  kern::Time read_latency_;
+  kern::Time write_latency_;
+  MemoryStats stats_;
+};
+
+/// Read-only memory: bus writes fail (and count as errors).
+class Rom : public Memory {
+ public:
+  Rom(kern::Object& parent, std::string name, bus::addr_t low,
+      std::span<const bus::word> contents,
+      kern::Time read_latency = kern::Time::zero());
+
+  bool write(bus::addr_t add, bus::word* data) override;
+};
+
+}  // namespace adriatic::mem

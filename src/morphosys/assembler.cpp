@@ -1,0 +1,204 @@
+#include "morphosys/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace adriatic::morphosys {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+[[noreturn]] void fail(usize line, const std::string& msg) {
+  throw std::invalid_argument(strfmt("asm line %zu: %s", line, msg.c_str()));
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+std::string strip(const std::string& s) {
+  usize b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> tokenize_operands(const std::string& s) {
+  std::vector<std::string> out;
+  for (auto& part : split(s, ',')) {
+    const std::string t = strip(part);
+    if (!t.empty()) out.push_back(t);
+  }
+  return out;
+}
+
+u8 parse_reg(const std::string& t, usize line) {
+  if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R'))
+    fail(line, "expected register, got '" + t + "'");
+  const int n = std::atoi(t.c_str() + 1);
+  if (n < 0 || n > 15) fail(line, "register out of range: " + t);
+  return static_cast<u8>(n);
+}
+
+i32 parse_imm(const std::string& t, usize line) {
+  char* end = nullptr;
+  const long v = std::strtol(t.c_str(), &end, 0);
+  if (end == t.c_str() || *end != '\0')
+    fail(line, "expected immediate, got '" + t + "'");
+  return static_cast<i32>(v);
+}
+
+struct PendingBranch {
+  usize instr_index;
+  std::string label;
+  usize line;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  Program prog;
+  std::map<std::string, u32> labels;
+  std::vector<PendingBranch> fixups;
+
+  const auto lines = split(source, '\n');
+  for (usize ln = 0; ln < lines.size(); ++ln) {
+    std::string line = lines[ln];
+    // Strip comments.
+    for (const char c : {';', '#'}) {
+      const auto pos = line.find(c);
+      if (pos != std::string::npos) line = line.substr(0, pos);
+    }
+    line = strip(line);
+    if (line.empty()) continue;
+
+    // Label?
+    if (line.back() == ':') {
+      const std::string label = strip(line.substr(0, line.size() - 1));
+      if (label.empty()) fail(ln + 1, "empty label");
+      if (!labels.emplace(label, static_cast<u32>(prog.size())).second)
+        fail(ln + 1, "duplicate label '" + label + "'");
+      continue;
+    }
+
+    // Mnemonic + operands.
+    const auto space = line.find_first_of(" \t");
+    const std::string mnem = upper(space == std::string::npos
+                                       ? line
+                                       : line.substr(0, space));
+    const auto ops = space == std::string::npos
+                         ? std::vector<std::string>{}
+                         : tokenize_operands(line.substr(space + 1));
+    auto need = [&](usize n) {
+      if (ops.size() != n)
+        fail(ln + 1, strfmt("%s expects %zu operands, got %zu", mnem.c_str(),
+                            n, ops.size()));
+    };
+
+    Instruction ins;
+    if (mnem == "NOP") {
+      need(0);
+      ins.op = Opcode::kNop;
+    } else if (mnem == "HALT") {
+      need(0);
+      ins.op = Opcode::kHalt;
+    } else if (mnem == "ADDI") {
+      need(3);
+      ins.op = Opcode::kAddi;
+      ins.rd = parse_reg(ops[0], ln + 1);
+      ins.rs = parse_reg(ops[1], ln + 1);
+      ins.imm = parse_imm(ops[2], ln + 1);
+    } else if (mnem == "ADD" || mnem == "SUB" || mnem == "MUL") {
+      need(3);
+      ins.op = mnem == "ADD"   ? Opcode::kAdd
+               : mnem == "SUB" ? Opcode::kSub
+                               : Opcode::kMul;
+      ins.rd = parse_reg(ops[0], ln + 1);
+      ins.rs = parse_reg(ops[1], ln + 1);
+      ins.rt = parse_reg(ops[2], ln + 1);
+    } else if (mnem == "LDW") {
+      need(3);
+      ins.op = Opcode::kLdw;
+      ins.rd = parse_reg(ops[0], ln + 1);
+      ins.rs = parse_reg(ops[1], ln + 1);
+      ins.imm = parse_imm(ops[2], ln + 1);
+    } else if (mnem == "STW") {
+      need(3);
+      ins.op = Opcode::kStw;
+      ins.rs = parse_reg(ops[0], ln + 1);
+      ins.imm = parse_imm(ops[1], ln + 1);
+      ins.rt = parse_reg(ops[2], ln + 1);
+    } else if (mnem == "BEQ" || mnem == "BNE") {
+      need(3);
+      ins.op = mnem == "BEQ" ? Opcode::kBeq : Opcode::kBne;
+      ins.rs = parse_reg(ops[0], ln + 1);
+      ins.rt = parse_reg(ops[1], ln + 1);
+      fixups.push_back({prog.size(), ops[2], ln + 1});
+    } else if (mnem == "JMP") {
+      need(1);
+      ins.op = Opcode::kJmp;
+      fixups.push_back({prog.size(), ops[0], ln + 1});
+    } else if (mnem == "DMALD") {
+      need(3);
+      ins.op = Opcode::kDmaLd;
+      ins.rs = parse_reg(ops[0], ln + 1);  // main memory address register
+      ins.rt = parse_reg(ops[1], ln + 1);  // frame buffer address register
+      ins.imm = parse_imm(ops[2], ln + 1);
+    } else if (mnem == "DMAST") {
+      need(3);
+      ins.op = Opcode::kDmaSt;
+      ins.rs = parse_reg(ops[0], ln + 1);  // frame buffer address register
+      ins.rt = parse_reg(ops[1], ln + 1);  // main memory address register
+      ins.imm = parse_imm(ops[2], ln + 1);
+    } else if (mnem == "DMACL") {
+      need(3);
+      ins.op = Opcode::kDmaCl;
+      ins.rd = static_cast<u8>(parse_imm(ops[0], ln + 1) & 1);  // plane
+      ins.rt = parse_reg(ops[1], ln + 1);  // memory address register
+      ins.imm = parse_imm(ops[2], ln + 1); // context count
+    } else if (mnem == "RAMODE") {
+      need(1);
+      ins.op = Opcode::kRaMode;
+      const std::string m = upper(ops[0]);
+      if (m == "ROW") {
+        ins.imm = 0;
+      } else if (m == "COL" || m == "COLUMN") {
+        ins.imm = 1;
+      } else {
+        fail(ln + 1, "RAMODE expects row|col");
+      }
+    } else if (mnem == "RAEXEC") {
+      need(4);
+      ins.op = Opcode::kRaExec;
+      ins.rs = static_cast<u8>(parse_imm(ops[0], ln + 1) & 1);  // plane
+      ins.rt = static_cast<u8>(parse_imm(ops[1], ln + 1) & 15); // context
+      ins.rd = parse_reg(ops[2], ln + 1);  // frame-buffer base register
+      ins.imm = parse_imm(ops[3], ln + 1); // cycles
+    } else if (mnem == "WAITDMA") {
+      need(0);
+      ins.op = Opcode::kWaitDma;
+    } else {
+      fail(ln + 1, "unknown mnemonic '" + mnem + "'");
+    }
+    prog.push_back(ins);
+  }
+
+  for (const auto& fx : fixups) {
+    const auto it = labels.find(fx.label);
+    if (it == labels.end()) fail(fx.line, "unknown label '" + fx.label + "'");
+    prog[fx.instr_index].target = it->second;
+  }
+  return prog;
+}
+
+}  // namespace adriatic::morphosys

@@ -1,0 +1,33 @@
+// Two-pass assembler for the TinyRISC + RA/DMA instruction set, so example
+// programs and tests read like the microcode listings in the MorphoSys
+// literature rather than C++ initializer soup.
+//
+// Syntax (one instruction per line; ';' or '#' starts a comment):
+//   label:
+//   ADDI  r1, r0, 5
+//   ADD   r1, r2, r3         ; also SUB, MUL
+//   LDW   r1, r2, 16         ; r1 = mem[r2 + 16]
+//   STW   r2, 16, r1         ; mem[r2 + 16] = r1
+//   BEQ   r1, r2, label      ; also BNE
+//   JMP   label
+//   DMALD r_mem, r_fb, 64    ; main memory -> frame buffer
+//   DMAST r_fb, r_mem, 64    ; frame buffer -> main memory
+//   DMACL 1, r_mem, 4        ; load 4 contexts into plane 1
+//   RAMODE row|col
+//   RAEXEC plane, ctx, r_fbbase, cycles
+//   WAITDMA
+//   NOP
+//   HALT
+#pragma once
+
+#include <string>
+
+#include "morphosys/isa.hpp"
+
+namespace adriatic::morphosys {
+
+/// Assembles `source` into a Program; throws std::invalid_argument with a
+/// line-numbered message on syntax errors or unknown labels.
+[[nodiscard]] Program assemble(const std::string& source);
+
+}  // namespace adriatic::morphosys

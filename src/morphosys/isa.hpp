@@ -1,0 +1,105 @@
+// MorphoSys-class machine ISA (paper Sec. 3c): a TinyRISC-style control
+// processor whose instruction set is augmented with DMA and RC-array
+// instructions, plus the context-word format steering the 8x8 array.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace adriatic::morphosys {
+
+// --- RC array context words -------------------------------------------------
+
+/// Where an RC operand comes from (the three-layer interconnect: mesh
+/// neighbours, intra-quadrant row/column lines, plus local state).
+enum class MuxSel : u8 {
+  kReg0,
+  kReg1,
+  kReg2,
+  kReg3,
+  kImm,       ///< Context immediate.
+  kNorth,     ///< Mesh layer 1: nearest neighbours (previous cycle outputs).
+  kSouth,
+  kEast,
+  kWest,
+  kRowQuad,   ///< Layer 2: output of cell `imm` in this row's quadrant.
+  kColQuad,   ///< Layer 2: output of cell `imm` in this column's quadrant.
+  kXQuad,     ///< Layer 3: output of the same-position cell in the next
+              ///< quadrant (inter-quadrant express lane).
+  kFrameBuf,  ///< Operand streamed from the frame buffer.
+};
+
+enum class RcOp : u8 {
+  kNop,
+  kAdd,
+  kSub,
+  kMul,
+  kMac,    ///< acc += a*b (accumulator = reg3 by convention).
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,    ///< Arithmetic shift right.
+  kMin,
+  kMax,
+  kAbsDiff,
+  kMov,
+};
+
+/// One context word: the operation every RC in a broadcast group executes.
+struct ContextWord {
+  RcOp op = RcOp::kNop;
+  MuxSel src_a = MuxSel::kReg0;
+  MuxSel src_b = MuxSel::kReg1;
+  u8 dst_reg = 0;        ///< Destination register (0-3); output always updated.
+  i16 imm = 0;           ///< Immediate / quadrant lane select.
+  bool write_fb = false; ///< Also write the result to the frame buffer.
+};
+
+/// A full context: one word per broadcast group (8 rows or 8 columns).
+struct Context {
+  std::array<ContextWord, 8> rows{};
+};
+
+/// SIMD broadcast mode: all cells in a row share a word, or all in a column.
+enum class BroadcastMode : u8 { kRow, kColumn };
+
+// --- TinyRISC instructions ---------------------------------------------------
+
+enum class Opcode : u8 {
+  kNop,
+  kHalt,
+  kAddi,   ///< rd = rs + imm
+  kAdd,    ///< rd = rs + rt
+  kSub,
+  kMul,
+  kLdw,    ///< rd = mem[rs + imm]
+  kStw,    ///< mem[rs + imm] = rt
+  kBeq,    ///< if (rs == rt) pc = target
+  kBne,
+  kJmp,
+  // MorphoSys-specific instructions (paper: "TinyRISC ISA is augmented with
+  // specific instructions for controlling DMA and RA").
+  kDmaLd,  ///< DMA: main memory[rs] -> frame buffer[rt], imm words.
+  kDmaSt,  ///< DMA: frame buffer[rs] -> main memory[rt], imm words.
+  kDmaCl,  ///< DMA: load imm contexts into plane rs from main memory[rt].
+  kRaMode, ///< Set broadcast mode (imm: 0 row, 1 column).
+  kRaExec, ///< Execute context rt of plane rs for imm array cycles.
+  kWaitDma,///< Stall until the DMA engine is idle.
+};
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  u8 rd = 0;
+  u8 rs = 0;
+  u8 rt = 0;
+  i32 imm = 0;
+  u32 target = 0;  ///< Branch/jump destination (instruction index).
+};
+
+using Program = std::vector<Instruction>;
+
+}  // namespace adriatic::morphosys

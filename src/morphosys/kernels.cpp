@@ -1,0 +1,104 @@
+#include "morphosys/kernels.hpp"
+
+#include "morphosys/assembler.hpp"
+#include "util/strings.hpp"
+
+namespace adriatic::morphosys {
+
+namespace {
+Context uniform(ContextWord w) {
+  Context c;
+  c.rows.fill(w);
+  return c;
+}
+}  // namespace
+
+std::vector<Context> scale_shift_contexts(i16 gain, i16 shift) {
+  ContextWord mul;
+  mul.op = RcOp::kMul;
+  mul.src_a = MuxSel::kFrameBuf;
+  mul.src_b = MuxSel::kImm;
+  mul.imm = gain;
+  mul.dst_reg = 0;
+
+  ContextWord shr;
+  shr.op = RcOp::kShr;
+  shr.src_a = MuxSel::kReg0;
+  shr.src_b = MuxSel::kImm;
+  shr.imm = shift;
+  shr.dst_reg = 1;
+  shr.write_fb = true;
+
+  return {uniform(mul), uniform(shr)};
+}
+
+std::vector<Context> add_bias_contexts(i16 bias) {
+  ContextWord add;
+  add.op = RcOp::kAdd;
+  add.src_a = MuxSel::kFrameBuf;
+  add.src_b = MuxSel::kImm;
+  add.imm = bias;
+  add.dst_reg = 0;
+  add.write_fb = true;
+  return {uniform(add)};
+}
+
+std::vector<Context> absdiff_contexts() {
+  ContextWord ad;
+  ad.op = RcOp::kAbsDiff;
+  ad.src_a = MuxSel::kFrameBuf;
+  ad.src_b = MuxSel::kReg1;
+  ad.dst_reg = 0;
+  ad.write_fb = true;
+  return {uniform(ad)};
+}
+
+std::vector<Context> column_mac_contexts(const std::array<i16, 8>& coeffs) {
+  Context mac;
+  for (usize col = 0; col < 8; ++col) {
+    ContextWord w;
+    w.op = RcOp::kMac;
+    w.src_a = MuxSel::kFrameBuf;
+    w.src_b = MuxSel::kImm;
+    w.imm = coeffs[col];
+    w.dst_reg = 3;
+    mac.rows[col] = w;  // column-broadcast: word per column
+  }
+  return {mac};
+}
+
+std::string tile_driver_asm(usize src, usize dst, usize n_words,
+                            usize ctx_image_addr, usize plane,
+                            usize n_contexts) {
+  const usize chunks = ceil_div<usize>(n_words, kArrayCells);
+  std::string s;
+  s += strfmt("    ADDI r1, r0, %zu\n", src);
+  s += strfmt("    ADDI r2, r0, 0\n");
+  s += strfmt("    ADDI r4, r0, %zu\n", ctx_image_addr);
+  s += strfmt("    DMACL %zu, r4, %zu\n", plane, n_contexts);
+  s += strfmt("    DMALD r1, r2, %zu\n", n_words);
+  s += "    WAITDMA\n    RAMODE row\n";
+  s += strfmt("    ADDI r6, r0, %zu\n", chunks);
+  s += "    chunk:\n";
+  for (usize c = 0; c < n_contexts; ++c)
+    s += strfmt("    RAEXEC %zu, %zu, r2, 1\n", plane, c);
+  s += strfmt("    ADDI r2, r2, %zu\n", kArrayCells);
+  s += "    ADDI r6, r6, -1\n    BNE r6, r0, chunk\n";
+  s += strfmt("    ADDI r2, r0, 0\n    ADDI r5, r0, %zu\n", dst);
+  s += strfmt("    DMAST r2, r5, %zu\n", n_words);
+  s += "    WAITDMA\n    HALT\n";
+  return s;
+}
+
+bool run_tile_kernel(Machine& machine, const std::vector<Context>& contexts,
+                     usize src, usize dst, usize n_words,
+                     usize ctx_image_addr, usize plane, u64 max_cycles) {
+  for (usize i = 0; i < contexts.size(); ++i)
+    machine.store_context_image(ctx_image_addr + i * 8, contexts[i]);
+  const auto prog = assemble(
+      tile_driver_asm(src, dst, n_words, ctx_image_addr, plane,
+                      contexts.size()));
+  return machine.run(prog, max_cycles);
+}
+
+}  // namespace adriatic::morphosys

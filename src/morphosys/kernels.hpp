@@ -1,0 +1,46 @@
+// Prebuilt RC-array context programs for common data-parallel kernels, plus
+// helpers that assemble the TinyRISC driver code around them. These are the
+// "mapping library" a MorphoSys-class compiler framework would emit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "morphosys/isa.hpp"
+#include "morphosys/machine.hpp"
+
+namespace adriatic::morphosys {
+
+/// out[i] = (in[i] * gain) >> shift, elementwise over the frame buffer.
+/// Two contexts: multiply (ctx 0), shift + write-back (ctx 1).
+[[nodiscard]] std::vector<Context> scale_shift_contexts(i16 gain, i16 shift);
+
+/// out[i] = saturate(in[i] + bias), single context with write-back.
+[[nodiscard]] std::vector<Context> add_bias_contexts(i16 bias);
+
+/// out[i] = |a[i] - b[i]| where a is streamed and b was preloaded into reg1
+/// by a previous pass; single context with write-back. (SAD building block.)
+[[nodiscard]] std::vector<Context> absdiff_contexts();
+
+/// Per-column FIR-style MAC sweep: reg3 += in[i] * coeff[col], using
+/// column-broadcast mode so each column applies its own coefficient.
+[[nodiscard]] std::vector<Context> column_mac_contexts(
+    const std::array<i16, 8>& coeffs);
+
+/// Emits a TinyRISC program that (1) DMA-loads `n_words` from `src` into the
+/// frame buffer, (2) loads `contexts.size()` contexts into `plane`,
+/// (3) executes each context over ceil(n_words/64) chunks in order,
+/// (4) stores the frame buffer back to `dst`, (5) halts.
+[[nodiscard]] std::string tile_driver_asm(usize src, usize dst, usize n_words,
+                                          usize ctx_image_addr, usize plane,
+                                          usize n_contexts);
+
+/// Convenience: installs the context images at `ctx_image_addr` and runs the
+/// generated driver over the machine. Returns false if the program did not
+/// halt within the cycle budget.
+bool run_tile_kernel(Machine& machine, const std::vector<Context>& contexts,
+                     usize src, usize dst, usize n_words,
+                     usize ctx_image_addr = 0x6000, usize plane = 0,
+                     u64 max_cycles = 10'000'000);
+
+}  // namespace adriatic::morphosys

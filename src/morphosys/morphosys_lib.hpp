@@ -1,0 +1,8 @@
+// Umbrella header for the MorphoSys-class coarse-grained array substrate.
+#pragma once
+
+#include "morphosys/assembler.hpp"
+#include "morphosys/isa.hpp"
+#include "morphosys/kernels.hpp"
+#include "morphosys/machine.hpp"
+#include "morphosys/rc_array.hpp"

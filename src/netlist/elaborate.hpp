@@ -1,0 +1,63 @@
+// Elaborator: instantiates a Design into live simulation modules under one
+// top-level module, performing all port/slave bindings — the netlist
+// counterpart of SystemC's construction + binding phase.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/bus_lib.hpp"
+#include "drcf/drcf.hpp"
+#include "kernel/kernel.hpp"
+#include "memory/memory.hpp"
+#include "netlist/design.hpp"
+#include "soc/soc_lib.hpp"
+
+namespace adriatic::netlist {
+
+class Elaborated {
+ public:
+  /// Builds every component of `design` as children of a new module named
+  /// `top_name`. Throws std::invalid_argument when validate() fails.
+  Elaborated(kern::Simulation& sim, const Design& design,
+             const std::string& top_name = "top");
+
+  [[nodiscard]] kern::Module& top() noexcept { return *top_; }
+  [[nodiscard]] const kern::Module& top() const noexcept { return *top_; }
+
+  // Typed lookups; throw std::out_of_range on unknown name or wrong type.
+  [[nodiscard]] bus::Bus& get_bus(const std::string& name) const;
+  [[nodiscard]] bus::DirectLink& get_link(const std::string& name) const;
+  [[nodiscard]] mem::Memory& get_memory(const std::string& name) const;
+  [[nodiscard]] soc::HwAccel& get_hwacc(const std::string& name) const;
+  [[nodiscard]] soc::Dma& get_dma(const std::string& name) const;
+  [[nodiscard]] soc::Processor& get_processor(const std::string& name) const;
+  [[nodiscard]] soc::TrafficGen& get_traffic(const std::string& name) const;
+  [[nodiscard]] drcf::Drcf& get_drcf(const std::string& name) const;
+  [[nodiscard]] soc::IssProcessor& get_iss(const std::string& name) const;
+  [[nodiscard]] soc::InterruptController& get_irq(
+      const std::string& name) const;
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return objects_.count(name) != 0;
+  }
+
+  /// Synthetic configuration bitstreams are written into config memories at
+  /// elaboration (pattern 0xC0DE0000 | context-index) so fetches return
+  /// recognisable data.
+  static constexpr u32 kBitstreamPattern = 0xC0DE0000u;
+
+ private:
+  template <typename T>
+  [[nodiscard]] T& get_as(const std::string& name) const;
+
+  [[nodiscard]] bus::BusMasterIf& master_if(const std::string& name) const;
+
+  std::unique_ptr<kern::Module> top_;
+  std::vector<std::unique_ptr<kern::Object>> owned_;
+  std::map<std::string, kern::Object*> objects_;
+};
+
+}  // namespace adriatic::netlist

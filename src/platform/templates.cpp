@@ -1,0 +1,103 @@
+#include "platform/templates.hpp"
+
+#include <stdexcept>
+
+namespace adriatic::platform {
+
+netlist::Design make_soc_platform(const PlatformOptions& options) {
+  netlist::Design d;
+
+  netlist::BusDecl sys;
+  sys.config.cycle_time = options.bus_cycle;
+  sys.config.split_transactions = options.split_transactions;
+  d.add(PlatformNames::kBus, sys);
+
+  netlist::MemoryDecl ram;
+  ram.low = PlatformMap::kRam;
+  ram.words = 16 * 1024;
+  ram.bus = PlatformNames::kBus;
+  d.add(PlatformNames::kRam, ram);
+
+  netlist::MemoryDecl code;
+  code.low = PlatformMap::kCodeRom;
+  code.words = 4 * 1024;
+  code.bus = PlatformNames::kBus;
+  d.add(PlatformNames::kCode, code);
+
+  netlist::MemoryDecl cfg;
+  cfg.low = PlatformMap::kCfgMem;
+  cfg.words = 64 * 1024;
+  if (!options.dedicated_config_link) cfg.bus = PlatformNames::kBus;
+  d.add(PlatformNames::kCfg, cfg);
+  if (options.dedicated_config_link) {
+    netlist::DirectLinkDecl link;
+    link.word_time = options.bus_cycle;
+    link.slave = PlatformNames::kCfg;
+    d.add(PlatformNames::kCfgLink, link);
+  }
+
+  if (options.irq) {
+    netlist::IrqControllerDecl irq;
+    irq.base = PlatformMap::kIrq;
+    irq.bus = PlatformNames::kBus;
+    d.add(PlatformNames::kIrq, irq);
+  }
+
+  if (options.dma) {
+    netlist::DmaDecl dma;
+    dma.base = PlatformMap::kDma;
+    dma.slave_bus = dma.master_bus = PlatformNames::kBus;
+    d.add(PlatformNames::kDma, dma);
+  }
+
+  if (options.peripheral_bus) {
+    netlist::BusDecl periph;
+    periph.config.cycle_time = options.bus_cycle * 4;  // slow peripheral bus
+    d.add(PlatformNames::kPeriphBus, periph);
+    netlist::BridgeDecl bridge;
+    bridge.low = PlatformMap::kPeriphWindow;
+    bridge.high = PlatformMap::kPeriphWindow + 0xFFF;
+    bridge.offset = -static_cast<i64>(PlatformMap::kPeriphWindow);
+    bridge.upstream_bus = PlatformNames::kBus;
+    bridge.downstream_bus = PlatformNames::kPeriphBus;
+    d.add(PlatformNames::kBridge, bridge);
+  }
+
+  return d;
+}
+
+bus::addr_t add_accelerator(netlist::Design& design, const std::string& name,
+                            accel::KernelSpec spec) {
+  // Next free accelerator slot: 0x100, 0x200, 0x300 (0x400+ is reserved
+  // for the template's IRQ/DMA windows).
+  for (bus::addr_t base = PlatformMap::kAccelBase; base < PlatformMap::kIrq;
+       base += 0x100) {
+    bool taken = false;
+    for (const auto& existing : design.names()) {
+      if (const auto* h = design.get_if<netlist::HwAccelDecl>(existing))
+        if (h->base == base) taken = true;
+    }
+    if (taken) continue;
+    netlist::HwAccelDecl acc;
+    acc.base = base;
+    acc.spec = std::move(spec);
+    acc.slave_bus = acc.master_bus = PlatformNames::kBus;
+    design.add(name, acc);
+    // Wire the accelerator's completion into the next free IRQ line.
+    if (auto* irq =
+            design.get_if<netlist::IrqControllerDecl>(PlatformNames::kIrq)) {
+      irq->lines.emplace_back(static_cast<u32>(irq->lines.size()), name);
+    }
+    return base;
+  }
+  throw std::out_of_range("platform: accelerator slots exhausted");
+}
+
+void add_software(netlist::Design& design, soc::Processor::Program program) {
+  netlist::ProcessorDecl cpu;
+  cpu.master_bus = PlatformNames::kBus;
+  cpu.program = std::move(program);
+  design.add(PlatformNames::kCpu, cpu);
+}
+
+}  // namespace adriatic::platform

@@ -1,0 +1,67 @@
+// Architecture templates (paper Fig. 3: "Architecture templates, system-
+// level IP" feed the architecture-definition step; "The old models of an
+// architecture are called architecture templates"). Each factory returns a
+// ready netlist Design a project starts from, mirroring the three
+// technology classes of Sec. 3.
+#pragma once
+
+#include "netlist/design.hpp"
+
+namespace adriatic::platform {
+
+/// Common address map shared by all templates, so application code and
+/// drivers port across platforms unchanged.
+struct PlatformMap {
+  static constexpr bus::addr_t kRam = 0x1000;        // 16k words
+  static constexpr bus::addr_t kAccelBase = 0x100;   // 0x100 per accelerator
+  static constexpr bus::addr_t kIrq = 0x400;
+  static constexpr bus::addr_t kDma = 0x500;
+  static constexpr bus::addr_t kCodeRom = 0x8000;    // 4k words
+  static constexpr bus::addr_t kCfgMem = 0x100000;   // 64k words
+  static constexpr bus::addr_t kPeriphWindow = 0x20000;  // behind the bridge
+};
+
+struct PlatformOptions {
+  kern::Time bus_cycle = kern::Time::ns(10);
+  bool split_transactions = true;
+  /// Dedicated configuration link for the (future) DRCF instead of sharing
+  /// the system bus.
+  bool dedicated_config_link = false;
+  /// Add a slower peripheral bus behind a bridge.
+  bool peripheral_bus = false;
+  /// Add a DMA controller.
+  bool dma = false;
+  /// Add the interrupt controller.
+  bool irq = true;
+};
+
+/// Virtex-II-Pro-class system template (paper Sec. 3a): processor-centric
+/// single-chip platform — system bus, RAM, code memory, configuration
+/// memory, optional peripheral bus/DMA/IRQ. Accelerators and the processor
+/// program are added by the project.
+[[nodiscard]] netlist::Design make_soc_platform(
+    const PlatformOptions& options = {});
+
+/// Adds an accelerator at the template's next free accelerator slot.
+/// Returns the register base address.
+bus::addr_t add_accelerator(netlist::Design& design, const std::string& name,
+                            accel::KernelSpec spec);
+
+/// Adds a task-programmed processor bound to the system bus.
+void add_software(netlist::Design& design, soc::Processor::Program program);
+
+/// Names used by the template (for Elaborated lookups).
+struct PlatformNames {
+  static constexpr const char* kBus = "system_bus";
+  static constexpr const char* kPeriphBus = "periph_bus";
+  static constexpr const char* kBridge = "bridge";
+  static constexpr const char* kRam = "ram";
+  static constexpr const char* kCode = "code_mem";
+  static constexpr const char* kCfg = "cfg_mem";
+  static constexpr const char* kCfgLink = "cfg_link";
+  static constexpr const char* kIrq = "irq";
+  static constexpr const char* kDma = "dma";
+  static constexpr const char* kCpu = "cpu";
+};
+
+}  // namespace adriatic::platform

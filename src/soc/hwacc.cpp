@@ -1,0 +1,112 @@
+#include "soc/hwacc.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "kernel/simulation.hpp"
+
+namespace adriatic::soc {
+
+HwAccel::HwAccel(kern::Object& parent, std::string name, bus::addr_t base,
+                 accel::KernelSpec spec, kern::Time cycle_time)
+    : Module(parent, std::move(name)),
+      clk(*this, "clk", /*min_bindings=*/0),
+      mst_port(*this, "mst_port"),
+      base_(base),
+      spec_(std::move(spec)),
+      cycle_time_(cycle_time),
+      start_event_(sim(), this->name() + ".start"),
+      started_event_(sim(), this->name() + ".started"),
+      done_event_(sim(), this->name() + ".done") {
+  if (!spec_.valid())
+    throw std::invalid_argument(this->name() + ": invalid kernel spec");
+  spawn_thread("worker", [this] { worker(); }).set_daemon();
+}
+
+bool HwAccel::read(bus::addr_t add, bus::word* data) {
+  if (add < base_ || add > get_high_add() || data == nullptr) return false;
+  ++stats_.reg_accesses;
+  switch (add - base_) {
+    case kCtrl:
+      *data = 0;
+      return true;
+    case kStatus:
+      *data = status_;
+      return true;
+    case kSrc:
+      *data = src_;
+      return true;
+    case kDst:
+      *data = dst_;
+      return true;
+    case kLen:
+      *data = len_;
+      return true;
+    case kOutLen:
+      *data = out_len_;
+      return true;
+    default:
+      *data = 0;
+      return true;
+  }
+}
+
+bool HwAccel::write(bus::addr_t add, bus::word* data) {
+  if (add < base_ || add > get_high_add() || data == nullptr) return false;
+  ++stats_.reg_accesses;
+  switch (add - base_) {
+    case kCtrl:
+      if (*data == 1) {
+        if (status_ == kBusy) return false;  // already running
+        status_ = kBusy;
+        start_event_.notify_delta();
+      }
+      return true;
+    case kStatus:
+      if (*data == 0 && status_ == kDone) status_ = kIdle;
+      return true;
+    case kSrc:
+      src_ = *data;
+      return true;
+    case kDst:
+      dst_ = *data;
+      return true;
+    case kLen:
+      len_ = *data;
+      return true;
+    default:
+      return false;  // read-only or reserved
+  }
+}
+
+void HwAccel::worker() {
+  for (;;) {
+    kern::wait(start_event_);
+    started_event_.notify_delta();
+    ++stats_.invocations;
+
+    const usize len = static_cast<usize>(len_);
+    std::vector<bus::word> input(len, 0);
+    if (len > 0) {
+      mst_port->burst_read(static_cast<bus::addr_t>(src_), input, 0);
+      stats_.words_in += len;
+    }
+
+    // Datapath time: cycles from the kernel profile at this clock.
+    const kern::Time compute = cycle_time_ * spec_.hw_cycles(len);
+    if (!compute.is_zero()) kern::wait(compute);
+    stats_.compute_time += compute;
+
+    std::vector<bus::word> output = spec_.fn(input);
+    out_len_ = static_cast<bus::word>(output.size());
+    if (!output.empty()) {
+      mst_port->burst_write(static_cast<bus::addr_t>(dst_), output, 0);
+      stats_.words_out += output.size();
+    }
+
+    status_ = kDone;
+    done_event_.notify_delta();
+  }
+}
+
+}  // namespace adriatic::soc

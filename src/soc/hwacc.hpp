@@ -1,0 +1,92 @@
+// Bus-attached hardware accelerator — the `hwacc` of the paper's Sec. 5.2
+// listing: implements bus_slv_if, has a clk input and a bus master port, and
+// runs a workload kernel over data it fetches itself (DMA style).
+//
+// Register map (word offsets from the base address):
+//   +0 CTRL    write 1 = start
+//   +1 STATUS  0 = idle, 1 = busy, 2 = done (write 0 to clear)
+//   +2 SRC     source address of the input buffer
+//   +3 DST     destination address for results
+//   +4 LEN     number of input words
+//   +5 OUTLEN  (read-only) number of output words produced by the last run
+#pragma once
+
+#include <string>
+
+#include "accel/kernel_spec.hpp"
+#include "bus/interfaces.hpp"
+#include "kernel/module.hpp"
+#include "kernel/port.hpp"
+#include "kernel/signal.hpp"
+#include "util/stats.hpp"
+
+namespace adriatic::soc {
+
+struct HwAccelStats {
+  u64 invocations = 0;
+  u64 words_in = 0;
+  u64 words_out = 0;
+  u64 reg_accesses = 0;
+  kern::Time compute_time;  ///< Time spent in the datapath (excl. transfers).
+};
+
+class HwAccel : public kern::Module, public bus::BusSlaveIf {
+ public:
+  static constexpr u32 kRegWindow = 8;  ///< Address range size in words.
+  enum Reg : u32 {
+    kCtrl = 0,
+    kStatus = 1,
+    kSrc = 2,
+    kDst = 3,
+    kLen = 4,
+    kOutLen = 5
+  };
+  enum Status : bus::word { kIdle = 0, kBusy = 1, kDone = 2 };
+
+  HwAccel(kern::Object& parent, std::string name, bus::addr_t base,
+          accel::KernelSpec spec,
+          kern::Time cycle_time = kern::Time::ns(10));
+
+  kern::In<bool> clk;  ///< Present to mirror the paper's module shape.
+  kern::Port<bus::BusMasterIf> mst_port;
+
+  // BusSlaveIf ---------------------------------------------------------------
+  [[nodiscard]] bus::addr_t get_low_add() const override { return base_; }
+  [[nodiscard]] bus::addr_t get_high_add() const override {
+    return base_ + kRegWindow - 1;
+  }
+  bool read(bus::addr_t add, bus::word* data) override;
+  bool write(bus::addr_t add, bus::word* data) override;
+
+  /// Notified (delta) when a run begins (profiling hooks).
+  [[nodiscard]] kern::Event& started_event() noexcept {
+    return started_event_;
+  }
+  /// Notified (delta) when a run completes.
+  [[nodiscard]] kern::Event& done_event() noexcept { return done_event_; }
+  /// True while a run is in flight.
+  [[nodiscard]] bool busy() const noexcept { return status_ == kBusy; }
+  [[nodiscard]] const HwAccelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const accel::KernelSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] kern::Time cycle_time() const noexcept { return cycle_time_; }
+
+ private:
+  void worker();
+
+  bus::addr_t base_;
+  accel::KernelSpec spec_;
+  kern::Time cycle_time_;
+
+  bus::word status_ = kIdle;
+  bus::word src_ = 0;
+  bus::word dst_ = 0;
+  bus::word len_ = 0;
+  bus::word out_len_ = 0;
+
+  kern::Event start_event_;
+  kern::Event started_event_;
+  kern::Event done_event_;
+  HwAccelStats stats_;
+};
+
+}  // namespace adriatic::soc

@@ -1,0 +1,62 @@
+#include "soc/irq.hpp"
+
+#include <stdexcept>
+
+#include "kernel/simulation.hpp"
+
+namespace adriatic::soc {
+
+InterruptController::InterruptController(kern::Object& parent,
+                                         std::string name, bus::addr_t base)
+    : Module(parent, std::move(name)),
+      base_(base),
+      irq_event_(sim(), this->name() + ".irq") {}
+
+void InterruptController::connect(u32 index, kern::Event& source) {
+  if (index >= 32)
+    throw std::out_of_range(name() + ": IRQ index must be 0-31");
+  auto watcher = std::make_unique<kern::MethodProcess>(
+      *this, "irq" + std::to_string(index) + "_watch", [this, index] {
+        pending_ |= (1u << index);
+        ++latched_;
+        if (enable_ & (1u << index)) irq_event_.notify_delta();
+      });
+  watcher->sensitive(source);
+  watcher->dont_initialize();
+  watchers_.push_back(std::move(watcher));
+}
+
+bool InterruptController::read(bus::addr_t add, bus::word* data) {
+  if (add < base_ || add > get_high_add() || data == nullptr) return false;
+  switch (add - base_) {
+    case kStatus:
+      *data = static_cast<bus::word>(pending_ & enable_);
+      return true;
+    case kRaw:
+      *data = static_cast<bus::word>(pending_);
+      return true;
+    case kEnable:
+      *data = static_cast<bus::word>(enable_);
+      return true;
+    default:
+      *data = 0;
+      return true;
+  }
+}
+
+bool InterruptController::write(bus::addr_t add, bus::word* data) {
+  if (add < base_ || add > get_high_add() || data == nullptr) return false;
+  switch (add - base_) {
+    case kEnable:
+      enable_ = static_cast<u32>(*data);
+      if ((pending_ & enable_) != 0) irq_event_.notify_delta();
+      return true;
+    case kAck:
+      pending_ &= ~static_cast<u32>(*data);
+      return true;
+    default:
+      return false;  // STATUS and RAW are read-only
+  }
+}
+
+}  // namespace adriatic::soc

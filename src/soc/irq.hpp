@@ -1,0 +1,59 @@
+// Interrupt infrastructure: level-sensitive IRQ lines aggregated by a
+// bus-programmable interrupt controller. Lets processor programs block on
+// completion interrupts instead of polling status registers — which changes
+// the bus-traffic picture the DRCF experiments measure.
+//
+// Controller register map (word offsets from base):
+//   +0 STATUS  (RO) pending-interrupt bitmask (after masking)
+//   +1 RAW     (RO) unmasked line state
+//   +2 ENABLE  (RW) mask: 1 = line enabled
+//   +3 ACK     (WO) write a bitmask to clear latched pending bits
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/interfaces.hpp"
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/signal.hpp"
+
+namespace adriatic::soc {
+
+class InterruptController : public kern::Module, public bus::BusSlaveIf {
+ public:
+  static constexpr u32 kRegWindow = 4;
+  enum Reg : u32 { kStatus = 0, kRaw = 1, kEnable = 2, kAck = 3 };
+
+  InterruptController(kern::Object& parent, std::string name,
+                      bus::addr_t base);
+
+  /// Registers a source event as IRQ line `index` (0-31). The controller
+  /// latches a pending bit every time the event fires.
+  void connect(u32 index, kern::Event& source);
+
+  // BusSlaveIf ----------------------------------------------------------------
+  [[nodiscard]] bus::addr_t get_low_add() const override { return base_; }
+  [[nodiscard]] bus::addr_t get_high_add() const override {
+    return base_ + kRegWindow - 1;
+  }
+  bool read(bus::addr_t add, bus::word* data) override;
+  bool write(bus::addr_t add, bus::word* data) override;
+
+  /// Notified whenever a masked pending bit becomes set (what a CPU core's
+  /// IRQ input would see).
+  [[nodiscard]] kern::Event& irq_event() noexcept { return irq_event_; }
+  [[nodiscard]] u32 pending() const noexcept { return pending_ & enable_; }
+  [[nodiscard]] u64 interrupts_latched() const noexcept { return latched_; }
+
+ private:
+  bus::addr_t base_;
+  u32 pending_ = 0;
+  u32 enable_ = 0;
+  u64 latched_ = 0;
+  kern::Event irq_event_;
+  std::vector<std::unique_ptr<kern::MethodProcess>> watchers_;
+};
+
+}  // namespace adriatic::soc

@@ -1,0 +1,78 @@
+// Instruction-set-simulator processor: executes a TinyRISC-subset program
+// *from memory over the bus*, so instruction fetches are real bus traffic
+// that competes with accelerator DMA and DRCF configuration fetches — the
+// effect the coarser task-level Processor model cannot show. A small
+// direct-mapped line buffer models an instruction cache.
+//
+// Binary encoding: two bus words per instruction —
+//   word0: [5:0] opcode, [9:6] rd, [13:10] rs, [17:14] rt
+//   word1: imm (branches/jumps store the target instruction index here)
+// Programs are written with the morphosys assembler (RA/DMA opcodes are
+// illegal on this core and stop execution with an error).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bus/interfaces.hpp"
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/port.hpp"
+#include "morphosys/isa.hpp"
+#include "util/stats.hpp"
+
+namespace adriatic::soc {
+
+/// Encodes a program into its two-words-per-instruction memory image.
+[[nodiscard]] std::vector<bus::word> encode_program(
+    const morphosys::Program& program);
+
+struct IssConfig {
+  kern::Time cycle_time = kern::Time::ns(10);
+  bus::addr_t reset_pc = 0;  ///< Word address of the program image.
+  /// Instruction line buffer: caches the last fetched line of
+  /// `icache_line_words` words. 0 disables caching (every instruction is
+  /// two bus reads).
+  u32 icache_line_words = 0;
+  u32 bus_priority = 0;
+};
+
+struct IssStats {
+  u64 instructions = 0;
+  u64 ifetch_reads = 0;   ///< Bus reads for instruction fetch.
+  u64 icache_hits = 0;
+  u64 data_reads = 0;
+  u64 data_writes = 0;
+  bool halted = false;
+  bool illegal_instruction = false;
+};
+
+class IssProcessor : public kern::Module {
+ public:
+  IssProcessor(kern::Object& parent, std::string name, IssConfig cfg);
+
+  kern::Port<bus::BusMasterIf> mst_port;
+
+  [[nodiscard]] const IssStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] i32 reg(usize i) const { return regs_.at(i); }
+  /// Notified when the core halts (HALT or illegal instruction).
+  [[nodiscard]] kern::Event& halted_event() noexcept { return halted_event_; }
+
+ private:
+  void run();
+  [[nodiscard]] bus::word bus_read(bus::addr_t add);
+  void bus_write(bus::addr_t add, bus::word value);
+  [[nodiscard]] bool fetch(u32 pc, bus::word* w0, bus::word* w1);
+
+  IssConfig cfg_;
+  std::array<i32, 16> regs_{};
+  IssStats stats_;
+  kern::Event halted_event_;
+
+  // Line buffer state.
+  std::vector<bus::word> line_;
+  bus::addr_t line_base_ = 0;
+  bool line_valid_ = false;
+};
+
+}  // namespace adriatic::soc

@@ -1,0 +1,85 @@
+#include "soc/processor.hpp"
+
+#include <stdexcept>
+
+#include "kernel/simulation.hpp"
+
+namespace adriatic::soc {
+
+Processor::Processor(kern::Object& parent, std::string name,
+                     ProcessorConfig cfg, Program program)
+    : Module(parent, std::move(name)),
+      mst_port(*this, "mst_port"),
+      cfg_(cfg),
+      program_(std::move(program)) {
+  if (!program_)
+    throw std::invalid_argument(this->name() + ": null program");
+  thread_ = &spawn_thread("sw", [this] {
+    Cpu cpu(*this);
+    program_(cpu);
+    finished_ = true;
+  });
+}
+
+kern::Event& Processor::finished_event() noexcept {
+  return thread_->terminated_event();
+}
+
+void Cpu::compute(u64 instructions) {
+  p_->stats_.instructions += instructions;
+  const double cycles = static_cast<double>(instructions) * p_->cfg_.cpi;
+  const kern::Time t = kern::Time::ps(static_cast<u64>(
+      cycles * static_cast<double>(p_->cfg_.cycle_time.picoseconds())));
+  if (!t.is_zero()) kern::wait(t);
+  p_->stats_.compute_time += t;
+}
+
+void Cpu::delay(kern::Time t) {
+  if (!t.is_zero()) kern::wait(t);
+}
+
+void Cpu::wait_for(kern::Event& e) { kern::wait(e); }
+
+bus::word Cpu::read(bus::addr_t add) {
+  bus::word v = 0;
+  if (p_->mst_port->read(add, &v, p_->cfg_.bus_priority) !=
+      bus::BusStatus::kOk)
+    throw std::runtime_error(p_->name() + ": bus read fault at " +
+                             std::to_string(add));
+  ++p_->stats_.bus_reads;
+  return v;
+}
+
+void Cpu::write(bus::addr_t add, bus::word value) {
+  if (p_->mst_port->write(add, &value, p_->cfg_.bus_priority) !=
+      bus::BusStatus::kOk)
+    throw std::runtime_error(p_->name() + ": bus write fault at " +
+                             std::to_string(add));
+  ++p_->stats_.bus_writes;
+}
+
+void Cpu::burst_read(bus::addr_t add, std::span<bus::word> out) {
+  if (p_->mst_port->burst_read(add, out, p_->cfg_.bus_priority) !=
+      bus::BusStatus::kOk)
+    throw std::runtime_error(p_->name() + ": burst read fault");
+  p_->stats_.bus_reads += out.size();
+}
+
+void Cpu::burst_write(bus::addr_t add, std::span<const bus::word> data) {
+  if (p_->mst_port->burst_write(add, data, p_->cfg_.bus_priority) !=
+      bus::BusStatus::kOk)
+    throw std::runtime_error(p_->name() + ": burst write fault");
+  p_->stats_.bus_writes += data.size();
+}
+
+void Cpu::poll_until(bus::addr_t add, bus::word value,
+                     kern::Time poll_interval) {
+  for (;;) {
+    if (read(add) == value) return;
+    if (!poll_interval.is_zero()) kern::wait(poll_interval);
+  }
+}
+
+kern::Time Cpu::now() const { return p_->sim().now(); }
+
+}  // namespace adriatic::soc

@@ -1,0 +1,85 @@
+// Software execution model: a processor running a designer-supplied task
+// program against the bus. This is the "SW functionality on CPU" half of the
+// paper's Fig. 1 architecture and the temporal-computation end of Fig. 2.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "bus/interfaces.hpp"
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/port.hpp"
+#include "util/stats.hpp"
+
+namespace adriatic::soc {
+
+struct ProcessorConfig {
+  kern::Time cycle_time = kern::Time::ns(10);  ///< 100 MHz.
+  double cpi = 1.2;        ///< Average cycles per instruction.
+  u32 bus_priority = 0;    ///< Priority for the processor's bus accesses.
+};
+
+struct ProcessorStats {
+  u64 instructions = 0;
+  u64 bus_reads = 0;
+  u64 bus_writes = 0;
+  kern::Time compute_time;
+};
+
+class Processor;
+
+/// Execution context a task program runs against; every operation advances
+/// simulated time and updates the processor statistics.
+class Cpu {
+ public:
+  /// Executes `instructions` instructions' worth of computation.
+  void compute(u64 instructions);
+  /// Explicit stall (e.g. waiting on a timer).
+  void delay(kern::Time t);
+  void wait_for(kern::Event& e);
+
+  [[nodiscard]] bus::word read(bus::addr_t add);
+  void write(bus::addr_t add, bus::word value);
+  void burst_read(bus::addr_t add, std::span<bus::word> out);
+  void burst_write(bus::addr_t add, std::span<const bus::word> data);
+
+  /// Polls `add` until it reads `value`, with `poll_interval` between polls.
+  void poll_until(bus::addr_t add, bus::word value,
+                  kern::Time poll_interval);
+
+  [[nodiscard]] kern::Time now() const;
+
+ private:
+  friend class Processor;
+  explicit Cpu(Processor& p) : p_(&p) {}
+  Processor* p_;
+};
+
+class Processor : public kern::Module {
+ public:
+  using Program = std::function<void(Cpu&)>;
+
+  Processor(kern::Object& parent, std::string name, ProcessorConfig cfg,
+            Program program);
+
+  kern::Port<bus::BusMasterIf> mst_port;
+
+  [[nodiscard]] const ProcessorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ProcessorConfig& config() const noexcept { return cfg_; }
+  /// Notified when the program returns.
+  [[nodiscard]] kern::Event& finished_event() noexcept;
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+ private:
+  friend class Cpu;
+
+  ProcessorConfig cfg_;
+  Program program_;
+  ProcessorStats stats_;
+  bool finished_ = false;
+  kern::ThreadProcess* thread_ = nullptr;
+};
+
+}  // namespace adriatic::soc

@@ -1,0 +1,9 @@
+// Umbrella header for the SoC building blocks.
+#pragma once
+
+#include "soc/dma.hpp"
+#include "soc/hwacc.hpp"
+#include "soc/irq.hpp"
+#include "soc/iss.hpp"
+#include "soc/processor.hpp"
+#include "soc/traffic_gen.hpp"

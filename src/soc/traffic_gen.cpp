@@ -1,0 +1,39 @@
+#include "soc/traffic_gen.hpp"
+
+#include <vector>
+
+#include "kernel/simulation.hpp"
+
+namespace adriatic::soc {
+
+TrafficGen::TrafficGen(kern::Object& parent, std::string name,
+                       TrafficGenConfig cfg)
+    : Module(parent, std::move(name)),
+      mst_port(*this, "mst_port"),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  spawn_thread("gen", [this] { run(); });
+}
+
+void TrafficGen::run() {
+  std::vector<bus::word> buf;
+  for (u64 n = 0; cfg_.max_bursts == 0 || n < cfg_.max_bursts; ++n) {
+    if (!cfg_.period.is_zero()) kern::wait(cfg_.period);
+    const u32 len = std::max<u32>(1, cfg_.burst_words);
+    const u32 span = cfg_.window_words > len ? cfg_.window_words - len : 1;
+    const bus::addr_t a =
+        cfg_.base + static_cast<bus::addr_t>(rng_.next_below(span));
+    buf.assign(len, static_cast<bus::word>(rng_.next()));
+    const kern::Time t0 = sim().now();
+    if (rng_.next_bool(cfg_.write_fraction)) {
+      mst_port->burst_write(a, buf, cfg_.priority);
+    } else {
+      mst_port->burst_read(a, buf, cfg_.priority);
+    }
+    stats_.total_latency += sim().now() - t0;
+    ++stats_.bursts;
+    stats_.words += len;
+  }
+}
+
+}  // namespace adriatic::soc

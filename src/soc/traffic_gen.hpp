@@ -1,0 +1,55 @@
+// Bus traffic generator: issues periodic read or write bursts against an
+// address window. Used as background load in the memory-organisation
+// experiments, and as a bus-master-only component (no slave interface) that
+// exercises the transformation's limitation-2 diagnostic.
+#pragma once
+
+#include <string>
+
+#include "bus/interfaces.hpp"
+#include "kernel/module.hpp"
+#include "kernel/port.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace adriatic::soc {
+
+struct TrafficGenConfig {
+  bus::addr_t base = 0;
+  u32 window_words = 64;       ///< Addresses are drawn from [base, base+window).
+  u32 burst_words = 8;
+  kern::Time period = kern::Time::us(1);  ///< Gap between bursts.
+  double write_fraction = 0.5;
+  u32 priority = 0;
+  u64 seed = 1;
+  u64 max_bursts = 0;          ///< 0 = unlimited.
+};
+
+struct TrafficGenStats {
+  u64 bursts = 0;
+  u64 words = 0;
+  kern::Time total_latency;  ///< Sum of per-burst completion latencies.
+};
+
+class TrafficGen : public kern::Module {
+ public:
+  TrafficGen(kern::Object& parent, std::string name, TrafficGenConfig cfg);
+
+  kern::Port<bus::BusMasterIf> mst_port;
+
+  [[nodiscard]] const TrafficGenStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double mean_burst_latency_ns() const {
+    return stats_.bursts == 0 ? 0.0
+                              : stats_.total_latency.to_ns() /
+                                    static_cast<double>(stats_.bursts);
+  }
+
+ private:
+  void run();
+
+  TrafficGenConfig cfg_;
+  TrafficGenStats stats_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace adriatic::soc

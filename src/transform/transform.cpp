@@ -1,0 +1,268 @@
+#include "transform/transform.hpp"
+
+#include <algorithm>
+
+#include "soc/hwacc.hpp"
+#include "util/strings.hpp"
+
+namespace adriatic::transform {
+
+using netlist::Design;
+using netlist::DrcfDecl;
+using netlist::HwAccelDecl;
+using netlist::MemoryDecl;
+
+bool TransformReport::has_warning(const std::string& needle) const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const std::string& d) {
+                       return d.find(needle) != std::string::npos;
+                     });
+}
+
+namespace {
+
+std::string make_before_listing(
+    const std::vector<CandidateAnalysis>& candidates,
+    const std::string& bus_name) {
+  std::string s = "SC_MODULE(top){\n  sc_in_clk clk;\n";
+  for (const auto& c : candidates)
+    s += strfmt("  hwacc *%s;\n", c.instance.c_str());
+  s += strfmt("  bus *%s;\n\n  SC_CTOR(top) {\n", bus_name.c_str());
+  s += strfmt("    %s = new bus(\"BUS\");\n    %s->clk(clk);\n",
+              bus_name.c_str(), bus_name.c_str());
+  for (const auto& c : candidates) {
+    s += strfmt("    %s = new hwacc(\"%s\", 0x%X, 0x%X);\n",
+                c.instance.c_str(), c.instance.c_str(), c.low, c.high);
+    s += strfmt("    %s->clk(clk);\n    %s->mst_port(*%s);\n",
+                c.instance.c_str(), c.instance.c_str(), bus_name.c_str());
+    s += strfmt("    %s->slv_port(*%s);\n", bus_name.c_str(),
+                c.instance.c_str());
+  }
+  s += "    ...\n";
+  return s;
+}
+
+std::string make_after_listing(
+    const std::vector<CandidateAnalysis>& candidates,
+    const std::string& bus_name, const std::string& drcf_name) {
+  std::string s = "SC_MODULE(top){\n  sc_in_clk clk;\n";
+  s += strfmt("  drcf_own *%s;\n  bus *%s;\n\n  SC_CTOR(top) {\n",
+              drcf_name.c_str(), bus_name.c_str());
+  s += strfmt("    %s = new bus(\"BUS\");\n    %s->clk(clk);\n",
+              bus_name.c_str(), bus_name.c_str());
+  s += strfmt("    %s = new drcf_own(\"%s\");\n    %s->clk(clk);\n",
+              drcf_name.c_str(), drcf_name.c_str(), drcf_name.c_str());
+  s += strfmt("    %s->mst_port(*%s);\n    %s->slv_port(*%s);\n",
+              drcf_name.c_str(), bus_name.c_str(), bus_name.c_str(),
+              drcf_name.c_str());
+  s += "    ...\n\n";
+  s += strfmt("class drcf_own : public sc_module, public bus_slv_if {\n");
+  s += "  SC_HAS_PROCESS(drcf_own);\n  void arb_and_instr();\n";
+  for (const auto& c : candidates)
+    s += strfmt("  hwacc *%s;  // context @0x%X, %llu config words\n",
+                c.instance.c_str(), c.config_address,
+                static_cast<unsigned long long>(c.context_words));
+  s += strfmt("  SC_CTOR(drcf_own) {\n    SC_THREAD(arb_and_instr);\n");
+  for (const auto& c : candidates) {
+    s += strfmt("    %s = new hwacc(\"%s\", 0x%X, 0x%X);\n",
+                c.instance.c_str(), c.instance.c_str(), c.low, c.high);
+    s += strfmt("    %s->clk(clk);\n    %s->mst_port(mst_port);\n",
+                c.instance.c_str(), c.instance.c_str());
+  }
+  s += "  }\n};\n";
+  return s;
+}
+
+}  // namespace
+
+TransformReport transform_to_drcf(Design& design,
+                                  std::span<const std::string> candidates,
+                                  const TransformOptions& options) {
+  TransformReport report;
+  report.drcf_name = options.drcf_name;
+
+  if (candidates.empty()) {
+    report.diagnostics.emplace_back("error: no candidate instances given");
+    return report;
+  }
+  if (design.contains(options.drcf_name)) {
+    report.diagnostics.push_back("error: component name '" +
+                                 options.drcf_name + "' already in use");
+    return report;
+  }
+
+  // --- Phase 1+2: analyse modules and instances -----------------------------
+  std::string shared_bus;
+  bool failed = false;
+  std::vector<std::string> seen;
+  for (const auto& name : candidates) {
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) {
+      report.diagnostics.push_back("error: candidate '" + name +
+                                   "' listed twice");
+      failed = true;
+      continue;
+    }
+    seen.push_back(name);
+    if (!design.contains(name)) {
+      report.diagnostics.push_back("error: no component named '" + name +
+                                   "'");
+      failed = true;
+      continue;
+    }
+    const auto* h = design.get_if<HwAccelDecl>(name);
+    if (h == nullptr) {
+      // Paper limitation 2: the candidate must implement a bus-slave
+      // interface exposing get_low_add()/get_high_add().
+      report.diagnostics.push_back(
+          "error: candidate '" + name + "' (kind " +
+          netlist::decl_kind(design.at(name)) +
+          ") does not implement bus_slv_if with "
+          "get_low_add()/get_high_add() (limitation 2)");
+      failed = true;
+      continue;
+    }
+    CandidateAnalysis a;
+    a.instance = name;
+    a.interface = "bus_slv_if";
+    a.ports = {"clk: sc_in_clk", "mst_port: sc_port<bus_mst_if>"};
+    a.bindings = {"clk -> clk", "mst_port -> " + h->master_bus,
+                  "slv_port <- " + h->slave_bus};
+    a.low = h->base;
+    a.high = h->base + soc::HwAccel::kRegWindow - 1;
+    a.gates = h->spec.gate_count;
+    report.candidates.push_back(std::move(a));
+
+    // Paper limitation 1: all candidates must live in the same hierarchy —
+    // in netlist terms, be slaves of the same bus.
+    if (shared_bus.empty()) {
+      shared_bus = h->slave_bus;
+    } else if (h->slave_bus != shared_bus) {
+      report.diagnostics.push_back(
+          "error: candidate '" + name + "' is bound to bus '" +
+          h->slave_bus + "' but earlier candidates use '" + shared_bus +
+          "' — all DRCF candidates must be instantiated in the same "
+          "component (limitation 1)");
+      failed = true;
+    }
+  }
+  if (shared_bus.empty() && !failed) {
+    report.diagnostics.emplace_back(
+        "error: candidates are not bound to any bus");
+    failed = true;
+  }
+
+  // The DRCF exposes the union of the candidates' address ranges; any
+  // non-candidate slave inside that union would overlap the DRCF on the
+  // bus. Catch it here with a useful message instead of failing at
+  // elaboration.
+  if (!report.candidates.empty()) {
+    bus::addr_t lo = report.candidates.front().low;
+    bus::addr_t hi = report.candidates.front().high;
+    for (const auto& c : report.candidates) {
+      lo = std::min(lo, c.low);
+      hi = std::max(hi, c.high);
+    }
+    for (const auto& other : design.names()) {
+      if (std::find(seen.begin(), seen.end(), other) != seen.end()) continue;
+      bus::addr_t olo = 0, ohi = 0;
+      bool is_slave = false;
+      if (const auto* h = design.get_if<HwAccelDecl>(other)) {
+        if (h->slave_bus != shared_bus) continue;
+        olo = h->base;
+        ohi = h->base + soc::HwAccel::kRegWindow - 1;
+        is_slave = true;
+      } else if (const auto* m = design.get_if<MemoryDecl>(other)) {
+        if (m->bus != shared_bus) continue;
+        olo = m->low;
+        ohi = m->low + static_cast<bus::addr_t>(m->words) - 1;
+        is_slave = true;
+      }
+      if (is_slave && olo <= hi && lo <= ohi) {
+        report.diagnostics.push_back(
+            "error: slave '" + other + "' occupies [" +
+            std::to_string(olo) + ", " + std::to_string(ohi) +
+            "] inside the DRCF's union address range [" +
+            std::to_string(lo) + ", " + std::to_string(hi) +
+            "] — candidate register windows must be contiguous with "
+            "respect to other slaves on the bus");
+        failed = true;
+      }
+    }
+  }
+
+  // Configuration memory checks.
+  const auto* cfg_mem =
+      options.config_memory.empty()
+          ? nullptr
+          : design.get_if<MemoryDecl>(options.config_memory);
+  if (cfg_mem == nullptr) {
+    report.diagnostics.push_back("error: config memory '" +
+                                 options.config_memory + "' not found");
+    failed = true;
+  }
+  if (failed) return report;
+
+  // --- Phase 3: create the DRCF component from the template -----------------
+  DrcfDecl drcf_decl;
+  drcf_decl.config = options.drcf_config;
+  drcf_decl.slave_bus = shared_bus;
+  drcf_decl.config_bus =
+      options.config_bus.empty() ? shared_bus : options.config_bus;
+
+  bus::addr_t next_cfg =
+      options.config_base != 0 ? options.config_base : cfg_mem->low;
+  const bus::addr_t cfg_mem_end =
+      cfg_mem->low + static_cast<bus::addr_t>(cfg_mem->words) - 1;
+
+  for (auto& a : report.candidates) {
+    drcf::ContextParams params;
+    params.gates = a.gates;
+    params.size_words = options.drcf_config.technology.context_words(a.gates);
+    params.config_address = next_cfg;
+    params.extra_delay = options.extra_delay;
+    if (params.size_words == 0) params.size_words = 1;
+    if (next_cfg < cfg_mem->low ||
+        next_cfg + params.size_words - 1 > cfg_mem_end) {
+      report.diagnostics.push_back(
+          "error: configuration memory '" + options.config_memory +
+          "' too small for context '" + a.instance + "' (" +
+          std::to_string(params.size_words) + " words at " +
+          std::to_string(next_cfg) + ")");
+      return report;
+    }
+    a.context_words = params.size_words;
+    a.config_address = params.config_address;
+    next_cfg += static_cast<bus::addr_t>(params.size_words);
+    drcf_decl.contexts.push_back(a.instance);
+    drcf_decl.context_params.push_back(params);
+  }
+
+  // Paper limitation 3: blocking interface methods on a shared config bus.
+  if (const auto* b = design.get_if<netlist::BusDecl>(drcf_decl.config_bus)) {
+    if (drcf_decl.config_bus == shared_bus && !b->config.split_transactions)
+      report.diagnostics.push_back(
+          "warning: configuration fetches share non-split bus '" +
+          shared_bus +
+          "' with the DRCF's slave interface — context switches will "
+          "deadlock the bus (limitation 3); use split transactions or a "
+          "dedicated configuration port");
+  }
+
+  report.before_listing = make_before_listing(report.candidates, shared_bus);
+  report.after_listing = make_after_listing(report.candidates, shared_bus,
+                                            options.drcf_name);
+
+  // --- Phase 4: modify the instantiating hierarchy --------------------------
+  // The candidates stay in the design (the DRCF instantiates them inside
+  // itself, per the paper's template) but lose their direct bus binding.
+  for (const auto& name : candidates) {
+    auto* h = design.get_if<HwAccelDecl>(name);
+    h->slave_bus.clear();
+  }
+  design.add(options.drcf_name, std::move(drcf_decl));
+
+  report.ok = true;
+  return report;
+}
+
+}  // namespace adriatic::transform

@@ -1,0 +1,66 @@
+// The DRCF model transformation (paper Fig. 4): given a design and a set of
+// candidate instances, (1) analyse each candidate module's interface and
+// ports, (2) analyse its instantiation and bindings, (3) create a DRCF
+// component from the template, (4) modify the instantiating hierarchy to use
+// the DRCF instead of the candidates. The pass also enforces the paper's
+// Sec. 5.4 limitations and emits before/after pseudo-SystemC listings that
+// mirror the paper's code examples.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "drcf/drcf.hpp"
+#include "netlist/design.hpp"
+
+namespace adriatic::transform {
+
+struct TransformOptions {
+  drcf::DrcfConfig drcf_config;
+  std::string drcf_name = "drcf1";
+  /// Memory component that will hold configuration bitstreams. Contexts are
+  /// packed into it starting at `config_base` (or the memory's base when 0).
+  std::string config_memory;
+  bus::addr_t config_base = 0;
+  /// Bus or link used for configuration fetches. Empty = the candidates'
+  /// shared bus (the risky configuration Sec. 5.4 warns about when that bus
+  /// is non-split).
+  std::string config_bus;
+  /// Override per-context extra reconfiguration delay.
+  kern::Time extra_delay = kern::Time::zero();
+};
+
+/// Phase-1/2 record for one candidate — what the paper's tool extracts from
+/// the SystemC source (interface methods, ports, constructor bindings).
+struct CandidateAnalysis {
+  std::string instance;
+  std::string interface;             ///< Slave interface implemented.
+  std::vector<std::string> ports;    ///< "name: type" entries.
+  std::vector<std::string> bindings; ///< "port -> target" entries.
+  bus::addr_t low = 0;
+  bus::addr_t high = 0;
+  u64 gates = 0;
+  u64 context_words = 0;
+  bus::addr_t config_address = 0;
+};
+
+struct TransformReport {
+  bool ok = false;
+  std::vector<CandidateAnalysis> candidates;
+  std::vector<std::string> diagnostics;  ///< Errors and warnings.
+  std::string before_listing;  ///< Paper-style pseudo-SystemC, original.
+  std::string after_listing;   ///< Paper-style pseudo-SystemC, transformed.
+  std::string drcf_name;
+
+  [[nodiscard]] bool has_warning(const std::string& needle) const;
+};
+
+/// Applies the transformation in place. On failure the design is unchanged
+/// and the report's diagnostics say why. Warnings (e.g. the shared blocking
+/// configuration bus) do not fail the transformation.
+TransformReport transform_to_drcf(netlist::Design& design,
+                                  std::span<const std::string> candidates,
+                                  const TransformOptions& options);
+
+}  // namespace adriatic::transform

@@ -1,0 +1,122 @@
+// Minimal JSON writer (objects, arrays, scalars) for exporting simulation
+// statistics to downstream tooling. Write-only by design — the library never
+// needs to parse JSON.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace adriatic {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    comma();
+    out_ << '{';
+    stack_.push_back('}');
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_ << '[';
+    stack_.push_back(']');
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end() {
+    out_ << stack_.back();
+    stack_.pop_back();
+    first_ = false;
+    return *this;
+  }
+
+  JsonWriter& key(const std::string& k) {
+    comma();
+    write_string(k);
+    out_ << ':';
+    first_ = true;  // suppress comma before the value
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    comma();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(u64 v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(i64 v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<i64>(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+
+  /// key+value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+  [[nodiscard]] bool balanced() const { return stack_.empty(); }
+
+ private:
+  void comma() {
+    if (!first_) out_ << ',';
+    first_ = false;
+  }
+  void write_string(const std::string& s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<char> stack_;
+  bool first_ = true;
+};
+
+}  // namespace adriatic

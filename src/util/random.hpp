@@ -1,0 +1,67 @@
+// Deterministic, fast PRNG (xoshiro256**) for workload generators. We avoid
+// std::mt19937 so that seeds reproduce identically across standard libraries.
+#pragma once
+
+#include <array>
+
+#include "util/types.hpp"
+
+namespace adriatic {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(u64 seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // splitmix64 seeding, per Vigna's reference implementation.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  [[nodiscard]] u64 next() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  [[nodiscard]] u64 next_below(u64 bound) noexcept {
+    if (bound == 0) return 0;
+    // Lemire-style multiply-shift rejection-free approximation is overkill
+    // for simulation workloads; modulo bias is negligible for bound << 2^64.
+    return next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] i64 next_range(i64 lo, i64 hi) noexcept {
+    if (hi <= lo) return lo;
+    return lo + static_cast<i64>(next_below(static_cast<u64>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  [[nodiscard]] bool next_bool(double p) noexcept { return next_double() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace adriatic

@@ -1,0 +1,102 @@
+// Lightweight statistics gadgets used by instrumentation throughout the
+// library: counters, running mean/variance, and log2-bucketed histograms.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace adriatic {
+
+/// Running mean / variance / min / max over a stream of samples (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void reset() noexcept { *this = RunningStat{}; }
+
+  [[nodiscard]] u64 count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : 0.0;
+  }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram with power-of-two buckets: bucket k counts samples in
+/// [2^k, 2^(k+1)). Sample 0 lands in bucket 0.
+class Log2Histogram {
+ public:
+  void add(u64 x) noexcept {
+    const usize bucket = x == 0 ? 0 : static_cast<usize>(64 - __builtin_clzll(x));
+    if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+    ++counts_[bucket];
+    ++total_;
+  }
+
+  [[nodiscard]] u64 total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<u64>& buckets() const noexcept {
+    return counts_;
+  }
+
+  /// Approximate p-quantile (q in [0,1]) from bucket boundaries.
+  [[nodiscard]] u64 quantile(double q) const noexcept {
+    if (total_ == 0) return 0;
+    const u64 target =
+        static_cast<u64>(q * static_cast<double>(total_ - 1)) + 1;
+    u64 seen = 0;
+    for (usize k = 0; k < counts_.size(); ++k) {
+      seen += counts_[k];
+      if (seen >= target) return k == 0 ? 0 : (1ULL << k);
+    }
+    return counts_.empty() ? 0 : (1ULL << (counts_.size() - 1));
+  }
+
+ private:
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+};
+
+/// Named monotonic counter.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void inc(u64 by = 1) noexcept { value_ += by; }
+  void reset() noexcept { value_ = 0; }
+  [[nodiscard]] u64 value() const noexcept { return value_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  u64 value_ = 0;
+};
+
+}  // namespace adriatic

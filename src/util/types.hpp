@@ -1,0 +1,37 @@
+// Fixed-width integer aliases and small helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adriatic {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Integer ceiling division for non-negative operands.
+template <typename T>
+[[nodiscard]] constexpr T ceil_div(T num, T den) noexcept {
+  return den == 0 ? T{0} : (num + den - 1) / den;
+}
+
+/// Round `v` up to the next multiple of `align` (align must be nonzero).
+template <typename T>
+[[nodiscard]] constexpr T round_up(T v, T align) noexcept {
+  return ceil_div(v, align) * align;
+}
+
+/// True if `v` is a power of two (and nonzero).
+template <typename T>
+[[nodiscard]] constexpr bool is_pow2(T v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace adriatic

@@ -1,0 +1,430 @@
+// Functional-kernel tests with published reference vectors.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "accel/accel_lib.hpp"
+#include "util/random.hpp"
+
+namespace adriatic::accel {
+namespace {
+
+TEST(Fir, ImpulseResponseIsTaps) {
+  const std::vector<i32> taps{1000, 2000, 3000};
+  std::vector<i32> x(8, 0);
+  x[0] = 1 << 15;  // unit impulse in Q15
+  const auto y = fir_filter(taps, x);
+  EXPECT_EQ(y[0], 1000);
+  EXPECT_EQ(y[1], 2000);
+  EXPECT_EQ(y[2], 3000);
+  EXPECT_EQ(y[3], 0);
+}
+
+TEST(Fir, DcGainEqualsTapSum) {
+  const auto taps = fir_lowpass_taps(31);
+  i64 tap_sum = 0;
+  for (auto t : taps) tap_sum += t;
+  std::vector<i32> x(200, 1 << 12);
+  const auto y = fir_filter(taps, x);
+  // Steady-state output = input * sum(taps) >> 15.
+  const i32 expected = static_cast<i32>((static_cast<i64>(1 << 12) * tap_sum) >> 15);
+  EXPECT_NEAR(y.back(), expected, 32);
+}
+
+TEST(Fir, SpecMatchesFunction) {
+  auto spec = make_fir_spec({1 << 15});  // identity filter
+  ASSERT_TRUE(spec.valid());
+  std::vector<i32> x{5, -7, 123};
+  const auto y = spec.fn(x);
+  EXPECT_EQ(y, x);
+  EXPECT_GT(spec.hw_cycles(100), 100u);
+  EXPECT_GT(spec.sw_instructions(100), spec.hw_cycles(100));
+  EXPECT_GT(spec.gate_count, 0u);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<i32> in(64, 0);
+  in[0] = pack_cplx(16384, 0);  // 0.5 in Q15
+  const auto out = fft_q15(in);
+  // DFT of impulse = constant 0.5 across bins, scaled by 1/N via stages.
+  const i32 expect = 16384 >> 6;  // /64
+  for (const auto w : out) {
+    EXPECT_NEAR(unpack_re(w), expect, 8);
+    EXPECT_NEAR(unpack_im(w), 0, 8);
+  }
+}
+
+TEST(Fft, MatchesReferenceOnRandomInput) {
+  Xoshiro256 rng(123);
+  const usize n = 128;
+  std::vector<i32> packed(n);
+  std::vector<std::complex<double>> ref_in(n);
+  for (usize i = 0; i < n; ++i) {
+    const i16 re = static_cast<i16>(rng.next_range(-8192, 8191));
+    const i16 im = static_cast<i16>(rng.next_range(-8192, 8191));
+    packed[i] = pack_cplx(re, im);
+    ref_in[i] = {static_cast<double>(re), static_cast<double>(im)};
+  }
+  const auto out = fft_q15(packed);
+  const auto ref = fft_ref(ref_in);
+  for (usize k = 0; k < n; ++k) {
+    // Our FFT scales by 1/N.
+    const double er = ref[k].real() / static_cast<double>(n);
+    const double ei = ref[k].imag() / static_cast<double>(n);
+    EXPECT_NEAR(unpack_re(out[k]), er, 24.0) << "bin " << k;
+    EXPECT_NEAR(unpack_im(out[k]), ei, 24.0) << "bin " << k;
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<i32> in(12, 0);
+  EXPECT_THROW(fft_q15(in), std::invalid_argument);
+  EXPECT_THROW(make_fft_spec(12), std::invalid_argument);
+}
+
+TEST(Fft, SineConcentratesInOneBin) {
+  const usize n = 64;
+  std::vector<i32> in(n);
+  for (usize t = 0; t < n; ++t) {
+    const double ang = 2.0 * 3.14159265358979 * 4.0 * static_cast<double>(t) /
+                       static_cast<double>(n);
+    in[t] = pack_cplx(static_cast<i16>(16000 * std::cos(ang)),
+                      static_cast<i16>(16000 * std::sin(ang)));
+  }
+  const auto out = fft_q15(in);
+  // Energy should land in bin 4.
+  i32 best_bin = -1;
+  i64 best_mag = 0;
+  for (usize k = 0; k < n; ++k) {
+    const i64 re = unpack_re(out[k]);
+    const i64 im = unpack_im(out[k]);
+    const i64 mag = re * re + im * im;
+    if (mag > best_mag) {
+      best_mag = mag;
+      best_bin = static_cast<i32>(k);
+    }
+  }
+  EXPECT_EQ(best_bin, 4);
+}
+
+TEST(Dct, ConstantBlockHasOnlyDc) {
+  std::vector<i32> block(64, 100);
+  const auto c = dct8x8(block);
+  EXPECT_EQ(c[0], 800);  // 100 * 8 (sqrt(1/8)*sqrt(1/8)*64 = 8)
+  for (usize i = 1; i < 64; ++i) EXPECT_EQ(c[i], 0) << "coef " << i;
+}
+
+TEST(Dct, RoundTripWithinRounding) {
+  Xoshiro256 rng(77);
+  std::vector<i32> block(64);
+  for (auto& v : block) v = static_cast<i32>(rng.next_range(-255, 255));
+  const auto c = dct8x8(block);
+  const auto r = idct8x8(std::vector<i32>(c.begin(), c.end()));
+  for (usize i = 0; i < 64; ++i) EXPECT_NEAR(r[i], block[i], 2) << i;
+}
+
+TEST(Dct, QuantMatrixQualityScaling) {
+  const auto q50 = quant_matrix(50);
+  const auto q90 = quant_matrix(90);
+  const auto q10 = quant_matrix(10);
+  EXPECT_EQ(q50[0], 16);  // quality 50 = unscaled JPEG table
+  EXPECT_LT(q90[0], q50[0]);
+  EXPECT_GT(q10[0], q50[0]);
+  for (auto v : q90) EXPECT_GE(v, 1);
+}
+
+TEST(Dct, QuantiseRoundsToNearest) {
+  std::vector<i32> coeffs(64, 0);
+  coeffs[0] = 33;
+  coeffs[1] = -33;
+  std::vector<i32> matrix(64, 10);
+  const auto q = quantise(coeffs, matrix);
+  EXPECT_EQ(q[0], 3);   // 33/10 rounds to 3
+  EXPECT_EQ(q[1], -3);
+}
+
+TEST(Dct, SpecHandlesPartialBlocks) {
+  auto spec = make_dct_spec();
+  std::vector<i32> in(70, 50);
+  const auto out = spec.fn(in);
+  EXPECT_EQ(out.size(), 128u);  // two blocks
+}
+
+TEST(Viterbi, EncodeKnownPrefix) {
+  // All-zero input encodes to all-zero output.
+  std::vector<u8> zeros(10, 0);
+  const auto coded = conv_encode(zeros);
+  EXPECT_EQ(coded.size(), 2 * (10 + 6));
+  for (auto b : coded) EXPECT_EQ(b, 0);
+}
+
+TEST(Viterbi, RoundTripCleanChannel) {
+  Xoshiro256 rng(5);
+  std::vector<u8> bits(120);
+  for (auto& b : bits) b = static_cast<u8>(rng.next() & 1);
+  const auto coded = conv_encode(bits);
+  const auto decoded = viterbi_decode(coded);
+  ASSERT_EQ(decoded.size(), bits.size());
+  EXPECT_EQ(decoded, bits);
+}
+
+TEST(Viterbi, CorrectsScatteredBitErrors) {
+  Xoshiro256 rng(9);
+  std::vector<u8> bits(200);
+  for (auto& b : bits) b = static_cast<u8>(rng.next() & 1);
+  auto coded = conv_encode(bits);
+  // Flip isolated bits, well separated (beyond the free distance window).
+  for (usize i = 20; i + 40 < coded.size(); i += 40) coded[i] ^= 1;
+  const auto decoded = viterbi_decode(coded);
+  ASSERT_EQ(decoded.size(), bits.size());
+  EXPECT_EQ(decoded, bits);
+}
+
+TEST(Viterbi, PackUnpackBits) {
+  std::vector<u8> bits{1, 0, 1, 1, 0, 0, 0, 1};
+  const auto words = pack_bits(bits);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0], 0b10001101);
+  const auto back = unpack_bits(words, bits.size());
+  EXPECT_EQ(back, bits);
+}
+
+TEST(Crc, KnownCheckValue) {
+  // CRC-32("123456789") = 0xCBF43926 (the standard check value).
+  const char* s = "123456789";
+  const auto crc =
+      crc32(std::span<const u8>(reinterpret_cast<const u8*>(s), 9));
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+TEST(Crc, WordsMatchBytes) {
+  const std::vector<i32> words{0x64636261, 0x68676665};  // "abcdefgh" LE
+  const char* s = "abcdefgh";
+  const auto byte_crc =
+      crc32(std::span<const u8>(reinterpret_cast<const u8*>(s), 8));
+  EXPECT_EQ(crc32_words(words), byte_crc);
+}
+
+TEST(Crc, SpecAppendsCrc) {
+  auto spec = make_crc_spec();
+  std::vector<i32> in{1, 2, 3};
+  const auto out = spec.fn(in);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(static_cast<u32>(out[3]), crc32_words(in));
+}
+
+TEST(Aes, Fips197Vector) {
+  // FIPS-197 Appendix B.
+  const AesKey key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                   0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const AesBlock plain{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                       0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const AesBlock expect{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                        0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  EXPECT_EQ(aes128_encrypt(plain, key), expect);
+}
+
+TEST(Aes, SpecBlocksAndPadding) {
+  const AesKey key{};
+  auto spec = make_aes_spec(key);
+  std::vector<i32> in(6, 0x01020304);  // 1.5 blocks -> padded to 2
+  const auto out = spec.fn(in);
+  EXPECT_EQ(out.size(), 8u);
+  // Deterministic: same input -> same ciphertext.
+  EXPECT_EQ(spec.fn(in), out);
+  // Different input -> different ciphertext.
+  in[0] ^= 1;
+  EXPECT_NE(spec.fn(in), out);
+}
+
+TEST(Matmul, IdentityTimesMatrix) {
+  const usize n = 4;
+  std::vector<i32> eye(n * n, 0), m(n * n);
+  for (usize i = 0; i < n; ++i) eye[i * n + i] = 1;
+  for (usize i = 0; i < n * n; ++i) m[i] = static_cast<i32>(i + 1);
+  EXPECT_EQ(matmul(eye, m, n), m);
+  EXPECT_EQ(matmul(m, eye, n), m);
+}
+
+TEST(Matmul, KnownProduct) {
+  const std::vector<i32> a{1, 2, 3, 4};
+  const std::vector<i32> b{5, 6, 7, 8};
+  const auto c = matmul(a, b, 2);
+  EXPECT_EQ(c, (std::vector<i32>{19, 22, 43, 50}));
+}
+
+TEST(Matmul, SpecPacksOperands) {
+  auto spec = make_matmul_spec(2);
+  std::vector<i32> in{1, 2, 3, 4, 5, 6, 7, 8};  // A then B
+  const auto out = spec.fn(in);
+  EXPECT_EQ(out, (std::vector<i32>{19, 22, 43, 50}));
+  EXPECT_THROW(make_matmul_spec(0), std::invalid_argument);
+}
+
+TEST(ZigzagRle, ZigzagOrderIsAPermutationStartingDiagonally) {
+  const auto& order = zigzag_order();
+  std::array<bool, 64> seen{};
+  for (const u8 pos : order) {
+    ASSERT_LT(pos, 64);
+    EXPECT_FALSE(seen[pos]);
+    seen[pos] = true;
+  }
+  // Canonical JPEG prefix: 0, 1, 8, 16, 9, 2, 3, 10 ...
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 8);
+  EXPECT_EQ(order[3], 16);
+  EXPECT_EQ(order[4], 9);
+  EXPECT_EQ(order[5], 2);
+  EXPECT_EQ(order[63], 63);
+}
+
+TEST(ZigzagRle, ScanUnscanRoundTrip) {
+  Xoshiro256 rng(4);
+  std::vector<i32> block(64);
+  for (auto& v : block) v = static_cast<i32>(rng.next_range(-300, 300));
+  const auto scanned = zigzag_scan(block);
+  const auto back = zigzag_unscan(scanned);
+  for (usize i = 0; i < 64; ++i) EXPECT_EQ(back[i], block[i]);
+}
+
+TEST(ZigzagRle, RleRoundTripOnSparseBlock) {
+  std::array<i32, 64> scanned{};
+  scanned[0] = 120;   // DC
+  scanned[3] = -7;
+  scanned[10] = 2;
+  const auto symbols = rle_encode(scanned);
+  // (0,120), (2,-7), (6,2), EOB.
+  ASSERT_EQ(symbols.size(), 4u);
+  EXPECT_EQ(symbols.back(), 0);
+  const auto decoded = rle_decode(symbols);
+  for (usize i = 0; i < 64; ++i) EXPECT_EQ(decoded[i], scanned[i]) << i;
+}
+
+TEST(ZigzagRle, AllZeroBlockIsOneSymbol) {
+  std::array<i32, 64> zeros{};
+  const auto symbols = rle_encode(zeros);
+  ASSERT_EQ(symbols.size(), 1u);
+  EXPECT_EQ(symbols[0], 0);
+  const auto decoded = rle_decode(symbols);
+  for (const i32 v : decoded) EXPECT_EQ(v, 0);
+}
+
+TEST(ZigzagRle, DenseBlockNeedsNoEob) {
+  std::array<i32, 64> dense{};
+  for (usize i = 0; i < 64; ++i) dense[i] = static_cast<i32>(i + 1);
+  const auto symbols = rle_encode(dense);
+  EXPECT_EQ(symbols.size(), 64u);  // no trailing zeros, no EOB
+  const auto decoded = rle_decode(symbols);
+  for (usize i = 0; i < 64; ++i) EXPECT_EQ(decoded[i], dense[i]);
+}
+
+TEST(ZigzagRle, NegativeValuesSurviveThePacking) {
+  std::array<i32, 64> scanned{};
+  scanned[5] = -32768;  // i16 extreme
+  scanned[6] = 32767;
+  const auto decoded = rle_decode(rle_encode(scanned));
+  EXPECT_EQ(decoded[5], -32768);
+  EXPECT_EQ(decoded[6], 32767);
+}
+
+TEST(ZigzagRle, SpecCompressesQuantisedData) {
+  auto spec = make_rle_spec();
+  // Typical quantised block: DC + a couple of ACs, rest zero.
+  std::vector<i32> block(64, 0);
+  block[0] = 13;
+  block[1] = 4;
+  block[8] = -2;
+  const auto out = spec.fn(block);
+  // count word + 3 symbols + EOB = 5 words for a 64-word block.
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], 4);  // symbol count
+  EXPECT_LT(out.size(), block.size() / 4);  // real compression
+}
+
+TEST(Motion, FindsExactDisplacement) {
+  // Build a reference window containing the block at a known offset.
+  const int range = 4;
+  const usize win = 8 + 2 * static_cast<usize>(range);
+  Xoshiro256 rng(17);
+  std::vector<i32> block(64);
+  for (auto& v : block) v = static_cast<i32>(rng.next_range(0, 255));
+  std::vector<i32> ref(win * win);
+  for (auto& v : ref) v = static_cast<i32>(rng.next_range(0, 255));
+  const int dx = 2, dy = -3;
+  for (usize r = 0; r < 8; ++r)
+    for (usize c = 0; c < 8; ++c)
+      ref[(static_cast<usize>(dy + range) + r) * win +
+          static_cast<usize>(dx + range) + c] = block[r * 8 + c];
+  const auto mv = full_search(block, ref, range);
+  EXPECT_EQ(mv.dx, dx);
+  EXPECT_EQ(mv.dy, dy);
+  EXPECT_EQ(mv.sad, 0u);
+}
+
+TEST(Motion, ZeroDisplacementForIdenticalCenter) {
+  const int range = 2;
+  const usize win = 8 + 2 * static_cast<usize>(range);
+  std::vector<i32> block(64, 50);
+  std::vector<i32> ref(win * win, 50);
+  const auto mv = full_search(block, ref, range);
+  // All positions tie at SAD 0; raster order picks the top-left first.
+  EXPECT_EQ(mv.sad, 0u);
+  EXPECT_EQ(mv.dx, -range);
+  EXPECT_EQ(mv.dy, -range);
+}
+
+TEST(Motion, SpecPacksOperandsAndErrors) {
+  auto spec = make_motion_spec(2);
+  const usize win = 12;
+  std::vector<i32> in(64 + win * win, 7);
+  const auto out = spec.fn(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], 0);  // uniform data: SAD 0
+  EXPECT_THROW(make_motion_spec(0), std::invalid_argument);
+  std::vector<i32> tiny(10);
+  EXPECT_THROW(full_search(tiny, tiny, 2), std::invalid_argument);
+  EXPECT_THROW(full_search(std::vector<i32>(64), std::vector<i32>(64), -1),
+               std::invalid_argument);
+}
+
+// Property sweep: every kernel spec is self-consistent on random inputs.
+class KernelSpecProperty : public ::testing::TestWithParam<const char*> {};
+
+KernelSpec spec_by_name(const std::string& name) {
+  if (name == "fir") return make_fir_spec(fir_lowpass_taps(16));
+  if (name == "fft") return make_fft_spec(64);
+  if (name == "dct") return make_dct_spec();
+  if (name == "quant") return make_quant_spec(75);
+  if (name == "viterbi") return make_viterbi_spec();
+  if (name == "crc") return make_crc_spec();
+  if (name == "aes") return make_aes_spec(AesKey{1, 2, 3, 4});
+  if (name == "matmul") return make_matmul_spec(8);
+  if (name == "motion") return make_motion_spec(3);
+  throw std::logic_error("unknown spec");
+}
+
+TEST_P(KernelSpecProperty, DeterministicAndProfiled) {
+  auto spec = spec_by_name(GetParam());
+  ASSERT_TRUE(spec.valid());
+  Xoshiro256 rng(1234);
+  std::vector<i32> in(128);
+  for (auto& v : in) v = static_cast<i32>(rng.next_range(-1000, 1000));
+  const auto out1 = spec.fn(in);
+  const auto out2 = spec.fn(in);
+  EXPECT_EQ(out1, out2) << "kernel must be a pure function";
+  EXPECT_FALSE(out1.empty());
+  // Profiles are monotone in input size and hardware beats software.
+  EXPECT_LE(spec.hw_cycles(64), spec.hw_cycles(128));
+  EXPECT_LE(spec.sw_instructions(64), spec.sw_instructions(128));
+  EXPECT_LT(spec.hw_cycles(128), spec.sw_instructions(128));
+  EXPECT_GT(spec.gate_count, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSpecProperty,
+                         ::testing::Values("fir", "fft", "dct", "quant",
+                                           "viterbi", "crc", "aes", "matmul",
+                                           "motion"));
+
+}  // namespace
+}  // namespace adriatic::accel

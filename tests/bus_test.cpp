@@ -1,0 +1,337 @@
+// Bus and memory substrate tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bus/bus_lib.hpp"
+#include "kernel/kernel.hpp"
+#include "memory/memory.hpp"
+
+namespace adriatic {
+namespace {
+
+using namespace kern::literals;
+using bus::BusStatus;
+
+struct Fixture {
+  kern::Simulation sim;
+  kern::Module top{sim, "top"};
+};
+
+TEST(Memory, ReadWriteRoundTrip) {
+  Fixture f;
+  mem::Memory m(f.top, "ram", 0x100, 64);
+  bool ok = true;
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 42;
+    ok &= m.write(0x100, &w);
+    w = 43;
+    ok &= m.write(0x13F, &w);
+    bus::word r = 0;
+    ok &= m.read(0x100, &r);
+    EXPECT_EQ(r, 42);
+    ok &= m.read(0x13F, &r);
+    EXPECT_EQ(r, 43);
+  });
+  f.sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(m.stats().reads, 2u);
+  EXPECT_EQ(m.stats().writes, 2u);
+}
+
+TEST(Memory, OutOfRangeFails) {
+  Fixture f;
+  mem::Memory m(f.top, "ram", 0x100, 64);
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 1;
+    EXPECT_FALSE(m.write(0x0FF, &w));
+    EXPECT_FALSE(m.read(0x140, &w));
+    EXPECT_FALSE(m.read(0x100, nullptr));
+  });
+  f.sim.run();
+  EXPECT_EQ(m.stats().errors, 3u);
+}
+
+TEST(Memory, LatencyConsumesTime) {
+  Fixture f;
+  mem::Memory m(f.top, "ram", 0, 16, 5_ns, 3_ns);
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 7;
+    m.write(0, &w);
+    EXPECT_EQ(f.sim.now(), 3_ns);
+    m.read(0, &w);
+    EXPECT_EQ(f.sim.now(), 8_ns);
+  });
+  f.sim.run();
+}
+
+TEST(Memory, BackdoorAccessors) {
+  Fixture f;
+  mem::Memory m(f.top, "ram", 0x10, 4);
+  const bus::word init[] = {1, 2, 3};
+  m.load(0x10, init);
+  EXPECT_EQ(m.peek(0x11), 2);
+  m.poke(0x13, 9);
+  EXPECT_EQ(m.peek(0x13), 9);
+  EXPECT_THROW(m.peek(0x14), std::out_of_range);
+  EXPECT_THROW(m.load(0x12, std::vector<bus::word>(5)), std::out_of_range);
+  EXPECT_THROW((mem::Memory{f.top, "bad", 0, 0}), std::invalid_argument);
+}
+
+TEST(Memory, RomRejectsWrites) {
+  Fixture f;
+  const bus::word image[] = {10, 20, 30};
+  mem::Rom rom(f.top, "rom", 0x200, image);
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 0;
+    EXPECT_TRUE(rom.read(0x201, &w));
+    EXPECT_EQ(w, 20);
+    w = 99;
+    EXPECT_FALSE(rom.write(0x201, &w));
+    EXPECT_TRUE(rom.read(0x201, &w));
+    EXPECT_EQ(w, 20);
+  });
+  f.sim.run();
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(BusTest, DecodeAndTransfer) {
+  Fixture f;
+  bus::Bus b(f.top, "bus");
+  mem::Memory m1(f.top, "m1", 0x000, 16);
+  mem::Memory m2(f.top, "m2", 0x100, 16);
+  b.bind_slave(m1);
+  b.bind_slave(m2);
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 5;
+    EXPECT_EQ(b.write(0x001, &w), BusStatus::kOk);
+    w = 6;
+    EXPECT_EQ(b.write(0x101, &w), BusStatus::kOk);
+    bus::word r = 0;
+    EXPECT_EQ(b.read(0x001, &r), BusStatus::kOk);
+    EXPECT_EQ(r, 5);
+    EXPECT_EQ(b.read(0x101, &r), BusStatus::kOk);
+    EXPECT_EQ(r, 6);
+    EXPECT_EQ(b.read(0x500, &r), BusStatus::kUnmapped);
+  });
+  f.sim.run();
+  EXPECT_EQ(b.stats().reads, 2u);
+  EXPECT_EQ(b.stats().writes, 2u);
+  EXPECT_EQ(b.stats().unmapped, 1u);
+}
+
+TEST(BusTest, OverlappingSlavesRejectedAtElaboration) {
+  Fixture f;
+  bus::Bus b(f.top, "bus");
+  mem::Memory m1(f.top, "m1", 0x000, 32);
+  mem::Memory m2(f.top, "m2", 0x010, 32);  // overlaps m1
+  b.bind_slave(m1);
+  b.bind_slave(m2);
+  EXPECT_THROW(f.sim.elaborate(), std::logic_error);
+}
+
+TEST(BusTest, TransferTiming) {
+  Fixture f;
+  bus::BusConfig cfg;
+  cfg.cycle_time = 10_ns;
+  cfg.address_cycles = 1;
+  cfg.data_cycles = 1;
+  bus::Bus b(f.top, "bus", cfg);
+  mem::Memory m(f.top, "m", 0, 64);
+  b.bind_slave(m);
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 1;
+    b.write(0, &w);
+    // 1 address cycle + 1 data beat = 2 cycles = 20 ns.
+    EXPECT_EQ(f.sim.now(), 20_ns);
+  });
+  f.sim.run();
+}
+
+TEST(BusTest, NarrowBusNeedsMoreBeats) {
+  Fixture f;
+  bus::BusConfig cfg;
+  cfg.cycle_time = 10_ns;
+  cfg.data_width_bits = 8;  // 4 beats per 32-bit word
+  bus::Bus b(f.top, "bus", cfg);
+  mem::Memory m(f.top, "m", 0, 64);
+  b.bind_slave(m);
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 1;
+    b.write(0, &w);
+    EXPECT_EQ(f.sim.now(), 50_ns);  // 1 addr + 4 beats
+  });
+  f.sim.run();
+  EXPECT_EQ(b.stats().beats, 4u);
+}
+
+TEST(BusTest, BurstChunksByMaxBurst) {
+  Fixture f;
+  bus::BusConfig cfg;
+  cfg.max_burst = 4;
+  bus::Bus b(f.top, "bus", cfg);
+  mem::Memory m(f.top, "m", 0, 64);
+  b.bind_slave(m);
+  f.top.spawn_thread("t", [&] {
+    std::vector<bus::word> out(10, 7);
+    EXPECT_EQ(b.burst_write(0, out, 0), BusStatus::kOk);
+    std::vector<bus::word> in(10, 0);
+    EXPECT_EQ(b.burst_read(0, in, 0), BusStatus::kOk);
+    for (auto v : in) EXPECT_EQ(v, 7);
+  });
+  f.sim.run();
+  // 10 words in chunks of 4+4+2, read and write: 6 bursts... chunks of size
+  // >1 count as bursts: 3 per direction.
+  EXPECT_EQ(b.stats().bursts, 6u);
+  EXPECT_EQ(b.stats().beats, 20u);
+}
+
+TEST(BusTest, BurstBeyondSlaveRangeUnmapped) {
+  Fixture f;
+  bus::Bus b(f.top, "bus");
+  mem::Memory m(f.top, "m", 0, 8);
+  b.bind_slave(m);
+  f.top.spawn_thread("t", [&] {
+    std::vector<bus::word> data(16, 0);
+    EXPECT_EQ(b.burst_read(4, data, 0), BusStatus::kUnmapped);
+  });
+  f.sim.run();
+}
+
+TEST(BusTest, PriorityArbitration) {
+  Fixture f;
+  bus::BusConfig cfg;
+  cfg.cycle_time = 10_ns;
+  cfg.arbitration = bus::ArbPolicy::kPriority;
+  bus::Bus b(f.top, "bus", cfg);
+  mem::Memory m(f.top, "m", 0, 64);
+  b.bind_slave(m);
+  std::vector<int> completion_order;
+  // Master 0 grabs the bus; masters 1 (low prio) and 2 (high prio) contend.
+  f.top.spawn_thread("m0", [&] {
+    std::vector<bus::word> d(8, 0);
+    b.burst_read(0, d, 0);
+    completion_order.push_back(0);
+  });
+  f.top.spawn_thread("m1", [&] {
+    kern::wait(1_ns);  // arrive while m0 holds the bus
+    bus::word w = 0;
+    b.read(0, &w, /*priority=*/1);
+    completion_order.push_back(1);
+  });
+  f.top.spawn_thread("m2", [&] {
+    kern::wait(2_ns);  // arrives after m1 but with higher priority
+    bus::word w = 0;
+    b.read(0, &w, /*priority=*/5);
+    completion_order.push_back(2);
+  });
+  f.sim.run();
+  ASSERT_EQ(completion_order.size(), 3u);
+  EXPECT_EQ(completion_order[0], 0);
+  EXPECT_EQ(completion_order[1], 2);  // high priority jumps the queue
+  EXPECT_EQ(completion_order[2], 1);
+  EXPECT_EQ(b.arbiter().contended_grants(), 2u);
+  EXPECT_GT(b.stats().wait_time.picoseconds(), 0u);
+}
+
+TEST(BusTest, FifoArbitrationPreservesArrival) {
+  Fixture f;
+  bus::BusConfig cfg;
+  cfg.arbitration = bus::ArbPolicy::kFifo;
+  bus::Bus b(f.top, "bus", cfg);
+  mem::Memory m(f.top, "m", 0, 64);
+  b.bind_slave(m);
+  std::vector<int> order;
+  f.top.spawn_thread("m0", [&] {
+    std::vector<bus::word> d(8, 0);
+    b.burst_read(0, d, 0);
+    order.push_back(0);
+  });
+  for (int i = 1; i <= 3; ++i) {
+    f.top.spawn_thread("m" + std::to_string(i), [&, i] {
+      kern::wait(kern::Time::ns(static_cast<u64>(i)));
+      bus::word w = 0;
+      b.read(0, &w, /*priority=*/static_cast<u32>(10 - i));
+      order.push_back(i);
+    });
+  }
+  f.sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(BusTest, UtilizationTracksBusyFraction) {
+  Fixture f;
+  bus::BusConfig cfg;
+  cfg.cycle_time = 10_ns;
+  bus::Bus b(f.top, "bus", cfg);
+  mem::Memory m(f.top, "m", 0, 64);
+  b.bind_slave(m);
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 1;
+    b.write(0, &w);       // busy 20ns
+    kern::wait(80_ns);    // idle
+  });
+  f.sim.run();
+  EXPECT_NEAR(b.utilization(), 0.2, 1e-9);
+}
+
+TEST(BusTest, SlaveErrorPropagates) {
+  Fixture f;
+  bus::Bus b(f.top, "bus");
+  const bus::word image[] = {1};
+  mem::Rom rom(f.top, "rom", 0, image);
+  b.bind_slave(rom);
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 9;
+    EXPECT_EQ(b.write(0, &w), BusStatus::kSlaveError);
+  });
+  f.sim.run();
+  EXPECT_EQ(b.stats().slave_errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(DirectLinkTest, TransfersWithoutContention) {
+  Fixture f;
+  bus::DirectLink link(f.top, "link", 5_ns);
+  mem::Memory m(f.top, "cfg_mem", 0x1000, 32);
+  link.bind_slave(m);
+  f.top.spawn_thread("t", [&] {
+    std::vector<bus::word> data{1, 2, 3, 4};
+    EXPECT_EQ(link.burst_write(0x1000, data, 0), BusStatus::kOk);
+    std::vector<bus::word> in(4, 0);
+    EXPECT_EQ(link.burst_read(0x1000, in, 0), BusStatus::kOk);
+    EXPECT_EQ(in[3], 4);
+    bus::word w = 0;
+    EXPECT_EQ(link.read(0x2000, &w, 0), BusStatus::kUnmapped);
+  });
+  f.sim.run();
+  EXPECT_EQ(link.transfers(), 8u);
+}
+
+TEST(BridgeTest, ForwardsAcrossBuses) {
+  Fixture f;
+  bus::Bus sys(f.top, "sys_bus");
+  bus::Bus periph(f.top, "periph_bus");
+  // Peripheral memory lives at 0x0 downstream, exposed at 0x8000 upstream.
+  mem::Memory pm(f.top, "pmem", 0x0, 64);
+  periph.bind_slave(pm);
+  bus::Bridge bridge(f.top, "bridge", 0x8000, 0x803F, -0x8000);
+  bridge.mst_port.bind(periph);
+  sys.bind_slave(bridge);
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 77;
+    EXPECT_EQ(sys.write(0x8005, &w), BusStatus::kOk);
+    bus::word r = 0;
+    EXPECT_EQ(sys.read(0x8005, &r), BusStatus::kOk);
+    EXPECT_EQ(r, 77);
+  });
+  f.sim.run();
+  EXPECT_EQ(pm.peek(0x5), 77);
+  EXPECT_EQ(bridge.forwarded(), 2u);
+  EXPECT_EQ(periph.stats().reads, 1u);
+}
+
+}  // namespace
+}  // namespace adriatic

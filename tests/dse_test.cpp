@@ -1,0 +1,205 @@
+// Tests for the efficiency ladder (Fig. 2), area estimators, partitioning
+// advisor (Sec. 5.1 rules of thumb) and Pareto extraction.
+#include <gtest/gtest.h>
+
+#include "accel/accel_lib.hpp"
+#include "dse/advisor.hpp"
+#include "dse/pareto.hpp"
+#include "estimate/area.hpp"
+#include "estimate/efficiency.hpp"
+
+namespace adriatic {
+namespace {
+
+using estimate::ArchStyle;
+
+TEST(Efficiency, LadderIsMonotone) {
+  const auto spec = accel::make_fir_spec(accel::fir_lowpass_taps(32));
+  const auto ladder =
+      estimate::efficiency_ladder(spec, 4096, drcf::varicore_like());
+  ASSERT_EQ(ladder.size(), 5u);
+  // Efficiency strictly increases from GPP to ASIC (Fig. 2's diagonal)...
+  for (usize i = 1; i < ladder.size(); ++i)
+    EXPECT_GT(ladder[i].mops_per_mw, ladder[i - 1].mops_per_mw)
+        << ladder[i].name << " vs " << ladder[i - 1].name;
+  // ...while flexibility strictly decreases.
+  for (usize i = 1; i < ladder.size(); ++i)
+    EXPECT_LT(ladder[i].flexibility, ladder[i - 1].flexibility);
+}
+
+TEST(Efficiency, AsicGppGapIsTwoToThreeOrders) {
+  // Fig. 2: "Factor of 100-1000" between dedicated hardware and GPP.
+  for (const auto& spec :
+       {accel::make_fft_spec(64), accel::make_viterbi_spec(),
+        accel::make_dct_spec()}) {
+    const auto ladder =
+        estimate::efficiency_ladder(spec, 4096, drcf::varicore_like());
+    const double gap = ladder.back().mops_per_mw / ladder.front().mops_per_mw;
+    EXPECT_GE(gap, 100.0) << spec.name;
+    EXPECT_LE(gap, 20000.0) << spec.name;
+  }
+}
+
+TEST(Efficiency, BandsMatchFigure2) {
+  const auto spec = accel::make_fft_spec(64);
+  const auto ladder =
+      estimate::efficiency_ladder(spec, 4096, drcf::varicore_like());
+  // GPP band: 0.1-1 MIPS/mW (we allow a little slack at the edges).
+  EXPECT_GE(ladder[0].mops_per_mw, 0.05);
+  EXPECT_LE(ladder[0].mops_per_mw, 2.0);
+  // Reconfigurable sits an order above the instruction-set styles (our
+  // conservative VariCore power figure places it below Fig. 2's optimistic
+  // 100-1000 band; the ordering is what the figure asserts).
+  EXPECT_GE(ladder[3].mops_per_mw, 5.0);
+  // Reconfigurable sits between ASIP and ASIC.
+  EXPECT_GT(ladder[3].mops_per_mw, ladder[2].mops_per_mw);
+  EXPECT_LT(ladder[3].mops_per_mw, ladder[4].mops_per_mw);
+}
+
+TEST(Efficiency, ReconfigurableSlowerThanAsic) {
+  const auto spec = accel::make_crc_spec();
+  const auto recon = estimate::evaluate_style(ArchStyle::kReconfigurable,
+                                              spec, 1024,
+                                              drcf::virtex2pro_like());
+  const auto asic = estimate::evaluate_style(ArchStyle::kAsic, spec, 1024,
+                                             drcf::virtex2pro_like());
+  EXPECT_GT(recon.exec_time_us, asic.exec_time_us);
+  accel::KernelSpec bad;
+  EXPECT_THROW(
+      estimate::evaluate_style(ArchStyle::kGpp, bad, 1, drcf::varicore_like()),
+      std::invalid_argument);
+}
+
+TEST(Area, HardwiredSumsGates) {
+  const u64 gates[] = {1000, 2000, 3000};
+  EXPECT_EQ(estimate::hardwired_gates(gates), 6000u);
+}
+
+TEST(Area, DrcfSharesFabric) {
+  const u64 gates[] = {10'000, 12'000, 9'000, 11'000};
+  const auto tech = drcf::varicore_like();
+  const auto one_slot = estimate::drcf_area(gates, tech, 1);
+  // Fabric sized for the largest context only.
+  EXPECT_EQ(one_slot.fabric_gates,
+            static_cast<u64>(12'000 * tech.area_factor));
+  EXPECT_GT(one_slot.config_store_words, 0u);
+  const auto two_slot = estimate::drcf_area(gates, tech, 2);
+  EXPECT_EQ(two_slot.fabric_gates,
+            static_cast<u64>((12'000 + 11'000) * tech.area_factor));
+  EXPECT_GT(two_slot.total_gate_equivalents(),
+            one_slot.total_gate_equivalents() - 1);
+}
+
+TEST(Area, DrcfBeatsHardwiredForManySimilarKernels) {
+  // The economic core of the paper's rule 1: with enough same-sized,
+  // non-concurrent kernels, one shared fabric is smaller than N copies.
+  std::vector<u64> gates(6, 20'000);
+  const auto tech = drcf::morphosys_like();  // low area factor
+  const auto drcf = estimate::drcf_area(gates, tech, 1);
+  EXPECT_LT(drcf.total_gate_equivalents(),
+            estimate::hardwired_gates(gates));
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Advisor, GroupsSimilarNonConcurrentBlocks) {
+  std::vector<dse::BlockProfile> blocks{
+      {"fft", 20'000, 0.3, {}, false, false},
+      {"viterbi", 45'000, 0.3, {}, false, false},
+      {"crc", 18'000, 0.1, {}, false, false},
+      {"aes", 28'000, 0.2, {}, false, false},
+  };
+  const auto advice = dse::advise_partitioning(blocks);
+  ASSERT_EQ(advice.drcf_groups.size(), 1u);
+  // fft, crc, aes are within 4x of each other; viterbi (45k vs 18k) joins
+  // only if compatible with every member — 45/18 = 2.5 < 4, so all four.
+  EXPECT_EQ(advice.drcf_groups[0].size(), 4u);
+}
+
+TEST(Advisor, ConcurrencySplitsGroups) {
+  std::vector<dse::BlockProfile> blocks{
+      {"rx_fft", 20'000, 0.3, {1}, false, false},   // concurrent with 1
+      {"rx_viterbi", 22'000, 0.3, {0}, false, false},
+      {"tx_fft", 21'000, 0.2, {}, false, false},
+  };
+  const auto advice = dse::advise_partitioning(blocks);
+  // rx_fft+rx_viterbi cannot share; the greedy pass pairs rx_fft with
+  // tx_fft instead, leaving rx_viterbi dedicated.
+  ASSERT_EQ(advice.drcf_groups.size(), 1u);
+  EXPECT_EQ(advice.drcf_groups[0], (std::vector<usize>{0, 2}));
+  ASSERT_EQ(advice.dedicated.size(), 1u);
+  EXPECT_EQ(advice.dedicated[0].first, 1u);
+}
+
+TEST(Advisor, HighDutyCycleStaysDedicated) {
+  std::vector<dse::BlockProfile> blocks{
+      {"always_on", 20'000, 0.95, {}, false, false},
+      {"sometimes", 20'000, 0.2, {}, false, false},
+  };
+  const auto advice = dse::advise_partitioning(blocks);
+  EXPECT_TRUE(advice.drcf_groups.empty());
+  ASSERT_EQ(advice.dedicated.size(), 2u);
+  EXPECT_NE(advice.dedicated[0].second.find("duty cycle"),
+            std::string::npos);
+}
+
+TEST(Advisor, Rules2And3FlagSingletons) {
+  std::vector<dse::BlockProfile> blocks{
+      {"wlan_mac", 60'000, 0.3, {}, true, false},   // evolving standard
+      {"codec", 9'000, 0.3, {}, false, true},       // next-gen growth
+  };
+  // 60k vs 9k exceeds the size-ratio limit, so rule 1 cannot pair them.
+  const auto advice = dse::advise_partitioning(blocks);
+  EXPECT_TRUE(advice.drcf_groups.empty());
+  EXPECT_EQ(advice.reconfigurable_singletons.size(), 2u);
+  ASSERT_EQ(advice.rationale.size(), 2u);
+  EXPECT_NE(advice.rationale[0].find("rule 2"), std::string::npos);
+  EXPECT_NE(advice.rationale[1].find("rule 3"), std::string::npos);
+}
+
+TEST(Advisor, SizeRatioLimitRespected) {
+  std::vector<dse::BlockProfile> blocks{
+      {"tiny", 1'000, 0.2, {}, false, false},
+      {"huge", 50'000, 0.2, {}, false, false},
+  };
+  const auto advice = dse::advise_partitioning(blocks);
+  EXPECT_TRUE(advice.drcf_groups.empty());
+  EXPECT_EQ(advice.dedicated.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Pareto, DominationBasics) {
+  const dse::DesignPoint a{"a", {1.0, 1.0}};
+  const dse::DesignPoint b{"b", {2.0, 2.0}};
+  const dse::DesignPoint c{"c", {1.0, 2.0}};
+  EXPECT_TRUE(dse::dominates(a, b));
+  EXPECT_FALSE(dse::dominates(b, a));
+  EXPECT_TRUE(dse::dominates(a, c));
+  EXPECT_FALSE(dse::dominates(c, a));
+  EXPECT_FALSE(dse::dominates(a, a));  // no strict improvement
+  const dse::DesignPoint bad{"bad", {1.0}};
+  EXPECT_THROW(dse::dominates(a, bad), std::invalid_argument);
+}
+
+TEST(Pareto, FrontExtraction) {
+  std::vector<dse::DesignPoint> pts{
+      {"fast_big", {1.0, 10.0}},
+      {"slow_small", {10.0, 1.0}},
+      {"balanced", {4.0, 4.0}},
+      {"dominated", {5.0, 5.0}},
+      {"worst", {20.0, 20.0}},
+  };
+  const auto front = dse::pareto_front(pts);
+  EXPECT_EQ(front, (std::vector<usize>{0, 1, 2}));
+}
+
+TEST(Pareto, AllEqualAllOnFront) {
+  std::vector<dse::DesignPoint> pts{
+      {"a", {1.0, 2.0}}, {"b", {1.0, 2.0}}, {"c", {1.0, 2.0}}};
+  EXPECT_EQ(dse::pareto_front(pts).size(), 3u);
+  EXPECT_TRUE(dse::pareto_front({}).empty());
+}
+
+}  // namespace
+}  // namespace adriatic

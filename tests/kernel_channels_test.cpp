@@ -1,0 +1,367 @@
+// Channel tests: signals, clocks, FIFOs, mutexes, semaphores, VCD tracing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+namespace adriatic::kern {
+namespace {
+
+TEST(Signal, WriteVisibleNextDelta) {
+  Simulation sim;
+  Module top(sim, "top");
+  Signal<int> s(top, "s", 5);
+  std::vector<int> observed;
+  top.spawn_thread("t", [&] {
+    s.write(7);
+    observed.push_back(s.read());  // still old value in this evaluation
+    wait(s.value_changed_event());
+    observed.push_back(s.read());
+  });
+  sim.run();
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], 5);
+  EXPECT_EQ(observed[1], 7);
+}
+
+TEST(Signal, NoEventOnSameValueWrite) {
+  Simulation sim;
+  Module top(sim, "top");
+  Signal<int> s(top, "s", 5);
+  bool woke = false;
+  top.spawn_thread("waiter", [&] {
+    wait(s.value_changed_event());
+    woke = true;
+  });
+  top.spawn_thread("writer", [&] { s.write(5); });
+  sim.run();
+  EXPECT_FALSE(woke);
+  EXPECT_EQ(s.change_count(), 0u);
+}
+
+TEST(Signal, LastWriteInDeltaWins) {
+  Simulation sim;
+  Module top(sim, "top");
+  Signal<int> s(top, "s");
+  top.spawn_thread("t", [&] {
+    s.write(1);
+    s.write(2);
+    s.write(3);
+  });
+  sim.run();
+  EXPECT_EQ(s.read(), 3);
+  EXPECT_EQ(s.change_count(), 1u);
+}
+
+TEST(Signal, PosedgeNegedgeForBool) {
+  Simulation sim;
+  Module top(sim, "top");
+  Signal<bool> s(top, "s", false);
+  int pos = 0, neg = 0;
+  SpawnOptions p_opts, n_opts;
+  p_opts.sensitivity = {&s.posedge_event()};
+  p_opts.dont_initialize = true;
+  n_opts.sensitivity = {&s.negedge_event()};
+  n_opts.dont_initialize = true;
+  top.spawn_method("pos", [&] { ++pos; }, p_opts);
+  top.spawn_method("neg", [&] { ++neg; }, n_opts);
+  top.spawn_thread("drv", [&] {
+    s.write(true);
+    wait(Time::ns(1));
+    s.write(false);
+    wait(Time::ns(1));
+    s.write(true);
+    wait(Time::ns(1));
+  });
+  sim.run();
+  EXPECT_EQ(pos, 2);
+  EXPECT_EQ(neg, 1);
+}
+
+TEST(Signal, OperatorSugar) {
+  Simulation sim;
+  Module top(sim, "top");
+  Signal<int> s(top, "s");
+  top.spawn_thread("t", [&] {
+    s = 9;
+    wait(s.value_changed_event());
+  });
+  sim.run();
+  const int v = s;
+  EXPECT_EQ(v, 9);
+}
+
+TEST(Signal, PortAccess) {
+  Simulation sim;
+  Module top(sim, "top");
+  Signal<u32> s(top, "s", 3);
+  In<u32> in(top, "in");
+  Out<u32> out(top, "out");
+  in.bind(s);
+  out.bind(s);
+  top.spawn_thread("t", [&] {
+    EXPECT_EQ(in.read(), 3u);
+    out.write(11);
+    wait(in.value_changed_event());
+    EXPECT_EQ(in.read(), 11u);
+  });
+  sim.run();
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ClockTest, GeneratesEdges) {
+  Simulation sim;
+  Clock clk(sim, "clk", Time::ns(10));
+  int pos = 0, neg = 0;
+  Module top(sim, "top");
+  SpawnOptions p_opts, n_opts;
+  p_opts.sensitivity = {&clk.posedge_event()};
+  p_opts.dont_initialize = true;
+  n_opts.sensitivity = {&clk.negedge_event()};
+  n_opts.dont_initialize = true;
+  top.spawn_method("pos", [&] { ++pos; }, p_opts);
+  top.spawn_method("neg", [&] { ++neg; }, n_opts);
+  sim.run(Time::ns(100));
+  // Edges at 0(delta),10,20,...: ten full periods.
+  EXPECT_GE(pos, 9);
+  EXPECT_LE(pos, 11);
+  EXPECT_GE(neg, 9);
+  EXPECT_LE(neg, 11);
+}
+
+TEST(ClockTest, DutyCycle) {
+  Simulation sim;
+  Clock clk(sim, "clk", Time::ns(10), 0.3);
+  Module top(sim, "top");
+  std::vector<u64> neg_times;
+  SpawnOptions opts;
+  opts.sensitivity = {&clk.negedge_event()};
+  opts.dont_initialize = true;
+  top.spawn_method("neg", [&] { neg_times.push_back(sim.now().picoseconds()); },
+                   opts);
+  sim.run(Time::ns(25));
+  ASSERT_GE(neg_times.size(), 2u);
+  // First rising edge ~0; falling at 3ns, next at 13ns.
+  EXPECT_EQ(neg_times[0], 3000u);
+  EXPECT_EQ(neg_times[1], 13000u);
+}
+
+TEST(ClockTest, StartDelay) {
+  Simulation sim;
+  Clock clk(sim, "clk", Time::ns(10), 0.5, Time::ns(100));
+  Module top(sim, "top");
+  std::vector<u64> pos_times;
+  SpawnOptions opts;
+  opts.sensitivity = {&clk.posedge_event()};
+  opts.dont_initialize = true;
+  top.spawn_method("pos", [&] { pos_times.push_back(sim.now().picoseconds()); },
+                   opts);
+  sim.run(Time::ns(125));
+  ASSERT_GE(pos_times.size(), 2u);
+  EXPECT_EQ(pos_times[0], 100000u);
+  EXPECT_EQ(pos_times[1], 110000u);
+}
+
+TEST(ClockTest, FrequencyQuery) {
+  Simulation sim;
+  Clock clk(sim, "clk", Time::ns(10));
+  EXPECT_NEAR(clk.frequency_mhz(), 100.0, 1e-9);
+}
+
+TEST(ClockTest, BadParamsThrow) {
+  Simulation sim;
+  EXPECT_THROW(Clock(sim, "c1", Time::zero()), std::invalid_argument);
+  EXPECT_THROW(Clock(sim, "c2", Time::ns(10), 0.0), std::invalid_argument);
+  EXPECT_THROW(Clock(sim, "c3", Time::ns(10), 1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(FifoTest, ProducerConsumer) {
+  Simulation sim;
+  Module top(sim, "top");
+  Fifo<int> fifo(top, "fifo", 4);
+  std::vector<int> received;
+  top.spawn_thread("producer", [&] {
+    for (int i = 0; i < 20; ++i) fifo.write(i);
+  });
+  top.spawn_thread("consumer", [&] {
+    for (int i = 0; i < 20; ++i) received.push_back(fifo.read());
+  });
+  sim.run();
+  ASSERT_EQ(received.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(FifoTest, BlockingWriteWhenFull) {
+  Simulation sim;
+  Module top(sim, "top");
+  Fifo<int> fifo(top, "fifo", 2);
+  Time producer_done;
+  top.spawn_thread("producer", [&] {
+    fifo.write(1);
+    fifo.write(2);
+    fifo.write(3);  // blocks until consumer reads
+    producer_done = sim.now();
+  });
+  top.spawn_thread("consumer", [&] {
+    wait(Time::ns(50));
+    (void)fifo.read();
+  });
+  sim.run();
+  EXPECT_EQ(producer_done, Time::ns(50));
+}
+
+TEST(FifoTest, NonBlockingVariants) {
+  Simulation sim;
+  Module top(sim, "top");
+  Fifo<int> fifo(top, "fifo", 1);
+  top.spawn_thread("t", [&] {
+    int v = 0;
+    EXPECT_FALSE(fifo.nb_read(v));
+    EXPECT_TRUE(fifo.nb_write(42));
+    EXPECT_FALSE(fifo.nb_write(43));  // full
+    EXPECT_EQ(fifo.num_available(), 1u);
+    EXPECT_EQ(fifo.num_free(), 0u);
+    EXPECT_TRUE(fifo.nb_read(v));
+    EXPECT_EQ(v, 42);
+  });
+  sim.run();
+}
+
+TEST(FifoTest, ZeroCapacityThrows) {
+  Simulation sim;
+  EXPECT_THROW(Fifo<int>(sim, "f", 0), std::invalid_argument);
+}
+
+TEST(FifoTest, InterfacePorts) {
+  Simulation sim;
+  Module top(sim, "top");
+  Fifo<int> fifo(top, "fifo", 4);
+  Port<FifoInIf<int>> in(top, "in");
+  Port<FifoOutIf<int>> out(top, "out");
+  in.bind(fifo);
+  out.bind(fifo);
+  int got = -1;
+  top.spawn_thread("w", [&] { out->write(5); });
+  top.spawn_thread("r", [&] { got = in->read(); });
+  sim.run();
+  EXPECT_EQ(got, 5);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MutexTest, MutualExclusion) {
+  Simulation sim;
+  Module top(sim, "top");
+  Mutex m(top, "m");
+  std::vector<std::string> trace;
+  auto worker = [&](const std::string& id, Time hold) {
+    return [&, id, hold] {
+      m.lock();
+      trace.push_back(id + ":in");
+      wait(hold);
+      trace.push_back(id + ":out");
+      m.unlock();
+    };
+  };
+  top.spawn_thread("a", worker("a", Time::ns(10)));
+  top.spawn_thread("b", worker("b", Time::ns(10)));
+  sim.run();
+  ASSERT_EQ(trace.size(), 4u);
+  // Critical sections must not interleave.
+  EXPECT_EQ(trace[0].substr(2), "in");
+  EXPECT_EQ(trace[1].substr(2), "out");
+  EXPECT_EQ(trace[0][0], trace[1][0]);
+  EXPECT_EQ(trace[2][0], trace[3][0]);
+  EXPECT_EQ(m.acquisitions(), 2u);
+}
+
+TEST(MutexTest, TryLock) {
+  Simulation sim;
+  Module top(sim, "top");
+  Mutex m(top, "m");
+  top.spawn_thread("t", [&] {
+    EXPECT_TRUE(m.try_lock());
+    EXPECT_TRUE(m.is_locked());
+    EXPECT_FALSE(m.try_lock());
+    m.unlock();
+    EXPECT_FALSE(m.is_locked());
+  });
+  sim.run();
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Simulation sim;
+  Module top(sim, "top");
+  Semaphore sem(top, "sem", 2);
+  int inside = 0, max_inside = 0;
+  for (int i = 0; i < 5; ++i) {
+    top.spawn_thread("w" + std::to_string(i), [&] {
+      sem.acquire();
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      wait(Time::ns(10));
+      --inside;
+      sem.release();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(max_inside, 2);
+  EXPECT_EQ(sem.value(), 2u);
+}
+
+TEST(SemaphoreTest, TryAcquire) {
+  Simulation sim;
+  Module top(sim, "top");
+  Semaphore sem(top, "sem", 1);
+  top.spawn_thread("t", [&] {
+    EXPECT_TRUE(sem.try_acquire());
+    EXPECT_FALSE(sem.try_acquire());
+    sem.release();
+    EXPECT_EQ(sem.value(), 1u);
+  });
+  sim.run();
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Vcd, WritesHeaderAndChanges) {
+  const std::string path = "/tmp/adriatic_vcd_test.vcd";
+  {
+    Simulation sim;
+    Module top(sim, "top");
+    Signal<bool> s(top, "s", false);
+    Signal<u16> w(top, "w", 0);
+    TraceFile tf(sim, path);
+    tf.trace(s, "s");
+    tf.trace(w, "w");
+    top.spawn_thread("drv", [&] {
+      for (int i = 1; i <= 3; ++i) {
+        s.write(i % 2 == 1);
+        w.write(static_cast<u16>(i * 10));
+        wait(Time::ns(10));
+      }
+    });
+    sim.run();
+    EXPECT_GT(tf.samples_written(), 0u);
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string vcd = ss.str();
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! s $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 16 \" w $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#10000"), std::string::npos);
+  EXPECT_NE(vcd.find("b0000000000011110 "), std::string::npos);  // 30
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adriatic::kern

@@ -1,0 +1,459 @@
+// MorphoSys substrate tests: RC array semantics, the three interconnect
+// layers, the assembler, and the double-context-plane overlap property.
+#include <gtest/gtest.h>
+
+#include "morphosys/morphosys_lib.hpp"
+
+namespace adriatic::morphosys {
+namespace {
+
+Context broadcast_all(ContextWord w) {
+  Context c;
+  c.rows.fill(w);
+  return c;
+}
+
+TEST(RcArrayTest, AddImmediateAllCells) {
+  RcArray a;
+  FrameBuffer fb;
+  ContextWord w;
+  w.op = RcOp::kAdd;
+  w.src_a = MuxSel::kReg0;
+  w.src_b = MuxSel::kImm;
+  w.imm = 7;
+  w.dst_reg = 0;
+  const auto ctx = broadcast_all(w);
+  a.step(ctx, BroadcastMode::kRow, fb, 0, 0);
+  a.step(ctx, BroadcastMode::kRow, fb, 0, 0);
+  for (usize r = 0; r < kArrayDim; ++r)
+    for (usize c = 0; c < kArrayDim; ++c)
+      EXPECT_EQ(a.cell(r, c).regs[0], 14);
+  EXPECT_EQ(a.cycles_executed(), 2u);
+  EXPECT_EQ(a.active_cell_ops(), 2u * kArrayCells);
+}
+
+TEST(RcArrayTest, FrameBufferStreaming) {
+  RcArray a;
+  FrameBuffer fb(512);
+  for (usize i = 0; i < kArrayCells; ++i)
+    fb.write(i, static_cast<i16>(i * 2));
+  ContextWord w;
+  w.op = RcOp::kMov;
+  w.src_a = MuxSel::kFrameBuf;
+  w.dst_reg = 1;
+  w.write_fb = false;
+  a.step(broadcast_all(w), BroadcastMode::kRow, fb, 0, 0);
+  EXPECT_EQ(a.cell(0, 0).regs[1], 0);
+  EXPECT_EQ(a.cell(0, 3).regs[1], 6);
+  EXPECT_EQ(a.cell(7, 7).regs[1], 126);
+}
+
+TEST(RcArrayTest, WriteBackToFrameBuffer) {
+  RcArray a;
+  FrameBuffer fb(512);
+  for (usize i = 0; i < kArrayCells; ++i) fb.write(i, static_cast<i16>(i));
+  ContextWord w;
+  w.op = RcOp::kAdd;
+  w.src_a = MuxSel::kFrameBuf;
+  w.src_b = MuxSel::kImm;
+  w.imm = 100;
+  w.write_fb = true;
+  a.step(broadcast_all(w), BroadcastMode::kRow, fb, 0, 0);
+  EXPECT_EQ(fb.read(0), 100);
+  EXPECT_EQ(fb.read(63), 163);
+}
+
+TEST(RcArrayTest, MeshLayerMovesNeighborOutputs) {
+  RcArray a;
+  FrameBuffer fb;
+  // Cycle 1: every cell outputs its column index.
+  ContextWord init;
+  init.op = RcOp::kMov;
+  init.src_a = MuxSel::kFrameBuf;
+  for (usize i = 0; i < kArrayCells; ++i)
+    fb.write(i, static_cast<i16>(i % kArrayDim));
+  a.step(broadcast_all(init), BroadcastMode::kRow, fb, 0, 0);
+  // Cycle 2: read the west neighbour.
+  ContextWord west;
+  west.op = RcOp::kMov;
+  west.src_a = MuxSel::kWest;
+  west.dst_reg = 2;
+  a.step(broadcast_all(west), BroadcastMode::kRow, fb, 0, 0);
+  EXPECT_EQ(a.cell(0, 1).regs[2], 0);
+  EXPECT_EQ(a.cell(3, 5).regs[2], 4);
+  EXPECT_EQ(a.cell(2, 0).regs[2], 7);  // torus wrap
+}
+
+TEST(RcArrayTest, QuadrantRowLayer) {
+  RcArray a;
+  FrameBuffer fb;
+  ContextWord init;
+  init.op = RcOp::kMov;
+  init.src_a = MuxSel::kFrameBuf;
+  for (usize i = 0; i < kArrayCells; ++i) fb.write(i, static_cast<i16>(i));
+  a.step(broadcast_all(init), BroadcastMode::kRow, fb, 0, 0);
+  // Every cell reads lane 2 of its row quadrant.
+  ContextWord lane;
+  lane.op = RcOp::kMov;
+  lane.src_a = MuxSel::kRowQuad;
+  lane.imm = 2;
+  lane.dst_reg = 3;
+  a.step(broadcast_all(lane), BroadcastMode::kRow, fb, 0, 0);
+  // Row 0, left quadrant lane 2 = previous output of cell (0,2) = 2.
+  EXPECT_EQ(a.cell(0, 0).regs[3], 2);
+  EXPECT_EQ(a.cell(0, 1).regs[3], 2);
+  // Right quadrant of row 0: lane 2 of cols 4..7 = cell (0,6) = 6.
+  EXPECT_EQ(a.cell(0, 5).regs[3], 6);
+  // Row 3: 3*8 + 2 = 26 (left), 3*8+6 = 30 (right).
+  EXPECT_EQ(a.cell(3, 0).regs[3], 26);
+  EXPECT_EQ(a.cell(3, 7).regs[3], 30);
+}
+
+TEST(RcArrayTest, InterQuadrantExpressLane) {
+  RcArray a;
+  FrameBuffer fb;
+  ContextWord init;
+  init.op = RcOp::kMov;
+  init.src_a = MuxSel::kFrameBuf;
+  for (usize i = 0; i < kArrayCells; ++i) fb.write(i, static_cast<i16>(i));
+  a.step(broadcast_all(init), BroadcastMode::kRow, fb, 0, 0);
+  ContextWord x;
+  x.op = RcOp::kMov;
+  x.src_a = MuxSel::kXQuad;
+  x.dst_reg = 1;
+  a.step(broadcast_all(x), BroadcastMode::kRow, fb, 0, 0);
+  EXPECT_EQ(a.cell(0, 0).regs[1], 4);  // (0,4)
+  EXPECT_EQ(a.cell(0, 5).regs[1], 1);  // (0,1)
+}
+
+TEST(RcArrayTest, MacAccumulates) {
+  RcArray a;
+  FrameBuffer fb;
+  ContextWord w;
+  w.op = RcOp::kMac;
+  w.src_a = MuxSel::kImm;
+  w.src_b = MuxSel::kImm;  // imm * imm added to reg3
+  w.imm = 3;
+  w.dst_reg = 3;
+  const auto ctx = broadcast_all(w);
+  for (int i = 0; i < 4; ++i) a.step(ctx, BroadcastMode::kRow, fb, 0, 0);
+  EXPECT_EQ(a.cell(4, 4).regs[3], 36);  // 4 * 9
+}
+
+TEST(RcArrayTest, SaturationArithmetic) {
+  RcArray a;
+  FrameBuffer fb;
+  ContextWord w;
+  w.op = RcOp::kMul;
+  w.src_a = MuxSel::kImm;
+  w.src_b = MuxSel::kImm;
+  w.imm = 30000;
+  w.dst_reg = 0;
+  a.step(broadcast_all(w), BroadcastMode::kRow, fb, 0, 0);
+  EXPECT_EQ(a.cell(0, 0).regs[0], 32767);  // saturated
+}
+
+TEST(RcArrayTest, ColumnBroadcastMode) {
+  RcArray a;
+  FrameBuffer fb;
+  Context ctx;  // column c adds c (via per-group imm)
+  for (usize c = 0; c < kArrayDim; ++c) {
+    ctx.rows[c].op = RcOp::kAdd;
+    ctx.rows[c].src_a = MuxSel::kReg0;
+    ctx.rows[c].src_b = MuxSel::kImm;
+    ctx.rows[c].imm = static_cast<i16>(c);
+    ctx.rows[c].dst_reg = 0;
+  }
+  a.step(ctx, BroadcastMode::kColumn, fb, 0, 0);
+  EXPECT_EQ(a.cell(5, 3).regs[0], 3);
+  EXPECT_EQ(a.cell(2, 7).regs[0], 7);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(AssemblerTest, BasicProgram) {
+  const auto prog = assemble(R"(
+    ; a comment
+    ADDI r1, r0, 10
+    loop:
+    ADDI r1, r1, -1
+    BNE  r1, r0, loop
+    HALT
+  )");
+  ASSERT_EQ(prog.size(), 4u);
+  EXPECT_EQ(prog[0].op, Opcode::kAddi);
+  EXPECT_EQ(prog[2].op, Opcode::kBne);
+  EXPECT_EQ(prog[2].target, 1u);
+  EXPECT_EQ(prog[3].op, Opcode::kHalt);
+}
+
+TEST(AssemblerTest, Errors) {
+  EXPECT_THROW(assemble("BOGUS r1"), std::invalid_argument);
+  EXPECT_THROW(assemble("ADDI r1, r0"), std::invalid_argument);
+  EXPECT_THROW(assemble("ADDI r99, r0, 1"), std::invalid_argument);
+  EXPECT_THROW(assemble("JMP nowhere"), std::invalid_argument);
+  EXPECT_THROW(assemble("x:\nx:\nHALT"), std::invalid_argument);
+  EXPECT_THROW(assemble("RAMODE diag"), std::invalid_argument);
+  EXPECT_THROW(assemble("ADDI r1, r0, zz"), std::invalid_argument);
+}
+
+TEST(MachineTest, RiscLoopRuns) {
+  Machine m;
+  const auto prog = assemble(R"(
+    ADDI r1, r0, 0     ; acc
+    ADDI r2, r0, 10    ; count
+    loop:
+    ADD  r1, r1, r2
+    ADDI r2, r2, -1
+    BNE  r2, r0, loop
+    ADDI r3, r0, 100
+    STW  r3, 0, r1
+    HALT
+  )");
+  ASSERT_TRUE(m.run(prog));
+  EXPECT_EQ(m.mem_read(100), 55);  // sum 1..10
+  EXPECT_GT(m.stats().risc_instructions, 30u);
+}
+
+TEST(MachineTest, DmaRoundTrip) {
+  Machine m;
+  std::vector<i32> data{5, 6, 7, 8};
+  m.mem_load(200, data);
+  const auto prog = assemble(R"(
+    ADDI r1, r0, 200   ; src
+    ADDI r2, r0, 16    ; fb addr
+    DMALD r1, r2, 4
+    WAITDMA
+    ADDI r3, r0, 300   ; dst
+    DMAST r2, r3, 4
+    WAITDMA
+    HALT
+  )");
+  ASSERT_TRUE(m.run(prog));
+  for (usize i = 0; i < 4; ++i)
+    EXPECT_EQ(m.mem_read(300 + i), data[i]);
+  EXPECT_GT(m.stats().dma_busy_cycles, 0u);
+}
+
+TEST(MachineTest, ArrayKernelVectorScale) {
+  // Scale 64 values by 3 using one context: out = fb * 3, written back.
+  Machine m;
+  std::vector<i32> input(64);
+  for (usize i = 0; i < 64; ++i) input[i] = static_cast<i32>(i);
+  m.mem_load(0x100, input);
+
+  ContextWord w;
+  w.op = RcOp::kMul;
+  w.src_a = MuxSel::kFrameBuf;
+  w.src_b = MuxSel::kImm;
+  w.imm = 3;
+  w.write_fb = true;
+  Context ctx;
+  ctx.rows.fill(w);
+  m.store_context_image(0x800, ctx);
+
+  const auto prog = assemble(R"(
+    ADDI r1, r0, 0x100
+    ADDI r2, r0, 0      ; fb base
+    DMALD r1, r2, 64
+    WAITDMA
+    ADDI r4, r0, 0x800
+    DMACL 0, r4, 1      ; one context into plane 0
+    WAITDMA
+    RAMODE row
+    RAEXEC 0, 0, r2, 1  ; one SIMD cycle over 64 cells
+    ADDI r5, r0, 0x200
+    DMAST r2, r5, 64
+    WAITDMA
+    HALT
+  )");
+  ASSERT_TRUE(m.run(prog));
+  for (usize i = 0; i < 64; ++i)
+    EXPECT_EQ(m.mem_read(0x200 + i), static_cast<i32>(i * 3)) << i;
+  EXPECT_EQ(m.stats().contexts_loaded, 1u);
+  EXPECT_EQ(m.stats().ra_cycles, 1u);
+  EXPECT_NEAR(m.array_utilization(), 1.0, 1e-9);
+}
+
+TEST(MachineTest, BackgroundReloadOverlaps) {
+  // Load plane 1 while executing from plane 0: no RA stalls, overlap > 0.
+  Machine m;
+  ContextWord w;
+  w.op = RcOp::kAdd;
+  w.src_a = MuxSel::kReg0;
+  w.src_b = MuxSel::kImm;
+  w.imm = 1;
+  Context ctx;
+  ctx.rows.fill(w);
+  for (usize i = 0; i < 8; ++i)
+    m.store_context_image(0x800 + i * 8, ctx);
+
+  const auto prog = assemble(R"(
+    ADDI r4, r0, 0x800
+    DMACL 0, r4, 1
+    WAITDMA
+    DMACL 1, r4, 8      ; reload the OTHER plane...
+    RAEXEC 0, 0, r0, 60 ; ...while executing from plane 0
+    WAITDMA
+    HALT
+  )");
+  ASSERT_TRUE(m.run(prog));
+  EXPECT_EQ(m.stats().ra_stall_cycles, 0u);
+  EXPECT_GT(m.stats().overlapped_cycles, 0u);
+  EXPECT_EQ(m.stats().contexts_loaded, 9u);
+}
+
+TEST(MachineTest, SamePlaneReloadStalls) {
+  Machine m;
+  ContextWord w;
+  w.op = RcOp::kAdd;
+  w.src_a = MuxSel::kReg0;
+  w.src_b = MuxSel::kImm;
+  w.imm = 1;
+  Context ctx;
+  ctx.rows.fill(w);
+  for (usize i = 0; i < 8; ++i) m.store_context_image(0x800 + i * 8, ctx);
+
+  const auto prog = assemble(R"(
+    ADDI r4, r0, 0x800
+    DMACL 0, r4, 8      ; load plane 0...
+    RAEXEC 0, 0, r0, 4  ; ...and immediately execute from plane 0: stall
+    HALT
+  )");
+  ASSERT_TRUE(m.run(prog));
+  EXPECT_GT(m.stats().ra_stall_cycles, 0u);
+}
+
+TEST(MachineTest, ContextImageRoundTrip) {
+  Machine m;
+  Context ctx;
+  for (usize r = 0; r < 8; ++r) {
+    ctx.rows[r].op = RcOp::kMac;
+    ctx.rows[r].src_a = MuxSel::kNorth;
+    ctx.rows[r].src_b = MuxSel::kFrameBuf;
+    ctx.rows[r].dst_reg = 3;
+    ctx.rows[r].imm = static_cast<i16>(-5 - static_cast<i16>(r));
+    ctx.rows[r].write_fb = (r % 2) == 0;
+  }
+  m.store_context_image(64, ctx);
+  const auto prog = assemble(R"(
+    ADDI r4, r0, 64
+    DMACL 1, r4, 1
+    WAITDMA
+    HALT
+  )");
+  ASSERT_TRUE(m.run(prog));
+  const Context& got = m.context_memory().at(1, 0);
+  for (usize r = 0; r < 8; ++r) {
+    EXPECT_EQ(got.rows[r].op, ctx.rows[r].op);
+    EXPECT_EQ(got.rows[r].src_a, ctx.rows[r].src_a);
+    EXPECT_EQ(got.rows[r].src_b, ctx.rows[r].src_b);
+    EXPECT_EQ(got.rows[r].dst_reg, ctx.rows[r].dst_reg);
+    EXPECT_EQ(got.rows[r].imm, ctx.rows[r].imm);
+    EXPECT_EQ(got.rows[r].write_fb, ctx.rows[r].write_fb);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel library (context-program builders).
+
+TEST(KernelsTest, ScaleShiftTile) {
+  Machine m;
+  std::vector<i32> in(192);
+  for (usize i = 0; i < in.size(); ++i) in[i] = static_cast<i32>(i);
+  m.mem_load(0x100, in);
+  ASSERT_TRUE(run_tile_kernel(m, scale_shift_contexts(12, 2), 0x100, 0x900,
+                              in.size()));
+  for (usize i = 0; i < in.size(); ++i)
+    EXPECT_EQ(m.mem_read(0x900 + i), (static_cast<i32>(i) * 12) >> 2) << i;
+}
+
+TEST(KernelsTest, AddBiasTile) {
+  Machine m;
+  std::vector<i32> in(64, 100);
+  m.mem_load(0x100, in);
+  ASSERT_TRUE(run_tile_kernel(m, add_bias_contexts(-30), 0x100, 0x900, 64));
+  for (usize i = 0; i < 64; ++i) EXPECT_EQ(m.mem_read(0x900 + i), 70);
+}
+
+TEST(KernelsTest, AbsDiffAgainstRegister) {
+  // Preload reg1 of every cell with 50 via an add-bias pass into registers,
+  // then stream and take |x - 50|.
+  Machine m;
+  std::vector<i32> in(64);
+  for (usize i = 0; i < 64; ++i) in[i] = static_cast<i32>(i * 2);
+  m.mem_load(0x100, in);
+  // Seed reg1: context that moves an immediate into reg1.
+  ContextWord seed;
+  seed.op = RcOp::kMov;
+  seed.src_a = MuxSel::kImm;
+  seed.imm = 50;
+  seed.dst_reg = 1;
+  Context seed_ctx;
+  seed_ctx.rows.fill(seed);
+  std::vector<Context> prog{seed_ctx, absdiff_contexts()[0]};
+  ASSERT_TRUE(run_tile_kernel(m, prog, 0x100, 0x900, 64));
+  for (usize i = 0; i < 64; ++i)
+    EXPECT_EQ(m.mem_read(0x900 + i), std::abs(static_cast<i32>(i * 2) - 50));
+}
+
+TEST(KernelsTest, ColumnMacUsesColumnBroadcast) {
+  Machine m;
+  std::vector<i32> in(64, 1);
+  m.mem_load(0x100, in);
+  std::array<i16, 8> coeffs{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto contexts = column_mac_contexts(coeffs);
+  for (usize i = 0; i < contexts.size(); ++i)
+    m.store_context_image(0x6000 + i * 8, contexts[i]);
+  const auto prog = assemble(R"(
+    ADDI r1, r0, 0x100
+    ADDI r2, r0, 0
+    ADDI r4, r0, 0x6000
+    DMACL 0, r4, 1
+    DMALD r1, r2, 64
+    WAITDMA
+    RAMODE col
+    RAEXEC 0, 0, r2, 1
+    RAEXEC 0, 0, r2, 1   ; accumulate twice
+    HALT
+  )");
+  ASSERT_TRUE(m.run(prog));
+  // Cell (r,c): reg3 = 2 * (1 * coeff[c]).
+  EXPECT_EQ(m.array().cell(0, 0).regs[3], 2);
+  EXPECT_EQ(m.array().cell(3, 4).regs[3], 10);
+  EXPECT_EQ(m.array().cell(7, 7).regs[3], 16);
+}
+
+TEST(KernelsTest, DriverAsmShape) {
+  const auto s = tile_driver_asm(0x100, 0x900, 128, 0x6000, 1, 2);
+  EXPECT_NE(s.find("DMACL 1, r4, 2"), std::string::npos);
+  EXPECT_NE(s.find("RAEXEC 1, 0, r2, 1"), std::string::npos);
+  EXPECT_NE(s.find("RAEXEC 1, 1, r2, 1"), std::string::npos);
+  EXPECT_NE(s.find("DMAST r2, r5, 128"), std::string::npos);
+  // 128 words = 2 chunks.
+  EXPECT_NE(s.find("ADDI r6, r0, 2"), std::string::npos);
+  EXPECT_NO_THROW(assemble(s));
+}
+
+TEST(MachineTest, CycleBudgetExhaustion) {
+  Machine m;
+  const auto prog = assemble(R"(
+    loop:
+    JMP loop
+  )");
+  EXPECT_FALSE(m.run(prog, 1000));
+  EXPECT_GE(m.stats().cycles, 1000u);
+}
+
+TEST(MachineTest, TooManyContextsThrows) {
+  Machine m;
+  const auto prog = assemble(R"(
+    ADDI r4, r0, 0
+    DMACL 0, r4, 17
+    HALT
+  )");
+  EXPECT_THROW(m.run(prog), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adriatic::morphosys

@@ -1,0 +1,175 @@
+// Architecture-template tests (paper Fig. 3's "architecture templates"),
+// including the bridge decl and multi-DRCF configuration-memory contention.
+#include <gtest/gtest.h>
+
+#include "accel/accel_lib.hpp"
+#include "netlist/elaborate.hpp"
+#include "platform/templates.hpp"
+#include "transform/transform.hpp"
+
+namespace adriatic::platform {
+namespace {
+
+using namespace kern::literals;
+
+TEST(Platform, DefaultTemplateIsValidAndBuilds) {
+  auto d = make_soc_platform();
+  EXPECT_TRUE(d.validate().empty());
+  kern::Simulation sim;
+  netlist::Elaborated e(sim, d);
+  EXPECT_NO_THROW(e.get_bus(PlatformNames::kBus));
+  EXPECT_NO_THROW(e.get_memory(PlatformNames::kRam));
+  EXPECT_NO_THROW(e.get_irq(PlatformNames::kIrq));
+}
+
+TEST(Platform, OptionsAddComponents) {
+  PlatformOptions opt;
+  opt.dedicated_config_link = true;
+  opt.peripheral_bus = true;
+  opt.dma = true;
+  auto d = make_soc_platform(opt);
+  EXPECT_TRUE(d.validate().empty()) << d.validate()[0];
+  EXPECT_TRUE(d.contains(PlatformNames::kCfgLink));
+  EXPECT_TRUE(d.contains(PlatformNames::kPeriphBus));
+  EXPECT_TRUE(d.contains(PlatformNames::kBridge));
+  EXPECT_TRUE(d.contains(PlatformNames::kDma));
+  kern::Simulation sim;
+  netlist::Elaborated e(sim, d);
+  EXPECT_NO_THROW(e.get_link(PlatformNames::kCfgLink));
+}
+
+TEST(Platform, BridgeDeclForwardsAcrossBuses) {
+  PlatformOptions opt;
+  opt.peripheral_bus = true;
+  auto d = make_soc_platform(opt);
+  // A memory on the peripheral bus, reachable through the bridge window.
+  netlist::MemoryDecl pm;
+  pm.low = 0x10;
+  pm.words = 64;
+  pm.bus = PlatformNames::kPeriphBus;
+  d.add("periph_mem", pm);
+  add_software(d, [](soc::Cpu& c) {
+    c.write(PlatformMap::kPeriphWindow + 0x10, 1234);
+    EXPECT_EQ(c.read(PlatformMap::kPeriphWindow + 0x10), 1234);
+  });
+  ASSERT_TRUE(d.validate().empty());
+  kern::Simulation sim;
+  netlist::Elaborated e(sim, d);
+  sim.run();
+  EXPECT_TRUE(e.get_processor(PlatformNames::kCpu).finished());
+  EXPECT_EQ(e.get_memory("periph_mem").peek(0x10), 1234);
+}
+
+TEST(Platform, BridgeValidation) {
+  netlist::Design d;
+  d.add("bus", netlist::BusDecl{});
+  netlist::BridgeDecl b;
+  b.low = 10;
+  b.high = 5;  // inverted
+  b.upstream_bus = "bus";
+  b.downstream_bus = "bus";  // loopback
+  d.add("bad_bridge", b);
+  const auto problems = d.validate();
+  EXPECT_EQ(problems.size(), 2u);
+}
+
+TEST(Platform, AcceleratorSlotsAllocateAndWireIrqs) {
+  auto d = make_soc_platform();
+  const auto b0 = add_accelerator(d, "crc", accel::make_crc_spec());
+  const auto b1 = add_accelerator(d, "quant", accel::make_quant_spec(75));
+  const auto b2 = add_accelerator(d, "fir",
+                                  accel::make_fir_spec({1 << 15}));
+  EXPECT_EQ(b0, 0x100u);
+  EXPECT_EQ(b1, 0x200u);
+  EXPECT_EQ(b2, 0x300u);
+  EXPECT_THROW(add_accelerator(d, "overflow", accel::make_crc_spec()),
+               std::out_of_range);
+  const auto* irq = d.get_if<netlist::IrqControllerDecl>(PlatformNames::kIrq);
+  ASSERT_NE(irq, nullptr);
+  ASSERT_EQ(irq->lines.size(), 3u);
+  EXPECT_EQ(irq->lines[1].second, "quant");
+  EXPECT_TRUE(d.validate().empty());
+}
+
+TEST(Platform, FullFlowOnTemplate) {
+  // Template -> accelerators -> software -> transform -> run.
+  auto d = make_soc_platform();
+  add_accelerator(d, "crc", accel::make_crc_spec());
+  add_accelerator(d, "quant", accel::make_quant_spec(75));
+  add_software(d, [](soc::Cpu& c) {
+    std::vector<bus::word> data(32, 120);
+    c.burst_write(PlatformMap::kRam, data);
+    for (const bus::addr_t base : {0x100u, 0x200u}) {
+      c.write(base + soc::HwAccel::kSrc, PlatformMap::kRam);
+      c.write(base + soc::HwAccel::kDst, PlatformMap::kRam + 0x100);
+      c.write(base + soc::HwAccel::kLen, 32);
+      c.write(base + soc::HwAccel::kCtrl, 1);
+      c.poll_until(base + soc::HwAccel::kStatus, soc::HwAccel::kDone,
+                   100_ns);
+      c.write(base + soc::HwAccel::kStatus, 0);
+    }
+  });
+  transform::TransformOptions opt;
+  opt.drcf_config.technology = drcf::morphosys_like();
+  opt.config_memory = PlatformNames::kCfg;
+  const std::vector<std::string> candidates{"crc", "quant"};
+  ASSERT_TRUE(transform::transform_to_drcf(d, candidates, opt).ok);
+  kern::Simulation sim;
+  netlist::Elaborated e(sim, d);
+  sim.run();
+  EXPECT_TRUE(e.get_processor(PlatformNames::kCpu).finished());
+  EXPECT_EQ(e.get_drcf("drcf1").stats().switches, 2u);
+}
+
+TEST(Platform, TwoDrcfsShareConfigMemory) {
+  // Two independent fabrics fetching from the same configuration memory:
+  // their loaders contend on the bus but must not interfere functionally.
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  bus::Bus b(top, "bus");
+  mem::Memory cfg_mem(top, "cfg", 0x100000, 4096);
+  b.bind_slave(cfg_mem);
+  mem::Memory ram(top, "ram", 0x1000, 512);
+  b.bind_slave(ram);
+
+  soc::HwAccel a1(top, "a1", 0x100, accel::make_crc_spec());
+  soc::HwAccel a2(top, "a2", 0x200, accel::make_crc_spec());
+  a1.mst_port.bind(b);
+  a2.mst_port.bind(b);
+  drcf::Drcf f1(top, "drcf_a", {});
+  drcf::Drcf f2(top, "drcf_b", {});
+  f1.add_context(a1, {.config_address = 0x100000, .size_words = 512});
+  f2.add_context(a2, {.config_address = 0x100400, .size_words = 512});
+  f1.mst_port.bind(b);
+  f2.mst_port.bind(b);
+  b.bind_slave(f1);
+  b.bind_slave(f2);
+
+  int done = 0;
+  auto driver = [&](bus::addr_t base) {
+    return [&, base] {
+      bus::word w = 0x1000;
+      b.write(base + soc::HwAccel::kSrc, &w);
+      w = 0x1040;
+      b.write(base + soc::HwAccel::kDst, &w);
+      w = 8;
+      b.write(base + soc::HwAccel::kLen, &w);
+      w = 1;
+      b.write(base + soc::HwAccel::kCtrl, &w);
+      ++done;
+    };
+  };
+  top.spawn_thread("m1", driver(0x100));
+  top.spawn_thread("m2", driver(0x200));
+  sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(f1.stats().switches, 1u);
+  EXPECT_EQ(f2.stats().switches, 1u);
+  EXPECT_EQ(a1.stats().invocations, 1u);
+  EXPECT_EQ(a2.stats().invocations, 1u);
+  // Both loaders really moved their bitstreams over the shared bus.
+  EXPECT_EQ(cfg_mem.stats().reads, 1024u);
+}
+
+}  // namespace
+}  // namespace adriatic::platform

@@ -1,0 +1,178 @@
+// Activity-profiler tests, ending in the full closed loop the paper lists
+// as future work: simulate the hardwired design, derive profiles, let the
+// advisor pick the DRCF group, transform, and verify the result still runs.
+#include <gtest/gtest.h>
+
+#include "accel/accel_lib.hpp"
+#include "bus/bus_lib.hpp"
+#include "dse/profiler.hpp"
+#include "kernel/kernel.hpp"
+#include "memory/memory.hpp"
+#include "netlist/design.hpp"
+#include "netlist/elaborate.hpp"
+#include "soc/soc_lib.hpp"
+#include "transform/transform.hpp"
+
+namespace adriatic::dse {
+namespace {
+
+using namespace kern::literals;
+
+void start_acc(soc::Cpu& c, bus::addr_t base, u32 len) {
+  c.write(base + soc::HwAccel::kSrc, 0x1000);
+  c.write(base + soc::HwAccel::kDst, 0x1100);
+  c.write(base + soc::HwAccel::kLen, static_cast<bus::word>(len));
+  c.write(base + soc::HwAccel::kCtrl, 1);
+}
+void finish_acc(soc::Cpu& c, bus::addr_t base) {
+  c.poll_until(base + soc::HwAccel::kStatus, soc::HwAccel::kDone, 100_ns);
+  c.write(base + soc::HwAccel::kStatus, 0);
+}
+
+TEST(Profiler, RecordsIntervalsAndDutyCycle) {
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  bus::Bus b(top, "bus");
+  mem::Memory ram(top, "ram", 0x1000, 1024);
+  b.bind_slave(ram);
+  soc::HwAccel acc(top, "crc", 0x100, accel::make_crc_spec());
+  acc.mst_port.bind(b);
+  b.bind_slave(acc);
+
+  ActivityProfiler prof(sim);
+  prof.watch(top, acc);
+
+  soc::Processor cpu(top, "cpu", {}, [&](soc::Cpu& c) {
+    for (int i = 0; i < 3; ++i) {
+      start_acc(c, 0x100, 64);
+      finish_acc(c, 0x100);
+      c.delay(10_us);  // idle gap
+    }
+  });
+  cpu.mst_port.bind(b);
+  sim.run();
+
+  ASSERT_EQ(prof.watched_count(), 1u);
+  ASSERT_EQ(prof.intervals(0).size(), 3u);
+  for (const auto& iv : prof.intervals(0)) EXPECT_GT(iv.end, iv.start);
+  const double duty = prof.duty_cycle(0);
+  EXPECT_GT(duty, 0.01);
+  EXPECT_LT(duty, 0.5);  // the 10 us gaps dominate
+}
+
+TEST(Profiler, DetectsConcurrencyOnlyWhenOverlapping) {
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  bus::Bus b(top, "bus");
+  mem::Memory ram(top, "ram", 0x1000, 1024);
+  b.bind_slave(ram);
+  soc::HwAccel a1(top, "a1", 0x100, accel::make_crc_spec());
+  soc::HwAccel a2(top, "a2", 0x200, accel::make_crc_spec());
+  soc::HwAccel a3(top, "a3", 0x300, accel::make_crc_spec());
+  for (auto* a : {&a1, &a2, &a3}) {
+    a->mst_port.bind(b);
+    b.bind_slave(*a);
+  }
+  ActivityProfiler prof(sim);
+  prof.watch(top, a1);
+  prof.watch(top, a2);
+  prof.watch(top, a3);
+
+  soc::Processor cpu(top, "cpu", {}, [&](soc::Cpu& c) {
+    // a1 and a2 run together; a3 runs alone afterwards.
+    start_acc(c, 0x100, 512);
+    start_acc(c, 0x200, 512);
+    finish_acc(c, 0x100);
+    finish_acc(c, 0x200);
+    c.delay(1_us);
+    start_acc(c, 0x300, 64);
+    finish_acc(c, 0x300);
+  });
+  cpu.mst_port.bind(b);
+  sim.run();
+
+  EXPECT_TRUE(prof.overlapped(0, 1));
+  EXPECT_FALSE(prof.overlapped(0, 2));
+  EXPECT_FALSE(prof.overlapped(1, 2));
+
+  const auto profiles = prof.profiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].name, "a1");
+  EXPECT_EQ(profiles[0].concurrent_with, (std::vector<usize>{1}));
+  EXPECT_TRUE(profiles[2].concurrent_with.empty());
+  EXPECT_EQ(profiles[0].gates, accel::make_crc_spec().gate_count);
+}
+
+TEST(Profiler, ClosedLoopProfileAdviseTransform) {
+  // Phase 1: simulate the hardwired design under the profiler.
+  netlist::Design d;
+  netlist::BusDecl bus_decl;
+  d.add("system_bus", bus_decl);
+  netlist::MemoryDecl ram;
+  ram.low = 0x1000;
+  ram.words = 2048;
+  ram.bus = "system_bus";
+  d.add("ram", ram);
+  netlist::MemoryDecl cfg;
+  cfg.low = 0x100000;
+  cfg.words = 1u << 16;
+  cfg.bus = "system_bus";
+  d.add("cfg_mem", cfg);
+  const char* names[3] = {"fir", "quant", "crc"};
+  const accel::KernelSpec specs[3] = {
+      accel::make_fir_spec(accel::fir_lowpass_taps(8)),
+      accel::make_quant_spec(75), accel::make_crc_spec()};
+  for (int i = 0; i < 3; ++i) {
+    netlist::HwAccelDecl a;
+    a.base = 0x100 + static_cast<bus::addr_t>(i) * 0x100;
+    a.spec = specs[i];
+    a.slave_bus = a.master_bus = "system_bus";
+    d.add(names[i], a);
+  }
+  netlist::ProcessorDecl cpu;
+  cpu.master_bus = "system_bus";
+  cpu.program = [](soc::Cpu& c) {
+    for (int round = 0; round < 2; ++round)
+      for (int i = 0; i < 3; ++i) {  // strictly sequential phases
+        const auto base = static_cast<bus::addr_t>(0x100 + i * 0x100);
+        start_acc(c, base, 64);
+        finish_acc(c, base);
+        c.delay(5_us);
+      }
+  };
+  d.add("cpu", cpu);
+
+  std::vector<BlockProfile> profiles;
+  {
+    kern::Simulation sim;
+    netlist::Elaborated e(sim, d);
+    ActivityProfiler prof(sim);
+    for (const char* n : names) prof.watch(e.top(), e.get_hwacc(n));
+    sim.run();
+    profiles = prof.profiles();
+  }
+
+  // Phase 2: the advisor groups all three (sequential, similar size).
+  const auto advice = advise_partitioning(profiles);
+  ASSERT_EQ(advice.drcf_groups.size(), 1u);
+  EXPECT_EQ(advice.drcf_groups[0].size(), 3u);
+
+  // Phase 3: transform exactly the advised group and re-simulate.
+  std::vector<std::string> candidates;
+  for (const usize idx : advice.drcf_groups[0])
+    candidates.push_back(profiles[idx].name);
+  transform::TransformOptions opt;
+  opt.drcf_config.technology = drcf::morphosys_like();
+  opt.config_memory = "cfg_mem";
+  const auto report = transform::transform_to_drcf(d, candidates, opt);
+  ASSERT_TRUE(report.ok);
+
+  kern::Simulation sim;
+  netlist::Elaborated e(sim, d);
+  sim.run();
+  EXPECT_TRUE(e.get_processor("cpu").finished());
+  EXPECT_EQ(e.get_drcf("drcf1").stats().switches, 6u);  // 2 rounds x 3
+}
+
+}  // namespace
+}  // namespace adriatic::dse

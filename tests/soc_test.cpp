@@ -1,0 +1,280 @@
+// SoC building-block tests: hardware accelerator, processor model, DMA.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/accel_lib.hpp"
+#include "bus/bus_lib.hpp"
+#include "kernel/kernel.hpp"
+#include "memory/memory.hpp"
+#include "soc/soc_lib.hpp"
+
+namespace adriatic::soc {
+namespace {
+
+using namespace kern::literals;
+using bus::BusStatus;
+
+struct SocFixture {
+  SocFixture() : sys_bus(top, "bus", make_bus()), ram(top, "ram", 0x1000, 1024) {
+    sys_bus.bind_slave(ram);
+  }
+  static bus::BusConfig make_bus() {
+    bus::BusConfig c;
+    c.cycle_time = 10_ns;
+    return c;
+  }
+  kern::Simulation sim;
+  kern::Module top{sim, "top"};
+  bus::Bus sys_bus;
+  mem::Memory ram;
+};
+
+TEST(HwAccelTest, RunsKernelOverBus) {
+  SocFixture f;
+  HwAccel acc(f.top, "crc_acc", 0x100, accel::make_crc_spec());
+  acc.mst_port.bind(f.sys_bus);
+  f.sys_bus.bind_slave(acc);
+
+  const std::vector<bus::word> payload{10, 20, 30, 40};
+  f.ram.load(0x1000, payload);
+
+  f.top.spawn_thread("driver", [&] {
+    bus::word w;
+    w = 0x1000;
+    f.sys_bus.write(0x100 + HwAccel::kSrc, &w);
+    w = 0x1100;
+    f.sys_bus.write(0x100 + HwAccel::kDst, &w);
+    w = 4;
+    f.sys_bus.write(0x100 + HwAccel::kLen, &w);
+    w = 1;
+    f.sys_bus.write(0x100 + HwAccel::kCtrl, &w);
+    kern::wait(acc.done_event());
+    bus::word status = 0;
+    f.sys_bus.read(0x100 + HwAccel::kStatus, &status);
+    EXPECT_EQ(status, HwAccel::kDone);
+    bus::word outlen = 0;
+    f.sys_bus.read(0x100 + HwAccel::kOutLen, &outlen);
+    EXPECT_EQ(outlen, 5);
+  });
+  f.sim.run();
+  // Results landed in memory: payload + CRC.
+  for (usize i = 0; i < 4; ++i)
+    EXPECT_EQ(f.ram.peek(0x1100 + static_cast<bus::addr_t>(i)),
+              payload[i]);
+  EXPECT_EQ(static_cast<u32>(f.ram.peek(0x1104)), accel::crc32_words(payload));
+  EXPECT_EQ(acc.stats().invocations, 1u);
+  EXPECT_EQ(acc.stats().words_in, 4u);
+  EXPECT_EQ(acc.stats().words_out, 5u);
+  EXPECT_GT(acc.stats().compute_time, kern::Time::zero());
+}
+
+TEST(HwAccelTest, StatusLifecycle) {
+  SocFixture f;
+  HwAccel acc(f.top, "acc", 0x100, accel::make_crc_spec());
+  acc.mst_port.bind(f.sys_bus);
+  f.sys_bus.bind_slave(acc);
+  f.top.spawn_thread("driver", [&] {
+    bus::word w = 0;
+    f.sys_bus.read(0x100 + HwAccel::kStatus, &w);
+    EXPECT_EQ(w, HwAccel::kIdle);
+    w = 2;
+    f.sys_bus.write(0x100 + HwAccel::kSrc, &w);
+    w = 0x1100;
+    f.sys_bus.write(0x100 + HwAccel::kDst, &w);
+    w = 0;  // zero-length run is legal
+    f.sys_bus.write(0x100 + HwAccel::kLen, &w);
+    w = 1;
+    f.sys_bus.write(0x100 + HwAccel::kCtrl, &w);
+    kern::wait(acc.done_event());
+    w = 0;  // clear done
+    f.sys_bus.write(0x100 + HwAccel::kStatus, &w);
+    bus::word status = 99;
+    f.sys_bus.read(0x100 + HwAccel::kStatus, &status);
+    EXPECT_EQ(status, HwAccel::kIdle);
+  });
+  f.sim.run();
+}
+
+TEST(HwAccelTest, StartWhileBusyFails) {
+  SocFixture f;
+  auto spec = accel::make_crc_spec();
+  HwAccel acc(f.top, "acc", 0x100, spec);
+  acc.mst_port.bind(f.sys_bus);
+  f.sys_bus.bind_slave(acc);
+  f.top.spawn_thread("driver", [&] {
+    bus::word w = 0x1000;
+    f.sys_bus.write(0x100 + HwAccel::kSrc, &w);
+    w = 0x1100;
+    f.sys_bus.write(0x100 + HwAccel::kDst, &w);
+    w = 64;
+    f.sys_bus.write(0x100 + HwAccel::kLen, &w);
+    w = 1;
+    EXPECT_EQ(f.sys_bus.write(0x100 + HwAccel::kCtrl, &w), BusStatus::kOk);
+    // Immediately restarting while busy is rejected by the device.
+    w = 1;
+    EXPECT_EQ(f.sys_bus.write(0x100 + HwAccel::kCtrl, &w),
+              BusStatus::kSlaveError);
+  });
+  f.sim.run();
+  EXPECT_EQ(acc.stats().invocations, 1u);
+}
+
+TEST(HwAccelTest, InvalidSpecThrows) {
+  SocFixture f;
+  accel::KernelSpec bad;  // empty
+  EXPECT_THROW(HwAccel(f.top, "bad", 0x100, bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ProcessorTest, ComputeAdvancesTimeByCpi) {
+  SocFixture f;
+  ProcessorConfig cfg;
+  cfg.cycle_time = 10_ns;
+  cfg.cpi = 2.0;
+  kern::Time end_time;
+  Processor cpu(f.top, "cpu", cfg, [&](Cpu& c) {
+    c.compute(100);  // 100 instr * 2 cpi * 10ns = 2us
+    end_time = c.now();
+  });
+  cpu.mst_port.bind(f.sys_bus);
+  f.sim.run();
+  EXPECT_EQ(end_time, 2_us);
+  EXPECT_EQ(cpu.stats().instructions, 100u);
+  EXPECT_TRUE(cpu.finished());
+}
+
+TEST(ProcessorTest, BusAccessAndStats) {
+  SocFixture f;
+  ProcessorConfig cfg;
+  Processor cpu(f.top, "cpu", cfg, [&](Cpu& c) {
+    c.write(0x1000, 42);
+    EXPECT_EQ(c.read(0x1000), 42);
+    std::vector<bus::word> buf{1, 2, 3, 4};
+    c.burst_write(0x1010, buf);
+    std::vector<bus::word> in(4, 0);
+    c.burst_read(0x1010, in);
+    EXPECT_EQ(in, buf);
+  });
+  cpu.mst_port.bind(f.sys_bus);
+  f.sim.run();
+  EXPECT_EQ(cpu.stats().bus_reads, 5u);
+  EXPECT_EQ(cpu.stats().bus_writes, 5u);
+}
+
+TEST(ProcessorTest, PollUntil) {
+  SocFixture f;
+  ProcessorConfig cfg;
+  kern::Time done_at;
+  Processor cpu(f.top, "cpu", cfg, [&](Cpu& c) {
+    c.poll_until(0x1000, 7, 100_ns);
+    done_at = c.now();
+  });
+  cpu.mst_port.bind(f.sys_bus);
+  f.top.spawn_thread("setter", [&] {
+    kern::wait(1_us);
+    f.ram.poke(0x1000, 7);
+  });
+  f.sim.run();
+  EXPECT_GE(done_at, 1_us);
+  EXPECT_LT(done_at, 2_us);
+}
+
+TEST(ProcessorTest, FaultThrowsOutOfProgram) {
+  SocFixture f;
+  bool caught = false;
+  Processor cpu(f.top, "cpu", {}, [&](Cpu& c) {
+    try {
+      (void)c.read(0xDEAD);  // unmapped
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  });
+  cpu.mst_port.bind(f.sys_bus);
+  f.sim.run();
+  EXPECT_TRUE(caught);
+  EXPECT_THROW(Processor(f.top, "cpu2", {}, nullptr), std::invalid_argument);
+}
+
+TEST(ProcessorTest, FinishedEventFires) {
+  SocFixture f;
+  Processor cpu(f.top, "cpu", {}, [&](Cpu& c) { c.delay(500_ns); });
+  cpu.mst_port.bind(f.sys_bus);
+  bool joined = false;
+  f.top.spawn_thread("joiner", [&] {
+    kern::wait(cpu.finished_event());
+    joined = true;
+  });
+  f.sim.run();
+  EXPECT_TRUE(joined);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(DmaTest, MovesDataBetweenRegions) {
+  SocFixture f;
+  Dma dma(f.top, "dma", 0x200, /*chunk=*/8);
+  dma.mst_port.bind(f.sys_bus);
+  f.sys_bus.bind_slave(dma);
+  std::vector<bus::word> src(20);
+  for (usize i = 0; i < src.size(); ++i) src[i] = static_cast<bus::word>(i * 3);
+  f.ram.load(0x1000, src);
+
+  f.top.spawn_thread("driver", [&] {
+    bus::word w;
+    w = 0x1000;
+    f.sys_bus.write(0x200 + Dma::kSrc, &w);
+    w = 0x1200;
+    f.sys_bus.write(0x200 + Dma::kDst, &w);
+    w = 20;
+    f.sys_bus.write(0x200 + Dma::kLen, &w);
+    w = 1;
+    f.sys_bus.write(0x200 + Dma::kCtrl, &w);
+    kern::wait(dma.done_event());
+  });
+  f.sim.run();
+  for (usize i = 0; i < src.size(); ++i)
+    EXPECT_EQ(f.ram.peek(0x1200 + static_cast<bus::addr_t>(i)), src[i]);
+  EXPECT_EQ(dma.stats().transfers, 1u);
+  EXPECT_EQ(dma.stats().words_moved, 20u);
+}
+
+TEST(DmaTest, RegisterReadback) {
+  SocFixture f;
+  Dma dma(f.top, "dma", 0x200);
+  dma.mst_port.bind(f.sys_bus);
+  f.sys_bus.bind_slave(dma);
+  f.top.spawn_thread("driver", [&] {
+    bus::word w = 0xABC;
+    f.sys_bus.write(0x200 + Dma::kSrc, &w);
+    bus::word r = 0;
+    f.sys_bus.read(0x200 + Dma::kSrc, &r);
+    EXPECT_EQ(r, 0xABC);
+    f.sys_bus.read(0x200 + Dma::kStatus, &r);
+    EXPECT_EQ(r, Dma::kIdle);
+  });
+  f.sim.run();
+}
+
+TEST(DmaTest, ProcessorDrivesDmaEndToEnd) {
+  SocFixture f;
+  Dma dma(f.top, "dma", 0x200, 16);
+  dma.mst_port.bind(f.sys_bus);
+  f.sys_bus.bind_slave(dma);
+  f.ram.load(0x1000, std::vector<bus::word>{11, 22, 33});
+  Processor cpu(f.top, "cpu", {}, [&](Cpu& c) {
+    c.write(0x200 + Dma::kSrc, 0x1000);
+    c.write(0x200 + Dma::kDst, 0x1300);
+    c.write(0x200 + Dma::kLen, 3);
+    c.write(0x200 + Dma::kCtrl, 1);
+    c.poll_until(0x200 + Dma::kStatus, Dma::kDone, 50_ns);
+  });
+  cpu.mst_port.bind(f.sys_bus);
+  f.sim.run();
+  EXPECT_EQ(f.ram.peek(0x1302), 33);
+  EXPECT_TRUE(cpu.finished());
+}
+
+}  // namespace
+}  // namespace adriatic::soc

@@ -1,0 +1,504 @@
+// Netlist and DRCF-transformation tests, including the paper's Sec. 5.2
+// worked example: functional equivalence before/after the transformation and
+// the three Sec. 5.4 limitation diagnostics.
+#include <gtest/gtest.h>
+
+#include "accel/accel_lib.hpp"
+#include "morphosys/assembler.hpp"
+#include "netlist/design.hpp"
+#include "netlist/elaborate.hpp"
+#include "transform/transform.hpp"
+
+namespace adriatic::transform {
+namespace {
+
+using namespace kern::literals;
+using netlist::Design;
+using netlist::Elaborated;
+
+// The Sec. 5.2 architecture: CPU + bus + two accelerators + memories.
+// The CPU program runs CRC over a buffer on HWA, then matmul on HWB.
+Design make_reference_design(bool split_bus = true) {
+  Design d;
+  netlist::BusDecl bus_decl;
+  bus_decl.config.cycle_time = 10_ns;
+  bus_decl.config.split_transactions = split_bus;
+  d.add("system_bus", bus_decl);
+
+  netlist::MemoryDecl ram;
+  ram.low = 0x1000;
+  ram.words = 2048;
+  ram.bus = "system_bus";
+  d.add("ram", ram);
+
+  netlist::MemoryDecl cfg;
+  cfg.low = 0x100000;
+  cfg.words = 1u << 16;
+  cfg.bus = "system_bus";
+  d.add("cfg_mem", cfg);
+
+  netlist::HwAccelDecl hwa;
+  hwa.base = 0x100;
+  hwa.spec = accel::make_crc_spec();
+  hwa.slave_bus = "system_bus";
+  hwa.master_bus = "system_bus";
+  d.add("hwa", hwa);
+
+  netlist::HwAccelDecl hwb;
+  hwb.base = 0x200;
+  hwb.spec = accel::make_matmul_spec(4);
+  hwb.slave_bus = "system_bus";
+  hwb.master_bus = "system_bus";
+  d.add("hwb", hwb);
+
+  netlist::ProcessorDecl cpu;
+  cpu.master_bus = "system_bus";
+  cpu.program = [](soc::Cpu& c) {
+    // Seed input data.
+    std::vector<bus::word> payload{3, 1, 4, 1, 5, 9, 2, 6};
+    c.burst_write(0x1000, payload);
+    // CRC on HWA.
+    c.write(0x100 + soc::HwAccel::kSrc, 0x1000);
+    c.write(0x100 + soc::HwAccel::kDst, 0x1100);
+    c.write(0x100 + soc::HwAccel::kLen, 8);
+    c.write(0x100 + soc::HwAccel::kCtrl, 1);
+    c.poll_until(0x100 + soc::HwAccel::kStatus, soc::HwAccel::kDone, 100_ns);
+    // Matmul on HWB: A = B = 4x4 ramp.
+    std::vector<bus::word> mats(32);
+    for (usize i = 0; i < 16; ++i) mats[i] = mats[16 + i] = static_cast<bus::word>(i);
+    c.burst_write(0x1200, mats);
+    c.write(0x200 + soc::HwAccel::kSrc, 0x1200);
+    c.write(0x200 + soc::HwAccel::kDst, 0x1300);
+    c.write(0x200 + soc::HwAccel::kLen, 32);
+    c.write(0x200 + soc::HwAccel::kCtrl, 1);
+    c.poll_until(0x200 + soc::HwAccel::kStatus, soc::HwAccel::kDone, 100_ns);
+  };
+  d.add("cpu", cpu);
+  return d;
+}
+
+TransformOptions make_options() {
+  TransformOptions opt;
+  opt.drcf_config.technology = drcf::varicore_like();
+  opt.config_memory = "cfg_mem";
+  return opt;
+}
+
+struct RunResult {
+  std::vector<bus::word> crc_out;
+  std::vector<bus::word> mat_out;
+  kern::Time finish_time;
+};
+
+RunResult run_design(Design& d) {
+  kern::Simulation sim;
+  Elaborated e(sim, d);
+  sim.run();
+  RunResult r;
+  auto& ram = e.get_memory("ram");
+  for (u32 i = 0; i < 9; ++i) r.crc_out.push_back(ram.peek(0x1100 + i));
+  for (u32 i = 0; i < 16; ++i) r.mat_out.push_back(ram.peek(0x1300 + i));
+  r.finish_time = sim.now();
+  EXPECT_TRUE(e.get_processor("cpu").finished());
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(DesignTest, DuplicateAndMissingNames) {
+  Design d;
+  d.add("bus", netlist::BusDecl{});
+  EXPECT_THROW(d.add("bus", netlist::BusDecl{}), std::invalid_argument);
+  EXPECT_THROW(d.add("", netlist::BusDecl{}), std::invalid_argument);
+  EXPECT_THROW(d.at("nope"), std::out_of_range);
+  EXPECT_THROW(d.remove("nope"), std::out_of_range);
+  EXPECT_TRUE(d.contains("bus"));
+  d.remove("bus");
+  EXPECT_FALSE(d.contains("bus"));
+}
+
+TEST(DesignTest, ValidateCatchesDanglingReferences) {
+  Design d;
+  netlist::MemoryDecl m;
+  m.words = 16;
+  m.bus = "ghost_bus";
+  d.add("ram", m);
+  const auto problems = d.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("unknown component"), std::string::npos);
+}
+
+TEST(DesignTest, ValidateCatchesKindMismatch) {
+  Design d;
+  d.add("bus", netlist::BusDecl{});
+  netlist::MemoryDecl m;
+  m.words = 16;
+  m.bus = "bus";
+  d.add("ram", m);
+  netlist::DmaDecl dma;
+  dma.slave_bus = "ram";  // a memory, not a bus
+  dma.master_bus = "bus";
+  d.add("dma", dma);
+  const auto problems = d.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("expected a bus"), std::string::npos);
+}
+
+TEST(DesignTest, ValidateCatchesNullProgramAndBadSpec) {
+  Design d;
+  d.add("bus", netlist::BusDecl{});
+  netlist::ProcessorDecl p;
+  p.master_bus = "bus";
+  d.add("cpu", p);  // program not set
+  netlist::HwAccelDecl h;
+  h.master_bus = "bus";
+  d.add("acc", h);  // invalid spec
+  const auto problems = d.validate();
+  EXPECT_EQ(problems.size(), 2u);
+}
+
+TEST(DesignTest, ReferenceDesignIsValid) {
+  auto d = make_reference_design();
+  EXPECT_TRUE(d.validate().empty());
+}
+
+TEST(ElaborateTest, RejectsInvalidDesign) {
+  kern::Simulation sim;
+  Design d;
+  netlist::MemoryDecl m;
+  m.words = 0;  // invalid
+  d.add("ram", m);
+  EXPECT_THROW(Elaborated(sim, d), std::invalid_argument);
+}
+
+TEST(ElaborateTest, BuildsHierarchyUnderTop) {
+  kern::Simulation sim;
+  auto d = make_reference_design();
+  Elaborated e(sim, d, "soc");
+  EXPECT_EQ(e.top().name(), "soc");
+  EXPECT_NE(sim.find_object("soc.system_bus"), nullptr);
+  EXPECT_NE(sim.find_object("soc.hwa"), nullptr);
+  EXPECT_NE(sim.find_object("soc.cpu"), nullptr);
+  EXPECT_TRUE(e.has("ram"));
+  EXPECT_FALSE(e.has("nonexistent"));
+  EXPECT_THROW(e.get_drcf("ram"), std::out_of_range);
+  EXPECT_THROW(e.get_bus("nonexistent"), std::out_of_range);
+}
+
+TEST(ElaborateTest, ReferenceDesignRunsCorrectly) {
+  auto d = make_reference_design();
+  auto r = run_design(d);
+  // CRC output: payload echoed + CRC word.
+  const std::vector<bus::word> payload{3, 1, 4, 1, 5, 9, 2, 6};
+  for (usize i = 0; i < 8; ++i) EXPECT_EQ(r.crc_out[i], payload[i]);
+  EXPECT_EQ(static_cast<u32>(r.crc_out[8]), accel::crc32_words(payload));
+  // Matmul output: ramp^2.
+  std::vector<bus::word> ramp(16);
+  for (usize i = 0; i < 16; ++i) ramp[i] = static_cast<bus::word>(i);
+  EXPECT_EQ(r.mat_out, accel::matmul(ramp, ramp, 4));
+}
+
+TEST(ElaborateTest, IssAndIrqDeclsBuildAndRun) {
+  // Binary-software SoC from the netlist: an ISS core runs assembled code
+  // that starts the CRC accelerator and spins on the interrupt controller's
+  // STATUS register instead of the accelerator's.
+  Design d;
+  d.add("system_bus", netlist::BusDecl{});
+  netlist::MemoryDecl code;
+  code.low = 0x8000;
+  code.words = 1024;
+  code.bus = "system_bus";
+  d.add("code", code);
+  netlist::MemoryDecl data;
+  data.low = 0x1000;
+  data.words = 1024;
+  data.bus = "system_bus";
+  d.add("data", data);
+  netlist::HwAccelDecl acc;
+  acc.base = 0x100;
+  acc.spec = accel::make_crc_spec();
+  acc.slave_bus = acc.master_bus = "system_bus";
+  d.add("acc", acc);
+  netlist::IrqControllerDecl irq;
+  irq.base = 0x400;
+  irq.bus = "system_bus";
+  irq.lines = {{0, "acc"}};
+  d.add("irq", irq);
+  netlist::IssDecl iss;
+  iss.master_bus = "system_bus";
+  iss.code_memory = "code";
+  iss.config.reset_pc = 0x8000;
+  iss.config.icache_line_words = 16;
+  iss.program = morphosys::assemble(R"(
+    ADDI r5, r0, 0x400   ; irq controller
+    ADDI r2, r0, 1
+    STW  r5, 2, r2       ; ENABLE line 0
+    ADDI r1, r0, 0x100   ; accelerator
+    ADDI r2, r0, 0x1000
+    STW  r1, 2, r2       ; SRC
+    ADDI r2, r0, 0x1040
+    STW  r1, 3, r2       ; DST
+    ADDI r2, r0, 4
+    STW  r1, 4, r2       ; LEN
+    ADDI r2, r0, 1
+    STW  r1, 0, r2       ; CTRL
+    wait:
+    LDW  r4, r5, 0       ; IRQ STATUS
+    BEQ  r4, r0, wait
+    ADDI r2, r0, 1
+    STW  r5, 3, r2       ; ACK
+    HALT
+  )");
+  d.add("cpu", iss);
+  EXPECT_TRUE(d.validate().empty());
+
+  kern::Simulation sim;
+  Elaborated e(sim, d);
+  e.get_memory("data").load(0x1000, std::vector<bus::word>{9, 8, 7, 6});
+  sim.run();
+  EXPECT_TRUE(e.get_iss("cpu").stats().halted);
+  EXPECT_FALSE(e.get_iss("cpu").stats().illegal_instruction);
+  EXPECT_EQ(e.get_irq("irq").pending(), 0u);  // acknowledged
+  EXPECT_EQ(static_cast<u32>(e.get_memory("data").peek(0x1040 + 4)),
+            accel::crc32_words(std::vector<bus::word>{9, 8, 7, 6}));
+}
+
+TEST(DesignTest, IssAndIrqValidation) {
+  Design d;
+  d.add("bus", netlist::BusDecl{});
+  netlist::IssDecl iss;  // empty program, missing code memory
+  iss.master_bus = "bus";
+  iss.code_memory = "nope";
+  d.add("cpu", iss);
+  netlist::IrqControllerDecl irq;
+  irq.bus = "bus";
+  irq.lines = {{40, "ghost"}};  // bad line index, unknown source
+  d.add("irq", irq);
+  const auto problems = d.validate();
+  EXPECT_EQ(problems.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TransformTest, ProducesValidTransformedDesign) {
+  auto d = make_reference_design();
+  const std::vector<std::string> candidates{"hwa", "hwb"};
+  const auto report = transform_to_drcf(d, candidates, make_options());
+  ASSERT_TRUE(report.ok) << (report.diagnostics.empty()
+                                 ? "?"
+                                 : report.diagnostics[0]);
+  EXPECT_TRUE(d.validate().empty());
+  EXPECT_TRUE(d.contains("drcf1"));
+  const auto* dr = d.get_if<netlist::DrcfDecl>("drcf1");
+  ASSERT_NE(dr, nullptr);
+  EXPECT_EQ(dr->contexts, candidates);
+  EXPECT_EQ(dr->slave_bus, "system_bus");
+  // Candidates lost their direct bus binding (phase 4).
+  EXPECT_TRUE(d.get_if<netlist::HwAccelDecl>("hwa")->slave_bus.empty());
+}
+
+TEST(TransformTest, AnalysisRecordsPaperPhases) {
+  auto d = make_reference_design();
+  const std::vector<std::string> candidates{"hwa"};
+  const auto report = transform_to_drcf(d, candidates, make_options());
+  ASSERT_TRUE(report.ok);
+  ASSERT_EQ(report.candidates.size(), 1u);
+  const auto& a = report.candidates[0];
+  EXPECT_EQ(a.instance, "hwa");
+  EXPECT_EQ(a.interface, "bus_slv_if");
+  EXPECT_EQ(a.ports.size(), 2u);  // clk + mst_port, as in the paper listing
+  EXPECT_EQ(a.low, 0x100u);
+  EXPECT_GT(a.context_words, 0u);
+  EXPECT_GE(a.config_address, 0x100000u);
+}
+
+TEST(TransformTest, ListingsMirrorThePaper) {
+  auto d = make_reference_design();
+  const std::vector<std::string> candidates{"hwa", "hwb"};
+  const auto report = transform_to_drcf(d, candidates, make_options());
+  ASSERT_TRUE(report.ok);
+  // Before: the original top instantiates hwa and binds it to the bus.
+  EXPECT_NE(report.before_listing.find("hwa = new hwacc(\"hwa\""),
+            std::string::npos);
+  EXPECT_NE(report.before_listing.find("system_bus->slv_port(*hwa);"),
+            std::string::npos);
+  // After: top instantiates drcf1 instead; the DRCF template owns hwa and
+  // has the arb_and_instr thread.
+  EXPECT_NE(report.after_listing.find("drcf1 = new drcf_own(\"drcf1\");"),
+            std::string::npos);
+  EXPECT_NE(report.after_listing.find("SC_THREAD(arb_and_instr);"),
+            std::string::npos);
+  EXPECT_NE(report.after_listing.find("hwa = new hwacc(\"hwa\""),
+            std::string::npos);
+  EXPECT_EQ(report.after_listing.find("system_bus->slv_port(*hwa);"),
+            std::string::npos);
+}
+
+TEST(TransformTest, TransformedDesignFunctionallyEquivalent) {
+  auto original = make_reference_design();
+  auto transformed = make_reference_design();
+  const std::vector<std::string> candidates{"hwa", "hwb"};
+  const auto report =
+      transform_to_drcf(transformed, candidates, make_options());
+  ASSERT_TRUE(report.ok);
+
+  auto r_orig = run_design(original);
+  auto r_drcf = run_design(transformed);
+  // Same results...
+  EXPECT_EQ(r_orig.crc_out, r_drcf.crc_out);
+  EXPECT_EQ(r_orig.mat_out, r_drcf.mat_out);
+  // ...but the DRCF version pays reconfiguration time.
+  EXPECT_GT(r_drcf.finish_time, r_orig.finish_time);
+}
+
+TEST(TransformTest, DrcfInstrumentationAfterRun) {
+  auto d = make_reference_design();
+  const std::vector<std::string> candidates{"hwa", "hwb"};
+  ASSERT_TRUE(transform_to_drcf(d, candidates, make_options()).ok);
+  kern::Simulation sim;
+  Elaborated e(sim, d);
+  sim.run();
+  auto& fabric = e.get_drcf("drcf1");
+  EXPECT_EQ(fabric.stats().switches, 2u);  // CRC then matmul
+  EXPECT_GT(fabric.stats().config_words_fetched, 0u);
+  const auto s0 = fabric.context_stats(0);
+  EXPECT_EQ(s0.activations, 1u);
+  EXPECT_GT(s0.accesses, 0u);
+  EXPECT_GT(s0.reconfig_time, kern::Time::zero());
+  // The synthetic bitstream was installed in the config memory.
+  const auto& params = fabric.context_params(0);
+  EXPECT_EQ(static_cast<u32>(
+                e.get_memory("cfg_mem").peek(params.config_address)),
+            Elaborated::kBitstreamPattern | 0u);
+}
+
+TEST(TransformTest, Limitation1DifferentBusesRejected) {
+  auto d = make_reference_design();
+  netlist::BusDecl other;
+  d.add("other_bus", other);
+  netlist::HwAccelDecl hwc;
+  hwc.base = 0x300;
+  hwc.spec = accel::make_crc_spec();
+  hwc.slave_bus = "other_bus";
+  hwc.master_bus = "other_bus";
+  d.add("hwc", hwc);
+  const std::vector<std::string> candidates{"hwa", "hwc"};
+  const auto report = transform_to_drcf(d, candidates, make_options());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has_warning("limitation 1"));
+  EXPECT_FALSE(d.contains("drcf1"));  // design untouched
+  EXPECT_FALSE(d.get_if<netlist::HwAccelDecl>("hwa")->slave_bus.empty());
+}
+
+TEST(TransformTest, Limitation2NonSlaveCandidateRejected) {
+  auto d = make_reference_design();
+  netlist::TrafficGenDecl t;
+  t.master_bus = "system_bus";
+  d.add("streamer", t);
+  const std::vector<std::string> candidates{"hwa", "streamer"};
+  const auto report = transform_to_drcf(d, candidates, make_options());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has_warning("limitation 2"));
+  EXPECT_TRUE(report.has_warning("get_low_add"));
+}
+
+TEST(TransformTest, Limitation3SharedBlockingBusWarns) {
+  auto d = make_reference_design(/*split_bus=*/false);
+  const std::vector<std::string> candidates{"hwa", "hwb"};
+  const auto report = transform_to_drcf(d, candidates, make_options());
+  EXPECT_TRUE(report.ok);  // a warning, not an error
+  EXPECT_TRUE(report.has_warning("limitation 3"));
+  EXPECT_TRUE(report.has_warning("deadlock"));
+}
+
+TEST(TransformTest, Limitation3DeadlockReallyHappens) {
+  auto d = make_reference_design(/*split_bus=*/false);
+  const std::vector<std::string> candidates{"hwa", "hwb"};
+  ASSERT_TRUE(transform_to_drcf(d, candidates, make_options()).ok);
+  kern::Simulation sim;
+  Elaborated e(sim, d);
+  EXPECT_EQ(sim.run(), kern::StopReason::kNoActivity);
+  EXPECT_FALSE(e.get_processor("cpu").finished());
+  EXPECT_GE(sim.starved_processes().size(), 1u);
+}
+
+TEST(TransformTest, DedicatedConfigLinkCuresLimitation3) {
+  auto d = make_reference_design(/*split_bus=*/false);
+  // A private link to a dedicated configuration memory.
+  netlist::MemoryDecl cfg2;
+  cfg2.low = 0x200000;
+  cfg2.words = 1u << 16;
+  d.add("cfg_mem2", cfg2);
+  netlist::DirectLinkDecl link;
+  link.slave = "cfg_mem2";
+  d.add("cfg_link", link);
+  TransformOptions opt = make_options();
+  opt.config_memory = "cfg_mem2";
+  opt.config_bus = "cfg_link";
+  const std::vector<std::string> candidates{"hwa", "hwb"};
+  const auto report = transform_to_drcf(d, candidates, opt);
+  ASSERT_TRUE(report.ok);
+  EXPECT_FALSE(report.has_warning("limitation 3"));
+  kern::Simulation sim;
+  Elaborated e(sim, d);
+  sim.run();
+  EXPECT_TRUE(e.get_processor("cpu").finished());
+}
+
+TEST(TransformTest, ErrorCases) {
+  auto d = make_reference_design();
+  TransformOptions opt = make_options();
+  // Empty candidate list.
+  EXPECT_FALSE(transform_to_drcf(d, {}, opt).ok);
+  // Unknown candidate.
+  const std::vector<std::string> ghost{"ghost"};
+  EXPECT_FALSE(transform_to_drcf(d, ghost, opt).ok);
+  // Duplicate candidate.
+  const std::vector<std::string> dup{"hwa", "hwa"};
+  EXPECT_FALSE(transform_to_drcf(d, dup, opt).ok);
+  // Unknown config memory.
+  opt.config_memory = "ghost_mem";
+  const std::vector<std::string> one{"hwa"};
+  EXPECT_FALSE(transform_to_drcf(d, one, opt).ok);
+  // Name collision.
+  opt = make_options();
+  opt.drcf_name = "ram";
+  EXPECT_FALSE(transform_to_drcf(d, one, opt).ok);
+}
+
+TEST(TransformTest, SandwichedSlaveRejected) {
+  // hwa (0x100) and hwc (0x300) as candidates with hwb (0x200) in between:
+  // the DRCF's union range would swallow hwb.
+  auto d = make_reference_design();
+  netlist::HwAccelDecl hwc;
+  hwc.base = 0x300;
+  hwc.spec = accel::make_crc_spec();
+  hwc.slave_bus = hwc.master_bus = "system_bus";
+  d.add("hwc", hwc);
+  const std::vector<std::string> candidates{"hwa", "hwc"};
+  const auto report = transform_to_drcf(d, candidates, make_options());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has_warning("union address range"));
+  EXPECT_TRUE(report.has_warning("hwb"));
+  // Adjacent candidates are fine.
+  const std::vector<std::string> adjacent{"hwa", "hwb"};
+  EXPECT_TRUE(transform_to_drcf(d, adjacent, make_options()).ok);
+}
+
+TEST(TransformTest, ConfigMemoryTooSmall) {
+  auto d = make_reference_design();
+  netlist::MemoryDecl tiny;
+  tiny.low = 0x300000;
+  tiny.words = 4;  // far too small for kilogate contexts
+  tiny.bus = "system_bus";
+  d.add("tiny_mem", tiny);
+  TransformOptions opt = make_options();
+  opt.config_memory = "tiny_mem";
+  const std::vector<std::string> candidates{"hwa"};
+  const auto report = transform_to_drcf(d, candidates, opt);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has_warning("too small"));
+}
+
+}  // namespace
+}  // namespace adriatic::transform
