@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_ber.dir/comm_ber.cpp.o"
+  "CMakeFiles/comm_ber.dir/comm_ber.cpp.o.d"
+  "comm_ber"
+  "comm_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fidelity.dir/ext_fidelity.cpp.o"
+  "CMakeFiles/ext_fidelity.dir/ext_fidelity.cpp.o.d"
+  "ext_fidelity"
+  "ext_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

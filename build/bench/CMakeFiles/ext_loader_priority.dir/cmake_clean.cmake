@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_loader_priority.dir/ext_loader_priority.cpp.o"
+  "CMakeFiles/ext_loader_priority.dir/ext_loader_priority.cpp.o.d"
+  "ext_loader_priority"
+  "ext_loader_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_loader_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_loader_priority.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_partial_reconfig.dir/ext_partial_reconfig.cpp.o"
+  "CMakeFiles/ext_partial_reconfig.dir/ext_partial_reconfig.cpp.o.d"
+  "ext_partial_reconfig"
+  "ext_partial_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_partial_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

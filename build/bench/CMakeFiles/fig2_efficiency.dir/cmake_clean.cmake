@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_efficiency.dir/fig2_efficiency.cpp.o"
+  "CMakeFiles/fig2_efficiency.dir/fig2_efficiency.cpp.o.d"
+  "fig2_efficiency"
+  "fig2_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

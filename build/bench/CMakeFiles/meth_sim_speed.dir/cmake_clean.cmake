@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meth_sim_speed.dir/meth_sim_speed.cpp.o"
+  "CMakeFiles/meth_sim_speed.dir/meth_sim_speed.cpp.o.d"
+  "meth_sim_speed"
+  "meth_sim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meth_sim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_morphosys.dir/sec3_morphosys.cpp.o"
+  "CMakeFiles/sec3_morphosys.dir/sec3_morphosys.cpp.o.d"
+  "sec3_morphosys"
+  "sec3_morphosys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_morphosys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

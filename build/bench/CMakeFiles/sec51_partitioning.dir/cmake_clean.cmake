@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_partitioning.dir/sec51_partitioning.cpp.o"
+  "CMakeFiles/sec51_partitioning.dir/sec51_partitioning.cpp.o.d"
+  "sec51_partitioning"
+  "sec51_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_transform.dir/sec52_transform.cpp.o"
+  "CMakeFiles/sec52_transform.dir/sec52_transform.cpp.o.d"
+  "sec52_transform"
+  "sec52_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_context_sweep.dir/sec53_context_sweep.cpp.o"
+  "CMakeFiles/sec53_context_sweep.dir/sec53_context_sweep.cpp.o.d"
+  "sec53_context_sweep"
+  "sec53_context_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_context_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec53_context_sweep.
+# This may be replaced when dependencies are built.

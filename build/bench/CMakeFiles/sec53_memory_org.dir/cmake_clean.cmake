@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_memory_org.dir/sec53_memory_org.cpp.o"
+  "CMakeFiles/sec53_memory_org.dir/sec53_memory_org.cpp.o.d"
+  "sec53_memory_org"
+  "sec53_memory_org.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_memory_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

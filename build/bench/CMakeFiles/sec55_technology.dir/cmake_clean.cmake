@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_technology.dir/sec55_technology.cpp.o"
+  "CMakeFiles/sec55_technology.dir/sec55_technology.cpp.o.d"
+  "sec55_technology"
+  "sec55_technology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

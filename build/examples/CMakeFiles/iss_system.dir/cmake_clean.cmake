@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iss_system.dir/iss_system.cpp.o"
+  "CMakeFiles/iss_system.dir/iss_system.cpp.o.d"
+  "iss_system"
+  "iss_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iss_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphosys_demo.dir/morphosys_demo.cpp.o"
+  "CMakeFiles/morphosys_demo.dir/morphosys_demo.cpp.o.d"
+  "morphosys_demo"
+  "morphosys_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphosys_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

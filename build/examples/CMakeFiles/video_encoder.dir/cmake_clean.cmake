@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_encoder.dir/video_encoder.cpp.o"
+  "CMakeFiles/video_encoder.dir/video_encoder.cpp.o.d"
+  "video_encoder"
+  "video_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_receiver.dir/wlan_receiver.cpp.o"
+  "CMakeFiles/wlan_receiver.dir/wlan_receiver.cpp.o.d"
+  "wlan_receiver"
+  "wlan_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

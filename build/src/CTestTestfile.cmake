@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("kernel")
+subdirs("bus")
+subdirs("memory")
+subdirs("accel")
+subdirs("comm")
+subdirs("soc")
+subdirs("drcf")
+subdirs("netlist")
+subdirs("platform")
+subdirs("transform")
+subdirs("morphosys")
+subdirs("estimate")
+subdirs("dse")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/aes.cpp" "src/accel/CMakeFiles/adriatic_accel.dir/aes.cpp.o" "gcc" "src/accel/CMakeFiles/adriatic_accel.dir/aes.cpp.o.d"
+  "/root/repo/src/accel/crc.cpp" "src/accel/CMakeFiles/adriatic_accel.dir/crc.cpp.o" "gcc" "src/accel/CMakeFiles/adriatic_accel.dir/crc.cpp.o.d"
+  "/root/repo/src/accel/dct.cpp" "src/accel/CMakeFiles/adriatic_accel.dir/dct.cpp.o" "gcc" "src/accel/CMakeFiles/adriatic_accel.dir/dct.cpp.o.d"
+  "/root/repo/src/accel/fft.cpp" "src/accel/CMakeFiles/adriatic_accel.dir/fft.cpp.o" "gcc" "src/accel/CMakeFiles/adriatic_accel.dir/fft.cpp.o.d"
+  "/root/repo/src/accel/fir.cpp" "src/accel/CMakeFiles/adriatic_accel.dir/fir.cpp.o" "gcc" "src/accel/CMakeFiles/adriatic_accel.dir/fir.cpp.o.d"
+  "/root/repo/src/accel/matmul.cpp" "src/accel/CMakeFiles/adriatic_accel.dir/matmul.cpp.o" "gcc" "src/accel/CMakeFiles/adriatic_accel.dir/matmul.cpp.o.d"
+  "/root/repo/src/accel/motion.cpp" "src/accel/CMakeFiles/adriatic_accel.dir/motion.cpp.o" "gcc" "src/accel/CMakeFiles/adriatic_accel.dir/motion.cpp.o.d"
+  "/root/repo/src/accel/viterbi.cpp" "src/accel/CMakeFiles/adriatic_accel.dir/viterbi.cpp.o" "gcc" "src/accel/CMakeFiles/adriatic_accel.dir/viterbi.cpp.o.d"
+  "/root/repo/src/accel/zigzag_rle.cpp" "src/accel/CMakeFiles/adriatic_accel.dir/zigzag_rle.cpp.o" "gcc" "src/accel/CMakeFiles/adriatic_accel.dir/zigzag_rle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bus/CMakeFiles/adriatic_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adriatic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/adriatic_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_accel.dir/aes.cpp.o"
+  "CMakeFiles/adriatic_accel.dir/aes.cpp.o.d"
+  "CMakeFiles/adriatic_accel.dir/crc.cpp.o"
+  "CMakeFiles/adriatic_accel.dir/crc.cpp.o.d"
+  "CMakeFiles/adriatic_accel.dir/dct.cpp.o"
+  "CMakeFiles/adriatic_accel.dir/dct.cpp.o.d"
+  "CMakeFiles/adriatic_accel.dir/fft.cpp.o"
+  "CMakeFiles/adriatic_accel.dir/fft.cpp.o.d"
+  "CMakeFiles/adriatic_accel.dir/fir.cpp.o"
+  "CMakeFiles/adriatic_accel.dir/fir.cpp.o.d"
+  "CMakeFiles/adriatic_accel.dir/matmul.cpp.o"
+  "CMakeFiles/adriatic_accel.dir/matmul.cpp.o.d"
+  "CMakeFiles/adriatic_accel.dir/motion.cpp.o"
+  "CMakeFiles/adriatic_accel.dir/motion.cpp.o.d"
+  "CMakeFiles/adriatic_accel.dir/viterbi.cpp.o"
+  "CMakeFiles/adriatic_accel.dir/viterbi.cpp.o.d"
+  "CMakeFiles/adriatic_accel.dir/zigzag_rle.cpp.o"
+  "CMakeFiles/adriatic_accel.dir/zigzag_rle.cpp.o.d"
+  "libadriatic_accel.a"
+  "libadriatic_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/arbiter.cpp" "src/bus/CMakeFiles/adriatic_bus.dir/arbiter.cpp.o" "gcc" "src/bus/CMakeFiles/adriatic_bus.dir/arbiter.cpp.o.d"
+  "/root/repo/src/bus/bus.cpp" "src/bus/CMakeFiles/adriatic_bus.dir/bus.cpp.o" "gcc" "src/bus/CMakeFiles/adriatic_bus.dir/bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/adriatic_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adriatic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

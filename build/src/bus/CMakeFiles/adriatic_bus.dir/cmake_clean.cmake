@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_bus.dir/arbiter.cpp.o"
+  "CMakeFiles/adriatic_bus.dir/arbiter.cpp.o.d"
+  "CMakeFiles/adriatic_bus.dir/bus.cpp.o"
+  "CMakeFiles/adriatic_bus.dir/bus.cpp.o.d"
+  "libadriatic_bus.a"
+  "libadriatic_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

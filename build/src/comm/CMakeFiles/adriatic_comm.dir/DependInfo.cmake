@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/channel.cpp" "src/comm/CMakeFiles/adriatic_comm.dir/channel.cpp.o" "gcc" "src/comm/CMakeFiles/adriatic_comm.dir/channel.cpp.o.d"
+  "/root/repo/src/comm/link.cpp" "src/comm/CMakeFiles/adriatic_comm.dir/link.cpp.o" "gcc" "src/comm/CMakeFiles/adriatic_comm.dir/link.cpp.o.d"
+  "/root/repo/src/comm/ofdm.cpp" "src/comm/CMakeFiles/adriatic_comm.dir/ofdm.cpp.o" "gcc" "src/comm/CMakeFiles/adriatic_comm.dir/ofdm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/adriatic_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adriatic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/adriatic_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/adriatic_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

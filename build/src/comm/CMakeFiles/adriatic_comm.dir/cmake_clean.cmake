@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_comm.dir/channel.cpp.o"
+  "CMakeFiles/adriatic_comm.dir/channel.cpp.o.d"
+  "CMakeFiles/adriatic_comm.dir/link.cpp.o"
+  "CMakeFiles/adriatic_comm.dir/link.cpp.o.d"
+  "CMakeFiles/adriatic_comm.dir/ofdm.cpp.o"
+  "CMakeFiles/adriatic_comm.dir/ofdm.cpp.o.d"
+  "libadriatic_comm.a"
+  "libadriatic_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

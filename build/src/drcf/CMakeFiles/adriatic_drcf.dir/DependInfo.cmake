@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drcf/drcf.cpp" "src/drcf/CMakeFiles/adriatic_drcf.dir/drcf.cpp.o" "gcc" "src/drcf/CMakeFiles/adriatic_drcf.dir/drcf.cpp.o.d"
+  "/root/repo/src/drcf/power_trace.cpp" "src/drcf/CMakeFiles/adriatic_drcf.dir/power_trace.cpp.o" "gcc" "src/drcf/CMakeFiles/adriatic_drcf.dir/power_trace.cpp.o.d"
+  "/root/repo/src/drcf/slot_table.cpp" "src/drcf/CMakeFiles/adriatic_drcf.dir/slot_table.cpp.o" "gcc" "src/drcf/CMakeFiles/adriatic_drcf.dir/slot_table.cpp.o.d"
+  "/root/repo/src/drcf/technology.cpp" "src/drcf/CMakeFiles/adriatic_drcf.dir/technology.cpp.o" "gcc" "src/drcf/CMakeFiles/adriatic_drcf.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bus/CMakeFiles/adriatic_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/adriatic_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adriatic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

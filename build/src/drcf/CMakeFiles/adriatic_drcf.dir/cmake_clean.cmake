@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_drcf.dir/drcf.cpp.o"
+  "CMakeFiles/adriatic_drcf.dir/drcf.cpp.o.d"
+  "CMakeFiles/adriatic_drcf.dir/power_trace.cpp.o"
+  "CMakeFiles/adriatic_drcf.dir/power_trace.cpp.o.d"
+  "CMakeFiles/adriatic_drcf.dir/slot_table.cpp.o"
+  "CMakeFiles/adriatic_drcf.dir/slot_table.cpp.o.d"
+  "CMakeFiles/adriatic_drcf.dir/technology.cpp.o"
+  "CMakeFiles/adriatic_drcf.dir/technology.cpp.o.d"
+  "libadriatic_drcf.a"
+  "libadriatic_drcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_drcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/advisor.cpp" "src/dse/CMakeFiles/adriatic_dse.dir/advisor.cpp.o" "gcc" "src/dse/CMakeFiles/adriatic_dse.dir/advisor.cpp.o.d"
+  "/root/repo/src/dse/pareto.cpp" "src/dse/CMakeFiles/adriatic_dse.dir/pareto.cpp.o" "gcc" "src/dse/CMakeFiles/adriatic_dse.dir/pareto.cpp.o.d"
+  "/root/repo/src/dse/profiler.cpp" "src/dse/CMakeFiles/adriatic_dse.dir/profiler.cpp.o" "gcc" "src/dse/CMakeFiles/adriatic_dse.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/adriatic_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/adriatic_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adriatic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/adriatic_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/adriatic_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/morphosys/CMakeFiles/adriatic_morphosys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_dse.dir/advisor.cpp.o"
+  "CMakeFiles/adriatic_dse.dir/advisor.cpp.o.d"
+  "CMakeFiles/adriatic_dse.dir/pareto.cpp.o"
+  "CMakeFiles/adriatic_dse.dir/pareto.cpp.o.d"
+  "CMakeFiles/adriatic_dse.dir/profiler.cpp.o"
+  "CMakeFiles/adriatic_dse.dir/profiler.cpp.o.d"
+  "libadriatic_dse.a"
+  "libadriatic_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

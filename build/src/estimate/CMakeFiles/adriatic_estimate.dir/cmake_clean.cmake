@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_estimate.dir/efficiency.cpp.o"
+  "CMakeFiles/adriatic_estimate.dir/efficiency.cpp.o.d"
+  "libadriatic_estimate.a"
+  "libadriatic_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

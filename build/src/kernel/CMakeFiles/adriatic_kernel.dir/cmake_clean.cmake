@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_kernel.dir/clock.cpp.o"
+  "CMakeFiles/adriatic_kernel.dir/clock.cpp.o.d"
+  "CMakeFiles/adriatic_kernel.dir/event.cpp.o"
+  "CMakeFiles/adriatic_kernel.dir/event.cpp.o.d"
+  "CMakeFiles/adriatic_kernel.dir/fiber.cpp.o"
+  "CMakeFiles/adriatic_kernel.dir/fiber.cpp.o.d"
+  "CMakeFiles/adriatic_kernel.dir/module.cpp.o"
+  "CMakeFiles/adriatic_kernel.dir/module.cpp.o.d"
+  "CMakeFiles/adriatic_kernel.dir/object.cpp.o"
+  "CMakeFiles/adriatic_kernel.dir/object.cpp.o.d"
+  "CMakeFiles/adriatic_kernel.dir/process.cpp.o"
+  "CMakeFiles/adriatic_kernel.dir/process.cpp.o.d"
+  "CMakeFiles/adriatic_kernel.dir/simulation.cpp.o"
+  "CMakeFiles/adriatic_kernel.dir/simulation.cpp.o.d"
+  "CMakeFiles/adriatic_kernel.dir/time.cpp.o"
+  "CMakeFiles/adriatic_kernel.dir/time.cpp.o.d"
+  "CMakeFiles/adriatic_kernel.dir/vcd.cpp.o"
+  "CMakeFiles/adriatic_kernel.dir/vcd.cpp.o.d"
+  "libadriatic_kernel.a"
+  "libadriatic_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

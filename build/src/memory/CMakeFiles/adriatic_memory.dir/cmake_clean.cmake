@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_memory.dir/memory.cpp.o"
+  "CMakeFiles/adriatic_memory.dir/memory.cpp.o.d"
+  "libadriatic_memory.a"
+  "libadriatic_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/morphosys/assembler.cpp" "src/morphosys/CMakeFiles/adriatic_morphosys.dir/assembler.cpp.o" "gcc" "src/morphosys/CMakeFiles/adriatic_morphosys.dir/assembler.cpp.o.d"
+  "/root/repo/src/morphosys/kernels.cpp" "src/morphosys/CMakeFiles/adriatic_morphosys.dir/kernels.cpp.o" "gcc" "src/morphosys/CMakeFiles/adriatic_morphosys.dir/kernels.cpp.o.d"
+  "/root/repo/src/morphosys/machine.cpp" "src/morphosys/CMakeFiles/adriatic_morphosys.dir/machine.cpp.o" "gcc" "src/morphosys/CMakeFiles/adriatic_morphosys.dir/machine.cpp.o.d"
+  "/root/repo/src/morphosys/rc_array.cpp" "src/morphosys/CMakeFiles/adriatic_morphosys.dir/rc_array.cpp.o" "gcc" "src/morphosys/CMakeFiles/adriatic_morphosys.dir/rc_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adriatic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_morphosys.dir/assembler.cpp.o"
+  "CMakeFiles/adriatic_morphosys.dir/assembler.cpp.o.d"
+  "CMakeFiles/adriatic_morphosys.dir/kernels.cpp.o"
+  "CMakeFiles/adriatic_morphosys.dir/kernels.cpp.o.d"
+  "CMakeFiles/adriatic_morphosys.dir/machine.cpp.o"
+  "CMakeFiles/adriatic_morphosys.dir/machine.cpp.o.d"
+  "CMakeFiles/adriatic_morphosys.dir/rc_array.cpp.o"
+  "CMakeFiles/adriatic_morphosys.dir/rc_array.cpp.o.d"
+  "libadriatic_morphosys.a"
+  "libadriatic_morphosys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_morphosys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adriatic_morphosys.
+# This may be replaced when dependencies are built.

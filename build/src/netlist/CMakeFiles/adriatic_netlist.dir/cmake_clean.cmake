@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_netlist.dir/design.cpp.o"
+  "CMakeFiles/adriatic_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/adriatic_netlist.dir/elaborate.cpp.o"
+  "CMakeFiles/adriatic_netlist.dir/elaborate.cpp.o.d"
+  "CMakeFiles/adriatic_netlist.dir/report.cpp.o"
+  "CMakeFiles/adriatic_netlist.dir/report.cpp.o.d"
+  "libadriatic_netlist.a"
+  "libadriatic_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

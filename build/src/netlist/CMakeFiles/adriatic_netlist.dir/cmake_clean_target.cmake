@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadriatic_netlist.a"
+)

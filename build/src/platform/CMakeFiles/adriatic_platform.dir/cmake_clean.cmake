@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_platform.dir/templates.cpp.o"
+  "CMakeFiles/adriatic_platform.dir/templates.cpp.o.d"
+  "libadriatic_platform.a"
+  "libadriatic_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/dma.cpp" "src/soc/CMakeFiles/adriatic_soc.dir/dma.cpp.o" "gcc" "src/soc/CMakeFiles/adriatic_soc.dir/dma.cpp.o.d"
+  "/root/repo/src/soc/hwacc.cpp" "src/soc/CMakeFiles/adriatic_soc.dir/hwacc.cpp.o" "gcc" "src/soc/CMakeFiles/adriatic_soc.dir/hwacc.cpp.o.d"
+  "/root/repo/src/soc/irq.cpp" "src/soc/CMakeFiles/adriatic_soc.dir/irq.cpp.o" "gcc" "src/soc/CMakeFiles/adriatic_soc.dir/irq.cpp.o.d"
+  "/root/repo/src/soc/iss.cpp" "src/soc/CMakeFiles/adriatic_soc.dir/iss.cpp.o" "gcc" "src/soc/CMakeFiles/adriatic_soc.dir/iss.cpp.o.d"
+  "/root/repo/src/soc/processor.cpp" "src/soc/CMakeFiles/adriatic_soc.dir/processor.cpp.o" "gcc" "src/soc/CMakeFiles/adriatic_soc.dir/processor.cpp.o.d"
+  "/root/repo/src/soc/traffic_gen.cpp" "src/soc/CMakeFiles/adriatic_soc.dir/traffic_gen.cpp.o" "gcc" "src/soc/CMakeFiles/adriatic_soc.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/adriatic_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/adriatic_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/adriatic_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/morphosys/CMakeFiles/adriatic_morphosys.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adriatic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

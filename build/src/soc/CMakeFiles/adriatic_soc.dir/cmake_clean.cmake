@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_soc.dir/dma.cpp.o"
+  "CMakeFiles/adriatic_soc.dir/dma.cpp.o.d"
+  "CMakeFiles/adriatic_soc.dir/hwacc.cpp.o"
+  "CMakeFiles/adriatic_soc.dir/hwacc.cpp.o.d"
+  "CMakeFiles/adriatic_soc.dir/irq.cpp.o"
+  "CMakeFiles/adriatic_soc.dir/irq.cpp.o.d"
+  "CMakeFiles/adriatic_soc.dir/iss.cpp.o"
+  "CMakeFiles/adriatic_soc.dir/iss.cpp.o.d"
+  "CMakeFiles/adriatic_soc.dir/processor.cpp.o"
+  "CMakeFiles/adriatic_soc.dir/processor.cpp.o.d"
+  "CMakeFiles/adriatic_soc.dir/traffic_gen.cpp.o"
+  "CMakeFiles/adriatic_soc.dir/traffic_gen.cpp.o.d"
+  "libadriatic_soc.a"
+  "libadriatic_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

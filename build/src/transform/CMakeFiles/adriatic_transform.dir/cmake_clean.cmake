@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_transform.dir/transform.cpp.o"
+  "CMakeFiles/adriatic_transform.dir/transform.cpp.o.d"
+  "libadriatic_transform.a"
+  "libadriatic_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

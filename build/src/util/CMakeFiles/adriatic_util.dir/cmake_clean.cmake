@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adriatic_util.dir/log.cpp.o"
+  "CMakeFiles/adriatic_util.dir/log.cpp.o.d"
+  "CMakeFiles/adriatic_util.dir/table.cpp.o"
+  "CMakeFiles/adriatic_util.dir/table.cpp.o.d"
+  "libadriatic_util.a"
+  "libadriatic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adriatic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

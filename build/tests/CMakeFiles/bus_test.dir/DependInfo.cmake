@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bus_test.cpp" "tests/CMakeFiles/bus_test.dir/bus_test.cpp.o" "gcc" "tests/CMakeFiles/bus_test.dir/bus_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/adriatic_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/adriatic_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/adriatic_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/adriatic_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/adriatic_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/adriatic_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/adriatic_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/adriatic_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/adriatic_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/morphosys/CMakeFiles/adriatic_morphosys.dir/DependInfo.cmake"
+  "/root/repo/build/src/drcf/CMakeFiles/adriatic_drcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/adriatic_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/adriatic_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adriatic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

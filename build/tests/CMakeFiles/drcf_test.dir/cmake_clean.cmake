@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcf_test.dir/drcf_test.cpp.o"
+  "CMakeFiles/drcf_test.dir/drcf_test.cpp.o.d"
+  "drcf_test"
+  "drcf_test.pdb"
+  "drcf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

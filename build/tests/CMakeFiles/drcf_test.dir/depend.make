@@ -1,0 +1,2 @@
+# Empty dependencies file for drcf_test.
+# This may be replaced when dependencies are built.

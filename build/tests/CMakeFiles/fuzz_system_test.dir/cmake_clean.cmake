@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_system_test.dir/fuzz_system_test.cpp.o"
+  "CMakeFiles/fuzz_system_test.dir/fuzz_system_test.cpp.o.d"
+  "fuzz_system_test"
+  "fuzz_system_test.pdb"
+  "fuzz_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

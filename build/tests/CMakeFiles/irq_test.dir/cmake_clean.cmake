@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irq_test.dir/irq_test.cpp.o"
+  "CMakeFiles/irq_test.dir/irq_test.cpp.o.d"
+  "irq_test"
+  "irq_test.pdb"
+  "irq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_channels_test.dir/kernel_channels_test.cpp.o"
+  "CMakeFiles/kernel_channels_test.dir/kernel_channels_test.cpp.o.d"
+  "kernel_channels_test"
+  "kernel_channels_test.pdb"
+  "kernel_channels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_channels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphosys_test.dir/morphosys_test.cpp.o"
+  "CMakeFiles/morphosys_test.dir/morphosys_test.cpp.o.d"
+  "morphosys_test"
+  "morphosys_test.pdb"
+  "morphosys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphosys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
