@@ -4,8 +4,11 @@
 // overhead versus a raw accelerator model.
 #include <benchmark/benchmark.h>
 
+#include <future>
+
 #include "accel/accel_lib.hpp"
 #include "bench_common.hpp"
+#include "campaign/campaign.hpp"
 
 using namespace adriatic;
 using namespace adriatic::kern::literals;
@@ -56,6 +59,61 @@ void BM_TimedEvents(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(wakes));
 }
 BENCHMARK(BM_TimedEvents);
+
+// Periodic cancel/renotify (clocks, DRCF prefetch timers): every loop leaves
+// one stale entry in the timed queue, so this measures the stale-entry
+// compaction path keeping the heap bounded instead of growing without limit.
+void BM_TimedQueueCompaction(benchmark::State& state) {
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  kern::Event deadline(sim, "deadline"), tick(sim, "tick");
+  u64 wakes = 0;
+  top.spawn_thread("t", [&] {
+    for (;;) {
+      deadline.notify(kern::Time::us(100));  // armed, then always superseded
+      tick.notify(1_ns);
+      kern::wait(tick);
+      deadline.cancel();  // stale entry left behind in the timed queue
+      ++wakes;
+    }
+  });
+  sim.elaborate();
+  for (auto _ : state) sim.run(kern::Time::us(1));
+  state.SetItemsProcessed(static_cast<i64>(wakes));
+  state.counters["timed_queue"] =
+      static_cast<double>(sim.timed_queue_size());
+}
+BENCHMARK(BM_TimedQueueCompaction);
+
+// Campaign-parallel throughput: N identical self-contained simulations
+// dispatched across a worker pool — jobs/sec as a function of thread count.
+void BM_CampaignThroughput(benchmark::State& state) {
+  const auto threads = static_cast<usize>(state.range(0));
+  constexpr int kJobs = 16;
+  for (auto _ : state) {
+    campaign::CampaignRunner runner(threads);
+    std::vector<std::future<u64>> futures;
+    futures.reserve(kJobs);
+    for (int j = 0; j < kJobs; ++j) {
+      futures.push_back(runner.submit("job" + std::to_string(j), [] {
+        kern::Simulation sim;
+        kern::Module top(sim, "top");
+        u64 wakes = 0;
+        top.spawn_thread("t", [&] {
+          for (;;) {
+            kern::wait(1_ns);
+            ++wakes;
+          }
+        });
+        sim.run(kern::Time::us(50));
+        return wakes;
+      }));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * kJobs);
+}
+BENCHMARK(BM_CampaignThroughput)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SignalPropagation(benchmark::State& state) {
   kern::Simulation sim;

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Runs the kernel/methodology microbenchmark suite with JSON output and
+# writes BENCH_meth_sim_speed.json at the repo root, so the performance
+# trajectory (items/sec per benchmark, campaign jobs/sec per thread count)
+# is tracked from PR to PR. Also exposed as the `bench_report` CMake target.
+#
+# Usage: bench/report_json.sh [BUILD_DIR] [OUT_FILE]
+set -eu
+
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+REPO_ROOT=$(dirname -- "$SCRIPT_DIR")
+BUILD_DIR=${1:-"$REPO_ROOT/build"}
+OUT=${2:-"$REPO_ROOT/BENCH_meth_sim_speed.json"}
+
+BIN="$BUILD_DIR/bench/meth_sim_speed"
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target meth_sim_speed)" >&2
+  exit 1
+fi
+
+"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
+       --benchmark_format=console
+echo "wrote $OUT"

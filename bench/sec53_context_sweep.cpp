@@ -4,9 +4,11 @@
 //   switch latency = ceil(size / burst) * (addr + burst*beats) * cycle
 //                    + extra_delay + technology overhead
 // and that the generated memory traffic equals the context size.
+#include <future>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "campaign/campaign.hpp"
 
 using namespace adriatic;
 using namespace adriatic::kern::literals;
@@ -55,49 +57,70 @@ int main() {
   t.header({"context size [words]", "bus width [bits]", "switch latency",
             "latency [us]", "config words fetched (2 switches)"});
 
-  bool traffic_ok = true;
+  // The (context size x bus width) grid is 15 independent simulations; sweep
+  // them through the campaign engine and print in submission order.
+  campaign::CampaignRunner runner(campaign::default_thread_count());
+  struct Point {
+    u64 words;
+    u32 width;
+  };
+  std::vector<Point> grid;
+  std::vector<std::future<Sample>> futures;
   for (const u64 words : {64ULL, 256ULL, 1024ULL, 4096ULL, 16384ULL}) {
     for (const u32 width : {8u, 16u, 32u}) {
-      const auto s = measure(words, width, kern::Time::zero());
-      t.row({Table::integer(static_cast<long long>(words)),
-             Table::integer(width), s.switch_latency.str(),
-             Table::num(s.switch_latency.to_us(), 2),
-             Table::integer(static_cast<long long>(s.words_fetched))});
-      traffic_ok &= (s.words_fetched == 2 * words);
+      grid.push_back({words, width});
+      futures.push_back(runner.submit(
+          std::to_string(words) + "w/" + std::to_string(width) + "b",
+          [words, width] { return measure(words, width, kern::Time::zero()); }));
     }
+  }
+  bool traffic_ok = true;
+  for (usize i = 0; i < grid.size(); ++i) {
+    const auto s = futures[i].get();
+    t.row({Table::integer(static_cast<long long>(grid[i].words)),
+           Table::integer(grid[i].width), s.switch_latency.str(),
+           Table::num(s.switch_latency.to_us(), 2),
+           Table::integer(static_cast<long long>(s.words_fetched))});
+    traffic_ok &= (s.words_fetched == 2 * grid[i].words);
   }
   t.print(std::cout);
 
   // Extra reconfiguration delay (parameter 3) is purely additive.
   Table t2("Sec. 5.3 - extra reconfiguration delay (parameter 3)");
   t2.header({"extra delay", "technology overhead", "switch latency"});
-  for (const auto extra : {kern::Time::zero(), kern::Time::us(1),
-                           kern::Time::us(10)}) {
-    drcf::DrcfConfig dc;
-    dc.technology = drcf::varicore_like();
-    dc.technology.per_switch_overhead = 500_ns;
-    bus::BusConfig bc;
-    bc.cycle_time = 10_ns;
-    DrcfRig rig(1, 64, dc, bc);
-    // Rebuild context with extra delay via a second fabric is clumsy; use a
-    // fresh rig whose only context carries the delay.
-    drcf::Drcf fabric2(rig.top, "drcf2", dc);
-    adriatic::bench::StubSlave slave(rig.top, "xctx", 0x900, 0x90F);
-    fabric2.add_context(slave, {.config_address = 0x100000,
-                                .size_words = 64,
-                                .extra_delay = extra});
-    fabric2.mst_port.bind(rig.sys_bus);
-    rig.sys_bus.bind_slave(fabric2);
-    kern::Time latency;
-    rig.top.spawn_thread("driver", [&] {
-      bus::word r = 0;
-      const kern::Time t0 = rig.sim.now();
-      rig.sys_bus.read(0x905, &r);
-      latency = rig.sim.now() - t0 - 20_ns;
-    });
-    rig.sim.run();
-    t2.row({extra.str(), "500 ns", latency.str()});
+  const kern::Time extras[] = {kern::Time::zero(), kern::Time::us(1),
+                               kern::Time::us(10)};
+  std::vector<std::future<kern::Time>> extra_futures;
+  for (const auto extra : extras) {
+    extra_futures.push_back(runner.submit("extra=" + extra.str(), [extra] {
+      drcf::DrcfConfig dc;
+      dc.technology = drcf::varicore_like();
+      dc.technology.per_switch_overhead = 500_ns;
+      bus::BusConfig bc;
+      bc.cycle_time = 10_ns;
+      DrcfRig rig(1, 64, dc, bc);
+      // Rebuild context with extra delay via a second fabric is clumsy; use
+      // a fresh rig whose only context carries the delay.
+      drcf::Drcf fabric2(rig.top, "drcf2", dc);
+      adriatic::bench::StubSlave slave(rig.top, "xctx", 0x900, 0x90F);
+      fabric2.add_context(slave, {.config_address = 0x100000,
+                                  .size_words = 64,
+                                  .extra_delay = extra});
+      fabric2.mst_port.bind(rig.sys_bus);
+      rig.sys_bus.bind_slave(fabric2);
+      kern::Time latency;
+      rig.top.spawn_thread("driver", [&] {
+        bus::word r = 0;
+        const kern::Time t0 = rig.sim.now();
+        rig.sys_bus.read(0x905, &r);
+        latency = rig.sim.now() - t0 - 20_ns;
+      });
+      rig.sim.run();
+      return latency;
+    }));
   }
+  for (usize i = 0; i < extra_futures.size(); ++i)
+    t2.row({extras[i].str(), "500 ns", extra_futures[i].get().str()});
   t2.print(std::cout);
 
   std::cout << "\nchecks: fetched words == context size for every point: "

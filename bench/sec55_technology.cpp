@@ -4,10 +4,12 @@
 // time — "all these parameters are so technology dependent that there can
 // not be a generalized way"; the table is exactly what the parameterised
 // methodology produces instead.
+#include <future>
 #include <iostream>
 
 #include "accel/accel_lib.hpp"
 #include "bench_common.hpp"
+#include "campaign/campaign.hpp"
 #include "estimate/area.hpp"
 
 using namespace adriatic;
@@ -84,9 +86,17 @@ int main() {
       {drcf::morphosys_like(), "coarse (16-bit)"},
   };
 
+  // Each technology study is an independent simulation: run all three
+  // concurrently through the campaign engine, print in submission order.
+  campaign::CampaignRunner runner(campaign::default_thread_count());
+  std::vector<std::future<TechResult>> futures;
+  for (const auto& [tech, grain] : techs)
+    futures.push_back(runner.submit(tech.name, [t = tech] { return run(t); }));
+
   std::vector<double> switch_us;
-  for (const auto& [tech, grain] : techs) {
-    const auto r = run(tech);
+  for (usize i = 0; i < futures.size(); ++i) {
+    const auto& [tech, grain] = techs[i];
+    const auto r = futures[i].get();
     switch_us.push_back(r.mean_switch.to_us());
     t.row({tech.name, grain, Table::num(tech.bits_per_gate, 1),
            Table::integer(static_cast<long long>(r.ctx_words_small)),

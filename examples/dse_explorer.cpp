@@ -4,10 +4,19 @@
 // front — the "true design space exploration at the system level" the paper
 // positions the methodology for.
 //
-// Build & run:  ./build/examples/dse_explorer
+// Every design point is an independent simulation, so the sweep runs through
+// the campaign engine: one Simulation per worker thread, results printed in
+// submission order (output is byte-identical for any thread count).
+//
+// Build & run:  ./build/examples/dse_explorer [--serial] [--jobs N]
+//                                             [--report FILE.json]
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "accel/accel_lib.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
 #include "dse/pareto.hpp"
 #include "estimate/area.hpp"
 #include "netlist/design.hpp"
@@ -89,21 +98,113 @@ netlist::Design make_app(bool dedicated_cfg_link) {
   return d;
 }
 
+struct Config {
+  std::string label;
+  drcf::ReconfigTechnology tech;
+  u32 slots;
+  bool dedicated_link;
+};
+
+/// One design point == one job: builds, transforms, simulates and evaluates
+/// a configuration on whichever worker thread picks it up.
+struct SweepOutcome {
+  bool ok = false;
+  std::string error;
+  std::vector<std::string> row;  ///< Table cells, print-ready.
+  dse::DesignPoint point;
+};
+
+SweepOutcome run_config(const Config& cfg,
+                        const std::vector<std::string>& candidates,
+                        const std::vector<u64>& kernel_gates,
+                        campaign::JobContext* ctx) {
+  SweepOutcome out;
+  auto d = make_app(cfg.dedicated_link);
+  transform::TransformOptions opt;
+  opt.drcf_config.technology = cfg.tech;
+  opt.drcf_config.slots = cfg.slots;
+  opt.config_memory = "cfg_mem";
+  if (cfg.dedicated_link) opt.config_bus = "cfg_link";
+  const auto report = transform::transform_to_drcf(d, candidates, opt);
+  if (!report.ok) {
+    out.error = "transform failed";
+    return out;
+  }
+  kern::Simulation sim;
+  netlist::Elaborated e(sim, d);
+  sim.run();
+  if (ctx != nullptr) ctx->record(sim);
+  if (!e.get_processor("cpu").finished()) {
+    out.error = "did not finish";
+    return out;
+  }
+  const auto& fs = e.get_drcf("drcf1").stats();
+  const auto area = estimate::drcf_area(kernel_gates, cfg.tech, cfg.slots);
+  const double time_us = sim.now().to_us();
+  const double energy_uj = fs.reconfig_energy_j * 1e6;
+  out.row = {cfg.label, Table::num(time_us, 1),
+             Table::integer(static_cast<long long>(fs.switches)),
+             Table::integer(static_cast<long long>(fs.config_words_fetched)),
+             Table::integer(
+                 static_cast<long long>(area.total_gate_equivalents())),
+             Table::num(energy_uj, 2)};
+  // Fourth objective: inflexibility (0 = field-upgradable fabric, 1 =
+  // frozen silicon) — the axis that motivates reconfigurable hardware in
+  // the first place (paper Fig. 2).
+  out.point = {cfg.label,
+               {time_us, static_cast<double>(area.total_gate_equivalents()),
+                energy_uj, 0.0}};
+  out.ok = true;
+  return out;
+}
+
+/// The reference architecture (everything hardwired) as its own job.
+SweepOutcome run_hardwired(u64 hw_gates, campaign::JobContext* ctx) {
+  SweepOutcome out;
+  auto d = make_app(false);
+  kern::Simulation sim;
+  netlist::Elaborated e(sim, d);
+  sim.run();
+  if (ctx != nullptr) ctx->record(sim);
+  out.row = {Table::num(sim.now().to_us(), 1)};
+  out.point = {"hardwired",
+               {sim.now().to_us(), static_cast<double>(hw_gates), 0.0, 1.0}};
+  out.ok = true;
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool serial = false;
+  usize jobs = 0;  // 0 = default_thread_count()
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serial") == 0) {
+      serial = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      jobs = static_cast<usize>(std::strtoul(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0') {
+        std::cerr << "dse_explorer: --jobs expects a number, got '" << argv[i]
+                  << "'\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else {
+      std::cerr << "usage: dse_explorer [--serial] [--jobs N] "
+                   "[--report FILE.json]\n";
+      return 2;
+    }
+  }
+
   const std::vector<std::string> candidates{"fir", "fft", "aes"};
   const std::vector<u64> kernel_gates{
       accel::make_fir_spec(accel::fir_lowpass_taps(24)).gate_count,
       accel::make_fft_spec(64).gate_count,
       accel::make_aes_spec(accel::AesKey{1, 2, 3}).gate_count};
 
-  struct Config {
-    std::string label;
-    drcf::ReconfigTechnology tech;
-    u32 slots;
-    bool dedicated_link;
-  };
   std::vector<Config> configs;
   for (const auto& tech : {drcf::virtex2pro_like(), drcf::varicore_like(),
                            drcf::morphosys_like()}) {
@@ -115,65 +216,56 @@ int main() {
       }
     }
   }
+  const u64 hw_gates = estimate::hardwired_gates(kernel_gates);
+
+  // Run every design point; `outcomes` ends up in submission order either
+  // way, so all downstream output is byte-identical between modes.
+  std::vector<SweepOutcome> outcomes;
+  std::vector<campaign::JobStats> job_stats;
+  usize threads_used = 1;
+  if (serial) {
+    for (const auto& cfg : configs)
+      outcomes.push_back(run_config(cfg, candidates, kernel_gates, nullptr));
+    outcomes.push_back(run_hardwired(hw_gates, nullptr));
+  } else {
+    campaign::CampaignRunner runner(
+        jobs != 0 ? jobs : campaign::default_thread_count());
+    threads_used = runner.thread_count();
+    std::vector<std::future<SweepOutcome>> futures;
+    for (const auto& cfg : configs) {
+      futures.push_back(
+          runner.submit(cfg.label, [&, cfg](campaign::JobContext& ctx) {
+            return run_config(cfg, candidates, kernel_gates, &ctx);
+          }));
+    }
+    futures.push_back(
+        runner.submit("hardwired", [&](campaign::JobContext& ctx) {
+          return run_hardwired(hw_gates, &ctx);
+        }));
+    for (auto& f : futures) outcomes.push_back(f.get());
+    job_stats = runner.stats();
+  }
 
   Table t("DSE sweep: technology x slots x config-memory organisation (" +
           std::to_string(kFrames) + " frames)");
   t.header({"configuration", "time [us]", "switches", "cfg words",
             "area [gate-eq]", "reconf energy [uJ]"});
-
   std::vector<dse::DesignPoint> points;
-  for (const auto& cfg : configs) {
-    auto d = make_app(cfg.dedicated_link);
-    transform::TransformOptions opt;
-    opt.drcf_config.technology = cfg.tech;
-    opt.drcf_config.slots = cfg.slots;
-    opt.config_memory = "cfg_mem";
-    if (cfg.dedicated_link) opt.config_bus = "cfg_link";
-    const auto report = transform::transform_to_drcf(d, candidates, opt);
-    if (!report.ok) {
-      std::cerr << cfg.label << ": transform failed\n";
+  for (usize i = 0; i < configs.size(); ++i) {
+    const auto& out = outcomes[i];
+    if (!out.ok) {
+      std::cerr << configs[i].label << ": " << out.error << '\n';
       continue;
     }
-    kern::Simulation sim;
-    netlist::Elaborated e(sim, d);
-    sim.run();
-    if (!e.get_processor("cpu").finished()) {
-      std::cerr << cfg.label << ": did not finish\n";
-      continue;
-    }
-    const auto& fs = e.get_drcf("drcf1").stats();
-    const auto area = estimate::drcf_area(kernel_gates, cfg.tech, cfg.slots);
-    const double time_us = sim.now().to_us();
-    const double energy_uj = fs.reconfig_energy_j * 1e6;
-    t.row({cfg.label, Table::num(time_us, 1),
-           Table::integer(static_cast<long long>(fs.switches)),
-           Table::integer(static_cast<long long>(fs.config_words_fetched)),
-           Table::integer(
-               static_cast<long long>(area.total_gate_equivalents())),
-           Table::num(energy_uj, 2)});
-    // Fourth objective: inflexibility (0 = field-upgradable fabric, 1 =
-    // frozen silicon) — the axis that motivates reconfigurable hardware in
-    // the first place (paper Fig. 2).
-    points.push_back(
-        {cfg.label,
-         {time_us, static_cast<double>(area.total_gate_equivalents()),
-          energy_uj, 0.0}});
+    t.row(out.row);
+    points.push_back(out.point);
   }
   t.print(std::cout);
 
-  // Reference architecture: everything hardwired.
-  const u64 hw_gates = estimate::hardwired_gates(kernel_gates);
-  {
-    auto d = make_app(false);
-    kern::Simulation sim;
-    netlist::Elaborated e(sim, d);
-    sim.run();
-    std::cout << "\nhardwired reference: " << Table::num(sim.now().to_us(), 1)
-              << " us, " << hw_gates << " gates, 0 uJ reconfig\n";
-    points.push_back(
-        {"hardwired",
-         {sim.now().to_us(), static_cast<double>(hw_gates), 0.0, 1.0}});
-  }
+  const auto& hw = outcomes.back();
+  std::cout << "\nhardwired reference: " << hw.row[0] << " us, " << hw_gates
+            << " gates, 0 uJ reconfig\n";
+  points.push_back(hw.point);
 
   const auto front = dse::pareto_front(points);
   std::cout
@@ -181,5 +273,9 @@ int main() {
          "inflexibility):\n";
   for (const usize idx : front)
     std::cout << "  * " << points[idx].label << '\n';
+
+  if (!report_path.empty() && !job_stats.empty())
+    campaign::write_report_file(report_path, "dse_explorer", threads_used,
+                                job_stats);
   return 0;
 }

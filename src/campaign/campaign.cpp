@@ -1,0 +1,107 @@
+#include "campaign/campaign.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace adriatic::campaign {
+
+CampaignRunner::CampaignRunner(usize threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(threads);
+  for (usize i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+CampaignRunner::~CampaignRunner() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::string CampaignRunner::describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+void CampaignRunner::enqueue(std::string label,
+                             std::function<void(JobContext&)> body) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_)
+      throw std::logic_error("CampaignRunner: submit after shutdown");
+    Job job;
+    job.index = records_.size();
+    job.label = label;
+    job.body = std::move(body);
+    JobStats placeholder;
+    placeholder.index = job.index;
+    placeholder.label = std::move(label);
+    records_.push_back(std::move(placeholder));
+    queue_.push_back(std::move(job));
+  }
+  cv_work_.notify_one();
+}
+
+void CampaignRunner::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++inflight_;
+    }
+
+    JobStats local;
+    local.index = job.index;
+    local.label = job.label;
+    JobContext ctx(&local);
+    const auto t0 = std::chrono::steady_clock::now();
+    job.body(ctx);  // a packaged_task: exceptions land in the job's future
+    local.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    local.done = true;
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      records_[job.index] = std::move(local);
+      --inflight_;
+      if (queue_.empty() && inflight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void CampaignRunner::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+std::vector<JobStats> CampaignRunner::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_;
+}
+
+usize default_thread_count() {
+  if (const char* env = std::getenv("ADRIATIC_CAMPAIGN_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<usize>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace adriatic::campaign

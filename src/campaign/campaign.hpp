@@ -1,0 +1,147 @@
+// Parallel simulation campaign engine: runs N independent Simulation
+// instances across a pool of worker threads. The kernel keeps all of its
+// cross-cutting state (`t_running`, the fiber bookkeeping, the stack pool)
+// in thread_local variables, so one simulation per worker thread needs no
+// locking at all — the pool only synchronises on the job queue and on the
+// per-job result records.
+//
+// Threading model (see docs/campaign.md):
+//   * a job is a factory: it constructs, runs and tears down its own
+//     Simulation entirely on the worker thread that picked it up;
+//   * nothing simulation-related is shared between jobs — results travel
+//     back through the returned std::future;
+//   * job metrics (wall time, simulated time, delta cycles) are recorded in
+//     submission order, so reports are deterministic for any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "kernel/simulation.hpp"
+#include "kernel/time.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::campaign {
+
+/// Per-job record, reported in submission order regardless of which worker
+/// ran the job or when it finished.
+struct JobStats {
+  usize index = 0;          ///< Submission index (0-based).
+  std::string label;
+  double wall_seconds = 0;  ///< Host wall-clock time spent inside the job.
+  kern::Time sim_time;      ///< Simulated time reached (via JobContext).
+  u64 delta_count = 0;
+  u64 activations = 0;
+  bool done = false;        ///< Job ran to completion (or failed) already.
+  bool failed = false;      ///< Job body threw; `error` holds the message.
+  std::string error;
+};
+
+/// Handed to job bodies that want their kernel counters in the campaign
+/// report; call record(sim) after sim.run().
+class JobContext {
+ public:
+  void record(const kern::Simulation& sim) {
+    stats_->sim_time = sim.now();
+    stats_->delta_count = sim.delta_count();
+    stats_->activations = sim.activations();
+  }
+
+ private:
+  friend class CampaignRunner;
+  explicit JobContext(JobStats* stats) : stats_(stats) {}
+  void mark_failed(std::string msg) {
+    stats_->failed = true;
+    stats_->error = std::move(msg);
+  }
+  JobStats* stats_;
+};
+
+class CampaignRunner {
+ public:
+  /// threads == 0 picks the hardware concurrency (at least 1).
+  explicit CampaignRunner(usize threads = 0);
+  ~CampaignRunner();
+
+  CampaignRunner(const CampaignRunner&) = delete;
+  CampaignRunner& operator=(const CampaignRunner&) = delete;
+
+  [[nodiscard]] usize thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Submits a job. `fn` is either `R()` or `R(JobContext&)`; it runs on a
+  /// worker thread and must build its own Simulation (never share kernel
+  /// objects across jobs). An exception thrown by `fn` is delivered through
+  /// the returned future and flagged in the job's stats; it does not affect
+  /// the pool or other jobs.
+  template <typename F>
+  auto submit(std::string label, F fn) {
+    constexpr bool kTakesCtx = std::is_invocable_v<F&, JobContext&>;
+    using R = std::conditional_t<kTakesCtx,
+                                 std::invoke_result<F&, JobContext&>,
+                                 std::invoke_result<F&>>::type;
+    auto task = std::make_shared<std::packaged_task<R(JobContext&)>>(
+        [f = std::move(fn)](JobContext& ctx) mutable -> R {
+          try {
+            if constexpr (kTakesCtx) {
+              return f(ctx);
+            } else {
+              return f();
+            }
+          } catch (...) {
+            ctx.mark_failed(describe_current_exception());
+            throw;
+          }
+        });
+    std::future<R> fut = task->get_future();
+    enqueue(std::move(label),
+            [task](JobContext& ctx) { (*task)(ctx); });
+    return fut;
+  }
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+  /// Snapshot of per-job metrics in submission order. Call after wait_idle()
+  /// (or after all futures resolved) for a complete, race-free view.
+  [[nodiscard]] std::vector<JobStats> stats() const;
+
+ private:
+  struct Job {
+    usize index = 0;
+    std::string label;
+    std::function<void(JobContext&)> body;
+  };
+
+  static std::string describe_current_exception();
+  void enqueue(std::string label, std::function<void(JobContext&)> body);
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<Job> queue_;
+  // Touched only under mu_: workers fill a local JobStats while running and
+  // commit it here when the job ends, keeping readers race-free.
+  std::vector<JobStats> records_;
+  usize inflight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Worker count for tools: the ADRIATIC_CAMPAIGN_THREADS environment
+/// variable if set (0 or unset => hardware concurrency).
+[[nodiscard]] usize default_thread_count();
+
+}  // namespace adriatic::campaign

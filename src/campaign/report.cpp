@@ -1,0 +1,60 @@
+#include "campaign/report.hpp"
+
+#include <fstream>
+
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace adriatic::campaign {
+
+std::string report_json(const std::string& name, usize threads,
+                        const std::vector<JobStats>& stats) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("campaign", name);
+  w.field("threads", static_cast<u64>(threads));
+  w.key("jobs").begin_array();
+  double total_wall = 0;
+  u64 total_deltas = 0;
+  u64 failed = 0;
+  for (const JobStats& s : stats) {
+    total_wall += s.wall_seconds;
+    total_deltas += s.delta_count;
+    if (s.failed) ++failed;
+    w.begin_object();
+    w.field("index", static_cast<u64>(s.index));
+    w.field("label", s.label);
+    w.field("wall_seconds", s.wall_seconds);
+    w.field("sim_time_ns", s.sim_time.to_ns());
+    w.field("delta_cycles", s.delta_count);
+    w.field("activations", s.activations);
+    w.field("failed", s.failed);
+    if (s.failed) w.field("error", s.error);
+    w.end();
+  }
+  w.end();
+  w.key("totals").begin_object();
+  w.field("jobs", static_cast<u64>(stats.size()));
+  w.field("failed", failed);
+  w.field("cpu_seconds", total_wall);
+  w.field("delta_cycles", total_deltas);
+  if (total_wall > 0)
+    w.field("jobs_per_cpu_second",
+            static_cast<double>(stats.size()) / total_wall);
+  w.end();
+  w.end();
+  return w.str();
+}
+
+bool write_report_file(const std::string& path, const std::string& name,
+                       usize threads, const std::vector<JobStats>& stats) {
+  std::ofstream out(path);
+  if (!out) {
+    log::error() << "campaign report: cannot open " << path;
+    return false;
+  }
+  out << report_json(name, threads, stats) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace adriatic::campaign

@@ -1,0 +1,24 @@
+// JSON report writer for campaign runs: one object per job (submission
+// order) plus aggregate throughput figures, so sweeps and benches can drop
+// `BENCH_*.json` trajectory points at the repo root and downstream tooling
+// can track wall-clock/sim-time trends across PRs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace adriatic::campaign {
+
+/// Serialises the per-job records as a JSON document:
+/// {"campaign": name, "threads": N, "jobs": [...], "totals": {...}}.
+[[nodiscard]] std::string report_json(const std::string& name, usize threads,
+                                      const std::vector<JobStats>& stats);
+
+/// Writes report_json() to `path`; returns false (and logs) on I/O failure.
+bool write_report_file(const std::string& path, const std::string& name,
+                       usize threads, const std::vector<JobStats>& stats);
+
+}  // namespace adriatic::campaign

@@ -10,10 +10,21 @@ namespace adriatic::kern {
 Event::Event(Simulation& sim, std::string name)
     : sim_(&sim), name_(std::move(name)) {}
 
-Event::~Event() = default;
+Event::~Event() {
+  // Mutual deregistration: processes keep raw pointers to the events they
+  // are sensitive to (and vice versa), and destruction order is the model's
+  // business — a Signal declared after a Module dies first, while the
+  // Module's processes still list its events. Scrub those back-references
+  // here so ~Process never touches a freed event, and drop any scheduler
+  // queue entries that still name us.
+  for (Process* p : static_waiters_) std::erase(p->static_events_, this);
+  for (Process* p : dynamic_waiters_) std::erase(p->waited_events_, this);
+  if (pending_ == Pending::kDelta || timed_refs_ != 0) sim_->purge_event(*this);
+}
 
 void Event::notify() {
   // Immediate notification overrides any pending one and fires now.
+  if (pending_ == Pending::kTimed) sim_->unschedule_timed(*this);
   ++generation_;
   pending_ = Pending::kNone;
   trigger();
@@ -22,6 +33,7 @@ void Event::notify() {
 void Event::notify_delta() {
   if (pending_ == Pending::kDelta) return;
   // A pending timed notification is later than a delta: override it.
+  if (pending_ == Pending::kTimed) sim_->unschedule_timed(*this);
   ++generation_;
   pending_ = Pending::kDelta;
   sim_->schedule_delta(*this);
@@ -34,7 +46,10 @@ void Event::notify(Time delay) {
   }
   const Time abs = sim_->now() + delay;
   if (pending_ == Pending::kDelta) return;  // delta is earlier
-  if (pending_ == Pending::kTimed && pending_time_ <= abs) return;
+  if (pending_ == Pending::kTimed) {
+    if (pending_time_ <= abs) return;
+    sim_->unschedule_timed(*this);  // overridden by an earlier deadline
+  }
   ++generation_;
   pending_ = Pending::kTimed;
   pending_time_ = abs;
@@ -42,6 +57,7 @@ void Event::notify(Time delay) {
 }
 
 void Event::cancel() {
+  if (pending_ == Pending::kTimed) sim_->unschedule_timed(*this);
   ++generation_;
   pending_ = Pending::kNone;
 }

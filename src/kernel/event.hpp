@@ -20,6 +20,10 @@ class Process;
 class Event {
  public:
   explicit Event(Simulation& sim, std::string name = "");
+  /// Detaches from every process that references this event (static
+  /// sensitivity and dynamic waits) and purges scheduler-queue entries, so
+  /// an event may safely be destroyed before the processes or the
+  /// simulation that reference it.
   ~Event();
 
   Event(const Event&) = delete;
@@ -57,6 +61,7 @@ class Event {
   Pending pending_ = Pending::kNone;
   Time pending_time_;   ///< Absolute trigger time when pending_ == kTimed.
   u64 generation_ = 0;  ///< Invalidates stale queue entries.
+  u64 timed_refs_ = 0;  ///< Timed-queue entries (live + stale) naming us.
 
   std::vector<Process*> static_waiters_;
   std::vector<Process*> dynamic_waiters_;

@@ -34,10 +34,14 @@ class EventQueue : public Module {
     arm();
   }
 
-  /// Drops all pending notifications.
+  /// Drops all pending notifications, including one that already matured
+  /// into a delta notification of default_event() this very cycle
+  /// (sc_event_queue::cancel_all semantics). The pump stays consistent: a
+  /// notify() later in the same delta re-arms the timer from scratch.
   void cancel_all() {
     pending_ = {};
     timer_->cancel();
+    out_->cancel();
   }
 
   /// The event that fires once per queued notification.

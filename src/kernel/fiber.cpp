@@ -5,7 +5,29 @@
 #include <cassert>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+// ThreadSanitizer cannot follow swapcontext() on its own: it sees one OS
+// thread jumping between unrelated stacks and reports false races. The fiber
+// API below (exported by libtsan) tells it about every switch, which is what
+// lets campaign workers run whole simulations under -fsanitize=thread.
+#if defined(__SANITIZE_THREAD__)
+#define ADRIATIC_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ADRIATIC_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef ADRIATIC_TSAN_FIBERS
+extern "C" {
+void* __tsan_get_current_fiber();
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
 
 namespace adriatic::kern {
 
@@ -13,6 +35,18 @@ struct Fiber::Impl {
   ucontext_t ctx{};
   ucontext_t return_ctx{};
   std::vector<char> stack;
+#ifdef ADRIATIC_TSAN_FIBERS
+  void* tsan_fiber = nullptr;
+  void* tsan_return = nullptr;
+  void tsan_enter() {
+    tsan_return = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsan_fiber, 0);
+  }
+  void tsan_leave() { __tsan_switch_to_fiber(tsan_return, 0); }
+#else
+  void tsan_enter() {}
+  void tsan_leave() {}
+#endif
 };
 
 namespace {
@@ -21,18 +55,52 @@ thread_local Fiber* t_current = nullptr;
 // Handoff slot for the trampoline, which makecontext cannot pass pointers to
 // portably (its varargs are ints).
 thread_local Fiber* t_starting = nullptr;
+
+// Retired fiber stacks, kept per thread for reuse. Campaign jobs spawn
+// thousands of short-lived processes; recycling stacks avoids both the
+// allocation and the page-zeroing of a fresh 256 KB vector each time. The
+// pool is bounded so a burst of unusually many concurrent fibers does not
+// pin memory forever.
+constexpr std::size_t kMaxPooledStacks = 64;
+thread_local std::vector<std::vector<char>> t_stack_pool;
+
+std::vector<char> acquire_stack(std::size_t bytes) {
+  for (std::size_t i = t_stack_pool.size(); i-- > 0;) {
+    if (t_stack_pool[i].size() == bytes) {
+      std::vector<char> s = std::move(t_stack_pool[i]);
+      t_stack_pool.erase(t_stack_pool.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      return s;
+    }
+  }
+  std::vector<char> s;
+  s.resize(bytes);
+  return s;
+}
+
+void release_stack(std::vector<char>&& s) {
+  if (!s.empty() && t_stack_pool.size() < kMaxPooledStacks)
+    t_stack_pool.push_back(std::move(s));
+}
 }  // namespace
 
 Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
     : impl_(std::make_unique<Impl>()), fn_(std::move(fn)) {
-  impl_->stack.resize(stack_bytes);
+  impl_->stack = acquire_stack(stack_bytes);
+#ifdef ADRIATIC_TSAN_FIBERS
+  impl_->tsan_fiber = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber() {
   // Destroying a live suspended fiber abandons its stack frame. That is the
   // normal fate of simulation processes still blocked when the simulation is
   // torn down; destructors of locals on the fiber stack do not run, exactly
-  // as in the SystemC reference simulator.
+  // as in the SystemC reference simulator. The stack itself is recycled.
+#ifdef ADRIATIC_TSAN_FIBERS
+  if (impl_->tsan_fiber != nullptr) __tsan_destroy_fiber(impl_->tsan_fiber);
+#endif
+  release_stack(std::move(impl_->stack));
 }
 
 void Fiber::trampoline() {
@@ -42,6 +110,7 @@ void Fiber::trampoline() {
   self->fn_();
   self->finished_ = true;
   // Return to the scheduler for the last time.
+  self->impl_->tsan_leave();
   swapcontext(&self->impl_->ctx, &self->impl_->return_ctx);
 }
 
@@ -60,6 +129,7 @@ void Fiber::resume() {
                 0);
   }
   t_current = this;
+  impl_->tsan_enter();
   swapcontext(&impl_->return_ctx, &impl_->ctx);
   t_current = nullptr;
 }
@@ -68,6 +138,7 @@ void Fiber::yield() {
   Fiber* self = t_current;
   assert(self != nullptr && "yield() must be called from inside a fiber");
   t_current = nullptr;
+  self->impl_->tsan_leave();
   swapcontext(&self->impl_->ctx, &self->impl_->return_ctx);
   t_current = self;
 }

@@ -1,5 +1,6 @@
 #include "kernel/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -14,16 +15,23 @@
 namespace adriatic::kern {
 
 namespace {
+// Compaction of stale timed-queue entries only kicks in past this size, so
+// small models never pay for a heap rebuild.
+constexpr u64 kCompactMinStale = 64;
+
 // The process executing right now on this OS thread; lets the free wait()
 // functions find their process without a global simulation context.
 thread_local Process* t_running = nullptr;
 
 [[nodiscard]] ThreadProcess& running_thread(const char* what) {
-  auto* tp = dynamic_cast<ThreadProcess*>(t_running);
-  if (tp == nullptr)
+  // Every wait() funnels through here, so avoid the dynamic_cast: is_thread()
+  // fully discriminates (ThreadProcess is the only is_thread() == true class
+  // and is final), making the downcast safe.
+  Process* p = t_running;
+  if (p == nullptr || !p->is_thread())
     throw std::logic_error(std::string(what) +
                            " may only be called from a thread process");
-  return *tp;
+  return *static_cast<ThreadProcess*>(p);
 }
 }  // namespace
 
@@ -114,15 +122,44 @@ void Simulation::make_runnable(Process& p) {
 }
 
 void Simulation::schedule_timed(Event& e, Time abs_time) {
-  timed_queue_.push(TimedEntry{abs_time, timed_seq_++, &e, e.generation_});
+  ++e.timed_refs_;
+  timed_push(TimedEntry{abs_time, timed_seq_++, &e, e.generation_});
 }
 
 void Simulation::unschedule_timed(Event& e) {
-  // Lazy removal: stale queue entries are skipped by generation check.
+  // Lazy removal: the queue entry goes stale (detected by generation check
+  // on pop). We only count it here; once stale entries dominate the heap —
+  // the signature of periodic cancel/renotify patterns like clocks or DRCF
+  // prefetch timers — compact_timed_queue() rebuilds the heap without them,
+  // bounding memory at ~2x the live entry count.
   (void)e;
+  ++timed_stale_;
+  if (timed_stale_ >= kCompactMinStale && 2 * timed_stale_ >= timed_queue_.size())
+    compact_timed_queue();
 }
 
 void Simulation::schedule_delta(Event& e) { delta_queue_.push_back(&e); }
+
+void Simulation::purge_event(Event& e) {
+  std::erase(delta_queue_, &e);
+  // The delta dispatch loop may be mid-flight over delta_scratch_ when a
+  // trigger callback destroys an event; null the slot instead of erasing so
+  // the loop's iterators stay valid.
+  std::replace(delta_scratch_.begin(), delta_scratch_.end(),
+               static_cast<Event*>(&e), static_cast<Event*>(nullptr));
+  if (e.timed_refs_ != 0) {
+    u64 removed_stale = 0;
+    std::erase_if(timed_queue_, [&](const TimedEntry& t) {
+      if (t.event != &e) return false;
+      if (t.generation != e.generation_) ++removed_stale;
+      return true;
+    });
+    std::make_heap(timed_queue_.begin(), timed_queue_.end(),
+                   std::greater<TimedEntry>{});
+    timed_stale_ -= std::min(timed_stale_, removed_stale);
+    e.timed_refs_ = 0;
+  }
+}
 
 void Simulation::request_update(Channel& ch) { update_queue_.push_back(&ch); }
 
@@ -148,26 +185,55 @@ void Simulation::evaluate() {
 }
 
 void Simulation::update() {
-  // update() must not request further updates; snapshot the queue.
-  std::vector<Channel*> q;
-  q.swap(update_queue_);
-  for (Channel* ch : q) {
+  // update() must not request further updates; snapshot the queue. The
+  // scratch vector is a member so steady-state delta cycles allocate nothing.
+  update_scratch_.clear();
+  update_scratch_.swap(update_queue_);
+  for (Channel* ch : update_scratch_) {
     ch->update_requested_ = false;
     ch->update();
   }
 }
 
 bool Simulation::notify_delta_queue() {
-  std::vector<Event*> q;
-  q.swap(delta_queue_);
-  for (Event* e : q) {
-    if (e->pending_ == Event::Pending::kDelta) e->trigger();
+  delta_scratch_.clear();
+  delta_scratch_.swap(delta_queue_);
+  for (Event* e : delta_scratch_) {
+    if (e != nullptr && e->pending_ == Event::Pending::kDelta) e->trigger();
   }
   return !runnable_.empty();
 }
 
 void Simulation::sample_tracers() {
   for (TraceFile* tf : tracers_) tf->cycle(now_);
+}
+
+// ---------------------------------------------------------------------------
+// Timed queue (min-heap with stale-entry compaction)
+
+void Simulation::timed_push(TimedEntry entry) {
+  timed_queue_.push_back(entry);
+  std::push_heap(timed_queue_.begin(), timed_queue_.end(),
+                 std::greater<TimedEntry>{});
+}
+
+void Simulation::timed_pop() {
+  std::pop_heap(timed_queue_.begin(), timed_queue_.end(),
+                std::greater<TimedEntry>{});
+  timed_queue_.pop_back();
+}
+
+void Simulation::compact_timed_queue() {
+  std::erase_if(timed_queue_, [](const TimedEntry& t) {
+    if (t.event->generation_ != t.generation) {
+      --t.event->timed_refs_;
+      return true;
+    }
+    return false;
+  });
+  std::make_heap(timed_queue_.begin(), timed_queue_.end(),
+                 std::greater<TimedEntry>{});
+  timed_stale_ = 0;
 }
 
 bool Simulation::delta_cycle() {
@@ -213,12 +279,17 @@ StopReason Simulation::run(Time duration) {
 
     // Advance to the next valid timed notification.
     for (;;) {
-      if (timed_queue_.empty()) return StopReason::kNoActivity;
-      const TimedEntry top = timed_queue_.top();
+      if (timed_queue_.empty()) {
+        timed_stale_ = 0;
+        return StopReason::kNoActivity;
+      }
+      const TimedEntry top = timed_top();
       if (top.event->generation_ != top.generation ||
           top.event->pending_ != Event::Pending::kTimed ||
           top.event->pending_time_ != top.time) {
-        timed_queue_.pop();  // stale (cancelled or overridden)
+        timed_pop();  // stale (cancelled or overridden)
+        --top.event->timed_refs_;
+        if (timed_stale_ > 0) --timed_stale_;
         continue;
       }
       if (bounded && top.time > end) {
@@ -227,13 +298,16 @@ StopReason Simulation::run(Time duration) {
       }
       now_ = top.time;
       // Trigger every valid entry scheduled for this instant.
-      while (!timed_queue_.empty() && timed_queue_.top().time == now_) {
-        const TimedEntry entry = timed_queue_.top();
-        timed_queue_.pop();
+      while (!timed_queue_.empty() && timed_top().time == now_) {
+        const TimedEntry entry = timed_top();
+        timed_pop();
+        --entry.event->timed_refs_;
         if (entry.event->generation_ == entry.generation &&
             entry.event->pending_ == Event::Pending::kTimed &&
             entry.event->pending_time_ == now_) {
           entry.event->trigger();
+        } else if (timed_stale_ > 0) {
+          --timed_stale_;
         }
       }
       break;

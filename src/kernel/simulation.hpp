@@ -6,7 +6,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <queue>
 #include <span>
 #include <string>
 #include <vector>
@@ -48,6 +47,11 @@ class Simulation {
   [[nodiscard]] u64 delta_count() const noexcept { return delta_count_; }
   [[nodiscard]] u64 activations() const noexcept { return activations_; }
   [[nodiscard]] bool pending_activity() const noexcept;
+  /// Current timed-queue length including not-yet-compacted stale entries;
+  /// exposed so tests can pin the compaction policy.
+  [[nodiscard]] usize timed_queue_size() const noexcept {
+    return timed_queue_.size();
+  }
 
   // -- Elaboration ----------------------------------------------------------
 
@@ -78,6 +82,9 @@ class Simulation {
   void schedule_timed(Event& e, Time abs_time);
   void unschedule_timed(Event& e);
   void schedule_delta(Event& e);
+  /// Called by ~Event: removes every queue reference to `e` so the scheduler
+  /// never dereferences a destroyed event.
+  void purge_event(Event& e);
   void request_update(Channel& ch);
   void attach_tracer(TraceFile& tf);
   void detach_tracer(TraceFile& tf);
@@ -108,19 +115,31 @@ class Simulation {
     }
   };
 
+  // Timed queue: a binary min-heap over a plain vector (not
+  // std::priority_queue) so stale entries — cancelled or overridden
+  // notifications, detected by generation mismatch — can be compacted in
+  // place once they outnumber live ones. See compact_timed_queue().
+  void timed_push(TimedEntry entry);
+  void timed_pop();
+  [[nodiscard]] const TimedEntry& timed_top() const { return timed_queue_.front(); }
+  void compact_timed_queue();
+
   Time now_;
   u64 delta_count_ = 0;
   u64 activations_ = 0;
   u64 timed_seq_ = 0;
+  u64 timed_stale_ = 0;  ///< Upper-bound estimate of stale timed entries.
   bool elaborated_ = false;
   bool stop_requested_ = false;
 
   std::deque<Process*> runnable_;
   std::vector<Event*> delta_queue_;
   std::vector<Channel*> update_queue_;
-  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
-                      std::greater<TimedEntry>>
-      timed_queue_;
+  std::vector<TimedEntry> timed_queue_;
+  /// Reused across delta cycles so update()/notify_delta_queue() do not
+  /// allocate on every cycle (they swap with the live queues).
+  std::vector<Event*> delta_scratch_;
+  std::vector<Channel*> update_scratch_;
 
   Process* current_process_ = nullptr;
   std::map<std::string, Object*> objects_;

@@ -1,0 +1,171 @@
+// Campaign engine tests: N independent simulations across a worker pool
+// must produce bit-exact the same results as running them serially on one
+// thread, metrics must come back in submission order, and a throwing job
+// must reach its future without harming the pool.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "kernel/kernel.hpp"
+#include "util/random.hpp"
+
+namespace adriatic::campaign {
+namespace {
+
+using kern::Time;
+
+// A seed-parameterised mini system: a producer drives a signal with random
+// timed writes, an observer folds every change into a digest, and the final
+// digest also covers the kernel's own counters — any scheduling divergence
+// between runs of the same seed shows up bit-exactly.
+std::vector<u64> run_seeded_sim(u64 seed) {
+  Xoshiro256 rng(seed);
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  kern::Signal<u32> sig(top, "sig");
+  std::vector<u64> digest;
+
+  kern::SpawnOptions opts;
+  opts.sensitivity = {&sig.value_changed_event()};
+  opts.dont_initialize = true;
+  top.spawn_method("obs", [&] {
+    digest.push_back(sim.now().picoseconds() ^ (u64{sig.read()} << 32));
+  }, opts);
+  top.spawn_thread("producer", [&] {
+    const int steps = 50 + static_cast<int>(rng.next_below(50));
+    for (int i = 0; i < steps; ++i) {
+      kern::wait(Time::ns(1 + rng.next_below(20)));
+      sig.write(static_cast<u32>(rng.next_below(1u << 30)));
+    }
+  });
+  // Exercise the cancel/renotify (compaction) path inside campaign jobs too.
+  kern::Event scratch(sim, "scratch");
+  top.spawn_thread("canceller", [&] {
+    for (int i = 0; i < 200; ++i) {
+      scratch.notify(Time::us(10));
+      kern::wait(Time::ns(3));
+      scratch.cancel();
+    }
+  });
+  sim.run();
+  digest.push_back(sim.now().picoseconds());
+  digest.push_back(sim.delta_count());
+  digest.push_back(sim.activations());
+  return digest;
+}
+
+TEST(CampaignTest, ParallelMatchesSerialBitExact) {
+  constexpr usize kJobs = 32;
+  constexpr usize kThreads = 4;
+
+  // Serial reference: same factories, main thread, in order.
+  std::vector<std::vector<u64>> serial;
+  for (usize j = 0; j < kJobs; ++j) serial.push_back(run_seeded_sim(j + 1));
+
+  CampaignRunner runner(kThreads);
+  ASSERT_EQ(runner.thread_count(), kThreads);
+  std::vector<std::future<std::vector<u64>>> futures;
+  for (usize j = 0; j < kJobs; ++j) {
+    futures.push_back(runner.submit("seed" + std::to_string(j + 1),
+                                    [j] { return run_seeded_sim(j + 1); }));
+  }
+  for (usize j = 0; j < kJobs; ++j) {
+    EXPECT_EQ(futures[j].get(), serial[j]) << "job " << j << " diverged";
+  }
+}
+
+TEST(CampaignTest, StatsComeBackInSubmissionOrder) {
+  CampaignRunner runner(3);
+  std::vector<std::future<u64>> futures;
+  for (usize j = 0; j < 9; ++j) {
+    futures.push_back(
+        runner.submit("job" + std::to_string(j), [j](JobContext& ctx) {
+          kern::Simulation sim;
+          kern::Module top(sim, "top");
+          top.spawn_thread("t", [&, j] {
+            for (usize i = 0; i <= j; ++i) kern::wait(Time::ns(10));
+          });
+          sim.run();
+          ctx.record(sim);
+          return sim.delta_count();
+        }));
+  }
+  for (auto& f : futures) f.get();
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 9u);
+  for (usize j = 0; j < 9; ++j) {
+    EXPECT_EQ(stats[j].index, j);
+    EXPECT_EQ(stats[j].label, "job" + std::to_string(j));
+    EXPECT_TRUE(stats[j].done);
+    EXPECT_FALSE(stats[j].failed);
+    // Each job waited (j+1) x 10 ns of simulated time.
+    EXPECT_EQ(stats[j].sim_time, Time::ns(10 * (j + 1)));
+    EXPECT_GT(stats[j].delta_count, 0u);
+  }
+}
+
+TEST(CampaignTest, JobFailureDoesNotTakeDownThePool) {
+  CampaignRunner runner(4);
+  auto bad = runner.submit("bad", []() -> int {
+    throw std::runtime_error("boom at elaboration");
+  });
+  std::vector<std::future<int>> good;
+  for (int j = 0; j < 12; ++j) {
+    good.push_back(runner.submit("good" + std::to_string(j), [j] {
+      kern::Simulation sim;
+      kern::Module top(sim, "top");
+      int wakes = 0;
+      top.spawn_thread("t", [&] {
+        for (int i = 0; i < 5; ++i) {
+          kern::wait(Time::ns(1));
+          ++wakes;
+        }
+      });
+      sim.run();
+      return wakes * (j + 1);
+    }));
+  }
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  for (int j = 0; j < 12; ++j)
+    EXPECT_EQ(good[static_cast<usize>(j)].get(), 5 * (j + 1));
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 13u);
+  EXPECT_TRUE(stats[0].failed);
+  EXPECT_EQ(stats[0].error, "boom at elaboration");
+  for (usize j = 1; j < stats.size(); ++j) EXPECT_FALSE(stats[j].failed);
+}
+
+TEST(CampaignTest, ReportJsonIsBalancedAndComplete) {
+  CampaignRunner runner(2);
+  std::vector<std::future<int>> futures;
+  for (int j = 0; j < 4; ++j)
+    futures.push_back(runner.submit("j" + std::to_string(j), [j] {
+      kern::Simulation sim;
+      kern::Module top(sim, "top");
+      top.spawn_thread("t", [] { kern::wait(Time::ns(5)); });
+      sim.run();
+      return j;
+    }));
+  for (auto& f : futures) f.get();
+  runner.wait_idle();
+  const std::string json =
+      report_json("unit", runner.thread_count(), runner.stats());
+  EXPECT_NE(json.find("\"campaign\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\""), std::string::npos);
+  EXPECT_NE(json.find("\"j3\""), std::string::npos);
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  // Crude balance check: equal numbers of braces/brackets.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace adriatic::campaign
