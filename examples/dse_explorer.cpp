@@ -219,14 +219,22 @@ int main(int argc, char** argv) {
   const u64 hw_gates = estimate::hardwired_gates(kernel_gates);
 
   // Run every design point; `outcomes` ends up in submission order either
-  // way, so all downstream output is byte-identical between modes.
+  // way, so all downstream output is byte-identical between modes, and both
+  // modes record the JobStats that --report serialises.
   std::vector<SweepOutcome> outcomes;
   std::vector<campaign::JobStats> job_stats;
   usize threads_used = 1;
   if (serial) {
     for (const auto& cfg : configs)
-      outcomes.push_back(run_config(cfg, candidates, kernel_gates, nullptr));
-    outcomes.push_back(run_hardwired(hw_gates, nullptr));
+      outcomes.push_back(campaign::run_inline(
+          cfg.label, job_stats, [&](campaign::JobContext& ctx) {
+            return run_config(cfg, candidates, kernel_gates, &ctx);
+          }));
+    outcomes.push_back(
+        campaign::run_inline("hardwired", job_stats,
+                             [&](campaign::JobContext& ctx) {
+                               return run_hardwired(hw_gates, &ctx);
+                             }));
   } else {
     campaign::CampaignRunner runner(
         jobs != 0 ? jobs : campaign::default_thread_count());
@@ -243,6 +251,9 @@ int main(int argc, char** argv) {
           return run_hardwired(hw_gates, &ctx);
         }));
     for (auto& f : futures) outcomes.push_back(f.get());
+    // A future resolves before its worker commits the job's record, so
+    // wait_idle() is still required for a fully-populated stats() view.
+    runner.wait_idle();
     job_stats = runner.stats();
   }
 
@@ -274,7 +285,7 @@ int main(int argc, char** argv) {
   for (const usize idx : front)
     std::cout << "  * " << points[idx].label << '\n';
 
-  if (!report_path.empty() && !job_stats.empty())
+  if (!report_path.empty())
     campaign::write_report_file(report_path, "dse_explorer", threads_used,
                                 job_stats);
   return 0;

@@ -24,7 +24,7 @@ CampaignRunner::~CampaignRunner() {
   for (std::thread& w : workers_) w.join();
 }
 
-std::string CampaignRunner::describe_current_exception() {
+std::string describe_current_exception() {
   try {
     throw;
   } catch (const std::exception& e) {

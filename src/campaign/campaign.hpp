@@ -14,6 +14,7 @@
 //     submission order, so reports are deterministic for any thread count.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -47,6 +48,9 @@ struct JobStats {
   std::string error;
 };
 
+/// Message for the exception currently in flight; call only inside `catch`.
+[[nodiscard]] std::string describe_current_exception();
+
 /// Handed to job bodies that want their kernel counters in the campaign
 /// report; call record(sim) after sim.run().
 class JobContext {
@@ -59,6 +63,9 @@ class JobContext {
 
  private:
   friend class CampaignRunner;
+  template <typename F>
+  friend auto run_inline(std::string label, std::vector<JobStats>& records,
+                         F fn);
   explicit JobContext(JobStats* stats) : stats_(stats) {}
   void mark_failed(std::string msg) {
     stats_->failed = true;
@@ -114,7 +121,11 @@ class CampaignRunner {
   void wait_idle();
 
   /// Snapshot of per-job metrics in submission order. Call after wait_idle()
-  /// (or after all futures resolved) for a complete, race-free view.
+  /// for a complete view — a job's future resolves before its worker commits
+  /// the record, so resolved futures alone do not guarantee completeness.
+  /// Records of jobs still queued or running carry done == false and
+  /// placeholder metrics (report_json() flags them and keeps them out of
+  /// the totals).
   [[nodiscard]] std::vector<JobStats> stats() const;
 
  private:
@@ -124,7 +135,6 @@ class CampaignRunner {
     std::function<void(JobContext&)> body;
   };
 
-  static std::string describe_current_exception();
   void enqueue(std::string label, std::function<void(JobContext&)> body);
   void worker_loop();
 
@@ -139,6 +149,56 @@ class CampaignRunner {
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };
+
+/// Runs one job inline on the calling thread with the same bookkeeping a
+/// pool worker applies — wall-clock timing, JobContext counters, done/failed
+/// flags — and appends the record to `records`. Serial reference paths (e.g.
+/// `dse_explorer --serial`) use this so `--report` carries the same data in
+/// both modes. `fn` is `R()` or `R(JobContext&)`, as with submit(); a
+/// throwing `fn` is recorded (failed = true) and the exception rethrown.
+template <typename F>
+auto run_inline(std::string label, std::vector<JobStats>& records, F fn) {
+  constexpr bool kTakesCtx = std::is_invocable_v<F&, JobContext&>;
+  using R = std::conditional_t<kTakesCtx,
+                               std::invoke_result<F&, JobContext&>,
+                               std::invoke_result<F&>>::type;
+  JobStats local;
+  local.index = records.size();
+  local.label = std::move(label);
+  JobContext ctx(&local);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto commit = [&] {
+    local.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    local.done = true;
+    records.push_back(std::move(local));
+  };
+  try {
+    if constexpr (std::is_void_v<R>) {
+      if constexpr (kTakesCtx) {
+        fn(ctx);
+      } else {
+        fn();
+      }
+      commit();
+    } else {
+      R result = [&] {
+        if constexpr (kTakesCtx) {
+          return fn(ctx);
+        } else {
+          return fn();
+        }
+      }();
+      commit();
+      return result;
+    }
+  } catch (...) {
+    ctx.mark_failed(describe_current_exception());
+    commit();
+    throw;
+  }
+}
 
 /// Worker count for tools: the ADRIATIC_CAMPAIGN_THREADS environment
 /// variable if set (0 or unset => hardware concurrency).

@@ -16,14 +16,22 @@ std::string report_json(const std::string& name, usize threads,
   w.key("jobs").begin_array();
   double total_wall = 0;
   u64 total_deltas = 0;
+  u64 done = 0;
   u64 failed = 0;
   for (const JobStats& s : stats) {
-    total_wall += s.wall_seconds;
-    total_deltas += s.delta_count;
+    // A record with done == false is a still-queued/running placeholder
+    // (stats() taken before wait_idle()): its metrics are zeros, not
+    // measurements, so flag it per job and keep it out of the totals.
+    if (s.done) {
+      ++done;
+      total_wall += s.wall_seconds;
+      total_deltas += s.delta_count;
+    }
     if (s.failed) ++failed;
     w.begin_object();
     w.field("index", static_cast<u64>(s.index));
     w.field("label", s.label);
+    w.field("done", s.done);
     w.field("wall_seconds", s.wall_seconds);
     w.field("sim_time_ns", s.sim_time.to_ns());
     w.field("delta_cycles", s.delta_count);
@@ -35,12 +43,12 @@ std::string report_json(const std::string& name, usize threads,
   w.end();
   w.key("totals").begin_object();
   w.field("jobs", static_cast<u64>(stats.size()));
+  w.field("done", done);
   w.field("failed", failed);
   w.field("cpu_seconds", total_wall);
   w.field("delta_cycles", total_deltas);
   if (total_wall > 0)
-    w.field("jobs_per_cpu_second",
-            static_cast<double>(stats.size()) / total_wall);
+    w.field("jobs_per_cpu_second", static_cast<double>(done) / total_wall);
   w.end();
   w.end();
   return w.str();

@@ -19,7 +19,11 @@ Event::~Event() {
   // queue entries that still name us.
   for (Process* p : static_waiters_) std::erase(p->static_events_, this);
   for (Process* p : dynamic_waiters_) std::erase(p->waited_events_, this);
-  if (pending_ == Pending::kDelta || timed_refs_ != 0) sim_->purge_event(*this);
+  // Both queues use lazy removal, so a cancelled or overridden notification
+  // leaves a stale slot naming us long after pending_ went back to kNone —
+  // the refcounts, not pending_, say whether the scheduler still holds a
+  // pointer that must be purged.
+  if (delta_refs_ != 0 || timed_refs_ != 0) sim_->purge_event(*this);
 }
 
 void Event::notify() {

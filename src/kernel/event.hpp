@@ -62,6 +62,7 @@ class Event {
   Time pending_time_;   ///< Absolute trigger time when pending_ == kTimed.
   u64 generation_ = 0;  ///< Invalidates stale queue entries.
   u64 timed_refs_ = 0;  ///< Timed-queue entries (live + stale) naming us.
+  u64 delta_refs_ = 0;  ///< Delta-queue/scratch slots (live + stale) naming us.
 
   std::vector<Process*> static_waiters_;
   std::vector<Process*> dynamic_waiters_;

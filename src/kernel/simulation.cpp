@@ -138,15 +138,21 @@ void Simulation::unschedule_timed(Event& e) {
     compact_timed_queue();
 }
 
-void Simulation::schedule_delta(Event& e) { delta_queue_.push_back(&e); }
+void Simulation::schedule_delta(Event& e) {
+  ++e.delta_refs_;
+  delta_queue_.push_back(&e);
+}
 
 void Simulation::purge_event(Event& e) {
-  std::erase(delta_queue_, &e);
-  // The delta dispatch loop may be mid-flight over delta_scratch_ when a
-  // trigger callback destroys an event; null the slot instead of erasing so
-  // the loop's iterators stay valid.
-  std::replace(delta_scratch_.begin(), delta_scratch_.end(),
-               static_cast<Event*>(&e), static_cast<Event*>(nullptr));
+  if (e.delta_refs_ != 0) {
+    std::erase(delta_queue_, &e);
+    // The delta dispatch loop may be mid-flight over delta_scratch_ when a
+    // trigger callback destroys an event; null the slot instead of erasing
+    // so the loop's iterators stay valid.
+    std::replace(delta_scratch_.begin(), delta_scratch_.end(),
+                 static_cast<Event*>(&e), static_cast<Event*>(nullptr));
+    e.delta_refs_ = 0;
+  }
   if (e.timed_refs_ != 0) {
     u64 removed_stale = 0;
     std::erase_if(timed_queue_, [&](const TimedEntry& t) {
@@ -199,7 +205,11 @@ bool Simulation::notify_delta_queue() {
   delta_scratch_.clear();
   delta_scratch_.swap(delta_queue_);
   for (Event* e : delta_scratch_) {
-    if (e != nullptr && e->pending_ == Event::Pending::kDelta) e->trigger();
+    if (e == nullptr) continue;  // purged by ~Event mid-dispatch
+    // Consuming the slot releases our claim on the pointer; an event whose
+    // refcounts drop to zero here may be destroyed freely afterwards.
+    --e->delta_refs_;
+    if (e->pending_ == Event::Pending::kDelta) e->trigger();
   }
   return !runnable_.empty();
 }

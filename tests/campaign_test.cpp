@@ -167,5 +167,59 @@ TEST(CampaignTest, ReportJsonIsBalancedAndComplete) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST(CampaignTest, RunInlineMatchesWorkerBookkeeping) {
+  // The serial path (dse_explorer --serial) must produce the same records a
+  // pool worker would: label, submission index, kernel counters, done flag.
+  std::vector<JobStats> records;
+  const auto digest = run_inline("seeded", records, [](JobContext& ctx) {
+    kern::Simulation sim;
+    kern::Module top(sim, "top");
+    top.spawn_thread("t", [] { kern::wait(Time::ns(7)); });
+    sim.run();
+    ctx.record(sim);
+    return sim.now().picoseconds();
+  });
+  EXPECT_EQ(digest, 7'000u);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].index, 0u);
+  EXPECT_EQ(records[0].label, "seeded");
+  EXPECT_TRUE(records[0].done);
+  EXPECT_FALSE(records[0].failed);
+  EXPECT_EQ(records[0].sim_time, Time::ns(7));
+  EXPECT_GT(records[0].delta_count, 0u);
+
+  // A throwing job is recorded (done + failed) and the exception escapes.
+  EXPECT_THROW(run_inline("boom", records,
+                          [] { throw std::runtime_error("inline boom"); }),
+               std::runtime_error);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].index, 1u);
+  EXPECT_TRUE(records[1].done);
+  EXPECT_TRUE(records[1].failed);
+  EXPECT_EQ(records[1].error, "inline boom");
+}
+
+TEST(CampaignTest, ReportFlagsUnfinishedRecords) {
+  // stats() taken before wait_idle() can contain placeholder records; the
+  // report must flag them instead of presenting their zeros as metrics.
+  std::vector<JobStats> stats(2);
+  stats[0].index = 0;
+  stats[0].label = "finished";
+  stats[0].done = true;
+  stats[0].wall_seconds = 0.5;
+  stats[0].delta_count = 10;
+  stats[1].index = 1;
+  stats[1].label = "queued";
+  const std::string json = report_json("unit", 1, stats);
+  EXPECT_NE(json.find("\"label\":\"finished\",\"done\":true"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"queued\",\"done\":false"),
+            std::string::npos);
+  // Totals count only the finished job's metrics.
+  EXPECT_NE(json.find("\"jobs\":2,\"done\":1,\"failed\":0,"
+                      "\"cpu_seconds\":0.5,\"delta_cycles\":10"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace adriatic::campaign

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "kernel/kernel.hpp"
@@ -103,6 +104,29 @@ TEST(EventQueueTest, CancelThenNotifySameDeltaRearmsPump) {
   ASSERT_EQ(fired_at.size(), 1u);
   EXPECT_EQ(fired_at[0], 5'000u);
   EXPECT_EQ(q.pending_count(), 0u);
+}
+
+TEST(EventQueueTest, CancelAllThenDestroyWithInFlightNotification) {
+  // Regression: cancel_all() retracts out_'s in-flight delta notification
+  // lazily, leaving a stale delta-queue slot naming the output event.
+  // Destroying the EventQueue in that window must purge the slot before the
+  // next delta dispatch walks the queue.
+  Simulation sim;
+  auto q = std::make_unique<EventQueue>(sim, "q");
+  Module top(sim, "top");
+  Event kick(sim, "kick");
+  bool survived = false;
+  top.spawn_thread("driver", [&] {
+    q->notify(Time::zero());  // matures immediately
+    kick.notify_delta();      // wakes us right after the pump (FIFO)
+    wait(kick);
+    q->cancel_all();          // out_'s delta notification is in flight
+    q.reset();                // destroyed with the stale slot still queued
+    wait(Time::ns(1));
+    survived = true;
+  });
+  sim.run();
+  EXPECT_TRUE(survived);
 }
 
 TEST(SchedulerProperty, TimedQueueCompactsStaleEntries) {

@@ -252,6 +252,55 @@ TEST(Event, CancelPendingNotification) {
   EXPECT_EQ(sim.starved_processes().size(), 1u);
 }
 
+TEST(Event, DestroyAfterCancelledDeltaNotification) {
+  // Regression: the delta queue removes entries lazily, so after
+  // notify_delta() + cancel() a stale slot still names the event while
+  // pending_ is back to kNone. Destroying the event in that window must
+  // purge the slot, or the next delta dispatch dereferences freed memory.
+  Simulation sim;
+  auto ev = std::make_unique<Event>(sim, "ev");
+  ev->notify_delta();
+  ev->cancel();
+  ev.reset();
+  EXPECT_EQ(sim.run(), StopReason::kNoActivity);
+}
+
+TEST(Event, DestroyAfterImmediateNotifyOverridingDelta) {
+  Simulation sim;
+  Module top(sim, "top");
+  auto ev = std::make_unique<Event>(sim, "ev");
+  bool woke = false;
+  top.spawn_thread("t", [&] {
+    ev->notify_delta();
+    ev->notify();  // immediate: fires now, leaves the queued slot stale
+    ev.reset();    // destroyed with a stale delta-queue slot outstanding
+    wait(Time::ns(1));
+    woke = true;
+  });
+  sim.run();
+  EXPECT_TRUE(woke);
+}
+
+TEST(Event, LocalEventOfFinishingThreadDoesNotDangle) {
+  // The review-found shape: an Event local to a thread process dies when
+  // the thread returns, mid-simulation, with its retracted delta
+  // notification still queued for this very delta round.
+  Simulation sim;
+  Module top(sim, "top");
+  bool other_ran = false;
+  top.spawn_thread("maker", [&] {
+    Event local(sim, "local");
+    local.notify_delta();
+    local.cancel();
+  });
+  top.spawn_thread("other", [&] {
+    wait(Time::ns(1));
+    other_ran = true;
+  });
+  sim.run();
+  EXPECT_TRUE(other_ran);
+}
+
 TEST(Event, DeltaOverridesTimed) {
   Simulation sim;
   Module top(sim, "top");
