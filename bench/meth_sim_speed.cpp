@@ -9,6 +9,7 @@
 #include "accel/accel_lib.hpp"
 #include "bench_common.hpp"
 #include "campaign/campaign.hpp"
+#include "conformance/digest.hpp"
 
 using namespace adriatic;
 using namespace adriatic::kern::literals;
@@ -59,6 +60,39 @@ void BM_TimedEvents(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(wakes));
 }
 BENCHMARK(BM_TimedEvents);
+
+// Cost of the scheduler-trace hook (docs/conformance.md): Arg(0) runs with no
+// observer — the claimed one-predicted-branch-per-record configuration every
+// simulation pays — and Arg(1) with a TraceDigest folding every record, the
+// price of leaving conformance tracing on during a full run.
+void BM_SchedTraceDigest(benchmark::State& state) {
+  kern::Simulation sim;
+  conformance::TraceDigest digest;
+  if (state.range(0) != 0) sim.set_observer(&digest);
+  kern::Module top(sim, "top");
+  kern::Event ping(sim, "ping"), pong(sim, "pong");
+  u64 wakes = 0;
+  top.spawn_thread("a", [&] {
+    for (;;) {
+      ping.notify_delta();
+      kern::wait(pong);
+      kern::wait(1_ns);
+    }
+  });
+  top.spawn_thread("b", [&] {
+    for (;;) {
+      kern::wait(ping);
+      ++wakes;
+      pong.notify_delta();
+    }
+  });
+  sim.elaborate();
+  for (auto _ : state) sim.run(kern::Time::us(1));
+  state.SetItemsProcessed(static_cast<i64>(wakes));
+  if (state.range(0) != 0)
+    state.counters["records"] = static_cast<double>(digest.records());
+}
+BENCHMARK(BM_SchedTraceDigest)->Arg(0)->Arg(1);
 
 // Periodic cancel/renotify (clocks, DRCF prefetch timers): every loop leaves
 // one stale entry in the timed queue, so this measures the stale-entry

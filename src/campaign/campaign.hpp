@@ -43,6 +43,9 @@ struct JobStats {
   kern::Time sim_time;      ///< Simulated time reached (via JobContext).
   u64 delta_count = 0;
   u64 activations = 0;
+  u64 digest = 0;           ///< Scheduler-trace digest, if the job recorded
+                            ///< one (0 = not recorded); lets campaign reports
+                            ///< be diffed for determinism across runs.
   bool done = false;        ///< Job ran to completion (or failed) already.
   bool failed = false;      ///< Job body threw; `error` holds the message.
   std::string error;
@@ -60,6 +63,11 @@ class JobContext {
     stats_->delta_count = sim.delta_count();
     stats_->activations = sim.activations();
   }
+
+  /// Stores a scheduler-trace digest (e.g. conformance::TraceDigest::value())
+  /// in the job's stats; report_json() emits it so two campaign reports can
+  /// be diffed for scheduling determinism, job by job.
+  void record_digest(u64 digest) { stats_->digest = digest; }
 
  private:
   friend class CampaignRunner;

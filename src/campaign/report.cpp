@@ -4,6 +4,7 @@
 
 #include "util/json.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace adriatic::campaign {
 
@@ -36,6 +37,9 @@ std::string report_json(const std::string& name, usize threads,
     w.field("sim_time_ns", s.sim_time.to_ns());
     w.field("delta_cycles", s.delta_count);
     w.field("activations", s.activations);
+    if (s.digest != 0)
+      w.field("digest",
+              strfmt("%016llx", static_cast<unsigned long long>(s.digest)));
     w.field("failed", s.failed);
     if (s.failed) w.field("error", s.error);
     w.end();

@@ -1,0 +1,11 @@
+#include "conformance/digest.hpp"
+
+#include "util/strings.hpp"
+
+namespace adriatic::conformance {
+
+std::string digest_str(u64 digest) {
+  return strfmt("%016llx", static_cast<unsigned long long>(digest));
+}
+
+}  // namespace adriatic::conformance

@@ -1,0 +1,55 @@
+// Trace digest: folds the kernel's structured scheduler-trace records into
+// one stable 64-bit value, so an entire simulation run collapses to a single
+// comparable number. Two runs of the same model produce the same digest iff
+// the scheduler dispatched the same processes, applied the same updates and
+// fired the same notifications in the same order at the same times — which
+// is exactly the determinism contract the conformance suite pins.
+#pragma once
+
+#include <string>
+
+#include "kernel/sched_trace.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::conformance {
+
+class TraceDigest final : public kern::SchedulerObserver {
+ public:
+  void on_record(const kern::SchedRecord& r) override {
+    // splitmix64-style avalanche of each field, chained through the state:
+    // order-sensitive (a swap of two records changes the value) and cheap
+    // enough to leave attached during full system runs.
+    h_ = mix(h_ ^ static_cast<u64>(r.kind));
+    h_ = mix(h_ ^ r.time_ps);
+    h_ = mix(h_ ^ r.delta);
+    h_ = mix(h_ ^ r.id);
+    ++records_;
+  }
+
+  /// The digest of everything observed so far.
+  [[nodiscard]] u64 value() const noexcept { return h_; }
+  /// Number of records folded in.
+  [[nodiscard]] u64 records() const noexcept { return records_; }
+
+  void reset() noexcept {
+    h_ = kSeed;
+    records_ = 0;
+  }
+
+ private:
+  static constexpr u64 kSeed = 0x9e3779b97f4a7c15ULL;
+
+  [[nodiscard]] static constexpr u64 mix(u64 z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  u64 h_ = kSeed;
+  u64 records_ = 0;
+};
+
+/// Formats a digest the way golden files and tools print it (16 hex digits).
+[[nodiscard]] std::string digest_str(u64 digest);
+
+}  // namespace adriatic::conformance

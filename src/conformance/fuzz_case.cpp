@@ -1,0 +1,301 @@
+#include "conformance/fuzz_case.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "accel/accel_lib.hpp"
+#include "conformance/digest.hpp"
+#include "kernel/simulation.hpp"
+#include "netlist/elaborate.hpp"
+#include "soc/hwacc.hpp"
+#include "transform/transform.hpp"
+#include "util/random.hpp"
+#include "util/strings.hpp"
+
+namespace adriatic::conformance {
+
+using namespace kern::literals;
+
+namespace {
+
+accel::KernelSpec kernel_by_index(usize i) {
+  switch (i % 5) {
+    case 0:
+      return accel::make_crc_spec();
+    case 1:
+      return accel::make_quant_spec(60);
+    case 2:
+      return accel::make_rle_spec();
+    case 3:
+      return accel::make_fir_spec(accel::fir_lowpass_taps(8));
+    default:
+      return accel::make_fft_spec(32);
+  }
+}
+
+std::vector<bus::word> snapshot_outputs(netlist::Elaborated& e,
+                                        const FuzzCase& fc) {
+  std::vector<bus::word> snapshot;
+  auto& ram = e.get_memory("ram");
+  for (usize i = 0; i < fc.n_accels; ++i)
+    for (u32 w = 0; w < 40; ++w)
+      snapshot.push_back(
+          ram.peek(static_cast<bus::addr_t>(0x1100 + i * 0x100 + w)));
+  return snapshot;
+}
+
+}  // namespace
+
+FuzzCase make_case(u64 seed) {
+  Xoshiro256 rng(seed);
+  FuzzCase fc;
+  fc.seed = seed;
+  fc.n_accels = 2 + rng.next_below(3);  // 2..4
+  fc.n_candidates = 2 + rng.next_below(fc.n_accels - 1);
+  fc.slots = 1 + static_cast<u32>(rng.next_below(2));
+  fc.tech_index = static_cast<u32>(rng.next_below(3));
+  const usize steps = 6 + rng.next_below(10);
+  for (usize s = 0; s < steps; ++s)
+    fc.schedule.push_back(rng.next_below(fc.n_accels));
+  return fc;
+}
+
+bool valid(const FuzzCase& fc) {
+  if (fc.n_accels < 1 || fc.n_accels > 8) return false;
+  if (fc.n_candidates < 1 || fc.n_candidates > fc.n_accels) return false;
+  if (fc.slots < 1 || fc.slots > 4) return false;
+  if (fc.tech_index > 2) return false;
+  return std::all_of(fc.schedule.begin(), fc.schedule.end(),
+                     [&](usize idx) { return idx < fc.n_accels; });
+}
+
+drcf::ReconfigTechnology tech_of(const FuzzCase& fc) {
+  drcf::ReconfigTechnology tech =
+      fc.tech_index == 0   ? drcf::morphosys_like()
+      : fc.tech_index == 1 ? drcf::varicore_like()
+                           : drcf::virtex2pro_like();
+  // Keep fine-grain contexts small enough for quick runs.
+  tech.bits_per_gate = std::min(tech.bits_per_gate, 2.0);
+  return tech;
+}
+
+netlist::Design build_design(const FuzzCase& fc) {
+  netlist::Design d;
+  d.add("system_bus", netlist::BusDecl{});
+  netlist::MemoryDecl ram;
+  ram.low = 0x1000;
+  ram.words = 2048;
+  ram.bus = "system_bus";
+  d.add("ram", ram);
+  netlist::MemoryDecl cfg;
+  cfg.low = 0x100000;
+  cfg.words = 1u << 16;
+  cfg.bus = "system_bus";
+  d.add("cfg_mem", cfg);
+  for (usize i = 0; i < fc.n_accels; ++i) {
+    netlist::HwAccelDecl acc;
+    acc.base = static_cast<bus::addr_t>(0x100 + i * 0x100);
+    acc.spec = kernel_by_index(i);
+    acc.slave_bus = acc.master_bus = "system_bus";
+    d.add("acc" + std::to_string(i), acc);
+  }
+  netlist::ProcessorDecl cpu;
+  cpu.master_bus = "system_bus";
+  cpu.program = [schedule = fc.schedule](soc::Cpu& c) {
+    std::vector<bus::word> data(32);
+    for (usize i = 0; i < data.size(); ++i)
+      data[i] = static_cast<bus::word>(3 * i + 1);
+    c.burst_write(0x1000, data);
+    for (const usize idx : schedule) {
+      const auto base = static_cast<bus::addr_t>(0x100 + idx * 0x100);
+      c.write(base + soc::HwAccel::kSrc, 0x1000);
+      c.write(base + soc::HwAccel::kDst,
+              static_cast<bus::word>(0x1100 + idx * 0x100));
+      c.write(base + soc::HwAccel::kLen, 32);
+      c.write(base + soc::HwAccel::kCtrl, 1);
+      c.poll_until(base + soc::HwAccel::kStatus, soc::HwAccel::kDone, 200_ns);
+      c.write(base + soc::HwAccel::kStatus, 0);
+    }
+  };
+  d.add("cpu", cpu);
+  return d;
+}
+
+CaseResult run_case(const FuzzCase& fc) {
+  CaseResult res;
+  if (!valid(fc)) {
+    res.failure = "structurally invalid case";
+    return res;
+  }
+
+  // Hardwired reference.
+  std::vector<bus::word> ref_out;
+  {
+    auto ref_design = build_design(fc);
+    kern::Simulation ref_sim;
+    netlist::Elaborated ref_e(ref_sim, ref_design);
+    ref_sim.run();
+    if (!ref_e.get_processor("cpu").finished()) {
+      res.failure = "hardwired reference deadlocked";
+      return res;
+    }
+    ref_out = snapshot_outputs(ref_e, fc);
+  }
+
+  // Transformed design: first n_candidates accelerators share a DRCF.
+  auto d = build_design(fc);
+  std::vector<std::string> candidates;
+  for (usize i = 0; i < fc.n_candidates; ++i)
+    candidates.push_back("acc" + std::to_string(i));
+  transform::TransformOptions opt;
+  opt.drcf_config.technology = tech_of(fc);
+  opt.drcf_config.slots = fc.slots;
+  opt.config_memory = "cfg_mem";
+  const auto report = transform::transform_to_drcf(d, candidates, opt);
+  if (!report.ok) {
+    res.failure = "transform failed: " + (report.diagnostics.empty()
+                                              ? std::string("?")
+                                              : report.diagnostics[0]);
+    return res;
+  }
+
+  TraceDigest td;
+  kern::Simulation sim;
+  sim.set_observer(&td);
+  netlist::Elaborated e(sim, d);
+  sim.run();
+  res.digest = td.value();
+  res.sim_time_ps = sim.now().picoseconds();
+
+  // Invariant 1: no deadlock on a split bus.
+  if (!e.get_processor("cpu").finished()) {
+    res.failure = "transformed design deadlocked (cpu did not finish)";
+    return res;
+  }
+  if (!sim.starved_processes().empty()) {
+    res.failure = "starved processes left at quiescence";
+    return res;
+  }
+
+  // Invariant 2: functional equivalence with the hardwired reference.
+  if (snapshot_outputs(e, fc) != ref_out) {
+    res.failure = "outputs diverge from the hardwired reference";
+    return res;
+  }
+
+  // Invariants 3-5: accounting closes.
+  auto& fabric = e.get_drcf(report.drcf_name);
+  const auto& s = fabric.stats();
+  res.context_switches = s.switches;
+  u64 accesses = 0;
+  u64 activations = 0;
+  u64 expected_words = 0;
+  for (usize i = 0; i < fabric.context_count(); ++i) {
+    const auto cs = fabric.context_stats(i);
+    accesses += cs.accesses;
+    activations += cs.activations;
+    expected_words += cs.activations * fabric.context_params(i).size_words;
+  }
+  if (s.hits + s.misses != accesses) {
+    res.failure = strfmt("hit/miss accounting open: %llu + %llu != %llu",
+                         static_cast<unsigned long long>(s.hits),
+                         static_cast<unsigned long long>(s.misses),
+                         static_cast<unsigned long long>(accesses));
+    return res;
+  }
+  if (activations != s.switches) {
+    res.failure = strfmt("activations %llu != switches %llu",
+                         static_cast<unsigned long long>(activations),
+                         static_cast<unsigned long long>(s.switches));
+    return res;
+  }
+  if (s.config_words_fetched != expected_words) {
+    res.failure =
+        strfmt("fetched %llu config words, expected %llu",
+               static_cast<unsigned long long>(s.config_words_fetched),
+               static_cast<unsigned long long>(expected_words));
+    return res;
+  }
+  if (s.fetch_errors != 0) {
+    res.failure = strfmt("%llu configuration fetch errors",
+                         static_cast<unsigned long long>(s.fetch_errors));
+    return res;
+  }
+
+  res.ok = true;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Replay-file format
+
+namespace {
+constexpr const char* kMagic = "adriatic-fuzz-case v1";
+}
+
+std::string serialize(const FuzzCase& fc) {
+  std::string out = std::string(kMagic) + "\n";
+  out += strfmt("seed %llu\n", static_cast<unsigned long long>(fc.seed));
+  out += strfmt("accels %llu\n",
+                static_cast<unsigned long long>(fc.n_accels));
+  out += strfmt("candidates %llu\n",
+                static_cast<unsigned long long>(fc.n_candidates));
+  out += strfmt("slots %u\n", fc.slots);
+  out += strfmt("tech %u\n", fc.tech_index);
+  out += "schedule";
+  for (const usize idx : fc.schedule)
+    out += strfmt(" %llu", static_cast<unsigned long long>(idx));
+  out += "\n";
+  return out;
+}
+
+std::optional<FuzzCase> parse_case(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+  FuzzCase fc;
+  fc.schedule.clear();
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "seed") {
+      ls >> fc.seed;
+    } else if (key == "accels") {
+      ls >> fc.n_accels;
+    } else if (key == "candidates") {
+      ls >> fc.n_candidates;
+    } else if (key == "slots") {
+      ls >> fc.slots;
+    } else if (key == "tech") {
+      ls >> fc.tech_index;
+    } else if (key == "schedule") {
+      usize idx;
+      while (ls >> idx) fc.schedule.push_back(idx);
+    } else {
+      return std::nullopt;  // unknown key: refuse to guess
+    }
+    if (ls.fail() && !ls.eof()) return std::nullopt;
+  }
+  if (!valid(fc)) return std::nullopt;
+  return fc;
+}
+
+bool write_replay_file(const std::string& path, const FuzzCase& fc) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize(fc);
+  return static_cast<bool>(out);
+}
+
+std::optional<FuzzCase> read_replay_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_case(buf.str());
+}
+
+}  // namespace adriatic::conformance

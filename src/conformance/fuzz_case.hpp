@@ -1,0 +1,68 @@
+// Randomized system-level test cases as first-class values: a FuzzCase fully
+// determines a design (accelerator mix, DRCF candidate subset, technology,
+// slot count, driver schedule), so it can be generated from a seed, shrunk
+// to a minimal failing form, serialized to a replay file, and re-run
+// bit-identically in any build mode. fuzz_system_test generates them; the
+// shrinker minimizes them; the conformance_replay binary replays them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "drcf/technology.hpp"
+#include "netlist/design.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::conformance {
+
+struct FuzzCase {
+  u64 seed = 0;  ///< Provenance only; the fields below are authoritative.
+  usize n_accels = 2;
+  usize n_candidates = 2;  ///< First n_candidates accelerators join the DRCF.
+  u32 slots = 1;
+  u32 tech_index = 0;  ///< 0 = morphosys, 1 = varicore, 2 = virtex2pro.
+  std::vector<usize> schedule;  ///< Accelerator index driven per step.
+
+  bool operator==(const FuzzCase&) const = default;
+};
+
+/// The generator used by fuzz_system_test: a seed-deterministic random case.
+[[nodiscard]] FuzzCase make_case(u64 seed);
+
+/// Structural validity (field ranges and cross-field constraints); shrink
+/// steps must keep cases valid.
+[[nodiscard]] bool valid(const FuzzCase& fc);
+
+/// The technology the case runs under (bits_per_gate capped so fine-grained
+/// contexts stay small enough for quick runs).
+[[nodiscard]] drcf::ReconfigTechnology tech_of(const FuzzCase& fc);
+
+/// Builds the (untransformed) design the case describes.
+[[nodiscard]] netlist::Design build_design(const FuzzCase& fc);
+
+struct CaseResult {
+  bool ok = false;
+  std::string failure;  ///< First violated invariant, human-readable.
+  u64 digest = 0;       ///< Scheduler-trace digest of the transformed run.
+  u64 sim_time_ps = 0;  ///< Simulated end time of the transformed run.
+  u64 context_switches = 0;  ///< DRCF switches in the transformed run.
+};
+
+/// Runs the case end to end — hardwired reference, DRCF transformation,
+/// transformed simulation under a TraceDigest — and checks the system-level
+/// invariants (no deadlock, functional equivalence, accounting closure).
+[[nodiscard]] CaseResult run_case(const FuzzCase& fc);
+
+/// Replay-file round trip: a stable `key value` text format.
+[[nodiscard]] std::string serialize(const FuzzCase& fc);
+[[nodiscard]] std::optional<FuzzCase> parse_case(const std::string& text);
+
+/// Convenience wrappers over serialize/parse_case for replay files.
+/// write_replay_file returns false on I/O failure.
+[[nodiscard]] bool write_replay_file(const std::string& path,
+                                     const FuzzCase& fc);
+[[nodiscard]] std::optional<FuzzCase> read_replay_file(
+    const std::string& path);
+
+}  // namespace adriatic::conformance

@@ -1,0 +1,60 @@
+#include "conformance/golden.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "conformance/digest.hpp"
+
+namespace adriatic::conformance {
+
+std::optional<GoldenMap> parse_golden(const std::string& text) {
+  GoldenMap golden;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string name, hex;
+    if (!(ls >> name >> hex) || hex.size() != 16) return std::nullopt;
+    u64 value = 0;
+    for (const char c : hex) {
+      int digit;
+      if (c >= '0' && c <= '9')
+        digit = c - '0';
+      else if (c >= 'a' && c <= 'f')
+        digit = c - 'a' + 10;
+      else
+        return std::nullopt;
+      value = (value << 4) | static_cast<u64>(digit);
+    }
+    if (!golden.emplace(name, value).second) return std::nullopt;  // dup
+  }
+  return golden;
+}
+
+std::string format_golden(const GoldenMap& golden) {
+  std::string out =
+      "# adriatic conformance golden digests v1\n"
+      "# scenario <16-hex scheduler-trace digest>\n"
+      "# regenerate: ADRIATIC_UPDATE_GOLDEN=1 ctest -R conformance\n";
+  for (const auto& [name, digest] : golden)
+    out += name + " " + digest_str(digest) + "\n";
+  return out;
+}
+
+std::optional<GoldenMap> read_golden_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_golden(buf.str());
+}
+
+bool write_golden_file(const std::string& path, const GoldenMap& golden) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << format_golden(golden);
+  return static_cast<bool>(out);
+}
+
+}  // namespace adriatic::conformance

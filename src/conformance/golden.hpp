@@ -1,0 +1,32 @@
+// Golden digest files: the recorded scheduler-trace digests the conformance
+// suite diffs against. Plain text, one `<scenario> <16-hex-digest>` line per
+// scenario, stable ordering, `#` comments. Regenerate with
+// `ADRIATIC_UPDATE_GOLDEN=1 ctest -R conformance` after an intentional
+// scheduler-semantics change (see docs/conformance.md).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace adriatic::conformance {
+
+/// Scenario name -> recorded digest, ordered so writes are stable.
+using GoldenMap = std::map<std::string, u64>;
+
+/// Parses golden text. Returns nullopt on any malformed line.
+[[nodiscard]] std::optional<GoldenMap> parse_golden(const std::string& text);
+
+/// Formats a golden map (header comment + one line per scenario).
+[[nodiscard]] std::string format_golden(const GoldenMap& golden);
+
+/// File round trip. read returns nullopt if missing or malformed; write
+/// returns false on I/O failure.
+[[nodiscard]] std::optional<GoldenMap> read_golden_file(
+    const std::string& path);
+[[nodiscard]] bool write_golden_file(const std::string& path,
+                                     const GoldenMap& golden);
+
+}  // namespace adriatic::conformance

@@ -1,0 +1,270 @@
+#include "conformance/scenarios.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "accel/accel_lib.hpp"
+#include "conformance/digest.hpp"
+#include "conformance/fuzz_case.hpp"
+#include "kernel/simulation.hpp"
+#include "netlist/design.hpp"
+#include "netlist/elaborate.hpp"
+#include "transform/transform.hpp"
+#include "util/random.hpp"
+
+namespace adriatic::conformance {
+
+using namespace kern::literals;
+
+namespace {
+
+ScenarioResult run_design(netlist::Design& d, const ScenarioOptions& opt) {
+  TraceDigest td;
+  kern::Simulation sim;
+  sim.set_observer(&td);
+  sim.set_timed_compaction(opt.timed_compaction);
+  if (opt.lifo_perturbation) sim.debug_set_lifo_evaluation(true);
+  netlist::Elaborated e(sim, d);
+  sim.run();
+  return {td.value(), td.records(), sim.now().picoseconds()};
+}
+
+// -- quickstart: the Sec. 5.2 flow (two accelerators folded into a DRCF) ----
+
+ScenarioResult run_quickstart(const ScenarioOptions& opt) {
+  netlist::Design design;
+  netlist::BusDecl bus;
+  bus.config.cycle_time = 10_ns;
+  design.add("system_bus", bus);
+
+  netlist::MemoryDecl ram;
+  ram.low = 0x1000;
+  ram.words = 4096;
+  ram.bus = "system_bus";
+  design.add("ram", ram);
+
+  netlist::MemoryDecl cfg_mem;
+  cfg_mem.low = 0x100000;
+  cfg_mem.words = 1u << 17;
+  cfg_mem.bus = "system_bus";
+  design.add("cfg_mem", cfg_mem);
+
+  netlist::HwAccelDecl hwa;
+  hwa.base = 0x100;
+  hwa.spec = accel::make_crc_spec();
+  hwa.slave_bus = hwa.master_bus = "system_bus";
+  design.add("hwa", hwa);
+
+  netlist::HwAccelDecl hwb;
+  hwb.base = 0x200;
+  hwb.spec = accel::make_fft_spec(64);
+  hwb.slave_bus = hwb.master_bus = "system_bus";
+  design.add("hwb", hwb);
+
+  netlist::ProcessorDecl cpu;
+  cpu.master_bus = "system_bus";
+  cpu.program = [](soc::Cpu& c) {
+    for (int frame = 0; frame < 4; ++frame) {
+      for (const bus::addr_t base : {bus::addr_t{0x100}, bus::addr_t{0x200}}) {
+        c.write(base + soc::HwAccel::kSrc, 0x1000);
+        c.write(base + soc::HwAccel::kDst,
+                static_cast<bus::word>(0x1000 + base));
+        c.write(base + soc::HwAccel::kLen, 64);
+        c.write(base + soc::HwAccel::kCtrl, 1);
+        c.poll_until(base + soc::HwAccel::kStatus, soc::HwAccel::kDone,
+                     200_ns);
+        c.write(base + soc::HwAccel::kStatus, 0);
+      }
+    }
+  };
+  design.add("cpu", cpu);
+
+  transform::TransformOptions options;
+  options.drcf_config.technology = drcf::varicore_like();
+  options.config_memory = "cfg_mem";
+  const std::vector<std::string> candidates{"hwa", "hwb"};
+  const auto report =
+      transform::transform_to_drcf(design, candidates, options);
+  if (!report.ok) return {};
+  return run_design(design, opt);
+}
+
+// -- sec53: the DSE sweep points (technology x slots x cfg-memory org) ------
+
+netlist::Design make_sec53_app(bool dedicated_cfg_link) {
+  netlist::Design d;
+  netlist::BusDecl bus_decl;
+  bus_decl.config.cycle_time = 10_ns;
+  d.add("system_bus", bus_decl);
+
+  netlist::MemoryDecl ram;
+  ram.low = 0x1000;
+  ram.words = 0x8000;
+  ram.bus = "system_bus";
+  d.add("ram", ram);
+
+  netlist::MemoryDecl cfg;
+  cfg.low = 0x100000;
+  cfg.words = 1u << 18;
+  if (!dedicated_cfg_link) cfg.bus = "system_bus";
+  d.add("cfg_mem", cfg);
+  if (dedicated_cfg_link) {
+    netlist::DirectLinkDecl link;
+    link.word_time = 10_ns;
+    link.slave = "cfg_mem";
+    d.add("cfg_link", link);
+  }
+
+  const std::pair<const char*, accel::KernelSpec> kernels[] = {
+      {"fir", accel::make_fir_spec(accel::fir_lowpass_taps(24))},
+      {"fft", accel::make_fft_spec(64)},
+      {"aes", accel::make_aes_spec(accel::AesKey{1, 2, 3})},
+  };
+  bus::addr_t base = 0x100;
+  for (const auto& [name, spec] : kernels) {
+    netlist::HwAccelDecl acc;
+    acc.base = base;
+    acc.spec = spec;
+    acc.slave_bus = acc.master_bus = "system_bus";
+    d.add(name, acc);
+    base += 0x100;
+  }
+
+  netlist::ProcessorDecl cpu;
+  cpu.master_bus = "system_bus";
+  cpu.program = [](soc::Cpu& c) {
+    Xoshiro256 rng(11);
+    for (int f = 0; f < 2; ++f) {  // two frames keep the suite quick
+      std::vector<bus::word> data(64);
+      for (auto& v : data) v = static_cast<bus::word>(rng.next_range(0, 4095));
+      c.burst_write(0x1000, data);
+      for (const auto& [acc_base, src, dst] :
+           {std::tuple{bus::addr_t{0x100}, 0x1000, 0x2000},
+            std::tuple{bus::addr_t{0x200}, 0x2000, 0x3000},
+            std::tuple{bus::addr_t{0x300}, 0x3000, 0x4000}}) {
+        c.write(acc_base + soc::HwAccel::kSrc, static_cast<bus::word>(src));
+        c.write(acc_base + soc::HwAccel::kDst, static_cast<bus::word>(dst));
+        c.write(acc_base + soc::HwAccel::kLen, 64);
+        c.write(acc_base + soc::HwAccel::kCtrl, 1);
+        c.poll_until(acc_base + soc::HwAccel::kStatus, soc::HwAccel::kDone,
+                     100_ns);
+        c.write(acc_base + soc::HwAccel::kStatus, 0);
+      }
+      c.compute(300);
+    }
+  };
+  d.add("cpu", cpu);
+  return d;
+}
+
+ScenarioResult run_sec53(u32 tech_index, u32 slots, bool link,
+                         const ScenarioOptions& opt) {
+  auto d = make_sec53_app(link);
+  transform::TransformOptions topt;
+  topt.drcf_config.technology = tech_index == 0   ? drcf::morphosys_like()
+                                : tech_index == 1 ? drcf::varicore_like()
+                                                  : drcf::virtex2pro_like();
+  topt.drcf_config.slots = slots;
+  topt.config_memory = "cfg_mem";
+  if (link) topt.config_bus = "cfg_link";
+  const std::vector<std::string> candidates{"fir", "fft", "aes"};
+  const auto report = transform::transform_to_drcf(d, candidates, topt);
+  if (!report.ok) return {};
+  return run_design(d, opt);
+}
+
+// -- drcf: targeted context-scheduler shapes (Sec. 5.3 five-step walk) ------
+
+ScenarioResult run_drcf_shape(const FuzzCase& fc, const ScenarioOptions& opt) {
+  auto d = build_design(fc);
+  std::vector<std::string> candidates;
+  for (usize i = 0; i < fc.n_candidates; ++i)
+    candidates.push_back("acc" + std::to_string(i));
+  transform::TransformOptions topt;
+  topt.drcf_config.technology = tech_of(fc);
+  topt.drcf_config.slots = fc.slots;
+  topt.config_memory = "cfg_mem";
+  const auto report = transform::transform_to_drcf(d, candidates, topt);
+  if (!report.ok) return {};
+  return run_design(d, opt);
+}
+
+FuzzCase drcf_shape(usize n_accels, usize n_candidates, u32 slots,
+                    u32 tech_index, std::vector<usize> schedule) {
+  FuzzCase fc;
+  fc.n_accels = n_accels;
+  fc.n_candidates = n_candidates;
+  fc.slots = slots;
+  fc.tech_index = tech_index;
+  fc.schedule = std::move(schedule);
+  return fc;
+}
+
+struct Scenario {
+  std::string name;
+  std::function<ScenarioResult(const ScenarioOptions&)> run;
+};
+
+const std::vector<Scenario>& registry() {
+  static const std::vector<Scenario> scenarios = [] {
+    std::vector<Scenario> v;
+    v.push_back({"quickstart", run_quickstart});
+
+    const char* tech_names[] = {"morphosys", "varicore", "virtex2pro"};
+    for (u32 t = 0; t < 3; ++t) {
+      for (const u32 slots : {1u, 2u}) {
+        for (const bool link : {false, true}) {
+          v.push_back({std::string("sec53_") + tech_names[t] + "_s" +
+                           std::to_string(slots) +
+                           (link ? "_link" : "_shared"),
+                       [t, slots, link](const ScenarioOptions& opt) {
+                         return run_sec53(t, slots, link, opt);
+                       }});
+        }
+      }
+    }
+
+    // Context-scheduler shapes: each exercises a distinct path through the
+    // five-step arb_and_instr walk.
+    const std::pair<const char*, FuzzCase> shapes[] = {
+        // one activation: miss -> fetch -> install -> execute
+        {"drcf_cold_miss", drcf_shape(2, 2, 1, 0, {0})},
+        // repeated activation: steady hits after the first miss
+        {"drcf_steady_hit", drcf_shape(2, 2, 1, 1, {0, 0, 0, 0})},
+        // alternating contexts on one slot: evict + drain every step
+        {"drcf_thrash_one_slot", drcf_shape(2, 2, 1, 2, {0, 1, 0, 1, 0, 1})},
+        // two slots: both contexts stay resident after their first miss
+        {"drcf_two_slots", drcf_shape(2, 2, 2, 0, {0, 1, 0, 1})},
+        // a non-candidate accelerator interleaved: bus traffic competes with
+        // configuration fetches
+        {"drcf_mixed_traffic", drcf_shape(3, 2, 1, 1, {0, 2, 1, 2, 0})},
+    };
+    for (const auto& [name, fc] : shapes) {
+      v.push_back({name, [fc](const ScenarioOptions& opt) {
+                     return run_drcf_shape(fc, opt);
+                   }});
+    }
+    return v;
+  }();
+  return scenarios;
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& s : registry()) v.push_back(s.name);
+    return v;
+  }();
+  return names;
+}
+
+std::optional<ScenarioResult> run_scenario(const std::string& name,
+                                           const ScenarioOptions& opt) {
+  for (const auto& s : registry())
+    if (s.name == name) return s.run(opt);
+  return std::nullopt;
+}
+
+}  // namespace adriatic::conformance

@@ -1,0 +1,40 @@
+// Canonical scenario registry for the conformance suite. Each scenario is a
+// named, fully deterministic system build-and-run whose scheduler trace is
+// folded into a digest; the golden file pins one digest per scenario. The
+// registry covers the quickstart design, the Sec. 5.3 DSE sweep points
+// (technology x slots x config-memory organisation) and targeted DRCF
+// context-scheduler shapes (cold miss, steady hit, one-slot thrash,
+// two-slot residency, non-candidate traffic during reconfiguration).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace adriatic::conformance {
+
+struct ScenarioOptions {
+  /// Mirrors Simulation::set_timed_compaction: digests must not depend on it.
+  bool timed_compaction = true;
+  /// Test-only scheduler-order perturbation (LIFO evaluation); digests MUST
+  /// depend on it — that is how the suite proves the digest has teeth.
+  bool lifo_perturbation = false;
+};
+
+struct ScenarioResult {
+  u64 digest = 0;
+  u64 records = 0;      ///< Scheduler-trace records folded into the digest.
+  u64 sim_time_ps = 0;  ///< Simulated end time.
+};
+
+/// All registered scenario names, in golden-file order.
+[[nodiscard]] const std::vector<std::string>& scenario_names();
+
+/// Builds and runs one scenario under the given kernel options. Returns
+/// nullopt for an unknown name.
+[[nodiscard]] std::optional<ScenarioResult> run_scenario(
+    const std::string& name, const ScenarioOptions& opt = {});
+
+}  // namespace adriatic::conformance

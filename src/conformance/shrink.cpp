@@ -1,0 +1,117 @@
+#include "conformance/shrink.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace adriatic::conformance {
+
+namespace {
+
+/// Tries one mutated candidate; accepts it into `current` when it is valid
+/// and still fails.
+bool try_accept(FuzzCase& current, const FuzzCase& mutated,
+                const ShrinkOracle& still_fails, ShrinkResult& out) {
+  if (mutated == current || !valid(mutated)) return false;
+  ++out.oracle_calls;
+  if (!still_fails(mutated)) return false;
+  current = mutated;
+  ++out.accepted;
+  return true;
+}
+
+/// One ddmin sweep over the schedule: remove chunks of `chunk` consecutive
+/// steps wherever the oracle allows. Returns true if anything was removed.
+bool shrink_schedule_pass(FuzzCase& current, usize chunk,
+                          const ShrinkOracle& still_fails, ShrinkResult& out) {
+  bool progress = false;
+  usize i = 0;
+  while (i < current.schedule.size()) {
+    FuzzCase mutated = current;
+    const usize end = std::min(i + chunk, mutated.schedule.size());
+    mutated.schedule.erase(
+        mutated.schedule.begin() + static_cast<std::ptrdiff_t>(i),
+        mutated.schedule.begin() + static_cast<std::ptrdiff_t>(end));
+    if (try_accept(current, mutated, still_fails, out)) {
+      progress = true;  // the chunk at i is gone; re-test the same position
+    } else {
+      i += chunk;
+    }
+  }
+  return progress;
+}
+
+/// Minimizes one scalar field by stepping it down toward `floor` while the
+/// oracle keeps failing. `apply` writes the candidate value into a copy.
+template <typename T, typename Apply>
+bool shrink_scalar(FuzzCase& current, T value, T floor, Apply apply,
+                   const ShrinkOracle& still_fails, ShrinkResult& out) {
+  bool progress = false;
+  while (value > floor) {
+    FuzzCase mutated = current;
+    apply(mutated, value - 1);
+    if (!try_accept(current, mutated, still_fails, out)) break;
+    --value;
+    progress = true;
+  }
+  return progress;
+}
+
+}  // namespace
+
+ShrinkResult shrink_case(const FuzzCase& start,
+                         const ShrinkOracle& still_fails) {
+  ShrinkResult out;
+  out.minimal = start;
+  ++out.oracle_calls;
+  if (!still_fails(start)) return out;  // nothing to shrink
+
+  FuzzCase& cur = out.minimal;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Schedule chunks, large to small (ddmin).
+    for (usize chunk = std::max<usize>(cur.schedule.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      if (cur.schedule.empty()) break;
+      progress |= shrink_schedule_pass(cur, chunk, still_fails, out);
+      if (chunk == 1) break;
+    }
+
+    // Remap schedule entries downward so unused high accelerator indices can
+    // be dropped with n_accels below.
+    for (usize i = 0; i < cur.schedule.size(); ++i) {
+      while (cur.schedule[i] > 0) {
+        FuzzCase mutated = cur;
+        --mutated.schedule[i];
+        if (!try_accept(cur, mutated, still_fails, out)) break;
+        progress = true;
+      }
+    }
+
+    // Scalar fields, most structurally significant first.
+    const usize max_used =
+        cur.schedule.empty()
+            ? 0
+            : *std::max_element(cur.schedule.begin(), cur.schedule.end()) + 1;
+    progress |= shrink_scalar(
+        cur, cur.n_accels, std::max<usize>(max_used, 1),
+        [](FuzzCase& fc, usize v) {
+          fc.n_accels = v;
+          fc.n_candidates = std::min(fc.n_candidates, v);
+        },
+        still_fails, out);
+    progress |= shrink_scalar(
+        cur, cur.n_candidates, usize{1},
+        [](FuzzCase& fc, usize v) { fc.n_candidates = v; }, still_fails, out);
+    progress |= shrink_scalar(
+        cur, cur.slots, u32{1}, [](FuzzCase& fc, u32 v) { fc.slots = v; },
+        still_fails, out);
+    progress |= shrink_scalar(
+        cur, cur.tech_index, u32{0},
+        [](FuzzCase& fc, u32 v) { fc.tech_index = v; }, still_fails, out);
+  }
+  return out;
+}
+
+}  // namespace adriatic::conformance

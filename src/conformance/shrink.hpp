@@ -1,0 +1,30 @@
+// Delta-debugging shrinker for failing fuzz cases. Given a FuzzCase whose
+// oracle reports failure, greedily removes schedule chunks (ddmin-style,
+// halving chunk sizes) and minimizes scalar fields until no single step can
+// make the case smaller while still failing. The result is the minimal
+// reproducer written into replay files.
+#pragma once
+
+#include <functional>
+
+#include "conformance/fuzz_case.hpp"
+
+namespace adriatic::conformance {
+
+/// Oracle: returns true when the case still exhibits the failure of
+/// interest. The shrinker only keeps mutations the oracle accepts.
+using ShrinkOracle = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkResult {
+  FuzzCase minimal;
+  usize oracle_calls = 0;  ///< Total oracle invocations (cost of the shrink).
+  usize accepted = 0;      ///< Mutations that kept the failure alive.
+};
+
+/// Shrinks `start` to a locally-minimal failing case. `start` itself must
+/// fail (the oracle is re-checked first; if it passes, `start` is returned
+/// unchanged with accepted == 0).
+[[nodiscard]] ShrinkResult shrink_case(const FuzzCase& start,
+                                       const ShrinkOracle& still_fails);
+
+}  // namespace adriatic::conformance

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "kernel/simulation.hpp"
+#include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace adriatic::drcf {
@@ -97,6 +98,11 @@ bool Drcf::forward(bus::addr_t add, bus::word* data, bool is_read) {
       } else {
         ++stats_.hits;
       }
+      // Sec. 5.3 step 2/3 ordering: a call may only be forwarded to a
+      // context that is resident on a fabric not mid-reconfiguration.
+      ADRIATIC_CHECK(cfg_.slots > 1 || !reconfiguring_,
+                     "forwarded a call through a single-slot fabric that is "
+                     "still reconfiguring (Sec. 5.3 step 4 incomplete)");
       // Pin the context so arb_and_instr cannot reconfigure it away while
       // the forwarded call is in flight.
       slot_table_.touch(*slot);
@@ -178,6 +184,11 @@ void Drcf::arb_and_instr() {
 
     if (victim.evicted.has_value()) {
       Context& old = *contexts_[*victim.evicted];
+      // Pin/drain protocol: a context with in-flight forwarded calls or
+      // just-woken waiters must never be reprogrammed away (Sec. 5.3 step 4
+      // may only start once the victim is idle).
+      ADRIATIC_CHECK(old.pins == 0 && old.waiters == 0,
+                     "evicting a context with in-flight calls or waiters");
       close_residency(old, t0);
       slot_table_.evict(victim.slot);
     }
@@ -236,7 +247,15 @@ void Drcf::arb_and_instr() {
         cfg_.technology.reconfig_power_w * load_time.to_sec();
     ++stats_.switches;
 
+    // Step ordering: installation happens only at the end of a
+    // reconfiguration window, after the configuration fetch completed.
+    ADRIATIC_CHECK(reconfiguring_,
+                   "context installed outside a reconfiguration window");
+    ADRIATIC_CHECK(!slot_table_.resident(victim.slot).has_value(),
+                   "context installed into an occupied slot");
     slot_table_.install(victim.slot, target);
+    ADRIATIC_CHECK(slot_table_.lookup(target).has_value(),
+                   "installed context not resident after install");
     ctx.residency_start = sim().now();
     ++ctx.stats.activations;
     ctx.load_pending = false;

@@ -1,0 +1,54 @@
+// Structured scheduler tracing: the kernel can report every observable
+// scheduler decision — process dispatch, channel update, delta/timed
+// notification, time advance, delta-cycle boundary — through a single
+// observer hook. The hook costs one pointer check per site when detached,
+// so models pay nothing unless a tracer is installed.
+//
+// Records identify entities by a stable FNV-1a hash of their hierarchical
+// name (never by pointer), so two runs of the same model — on different
+// threads, in different processes, with different allocators — produce the
+// same record stream if and only if the scheduler made the same decisions.
+// `conformance::TraceDigest` folds the stream into one comparable value.
+#pragma once
+
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace adriatic::kern {
+
+struct SchedRecord {
+  enum class Kind : u8 {
+    kDispatch = 1,      ///< A process entered its activation (evaluate phase).
+    kUpdate = 2,        ///< A channel applied its pending write (update phase).
+    kDeltaNotify = 3,   ///< A delta notification fired.
+    kTimedNotify = 4,   ///< A timed notification fired.
+    kTimeAdvance = 5,   ///< Simulated time moved forward.
+    kDeltaCycleEnd = 6, ///< A delta cycle completed.
+  };
+  Kind kind;
+  u64 time_ps;  ///< Simulated time of the record.
+  u64 delta;    ///< Simulation::delta_count() at the record.
+  u64 id;       ///< sched_name_hash() of the entity; 0 when not applicable.
+};
+
+/// FNV-1a over the hierarchical name: the stable entity identifier used in
+/// SchedRecord::id.
+[[nodiscard]] constexpr u64 sched_name_hash(std::string_view s) noexcept {
+  u64 h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+class SchedulerObserver {
+ public:
+  virtual ~SchedulerObserver() = default;
+  /// Called synchronously from inside the scheduler; must not touch the
+  /// simulation it observes.
+  virtual void on_record(const SchedRecord& r) = 0;
+};
+
+}  // namespace adriatic::kern

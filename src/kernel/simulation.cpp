@@ -10,6 +10,7 @@
 #include "kernel/port.hpp"
 #include "kernel/process.hpp"
 #include "kernel/vcd.hpp"
+#include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace adriatic::kern {
@@ -134,7 +135,8 @@ void Simulation::unschedule_timed(Event& e) {
   // bounding memory at ~2x the live entry count.
   (void)e;
   ++timed_stale_;
-  if (timed_stale_ >= kCompactMinStale && 2 * timed_stale_ >= timed_queue_.size())
+  if (timed_compaction_enabled_ && timed_stale_ >= kCompactMinStale &&
+      2 * timed_stale_ >= timed_queue_.size())
     compact_timed_queue();
 }
 
@@ -171,19 +173,40 @@ void Simulation::request_update(Channel& ch) { update_queue_.push_back(&ch); }
 
 void Simulation::attach_tracer(TraceFile& tf) { tracers_.push_back(&tf); }
 
-void Simulation::detach_tracer(TraceFile& tf) { std::erase(tracers_, &tf); }
+void Simulation::detach_tracer(TraceFile& tf) {
+  // A tracer may detach from inside a sample callback (a model destroys a
+  // TraceFile whose sampled value had side effects); null the slot instead
+  // of erasing so sample_tracers()'s index walk stays valid.
+  if (sampling_tracers_) {
+    std::replace(tracers_.begin(), tracers_.end(), &tf,
+                 static_cast<TraceFile*>(nullptr));
+  } else {
+    std::erase(tracers_, &tf);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Scheduler phases
 
 void Simulation::evaluate() {
+  ADRIATIC_CHECK(current_process_ == nullptr,
+                 "evaluation phase entered while a process is active");
   while (!runnable_.empty()) {
-    Process* p = runnable_.front();
-    runnable_.pop_front();
+    Process* p;
+    if (debug_lifo_evaluation_) [[unlikely]] {
+      p = runnable_.back();  // test-only order perturbation
+      runnable_.pop_back();
+    } else {
+      p = runnable_.front();
+      runnable_.pop_front();
+    }
     p->in_runnable_queue_ = false;
+    ADRIATIC_CHECK(p->state() == Process::State::kReady,
+                   "dispatched process not in kReady state");
     current_process_ = p;
     t_running = p;
     ++activations_;
+    emit(SchedRecord::Kind::kDispatch, sched_name_hash(p->name()));
     p->activate();
     t_running = nullptr;
     current_process_ = nullptr;
@@ -197,8 +220,11 @@ void Simulation::update() {
   update_scratch_.swap(update_queue_);
   for (Channel* ch : update_scratch_) {
     ch->update_requested_ = false;
+    emit(SchedRecord::Kind::kUpdate, sched_name_hash(ch->name()));
     ch->update();
   }
+  ADRIATIC_CHECK(update_queue_.empty(),
+                 "a channel requested an update from inside update()");
 }
 
 bool Simulation::notify_delta_queue() {
@@ -208,14 +234,29 @@ bool Simulation::notify_delta_queue() {
     if (e == nullptr) continue;  // purged by ~Event mid-dispatch
     // Consuming the slot releases our claim on the pointer; an event whose
     // refcounts drop to zero here may be destroyed freely afterwards.
+    ADRIATIC_CHECK(e->delta_refs_ > 0,
+                   "delta-queue slot names an event with no delta refs");
     --e->delta_refs_;
-    if (e->pending_ == Event::Pending::kDelta) e->trigger();
+    if (e->pending_ == Event::Pending::kDelta) {
+      emit(SchedRecord::Kind::kDeltaNotify, sched_name_hash(e->name_));
+      e->trigger();
+    }
   }
   return !runnable_.empty();
 }
 
 void Simulation::sample_tracers() {
-  for (TraceFile* tf : tracers_) tf->cycle(now_);
+  if (tracers_.empty()) return;
+  // Index walk under the sampling flag: a sample callback may detach a
+  // tracer (detach_tracer nulls its slot) or attach a new one (push_back —
+  // safe with indices even through reallocation; the newcomer is sampled
+  // this same instant).
+  sampling_tracers_ = true;
+  for (usize i = 0; i < tracers_.size(); ++i) {
+    if (tracers_[i] != nullptr) tracers_[i]->cycle(now_);
+  }
+  sampling_tracers_ = false;
+  std::erase(tracers_, static_cast<TraceFile*>(nullptr));
 }
 
 // ---------------------------------------------------------------------------
@@ -236,6 +277,8 @@ void Simulation::timed_pop() {
 void Simulation::compact_timed_queue() {
   std::erase_if(timed_queue_, [](const TimedEntry& t) {
     if (t.event->generation_ != t.generation) {
+      ADRIATIC_CHECK(t.event->timed_refs_ > 0,
+                     "compaction found an entry with no timed refs");
       --t.event->timed_refs_;
       return true;
     }
@@ -264,7 +307,9 @@ bool Simulation::delta_cycle() {
   }
   update();
   ++delta_count_;
-  return notify_delta_queue();
+  const bool more = notify_delta_queue();
+  emit(SchedRecord::Kind::kDeltaCycleEnd, 0);
+  return more;
 }
 
 StopReason Simulation::run(Time duration) {
@@ -298,6 +343,8 @@ StopReason Simulation::run(Time duration) {
           top.event->pending_ != Event::Pending::kTimed ||
           top.event->pending_time_ != top.time) {
         timed_pop();  // stale (cancelled or overridden)
+        ADRIATIC_CHECK(top.event->timed_refs_ > 0,
+                       "stale timed entry names an event with no timed refs");
         --top.event->timed_refs_;
         if (timed_stale_ > 0) --timed_stale_;
         continue;
@@ -307,14 +354,19 @@ StopReason Simulation::run(Time duration) {
         return StopReason::kTimeLimit;
       }
       now_ = top.time;
+      emit(SchedRecord::Kind::kTimeAdvance, 0);
       // Trigger every valid entry scheduled for this instant.
       while (!timed_queue_.empty() && timed_top().time == now_) {
         const TimedEntry entry = timed_top();
         timed_pop();
+        ADRIATIC_CHECK(entry.event->timed_refs_ > 0,
+                       "timed-queue entry names an event with no timed refs");
         --entry.event->timed_refs_;
         if (entry.event->generation_ == entry.generation &&
             entry.event->pending_ == Event::Pending::kTimed &&
             entry.event->pending_time_ == now_) {
+          emit(SchedRecord::Kind::kTimedNotify,
+               sched_name_hash(entry.event->name_));
           entry.event->trigger();
         } else if (timed_stale_ > 0) {
           --timed_stale_;

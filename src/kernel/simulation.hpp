@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "kernel/sched_trace.hpp"
 #include "kernel/time.hpp"
 #include "util/types.hpp"
 
@@ -76,6 +77,32 @@ class Simulation {
     return current_process_;
   }
 
+  // -- Scheduler tracing & conformance hooks --------------------------------
+
+  /// Installs (or removes, with nullptr) the structured scheduler-trace
+  /// observer. The observer sees every dispatch / update / notification /
+  /// time-advance record; when detached the hooks cost one pointer check.
+  void set_observer(SchedulerObserver* obs) noexcept { observer_ = obs; }
+  [[nodiscard]] SchedulerObserver* observer() const noexcept {
+    return observer_;
+  }
+
+  /// Disables/enables stale-entry compaction of the timed queue. Compaction
+  /// is pure bookkeeping — it must never change scheduling order — and the
+  /// conformance suite pins that by diffing trace digests with the knob in
+  /// both positions.
+  void set_timed_compaction(bool enabled) noexcept {
+    timed_compaction_enabled_ = enabled;
+  }
+
+  /// TEST-ONLY: drain the runnable queue LIFO instead of FIFO. This is a
+  /// deliberate scheduler-order perturbation used to prove the conformance
+  /// digests actually detect evaluation-order changes; never enable it in a
+  /// model.
+  void debug_set_lifo_evaluation(bool enabled) noexcept {
+    debug_lifo_evaluation_ = enabled;
+  }
+
   // -- Kernel-internal interface (used by Event/Process/Channel) ------------
 
   void make_runnable(Process& p);
@@ -124,6 +151,13 @@ class Simulation {
   [[nodiscard]] const TimedEntry& timed_top() const { return timed_queue_.front(); }
   void compact_timed_queue();
 
+  /// Reports a scheduler decision to the observer, if one is installed.
+  void emit(SchedRecord::Kind kind, u64 id) {
+    if (observer_ != nullptr) [[unlikely]]
+      observer_->on_record(
+          SchedRecord{kind, now_.picoseconds(), delta_count_, id});
+  }
+
   Time now_;
   u64 delta_count_ = 0;
   u64 activations_ = 0;
@@ -131,6 +165,10 @@ class Simulation {
   u64 timed_stale_ = 0;  ///< Upper-bound estimate of stale timed entries.
   bool elaborated_ = false;
   bool stop_requested_ = false;
+  bool timed_compaction_enabled_ = true;
+  bool debug_lifo_evaluation_ = false;
+  bool sampling_tracers_ = false;  ///< Guards tracers_ mutation during sampling.
+  SchedulerObserver* observer_ = nullptr;
 
   std::deque<Process*> runnable_;
   std::vector<Event*> delta_queue_;

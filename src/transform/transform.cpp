@@ -150,6 +150,15 @@ TransformReport transform_to_drcf(Design& design,
         "error: candidates are not bound to any bus");
     failed = true;
   }
+  if (candidates.size() == 1 && !failed) {
+    // Legal but degenerate: one context time-shares with nothing, so the
+    // transformation only adds reconfiguration latency. Say so rather than
+    // transforming silently.
+    report.diagnostics.push_back(
+        "warning: single candidate '" + candidates[0] +
+        "' — the DRCF time-shares nothing; the transformation adds "
+        "reconfiguration overhead without any area benefit");
+  }
 
   // The DRCF exposes the union of the candidates' address ranges; any
   // non-candidate slave inside that union would overlap the DRCF on the

@@ -1,0 +1,38 @@
+// ADRIATIC_CHECK: kernel invariant checks compiled as hard asserts in
+// ADRIATIC_CHECKED builds (cmake -DADRIATIC_CHECKED=ON) and compiled out
+// everywhere else. Checked builds are the conformance layer's teeth: they
+// turn "the scheduler quietly did something odd" into an immediate abort
+// with the violated invariant named, which is what a fuzz shrinker needs as
+// an oracle. See docs/conformance.md.
+#pragma once
+
+#ifdef ADRIATIC_CHECKED
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ADRIATIC_CHECK(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr,                                                \
+                   "ADRIATIC_CHECK failed at %s:%d: %s [violated: %s]\n", \
+                   __FILE__, __LINE__, msg, #cond);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#else
+
+#define ADRIATIC_CHECK(cond, msg) ((void)0)
+
+#endif
+
+namespace adriatic {
+/// True when the build compiles ADRIATIC_CHECK as a hard assert.
+inline constexpr bool kCheckedBuild =
+#ifdef ADRIATIC_CHECKED
+    true;
+#else
+    false;
+#endif
+}  // namespace adriatic

@@ -199,6 +199,22 @@ TEST(CampaignTest, RunInlineMatchesWorkerBookkeeping) {
   EXPECT_EQ(records[1].error, "inline boom");
 }
 
+TEST(CampaignTest, RecordedDigestAppearsInReport) {
+  // A job that records a scheduler-trace digest gets it into JobStats and
+  // the JSON report (16 hex digits); jobs that record none emit no field.
+  std::vector<JobStats> records;
+  run_inline("traced", records, [](JobContext& ctx) {
+    ctx.record_digest(0x00ab'cdef'0123'4567ull);
+  });
+  run_inline("untraced", records, [] {});
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].digest, 0x00ab'cdef'0123'4567ull);
+  EXPECT_EQ(records[1].digest, 0u);
+  const std::string json = report_json("unit", 1, records);
+  EXPECT_NE(json.find("\"digest\":\"00abcdef01234567\""), std::string::npos);
+  EXPECT_EQ(json.find("\"digest\""), json.rfind("\"digest\""));
+}
+
 TEST(CampaignTest, ReportFlagsUnfinishedRecords) {
   // stats() taken before wait_idle() can contain placeholder records; the
   // report must flag them instead of presenting their zeros as metrics.

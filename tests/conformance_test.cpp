@@ -1,0 +1,331 @@
+// Scheduler conformance suite: pins the kernel's deterministic-scheduling
+// contract with golden trace digests, proves the digest has teeth (a
+// deliberate scheduler-order perturbation changes it), checks digest parity
+// between serial and campaign execution and between compaction modes, and
+// exercises the fuzz-case shrinker and replay-file round trip.
+//
+// Golden workflow: the recorded digests live in tests/golden/ (path baked in
+// via ADRIATIC_GOLDEN_FILE). After an intentional scheduler-semantics
+// change, regenerate with  ADRIATIC_UPDATE_GOLDEN=1 ctest -R conformance
+// and commit the diff. See docs/conformance.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "conformance/digest.hpp"
+#include "conformance/fuzz_case.hpp"
+#include "conformance/golden.hpp"
+#include "conformance/scenarios.hpp"
+#include "conformance/shrink.hpp"
+#include "util/check.hpp"
+
+#ifndef ADRIATIC_GOLDEN_FILE
+#define ADRIATIC_GOLDEN_FILE ""
+#endif
+
+namespace adriatic::conformance {
+namespace {
+
+// --- digest primitives ------------------------------------------------------
+
+kern::SchedRecord record(kern::SchedRecord::Kind kind, u64 time_ps, u64 delta,
+                         u64 id) {
+  kern::SchedRecord r;
+  r.kind = kind;
+  r.time_ps = time_ps;
+  r.delta = delta;
+  r.id = id;
+  return r;
+}
+
+TEST(TraceDigestTest, OrderSensitive) {
+  const auto a =
+      record(kern::SchedRecord::Kind::kDispatch, 100, 1, 0xaaaa);
+  const auto b =
+      record(kern::SchedRecord::Kind::kDeltaNotify, 100, 1, 0xbbbb);
+  TraceDigest ab, ba;
+  ab.on_record(a);
+  ab.on_record(b);
+  ba.on_record(b);
+  ba.on_record(a);
+  EXPECT_NE(ab.value(), ba.value());  // a swap must change the digest
+  EXPECT_EQ(ab.records(), 2u);
+
+  TraceDigest fresh;
+  ab.reset();
+  EXPECT_EQ(ab.value(), fresh.value());
+  EXPECT_EQ(ab.records(), 0u);
+}
+
+TEST(TraceDigestTest, EveryFieldContributes) {
+  const auto base = record(kern::SchedRecord::Kind::kDispatch, 100, 1, 7);
+  for (const auto& variant :
+       {record(kern::SchedRecord::Kind::kUpdate, 100, 1, 7),
+        record(kern::SchedRecord::Kind::kDispatch, 101, 1, 7),
+        record(kern::SchedRecord::Kind::kDispatch, 100, 2, 7),
+        record(kern::SchedRecord::Kind::kDispatch, 100, 1, 8)}) {
+    TraceDigest d0, d1;
+    d0.on_record(base);
+    d1.on_record(variant);
+    EXPECT_NE(d0.value(), d1.value());
+  }
+}
+
+TEST(TraceDigestTest, DigestStrIs16HexDigits) {
+  EXPECT_EQ(digest_str(0), "0000000000000000");
+  EXPECT_EQ(digest_str(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(digest_str(~0ULL), "ffffffffffffffff");
+}
+
+TEST(TraceDigestTest, NameHashIsStableFnv1a) {
+  // The id of every dispatch/notify record is a name hash, never a pointer:
+  // the exact FNV-1a value is part of the digest format.
+  EXPECT_EQ(kern::sched_name_hash(""), 14695981039346656037ULL);
+  EXPECT_EQ(kern::sched_name_hash("a"),
+            (14695981039346656037ULL ^ 'a') * 1099511628211ULL);
+  EXPECT_NE(kern::sched_name_hash("top.cpu"), kern::sched_name_hash("top.cpv"));
+}
+
+// --- fuzz-case serialization -----------------------------------------------
+
+TEST(FuzzCaseIoTest, SerializeParseRoundTrip) {
+  const auto fc = make_case(7);
+  ASSERT_TRUE(valid(fc));
+  const auto back = parse_case(serialize(fc));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, fc);
+}
+
+TEST(FuzzCaseIoTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_case("").has_value());
+  EXPECT_FALSE(parse_case("bogus header\nseed 1\n").has_value());
+  const auto fc = make_case(3);
+  EXPECT_FALSE(parse_case(serialize(fc) + "mystery 9\n").has_value());
+  // Structurally invalid (schedule index out of range) must not parse.
+  auto bad = fc;
+  bad.schedule.push_back(bad.n_accels);
+  EXPECT_FALSE(parse_case(serialize(bad)).has_value());
+}
+
+TEST(FuzzCaseIoTest, ReplayFileRoundTrip) {
+  const auto fc = make_case(11);
+  const std::string path = ::testing::TempDir() + "/roundtrip.fuzzcase";
+  ASSERT_TRUE(write_replay_file(path, fc));
+  const auto back = read_replay_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, fc);
+  EXPECT_FALSE(read_replay_file(path + ".missing").has_value());
+}
+
+// --- golden-file format ----------------------------------------------------
+
+TEST(GoldenFormatTest, RoundTrip) {
+  GoldenMap m{{"alpha", 0x0123456789abcdefULL}, {"beta", 0}};
+  const auto back = parse_golden(format_golden(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(GoldenFormatTest, RejectsMalformed) {
+  EXPECT_FALSE(parse_golden("name 123\n").has_value());  // not 16 digits
+  EXPECT_FALSE(parse_golden("name 00000000deadbeeX\n").has_value());
+  EXPECT_FALSE(
+      parse_golden("a 0000000000000001\na 0000000000000002\n").has_value());
+}
+
+// --- determinism: the tentpole properties ----------------------------------
+
+TEST(DeterminismTest, RepeatedRunsProduceIdenticalDigests) {
+  const auto r1 = run_scenario("quickstart");
+  const auto r2 = run_scenario("quickstart");
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_GT(r1->records, 0u);
+  EXPECT_EQ(r1->digest, r2->digest);
+  EXPECT_EQ(r1->sim_time_ps, r2->sim_time_ps);
+}
+
+TEST(DeterminismTest, SerialAndCampaignDigestsMatchAcrossSeeds) {
+  // The acceptance bar: byte-identical digests between a plain serial run
+  // and CampaignRunner workers, across >= 10 seeds.
+  constexpr u64 kSeeds = 12;
+  std::vector<CaseResult> serial;
+  for (u64 seed = 1; seed <= kSeeds; ++seed) {
+    serial.push_back(run_case(make_case(seed)));
+    ASSERT_TRUE(serial.back().ok) << "seed " << seed << ": "
+                                  << serial.back().failure;
+  }
+
+  campaign::CampaignRunner runner(2);
+  std::vector<std::future<CaseResult>> futures;
+  for (u64 seed = 1; seed <= kSeeds; ++seed) {
+    futures.push_back(runner.submit(
+        "conformance_seed_" + std::to_string(seed),
+        [seed](campaign::JobContext& ctx) {
+          CaseResult r = run_case(make_case(seed));
+          ctx.record_digest(r.digest);
+          return r;
+        }));
+  }
+  for (u64 i = 0; i < kSeeds; ++i) {
+    const auto r = futures[i].get();
+    ASSERT_TRUE(r.ok) << "seed " << (i + 1) << ": " << r.failure;
+    EXPECT_EQ(digest_str(r.digest), digest_str(serial[i].digest))
+        << "seed " << (i + 1)
+        << ": campaign worker diverged from the serial run";
+    EXPECT_EQ(r.sim_time_ps, serial[i].sim_time_ps);
+  }
+
+  // The digests also travel through the campaign's own bookkeeping, so a
+  // campaign report can be diffed for determinism without the futures.
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), kSeeds);
+  for (u64 i = 0; i < kSeeds; ++i)
+    EXPECT_EQ(digest_str(stats[i].digest), digest_str(serial[i].digest))
+        << "seed " << (i + 1) << ": JobStats digest diverged";
+}
+
+TEST(DeterminismTest, TimedCompactionDoesNotChangeDigests) {
+  // Compaction rebuilds the timed heap around stale entries; live pop order
+  // — and therefore the trace — must be unaffected.
+  for (const auto& name : scenario_names()) {
+    ScenarioOptions off;
+    off.timed_compaction = false;
+    const auto with = run_scenario(name);
+    const auto without = run_scenario(name, off);
+    ASSERT_TRUE(with.has_value() && without.has_value()) << name;
+    EXPECT_EQ(digest_str(with->digest), digest_str(without->digest))
+        << "scenario " << name << ": compaction changed the schedule";
+  }
+}
+
+TEST(DeterminismTest, InjectedSchedulerPerturbationIsCaught) {
+  // The digest must have teeth: evaluating the runnable queue LIFO instead
+  // of FIFO (the kernel's test-only perturbation hook) has to show up.
+  ScenarioOptions lifo;
+  lifo.lifo_perturbation = true;
+  for (const auto& name : {std::string("quickstart"),
+                           std::string("drcf_thrash_one_slot")}) {
+    const auto base = run_scenario(name);
+    const auto perturbed = run_scenario(name, lifo);
+    ASSERT_TRUE(base.has_value() && perturbed.has_value()) << name;
+    EXPECT_NE(base->digest, perturbed->digest)
+        << "scenario " << name
+        << ": LIFO evaluation went unnoticed by the digest";
+  }
+}
+
+// --- golden suite -----------------------------------------------------------
+
+TEST(GoldenSuiteTest, ScenarioDigestsMatchGoldenFile) {
+  const std::string path = ADRIATIC_GOLDEN_FILE;
+  ASSERT_FALSE(path.empty()) << "build did not define ADRIATIC_GOLDEN_FILE";
+
+  GoldenMap current;
+  for (const auto& name : scenario_names()) {
+    const auto r = run_scenario(name);
+    ASSERT_TRUE(r.has_value()) << name;
+    ASSERT_GT(r->records, 0u) << name << ": scenario produced no trace";
+    current[name] = r->digest;
+  }
+
+  if (std::getenv("ADRIATIC_UPDATE_GOLDEN") != nullptr) {
+    ASSERT_TRUE(write_golden_file(path, current)) << "cannot write " << path;
+    GTEST_SKIP() << "golden digests rewritten to " << path;
+  }
+
+  const auto golden = read_golden_file(path);
+  ASSERT_TRUE(golden.has_value())
+      << path << " missing or malformed — regenerate with "
+      << "ADRIATIC_UPDATE_GOLDEN=1 ctest -R conformance";
+  for (const auto& [name, digest] : current) {
+    const auto it = golden->find(name);
+    ASSERT_NE(it, golden->end())
+        << "scenario " << name << " has no golden digest — regenerate";
+    EXPECT_EQ(digest_str(digest), digest_str(it->second))
+        << "scenario " << name << " drifted from its golden digest; if the "
+        << "scheduler change is intentional, regenerate the golden file";
+  }
+  EXPECT_EQ(golden->size(), current.size())
+      << "golden file lists scenarios that no longer exist — regenerate";
+}
+
+// --- shrinker ---------------------------------------------------------------
+
+TEST(ShrinkerTest, PassingCaseIsReturnedUnchanged) {
+  const auto start = make_case(5);
+  const auto res =
+      shrink_case(start, [](const FuzzCase&) { return false; });
+  EXPECT_EQ(res.minimal, start);
+  EXPECT_EQ(res.accepted, 0u);
+  EXPECT_EQ(res.oracle_calls, 1u);
+}
+
+TEST(ShrinkerTest, ShrinksToMinimalSwitchingCase) {
+  // Oracle: "the transformed run performs >= 2 context switches". The
+  // unique minimal valid shape is two schedule steps touching two distinct
+  // contexts on a single slot — the shrinker must find exactly that.
+  const auto oracle = [](const FuzzCase& fc) {
+    const auto r = run_case(fc);
+    return r.ok && r.context_switches >= 2;
+  };
+  const auto start = make_case(1);
+  ASSERT_TRUE(oracle(start)) << "seed 1 no longer reaches 2 switches";
+
+  const auto res = shrink_case(start, oracle);
+  const auto& m = res.minimal;
+  EXPECT_TRUE(valid(m));
+  EXPECT_GT(res.accepted, 0u);
+  ASSERT_EQ(m.schedule.size(), 2u);
+  EXPECT_NE(m.schedule[0], m.schedule[1]);  // a repeat would hit, not switch
+  EXPECT_EQ(m.n_accels, 2u);
+  EXPECT_EQ(m.n_candidates, 2u);
+  EXPECT_EQ(m.slots, 1u);
+  EXPECT_EQ(m.tech_index, 0u);
+  // Locally minimal: the shrunk case still fails, by definition of accept.
+  EXPECT_TRUE(oracle(m));
+}
+
+// --- replay determinism -----------------------------------------------------
+
+TEST(ReplayTest, ShrunkCaseReplaysDeterministicallyFromFile) {
+  FuzzCase minimal;
+  minimal.n_accels = 2;
+  minimal.n_candidates = 2;
+  minimal.slots = 1;
+  minimal.tech_index = 0;
+  minimal.schedule = {0, 1};
+  ASSERT_TRUE(valid(minimal));
+
+  const std::string path = ::testing::TempDir() + "/minimal.fuzzcase";
+  ASSERT_TRUE(write_replay_file(path, minimal));
+  const auto loaded = read_replay_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, minimal);
+
+  const auto direct = run_case(minimal);
+  const auto replayed1 = run_case(*loaded);
+  const auto replayed2 = run_case(*loaded);
+  ASSERT_TRUE(direct.ok) << direct.failure;
+  EXPECT_EQ(digest_str(replayed1.digest), digest_str(direct.digest));
+  EXPECT_EQ(digest_str(replayed2.digest), digest_str(direct.digest));
+  EXPECT_EQ(replayed1.sim_time_ps, direct.sim_time_ps);
+}
+
+// --- build-mode marker ------------------------------------------------------
+
+TEST(CheckedBuildTest, FlagMatchesCompileDefinition) {
+#ifdef ADRIATIC_CHECKED
+  EXPECT_TRUE(kCheckedBuild);
+#else
+  EXPECT_FALSE(kCheckedBuild);
+#endif
+}
+
+}  // namespace
+}  // namespace adriatic::conformance

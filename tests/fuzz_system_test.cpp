@@ -1,182 +1,53 @@
-// Randomized end-to-end property test: generate random valid designs
-// (accelerator count, kernel mix, candidate subsets, technology, slots,
-// driver schedule), transform, simulate, and check global invariants:
-//   * the processor always finishes (split bus => no deadlock)
-//   * hits + misses == forwarded accesses
-//   * fetched configuration words == switches' context sizes
-//   * per-context activations sum to total switches
-//   * functional results equal the hardwired architecture's
+// Randomized end-to-end property test over the conformance library's
+// FuzzCase generator: every seed becomes a random valid design
+// (accelerator count, kernel mix, candidate subset, technology, slots,
+// driver schedule) that is transformed, simulated and checked against the
+// system-level invariants (no deadlock, functional equivalence with the
+// hardwired reference, accounting closure).
+//
+// On failure the case is delta-debugged to a minimal reproducer and written
+// to a replay file, so the bug can be re-run deterministically — in any
+// build mode — via  ./build/examples/conformance_replay <file>.
 #include <gtest/gtest.h>
 
-#include "accel/accel_lib.hpp"
-#include "netlist/design.hpp"
-#include "netlist/elaborate.hpp"
-#include "transform/transform.hpp"
-#include "util/random.hpp"
+#include <string>
 
-namespace adriatic {
+#include "conformance/fuzz_case.hpp"
+#include "conformance/shrink.hpp"
+
+namespace adriatic::conformance {
 namespace {
-
-using namespace kern::literals;
-
-accel::KernelSpec kernel_by_index(usize i) {
-  switch (i % 5) {
-    case 0:
-      return accel::make_crc_spec();
-    case 1:
-      return accel::make_quant_spec(60);
-    case 2:
-      return accel::make_rle_spec();
-    case 3:
-      return accel::make_fir_spec(accel::fir_lowpass_taps(8));
-    default:
-      return accel::make_fft_spec(32);
-  }
-}
-
-struct FuzzCase {
-  usize n_accels;
-  usize n_candidates;
-  u32 slots;
-  drcf::ReconfigTechnology tech;
-  std::vector<usize> schedule;  // accelerator index per step
-};
-
-FuzzCase make_case(u64 seed) {
-  Xoshiro256 rng(seed);
-  FuzzCase fc;
-  fc.n_accels = 2 + rng.next_below(3);             // 2..4
-  fc.n_candidates = 2 + rng.next_below(fc.n_accels - 1);
-  fc.slots = 1 + static_cast<u32>(rng.next_below(2));
-  const u64 t = rng.next_below(3);
-  fc.tech = t == 0   ? drcf::morphosys_like()
-            : t == 1 ? drcf::varicore_like()
-                     : drcf::virtex2pro_like();
-  // Keep fine-grain contexts small enough for quick runs.
-  fc.tech.bits_per_gate = std::min(fc.tech.bits_per_gate, 2.0);
-  const usize steps = 6 + rng.next_below(10);
-  for (usize s = 0; s < steps; ++s)
-    fc.schedule.push_back(rng.next_below(fc.n_accels));
-  return fc;
-}
-
-netlist::Design build_design(const FuzzCase& fc) {
-  netlist::Design d;
-  d.add("system_bus", netlist::BusDecl{});
-  netlist::MemoryDecl ram;
-  ram.low = 0x1000;
-  ram.words = 2048;
-  ram.bus = "system_bus";
-  d.add("ram", ram);
-  netlist::MemoryDecl cfg;
-  cfg.low = 0x100000;
-  cfg.words = 1u << 16;
-  cfg.bus = "system_bus";
-  d.add("cfg_mem", cfg);
-  for (usize i = 0; i < fc.n_accels; ++i) {
-    netlist::HwAccelDecl acc;
-    acc.base = static_cast<bus::addr_t>(0x100 + i * 0x100);
-    acc.spec = kernel_by_index(i);
-    acc.slave_bus = acc.master_bus = "system_bus";
-    d.add("acc" + std::to_string(i), acc);
-  }
-  netlist::ProcessorDecl cpu;
-  cpu.master_bus = "system_bus";
-  cpu.program = [schedule = fc.schedule](soc::Cpu& c) {
-    std::vector<bus::word> data(32);
-    for (usize i = 0; i < data.size(); ++i)
-      data[i] = static_cast<bus::word>(3 * i + 1);
-    c.burst_write(0x1000, data);
-    for (const usize idx : schedule) {
-      const auto base = static_cast<bus::addr_t>(0x100 + idx * 0x100);
-      c.write(base + soc::HwAccel::kSrc, 0x1000);
-      c.write(base + soc::HwAccel::kDst,
-              static_cast<bus::word>(0x1100 + idx * 0x100));
-      c.write(base + soc::HwAccel::kLen, 32);
-      c.write(base + soc::HwAccel::kCtrl, 1);
-      c.poll_until(base + soc::HwAccel::kStatus, soc::HwAccel::kDone,
-                   200_ns);
-      c.write(base + soc::HwAccel::kStatus, 0);
-    }
-  };
-  d.add("cpu", cpu);
-  return d;
-}
-
-std::vector<bus::word> snapshot_outputs(netlist::Elaborated& e,
-                                        const FuzzCase& fc) {
-  std::vector<bus::word> snapshot;
-  auto& ram = e.get_memory("ram");
-  for (usize i = 0; i < fc.n_accels; ++i)
-    for (u32 w = 0; w < 40; ++w)
-      snapshot.push_back(
-          ram.peek(static_cast<bus::addr_t>(0x1100 + i * 0x100 + w)));
-  return snapshot;
-}
 
 class SystemFuzz : public ::testing::TestWithParam<u64> {};
 
 TEST_P(SystemFuzz, InvariantsHoldUnderRandomDesigns) {
   const auto fc = make_case(GetParam());
+  const auto res = run_case(fc);
+  if (res.ok) return;
 
-  // Hardwired reference.
-  std::vector<bus::word> ref_out;
-  {
-    auto ref_design = build_design(fc);
-    kern::Simulation ref_sim;
-    netlist::Elaborated ref_e(ref_sim, ref_design);
-    ref_sim.run();
-    ASSERT_TRUE(ref_e.get_processor("cpu").finished());
-    ref_out = snapshot_outputs(ref_e, fc);
-  }
-
-  // Transformed design: first n_candidates accelerators share a DRCF.
-  auto d = build_design(fc);
-  std::vector<std::string> candidates;
-  for (usize i = 0; i < fc.n_candidates; ++i)
-    candidates.push_back("acc" + std::to_string(i));
-  transform::TransformOptions opt;
-  opt.drcf_config.technology = fc.tech;
-  opt.drcf_config.slots = fc.slots;
-  opt.config_memory = "cfg_mem";
-  const auto report = transform::transform_to_drcf(d, candidates, opt);
-  ASSERT_TRUE(report.ok) << (report.diagnostics.empty()
-                                 ? std::string("?")
-                                 : report.diagnostics[0]);
-
-  kern::Simulation sim;
-  netlist::Elaborated e(sim, d);
-  sim.run();
-  const auto out = snapshot_outputs(e, fc);
-
-  // Invariant 1: no deadlock on a split bus.
-  ASSERT_TRUE(e.get_processor("cpu").finished())
-      << "seed " << GetParam() << " deadlocked";
-  EXPECT_TRUE(sim.starved_processes().empty());
-
-  // Invariant 2: functional equivalence with the hardwired reference.
-  EXPECT_EQ(out, ref_out) << "seed " << GetParam();
-
-  // Invariants 3-5: accounting closes.
-  auto& fabric = e.get_drcf("drcf1");
-  const auto& s = fabric.stats();
-  u64 accesses = 0;
-  u64 activations = 0;
-  u64 expected_words = 0;
-  for (usize i = 0; i < fabric.context_count(); ++i) {
-    const auto cs = fabric.context_stats(i);
-    accesses += cs.accesses;
-    activations += cs.activations;
-    expected_words += cs.activations * fabric.context_params(i).size_words;
-  }
-  EXPECT_EQ(s.hits + s.misses, accesses);
-  EXPECT_EQ(activations, s.switches);
-  EXPECT_EQ(s.config_words_fetched, expected_words);
-  EXPECT_EQ(s.fetch_errors, 0u);
+  // Shrink to a minimal case that violates the SAME invariant, then emit a
+  // replay file before failing.
+  const std::string original_failure = res.failure;
+  const auto shrunk = shrink_case(fc, [&](const FuzzCase& c) {
+    const auto r = run_case(c);
+    return !r.ok && r.failure == original_failure;
+  });
+  const std::string path = ::testing::TempDir() + "/fuzz_seed_" +
+                           std::to_string(GetParam()) + ".fuzzcase";
+  const bool wrote = write_replay_file(path, shrunk.minimal);
+  FAIL() << "seed " << GetParam() << ": " << original_failure
+         << "\nminimal reproducer (" << shrunk.minimal.schedule.size()
+         << " schedule steps, " << shrunk.oracle_calls
+         << " shrink runs):\n"
+         << serialize(shrunk.minimal)
+         << (wrote ? "replay file: " + path
+                   : std::string("(could not write replay file)"))
+         << "\nreplay with: ./build/examples/conformance_replay "
+         << (wrote ? path : "<file>");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SystemFuzz,
                          ::testing::Range<u64>(1, 21));  // 20 random systems
 
 }  // namespace
-}  // namespace adriatic
+}  // namespace adriatic::conformance

@@ -485,6 +485,84 @@ TEST(TransformTest, SandwichedSlaveRejected) {
   EXPECT_TRUE(transform_to_drcf(d, adjacent, make_options()).ok);
 }
 
+// --- edge cases: degenerate candidate sets must be reported, never
+// silently mis-transformed ---------------------------------------------------
+
+TEST(TransformEdgeCase, EmptyCandidateSetLeavesDesignUntouched) {
+  auto d = make_reference_design();
+  const auto report = transform_to_drcf(d, {}, make_options());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has_warning("no candidate instances"));
+  EXPECT_TRUE(report.candidates.empty());
+  // Nothing was half-applied.
+  EXPECT_FALSE(d.contains("drcf1"));
+  EXPECT_EQ(d.get_if<netlist::HwAccelDecl>("hwa")->slave_bus, "system_bus");
+  EXPECT_EQ(d.get_if<netlist::HwAccelDecl>("hwb")->slave_bus, "system_bus");
+}
+
+TEST(TransformEdgeCase, SingleCandidateWarnsButTransformsCorrectly) {
+  // A one-context DRCF is legal but pointless (it time-shares nothing);
+  // the report must say so instead of transforming silently.
+  auto original = make_reference_design();
+  auto d = make_reference_design();
+  const std::vector<std::string> one{"hwa"};
+  const auto report = transform_to_drcf(d, one, make_options());
+  ASSERT_TRUE(report.ok);
+  EXPECT_TRUE(report.has_warning("single candidate"));
+  EXPECT_TRUE(report.has_warning("time-shares nothing"));
+  ASSERT_EQ(report.candidates.size(), 1u);
+
+  // And the degenerate fabric still computes the right answers: one cold
+  // miss, then every later access hits the resident context.
+  const auto r_orig = run_design(original);
+  const auto r_one = run_design(d);
+  EXPECT_EQ(r_orig.crc_out, r_one.crc_out);
+  EXPECT_EQ(r_orig.mat_out, r_one.mat_out);
+  kern::Simulation sim;
+  Elaborated e(sim, d);
+  sim.run();
+  auto& fabric = e.get_drcf("drcf1");
+  EXPECT_EQ(fabric.context_count(), 1u);
+  EXPECT_EQ(fabric.stats().switches, 1u);
+  EXPECT_EQ(fabric.stats().misses, 1u);
+}
+
+TEST(TransformEdgeCase, DuplicateCandidateNamesTheOffender) {
+  auto d = make_reference_design();
+  const std::vector<std::string> dup{"hwa", "hwb", "hwa"};
+  const auto report = transform_to_drcf(d, dup, make_options());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has_warning("'hwa' listed twice"));
+  EXPECT_FALSE(d.contains("drcf1"));
+  EXPECT_EQ(d.get_if<netlist::HwAccelDecl>("hwa")->slave_bus, "system_bus");
+}
+
+TEST(TransformEdgeCase, DuplicateModuleInstancesStayDistinctContexts) {
+  // Two instances of the SAME accelerator spec are distinct components and
+  // must become two independent contexts, not be deduplicated.
+  auto d = make_reference_design();
+  netlist::HwAccelDecl crc2;
+  crc2.base = 0x300;
+  crc2.spec = accel::make_crc_spec();  // identical spec to hwa
+  crc2.slave_bus = crc2.master_bus = "system_bus";
+  d.add("hwa_twin", crc2);
+
+  const std::vector<std::string> twins{"hwb", "hwa_twin"};
+  const auto report = transform_to_drcf(d, twins, make_options());
+  ASSERT_TRUE(report.ok) << (report.diagnostics.empty()
+                                 ? "?"
+                                 : report.diagnostics[0]);
+  ASSERT_EQ(report.candidates.size(), 2u);
+  EXPECT_NE(report.candidates[0].config_address,
+            report.candidates[1].config_address);
+
+  kern::Simulation sim;
+  Elaborated e(sim, d);
+  sim.run();
+  EXPECT_TRUE(e.get_processor("cpu").finished());
+  EXPECT_EQ(e.get_drcf("drcf1").context_count(), 2u);
+}
+
 TEST(TransformTest, ConfigMemoryTooSmall) {
   auto d = make_reference_design();
   netlist::MemoryDecl tiny;
