@@ -138,7 +138,9 @@ SweepOutcome run_config(const Config& cfg,
     out.error = "did not finish";
     return out;
   }
-  const auto& fs = e.get_drcf("drcf1").stats();
+  const auto& fabric = e.get_drcf("drcf1");
+  const auto& fs = fabric.stats();
+  if (ctx != nullptr) ctx->record_faults(fs.fetch_errors, fabric.fault_ledger());
   const auto area = estimate::drcf_area(kernel_gates, cfg.tech, cfg.slots);
   const double time_us = sim.now().to_us();
   const double energy_uj = fs.reconfig_energy_j * 1e6;

@@ -13,6 +13,7 @@ CampaignRunner::CampaignRunner(usize threads) {
   workers_.reserve(threads);
   for (usize i = 0; i < threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
+  watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 CampaignRunner::~CampaignRunner() {
@@ -22,6 +23,12 @@ CampaignRunner::~CampaignRunner() {
   }
   cv_work_.notify_all();
   for (std::thread& w : workers_) w.join();
+  {
+    std::lock_guard<std::mutex> lk(wmu_);
+    watchdog_shutdown_ = true;
+  }
+  wcv_.notify_all();
+  watchdog_.join();
 }
 
 std::string describe_current_exception() {
@@ -34,7 +41,7 @@ std::string describe_current_exception() {
   }
 }
 
-void CampaignRunner::enqueue(std::string label,
+void CampaignRunner::enqueue(std::string label, JobOptions opt,
                              std::function<void(JobContext&)> body) {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -43,6 +50,7 @@ void CampaignRunner::enqueue(std::string label,
     Job job;
     job.index = records_.size();
     job.label = label;
+    job.opt = opt;
     job.body = std::move(body);
     JobStats placeholder;
     placeholder.index = job.index;
@@ -69,12 +77,23 @@ void CampaignRunner::worker_loop() {
     local.index = job.index;
     local.label = job.label;
     JobContext ctx(&local);
+    ctx.runner_ = this;
+    ctx.wall_timeout_seconds_ = job.opt.wall_timeout_seconds;
     const auto t0 = std::chrono::steady_clock::now();
     job.body(ctx);  // a packaged_task: exceptions land in the job's future
     local.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    local.done = true;
+    // A job that ran past its whole wall budget (all attempts combined)
+    // without the in-simulation watchdog catching it — e.g. it never armed a
+    // guard — is still recorded truthfully as over budget.
+    if (job.opt.wall_timeout_seconds > 0 && !local.quarantined &&
+        local.wall_seconds > job.opt.wall_timeout_seconds *
+                                 std::max<u32>(1u, job.opt.max_attempts)) {
+      local.quarantined = true;
+      local.quarantine_reason = "wall-clock budget exceeded";
+    }
+    local.done = !local.quarantined;
 
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -83,6 +102,75 @@ void CampaignRunner::worker_loop() {
       if (queue_.empty() && inflight_ == 0) cv_idle_.notify_all();
     }
   }
+}
+
+void CampaignRunner::watchdog_loop() {
+  std::unique_lock<std::mutex> lk(wmu_);
+  for (;;) {
+    if (watchdog_shutdown_) return;
+    // Sleep until the earliest armed deadline (or a new watch / shutdown).
+    bool have_deadline = false;
+    std::chrono::steady_clock::time_point next{};
+    for (const Watch& w : watches_) {
+      if (w.fired) continue;
+      if (!have_deadline || w.deadline < next) {
+        next = w.deadline;
+        have_deadline = true;
+      }
+    }
+    if (have_deadline) {
+      wcv_.wait_until(lk, next);
+    } else {
+      wcv_.wait(lk);
+    }
+    if (watchdog_shutdown_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (Watch& w : watches_) {
+      if (w.fired || now < w.deadline) continue;
+      w.fired = true;
+      // request_stop() is the one Simulation entry point that is safe from
+      // another OS thread; the job observes kExplicitStop and its guard
+      // reports the timeout.
+      w.sim->request_stop();
+    }
+  }
+}
+
+u64 CampaignRunner::watch(kern::Simulation& sim, double timeout_seconds) {
+  Watch w;
+  w.sim = &sim;
+  w.deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(timeout_seconds));
+  {
+    std::lock_guard<std::mutex> lk(wmu_);
+    w.id = next_watch_id_++;
+    watches_.push_back(w);
+  }
+  wcv_.notify_all();
+  return w.id;
+}
+
+bool CampaignRunner::unwatch(u64 id) {
+  std::lock_guard<std::mutex> lk(wmu_);
+  for (usize i = 0; i < watches_.size(); ++i) {
+    if (watches_[i].id != id) continue;
+    const bool fired = watches_[i].fired;
+    watches_.erase(watches_.begin() + static_cast<std::ptrdiff_t>(i));
+    return fired;
+  }
+  return false;
+}
+
+WatchdogGuard JobContext::guard(kern::Simulation& sim) {
+  if (runner_ == nullptr || wall_timeout_seconds_ <= 0)
+    return WatchdogGuard(this, 0);
+  return WatchdogGuard(this, runner_->watch(sim, wall_timeout_seconds_));
+}
+
+WatchdogGuard::~WatchdogGuard() {
+  if (id_ == 0) return;
+  if (ctx_->runner_->unwatch(id_)) ctx_->timed_out_ = true;
 }
 
 void CampaignRunner::wait_idle() {

@@ -28,11 +28,24 @@
 #include <utility>
 #include <vector>
 
+#include "fault/ledger.hpp"
 #include "kernel/simulation.hpp"
 #include "kernel/time.hpp"
 #include "util/types.hpp"
 
 namespace adriatic::campaign {
+
+/// Robustness knobs for one submitted job.
+struct JobOptions {
+  /// Total attempts before the job gives up (1 = no retries). A failed
+  /// attempt is one that threw or was stopped by the wall-clock watchdog.
+  u32 max_attempts = 1;
+  /// Wall-clock budget per attempt, enforced while the job holds a
+  /// JobContext::guard() on its Simulation: the runner's watchdog thread
+  /// calls Simulation::request_stop() when the budget expires. Jobs that
+  /// exceed the budget without recovering are quarantined. 0 disables it.
+  double wall_timeout_seconds = 0;
+};
 
 /// Per-job record, reported in submission order regardless of which worker
 /// ran the job or when it finished.
@@ -49,10 +62,39 @@ struct JobStats {
   bool done = false;        ///< Job ran to completion (or failed) already.
   bool failed = false;      ///< Job body threw; `error` holds the message.
   std::string error;
+  u32 attempts = 1;         ///< Attempts actually made (retries + 1).
+  bool quarantined = false; ///< Gave up (timeout / retries exhausted); the
+                            ///< record stays done == false with a reason.
+  std::string quarantine_reason;
+  bool has_faults = false;  ///< record_faults() was called.
+  u64 fetch_errors = 0;       ///< Failed configuration fetches (DRCF).
+  u64 faults_injected = 0;    ///< Injection-side ledger events.
+  u64 fault_events = 0;       ///< Total ledger events.
+  u64 fault_digest = 0;       ///< FaultLedger::digest() of the job's ledger.
 };
 
 /// Message for the exception currently in flight; call only inside `catch`.
 [[nodiscard]] std::string describe_current_exception();
+
+class CampaignRunner;
+class JobContext;
+
+/// RAII registration of one Simulation with the runner's wall-clock
+/// watchdog; created via JobContext::guard(). On destruction the watch is
+/// removed, and if the watchdog fired during its lifetime the owning
+/// attempt is flagged as timed out.
+class WatchdogGuard {
+ public:
+  WatchdogGuard(const WatchdogGuard&) = delete;
+  WatchdogGuard& operator=(const WatchdogGuard&) = delete;
+  ~WatchdogGuard();
+
+ private:
+  friend class JobContext;
+  WatchdogGuard(JobContext* ctx, u64 id) : ctx_(ctx), id_(id) {}
+  JobContext* ctx_;
+  u64 id_;  ///< 0 = no watch registered (timeouts disabled).
+};
 
 /// Handed to job bodies that want their kernel counters in the campaign
 /// report; call record(sim) after sim.run().
@@ -69,8 +111,29 @@ class JobContext {
   /// be diffed for scheduling determinism, job by job.
   void record_digest(u64 digest) { stats_->digest = digest; }
 
+  /// Stores fault counters and the ledger summary (counts + digest) in the
+  /// job's stats; report_json() emits them as the job's "faults" object.
+  void record_faults(u64 fetch_errors, const fault::FaultLedger& ledger) {
+    stats_->has_faults = true;
+    stats_->fetch_errors = fetch_errors;
+    stats_->faults_injected = ledger.injected_count();
+    stats_->fault_events = static_cast<u64>(ledger.records().size());
+    stats_->fault_digest = ledger.digest();
+  }
+
+  /// 1-based attempt currently running (grows with JobOptions::max_attempts).
+  [[nodiscard]] u32 attempt() const noexcept { return stats_->attempts; }
+  /// True once the wall-clock watchdog stopped this attempt's Simulation.
+  [[nodiscard]] bool attempt_timed_out() const noexcept { return timed_out_; }
+
+  /// Arms the job's wall-clock timeout against `sim` for the lifetime of
+  /// the returned guard (typically wrapped around sim.run()). No-op when
+  /// the job has no timeout or runs outside a pool.
+  [[nodiscard]] WatchdogGuard guard(kern::Simulation& sim);
+
  private:
   friend class CampaignRunner;
+  friend class WatchdogGuard;
   template <typename F>
   friend auto run_inline(std::string label, std::vector<JobStats>& records,
                          F fn);
@@ -79,7 +142,18 @@ class JobContext {
     stats_->failed = true;
     stats_->error = std::move(msg);
   }
+  void mark_quarantined(std::string reason) {
+    stats_->quarantined = true;
+    stats_->quarantine_reason = std::move(reason);
+  }
+  void begin_attempt(u32 attempt) {
+    timed_out_ = false;
+    stats_->attempts = attempt;
+  }
   JobStats* stats_;
+  CampaignRunner* runner_ = nullptr;
+  double wall_timeout_seconds_ = 0;
+  bool timed_out_ = false;
 };
 
 class CampaignRunner {
@@ -102,25 +176,64 @@ class CampaignRunner {
   /// the pool or other jobs.
   template <typename F>
   auto submit(std::string label, F fn) {
+    return submit(std::move(label), JobOptions{}, std::move(fn));
+  }
+
+  /// submit() with robustness options: a failing attempt (exception or
+  /// wall-clock timeout) is retried up to opt.max_attempts times; a job
+  /// whose final attempt still fails on timeout — or that exhausts its
+  /// retries on timeouts — is quarantined: its record keeps done == false
+  /// with a reason, and the future carries a std::runtime_error.
+  template <typename F>
+  auto submit(std::string label, JobOptions opt, F fn) {
     constexpr bool kTakesCtx = std::is_invocable_v<F&, JobContext&>;
     using R = std::conditional_t<kTakesCtx,
                                  std::invoke_result<F&, JobContext&>,
                                  std::invoke_result<F&>>::type;
+    const u32 max_attempts = std::max<u32>(1u, opt.max_attempts);
     auto task = std::make_shared<std::packaged_task<R(JobContext&)>>(
-        [f = std::move(fn)](JobContext& ctx) mutable -> R {
-          try {
-            if constexpr (kTakesCtx) {
-              return f(ctx);
-            } else {
-              return f();
+        [f = std::move(fn), max_attempts](JobContext& ctx) mutable -> R {
+          for (u32 attempt = 1;; ++attempt) {
+            ctx.begin_attempt(attempt);
+            try {
+              if constexpr (std::is_void_v<R>) {
+                if constexpr (kTakesCtx) {
+                  f(ctx);
+                } else {
+                  f();
+                }
+                if (!ctx.attempt_timed_out()) return;
+              } else {
+                R result = [&]() -> R {
+                  if constexpr (kTakesCtx) {
+                    return f(ctx);
+                  } else {
+                    return f();
+                  }
+                }();
+                if (!ctx.attempt_timed_out()) return result;
+              }
+            } catch (...) {
+              // A timed-out attempt often surfaces as a secondary exception
+              // (the stopped Simulation violates the job's expectations);
+              // route it through the timeout/retry path below instead of
+              // reporting the symptom.
+              if (!ctx.attempt_timed_out() && attempt >= max_attempts) {
+                ctx.mark_failed(describe_current_exception());
+                throw;
+              }
             }
-          } catch (...) {
-            ctx.mark_failed(describe_current_exception());
-            throw;
+            if (attempt >= max_attempts) {
+              ctx.mark_quarantined(ctx.attempt_timed_out()
+                                       ? "wall-clock timeout"
+                                       : "retries exhausted");
+              throw std::runtime_error("job quarantined: " +
+                                       ctx.stats_->quarantine_reason);
+            }
           }
         });
     std::future<R> fut = task->get_future();
-    enqueue(std::move(label),
+    enqueue(std::move(label), opt,
             [task](JobContext& ctx) { (*task)(ctx); });
     return fut;
   }
@@ -137,14 +250,32 @@ class CampaignRunner {
   [[nodiscard]] std::vector<JobStats> stats() const;
 
  private:
+  friend class JobContext;
+  friend class WatchdogGuard;
+
   struct Job {
     usize index = 0;
     std::string label;
+    JobOptions opt;
     std::function<void(JobContext&)> body;
   };
 
-  void enqueue(std::string label, std::function<void(JobContext&)> body);
+  /// One armed wall-clock watch; lives until its guard is destroyed.
+  struct Watch {
+    u64 id = 0;
+    kern::Simulation* sim = nullptr;
+    std::chrono::steady_clock::time_point deadline;
+    bool fired = false;
+  };
+
+  void enqueue(std::string label, JobOptions opt,
+               std::function<void(JobContext&)> body);
   void worker_loop();
+  void watchdog_loop();
+  /// Registers `sim` with the watchdog; returns the watch id.
+  u64 watch(kern::Simulation& sim, double timeout_seconds);
+  /// Removes a watch; returns whether it fired while armed.
+  bool unwatch(u64 id);
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;
@@ -156,6 +287,15 @@ class CampaignRunner {
   usize inflight_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+
+  // Watchdog state, guarded by wmu_ (separate from mu_: the watchdog must
+  // never contend with the job queue).
+  std::mutex wmu_;
+  std::condition_variable wcv_;
+  std::vector<Watch> watches_;
+  u64 next_watch_id_ = 1;
+  bool watchdog_shutdown_ = false;
+  std::thread watchdog_;
 };
 
 /// Runs one job inline on the calling thread with the same bookkeeping a

@@ -19,6 +19,9 @@ std::string report_json(const std::string& name, usize threads,
   u64 total_deltas = 0;
   u64 done = 0;
   u64 failed = 0;
+  u64 quarantined = 0;
+  u64 total_fetch_errors = 0;
+  u64 total_injected = 0;
   for (const JobStats& s : stats) {
     // A record with done == false is a still-queued/running placeholder
     // (stats() taken before wait_idle()): its metrics are zeros, not
@@ -29,6 +32,9 @@ std::string report_json(const std::string& name, usize threads,
       total_deltas += s.delta_count;
     }
     if (s.failed) ++failed;
+    if (s.quarantined) ++quarantined;
+    total_fetch_errors += s.fetch_errors;
+    total_injected += s.faults_injected;
     w.begin_object();
     w.field("index", static_cast<u64>(s.index));
     w.field("label", s.label);
@@ -42,6 +48,23 @@ std::string report_json(const std::string& name, usize threads,
               strfmt("%016llx", static_cast<unsigned long long>(s.digest)));
     w.field("failed", s.failed);
     if (s.failed) w.field("error", s.error);
+    if (s.attempts > 1) w.field("attempts", static_cast<u64>(s.attempts));
+    if (s.quarantined) {
+      w.field("quarantined", true);
+      w.field("quarantine_reason", s.quarantine_reason);
+    }
+    // The fault summary: availability/degradation curves come from plotting
+    // these per-job counters against the jobs' sweep parameters.
+    if (s.has_faults) {
+      w.key("faults").begin_object();
+      w.field("fetch_errors", s.fetch_errors);
+      w.field("injected", s.faults_injected);
+      w.field("events", s.fault_events);
+      w.field("ledger_digest",
+              strfmt("%016llx",
+                     static_cast<unsigned long long>(s.fault_digest)));
+      w.end();
+    }
     w.end();
   }
   w.end();
@@ -51,6 +74,9 @@ std::string report_json(const std::string& name, usize threads,
   w.field("failed", failed);
   w.field("cpu_seconds", total_wall);
   w.field("delta_cycles", total_deltas);
+  w.field("quarantined", quarantined);
+  w.field("fetch_errors", total_fetch_errors);
+  w.field("faults_injected", total_injected);
   if (total_wall > 0)
     w.field("jobs_per_cpu_second", static_cast<double>(done) / total_wall);
   w.end();

@@ -6,6 +6,7 @@
 
 #include "accel/accel_lib.hpp"
 #include "conformance/digest.hpp"
+#include "fault/plan.hpp"
 #include "kernel/simulation.hpp"
 #include "netlist/elaborate.hpp"
 #include "soc/hwacc.hpp"
@@ -58,6 +59,14 @@ FuzzCase make_case(u64 seed) {
   const usize steps = 6 + rng.next_below(10);
   for (usize s = 0; s < steps; ++s)
     fc.schedule.push_back(rng.next_below(fc.n_accels));
+  // Fault-plan draws extend the stream strictly at the end, so the case a
+  // historical seed generates keeps its original shape (plus, sometimes,
+  // a timing-only fault plan on the configuration-fetch path).
+  if (rng.next_below(4) == 0) {
+    fc.fault_rate_pct = 5 + static_cast<u32>(rng.next_below(16));
+    fc.fault_seed = rng.next();
+    fc.recovery = static_cast<u32>(rng.next_below(4));
+  }
   return fc;
 }
 
@@ -66,6 +75,8 @@ bool valid(const FuzzCase& fc) {
   if (fc.n_candidates < 1 || fc.n_candidates > fc.n_accels) return false;
   if (fc.slots < 1 || fc.slots > 4) return false;
   if (fc.tech_index > 2) return false;
+  if (fc.fault_rate_pct > 100) return false;
+  if (fc.recovery > 3) return false;
   return std::all_of(fc.schedule.begin(), fc.schedule.end(),
                      [&](usize idx) { return idx < fc.n_accels; });
 }
@@ -152,6 +163,23 @@ CaseResult run_case(const FuzzCase& fc) {
   opt.drcf_config.technology = tech_of(fc);
   opt.drcf_config.slots = fc.slots;
   opt.config_memory = "cfg_mem";
+  if (fc.fault_rate_pct > 0) {
+    // Timing-only faults on the fetch path: latency spikes perturb the
+    // schedule without failing any transaction, so every invariant below
+    // must survive them — under any recovery policy.
+    fault::FaultRule rule;
+    rule.rate = static_cast<double>(fc.fault_rate_pct) / 100.0;
+    rule.kind = fault::FaultKind::kDelay;
+    rule.delay = kern::Time::ns(40);
+    rule.reads_only = true;
+    opt.drcf_config.fetch_faults.seed = fc.fault_seed;
+    opt.drcf_config.fetch_faults.rules.push_back(rule);
+    opt.drcf_config.recovery.policy =
+        static_cast<drcf::RecoveryPolicy>(fc.recovery);
+    if (opt.drcf_config.recovery.policy ==
+        drcf::RecoveryPolicy::kFallbackContext)
+      opt.drcf_config.recovery.fallback_context = 0;
+  }
   const auto report = transform::transform_to_drcf(d, candidates, opt);
   if (!report.ok) {
     res.failure = "transform failed: " + (report.diagnostics.empty()
@@ -247,6 +275,14 @@ std::string serialize(const FuzzCase& fc) {
   for (const usize idx : fc.schedule)
     out += strfmt(" %llu", static_cast<unsigned long long>(idx));
   out += "\n";
+  // Fault fields only appear when set, so pre-fault replay files and the
+  // files this writes for fault-free cases stay byte-identical.
+  if (fc.fault_rate_pct > 0) {
+    out += strfmt("fault_rate_pct %u\n", fc.fault_rate_pct);
+    out += strfmt("fault_seed %llu\n",
+                  static_cast<unsigned long long>(fc.fault_seed));
+  }
+  if (fc.recovery != 0) out += strfmt("recovery %u\n", fc.recovery);
   return out;
 }
 
@@ -274,6 +310,12 @@ std::optional<FuzzCase> parse_case(const std::string& text) {
     } else if (key == "schedule") {
       usize idx;
       while (ls >> idx) fc.schedule.push_back(idx);
+    } else if (key == "fault_rate_pct") {
+      ls >> fc.fault_rate_pct;
+    } else if (key == "fault_seed") {
+      ls >> fc.fault_seed;
+    } else if (key == "recovery") {
+      ls >> fc.recovery;
     } else {
       return std::nullopt;  // unknown key: refuse to guess
     }

@@ -23,6 +23,12 @@ struct FuzzCase {
   u32 slots = 1;
   u32 tech_index = 0;  ///< 0 = morphosys, 1 = varicore, 2 = virtex2pro.
   std::vector<usize> schedule;  ///< Accelerator index driven per step.
+  /// Rate (percent) of configuration-fetch transactions hit by an injected
+  /// latency fault (timing-only, so all invariants must still hold). 0 = no
+  /// fault plan at all.
+  u32 fault_rate_pct = 0;
+  u64 fault_seed = 0xF5EED;  ///< Seed of the fault plan (when rate > 0).
+  u32 recovery = 0;  ///< drcf::RecoveryPolicy under the faults (0..3).
 
   bool operator==(const FuzzCase&) const = default;
 };

@@ -6,6 +6,7 @@
 #include "accel/accel_lib.hpp"
 #include "conformance/digest.hpp"
 #include "conformance/fuzz_case.hpp"
+#include "fault/plan.hpp"
 #include "kernel/simulation.hpp"
 #include "netlist/design.hpp"
 #include "netlist/elaborate.hpp"
@@ -200,6 +201,40 @@ FuzzCase drcf_shape(usize n_accels, usize n_candidates, u32 slots,
   return fc;
 }
 
+// -- fault: recovery-policy walks under scripted configuration-fetch faults --
+//
+// Each scenario injects a deterministic scripted fault into the DRCF's
+// fetch path and runs the same two-context shape under a different
+// RecoveryPolicy. The faults are arranged so the CPU never observes a bus
+// error (retry recovers, fallback retargets, scrub re-fetches), keeping the
+// runs deterministic end to end — their digests are golden like any other
+// scenario's.
+ScenarioResult run_fault_shape(drcf::RecoveryPolicy policy,
+                               fault::FaultKind kind, u32 count,
+                               const ScenarioOptions& opt) {
+  const FuzzCase fc = drcf_shape(2, 2, 1, 1, {1, 0, 1});
+  auto d = build_design(fc);
+  transform::TransformOptions topt;
+  topt.drcf_config.technology = tech_of(fc);
+  topt.drcf_config.slots = fc.slots;
+  topt.config_memory = "cfg_mem";
+  fault::ScriptedFault shot;
+  shot.kind = kind;
+  shot.corrupt_bits = 2;
+  shot.count = count;
+  topt.drcf_config.fetch_faults.seed = 0xFA11;
+  topt.drcf_config.fetch_faults.scripted.push_back(shot);
+  topt.drcf_config.recovery.policy = policy;
+  topt.drcf_config.recovery.max_attempts = 4;
+  topt.drcf_config.recovery.backoff = 100_ns;
+  topt.drcf_config.recovery.fallback_context = 0;
+  topt.drcf_config.recovery.scrub_refetches = 2;
+  const std::vector<std::string> candidates{"acc0", "acc1"};
+  const auto report = transform::transform_to_drcf(d, candidates, topt);
+  if (!report.ok) return {};
+  return run_design(d, opt);
+}
+
 struct Scenario {
   std::string name;
   std::function<ScenarioResult(const ScenarioOptions&)> run;
@@ -244,6 +279,22 @@ const std::vector<Scenario>& registry() {
                      return run_drcf_shape(fc, opt);
                    }});
     }
+
+    // Recovery-policy walks: deterministic scripted faults on the fetch
+    // path, one scenario per non-default policy.
+    v.push_back({"fault_retry_backoff", [](const ScenarioOptions& opt) {
+                   return run_fault_shape(drcf::RecoveryPolicy::kRetryBackoff,
+                                          fault::FaultKind::kError, 2, opt);
+                 }});
+    v.push_back(
+        {"fault_fallback_context", [](const ScenarioOptions& opt) {
+           return run_fault_shape(drcf::RecoveryPolicy::kFallbackContext,
+                                  fault::FaultKind::kError, 1, opt);
+         }});
+    v.push_back({"fault_scrub", [](const ScenarioOptions& opt) {
+                   return run_fault_shape(drcf::RecoveryPolicy::kScrub,
+                                          fault::FaultKind::kCorrupt, 1, opt);
+                 }});
     return v;
   }();
   return scenarios;

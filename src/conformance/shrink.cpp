@@ -110,6 +110,21 @@ ShrinkResult shrink_case(const FuzzCase& start,
     progress |= shrink_scalar(
         cur, cur.tech_index, u32{0},
         [](FuzzCase& fc, u32 v) { fc.tech_index = v; }, still_fails, out);
+
+    // Fault plan: first try dropping it outright (one oracle call instead of
+    // rate-many), then walk the rate and the recovery policy down.
+    if (cur.fault_rate_pct > 0) {
+      FuzzCase mutated = cur;
+      mutated.fault_rate_pct = 0;
+      mutated.recovery = 0;
+      progress |= try_accept(cur, mutated, still_fails, out);
+    }
+    progress |= shrink_scalar(
+        cur, cur.fault_rate_pct, u32{0},
+        [](FuzzCase& fc, u32 v) { fc.fault_rate_pct = v; }, still_fails, out);
+    progress |= shrink_scalar(
+        cur, cur.recovery, u32{0},
+        [](FuzzCase& fc, u32 v) { fc.recovery = v; }, still_fails, out);
   }
   return out;
 }

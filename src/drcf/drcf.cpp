@@ -5,22 +5,43 @@
 #include <stdexcept>
 #include <vector>
 
+#include "kernel/sched_trace.hpp"
 #include "kernel/simulation.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace adriatic::drcf {
 
+const char* to_string(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kFailFast:
+      return "fail_fast";
+    case RecoveryPolicy::kRetryBackoff:
+      return "retry_backoff";
+    case RecoveryPolicy::kFallbackContext:
+      return "fallback_context";
+    case RecoveryPolicy::kScrub:
+      return "scrub";
+  }
+  return "?";
+}
+
 Drcf::Drcf(kern::Object& parent, std::string name, DrcfConfig cfg)
     : Module(parent, std::move(name)),
       clk(*this, "clk", /*min_bindings=*/0),
       mst_port(*this, "mst_port"),
-      cfg_(cfg),
-      slot_table_(cfg.slots, cfg.replacement),
+      cfg_(std::move(cfg)),
+      slot_table_(cfg_.slots, cfg_.replacement),
       load_request_event_(sim(), this->name() + ".load_request"),
       any_loaded_event_(sim(), this->name() + ".loaded"),
       fabric_idle_event_(sim(), this->name() + ".fabric_idle"),
       drain_event_(sim(), this->name() + ".drain") {
+  site_id_ = kern::sched_name_hash(this->name());
+  if (!cfg_.fetch_faults.empty()) {
+    fetch_interposer_ = std::make_unique<fault::BusFaultInterposer>(
+        *this, "fetch_faults", cfg_.fetch_faults);
+    fetch_interposer_->set_ledger(&ledger_);
+  }
   spawn_thread("arb_and_instr", [this] { arb_and_instr(); }).set_daemon();
 }
 
@@ -75,16 +96,22 @@ bool Drcf::write(bus::addr_t add, bus::word* data) {
 }
 
 bool Drcf::forward(bus::addr_t add, bus::word* data, bool is_read) {
-  const auto target = decode(add);
-  if (!target.has_value()) return false;
-  Context& ctx = *contexts_[*target];
+  const auto decoded = decode(add);
+  if (!decoded.has_value()) return false;
+  usize target = *decoded;
 
   // Scheduler steps 2-4: forward to the active context, or suspend the call
   // across a context switch.
   bool counted_miss = false;
   const kern::Time t0 = sim().now();
   for (;;) {
-    const auto slot = slot_table_.lookup(*target);
+    // Graceful degradation: a context that terminally failed to load under
+    // kFallbackContext retargets every call to the fallback (this also
+    // covers calls issued long after the give-up happened).
+    if (contexts_[target]->gave_up && !retarget_to_fallback(target, add))
+      return false;
+    Context& ctx = *contexts_[target];
+    const auto slot = slot_table_.lookup(target);
     if (slot.has_value()) {
       if (cfg_.slots == 1 && reconfiguring_) {
         // Single-context fabric is unusable while reconfiguring, even for
@@ -120,21 +147,42 @@ bool Drcf::forward(bus::addr_t add, bus::word* data, bool is_read) {
       ++ctx.stats.blocked_accesses;
     }
     ++ctx.waiters;
-    request_load(*target);
+    request_load(target);
     kern::wait(*ctx.loaded_event);
     --ctx.waiters;
     drain_event_.notify();
-    if (ctx.load_failed) return false;  // configuration fetch failed
+    if (ctx.load_failed) {
+      if (ctx.gave_up) continue;  // loop top retargets to the fallback
+      return false;               // configuration fetch failed
+    }
   }
 }
 
 void Drcf::request_load(usize ctx) {
   if (contexts_.at(ctx)->load_pending) return;
+  if (contexts_[ctx]->gave_up) return;  // terminally failed; never reloaded
   if (slot_table_.lookup(ctx).has_value()) return;
   contexts_[ctx]->load_pending = true;
   contexts_[ctx]->load_failed = false;  // a fresh attempt
   load_queue_.push_back(ctx);
   load_request_event_.notify();
+}
+
+bool Drcf::retarget_to_fallback(usize& target, bus::addr_t& add) {
+  if (cfg_.recovery.policy != RecoveryPolicy::kFallbackContext) return false;
+  if (!cfg_.recovery.fallback_context.has_value()) return false;
+  const usize fb = *cfg_.recovery.fallback_context;
+  if (fb == target || fb >= contexts_.size()) return false;
+  const bus::BusSlaveIf& from = *contexts_[target]->inner;
+  const bus::BusSlaveIf& to = *contexts_[fb]->inner;
+  const bus::addr_t offset = add - from.get_low_add();
+  if (offset > to.get_high_add() - to.get_low_add()) return false;
+  ledger_.append(fault::FaultEventKind::kFallback, sim().now().picoseconds(),
+                 site_id_, add, static_cast<u64>(target));
+  ++stats_.fallback_forwards;
+  add = to.get_low_add() + offset;
+  target = fb;
+  return true;
 }
 
 void Drcf::prefetch(usize ctx) {
@@ -198,35 +246,66 @@ void Drcf::arb_and_instr() {
     // model_config_traffic off, fall back to the analytical delay of the
     // related-work approaches the paper criticises (Sec. 4, [8]).
     bool fetch_ok = true;
-    u64 remaining = cfg_.model_config_traffic ? ctx.params.size_words : 0;
-    if (!cfg_.model_config_traffic && cfg_.assumed_fetch_words_per_us > 0.0) {
-      const double us = static_cast<double>(ctx.params.size_words) /
-                        cfg_.assumed_fetch_words_per_us;
-      kern::wait(kern::Time::ps(static_cast<u64>(us * 1e6)));
-    }
-    bus::addr_t a = ctx.params.config_address;
-    while (remaining > 0) {
-      const usize chunk =
-          static_cast<usize>(std::min<u64>(cfg_.fetch_burst, remaining));
-      fetch_buf.assign(chunk, 0);
-      const auto st = mst_port->burst_read(a, fetch_buf, cfg_.load_priority);
-      if (st != bus::BusStatus::kOk) {
-        log::error() << name() << ": context " << target
-                     << " configuration fetch failed (status "
-                     << static_cast<int>(st) << ")";
+    if (cfg_.model_config_traffic) {
+      u32 attempt = 1;
+      u32 scrubs_left = cfg_.recovery.scrub_refetches;
+      kern::Time backoff = cfg_.recovery.backoff;
+      bool had_failed_attempt = false;
+      for (;;) {
+        const FetchOutcome out = fetch_context(ctx, target, fetch_buf);
+        if (out == FetchOutcome::kOk) {
+          if (had_failed_attempt)
+            ledger_.append(fault::FaultEventKind::kRecovered,
+                           sim().now().picoseconds(), site_id_,
+                           ctx.params.config_address, attempt);
+          break;
+        }
+        had_failed_attempt = true;
+        if (out == FetchOutcome::kDigestMismatch &&
+            cfg_.recovery.policy == RecoveryPolicy::kScrub &&
+            scrubs_left > 0) {
+          // Scrubbing: the words arrived but were corrupted — re-fetch
+          // immediately (no backoff; the source copy is assumed good).
+          --scrubs_left;
+          ++stats_.scrubs;
+          ledger_.append(fault::FaultEventKind::kScrub,
+                         sim().now().picoseconds(), site_id_,
+                         ctx.params.config_address, target);
+          continue;
+        }
+        if (cfg_.recovery.policy == RecoveryPolicy::kRetryBackoff &&
+            attempt < cfg_.recovery.max_attempts) {
+          ++attempt;
+          ++stats_.fetch_retries;
+          ledger_.append(fault::FaultEventKind::kRetry,
+                         sim().now().picoseconds(), site_id_,
+                         ctx.params.config_address, attempt);
+          if (!backoff.is_zero()) kern::wait(backoff);
+          backoff = backoff * 2;
+          continue;
+        }
         fetch_ok = false;
         break;
       }
-      a += static_cast<bus::addr_t>(chunk);
-      remaining -= chunk;
-      stats_.config_words_fetched += chunk;
-      ctx.stats.config_words_fetched += chunk;
+    } else if (cfg_.assumed_fetch_words_per_us > 0.0) {
+      const double us = static_cast<double>(ctx.params.size_words) /
+                        cfg_.assumed_fetch_words_per_us;
+      kern::wait(kern::Time::ps(static_cast<u64>(us * 1e6)));
     }
 
     if (!fetch_ok) {
       // The fabric holds no valid configuration for this context; fail the
       // suspended callers instead of installing garbage (or deadlocking).
-      ++stats_.fetch_errors;
+      // Under kFallbackContext the failure is terminal and the context
+      // degrades: forward() retargets its calls from now on.
+      ++stats_.load_give_ups;
+      ledger_.append(fault::FaultEventKind::kGaveUp, sim().now().picoseconds(),
+                     site_id_, ctx.params.config_address, target);
+      if (cfg_.recovery.policy == RecoveryPolicy::kFallbackContext &&
+          cfg_.recovery.fallback_context.has_value() &&
+          *cfg_.recovery.fallback_context != target &&
+          *cfg_.recovery.fallback_context < contexts_.size())
+        ctx.gave_up = true;
       ctx.load_pending = false;
       ctx.load_failed = true;
       reconfiguring_ = false;
@@ -269,6 +348,72 @@ void Drcf::arb_and_instr() {
   }
 }
 
+bus::BusMasterIf& Drcf::fetch_master() {
+  if (fetch_interposer_ == nullptr) return mst_port[0];
+  // Late binding: the downstream port binding only exists after elaboration,
+  // so the interposer is wired on the first fetch.
+  if (!fetch_interposer_->bound()) fetch_interposer_->bind(mst_port[0]);
+  return *fetch_interposer_;
+}
+
+Drcf::FetchOutcome Drcf::fetch_context(Context& ctx, usize target,
+                                       std::vector<bus::word>& buf) {
+  bus::BusMasterIf& master = fetch_master();
+  const kern::Time start = sim().now();
+  const kern::Time watchdog = cfg_.recovery.watchdog;
+  u64 remaining = ctx.params.size_words;
+  bus::addr_t a = ctx.params.config_address;
+  u64 digest = kConfigDigestSeed;
+  while (remaining > 0) {
+    const usize chunk =
+        static_cast<usize>(std::min<u64>(cfg_.fetch_burst, remaining));
+    buf.assign(chunk, 0);
+    const auto st = master.burst_read(a, buf, cfg_.load_priority);
+    if (st != bus::BusStatus::kOk) {
+      log::error() << name() << ": context " << target
+                   << " configuration fetch failed (status "
+                   << static_cast<int>(st) << ")";
+      ++stats_.fetch_errors;
+      ledger_.append(fault::FaultEventKind::kFetchError,
+                     sim().now().picoseconds(), site_id_, a,
+                     static_cast<u64>(st));
+      return FetchOutcome::kBusError;
+    }
+    for (const bus::word w : buf) digest = config_digest_step(digest, w);
+    a += static_cast<bus::addr_t>(chunk);
+    remaining -= chunk;
+    stats_.config_words_fetched += chunk;
+    ctx.stats.config_words_fetched += chunk;
+    if (!watchdog.is_zero() && sim().now() - start > watchdog) {
+      log::error() << name() << ": context " << target
+                   << " configuration fetch aborted by watchdog after "
+                   << (sim().now() - start).picoseconds() << " ps";
+      ++stats_.watchdog_aborts;
+      ++stats_.fetch_errors;
+      ledger_.append(fault::FaultEventKind::kWatchdogAbort,
+                     sim().now().picoseconds(), site_id_, a,
+                     static_cast<u64>(target));
+      return FetchOutcome::kWatchdog;
+    }
+  }
+  if (ctx.params.expected_digest != 0 &&
+      digest != ctx.params.expected_digest) {
+    log::error() << name() << ": context " << target
+                 << " configuration integrity check failed";
+    ++stats_.digest_mismatches;
+    ++stats_.fetch_errors;
+    ledger_.append(fault::FaultEventKind::kDigestMismatch,
+                   sim().now().picoseconds(), site_id_,
+                   ctx.params.config_address, digest);
+    return FetchOutcome::kDigestMismatch;
+  }
+  return FetchOutcome::kOk;
+}
+
+void Drcf::set_expected_digest(usize ctx, u64 digest) {
+  contexts_.at(ctx)->params.expected_digest = digest;
+}
+
 ContextStats Drcf::context_stats(usize ctx) const {
   const Context& c = *contexts_.at(ctx);
   ContextStats s = c.stats;
@@ -288,6 +433,7 @@ kern::Signal<u32>& Drcf::trace_active_context() {
 
 void Drcf::reset_stats() {
   stats_ = DrcfStats{};
+  ledger_.clear();
   const kern::Time now = sim().now();
   for (auto& c : contexts_) {
     c->stats = ContextStats{};

@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,12 +27,68 @@
 #include "drcf/context.hpp"
 #include "drcf/slot_table.hpp"
 #include "drcf/technology.hpp"
+#include "fault/interposer.hpp"
 #include "kernel/event.hpp"
 #include "kernel/module.hpp"
 #include "kernel/port.hpp"
 #include "kernel/signal.hpp"
 
 namespace adriatic::drcf {
+
+/// What the fabric does when a configuration fetch fails (bus error,
+/// integrity-check mismatch, or watchdog expiry).
+enum class RecoveryPolicy : u8 {
+  /// Fail the affected transactions immediately (the historical behaviour;
+  /// golden traces are recorded under this policy).
+  kFailFast = 0,
+  /// Re-issue the whole fetch up to `max_attempts` times, waiting an
+  /// exponentially growing simulated-time backoff between attempts. Every
+  /// retry generates real configuration bus traffic.
+  kRetryBackoff = 1,
+  /// Give up on the failing context and transparently degrade: all further
+  /// calls to it are retargeted to `fallback_context` (graceful
+  /// degradation, e.g. a smaller/slower implementation of the same
+  /// interface).
+  kFallbackContext = 2,
+  /// Re-fetch the configuration when the integrity check fails (scrubbing a
+  /// corrupted bitstream); bus errors still fail fast.
+  kScrub = 3,
+};
+
+[[nodiscard]] const char* to_string(RecoveryPolicy policy);
+
+struct RecoveryConfig {
+  RecoveryPolicy policy = RecoveryPolicy::kFailFast;
+  /// Total fetch attempts under kRetryBackoff (1 = no retries).
+  u32 max_attempts = 3;
+  /// Simulated-time wait before the first retry; doubles per attempt.
+  kern::Time backoff = kern::Time::ns(100);
+  /// Degradation target for kFallbackContext.
+  std::optional<usize> fallback_context;
+  /// Reconfiguration watchdog: abort a fetch whose duration exceeds this
+  /// (checked at fetch-chunk granularity). Zero disables it.
+  kern::Time watchdog = kern::Time::zero();
+  /// Extra re-fetches allowed on digest mismatch under kScrub.
+  u32 scrub_refetches = 1;
+};
+
+/// FNV-1a over the four bytes of one fetched configuration word — the
+/// integrity check folded over a context's bitstream during fetch.
+[[nodiscard]] constexpr u64 config_digest_step(u64 h, bus::word w) noexcept {
+  const u32 v = static_cast<u32>(w);
+  for (u32 shift = 0; shift < 32; shift += 8)
+    h = (h ^ ((v >> shift) & 0xFFu)) * 1099511628211ULL;
+  return h;
+}
+
+inline constexpr u64 kConfigDigestSeed = 14695981039346656037ULL;
+
+[[nodiscard]] constexpr u64 config_digest(
+    std::span<const bus::word> words) noexcept {
+  u64 h = kConfigDigestSeed;
+  for (const bus::word w : words) h = config_digest_step(h, w);
+  return h;
+}
 
 struct DrcfConfig {
   ReconfigTechnology technology = varicore_like();
@@ -52,6 +109,12 @@ struct DrcfConfig {
   /// Analytical switch delay used when model_config_traffic is false:
   /// size_words / assumed_words_per_second. Zero = instantaneous switches.
   double assumed_fetch_words_per_us = 100.0;
+  /// Behaviour when a configuration fetch fails.
+  RecoveryConfig recovery;
+  /// Fault plan applied to configuration fetches only: a master-path
+  /// interposer between the fabric and its mst_port binding. Empty = no
+  /// injection (and no interposer is created).
+  fault::FaultPlan fetch_faults;
 };
 
 struct DrcfStats {
@@ -60,7 +123,13 @@ struct DrcfStats {
   u64 hits = 0;                ///< Calls served without a switch.
   u64 misses = 0;              ///< Calls that required a switch.
   u64 config_words_fetched = 0;
-  u64 fetch_errors = 0;        ///< Configuration fetches that failed.
+  u64 fetch_errors = 0;        ///< Configuration fetch attempts that failed.
+  u64 fetch_retries = 0;       ///< Retry attempts under kRetryBackoff.
+  u64 digest_mismatches = 0;   ///< Fetches failing the integrity check.
+  u64 scrubs = 0;              ///< Re-fetches triggered by kScrub.
+  u64 watchdog_aborts = 0;     ///< Fetches aborted by the watchdog.
+  u64 fallback_forwards = 0;   ///< Calls degraded to the fallback context.
+  u64 load_give_ups = 0;       ///< Loads that failed terminally.
   kern::Time reconfig_busy_time;  ///< Fabric time spent reconfiguring.
   double reconfig_energy_j = 0.0;
 };
@@ -123,6 +192,17 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   /// value is the last installed context id. Call before the first switch.
   [[nodiscard]] kern::Signal<u32>& trace_active_context();
 
+  /// Sets the expected configuration digest for a context; fetched words
+  /// are folded with config_digest_step() and compared after every load.
+  /// Zero (the default) disables the integrity check for that context.
+  void set_expected_digest(usize ctx, u64 digest);
+
+  /// Structured record of every fault injected into and observed by this
+  /// fabric's configuration-fetch path (shared with the fetch interposer).
+  [[nodiscard]] const fault::FaultLedger& fault_ledger() const noexcept {
+    return ledger_;
+  }
+
   /// Clears aggregate and per-context statistics (steady-state measurement
   /// after warm-up). Residency baselines restart at the current time.
   void reset_stats();
@@ -144,6 +224,17 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
     /// Callers suspended waiting for this context to load; they must get a
     /// chance to forward before the context may be evicted again.
     u32 waiters = 0;
+    /// Recovery exhausted under kFallbackContext: the context is never
+    /// loaded again and calls to it degrade to the fallback context.
+    bool gave_up = false;
+  };
+
+  /// Outcome of one complete configuration-fetch attempt.
+  enum class FetchOutcome : u8 {
+    kOk = 0,
+    kBusError = 1,
+    kDigestMismatch = 2,
+    kWatchdog = 3,
   };
 
   void arb_and_instr();  ///< The scheduler/instrumentation process.
@@ -151,6 +242,17 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   bool forward(bus::addr_t add, bus::word* data, bool is_read);
   [[nodiscard]] std::optional<usize> decode(bus::addr_t add) const;
   void close_residency(Context& c, kern::Time at);
+  /// One complete fetch attempt for `target`'s configuration: chunked burst
+  /// reads, watchdog checks, digest fold + integrity check. Updates stats
+  /// and the ledger for the failure it reports.
+  FetchOutcome fetch_context(Context& ctx, usize target,
+                             std::vector<bus::word>& buf);
+  /// The master interface fetches go through: the fault interposer when a
+  /// fetch_faults plan is configured, the bare mst_port binding otherwise.
+  [[nodiscard]] bus::BusMasterIf& fetch_master();
+  /// Rewrites (target, add) to the fallback context under kFallbackContext;
+  /// false when no valid fallback applies (call must fail instead).
+  bool retarget_to_fallback(usize& target, bus::addr_t& add);
 
   DrcfConfig cfg_;
   std::vector<std::unique_ptr<Context>> contexts_;
@@ -162,6 +264,9 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   kern::Event drain_event_;        ///< A pin or waiter count decreased.
   bool reconfiguring_ = false;
   DrcfStats stats_;
+  fault::FaultLedger ledger_;
+  std::unique_ptr<fault::BusFaultInterposer> fetch_interposer_;
+  u64 site_id_ = 0;  ///< sched_name_hash(name()), the ledger site id.
   std::unique_ptr<kern::Signal<u32>> active_ctx_signal_owner_;
   kern::Signal<u32>* active_ctx_signal_ = nullptr;
 };

@@ -1,0 +1,156 @@
+#include "fault/interposer.hpp"
+
+#include "kernel/sched_trace.hpp"
+#include "kernel/simulation.hpp"
+
+namespace adriatic::fault {
+
+namespace {
+
+FaultEventKind injected_kind(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDelay:
+      return FaultEventKind::kInjectedDelay;
+    case FaultKind::kCorrupt:
+      return FaultEventKind::kInjectedCorrupt;
+    case FaultKind::kError:
+      break;
+  }
+  return FaultEventKind::kInjectedError;
+}
+
+}  // namespace
+
+// -- BusFaultInterposer ------------------------------------------------------
+
+BusFaultInterposer::BusFaultInterposer(kern::Object& parent, std::string name,
+                                       FaultPlan plan)
+    : Module(parent, std::move(name)),
+      injector_(std::move(plan), kern::sched_name_hash(this->name())),
+      site_(kern::sched_name_hash(this->name())) {}
+
+std::optional<FaultAction> BusFaultInterposer::intercept(bus::addr_t add,
+                                                         bool is_read) {
+  auto action = injector_.decide(sim().now(), add, is_read);
+  if (!action.has_value()) return std::nullopt;
+  ledger_->append(injected_kind(action->kind), sim().now().picoseconds(),
+                  site_, add,
+                  action->kind == FaultKind::kCorrupt ? action->corrupt_bits
+                                                      : 0);
+  if (action->kind == FaultKind::kDelay && !action->delay.is_zero())
+    kern::wait(action->delay);
+  return action;
+}
+
+bus::BusStatus BusFaultInterposer::read(bus::addr_t add, bus::word* data,
+                                        u32 priority) {
+  const auto action = intercept(add, /*is_read=*/true);
+  if (action.has_value() && action->kind == FaultKind::kError)
+    return bus::BusStatus::kSlaveError;
+  const auto st = down_->read(add, data, priority);
+  if (st == bus::BusStatus::kOk && data != nullptr && action.has_value() &&
+      action->kind == FaultKind::kCorrupt)
+    *data = static_cast<bus::word>(injector_.corrupt(
+        static_cast<u32>(*data), action->corrupt_bits));
+  return st;
+}
+
+bus::BusStatus BusFaultInterposer::write(bus::addr_t add, bus::word* data,
+                                         u32 priority) {
+  const auto action = intercept(add, /*is_read=*/false);
+  if (action.has_value() && action->kind == FaultKind::kError)
+    return bus::BusStatus::kSlaveError;
+  // Corrupting an outgoing write would mutate the caller's buffer; corrupt
+  // the copy instead so injection stays free of caller-visible side effects.
+  if (action.has_value() && action->kind == FaultKind::kCorrupt &&
+      data != nullptr) {
+    bus::word corrupted = static_cast<bus::word>(injector_.corrupt(
+        static_cast<u32>(*data), action->corrupt_bits));
+    return down_->write(add, &corrupted, priority);
+  }
+  return down_->write(add, data, priority);
+}
+
+bus::BusStatus BusFaultInterposer::burst_read(bus::addr_t add,
+                                              std::span<bus::word> data,
+                                              u32 priority) {
+  const auto action = intercept(add, /*is_read=*/true);
+  if (action.has_value() && action->kind == FaultKind::kError)
+    return bus::BusStatus::kSlaveError;
+  const auto st = down_->burst_read(add, data, priority);
+  if (st == bus::BusStatus::kOk && !data.empty() && action.has_value() &&
+      action->kind == FaultKind::kCorrupt) {
+    const usize idx = static_cast<usize>(injector_.draw_below(data.size()));
+    data[idx] = static_cast<bus::word>(injector_.corrupt(
+        static_cast<u32>(data[idx]), action->corrupt_bits));
+  }
+  return st;
+}
+
+bus::BusStatus BusFaultInterposer::burst_write(
+    bus::addr_t add, std::span<const bus::word> data, u32 priority) {
+  const auto action = intercept(add, /*is_read=*/false);
+  if (action.has_value() && action->kind == FaultKind::kError)
+    return bus::BusStatus::kSlaveError;
+  if (action.has_value() && action->kind == FaultKind::kCorrupt &&
+      !data.empty()) {
+    std::vector<bus::word> corrupted(data.begin(), data.end());
+    const usize idx =
+        static_cast<usize>(injector_.draw_below(corrupted.size()));
+    corrupted[idx] = static_cast<bus::word>(injector_.corrupt(
+        static_cast<u32>(corrupted[idx]), action->corrupt_bits));
+    return down_->burst_write(add, corrupted, priority);
+  }
+  return down_->burst_write(add, data, priority);
+}
+
+// -- SlaveFaultInterposer ----------------------------------------------------
+
+SlaveFaultInterposer::SlaveFaultInterposer(kern::Object& parent,
+                                           std::string name,
+                                           bus::BusSlaveIf& inner,
+                                           FaultPlan plan)
+    : Module(parent, std::move(name)),
+      injector_(std::move(plan), kern::sched_name_hash(this->name())),
+      inner_(&inner),
+      site_(kern::sched_name_hash(this->name())) {}
+
+bool SlaveFaultInterposer::read(bus::addr_t add, bus::word* data) {
+  auto action = injector_.decide(sim().now(), add, /*is_read=*/true);
+  if (action.has_value()) {
+    ledger_->append(injected_kind(action->kind), sim().now().picoseconds(),
+                    site_, add,
+                    action->kind == FaultKind::kCorrupt ? action->corrupt_bits
+                                                        : 0);
+    if (action->kind == FaultKind::kError) return false;
+    if (action->kind == FaultKind::kDelay && !action->delay.is_zero())
+      kern::wait(action->delay);
+  }
+  const bool ok = inner_->read(add, data);
+  if (ok && data != nullptr && action.has_value() &&
+      action->kind == FaultKind::kCorrupt)
+    *data = static_cast<bus::word>(injector_.corrupt(
+        static_cast<u32>(*data), action->corrupt_bits));
+  return ok;
+}
+
+bool SlaveFaultInterposer::write(bus::addr_t add, bus::word* data) {
+  auto action = injector_.decide(sim().now(), add, /*is_read=*/false);
+  if (action.has_value()) {
+    ledger_->append(injected_kind(action->kind), sim().now().picoseconds(),
+                    site_, add,
+                    action->kind == FaultKind::kCorrupt ? action->corrupt_bits
+                                                        : 0);
+    if (action->kind == FaultKind::kError) return false;
+    if (action->kind == FaultKind::kDelay && !action->delay.is_zero())
+      kern::wait(action->delay);
+    if (action->kind == FaultKind::kCorrupt && data != nullptr) {
+      bus::word corrupted = static_cast<bus::word>(injector_.corrupt(
+          static_cast<u32>(*data), action->corrupt_bits));
+      return inner_->write(add, &corrupted);
+    }
+  }
+  return inner_->write(add, data);
+}
+
+}  // namespace adriatic::fault

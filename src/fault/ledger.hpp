@@ -1,0 +1,71 @@
+// The fault ledger: a structured, append-only record of every injected and
+// observed fault in a simulation. Sites are identified by the same stable
+// FNV-1a name hash the scheduler trace uses (kernel/sched_trace.hpp), so
+// ledger entries — like scheduler records — compare bit-exactly between two
+// runs of the same seeded model. `digest()` folds the whole ledger into one
+// comparable value; `to_json()` serialises a summary into campaign reports.
+#pragma once
+
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::fault {
+
+enum class FaultEventKind : u8 {
+  // Injection-side events (recorded by interposers when a plan fires).
+  kInjectedError = 1,
+  kInjectedDelay = 2,
+  kInjectedCorrupt = 3,
+  // Observation/recovery-side events (recorded by fault-aware components,
+  // e.g. the DRCF's configuration-fetch recovery loop).
+  kFetchError = 4,       ///< A configuration fetch returned a bus error.
+  kDigestMismatch = 5,   ///< Fetched configuration failed its integrity check.
+  kWatchdogAbort = 6,    ///< A fetch exceeded the reconfiguration watchdog.
+  kRetry = 7,            ///< A recovery retry was scheduled (arg = attempt).
+  kScrub = 8,            ///< A scrub re-fetch was started.
+  kFallback = 9,         ///< A call degraded to the fallback context.
+  kGaveUp = 10,          ///< Recovery exhausted; the load failed terminally.
+  kRecovered = 11,       ///< A load succeeded after >= 1 failed attempt.
+};
+
+[[nodiscard]] const char* to_string(FaultEventKind kind);
+
+struct FaultRecord {
+  u64 seq = 0;      ///< Append order, 0-based.
+  u64 time_ps = 0;  ///< Simulated time of the event.
+  u64 site = 0;     ///< sched_name_hash() of the recording component.
+  FaultEventKind kind = FaultEventKind::kInjectedError;
+  u64 addr = 0;     ///< Bus address involved (0 when not applicable).
+  u64 arg = 0;      ///< Kind-specific detail (status, attempt, context, ...).
+};
+
+class FaultLedger {
+ public:
+  void append(FaultEventKind kind, u64 time_ps, u64 site, u64 addr = 0,
+              u64 arg = 0);
+
+  [[nodiscard]] const std::vector<FaultRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] u64 count(FaultEventKind kind) const noexcept;
+  /// Total injection-side events (kInjectedError/Delay/Corrupt).
+  [[nodiscard]] u64 injected_count() const noexcept;
+
+  /// Order-sensitive splitmix64 fold over every record — the ledger's
+  /// counterpart of conformance::TraceDigest.
+  [[nodiscard]] u64 digest() const noexcept;
+
+  /// Writes a summary object: record/injection counts, per-kind counts for
+  /// kinds that occurred, and the 16-hex-digit ledger digest.
+  void to_json(JsonWriter& w) const;
+
+  void clear() noexcept { records_.clear(); }
+
+ private:
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace adriatic::fault

@@ -1,0 +1,149 @@
+// Deterministic fault plans: a seeded description of *which* bus
+// transactions fail and *how*. A plan combines rate-based rules (a fraction
+// of matching transactions is hit) with scripted one-shot faults (the first
+// N matching transactions at/after a given simulated time), both optionally
+// restricted to an address window. The same plan + seed + traffic sequence
+// reproduces the same fault sequence bit-exactly in any build mode — which
+// is what lets fault campaigns regress against golden scheduler digests.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <vector>
+
+#include "bus/interfaces.hpp"
+#include "kernel/time.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::fault {
+
+enum class FaultKind : u8 {
+  kDelay = 0,    ///< Stall the transaction by `delay` (timing-only).
+  kError = 1,    ///< Fail the transaction (bus::BusStatus::kSlaveError).
+  kCorrupt = 2,  ///< Complete it, but flip bits in the payload.
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// Rate-based injection: every transaction matching the window draws once
+/// against `rate`.
+struct FaultRule {
+  double rate = 0.0;  ///< Per-transaction hit probability (0 disables).
+  FaultKind kind = FaultKind::kError;
+  /// Inject only within [window_low, window_high] (0,0 = everywhere).
+  bus::addr_t window_low = 0;
+  bus::addr_t window_high = 0;
+  /// Active simulated-time window; `until` == zero means no upper bound.
+  kern::Time from = kern::Time::zero();
+  kern::Time until = kern::Time::zero();
+  kern::Time delay = kern::Time::ns(100);  ///< Stall for kDelay hits.
+  u32 corrupt_bits = 1;                    ///< Bits flipped for kCorrupt hits.
+  bool reads_only = false;                 ///< Skip write transactions.
+};
+
+/// Scripted injection: the first `count` matching transactions observed
+/// at/after `at` are hit — the deterministic "this exact fetch fails twice"
+/// building block used by recovery-policy scenarios.
+struct ScriptedFault {
+  kern::Time at = kern::Time::zero();
+  FaultKind kind = FaultKind::kError;
+  bus::addr_t window_low = 0;
+  bus::addr_t window_high = 0;
+  kern::Time delay = kern::Time::ns(100);
+  u32 corrupt_bits = 1;
+  u32 count = 1;
+};
+
+struct FaultPlan {
+  u64 seed = 0xADF0;
+  std::vector<FaultRule> rules;
+  std::vector<ScriptedFault> scripted;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return rules.empty() && scripted.empty();
+  }
+};
+
+/// What the injector decided for one transaction.
+struct FaultAction {
+  FaultKind kind = FaultKind::kError;
+  kern::Time delay = kern::Time::zero();
+  u32 corrupt_bits = 1;
+};
+
+/// Flips `nbits` *distinct* bit positions of `value` (a multi-bit upset of
+/// the configured weight — never self-cancelling). Draws from `rng` until
+/// the mask has the requested popcount; one draw when nbits == 1, so
+/// single-bit users keep their historical random streams.
+[[nodiscard]] inline u32 flip_distinct_bits(u32 value, u32 nbits,
+                                            Xoshiro256& rng) {
+  nbits = std::min<u32>(std::max<u32>(nbits, 1), 32);
+  u32 mask = 0;
+  while (static_cast<u32>(std::popcount(mask)) < nbits)
+    mask |= 1u << rng.next_below(32);
+  return value ^ mask;
+}
+
+/// The stateful, deterministic decision engine for one injection site. The
+/// RNG stream is seeded from plan.seed XOR the site id, so two interposers
+/// sharing a plan still draw independent (but reproducible) streams.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, u64 site_id)
+      : plan_(std::move(plan)),
+        remaining_(plan_.scripted.size()),
+        rng_(plan_.seed ^ site_id) {
+    for (usize i = 0; i < plan_.scripted.size(); ++i)
+      remaining_[i] = plan_.scripted[i].count;
+  }
+
+  /// Decides the fate of one transaction. Scripted faults take precedence
+  /// (in plan order); then every matching rate rule draws once.
+  [[nodiscard]] std::optional<FaultAction> decide(kern::Time now,
+                                                  bus::addr_t addr,
+                                                  bool is_read) {
+    for (usize i = 0; i < plan_.scripted.size(); ++i) {
+      const ScriptedFault& f = plan_.scripted[i];
+      if (remaining_[i] == 0 || now < f.at) continue;
+      if (!in_window(addr, f.window_low, f.window_high)) continue;
+      --remaining_[i];
+      return FaultAction{f.kind, f.delay, f.corrupt_bits};
+    }
+    for (const FaultRule& r : plan_.rules) {
+      if (r.rate <= 0.0) continue;
+      if (r.reads_only && !is_read) continue;
+      if (!in_window(addr, r.window_low, r.window_high)) continue;
+      if (now < r.from) continue;
+      if (!r.until.is_zero() && now > r.until) continue;
+      if (rng_.next_bool(r.rate))
+        return FaultAction{r.kind, r.delay, r.corrupt_bits};
+    }
+    return std::nullopt;
+  }
+
+  /// Deterministic auxiliary draw (e.g. which burst word to corrupt).
+  [[nodiscard]] u64 draw_below(u64 bound) { return rng_.next_below(bound); }
+
+  /// Corrupts `value` with `nbits` distinct flipped bits from this site's
+  /// random stream.
+  [[nodiscard]] u32 corrupt(u32 value, u32 nbits) {
+    return flip_distinct_bits(value, nbits, rng_);
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  [[nodiscard]] static bool in_window(bus::addr_t a, bus::addr_t lo,
+                                      bus::addr_t hi) noexcept {
+    if (lo == 0 && hi == 0) return true;
+    return a >= lo && a <= hi;
+  }
+
+  FaultPlan plan_;
+  std::vector<u32> remaining_;  ///< Shots left per scripted entry.
+  Xoshiro256 rng_;
+};
+
+}  // namespace adriatic::fault

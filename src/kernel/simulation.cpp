@@ -325,12 +325,15 @@ StopReason Simulation::run(Time duration) {
     while (!runnable_.empty() || !update_queue_.empty() ||
            !delta_queue_.empty() || !pending_dynamic_.empty()) {
       delta_cycle();
-      if (stop_requested_) {
+      if (stop_requested_ || consume_external_stop()) {
         sample_tracers();
         return StopReason::kExplicitStop;
       }
     }
     sample_tracers();
+    // Cross-thread stop (campaign watchdog): honoured between time steps so
+    // a run dominated by timed activity still stops promptly.
+    if (consume_external_stop()) return StopReason::kExplicitStop;
 
     // Advance to the next valid timed notification.
     for (;;) {

@@ -2,6 +2,7 @@
 // timed-notify phases per the SystemC 2.0 functional specification.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -43,6 +44,13 @@ class Simulation {
   StopReason run(Time duration = Time::max());
   /// Requests the scheduler to stop after the current delta cycle.
   void stop() noexcept { stop_requested_ = true; }
+  /// Thread-safe stop request (e.g. a campaign watchdog on another OS
+  /// thread): sticky until observed by run(), which returns kExplicitStop
+  /// at the next delta-cycle or time-advance boundary. Unlike stop(), this
+  /// is safe to call while run() is executing on a different thread.
+  void request_stop() noexcept {
+    external_stop_.store(true, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] u64 delta_count() const noexcept { return delta_count_; }
@@ -151,6 +159,13 @@ class Simulation {
   [[nodiscard]] const TimedEntry& timed_top() const { return timed_queue_.front(); }
   void compact_timed_queue();
 
+  /// True (and clears the flag) when request_stop() fired since last check.
+  [[nodiscard]] bool consume_external_stop() noexcept {
+    if (!external_stop_.load(std::memory_order_relaxed)) return false;
+    external_stop_.store(false, std::memory_order_relaxed);
+    return true;
+  }
+
   /// Reports a scheduler decision to the observer, if one is installed.
   void emit(SchedRecord::Kind kind, u64 id) {
     if (observer_ != nullptr) [[unlikely]]
@@ -165,6 +180,9 @@ class Simulation {
   u64 timed_stale_ = 0;  ///< Upper-bound estimate of stale timed entries.
   bool elaborated_ = false;
   bool stop_requested_ = false;
+  /// Set by request_stop() from any OS thread; checked (and consumed) by
+  /// run() at delta-cycle and time-advance boundaries.
+  std::atomic<bool> external_stop_{false};
   bool timed_compaction_enabled_ = true;
   bool debug_lifo_evaluation_ = false;
   bool sampling_tracers_ = false;  ///< Guards tracers_ mutation during sampling.

@@ -4,6 +4,7 @@
 // observably (e.g. the CRC stage catches it) rather than masking faults.
 #pragma once
 
+#include "fault/plan.hpp"
 #include "memory/memory.hpp"
 #include "util/random.hpp"
 
@@ -37,10 +38,10 @@ class FaultyMemory : public Memory {
     if (!in_window(add)) return true;
     if (fault_.read_error_rate > 0.0 &&
         rng_.next_bool(fault_.read_error_rate)) {
-      u32 v = static_cast<u32>(*data);
-      for (u32 i = 0; i < std::max<u32>(1, fault_.bits_per_error); ++i)
-        v ^= 1u << rng_.next_below(32);
-      *data = static_cast<bus::word>(v);
+      // Distinct bit positions: repeated draws of the same position must not
+      // cancel out, or an even-weight upset could silently be a no-op.
+      *data = static_cast<bus::word>(fault::flip_distinct_bits(
+          static_cast<u32>(*data), fault_.bits_per_error, rng_));
       ++injected_errors_;
     }
     return true;

@@ -139,11 +139,17 @@ Elaborated::Elaborated(kern::Simulation& sim, const Design& design,
             if (params.config_address >= mem.get_low_add() &&
                 params.config_address + params.size_words - 1 <=
                     mem.get_high_add()) {
-              for (u64 w = 0; w < params.size_words; ++w)
-                mem.poke(
-                    params.config_address + static_cast<bus::addr_t>(w),
-                    static_cast<bus::word>(kBitstreamPattern |
-                                           static_cast<u32>(ctx)));
+              // Fold the words as poked into the expected digest, arming
+              // the fabric's fetch integrity check for this context.
+              u64 digest = drcf::kConfigDigestSeed;
+              for (u64 w = 0; w < params.size_words; ++w) {
+                const auto word = static_cast<bus::word>(
+                    kBitstreamPattern | static_cast<u32>(ctx));
+                mem.poke(params.config_address + static_cast<bus::addr_t>(w),
+                         word);
+                digest = drcf::config_digest_step(digest, word);
+              }
+              fabric.set_expected_digest(ctx, digest);
               break;
             }
             (void)mm;

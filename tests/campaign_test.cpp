@@ -4,8 +4,10 @@
 // must reach its future without harming the pool.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "campaign/campaign.hpp"
@@ -235,6 +237,121 @@ TEST(CampaignTest, ReportFlagsUnfinishedRecords) {
   EXPECT_NE(json.find("\"jobs\":2,\"done\":1,\"failed\":0,"
                       "\"cpu_seconds\":0.5,\"delta_cycles\":10"),
             std::string::npos);
+}
+
+TEST(CampaignTest, RetrySucceedsOnLaterAttempt) {
+  CampaignRunner runner(2);
+  JobOptions opt;
+  opt.max_attempts = 3;
+  auto flaky = runner.submit("flaky", opt, [](JobContext& ctx) {
+    if (ctx.attempt() < 3) throw std::runtime_error("transient");
+    return 42;
+  });
+  EXPECT_EQ(flaky.get(), 42);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].done);
+  EXPECT_FALSE(stats[0].failed);
+  EXPECT_FALSE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].attempts, 3u);
+}
+
+TEST(CampaignTest, RetriesExhaustedReportFinalError) {
+  CampaignRunner runner(1);
+  JobOptions opt;
+  opt.max_attempts = 2;
+  auto doomed = runner.submit("doomed", opt,
+                              []() -> int { throw std::runtime_error("permanent"); });
+  EXPECT_THROW(doomed.get(), std::runtime_error);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].failed);
+  EXPECT_EQ(stats[0].error, "permanent");
+  EXPECT_EQ(stats[0].attempts, 2u);
+  EXPECT_FALSE(stats[0].quarantined);
+}
+
+TEST(CampaignTest, WatchdogQuarantinesHungJob) {
+  CampaignRunner runner(2);
+  JobOptions opt;
+  opt.wall_timeout_seconds = 0.15;
+  auto hung = runner.submit("hung", opt, [](JobContext& ctx) {
+    kern::Simulation sim;
+    kern::Module top(sim, "top");
+    top.spawn_thread("spin", [] {
+      for (;;) kern::wait(Time::us(1));  // simulates forever
+    });
+    auto g = ctx.guard(sim);
+    sim.run();  // only the watchdog's request_stop() can end this
+    return ctx.attempt_timed_out() ? -1 : 0;
+  });
+  // A well-behaved sibling on the same pool is unaffected.
+  auto good = runner.submit("good", [] {
+    kern::Simulation sim;
+    kern::Module top(sim, "top");
+    top.spawn_thread("t", [] { kern::wait(Time::ns(5)); });
+    sim.run();
+    return 7;
+  });
+  EXPECT_THROW(hung.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 7);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_FALSE(stats[0].done);  // quarantined records stay unfinished
+  EXPECT_TRUE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].quarantine_reason, "wall-clock timeout");
+  EXPECT_TRUE(stats[1].done);
+  EXPECT_FALSE(stats[1].quarantined);
+}
+
+TEST(CampaignTest, ReportCarriesQuarantineAndFaultFields) {
+  std::vector<JobStats> stats(2);
+  stats[0].index = 0;
+  stats[0].label = "clean";
+  stats[0].done = true;
+  stats[0].has_faults = true;
+  stats[0].fetch_errors = 2;
+  stats[0].faults_injected = 3;
+  stats[0].fault_events = 5;
+  stats[0].fault_digest = 0x0123'4567'89ab'cdefull;
+  stats[1].index = 1;
+  stats[1].label = "stuck";
+  stats[1].attempts = 2;
+  stats[1].quarantined = true;
+  stats[1].quarantine_reason = "wall-clock timeout";
+  const std::string json = report_json("unit", 1, stats);
+  EXPECT_NE(json.find("\"faults\":{\"fetch_errors\":2,\"injected\":3,"
+                      "\"events\":5,\"ledger_digest\":\"0123456789abcdef\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"attempts\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"quarantined\":true,"
+                      "\"quarantine_reason\":\"wall-clock timeout\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"quarantined\":1"), std::string::npos);  // totals
+  EXPECT_NE(json.find("\"fetch_errors\":2,\"faults_injected\":3"),
+            std::string::npos);  // totals tail
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(CampaignTest, RequestStopIsSafeFromAnotherThread) {
+  // The watchdog's only interface to a running job: request_stop() from a
+  // foreign thread must end an otherwise-unbounded run().
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  top.spawn_thread("spin", [] {
+    for (;;) kern::wait(Time::us(1));
+  });
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sim.request_stop();
+  });
+  const auto reason = sim.run();
+  stopper.join();
+  EXPECT_EQ(reason, kern::StopReason::kExplicitStop);
 }
 
 }  // namespace
