@@ -6,12 +6,18 @@
 //   ./build/examples/conformance_replay crash.fuzzcase
 //   ./build/examples/conformance_replay --seed 7        # generate + run
 //   ./build/examples/conformance_replay --seed 7 --dump # print, don't run
+//   ./build/examples/conformance_replay --seed 7 --timeout 30
 //
 // Exit status: 0 = all invariants hold, 1 = a violation reproduced,
-// 2 = usage / unreadable file.
+// 2 = usage / unreadable file, 3 = replay exceeded --timeout (hung).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "conformance/digest.hpp"
 #include "conformance/fuzz_case.hpp"
@@ -20,30 +26,37 @@
 using namespace adriatic;
 using namespace adriatic::conformance;
 
+namespace {
+// Set by main() when the replay finishes; read by the watchdog thread.
+std::atomic<bool> g_replay_done{false};
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string path;
   bool dump = false;
   bool have_seed = false;
   u64 seed = 0;
+  unsigned long timeout_sec = 0;
+  const auto usage = [] {
+    std::cerr << "usage: conformance_replay <file.fuzzcase> | --seed N "
+                 "[--dump] [--timeout SEC]\n";
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
       have_seed = true;
     } else if (std::strcmp(argv[i], "--dump") == 0) {
       dump = true;
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout_sec = std::strtoul(argv[++i], nullptr, 10);
     } else if (argv[i][0] != '-' && path.empty()) {
       path = argv[i];
     } else {
-      std::cerr << "usage: conformance_replay <file.fuzzcase> | --seed N "
-                   "[--dump]\n";
-      return 2;
+      return usage();
     }
   }
-  if (path.empty() == !have_seed) {  // exactly one source required
-    std::cerr << "usage: conformance_replay <file.fuzzcase> | --seed N "
-                 "[--dump]\n";
-    return 2;
-  }
+  if (path.empty() == !have_seed) return usage();  // exactly one source
 
   FuzzCase fc;
   if (have_seed) {
@@ -63,7 +76,24 @@ int main(int argc, char** argv) {
 
   std::cout << "build mode: " << (kCheckedBuild ? "checked" : "release")
             << "\n";
+  if (timeout_sec > 0) {
+    // Wall-clock hang guard: a replay wedged inside the kernel cannot be
+    // stopped cooperatively, so a detached watchdog thread hard-exits the
+    // process. _Exit skips atexit/destructors — the process is by
+    // definition in an unknown state when this fires.
+    std::thread([timeout_sec] {
+      std::this_thread::sleep_for(std::chrono::seconds(timeout_sec));
+      if (!g_replay_done.load(std::memory_order_acquire)) {
+        std::fprintf(stderr,
+                     "conformance_replay: replay still running after %lu s, "
+                     "giving up (hang)\n",
+                     timeout_sec);
+        std::_Exit(3);
+      }
+    }).detach();
+  }
   const auto res = run_case(fc);
+  g_replay_done.store(true, std::memory_order_release);
   std::cout << "digest: " << digest_str(res.digest)
             << "\nsim time: " << res.sim_time_ps << " ps"
             << "\ncontext switches: " << res.context_switches << "\n";

@@ -10,12 +10,24 @@
 //
 // Build & run:  ./build/examples/dse_explorer [--serial] [--jobs N]
 //                                             [--report FILE.json]
+//                                             [--journal FILE.wal |
+//                                              --resume FILE.wal]
+//
+// --journal write-ahead-logs every job so a killed sweep restarts with
+// --resume, re-running only the design points the journal does not show as
+// done. SIGINT/SIGTERM stop the sweep gracefully: running simulations get
+// request_stop() and --report still emits a valid partial report (exit 130);
+// the Pareto front is only printed when every point completed.
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "accel/accel_lib.hpp"
 #include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
 #include "campaign/report.hpp"
 #include "dse/pareto.hpp"
 #include "estimate/area.hpp"
@@ -132,8 +144,19 @@ SweepOutcome run_config(const Config& cfg,
   }
   kern::Simulation sim;
   netlist::Elaborated e(sim, d);
-  sim.run();
+  if (ctx != nullptr) {
+    // The guard lets a SIGINT/SIGTERM broadcast (or wall-clock watchdog)
+    // reach this job's kernel via request_stop().
+    const auto g = ctx->guard(sim);
+    sim.run();
+  } else {
+    sim.run();
+  }
   if (ctx != nullptr) ctx->record(sim);
+  if (ctx != nullptr && ctx->interrupted()) {
+    out.error = "interrupted";
+    return out;
+  }
   if (!e.get_processor("cpu").finished()) {
     out.error = "did not finish";
     return out;
@@ -166,8 +189,17 @@ SweepOutcome run_hardwired(u64 hw_gates, campaign::JobContext* ctx) {
   auto d = make_app(false);
   kern::Simulation sim;
   netlist::Elaborated e(sim, d);
-  sim.run();
+  if (ctx != nullptr) {
+    const auto g = ctx->guard(sim);
+    sim.run();
+  } else {
+    sim.run();
+  }
   if (ctx != nullptr) ctx->record(sim);
+  if (ctx != nullptr && ctx->interrupted()) {
+    out.error = "interrupted";
+    return out;
+  }
   out.row = {Table::num(sim.now().to_us(), 1)};
   out.point = {"hardwired",
                {sim.now().to_us(), static_cast<double>(hw_gates), 0.0, 1.0}};
@@ -181,6 +213,8 @@ int main(int argc, char** argv) {
   bool serial = false;
   usize jobs = 0;  // 0 = default_thread_count()
   std::string report_path;
+  std::string journal_path;
+  std::string resume_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serial") == 0) {
       serial = true;
@@ -194,11 +228,25 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+      resume_path = argv[++i];
     } else {
       std::cerr << "usage: dse_explorer [--serial] [--jobs N] "
-                   "[--report FILE.json]\n";
+                   "[--report FILE.json] [--journal FILE.wal | "
+                   "--resume FILE.wal]\n";
       return 2;
     }
+  }
+  if (!journal_path.empty() && !resume_path.empty()) {
+    std::cerr << "dse_explorer: --journal and --resume are exclusive\n";
+    return 2;
+  }
+  if (serial && (!journal_path.empty() || !resume_path.empty())) {
+    std::cerr << "dse_explorer: journaling requires the pool runner "
+                 "(drop --serial)\n";
+    return 2;
   }
 
   const std::vector<std::string> candidates{"fir", "fft", "aes"};
@@ -220,43 +268,136 @@ int main(int argc, char** argv) {
   }
   const u64 hw_gates = estimate::hardwired_gates(kernel_gates);
 
+  // The sweep's job list: every design point plus the hardwired reference.
+  const usize n_jobs = configs.size() + 1;
+  const auto job_label = [&](usize i) {
+    return i < configs.size() ? configs[i].label : std::string("hardwired");
+  };
+
+  // Journal / resume setup; --resume refuses a journal whose planned job
+  // set does not match this sweep.
+  std::unique_ptr<campaign::CampaignJournal> journal;
+  std::map<usize, campaign::JobStats> restored;
+  std::vector<bool> rerun(n_jobs, true);
+  if (!resume_path.empty()) {
+    const auto state = campaign::read_journal(resume_path);
+    if (!state.has_value()) {
+      std::cerr << "dse_explorer: cannot read journal '" << resume_path
+                << "'\n";
+      return 2;
+    }
+    if (state->campaign != "dse_explorer") {
+      std::cerr << "dse_explorer: journal belongs to campaign '"
+                << state->campaign << "', refusing to resume\n";
+      return 2;
+    }
+    for (usize i = 0; i < n_jobs; ++i) {
+      const auto it = state->planned.find(i);
+      if (it == state->planned.end() ||
+          it->second.spec != campaign::spec_hash(job_label(i))) {
+        std::cerr << "dse_explorer: journal job " << i
+                  << " does not match this sweep, refusing to resume\n";
+        return 2;
+      }
+    }
+    if (state->torn_lines > 0)
+      std::cerr << "dse_explorer: dropped " << state->torn_lines
+                << " torn journal line(s) (crash mid-append)\n";
+    for (const auto& [idx, stats] : state->completed) {
+      if (idx >= n_jobs) continue;
+      restored.emplace(idx, stats);
+      rerun[idx] = false;
+    }
+    journal = campaign::CampaignJournal::append_to(resume_path);
+    if (journal == nullptr) {
+      std::cerr << "dse_explorer: cannot append to journal '" << resume_path
+                << "'\n";
+      return 2;
+    }
+  } else if (!journal_path.empty()) {
+    journal = campaign::CampaignJournal::create(journal_path, "dse_explorer");
+    if (journal == nullptr) {
+      std::cerr << "dse_explorer: cannot create journal '" << journal_path
+                << "'\n";
+      return 2;
+    }
+    for (usize i = 0; i < n_jobs; ++i)
+      journal->record_planned(i, campaign::spec_hash(job_label(i)),
+                              job_label(i));
+  }
+
   // Run every design point; `outcomes` ends up in submission order either
   // way, so all downstream output is byte-identical between modes, and both
   // modes record the JobStats that --report serialises.
-  std::vector<SweepOutcome> outcomes;
+  std::vector<SweepOutcome> outcomes(n_jobs);
   std::vector<campaign::JobStats> job_stats;
   usize threads_used = 1;
+  bool interrupted = false;
   if (serial) {
-    for (const auto& cfg : configs)
-      outcomes.push_back(campaign::run_inline(
-          cfg.label, job_stats, [&](campaign::JobContext& ctx) {
-            return run_config(cfg, candidates, kernel_gates, &ctx);
-          }));
-    outcomes.push_back(
+    for (usize i = 0; i < configs.size(); ++i)
+      outcomes[i] = campaign::run_inline(
+          configs[i].label, job_stats, [&](campaign::JobContext& ctx) {
+            return run_config(configs[i], candidates, kernel_gates, &ctx);
+          });
+    outcomes[configs.size()] =
         campaign::run_inline("hardwired", job_stats,
                              [&](campaign::JobContext& ctx) {
                                return run_hardwired(hw_gates, &ctx);
-                             }));
+                             });
   } else {
     campaign::CampaignRunner runner(
         jobs != 0 ? jobs : campaign::default_thread_count());
     threads_used = runner.thread_count();
-    std::vector<std::future<SweepOutcome>> futures;
-    for (const auto& cfg : configs) {
-      futures.push_back(
-          runner.submit(cfg.label, [&, cfg](campaign::JobContext& ctx) {
+    // SIGINT/SIGTERM wind the sweep down gracefully: running simulations
+    // are stopped via their guards, pending jobs quarantine as
+    // "interrupted", and the partial report stays valid.
+    campaign::install_stop_signal_handlers();
+    runner.enable_signal_stop();
+    if (journal != nullptr) runner.set_journal(journal.get());
+    std::vector<std::pair<usize, std::future<SweepOutcome>>> futures;
+    for (usize i = 0; i < configs.size(); ++i) {
+      if (!rerun[i]) continue;
+      campaign::JobOptions o;
+      o.stats_index = i;  // resumed jobs keep their original indices
+      const Config cfg = configs[i];
+      futures.emplace_back(
+          i, runner.submit(cfg.label, o, [&, cfg](campaign::JobContext& ctx) {
             return run_config(cfg, candidates, kernel_gates, &ctx);
           }));
     }
-    futures.push_back(
-        runner.submit("hardwired", [&](campaign::JobContext& ctx) {
-          return run_hardwired(hw_gates, &ctx);
-        }));
-    for (auto& f : futures) outcomes.push_back(f.get());
+    if (rerun[configs.size()]) {
+      campaign::JobOptions o;
+      o.stats_index = configs.size();
+      futures.emplace_back(configs.size(),
+                           runner.submit("hardwired", o,
+                                         [&](campaign::JobContext& ctx) {
+                                           return run_hardwired(hw_gates,
+                                                                &ctx);
+                                         }));
+    }
+    for (auto& [i, f] : futures) {
+      try {
+        outcomes[i] = f.get();
+      } catch (const std::exception& e) {
+        outcomes[i].error = e.what();
+      }
+    }
     // A future resolves before its worker commits the job's record, so
     // wait_idle() is still required for a fully-populated stats() view.
     runner.wait_idle();
-    job_stats = runner.stats();
+    if (journal != nullptr) journal->flush();
+    interrupted = campaign::signal_stop_requested();
+
+    // Merge: placeholders for every job, journal-restored records under
+    // them, fresh records (keyed by their original indices) on top.
+    job_stats.resize(n_jobs);
+    for (usize i = 0; i < n_jobs; ++i) {
+      job_stats[i].index = i;
+      job_stats[i].label = job_label(i);
+    }
+    for (const auto& [idx, stats] : restored) job_stats[idx] = stats;
+    for (const auto& rec : runner.stats())
+      if (rec.index < job_stats.size()) job_stats[rec.index] = rec;
   }
 
   Table t("DSE sweep: technology x slots x config-memory organisation (" +
@@ -264,31 +405,53 @@ int main(int argc, char** argv) {
   t.header({"configuration", "time [us]", "switches", "cfg words",
             "area [gate-eq]", "reconf energy [uJ]"});
   std::vector<dse::DesignPoint> points;
+  usize missing = 0;
   for (usize i = 0; i < configs.size(); ++i) {
     const auto& out = outcomes[i];
     if (!out.ok) {
-      std::cerr << configs[i].label << ": " << out.error << '\n';
+      if (restored.count(i) != 0) {
+        ++missing;  // finished in a previous run; only its stats survive
+      } else {
+        std::cerr << configs[i].label << ": "
+                  << (out.error.empty() ? "interrupted" : out.error) << '\n';
+      }
       continue;
     }
     t.row(out.row);
     points.push_back(out.point);
   }
   t.print(std::cout);
+  if (missing > 0)
+    std::cout << missing
+              << " design point(s) restored from the journal (metrics in "
+                 "--report; not re-run)\n";
 
-  const auto& hw = outcomes.back();
-  std::cout << "\nhardwired reference: " << hw.row[0] << " us, " << hw_gates
-            << " gates, 0 uJ reconfig\n";
-  points.push_back(hw.point);
+  const auto& hw = outcomes[configs.size()];
+  if (hw.ok) {
+    std::cout << "\nhardwired reference: " << hw.row[0] << " us, " << hw_gates
+              << " gates, 0 uJ reconfig\n";
+    points.push_back(hw.point);
+  }
 
-  const auto front = dse::pareto_front(points);
-  std::cout
-      << "\nPareto-optimal configurations (time, area, energy, "
-         "inflexibility):\n";
-  for (const usize idx : front)
-    std::cout << "  * " << points[idx].label << '\n';
+  // The Pareto front is only meaningful over the complete design space:
+  // skip it when points are missing (interrupted or journal-restored runs).
+  if (points.size() == n_jobs) {
+    const auto front = dse::pareto_front(points);
+    std::cout
+        << "\nPareto-optimal configurations (time, area, energy, "
+           "inflexibility):\n";
+    for (const usize idx : front)
+      std::cout << "  * " << points[idx].label << '\n';
+  } else {
+    std::cout << "\nPareto front skipped: only " << points.size() << " of "
+              << n_jobs << " design points evaluated in this run\n";
+  }
 
+  if (interrupted)
+    std::cerr << "dse_explorer: interrupted — report/journal hold partial "
+                 "results; resume with --resume\n";
   if (!report_path.empty())
     campaign::write_report_file(report_path, "dse_explorer", threads_used,
                                 job_stats);
-  return 0;
+  return interrupted ? 130 : 0;
 }

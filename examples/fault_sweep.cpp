@@ -13,15 +13,31 @@
 // faults.
 //
 // Build & run:  ./build/examples/fault_sweep [--seed N] [--serial]
-//               [--jobs N] [--report FILE.json]
+//               [--jobs N] [--report FILE.json] [--journal FILE.wal]
+//               [--resume FILE.wal [--verify-resume]] [--throttle-ms N]
+//
+// With --journal every planned job, begun attempt and finished result is an
+// fsync'd write-ahead record; a sweep killed mid-run (SIGKILL included)
+// restarts with --resume, re-running only the jobs the journal does not show
+// as done. SIGINT/SIGTERM stop the sweep gracefully: running simulations get
+// request_stop(), the journal is flushed, and --report still emits a valid
+// partial report (exit status 130). --verify-resume re-runs completed jobs
+// too and checks their scheduler-trace digests against the journaled ones.
+#include <chrono>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bus/bus_lib.hpp"
 #include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
 #include "campaign/report.hpp"
+#include "conformance/digest.hpp"
 #include "drcf/drcf_lib.hpp"
 #include "kernel/kernel.hpp"
 #include "memory/memory.hpp"
@@ -50,8 +66,23 @@ struct SweepOutcome {
   std::vector<std::string> row;
 };
 
-SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx) {
+/// Journal identity of one sweep point: the label plus every parameter that
+/// shapes the simulation, so --resume refuses a journal written for a
+/// different --seed or policy/rate grid.
+u64 point_spec(const SweepConfig& cfg) {
+  u64 p = static_cast<u64>(cfg.policy);
+  p = p * 1099511628211ULL + cfg.rate_pct;
+  p = p * 1099511628211ULL + cfg.plan_seed;
+  return campaign::spec_hash(cfg.label, p);
+}
+
+SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx,
+                       unsigned throttle_ms) {
   SweepOutcome out;
+  // Deliberate slow-down used by the crash/resume CI job to widen the
+  // SIGKILL window; 0 (the default) skips it entirely.
+  if (throttle_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
   kern::Simulation sim;
   kern::Module top(sim, "top");
 
@@ -112,11 +143,24 @@ SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx) {
         ++ok_steps;
     }
   });
-  sim.run();
+  // The digest makes each job's schedule comparable across runs — it is what
+  // --verify-resume checks a resumed sweep against.
+  conformance::TraceDigest digest;
+  sim.set_observer(&digest);
+  if (ctx != nullptr) {
+    // The guard is how the wall-clock watchdog and a SIGINT/SIGTERM
+    // broadcast reach this job's kernel (request_stop()).
+    const auto g = ctx->guard(sim);
+    sim.run();
+  } else {
+    sim.run();
+  }
+  sim.set_observer(nullptr);
 
   const auto& fs = fabric.stats();
   if (ctx != nullptr) {
     ctx->record(sim);
+    ctx->record_digest(digest.value());
     ctx->record_faults(fs.fetch_errors, fabric.fault_ledger());
   }
   const double availability = static_cast<double>(ok_steps) / kSteps;
@@ -136,9 +180,21 @@ SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx) {
 
 int main(int argc, char** argv) {
   bool serial = false;
+  bool verify_resume = false;
   usize jobs = 0;
   u64 seed = 1;
+  unsigned throttle_ms = 0;
   std::string report_path;
+  std::string journal_path;
+  std::string resume_path;
+  const auto usage = [] {
+    std::cerr << "usage: fault_sweep [--seed N] [--serial] [--jobs N] "
+                 "[--report FILE.json]\n"
+                 "                   [--journal FILE.wal | --resume FILE.wal "
+                 "[--verify-resume]]\n"
+                 "                   [--throttle-ms N]\n";
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serial") == 0) {
       serial = true;
@@ -148,11 +204,25 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+      resume_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--verify-resume") == 0) {
+      verify_resume = true;
+    } else if (std::strcmp(argv[i], "--throttle-ms") == 0 && i + 1 < argc) {
+      throttle_ms =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
-      std::cerr << "usage: fault_sweep [--seed N] [--serial] [--jobs N] "
-                   "[--report FILE.json]\n";
-      return 2;
+      return usage();
     }
+  }
+  if (!journal_path.empty() && !resume_path.empty()) return usage();
+  if (verify_resume && resume_path.empty()) return usage();
+  if (serial && (!journal_path.empty() || !resume_path.empty())) {
+    std::cerr << "fault_sweep: journaling requires the pool runner "
+                 "(drop --serial)\n";
+    return 2;
   }
 
   const std::pair<const char*, drcf::RecoveryPolicy> policies[] = {
@@ -169,6 +239,60 @@ int main(int argc, char** argv) {
                          policy, rate,
                          seed * 1000 + configs.size()});
 
+  // Journal / resume setup. Resume validates the journal's identity first:
+  // same campaign, same planned job set (spec hashes cover every simulation
+  // parameter), otherwise it refuses rather than merge unrelated results.
+  std::unique_ptr<campaign::CampaignJournal> journal;
+  std::map<usize, campaign::JobStats> restored;
+  std::vector<bool> rerun(configs.size(), true);
+  if (!resume_path.empty()) {
+    const auto state = campaign::read_journal(resume_path);
+    if (!state.has_value()) {
+      std::cerr << "fault_sweep: cannot read journal '" << resume_path
+                << "'\n";
+      return 2;
+    }
+    if (state->campaign != "fault_sweep") {
+      std::cerr << "fault_sweep: journal belongs to campaign '"
+                << state->campaign << "', refusing to resume\n";
+      return 2;
+    }
+    for (usize i = 0; i < configs.size(); ++i) {
+      const auto it = state->planned.find(i);
+      if (it == state->planned.end() ||
+          it->second.spec != point_spec(configs[i])) {
+        std::cerr << "fault_sweep: journal job " << i
+                  << " does not match this sweep (different --seed or "
+                     "grid?), refusing to resume\n";
+        return 2;
+      }
+    }
+    if (state->torn_lines > 0)
+      std::cerr << "fault_sweep: dropped " << state->torn_lines
+                << " torn journal line(s) (crash mid-append)\n";
+    for (const auto& [idx, stats] : state->completed) {
+      if (idx >= configs.size()) continue;
+      restored.emplace(idx, stats);
+      // --verify-resume re-runs finished jobs too, to check their digests.
+      if (!verify_resume) rerun[idx] = false;
+    }
+    journal = campaign::CampaignJournal::append_to(resume_path);
+    if (journal == nullptr) {
+      std::cerr << "fault_sweep: cannot append to journal '" << resume_path
+                << "'\n";
+      return 2;
+    }
+  } else if (!journal_path.empty()) {
+    journal = campaign::CampaignJournal::create(journal_path, "fault_sweep");
+    if (journal == nullptr) {
+      std::cerr << "fault_sweep: cannot create journal '" << journal_path
+                << "'\n";
+      return 2;
+    }
+    for (usize i = 0; i < configs.size(); ++i)
+      journal->record_planned(i, point_spec(configs[i]), configs[i].label);
+  }
+
   // Each policy/rate point is one campaign job; jobs get a generous
   // wall-clock budget and one retry so a wedged run is quarantined instead
   // of hanging the sweep.
@@ -176,27 +300,58 @@ int main(int argc, char** argv) {
   opt.max_attempts = 2;
   opt.wall_timeout_seconds = 60.0;
 
-  std::vector<SweepOutcome> outcomes;
+  std::vector<SweepOutcome> outcomes(configs.size());
   std::vector<campaign::JobStats> job_stats;
   usize threads_used = 1;
+  bool interrupted = false;
   if (serial) {
-    for (const auto& cfg : configs)
-      outcomes.push_back(campaign::run_inline(
-          cfg.label, job_stats,
-          [&](campaign::JobContext& ctx) { return run_point(cfg, &ctx); }));
+    for (usize i = 0; i < configs.size(); ++i)
+      outcomes[i] = campaign::run_inline(
+          configs[i].label, job_stats, [&](campaign::JobContext& ctx) {
+            return run_point(configs[i], &ctx, throttle_ms);
+          });
   } else {
     campaign::CampaignRunner runner(
         jobs != 0 ? jobs : campaign::default_thread_count());
     threads_used = runner.thread_count();
-    std::vector<std::future<SweepOutcome>> futures;
-    for (const auto& cfg : configs)
-      futures.push_back(
-          runner.submit(cfg.label, opt, [&, cfg](campaign::JobContext& ctx) {
-            return run_point(cfg, &ctx);
+    // SIGINT/SIGTERM land in an atomic flag; the runner's watchdog polls it
+    // and broadcasts request_stop() to every guarded simulation, so the
+    // sweep winds down with journaled, reportable partial results.
+    campaign::install_stop_signal_handlers();
+    runner.enable_signal_stop();
+    if (journal != nullptr) runner.set_journal(journal.get());
+    std::vector<std::pair<usize, std::future<SweepOutcome>>> futures;
+    for (usize i = 0; i < configs.size(); ++i) {
+      if (!rerun[i]) continue;
+      campaign::JobOptions o = opt;
+      o.stats_index = i;  // resumed jobs keep their original indices
+      const SweepConfig cfg = configs[i];
+      futures.emplace_back(
+          i, runner.submit(cfg.label, o, [&, cfg](campaign::JobContext& ctx) {
+            return run_point(cfg, &ctx, throttle_ms);
           }));
-    for (auto& f : futures) outcomes.push_back(f.get());
+    }
+    for (auto& [i, f] : futures) {
+      try {
+        outcomes[i] = f.get();
+      } catch (const std::exception& e) {
+        std::cerr << configs[i].label << ": " << e.what() << '\n';
+      }
+    }
     runner.wait_idle();
-    job_stats = runner.stats();
+    if (journal != nullptr) journal->flush();
+    interrupted = campaign::signal_stop_requested();
+
+    // Merge: placeholders for every point, journal-restored results under
+    // them, fresh results (keyed by their original indices) on top.
+    job_stats.resize(configs.size());
+    for (usize i = 0; i < configs.size(); ++i) {
+      job_stats[i].index = i;
+      job_stats[i].label = configs[i].label;
+    }
+    for (const auto& [idx, stats] : restored) job_stats[idx] = stats;
+    for (const auto& rec : runner.stats())
+      if (rec.index < job_stats.size()) job_stats[rec.index] = rec;
   }
 
   Table t("Fault sweep: recovery policy x fetch error rate (" +
@@ -207,9 +362,34 @@ int main(int argc, char** argv) {
   for (const auto& out : outcomes)
     if (out.ok) t.row(out.row);
   t.print(std::cout);
+  if (!resume_path.empty() && !verify_resume && !restored.empty())
+    std::cout << restored.size()
+              << " job(s) restored from the journal (not re-run)\n";
+  if (interrupted)
+    std::cerr << "fault_sweep: interrupted — report/journal hold partial "
+                 "results; resume with --resume\n";
+
+  int verify_failures = 0;
+  if (verify_resume) {
+    for (const auto& [idx, stats] : restored) {
+      const campaign::JobStats& fresh = job_stats[idx];
+      if (!fresh.done || fresh.digest != stats.digest) {
+        std::cerr << "verify-resume: job " << idx << " (" << stats.label
+                  << ") digest mismatch: journal "
+                  << conformance::digest_str(stats.digest) << ", re-run "
+                  << conformance::digest_str(fresh.digest) << '\n';
+        ++verify_failures;
+      }
+    }
+    if (verify_failures == 0 && !restored.empty())
+      std::cout << restored.size()
+                << " journaled digest(s) verified against re-runs\n";
+  }
 
   if (!report_path.empty())
     campaign::write_report_file(report_path, "fault_sweep", threads_used,
                                 job_stats);
+  if (verify_failures > 0) return 4;
+  if (interrupted) return 130;
   return 0;
 }

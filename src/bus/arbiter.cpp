@@ -1,6 +1,11 @@
 #include "bus/arbiter.hpp"
 
+#include <algorithm>
+
+#include "kernel/process.hpp"
+#include "kernel/sched_trace.hpp"
 #include "kernel/simulation.hpp"
+#include "util/log.hpp"
 
 namespace adriatic::bus {
 
@@ -12,6 +17,7 @@ kern::Time Arbiter::acquire(u32 priority) {
   if (!busy_ && waiters_.empty()) {
     busy_ = true;
     ++grants_;
+    record_grant(sim, kern::Time::zero());
     return kern::Time::zero();
   }
   const kern::Time start = sim.now();
@@ -26,7 +32,51 @@ kern::Time Arbiter::acquire(u32 priority) {
   total_wait_ += waited;
   ++grants_;
   ++contended_;
+  record_grant(sim, waited);
   return waited;
+}
+
+void Arbiter::record_grant(kern::Simulation& sim, kern::Time waited) {
+  const kern::Process* p = sim.current_process();
+  const u64 id = p != nullptr ? kern::sched_name_hash(p->name()) : 0;
+  auto [it, inserted] = masters_.try_emplace(id);
+  MasterGrantStats& m = it->second;
+  if (inserted) {
+    if (p != nullptr) m.master = p->name();
+    m.master_id = id;
+  }
+  const kern::Time now = sim.now();
+  if (m.grants > 0 && now - m.last_grant > m.max_grant_gap)
+    m.max_grant_gap = now - m.last_grant;
+  ++m.grants;
+  m.last_grant = now;
+  m.total_wait += waited;
+  if (waited > m.max_wait) m.max_wait = waited;
+  if (!starvation_threshold_.is_zero() && waited > starvation_threshold_) {
+    if (m.starved_grants == 0)
+      log::warn() << owner_->name() << ": master " << m.master
+                  << " starved: waited " << waited.str() << " (threshold "
+                  << starvation_threshold_.str() << ")";
+    ++m.starved_grants;
+  }
+}
+
+std::vector<MasterGrantStats> Arbiter::master_stats() const {
+  std::vector<MasterGrantStats> out;
+  out.reserve(masters_.size());
+  for (const auto& [id, m] : masters_) out.push_back(m);
+  std::sort(out.begin(), out.end(),
+            [](const MasterGrantStats& a, const MasterGrantStats& b) {
+              return a.master < b.master;
+            });
+  return out;
+}
+
+std::vector<MasterGrantStats> Arbiter::starved_masters() const {
+  std::vector<MasterGrantStats> out = master_stats();
+  std::erase_if(out,
+                [](const MasterGrantStats& m) { return m.starved_grants == 0; });
+  return out;
 }
 
 void Arbiter::release() {

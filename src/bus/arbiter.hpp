@@ -2,7 +2,9 @@
 // under a pluggable policy, and accounts contention time.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "kernel/event.hpp"
@@ -10,12 +12,31 @@
 #include "kernel/time.hpp"
 #include "util/types.hpp"
 
+namespace adriatic::kern {
+class Simulation;
+}
+
 namespace adriatic::bus {
 
 enum class ArbPolicy : u8 {
   kPriority,    ///< Highest numeric priority wins; FIFO among equals.
   kRoundRobin,  ///< Rotate grants across requesters (by arrival order ring).
   kFifo,        ///< Strict arrival order.
+};
+
+/// Per-master grant accounting, keyed by the requesting process. Grant gaps
+/// (time between consecutive grants to the same master) are the starvation
+/// signal: under kPriority a low-priority master's gap grows without bound
+/// while high-priority traffic saturates the bus.
+struct MasterGrantStats {
+  std::string master;  ///< Requesting process name ("" if none).
+  u64 master_id = 0;   ///< sched_name_hash(master); joins with sched traces.
+  u64 grants = 0;
+  u64 starved_grants = 0;  ///< Grants whose wait exceeded the threshold.
+  kern::Time total_wait;
+  kern::Time max_wait;       ///< Longest single arbitration wait.
+  kern::Time last_grant;     ///< Sim time of the most recent grant.
+  kern::Time max_grant_gap;  ///< Longest gap between consecutive grants.
 };
 
 class Arbiter {
@@ -32,6 +53,21 @@ class Arbiter {
   [[nodiscard]] u64 contended_grants() const noexcept { return contended_; }
   [[nodiscard]] kern::Time total_wait() const noexcept { return total_wait_; }
 
+  /// Arbitration waits longer than this flag the master as starved (counted
+  /// in MasterGrantStats::starved_grants, warned once per master). Zero
+  /// (the default) disables flagging; per-master accounting still runs.
+  void set_starvation_threshold(kern::Time t) noexcept {
+    starvation_threshold_ = t;
+  }
+  [[nodiscard]] kern::Time starvation_threshold() const noexcept {
+    return starvation_threshold_;
+  }
+
+  /// Per-master accounting, sorted by master name for determinism.
+  [[nodiscard]] std::vector<MasterGrantStats> master_stats() const;
+  /// Masters with at least one starved grant.
+  [[nodiscard]] std::vector<MasterGrantStats> starved_masters() const;
+
  private:
   struct Request {
     u32 priority;
@@ -40,6 +76,7 @@ class Arbiter {
   };
 
   usize pick_next() const;
+  void record_grant(kern::Simulation& sim, kern::Time waited);
 
   kern::Object* owner_;
   ArbPolicy policy_;
@@ -49,7 +86,9 @@ class Arbiter {
   u64 contended_ = 0;
   u64 rr_counter_ = 0;
   kern::Time total_wait_;
+  kern::Time starvation_threshold_;
   std::vector<std::unique_ptr<Request>> waiters_;
+  std::map<u64, MasterGrantStats> masters_;
 };
 
 }  // namespace adriatic::bus

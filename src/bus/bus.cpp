@@ -11,6 +11,7 @@ Bus::Bus(kern::Object& parent, std::string name, BusConfig cfg)
     : Module(parent, std::move(name)),
       cfg_(cfg),
       arbiter_(*this, cfg.arbitration) {
+  arbiter_.set_starvation_threshold(cfg.starvation_threshold);
   sim().at_elaboration([this] { check_address_map(); });
 }
 
@@ -18,6 +19,7 @@ Bus::Bus(kern::Simulation& sim_, std::string name, BusConfig cfg)
     : Module(sim_, std::move(name)),
       cfg_(cfg),
       arbiter_(*this, cfg.arbitration) {
+  arbiter_.set_starvation_threshold(cfg.starvation_threshold);
   sim().at_elaboration([this] { check_address_map(); });
 }
 

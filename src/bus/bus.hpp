@@ -27,6 +27,9 @@ struct BusConfig {
   /// the configuration the paper warns deadlocks a self-loading DRCF.
   bool split_transactions = true;
   u32 max_burst = 16;         ///< Longest single arbitration burst.
+  /// Arbitration waits beyond this flag the master as starved (see
+  /// Arbiter::set_starvation_threshold). Zero disables flagging.
+  kern::Time starvation_threshold;
 };
 
 struct BusStats {

@@ -1,9 +1,41 @@
 #include "campaign/campaign.hpp"
 
+#include <csignal>
 #include <chrono>
 #include <cstdlib>
 
+#include "campaign/journal.hpp"
+
 namespace adriatic::campaign {
+
+namespace {
+// Set from the signal handler; read by runner watchdog threads and tools.
+std::atomic<bool> g_signal_stop{false};
+
+// The handler body is a single lock-free atomic store — the only action
+// that is async-signal-safe here. Everything else (journal flush, stop
+// broadcast, report writing) happens on normal threads that poll the flag.
+void stop_signal_handler(int) noexcept {
+  g_signal_stop.store(true, std::memory_order_relaxed);
+}
+}  // namespace
+
+void install_stop_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = stop_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool signal_stop_requested() noexcept {
+  return g_signal_stop.load(std::memory_order_relaxed);
+}
+
+void clear_signal_stop() noexcept {
+  g_signal_stop.store(false, std::memory_order_relaxed);
+}
 
 CampaignRunner::CampaignRunner(usize threads) {
   if (threads == 0) {
@@ -53,7 +85,7 @@ void CampaignRunner::enqueue(std::string label, JobOptions opt,
     job.opt = opt;
     job.body = std::move(body);
     JobStats placeholder;
-    placeholder.index = job.index;
+    placeholder.index = opt.stats_index.value_or(job.index);
     placeholder.label = std::move(label);
     records_.push_back(std::move(placeholder));
     queue_.push_back(std::move(job));
@@ -74,7 +106,7 @@ void CampaignRunner::worker_loop() {
     }
 
     JobStats local;
-    local.index = job.index;
+    local.index = job.opt.stats_index.value_or(job.index);
     local.label = job.label;
     JobContext ctx(&local);
     ctx.runner_ = this;
@@ -95,6 +127,11 @@ void CampaignRunner::worker_loop() {
     }
     local.done = !local.quarantined;
 
+    // Journal before commit: the fsync'd D record is on disk before the
+    // result becomes visible to stats()/futures' consumers, so a crash
+    // between the two at worst re-runs a finished job (idempotent), never
+    // trusts an unjournaled one.
+    journal_done(local);
     {
       std::lock_guard<std::mutex> lk(mu_);
       records_[job.index] = std::move(local);
@@ -102,6 +139,14 @@ void CampaignRunner::worker_loop() {
       if (queue_.empty() && inflight_ == 0) cv_idle_.notify_all();
     }
   }
+}
+
+void CampaignRunner::journal_begun(usize index, u32 attempt) {
+  if (journal_ != nullptr) journal_->record_begun(index, attempt);
+}
+
+void CampaignRunner::journal_done(const JobStats& stats) {
+  if (journal_ != nullptr) journal_->record_done(stats);
 }
 
 void CampaignRunner::watchdog_loop() {
@@ -112,21 +157,36 @@ void CampaignRunner::watchdog_loop() {
     bool have_deadline = false;
     std::chrono::steady_clock::time_point next{};
     for (const Watch& w : watches_) {
-      if (w.fired) continue;
+      if (w.fired || !w.has_deadline) continue;
       if (!have_deadline || w.deadline < next) {
         next = w.deadline;
         have_deadline = true;
       }
     }
-    if (have_deadline) {
+    // With signal-stop enabled the wait is capped so the signal flag is
+    // observed within ~100ms even when no deadline is near.
+    if (signal_stop_enabled()) {
+      const auto cap =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+      wcv_.wait_until(lk, have_deadline && next < cap ? next : cap);
+    } else if (have_deadline) {
       wcv_.wait_until(lk, next);
     } else {
       wcv_.wait(lk);
     }
     if (watchdog_shutdown_) return;
+    if (signal_stop_enabled() && signal_stop_requested()) {
+      // Broadcast every poll (not once): a job that armed its guard after
+      // the first broadcast still has to be stopped.
+      cancelled_.store(true, std::memory_order_relaxed);
+      for (Watch& w : watches_) {
+        w.interrupted = true;
+        w.sim->request_stop();
+      }
+    }
     const auto now = std::chrono::steady_clock::now();
     for (Watch& w : watches_) {
-      if (w.fired || now < w.deadline) continue;
+      if (w.fired || !w.has_deadline || now < w.deadline) continue;
       w.fired = true;
       // request_stop() is the one Simulation entry point that is safe from
       // another OS thread; the job observes kExplicitStop and its guard
@@ -136,41 +196,76 @@ void CampaignRunner::watchdog_loop() {
   }
 }
 
+void CampaignRunner::request_stop_all() {
+  cancelled_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(wmu_);
+  for (Watch& w : watches_) {
+    w.interrupted = true;
+    w.sim->request_stop();
+  }
+}
+
 u64 CampaignRunner::watch(kern::Simulation& sim, double timeout_seconds) {
   Watch w;
   w.sim = &sim;
-  w.deadline = std::chrono::steady_clock::now() +
-               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                   std::chrono::duration<double>(timeout_seconds));
+  w.has_deadline = timeout_seconds > 0;
+  if (w.has_deadline)
+    w.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
   {
     std::lock_guard<std::mutex> lk(wmu_);
     w.id = next_watch_id_++;
+    // A guard armed after a broadcast stop is stopped immediately — the
+    // sweep is shutting down.
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      w.interrupted = true;
+      sim.request_stop();
+    }
     watches_.push_back(w);
   }
   wcv_.notify_all();
   return w.id;
 }
 
-bool CampaignRunner::unwatch(u64 id) {
+CampaignRunner::WatchResult CampaignRunner::unwatch(u64 id) {
   std::lock_guard<std::mutex> lk(wmu_);
   for (usize i = 0; i < watches_.size(); ++i) {
     if (watches_[i].id != id) continue;
-    const bool fired = watches_[i].fired;
+    const WatchResult r{watches_[i].fired, watches_[i].interrupted};
     watches_.erase(watches_.begin() + static_cast<std::ptrdiff_t>(i));
-    return fired;
+    return r;
   }
-  return false;
+  return {};
 }
 
 WatchdogGuard JobContext::guard(kern::Simulation& sim) {
-  if (runner_ == nullptr || wall_timeout_seconds_ <= 0)
-    return WatchdogGuard(this, 0);
+  if (runner_ == nullptr) return WatchdogGuard(this, 0);
+  // Register even without a wall timeout: the watch is the only path by
+  // which request_stop_all() or a SIGINT/SIGTERM broadcast can reach this
+  // job's kernel while it simulates.
   return WatchdogGuard(this, runner_->watch(sim, wall_timeout_seconds_));
 }
 
 WatchdogGuard::~WatchdogGuard() {
   if (id_ == 0) return;
-  if (ctx_->runner_->unwatch(id_)) ctx_->timed_out_ = true;
+  const CampaignRunner::WatchResult r = ctx_->runner_->unwatch(id_);
+  if (r.fired) ctx_->timed_out_ = true;
+  if (r.interrupted) ctx_->interrupted_ = true;
+}
+
+void JobContext::begin_attempt(u32 attempt) {
+  timed_out_ = false;
+  stats_->attempts = attempt;
+  if (runner_ != nullptr) {
+    if (runner_->cancelled()) interrupted_ = true;
+    runner_->journal_begun(stats_->index, attempt);
+  }
+}
+
+bool JobContext::interrupted() const noexcept {
+  return interrupted_ || (runner_ != nullptr && runner_->cancelled());
 }
 
 void CampaignRunner::wait_idle() {

@@ -14,6 +14,7 @@
 //     submission order, so reports are deterministic for any thread count.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -22,6 +23,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -35,6 +37,18 @@
 
 namespace adriatic::campaign {
 
+class CampaignJournal;
+
+// -- Process-wide graceful-stop signal plumbing ------------------------------
+// install_stop_signal_handlers() routes SIGINT/SIGTERM into a lock-free
+// atomic flag (the only async-signal-safe action taken); a runner with
+// enable_signal_stop() polls the flag and broadcasts request_stop() to every
+// guarded Simulation, so sweeps shut down gracefully with a valid partial
+// report and a resumable journal.
+void install_stop_signal_handlers();
+[[nodiscard]] bool signal_stop_requested() noexcept;
+void clear_signal_stop() noexcept;
+
 /// Robustness knobs for one submitted job.
 struct JobOptions {
   /// Total attempts before the job gives up (1 = no retries). A failed
@@ -45,6 +59,10 @@ struct JobOptions {
   /// calls Simulation::request_stop() when the budget expires. Jobs that
   /// exceed the budget without recovering are quarantined. 0 disables it.
   double wall_timeout_seconds = 0;
+  /// Index recorded in JobStats::index and in the campaign journal
+  /// (defaults to the submission index). Resume paths set it so re-run jobs
+  /// keep their original campaign indices.
+  std::optional<usize> stats_index;
 };
 
 /// Per-job record, reported in submission order regardless of which worker
@@ -125,6 +143,11 @@ class JobContext {
   [[nodiscard]] u32 attempt() const noexcept { return stats_->attempts; }
   /// True once the wall-clock watchdog stopped this attempt's Simulation.
   [[nodiscard]] bool attempt_timed_out() const noexcept { return timed_out_; }
+  /// True once the runner broadcast a stop (SIGINT/SIGTERM or
+  /// request_stop_all()): the job's result is partial and must not be
+  /// recorded as done; the submit() wrapper quarantines it as "interrupted"
+  /// so a journal resume re-runs it.
+  [[nodiscard]] bool interrupted() const noexcept;
 
   /// Arms the job's wall-clock timeout against `sim` for the lifetime of
   /// the returned guard (typically wrapped around sim.run()). No-op when
@@ -146,14 +169,13 @@ class JobContext {
     stats_->quarantined = true;
     stats_->quarantine_reason = std::move(reason);
   }
-  void begin_attempt(u32 attempt) {
-    timed_out_ = false;
-    stats_->attempts = attempt;
-  }
+  /// Resets per-attempt state, journals the attempt, observes cancellation.
+  void begin_attempt(u32 attempt);
   JobStats* stats_;
   CampaignRunner* runner_ = nullptr;
   double wall_timeout_seconds_ = 0;
   bool timed_out_ = false;
+  bool interrupted_ = false;
 };
 
 class CampaignRunner {
@@ -195,12 +217,23 @@ class CampaignRunner {
         [f = std::move(fn), max_attempts](JobContext& ctx) mutable -> R {
           for (u32 attempt = 1;; ++attempt) {
             ctx.begin_attempt(attempt);
+            // A runner-wide stop (signal) cancels queued work up front: the
+            // future resolves with an exception, the record is quarantined
+            // as "interrupted", and a journal resume re-runs the job.
+            if (ctx.interrupted()) {
+              ctx.mark_quarantined("interrupted");
+              throw std::runtime_error("job interrupted");
+            }
             try {
               if constexpr (std::is_void_v<R>) {
                 if constexpr (kTakesCtx) {
                   f(ctx);
                 } else {
                   f();
+                }
+                if (ctx.interrupted()) {
+                  ctx.mark_quarantined("interrupted");
+                  throw std::runtime_error("job interrupted");
                 }
                 if (!ctx.attempt_timed_out()) return;
               } else {
@@ -211,9 +244,20 @@ class CampaignRunner {
                     return f();
                   }
                 }();
+                if (ctx.interrupted()) {
+                  ctx.mark_quarantined("interrupted");
+                  throw std::runtime_error("job interrupted");
+                }
                 if (!ctx.attempt_timed_out()) return result;
               }
             } catch (...) {
+              // An interrupted attempt never retries: its simulation was
+              // stopped mid-flight, so the result is partial by design.
+              if (ctx.interrupted()) {
+                if (!ctx.stats_->quarantined)
+                  ctx.mark_quarantined("interrupted");
+                throw;
+              }
               // A timed-out attempt often surfaces as a secondary exception
               // (the stopped Simulation violates the job's expectations);
               // route it through the timeout/retry path below instead of
@@ -241,6 +285,37 @@ class CampaignRunner {
   /// Blocks until every submitted job has finished.
   void wait_idle();
 
+  /// Attaches a write-ahead journal: every attempt logs a `B` record as it
+  /// begins and every finished job a `D` record with its full JobStats (see
+  /// campaign/journal.hpp). The journal must outlive all submitted jobs.
+  void set_journal(CampaignJournal* journal) noexcept { journal_ = journal; }
+
+  /// Makes the watchdog thread poll the process-wide signal-stop flag (see
+  /// install_stop_signal_handlers); when it fires, pending jobs are
+  /// cancelled and every guarded Simulation gets request_stop().
+  void enable_signal_stop() noexcept {
+    signal_stop_enabled_.store(true, std::memory_order_relaxed);
+    wcv_.notify_all();
+  }
+  [[nodiscard]] bool signal_stop_enabled() const noexcept {
+    return signal_stop_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Cancels jobs that have not started an attempt yet: they resolve their
+  /// futures with "job interrupted" and are quarantined, never run.
+  void cancel_pending() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Broadcast stop: cancels pending jobs and request_stop()s every
+  /// currently guarded Simulation, marking those attempts interrupted (they
+  /// quarantine instead of committing partial results). Thread-safe; also
+  /// invoked by the watchdog when the signal-stop flag fires.
+  void request_stop_all();
+
   /// Snapshot of per-job metrics in submission order. Call after wait_idle()
   /// for a complete view — a job's future resolves before its worker commits
   /// the record, so resolved futures alone do not guarantee completeness.
@@ -265,17 +340,27 @@ class CampaignRunner {
     u64 id = 0;
     kern::Simulation* sim = nullptr;
     std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;  ///< False: registered for broadcast stop only.
     bool fired = false;
+    bool interrupted = false;  ///< A broadcast stop hit this watch.
+  };
+  struct WatchResult {
+    bool fired = false;
+    bool interrupted = false;
   };
 
   void enqueue(std::string label, JobOptions opt,
                std::function<void(JobContext&)> body);
   void worker_loop();
   void watchdog_loop();
-  /// Registers `sim` with the watchdog; returns the watch id.
+  /// Registers `sim` with the watchdog (timeout <= 0: broadcast-stop only);
+  /// returns the watch id.
   u64 watch(kern::Simulation& sim, double timeout_seconds);
-  /// Removes a watch; returns whether it fired while armed.
-  bool unwatch(u64 id);
+  /// Removes a watch; reports what happened while it was armed.
+  WatchResult unwatch(u64 id);
+  /// Journal hooks (no-ops without a journal).
+  void journal_begun(usize index, u32 attempt);
+  void journal_done(const JobStats& stats);
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;
@@ -287,6 +372,9 @@ class CampaignRunner {
   usize inflight_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+  CampaignJournal* journal_ = nullptr;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> signal_stop_enabled_{false};
 
   // Watchdog state, guarded by wmu_ (separate from mu_: the watchdog must
   // never contend with the job queue).

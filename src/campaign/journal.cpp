@@ -1,0 +1,244 @@
+#include "campaign/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace adriatic::campaign {
+
+namespace {
+
+constexpr char kHeaderMagic[] = "J adriatic-campaign-journal v1";
+
+[[nodiscard]] u64 fnv1a(const std::string& s, u64 h = 14695981039346656037ULL) {
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Percent-encoding for string fields: keeps every token free of spaces and
+// newlines so the line grammar stays splittable.
+[[nodiscard]] std::string encode_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == 0x7F || c == '%') {
+      out += strfmt("%%%02X", u);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string decode_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (usize i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const std::string hex = s.substr(i + 1, 2);
+      out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string checksum_suffix(const std::string& content) {
+  return strfmt(" cks=%016llx",
+                static_cast<unsigned long long>(fnv1a(content)));
+}
+
+/// Splits "content cks=hex" and verifies; empty optional on mismatch.
+[[nodiscard]] std::optional<std::string> strip_checksum(
+    const std::string& line) {
+  const usize pos = line.rfind(" cks=");
+  if (pos == std::string::npos) return std::nullopt;
+  const std::string content = line.substr(0, pos);
+  if (line.substr(pos) != checksum_suffix(content)) return std::nullopt;
+  return content;
+}
+
+[[nodiscard]] u64 parse_u64(const std::string& s, int base = 10) {
+  return std::strtoull(s.c_str(), nullptr, base);
+}
+
+}  // namespace
+
+u64 spec_hash(const std::string& label, u64 param_digest) {
+  u64 h = fnv1a(label);
+  for (u32 shift = 0; shift < 64; shift += 8) {
+    h ^= (param_digest >> shift) & 0xFFu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::unique_ptr<CampaignJournal> CampaignJournal::create(
+    const std::string& path, const std::string& campaign) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    log::error() << "campaign journal: cannot create " << path;
+    return nullptr;
+  }
+  auto journal =
+      std::unique_ptr<CampaignJournal>(new CampaignJournal(fd, path));
+  journal->append_line(std::string(kHeaderMagic) +
+                       " name=" + encode_field(campaign));
+  return journal;
+}
+
+std::unique_ptr<CampaignJournal> CampaignJournal::append_to(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    log::error() << "campaign journal: cannot open " << path;
+    return nullptr;
+  }
+  return std::unique_ptr<CampaignJournal>(new CampaignJournal(fd, path));
+}
+
+CampaignJournal::~CampaignJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CampaignJournal::append_line(const std::string& content) {
+  const std::string line = content + checksum_suffix(content) + "\n";
+  std::lock_guard<std::mutex> lk(mu_);
+  usize off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      log::error() << "campaign journal: write failed on " << path_;
+      return;
+    }
+    off += static_cast<usize>(n);
+  }
+  // The write-ahead guarantee: a record is on disk before the campaign acts
+  // on it, so SIGKILL can lose at most the in-flight line (whose torn tail
+  // the checksum rejects on read).
+  ::fsync(fd_);
+}
+
+void CampaignJournal::record_planned(usize index, u64 spec,
+                                     const std::string& label) {
+  append_line(strfmt("P %zu %016llx ", index,
+                     static_cast<unsigned long long>(spec)) +
+              encode_field(label));
+}
+
+void CampaignJournal::record_begun(usize index, u32 attempt) {
+  append_line(strfmt("B %zu %u", index, attempt));
+}
+
+void CampaignJournal::record_done(const JobStats& s) {
+  std::string line = strfmt("D %zu", s.index);
+  line += " label=" + encode_field(s.label);
+  line += strfmt(" done=%d failed=%d quarantined=%d attempts=%u", s.done ? 1 : 0,
+                 s.failed ? 1 : 0, s.quarantined ? 1 : 0, s.attempts);
+  line += strfmt(" wall=%.17g sim_ps=%llu deltas=%llu activations=%llu",
+                 s.wall_seconds,
+                 static_cast<unsigned long long>(s.sim_time.picoseconds()),
+                 static_cast<unsigned long long>(s.delta_count),
+                 static_cast<unsigned long long>(s.activations));
+  line += strfmt(" digest=%016llx", static_cast<unsigned long long>(s.digest));
+  if (s.failed) line += " error=" + encode_field(s.error);
+  if (s.quarantined) line += " qreason=" + encode_field(s.quarantine_reason);
+  if (s.has_faults)
+    line += strfmt(
+        " fetch_errors=%llu injected=%llu fault_events=%llu fault_digest=%016llx",
+        static_cast<unsigned long long>(s.fetch_errors),
+        static_cast<unsigned long long>(s.faults_injected),
+        static_cast<unsigned long long>(s.fault_events),
+        static_cast<unsigned long long>(s.fault_digest));
+  append_line(line);
+}
+
+void CampaignJournal::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ::fsync(fd_);
+}
+
+std::optional<JournalState> read_journal(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  JournalState state;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto content = strip_checksum(line);
+    if (!content.has_value()) {
+      ++state.torn_lines;
+      continue;
+    }
+    const std::vector<std::string> tok = split(*content, ' ');
+    if (!have_header) {
+      // The header must be the first intact line.
+      if (tok.size() < 4 || tok[0] != "J" ||
+          !starts_with(*content, kHeaderMagic) ||
+          !starts_with(tok[3], "name="))
+        return std::nullopt;
+      state.campaign = decode_field(tok[3].substr(5));
+      have_header = true;
+      continue;
+    }
+    if (tok[0] == "P" && tok.size() >= 4) {
+      JournalState::Planned p;
+      p.spec = parse_u64(tok[2], 16);
+      p.label = decode_field(tok[3]);
+      state.planned[static_cast<usize>(parse_u64(tok[1]))] = std::move(p);
+    } else if (tok[0] == "B" && tok.size() >= 3) {
+      ++state.begun_records;
+    } else if (tok[0] == "D" && tok.size() >= 2) {
+      JobStats s;
+      s.index = static_cast<usize>(parse_u64(tok[1]));
+      for (usize i = 2; i < tok.size(); ++i) {
+        const usize eq = tok[i].find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = tok[i].substr(0, eq);
+        const std::string val = tok[i].substr(eq + 1);
+        if (key == "label") s.label = decode_field(val);
+        else if (key == "done") s.done = val == "1";
+        else if (key == "failed") s.failed = val == "1";
+        else if (key == "quarantined") s.quarantined = val == "1";
+        else if (key == "attempts") s.attempts = static_cast<u32>(parse_u64(val));
+        else if (key == "wall") s.wall_seconds = std::strtod(val.c_str(), nullptr);
+        else if (key == "sim_ps") s.sim_time = kern::Time::ps(parse_u64(val));
+        else if (key == "deltas") s.delta_count = parse_u64(val);
+        else if (key == "activations") s.activations = parse_u64(val);
+        else if (key == "digest") s.digest = parse_u64(val, 16);
+        else if (key == "error") s.error = decode_field(val);
+        else if (key == "qreason") s.quarantine_reason = decode_field(val);
+        else if (key == "fetch_errors") { s.has_faults = true; s.fetch_errors = parse_u64(val); }
+        else if (key == "injected") s.faults_injected = parse_u64(val);
+        else if (key == "fault_events") s.fault_events = parse_u64(val);
+        else if (key == "fault_digest") s.fault_digest = parse_u64(val, 16);
+      }
+      // Last record per index wins; only done results count as completed —
+      // a quarantined/interrupted D leaves the job eligible for re-run.
+      if (s.done) {
+        state.completed[s.index] = std::move(s);
+      } else {
+        state.completed.erase(s.index);
+      }
+    }
+  }
+  if (!have_header) return std::nullopt;
+  return state;
+}
+
+}  // namespace adriatic::campaign

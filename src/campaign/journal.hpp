@@ -1,0 +1,87 @@
+// Crash-safe campaign journaling: a write-ahead journal that survives
+// SIGKILL mid-sweep. Every planned job, begun attempt, and completed result
+// is an fsync'd append-only line with a per-line checksum (torn tail writes
+// from a crash are detected and dropped on read). A killed campaign resumes
+// with `--resume <journal>`: completed JobStats are restored verbatim from
+// their `D` records, only unfinished/quarantined jobs re-run, and the
+// journaled scheduler-trace digests let the resumed results be verified
+// against the original run.
+//
+// Line grammar (space-separated tokens, strings percent-encoded):
+//   J adriatic-campaign-journal v1 name=<campaign>
+//   P <index> <spec_hash_hex> <label>       -- job planned
+//   B <index> <attempt>                     -- attempt begun
+//   D <index> key=value ...                 -- result (full JobStats)
+// Every line ends with ` cks=<fnv1a_hex>` over the preceding content. The
+// last D record per index wins; a D with done=0 (quarantined/interrupted)
+// leaves the job eligible for re-run.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::campaign {
+
+/// Identity of one planned job: FNV-1a over the label folded with a
+/// caller-supplied parameter digest. Resume refuses to reuse a journal whose
+/// planned specs do not match the jobs the tool is about to run.
+[[nodiscard]] u64 spec_hash(const std::string& label, u64 param_digest = 0);
+
+class CampaignJournal {
+ public:
+  /// Creates (truncates) `path` and writes the header. Null on I/O error.
+  static std::unique_ptr<CampaignJournal> create(const std::string& path,
+                                                 const std::string& campaign);
+  /// Opens an existing journal for appending (resume). Null on I/O error.
+  static std::unique_ptr<CampaignJournal> append_to(const std::string& path);
+  ~CampaignJournal();
+
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  void record_planned(usize index, u64 spec, const std::string& label);
+  void record_begun(usize index, u32 attempt);
+  void record_done(const JobStats& stats);
+  /// fsync the journal fd (appends already sync per record; this is for
+  /// explicit barriers, e.g. before a graceful signal-stop exit).
+  void flush();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  CampaignJournal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  /// Appends `content` + checksum + newline, then fsyncs.
+  void append_line(const std::string& content);
+
+  std::mutex mu_;  ///< Serialises worker-thread appends.
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Everything a resume needs from a journal read-back.
+struct JournalState {
+  std::string campaign;
+  struct Planned {
+    u64 spec = 0;
+    std::string label;
+  };
+  std::map<usize, Planned> planned;
+  /// Jobs whose latest D record has done == true, restored verbatim.
+  std::map<usize, JobStats> completed;
+  usize begun_records = 0;  ///< B lines seen (attempts started pre-crash).
+  usize torn_lines = 0;     ///< Lines dropped by the checksum (torn writes).
+};
+
+/// Reads a journal back; nullopt when the file is missing or its header is
+/// unreadable. Checksum-failing lines are dropped (counted in torn_lines),
+/// so a journal truncated mid-append by SIGKILL still loads.
+[[nodiscard]] std::optional<JournalState> read_journal(
+    const std::string& path);
+
+}  // namespace adriatic::campaign

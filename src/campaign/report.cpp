@@ -68,18 +68,27 @@ std::string report_json(const std::string& name, usize threads,
     w.end();
   }
   w.end();
-  w.key("totals").begin_object();
-  w.field("jobs", static_cast<u64>(stats.size()));
-  w.field("done", done);
-  w.field("failed", failed);
-  w.field("cpu_seconds", total_wall);
-  w.field("delta_cycles", total_deltas);
-  w.field("quarantined", quarantined);
-  w.field("fetch_errors", total_fetch_errors);
-  w.field("faults_injected", total_injected);
-  if (total_wall > 0)
-    w.field("jobs_per_cpu_second", static_cast<double>(done) / total_wall);
-  w.end();
+  if (done == 0) {
+    // No job completed (e.g. every job quarantined, or the sweep was
+    // interrupted at the start): aggregates would be all-zero placeholders
+    // or NaN rates, so emit an explicit null with the reason instead.
+    w.field("totals", nullptr);
+    w.field("totals_reason",
+            stats.empty() ? "no jobs submitted" : "no completed jobs");
+  } else {
+    w.key("totals").begin_object();
+    w.field("jobs", static_cast<u64>(stats.size()));
+    w.field("done", done);
+    w.field("failed", failed);
+    w.field("cpu_seconds", total_wall);
+    w.field("delta_cycles", total_deltas);
+    w.field("quarantined", quarantined);
+    w.field("fetch_errors", total_fetch_errors);
+    w.field("faults_injected", total_injected);
+    if (total_wall > 0)
+      w.field("jobs_per_cpu_second", static_cast<double>(done) / total_wall);
+    w.end();
+  }
   w.end();
   return w.str();
 }

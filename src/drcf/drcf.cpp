@@ -135,6 +135,7 @@ bool Drcf::forward(bus::addr_t add, bus::word* data, bool is_read) {
       slot_table_.touch(*slot);
       ++ctx.pins;
       ++ctx.stats.accesses;
+      ++forward_count_;  // useful work for the thrash detector
       const bool ok =
           is_read ? ctx.inner->read(add, data) : ctx.inner->write(add, data);
       --ctx.pins;
@@ -325,6 +326,7 @@ void Drcf::arb_and_instr() {
     stats_.reconfig_energy_j +=
         cfg_.technology.reconfig_power_w * load_time.to_sec();
     ++stats_.switches;
+    note_switch();
 
     // Step ordering: installation happens only at the end of a
     // reconfiguration window, after the configuration fetch completed.
@@ -345,6 +347,32 @@ void Drcf::arb_and_instr() {
     ctx.loaded_event->notify();
     any_loaded_event_.notify_delta();
     fabric_idle_event_.notify();
+  }
+}
+
+void Drcf::note_switch() {
+  if (cfg_.thrash_window.is_zero()) return;
+  const bool fruitless = forward_count_ == forwards_at_last_switch_;
+  forwards_at_last_switch_ = forward_count_;
+  // The first switch ever has no "between" interval to judge.
+  if (stats_.switches <= 1) return;
+  if (!fruitless) {
+    fruitless_switches_.clear();
+    return;
+  }
+  const kern::Time now = sim().now();
+  fruitless_switches_.push_back(now);
+  while (now - fruitless_switches_.front() > cfg_.thrash_window)
+    fruitless_switches_.pop_front();
+  if (fruitless_switches_.size() >= cfg_.thrash_switches) {
+    ++stats_.thrash_alerts;
+    log::warn() << name() << ": context thrash: "
+                << fruitless_switches_.size()
+                << " switches with no useful transactions within "
+                << cfg_.thrash_window.str();
+    ledger_.append(fault::FaultEventKind::kThrash, now.picoseconds(), site_id_,
+                   0, static_cast<u64>(fruitless_switches_.size()));
+    fruitless_switches_.clear();
   }
 }
 

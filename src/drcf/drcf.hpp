@@ -17,6 +17,7 @@
 // prefetch (MorphoSys-style double context plane), and energy accounting.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <span>
@@ -115,6 +116,13 @@ struct DrcfConfig {
   /// interposer between the fabric and its mst_port binding. Empty = no
   /// injection (and no interposer is created).
   fault::FaultPlan fetch_faults;
+  /// Context-thrash detector: if `thrash_switches` context switches complete
+  /// within a sliding `thrash_window` of simulated time with NO forwarded
+  /// call between consecutive switches (the fabric reconfigures without
+  /// doing useful work), DrcfStats::thrash_alerts increments and a kThrash
+  /// event lands in the fault ledger. Zero window (the default) disables it.
+  kern::Time thrash_window;
+  u32 thrash_switches = 4;
 };
 
 struct DrcfStats {
@@ -130,6 +138,7 @@ struct DrcfStats {
   u64 watchdog_aborts = 0;     ///< Fetches aborted by the watchdog.
   u64 fallback_forwards = 0;   ///< Calls degraded to the fallback context.
   u64 load_give_ups = 0;       ///< Loads that failed terminally.
+  u64 thrash_alerts = 0;       ///< Context-thrash detector firings.
   kern::Time reconfig_busy_time;  ///< Fabric time spent reconfiguring.
   double reconfig_energy_j = 0.0;
 };
@@ -238,6 +247,9 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   };
 
   void arb_and_instr();  ///< The scheduler/instrumentation process.
+  /// Thrash detection at each completed context switch: a switch with no
+  /// forwarded call since the previous one joins the sliding window.
+  void note_switch();
   void request_load(usize ctx);
   bool forward(bus::addr_t add, bus::word* data, bool is_read);
   [[nodiscard]] std::optional<usize> decode(bus::addr_t add) const;
@@ -264,6 +276,10 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   kern::Event drain_event_;        ///< A pin or waiter count decreased.
   bool reconfiguring_ = false;
   DrcfStats stats_;
+  u64 forward_count_ = 0;  ///< Calls forwarded to any resident context.
+  u64 forwards_at_last_switch_ = 0;
+  /// Completion times of recent fruitless switches (thrash window).
+  std::deque<kern::Time> fruitless_switches_;
   fault::FaultLedger ledger_;
   std::unique_ptr<fault::BusFaultInterposer> fetch_interposer_;
   u64 site_id_ = 0;  ///< sched_name_hash(name()), the ledger site id.

@@ -41,6 +41,8 @@ const char* to_string(FaultEventKind kind) {
       return "gave_up";
     case FaultEventKind::kRecovered:
       return "recovered";
+    case FaultEventKind::kThrash:
+      return "thrash";
   }
   return "?";
 }

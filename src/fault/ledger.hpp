@@ -28,6 +28,7 @@ enum class FaultEventKind : u8 {
   kFallback = 9,         ///< A call degraded to the fallback context.
   kGaveUp = 10,          ///< Recovery exhausted; the load failed terminally.
   kRecovered = 11,       ///< A load succeeded after >= 1 failed attempt.
+  kThrash = 12,          ///< Context-thrash detector fired (arg = switches).
 };
 
 [[nodiscard]] const char* to_string(FaultEventKind kind);

@@ -30,6 +30,9 @@ void Clock::init(double duty, Time start) {
       *this, "tick_proc", [this] { tick(); });
   tick_process_->sensitive(*tick_event_);
   tick_process_->dont_initialize();
+  // Clock ticks are infrastructure, not model progress: without this a
+  // clocked model could never trip the max_quiet_time livelock watchdog.
+  tick_process_->set_daemon();
   // First rising edge.
   tick_event_->notify(start.is_zero() ? Time::ps(0) : start);
   if (start.is_zero()) {

@@ -4,6 +4,7 @@
 
 #include "kernel/channel.hpp"
 #include "kernel/clock.hpp"
+#include "kernel/diagnostics.hpp"
 #include "kernel/event.hpp"
 #include "kernel/event_queue.hpp"
 #include "kernel/fifo.hpp"

@@ -21,6 +21,10 @@ Process::Process(Object& parent, std::string name)
 Process::~Process() {
   for (Event* e : static_events_) e->remove_static(*this);
   clear_dynamic_waits();
+  // Must happen here, not in ~Object(): once this destructor returns, the
+  // object's dynamic type is no longer Process, and any scheduler list that
+  // still names us (processes_, runnable_, pending_dynamic_) would dangle.
+  sim().unregister_process(*this);
 }
 
 void Process::sensitive(Event& e) {
@@ -86,6 +90,7 @@ void ThreadProcess::wait_static() {
     log::warn() << name()
                 << ": wait() with empty static sensitivity never returns";
   state_ = State::kWaitStatic;
+  wait_since_ = sim().now();
   suspend();
 }
 
@@ -95,6 +100,7 @@ void ThreadProcess::wait_event(Event& e) {
   waited_events_.push_back(&e);
   e.add_dynamic(*this);
   state_ = State::kWaitDynamic;
+  wait_since_ = sim().now();
   suspend();
 }
 
@@ -113,6 +119,7 @@ void ThreadProcess::wait_time_event(Time t, Event& e) {
   waited_events_.push_back(&e);
   e.add_dynamic(*this);
   state_ = State::kWaitDynamic;
+  wait_since_ = sim().now();
   suspend();
 }
 
@@ -125,6 +132,7 @@ void ThreadProcess::wait_any(std::span<Event* const> events) {
     e->add_dynamic(*this);
   }
   state_ = State::kWaitDynamic;
+  wait_since_ = sim().now();
   suspend();
 }
 
@@ -138,6 +146,7 @@ void ThreadProcess::wait_all(std::span<Event* const> events) {
     e->add_dynamic(*this);
   }
   state_ = State::kWaitDynamic;
+  wait_since_ = sim().now();
   suspend();
 }
 
@@ -152,6 +161,7 @@ void MethodProcess::activate() {
   // Default resumption is static sensitivity; the body may override it by
   // calling next_trigger().
   state_ = State::kWaitStatic;
+  wait_since_ = sim().now();
   fn_();
 }
 
@@ -160,6 +170,7 @@ void MethodProcess::next_trigger(Event& e) {
   waited_events_.push_back(&e);
   e.add_dynamic(*this);
   state_ = State::kWaitDynamic;
+  wait_since_ = sim().now();
 }
 
 void MethodProcess::next_trigger(Time t) {

@@ -53,6 +53,10 @@ class Process : public Object {
   /// True if the last timed wait ended via timeout rather than event.
   [[nodiscard]] bool timed_out() const noexcept { return timed_out_; }
 
+  /// Sim time at which the current wait began (diagnostics: wait duration in
+  /// DeadlockReport). Meaningful while state() is a wait state.
+  [[nodiscard]] Time blocked_since() const noexcept { return wait_since_; }
+
  protected:
   friend class Simulation;
   friend class Event;
@@ -72,6 +76,7 @@ class Process : public Object {
 
   State state_ = State::kReady;
   WaitMode wait_mode_ = WaitMode::kNone;
+  Time wait_since_;  ///< Sim time the current wait began.
   usize and_pending_ = 0;  ///< Outstanding events for an and-list wait.
   std::vector<Event*> waited_events_;
   std::unique_ptr<Event> timeout_event_;

@@ -52,11 +52,15 @@ void Simulation::register_object(Object& o) {
 void Simulation::unregister_object(Object& o) {
   objects_.erase(o.name());
   if (o.parent() == nullptr) std::erase(top_level_, &o);
-  if (auto* p = dynamic_cast<Process*>(&o)) {
-    std::erase(processes_, p);
-    std::erase(runnable_, p);
-    std::erase(pending_dynamic_, p);
-  }
+  // Process list cleanup happens in unregister_process(), called from
+  // ~Process(): by the time ~Object() runs the Process subobject is already
+  // destroyed and a dynamic_cast here would (silently) yield nullptr.
+}
+
+void Simulation::unregister_process(Process& p) {
+  std::erase(processes_, &p);
+  std::erase(runnable_, &p);
+  std::erase(pending_dynamic_, &p);
 }
 
 void Simulation::adopt_process(Process& p) {
@@ -84,6 +88,48 @@ std::vector<Process*> Simulation::starved_processes() const {
         !p->is_daemon())
       out.push_back(p);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hang diagnostics
+
+DeadlockReport Simulation::build_stall_report(DeadlockReport::Kind k) const {
+  DeadlockReport report;
+  report.kind = k;
+  report.at = now_;
+  report.delta_count = delta_count_;
+  report.activations = activations_;
+  for (Process* p : processes_) {
+    // kWaitDynamic covers blocked thread wait()s and method next_trigger()s
+    // whose events will (deadlock) or may (livelock) never fire. Statically
+    // sensitive processes are idle servers, not hang participants; daemons
+    // opted out explicitly.
+    if (p->state() != Process::State::kWaitDynamic || p->is_daemon()) continue;
+    BlockedWaiter w;
+    w.process = p->name();
+    w.process_id = sched_name_hash(w.process);
+    w.is_thread = p->is_thread();
+    w.blocked_since = p->blocked_since();
+    w.wait_duration = now_ - w.blocked_since;
+    for (const Event* e : p->waited_events_) {
+      w.awaited.push_back(e->name_);
+      w.awaited_ids.push_back(sched_name_hash(e->name_));
+    }
+    report.waiters.push_back(std::move(w));
+  }
+  return report;
+}
+
+void Simulation::report_stall(DeadlockReport::Kind k) {
+  DeadlockReport report = build_stall_report(k);
+  // A clean drain — quiescence with nobody blocked — is not a deadlock.
+  // A livelock is reportable even with no dynamic waiters (time was
+  // spinning with nothing dispatching), so it always lands.
+  if (k == DeadlockReport::Kind::kDeadlock && report.waiters.empty()) return;
+  log::warn() << "simulation " << to_string(k) << " at " << now_.str() << ": "
+              << report.waiters.size() << " process(es) blocked";
+  deadlock_report_.emplace(std::move(report));
+  if (deadlock_handler_) deadlock_handler_(*deadlock_report_);
 }
 
 // ---------------------------------------------------------------------------
@@ -206,6 +252,7 @@ void Simulation::evaluate() {
     current_process_ = p;
     t_running = p;
     ++activations_;
+    if (!p->is_daemon()) last_progress_time_ = now_;
     emit(SchedRecord::Kind::kDispatch, sched_name_hash(p->name()));
     p->activate();
     t_running = nullptr;
@@ -315,6 +362,8 @@ bool Simulation::delta_cycle() {
 StopReason Simulation::run(Time duration) {
   if (!elaborated_) elaborate();
   stop_requested_ = false;
+  deadlock_report_.reset();
+  last_progress_time_ = now_;
   const bool bounded = duration != Time::max();
   const Time end = bounded ? now_ + duration : Time::max();
 
@@ -339,6 +388,10 @@ StopReason Simulation::run(Time duration) {
     for (;;) {
       if (timed_queue_.empty()) {
         timed_stale_ = 0;
+        // Quiescent with blocked waiters left behind: a model deadlock.
+        // Report it, but keep the kNoActivity return — callers distinguish
+        // a clean drain from a deadlock via deadlock_report().
+        report_stall(DeadlockReport::Kind::kDeadlock);
         return StopReason::kNoActivity;
       }
       const TimedEntry top = timed_top();
@@ -355,6 +408,15 @@ StopReason Simulation::run(Time duration) {
       if (bounded && top.time > end) {
         now_ = end;
         return StopReason::kTimeLimit;
+      }
+      // Progress watchdog: simulated time is about to move further past the
+      // last non-daemon dispatch than the model tolerates — a livelock
+      // (e.g. a clock or retry timer spinning while every worker is stuck).
+      if (!max_quiet_time_.is_zero() &&
+          top.time - last_progress_time_ > max_quiet_time_) {
+        now_ = last_progress_time_ + max_quiet_time_;
+        report_stall(DeadlockReport::Kind::kLivelock);
+        return StopReason::kStalled;
       }
       now_ = top.time;
       emit(SchedRecord::Kind::kTimeAdvance, 0);

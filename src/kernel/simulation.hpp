@@ -7,10 +7,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "kernel/diagnostics.hpp"
 #include "kernel/sched_trace.hpp"
 #include "kernel/time.hpp"
 #include "util/types.hpp"
@@ -28,6 +30,7 @@ enum class StopReason : u8 {
   kTimeLimit,    ///< Reached the requested duration.
   kNoActivity,   ///< Event queues drained; simulation quiescent.
   kExplicitStop, ///< A process called Simulation::stop().
+  kStalled,      ///< The max_quiet_time progress watchdog fired (livelock).
 };
 
 class Simulation {
@@ -80,6 +83,32 @@ class Simulation {
   /// paper's Sec. 5.4 blocking-bus case).
   [[nodiscard]] std::vector<Process*> starved_processes() const;
 
+  // -- Hang diagnostics ------------------------------------------------------
+
+  /// Sim-time progress watchdog: if simulated time is about to advance more
+  /// than `t` past the last non-daemon process dispatch, run() stops with
+  /// StopReason::kStalled and assembles a kLivelock DeadlockReport. Zero
+  /// (the default) disables the watchdog. Daemon processes (e.g. clock
+  /// ticks) do not count as progress, so a clocked model that only toggles
+  /// its clock still trips the watchdog.
+  void set_max_quiet_time(Time t) noexcept { max_quiet_time_ = t; }
+  [[nodiscard]] Time max_quiet_time() const noexcept { return max_quiet_time_; }
+
+  /// Installs a callback invoked synchronously whenever a DeadlockReport is
+  /// assembled (quiescent deadlock or watchdog livelock). Pass nullptr /
+  /// empty to remove.
+  void set_deadlock_handler(DeadlockHandler h) {
+    deadlock_handler_ = std::move(h);
+  }
+
+  /// The report from the most recent run(), if that run detected a hang.
+  /// Cleared at the start of every run(). A deadlocked run still returns
+  /// kNoActivity (existing callers key on that); check here for the details.
+  [[nodiscard]] const std::optional<DeadlockReport>& deadlock_report()
+      const noexcept {
+    return deadlock_report_;
+  }
+
   /// The process currently executing, or nullptr between activations.
   [[nodiscard]] Process* current_process() const noexcept {
     return current_process_;
@@ -131,6 +160,7 @@ class Simulation {
   void register_object(Object& o);
   void unregister_object(Object& o);
   void adopt_process(Process& p);
+  void unregister_process(Process& p);
 
   /// Runs one evaluation phase + update phase + delta notifications.
   /// Returns true if more runnable processes emerged.
@@ -159,6 +189,11 @@ class Simulation {
   [[nodiscard]] const TimedEntry& timed_top() const { return timed_queue_.front(); }
   void compact_timed_queue();
 
+  /// Snapshots the blocked non-daemon processes into a DeadlockReport.
+  [[nodiscard]] DeadlockReport build_stall_report(DeadlockReport::Kind k) const;
+  /// Stores the report, notifies the handler, logs a one-line summary.
+  void report_stall(DeadlockReport::Kind k);
+
   /// True (and clears the flag) when request_stop() fired since last check.
   [[nodiscard]] bool consume_external_stop() noexcept {
     if (!external_stop_.load(std::memory_order_relaxed)) return false;
@@ -185,6 +220,12 @@ class Simulation {
   std::atomic<bool> external_stop_{false};
   bool timed_compaction_enabled_ = true;
   bool debug_lifo_evaluation_ = false;
+  /// Progress watchdog (see set_max_quiet_time); zero disables.
+  Time max_quiet_time_;
+  /// Sim time of the most recent non-daemon process dispatch.
+  Time last_progress_time_;
+  DeadlockHandler deadlock_handler_;
+  std::optional<DeadlockReport> deadlock_report_;
   bool sampling_tracers_ = false;  ///< Guards tracers_ mutation during sampling.
   SchedulerObserver* observer_ = nullptr;
 

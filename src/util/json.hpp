@@ -69,6 +69,11 @@ class JsonWriter {
     out_ << (v ? "true" : "false");
     return *this;
   }
+  JsonWriter& value(std::nullptr_t) {
+    comma();
+    out_ << "null";
+    return *this;
+  }
 
   /// key+value in one call.
   template <typename T>

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <csignal>
 #include <future>
 #include <stdexcept>
 #include <thread>
@@ -352,6 +353,100 @@ TEST(CampaignTest, RequestStopIsSafeFromAnotherThread) {
   const auto reason = sim.run();
   stopper.join();
   EXPECT_EQ(reason, kern::StopReason::kExplicitStop);
+}
+
+/// An unbounded job body: its simulation only ends via request_stop().
+int run_forever(JobContext& ctx) {
+  kern::Simulation sim;
+  kern::Module top(sim, "top");
+  top.spawn_thread("spin", [] {
+    for (;;) kern::wait(Time::us(1));
+  });
+  auto g = ctx.guard(sim);
+  sim.run();
+  return 0;
+}
+
+TEST(CampaignTest, RealSignalHandlerStopsTheSweep) {
+  // End-to-end graceful shutdown: a *real* SIGINT delivered to this process
+  // lands in the installed handler, the runner's watchdog observes the flag
+  // and broadcasts request_stop() into every guarded simulation.
+  install_stop_signal_handlers();
+  clear_signal_stop();
+  CampaignRunner runner(2);
+  runner.enable_signal_stop();
+  auto a = runner.submit("a", run_forever);
+  auto b = runner.submit("b", run_forever);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_THROW(a.get(), std::runtime_error);
+  EXPECT_THROW(b.get(), std::runtime_error);
+  runner.wait_idle();
+  EXPECT_TRUE(signal_stop_requested());
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  for (const JobStats& s : stats) {
+    EXPECT_FALSE(s.done);  // partial results never masquerade as complete
+    EXPECT_TRUE(s.quarantined);
+    EXPECT_EQ(s.quarantine_reason, "interrupted");
+  }
+  clear_signal_stop();
+}
+
+TEST(CampaignTest, RequestStopAllInterruptsRunningAndPendingJobs) {
+  CampaignRunner runner(1);  // one worker: the second job stays queued
+  auto running = runner.submit("running", run_forever);
+  auto pending = runner.submit("pending", run_forever);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  runner.request_stop_all();
+  EXPECT_THROW(running.get(), std::runtime_error);
+  EXPECT_THROW(pending.get(), std::runtime_error);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_TRUE(stats[0].quarantined);
+  EXPECT_TRUE(stats[1].quarantined);
+  // The pending job was cancelled before its simulation ever ran.
+  EXPECT_EQ(stats[1].sim_time, Time::zero());
+}
+
+TEST(CampaignTest, StatsIndexLetsResumedJobsKeepTheirSlot) {
+  CampaignRunner runner(1);
+  JobOptions opt;
+  opt.stats_index = 7;  // this submission is job 7 of some earlier campaign
+  auto f = runner.submit("late", opt, [] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].index, 7u);
+  EXPECT_EQ(stats[0].label, "late");
+  EXPECT_TRUE(stats[0].done);
+}
+
+TEST(CampaignTest, ReportEmitsNullTotalsWhenNothingCompleted) {
+  // All-quarantined sweep: averages would be 0/0, so totals must be an
+  // explicit null with a reason — not NaN and not a zero-filled object.
+  std::vector<JobStats> stats(2);
+  stats[0].index = 0;
+  stats[0].label = "a";
+  stats[0].quarantined = true;
+  stats[0].quarantine_reason = "interrupted";
+  stats[1].index = 1;
+  stats[1].label = "b";
+  stats[1].quarantined = true;
+  stats[1].quarantine_reason = "wall-clock timeout";
+  const std::string json = report_json("doomed", 2, stats);
+  EXPECT_NE(json.find("\"totals\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"totals_reason\":\"no completed jobs\""),
+            std::string::npos);
+  EXPECT_EQ(json.find("jobs_per_cpu_second"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+
+  const std::string empty = report_json("empty", 1, {});
+  EXPECT_NE(empty.find("\"totals\":null"), std::string::npos);
+  EXPECT_NE(empty.find("\"totals_reason\":\"no jobs submitted\""),
+            std::string::npos);
 }
 
 }  // namespace

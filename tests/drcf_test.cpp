@@ -712,5 +712,97 @@ TEST(DrcfDeadlock, DedicatedConfigPortAvoidsDeadlock) {
   EXPECT_EQ(link.transfers(), 32u);
 }
 
+// ---------------------------------------------------------------------------
+// Context-thrash detector
+
+TEST(DrcfThrashTest, FruitlessPingPongRaisesAlert) {
+  DrcfConfig cfg = DrcfFixture::make_default_cfg();
+  cfg.thrash_window = 1_ms;  // wide window: every switch below lands in it
+  cfg.thrash_switches = 4;
+  DrcfFixture f(cfg);
+  f.top.spawn_thread("churn", [&] {
+    // Reconfigure back and forth with no forwarded transaction in between:
+    // pure configuration churn, zero useful work.
+    for (int i = 0; i < 4; ++i) {
+      f.drcf.prefetch(f.ctx_a);
+      kern::wait(2_us);  // let the load finish
+      f.drcf.prefetch(f.ctx_b);
+      kern::wait(2_us);
+    }
+  });
+  f.sim.run();
+  EXPECT_GE(f.drcf.stats().switches, 8u);
+  EXPECT_GE(f.drcf.stats().thrash_alerts, 1u);
+  // The alert is also on the fault ledger, joined by kind.
+  bool ledgered = false;
+  for (const auto& rec : f.drcf.fault_ledger().records())
+    if (rec.kind == fault::FaultEventKind::kThrash) ledgered = true;
+  EXPECT_TRUE(ledgered);
+}
+
+TEST(DrcfThrashTest, UsefulWorkBetweenSwitchesSuppressesAlert) {
+  DrcfConfig cfg = DrcfFixture::make_default_cfg();
+  cfg.thrash_window = 1_ms;
+  cfg.thrash_switches = 4;
+  DrcfFixture f(cfg);
+  f.top.spawn_thread("worker", [&] {
+    // Same ping-pong rate, but every residency does real transactions:
+    // these switches are the workload's natural behaviour, not thrash.
+    for (int i = 0; i < 6; ++i) {
+      bus::word r = 0;
+      EXPECT_EQ(f.sys_bus.read(0x105, &r), BusStatus::kOk);
+      EXPECT_EQ(f.sys_bus.read(0x205, &r), BusStatus::kOk);
+    }
+  });
+  f.sim.run();
+  EXPECT_GE(f.drcf.stats().switches, 12u);
+  EXPECT_EQ(f.drcf.stats().thrash_alerts, 0u);
+}
+
+TEST(DrcfThrashTest, DisabledByDefault) {
+  DrcfFixture f;  // default config: thrash_window == 0
+  f.top.spawn_thread("churn", [&] {
+    for (int i = 0; i < 6; ++i) {
+      f.drcf.prefetch(f.ctx_a);
+      kern::wait(2_us);
+      f.drcf.prefetch(f.ctx_b);
+      kern::wait(2_us);
+    }
+  });
+  f.sim.run();
+  EXPECT_GE(f.drcf.stats().switches, 12u);
+  EXPECT_EQ(f.drcf.stats().thrash_alerts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stopping mid-reconfiguration
+
+TEST(DrcfTest, RequestStopDuringFetchThenResume) {
+  // A 64-word fetch over a 10 ns/word bus takes ~640 ns; stop the run from
+  // inside while the fetch is in flight, then resume: the fetch completes
+  // and the suspended caller's transaction succeeds. This is the kernel
+  // contract the campaign watchdog and SIGINT broadcast rely on.
+  DrcfFixture f;
+  bool call_done = false;
+  f.top.spawn_thread("master", [&] {
+    bus::word r = 0;
+    EXPECT_EQ(f.sys_bus.read(0x105, &r), BusStatus::kOk);
+    EXPECT_EQ(r, 1005);
+    call_done = true;
+  });
+  f.top.spawn_thread("stopper", [&] {
+    kern::wait(100_ns);  // well inside the configuration fetch
+    f.sim.request_stop();
+  });
+  EXPECT_EQ(f.sim.run(), kern::StopReason::kExplicitStop);
+  EXPECT_FALSE(call_done);  // stopped mid-fetch
+  EXPECT_FALSE(f.drcf.is_resident(f.ctx_a));
+  // Resuming the same simulation finishes the interrupted reconfiguration.
+  EXPECT_EQ(f.sim.run(), kern::StopReason::kNoActivity);
+  EXPECT_TRUE(call_done);
+  EXPECT_TRUE(f.drcf.is_resident(f.ctx_a));
+  EXPECT_EQ(f.drcf.stats().switches, 1u);
+}
+
 }  // namespace
 }  // namespace adriatic::drcf
