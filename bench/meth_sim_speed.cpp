@@ -246,6 +246,45 @@ void BM_DrcfContextSwitch(benchmark::State& state) {
 }
 BENCHMARK(BM_DrcfContextSwitch)->Arg(64)->Arg(1024);
 
+// Latency hiding of the context-prefetch layer: Arg(0) runs the ring driver
+// on-demand (every step pays the full configuration fetch), Arg(1) under
+// kHybrid with a 3-plane context cache (fills overlap the driver's compute
+// gaps). The counters report the cache-hit rate over demand misses and the
+// fraction of fetch latency kept off the demand path.
+void BM_PrefetchHitRate(benchmark::State& state) {
+  drcf::DrcfConfig dc;
+  dc.technology = drcf::varicore_like();
+  dc.technology.per_switch_overhead = kern::Time::zero();
+  if (state.range(0) != 0) {
+    dc.prefetch.policy = drcf::PrefetchPolicy::kHybrid;
+    dc.prefetch.cache_slots = 3;
+    dc.prefetch.static_next = {1, 2, 0};
+  }
+  adriatic::bench::DrcfRig rig(3, 64, dc, {}, /*dedicated_cfg_link=*/true);
+  u64 reads = 0;
+  rig.top.spawn_thread("driver", [&] {
+    bus::word w = 0;
+    for (;;) {
+      rig.sys_bus.read(rig.ctx_addr(reads % 3), &w);
+      ++reads;
+      kern::wait(kern::Time::us(2));  // the compute gap a fill can hide in
+    }
+  });
+  rig.sim.elaborate();
+  for (auto _ : state) rig.sim.run(kern::Time::ms(1));
+  const auto& fs = rig.fabric.stats();
+  state.SetItemsProcessed(static_cast<i64>(reads));
+  state.counters["cache_hit_rate"] =
+      fs.misses > 0
+          ? static_cast<double>(fs.cache_hits) / static_cast<double>(fs.misses)
+          : 0.0;
+  const double hidden = fs.hidden_latency.to_ns();
+  const double busy = fs.reconfig_busy_time.to_ns();
+  state.counters["hidden_frac"] =
+      hidden + busy > 0 ? hidden / (hidden + busy) : 0.0;
+}
+BENCHMARK(BM_PrefetchHitRate)->Arg(0)->Arg(1);
+
 // Raw accelerator model vs DRCF-wrapped accelerator: wall-clock cost of the
 // methodology itself (events simulated per second of host time).
 void BM_RawAccelerator(benchmark::State& state) {

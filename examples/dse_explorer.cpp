@@ -1,8 +1,9 @@
 // Design-space explorer: sweeps reconfigurable technology x slot count x
-// memory organisation for the WLAN-style three-kernel application, collects
-// (latency, area, reconfig energy) for every point, and prints the Pareto
-// front — the "true design space exploration at the system level" the paper
-// positions the methodology for.
+// memory organisation x context-scheduler policy for the WLAN-style
+// three-kernel application, collects (latency, area, reconfig energy,
+// inflexibility, fetched config bytes) for every point, and prints the
+// Pareto front — the "true design space exploration at the system level"
+// the paper positions the methodology for.
 //
 // Every design point is an independent simulation, so the sweep runs through
 // the campaign engine: one Simulation per worker thread, results printed in
@@ -115,6 +116,12 @@ struct Config {
   drcf::ReconfigTechnology tech;
   u32 slots;
   bool dedicated_link;
+  /// Context-scheduler policy axis: on-demand (paper-faithful) vs hybrid
+  /// prefetch into a 2-plane configuration cache. The driver's fir->fft->aes
+  /// ring makes the static successor annotation exact, so this axis shows
+  /// how much fetch latency prediction can hide on each memory organisation.
+  drcf::PrefetchPolicy policy = drcf::PrefetchPolicy::kOnDemand;
+  u32 cache_slots = 0;
 };
 
 /// One design point == one job: builds, transforms, simulates and evaluates
@@ -135,6 +142,12 @@ SweepOutcome run_config(const Config& cfg,
   transform::TransformOptions opt;
   opt.drcf_config.technology = cfg.tech;
   opt.drcf_config.slots = cfg.slots;
+  if (cfg.policy != drcf::PrefetchPolicy::kOnDemand) {
+    opt.drcf_config.prefetch.policy = cfg.policy;
+    opt.drcf_config.prefetch.cache_slots = cfg.cache_slots;
+    for (u32 i = 0; i < 3; ++i)  // fir->fft->aes ring
+      opt.drcf_config.prefetch.static_next.push_back((i + 1) % 3);
+  }
   opt.config_memory = "cfg_mem";
   if (cfg.dedicated_link) opt.config_bus = "cfg_link";
   const auto report = transform::transform_to_drcf(d, candidates, opt);
@@ -164,21 +177,33 @@ SweepOutcome run_config(const Config& cfg,
   const auto& fabric = e.get_drcf("drcf1");
   const auto& fs = fabric.stats();
   if (ctx != nullptr) ctx->record_faults(fs.fetch_errors, fabric.fault_ledger());
+  if (ctx != nullptr)
+    ctx->record_prefetch(fs.prefetch_hits, fs.cache_hits,
+                         fs.config_words_fetched, fs.hidden_latency);
   const auto area = estimate::drcf_area(kernel_gates, cfg.tech, cfg.slots);
   const double time_us = sim.now().to_us();
   const double energy_uj = fs.reconfig_energy_j * 1e6;
+  const double hidden_us = fs.hidden_latency.to_us();
+  const double busy_us = fs.reconfig_busy_time.to_us();
+  const double hide_pct =
+      hidden_us + busy_us > 0 ? 100.0 * hidden_us / (hidden_us + busy_us) : 0.0;
   out.row = {cfg.label, Table::num(time_us, 1),
              Table::integer(static_cast<long long>(fs.switches)),
              Table::integer(static_cast<long long>(fs.config_words_fetched)),
+             Table::num(hidden_us, 2), Table::num(hide_pct, 1),
              Table::integer(
                  static_cast<long long>(area.total_gate_equivalents())),
              Table::num(energy_uj, 2)};
   // Fourth objective: inflexibility (0 = field-upgradable fabric, 1 =
   // frozen silicon) — the axis that motivates reconfigurable hardware in
-  // the first place (paper Fig. 2).
+  // the first place (paper Fig. 2). Fifth: fetched configuration bytes,
+  // the config-memory bandwidth bill a prefetching scheduler can lower
+  // (cache hits) or raise (mispredicted fills).
   out.point = {cfg.label,
                {time_us, static_cast<double>(area.total_gate_equivalents()),
-                energy_uj, 0.0}};
+                energy_uj, 0.0,
+                static_cast<double>(fs.config_words_fetched) *
+                    sizeof(bus::word)}};
   out.ok = true;
   return out;
 }
@@ -202,7 +227,8 @@ SweepOutcome run_hardwired(u64 hw_gates, campaign::JobContext* ctx) {
   }
   out.row = {Table::num(sim.now().to_us(), 1)};
   out.point = {"hardwired",
-               {sim.now().to_us(), static_cast<double>(hw_gates), 0.0, 1.0}};
+               {sim.now().to_us(), static_cast<double>(hw_gates), 0.0, 1.0,
+                0.0}};
   out.ok = true;
   return out;
 }
@@ -260,9 +286,17 @@ int main(int argc, char** argv) {
                            drcf::morphosys_like()}) {
     for (const u32 slots : {1u, 2u}) {
       for (const bool link : {false, true}) {
-        configs.push_back({tech.name + "/s" + std::to_string(slots) +
-                               (link ? "/link" : "/shared"),
-                           tech, slots, link});
+        for (const bool prefetch : {false, true}) {
+          Config c{tech.name + "/s" + std::to_string(slots) +
+                       (link ? "/link" : "/shared") +
+                       (prefetch ? "/hybrid" : "/demand"),
+                   tech, slots, link};
+          if (prefetch) {
+            c.policy = drcf::PrefetchPolicy::kHybrid;
+            c.cache_slots = 2;
+          }
+          configs.push_back(c);
+        }
       }
     }
   }
@@ -400,10 +434,10 @@ int main(int argc, char** argv) {
       if (rec.index < job_stats.size()) job_stats[rec.index] = rec;
   }
 
-  Table t("DSE sweep: technology x slots x config-memory organisation (" +
+  Table t("DSE sweep: technology x slots x config-memory x scheduler policy (" +
           std::to_string(kFrames) + " frames)");
   t.header({"configuration", "time [us]", "switches", "cfg words",
-            "area [gate-eq]", "reconf energy [uJ]"});
+            "hidden [us]", "hide %", "area [gate-eq]", "reconf energy [uJ]"});
   std::vector<dse::DesignPoint> points;
   usize missing = 0;
   for (usize i = 0; i < configs.size(); ++i) {
@@ -439,7 +473,7 @@ int main(int argc, char** argv) {
     const auto front = dse::pareto_front(points);
     std::cout
         << "\nPareto-optimal configurations (time, area, energy, "
-           "inflexibility):\n";
+           "inflexibility, cfg bytes):\n";
     for (const usize idx : front)
       std::cout << "  * " << points[idx].label << '\n';
   } else {

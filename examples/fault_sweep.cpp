@@ -1,5 +1,6 @@
 // Fault-injection sweep: recovery policy x configuration-fetch error rate
-// for a two-context DRCF, measuring availability (transactions that complete)
+// x context-scheduler policy (on-demand vs hybrid prefetch) for a
+// two-context DRCF, measuring availability (transactions that complete)
 // and the recovery work each policy performs. Demonstrates the robustness
 // story end to end: a seeded FaultPlan on the fabric's fetch path, the
 // recovery policies reacting to it, and the fault ledger surfacing in the
@@ -59,6 +60,11 @@ struct SweepConfig {
   drcf::RecoveryPolicy policy;
   u32 rate_pct;
   u64 plan_seed;
+  /// Scheduler axis: hybrid prefetch into a 2-plane cache vs on-demand.
+  /// Faulted background fills fail silently (the demand path re-fetches),
+  /// so this axis shows how much availability prefetching preserves — or
+  /// costs — under each recovery policy.
+  bool prefetch = false;
 };
 
 struct SweepOutcome {
@@ -73,6 +79,7 @@ u64 point_spec(const SweepConfig& cfg) {
   u64 p = static_cast<u64>(cfg.policy);
   p = p * 1099511628211ULL + cfg.rate_pct;
   p = p * 1099511628211ULL + cfg.plan_seed;
+  p = p * 1099511628211ULL + (cfg.prefetch ? 1 : 0);
   return campaign::spec_hash(cfg.label, p);
 }
 
@@ -103,6 +110,11 @@ SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx,
   dc.recovery.backoff = 50_ns;
   if (cfg.policy == drcf::RecoveryPolicy::kFallbackContext)
     dc.recovery.fallback_context = 0;
+  if (cfg.prefetch) {
+    dc.prefetch.policy = drcf::PrefetchPolicy::kHybrid;
+    dc.prefetch.cache_slots = 2;
+    dc.prefetch.static_next = {1, 0};  // the driver's ping-pong, exactly
+  }
   if (cfg.rate_pct > 0) {
     fault::FaultRule rule;
     rule.rate = cfg.rate_pct / 100.0;
@@ -162,6 +174,8 @@ SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx,
     ctx->record(sim);
     ctx->record_digest(digest.value());
     ctx->record_faults(fs.fetch_errors, fabric.fault_ledger());
+    ctx->record_prefetch(fs.prefetch_hits, fs.cache_hits,
+                         fs.config_words_fetched, fs.hidden_latency);
   }
   const double availability = static_cast<double>(ok_steps) / kSteps;
   out.row = {cfg.label,
@@ -171,6 +185,7 @@ SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx,
              Table::integer(static_cast<long long>(fs.fallback_forwards)),
              Table::integer(
                  static_cast<long long>(fabric.fault_ledger().injected_count())),
+             Table::integer(static_cast<long long>(fs.cache_hits)),
              Table::num(availability, 3)};
   out.ok = true;
   return out;
@@ -235,9 +250,11 @@ int main(int argc, char** argv) {
   std::vector<SweepConfig> configs;
   for (const auto& [pname, policy] : policies)
     for (const u32 rate : rates)
-      configs.push_back({std::string(pname) + "/r" + std::to_string(rate),
-                         policy, rate,
-                         seed * 1000 + configs.size()});
+      for (const bool prefetch : {false, true})
+        configs.push_back({std::string(pname) + "/r" + std::to_string(rate) +
+                               (prefetch ? "/hybrid" : "/demand"),
+                           policy, rate, seed * 1000 + configs.size(),
+                           prefetch});
 
   // Journal / resume setup. Resume validates the journal's identity first:
   // same campaign, same planned job set (spec hashes cover every simulation
@@ -354,11 +371,11 @@ int main(int argc, char** argv) {
       if (rec.index < job_stats.size()) job_stats[rec.index] = rec;
   }
 
-  Table t("Fault sweep: recovery policy x fetch error rate (" +
+  Table t("Fault sweep: recovery policy x fetch error rate x scheduler (" +
           std::to_string(kSteps) + " steps, seed " + std::to_string(seed) +
           ")");
-  t.header({"policy/rate", "steps ok", "fetch errs", "retries", "fallbacks",
-            "injected", "availability"});
+  t.header({"policy/rate/sched", "steps ok", "fetch errs", "retries",
+            "fallbacks", "injected", "cache hits", "availability"});
   for (const auto& out : outcomes)
     if (out.ok) t.row(out.row);
   t.print(std::cout);

@@ -89,6 +89,11 @@ struct JobStats {
   u64 faults_injected = 0;    ///< Injection-side ledger events.
   u64 fault_events = 0;       ///< Total ledger events.
   u64 fault_digest = 0;       ///< FaultLedger::digest() of the job's ledger.
+  bool has_prefetch = false;  ///< record_prefetch() was called.
+  u64 prefetch_hits = 0;      ///< Demand switches/calls covered by a prefetch.
+  u64 cache_hits = 0;         ///< Switches installed from the context cache.
+  u64 config_words_fetched = 0;  ///< Configuration words moved over the bus.
+  kern::Time hidden_latency;  ///< Fetch latency kept off the demand path.
 };
 
 /// Message for the exception currently in flight; call only inside `catch`.
@@ -137,6 +142,18 @@ class JobContext {
     stats_->faults_injected = ledger.injected_count();
     stats_->fault_events = static_cast<u64>(ledger.records().size());
     stats_->fault_digest = ledger.digest();
+  }
+
+  /// Stores prefetch/cache effectiveness counters in the job's stats;
+  /// report_json() emits them as the job's "prefetch" object. Scalars (not
+  /// a DrcfStats reference) so the campaign layer stays DRCF-agnostic.
+  void record_prefetch(u64 prefetch_hits, u64 cache_hits,
+                       u64 config_words_fetched, kern::Time hidden_latency) {
+    stats_->has_prefetch = true;
+    stats_->prefetch_hits = prefetch_hits;
+    stats_->cache_hits = cache_hits;
+    stats_->config_words_fetched = config_words_fetched;
+    stats_->hidden_latency = hidden_latency;
   }
 
   /// 1-based attempt currently running (grows with JobOptions::max_attempts).

@@ -164,6 +164,13 @@ void CampaignJournal::record_done(const JobStats& s) {
         static_cast<unsigned long long>(s.faults_injected),
         static_cast<unsigned long long>(s.fault_events),
         static_cast<unsigned long long>(s.fault_digest));
+  if (s.has_prefetch)
+    line += strfmt(
+        " prefetch_hits=%llu cache_hits=%llu cfg_words=%llu hidden_ps=%llu",
+        static_cast<unsigned long long>(s.prefetch_hits),
+        static_cast<unsigned long long>(s.cache_hits),
+        static_cast<unsigned long long>(s.config_words_fetched),
+        static_cast<unsigned long long>(s.hidden_latency.picoseconds()));
   append_line(line);
 }
 
@@ -227,6 +234,10 @@ std::optional<JournalState> read_journal(const std::string& path) {
         else if (key == "injected") s.faults_injected = parse_u64(val);
         else if (key == "fault_events") s.fault_events = parse_u64(val);
         else if (key == "fault_digest") s.fault_digest = parse_u64(val, 16);
+        else if (key == "prefetch_hits") { s.has_prefetch = true; s.prefetch_hits = parse_u64(val); }
+        else if (key == "cache_hits") s.cache_hits = parse_u64(val);
+        else if (key == "cfg_words") s.config_words_fetched = parse_u64(val);
+        else if (key == "hidden_ps") s.hidden_latency = kern::Time::ps(parse_u64(val));
       }
       // Last record per index wins; only done results count as completed —
       // a quarantined/interrupted D leaves the job eligible for re-run.

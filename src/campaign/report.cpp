@@ -65,6 +65,16 @@ std::string report_json(const std::string& name, usize threads,
                      static_cast<unsigned long long>(s.fault_digest)));
       w.end();
     }
+    // The prefetch summary: latency-hiding curves come from plotting these
+    // per-job counters against the jobs' scheduler-policy parameters.
+    if (s.has_prefetch) {
+      w.key("prefetch").begin_object();
+      w.field("prefetch_hits", s.prefetch_hits);
+      w.field("cache_hits", s.cache_hits);
+      w.field("config_words_fetched", s.config_words_fetched);
+      w.field("hidden_latency_ns", s.hidden_latency.to_ns());
+      w.end();
+    }
     w.end();
   }
   w.end();

@@ -67,6 +67,12 @@ FuzzCase make_case(u64 seed) {
     fc.fault_seed = rng.next();
     fc.recovery = static_cast<u32>(rng.next_below(4));
   }
+  // Prefetch draws also extend strictly at the end (same reasoning): a
+  // third of the cases explore the policy x cache space.
+  if (rng.next_below(3) == 0) {
+    fc.prefetch_policy = static_cast<u32>(rng.next_below(4));
+    fc.cache_slots = static_cast<u32>(rng.next_below(4));
+  }
   return fc;
 }
 
@@ -77,6 +83,8 @@ bool valid(const FuzzCase& fc) {
   if (fc.tech_index > 2) return false;
   if (fc.fault_rate_pct > 100) return false;
   if (fc.recovery > 3) return false;
+  if (fc.prefetch_policy > 3) return false;
+  if (fc.cache_slots > 4) return false;
   return std::all_of(fc.schedule.begin(), fc.schedule.end(),
                      [&](usize idx) { return idx < fc.n_accels; });
 }
@@ -180,6 +188,16 @@ CaseResult run_case(const FuzzCase& fc) {
         drcf::RecoveryPolicy::kFallbackContext)
       opt.drcf_config.recovery.fallback_context = 0;
   }
+  if (fc.prefetch_policy > 0 || fc.cache_slots > 0) {
+    opt.drcf_config.prefetch.policy =
+        static_cast<drcf::PrefetchPolicy>(fc.prefetch_policy);
+    opt.drcf_config.prefetch.cache_slots = fc.cache_slots;
+    // A natural successor annotation for the static policies: the next
+    // candidate in ring order.
+    for (usize i = 0; i < fc.n_candidates; ++i)
+      opt.drcf_config.prefetch.static_next.push_back((i + 1) %
+                                                     fc.n_candidates);
+  }
   const auto report = transform::transform_to_drcf(d, candidates, opt);
   if (!report.ok) {
     res.failure = "transform failed: " + (report.diagnostics.empty()
@@ -207,13 +225,15 @@ CaseResult run_case(const FuzzCase& fc) {
   }
 
   // Invariant 2: functional equivalence with the hardwired reference.
-  if (snapshot_outputs(e, fc) != ref_out) {
+  res.outputs = snapshot_outputs(e, fc);
+  if (res.outputs != ref_out) {
     res.failure = "outputs diverge from the hardwired reference";
     return res;
   }
 
   // Invariants 3-5: accounting closes.
   auto& fabric = e.get_drcf(report.drcf_name);
+  res.fault_ledger_digest = fabric.fault_ledger().digest();
   const auto& s = fabric.stats();
   res.context_switches = s.switches;
   u64 accesses = 0;
@@ -238,11 +258,20 @@ CaseResult run_case(const FuzzCase& fc) {
                          static_cast<unsigned long long>(s.switches));
     return res;
   }
-  if (s.config_words_fetched != expected_words) {
-    res.failure =
-        strfmt("fetched %llu config words, expected %llu",
-               static_cast<unsigned long long>(s.config_words_fetched),
-               static_cast<unsigned long long>(expected_words));
+  // Word accounting generalizes under the prefetcher: every activation's
+  // words were either fetched on demand or skipped via a cache hit, and all
+  // extra fetched words are attributed to background fills / aborted
+  // prefetches. With prefetch off both new counters are zero and this
+  // reduces to the strict fetched == expected equality.
+  if (s.config_words_fetched + s.config_words_skipped !=
+      expected_words + s.config_words_prefetched) {
+    res.failure = strfmt(
+        "config-word accounting open: fetched %llu + skipped %llu != "
+        "expected %llu + prefetched %llu",
+        static_cast<unsigned long long>(s.config_words_fetched),
+        static_cast<unsigned long long>(s.config_words_skipped),
+        static_cast<unsigned long long>(expected_words),
+        static_cast<unsigned long long>(s.config_words_prefetched));
     return res;
   }
   if (s.fetch_errors != 0) {
@@ -283,6 +312,9 @@ std::string serialize(const FuzzCase& fc) {
                   static_cast<unsigned long long>(fc.fault_seed));
   }
   if (fc.recovery != 0) out += strfmt("recovery %u\n", fc.recovery);
+  if (fc.prefetch_policy != 0)
+    out += strfmt("prefetch_policy %u\n", fc.prefetch_policy);
+  if (fc.cache_slots != 0) out += strfmt("cache_slots %u\n", fc.cache_slots);
   return out;
 }
 
@@ -316,6 +348,10 @@ std::optional<FuzzCase> parse_case(const std::string& text) {
       ls >> fc.fault_seed;
     } else if (key == "recovery") {
       ls >> fc.recovery;
+    } else if (key == "prefetch_policy") {
+      ls >> fc.prefetch_policy;
+    } else if (key == "cache_slots") {
+      ls >> fc.cache_slots;
     } else {
       return std::nullopt;  // unknown key: refuse to guess
     }

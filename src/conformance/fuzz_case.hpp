@@ -29,6 +29,8 @@ struct FuzzCase {
   u32 fault_rate_pct = 0;
   u64 fault_seed = 0xF5EED;  ///< Seed of the fault plan (when rate > 0).
   u32 recovery = 0;  ///< drcf::RecoveryPolicy under the faults (0..3).
+  u32 prefetch_policy = 0;  ///< drcf::PrefetchPolicy (0..3; 0 = on-demand).
+  u32 cache_slots = 0;  ///< Configuration-cache planes (0 = no cache).
 
   bool operator==(const FuzzCase&) const = default;
 };
@@ -53,6 +55,10 @@ struct CaseResult {
   u64 digest = 0;       ///< Scheduler-trace digest of the transformed run.
   u64 sim_time_ps = 0;  ///< Simulated end time of the transformed run.
   u64 context_switches = 0;  ///< DRCF switches in the transformed run.
+  u64 fault_ledger_digest = 0;  ///< FaultLedger digest of the transformed run.
+  /// Output-region snapshot of the transformed run (the functional result
+  /// the differential policy test compares across scheduler knobs).
+  std::vector<bus::word> outputs;
 };
 
 /// Runs the case end to end — hardwired reference, DRCF transformation,

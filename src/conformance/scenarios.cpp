@@ -174,6 +174,30 @@ ScenarioResult run_sec53(u32 tech_index, u32 slots, bool link,
   return run_design(d, opt);
 }
 
+// -- prefetch: the sec53 shared-bus varicore point under a prefetch policy --
+//
+// prefetch_on_demand runs with the prefetch knobs explicitly set to their
+// defaults (and a successor table the default policy must ignore); its
+// digest must equal sec53_varicore_s1_shared's — the conformance suite
+// asserts that equality. prefetch_hybrid runs the same app under the
+// hybrid policy with a 2-plane configuration cache and pins the full
+// prefetch/cache scheduler behaviour as a golden digest of its own.
+ScenarioResult run_sec53_prefetch(drcf::PrefetchPolicy policy, u32 cache_slots,
+                                  const ScenarioOptions& opt) {
+  auto d = make_sec53_app(/*dedicated_cfg_link=*/false);
+  transform::TransformOptions topt;
+  topt.drcf_config.technology = drcf::varicore_like();
+  topt.drcf_config.slots = 1;
+  topt.drcf_config.prefetch.policy = policy;
+  topt.drcf_config.prefetch.cache_slots = cache_slots;
+  topt.drcf_config.prefetch.static_next = {1, 2, 0};
+  topt.config_memory = "cfg_mem";
+  const std::vector<std::string> candidates{"fir", "fft", "aes"};
+  const auto report = transform::transform_to_drcf(d, candidates, topt);
+  if (!report.ok) return {};
+  return run_design(d, opt);
+}
+
 // -- drcf: targeted context-scheduler shapes (Sec. 5.3 five-step walk) ------
 
 ScenarioResult run_drcf_shape(const FuzzCase& fc, const ScenarioOptions& opt) {
@@ -294,6 +318,16 @@ const std::vector<Scenario>& registry() {
     v.push_back({"fault_scrub", [](const ScenarioOptions& opt) {
                    return run_fault_shape(drcf::RecoveryPolicy::kScrub,
                                           fault::FaultKind::kCorrupt, 1, opt);
+                 }});
+
+    // Prefetch-policy scenarios (see run_sec53_prefetch above).
+    v.push_back({"prefetch_on_demand", [](const ScenarioOptions& opt) {
+                   return run_sec53_prefetch(drcf::PrefetchPolicy::kOnDemand,
+                                             0, opt);
+                 }});
+    v.push_back({"prefetch_hybrid", [](const ScenarioOptions& opt) {
+                   return run_sec53_prefetch(drcf::PrefetchPolicy::kHybrid, 2,
+                                             opt);
                  }});
     return v;
   }();

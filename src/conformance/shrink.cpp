@@ -125,6 +125,21 @@ ShrinkResult shrink_case(const FuzzCase& start,
     progress |= shrink_scalar(
         cur, cur.recovery, u32{0},
         [](FuzzCase& fc, u32 v) { fc.recovery = v; }, still_fails, out);
+
+    // Prefetch knobs: drop outright first (back to the paper-faithful
+    // on-demand scheduler), then walk each knob toward zero.
+    if (cur.prefetch_policy > 0 || cur.cache_slots > 0) {
+      FuzzCase mutated = cur;
+      mutated.prefetch_policy = 0;
+      mutated.cache_slots = 0;
+      progress |= try_accept(cur, mutated, still_fails, out);
+    }
+    progress |= shrink_scalar(
+        cur, cur.prefetch_policy, u32{0},
+        [](FuzzCase& fc, u32 v) { fc.prefetch_policy = v; }, still_fails, out);
+    progress |= shrink_scalar(
+        cur, cur.cache_slots, u32{0},
+        [](FuzzCase& fc, u32 v) { fc.cache_slots = v; }, still_fails, out);
   }
   return out;
 }

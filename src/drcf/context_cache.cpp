@@ -1,0 +1,45 @@
+#include "drcf/context_cache.hpp"
+
+#include <algorithm>
+
+namespace adriatic::drcf {
+
+ContextCache::InsertResult ContextCache::insert(usize ctx, u64 digest,
+                                                bool prefetched,
+                                                std::span<const usize> pinned) {
+  InsertResult r;
+  if (planes_.empty()) return r;
+  if (Plane* p = find(ctx)) {  // refresh in place
+    p->digest = digest;
+    p->prefetched = prefetched;
+    p->touched = ++seq_;
+    r.inserted = true;
+    return r;
+  }
+  const auto is_pinned = [&](usize c) {
+    return std::find(pinned.begin(), pinned.end(), c) != pinned.end();
+  };
+  Plane* slot = nullptr;
+  for (Plane& p : planes_) {  // a free plane always wins
+    if (!p.ctx.has_value()) {
+      slot = &p;
+      break;
+    }
+  }
+  if (slot == nullptr) {  // LRU over unpinned planes
+    for (Plane& p : planes_) {
+      if (is_pinned(*p.ctx)) continue;
+      if (slot == nullptr || p.touched < slot->touched) slot = &p;
+    }
+    if (slot == nullptr) return r;  // every plane pinned: give up
+    r.evicted = slot->ctx;
+  }
+  slot->ctx = ctx;
+  slot->digest = digest;
+  slot->prefetched = prefetched;
+  slot->touched = ++seq_;
+  r.inserted = true;
+  return r;
+}
+
+}  // namespace adriatic::drcf

@@ -32,6 +32,8 @@ Drcf::Drcf(kern::Object& parent, std::string name, DrcfConfig cfg)
       mst_port(*this, "mst_port"),
       cfg_(std::move(cfg)),
       slot_table_(cfg_.slots, cfg_.replacement),
+      predictor_(cfg_.prefetch.policy, cfg_.prefetch.static_next),
+      config_cache_(cfg_.prefetch.cache_slots),
       load_request_event_(sim(), this->name() + ".load_request"),
       any_loaded_event_(sim(), this->name() + ".loaded"),
       fabric_idle_event_(sim(), this->name() + ".fabric_idle"),
@@ -61,8 +63,10 @@ usize Drcf::add_context(bus::BusSlaveIf& inner, ContextParams params) {
   auto ctx = std::make_unique<Context>();
   ctx->inner = &inner;
   ctx->params = params;
-  ctx->loaded_event = std::make_unique<kern::Event>(
-      sim(), name() + ".ctx" + std::to_string(contexts_.size()) + ".loaded");
+  const std::string event_name =
+      name() + ".ctx" + std::to_string(contexts_.size()) + ".loaded";
+  ctx->loaded_event = std::make_unique<kern::Event>(sim(), event_name);
+  ctx->trace_id = kern::sched_name_hash(event_name);
   contexts_.push_back(std::move(ctx));
   return contexts_.size() - 1;
 }
@@ -122,8 +126,16 @@ bool Drcf::forward(bus::addr_t add, bus::word* data, bool is_read) {
       }
       if (counted_miss) {
         ctx.stats.blocked_time += sim().now() - t0;
+        ctx.loaded_by_prefetch = false;  // the caller waited: nothing hidden
       } else {
         ++stats_.hits;
+        if (ctx.loaded_by_prefetch) {
+          // First call into a prefetched context: the whole fetch happened
+          // off the demand path.
+          ctx.loaded_by_prefetch = false;
+          ++stats_.prefetch_hits;
+          stats_.hidden_latency += ctx.last_fetch_duration;
+        }
       }
       // Sec. 5.3 step 2/3 ordering: a call may only be forwarded to a
       // context that is resident on a fabric not mid-reconfiguration.
@@ -146,6 +158,7 @@ bool Drcf::forward(bus::addr_t add, bus::word* data, bool is_read) {
       counted_miss = true;
       ++stats_.misses;
       ++ctx.stats.blocked_accesses;
+      note_demand_miss(target, ctx);
     }
     ++ctx.waiters;
     request_load(target);
@@ -160,13 +173,101 @@ bool Drcf::forward(bus::addr_t add, bus::word* data, bool is_read) {
 }
 
 void Drcf::request_load(usize ctx) {
-  if (contexts_.at(ctx)->load_pending) return;
-  if (contexts_[ctx]->gave_up) return;  // terminally failed; never reloaded
+  request_load_impl(ctx, /*is_prefetch=*/false, /*fill_only=*/false);
+}
+
+void Drcf::issue_prefetch(usize ctx, bool fill_only) {
+  request_load_impl(ctx, /*is_prefetch=*/true, fill_only);
+}
+
+void Drcf::request_load_impl(usize ctx, bool is_prefetch, bool fill_only) {
+  Context& c = *contexts_.at(ctx);
+  if (c.load_pending) {
+    // A demand joining an in-flight prefetch promotes it: the load keeps its
+    // queue position but completes (and fails) with demand semantics.
+    if (!is_prefetch && c.pending_is_prefetch) c.pending_is_prefetch = false;
+    return;
+  }
+  if (c.gave_up) return;  // terminally failed; never reloaded
   if (slot_table_.lookup(ctx).has_value()) return;
-  contexts_[ctx]->load_pending = true;
-  contexts_[ctx]->load_failed = false;  // a fresh attempt
+  // Hybrid retargeting: a demand arrival cancels queued mispredicted
+  // prefetches so its own fetch starts sooner.
+  if (!is_prefetch && cfg_.prefetch.policy == PrefetchPolicy::kHybrid)
+    drop_queued_prefetches(ctx);
+  c.load_pending = true;
+  c.load_failed = false;  // a fresh attempt
+  c.pending_is_prefetch = is_prefetch;
+  c.pending_fill_only = fill_only;
   load_queue_.push_back(ctx);
   load_request_event_.notify();
+}
+
+void Drcf::drop_queued_prefetches(usize demanded) {
+  for (usize i = 0; i < load_queue_.size();) {
+    const usize q = load_queue_[i];
+    Context& c = *contexts_[q];
+    if (q == demanded || !c.pending_is_prefetch) {
+      ++i;
+      continue;
+    }
+    // Unstarted prefetch: nothing waits on it, so it just disappears.
+    c.load_pending = false;
+    c.pending_is_prefetch = false;
+    c.pending_fill_only = false;
+    ++stats_.prefetch_aborts;
+    emit_sched_prefetch(q);
+    load_queue_.erase(load_queue_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void Drcf::note_demand_miss(usize target, Context& ctx) {
+  if (cfg_.prefetch.policy == PrefetchPolicy::kOnDemand &&
+      !config_cache_.enabled())
+    return;  // base model: nothing to attribute the miss to
+  if (ctx.load_pending && ctx.pending_is_prefetch) {
+    // The demanded context is already being prefetched; the caller joins
+    // the load and only waits out the remainder of the fetch.
+    ++stats_.prefetch_hits;
+    if (ctx.fetch_in_progress)
+      stats_.hidden_latency += sim().now() - ctx.fetch_started;
+    ctx.pending_is_prefetch = false;  // promote to a demand load
+    return;
+  }
+  if (cache_covers(target)) return;  // counted as a cache hit at install
+  if (cfg_.prefetch.policy != PrefetchPolicy::kOnDemand)
+    ++stats_.prefetch_misses;
+}
+
+bool Drcf::cache_covers(usize target) const {
+  if (!config_cache_.enabled() || !cfg_.model_config_traffic) return false;
+  if (!config_cache_.contains(target)) return false;
+  const u64 expected = contexts_[target]->params.expected_digest;
+  return expected == 0 || config_cache_.digest(target) == expected;
+}
+
+std::vector<usize> Drcf::resident_contexts() const {
+  std::vector<usize> r;
+  for (u32 slot = 0; slot < slot_table_.slots(); ++slot) {
+    const auto ctx = slot_table_.resident(slot);
+    if (ctx.has_value()) r.push_back(*ctx);
+  }
+  return r;
+}
+
+bool Drcf::hybrid_demand_waiting(usize current) const {
+  for (const usize q : load_queue_)
+    if (q != current && !contexts_[q]->pending_is_prefetch) return true;
+  return false;
+}
+
+void Drcf::emit_sched_prefetch(usize target) {
+  kern::SchedulerObserver* obs = sim().observer();
+  if (obs == nullptr) return;
+  obs->on_record(kern::SchedRecord{kern::SchedRecord::Kind::kPrefetch,
+                                   sim().now().picoseconds(),
+                                   sim().delta_count(),
+                                   contexts_[target]->trace_id});
 }
 
 bool Drcf::retarget_to_fallback(usize& target, bus::addr_t& add) {
@@ -189,13 +290,131 @@ bool Drcf::retarget_to_fallback(usize& target, bus::addr_t& add) {
 void Drcf::prefetch(usize ctx) {
   if (ctx >= contexts_.size())
     throw std::out_of_range(name() + ": prefetch of unknown context");
+  // A prefetch of a context that is already resident, already loading, or
+  // terminally failed is a no-op cache hit: no counter, no redundant fetch.
   if (slot_table_.lookup(ctx).has_value()) return;
+  if (contexts_[ctx]->load_pending) return;
+  if (contexts_[ctx]->gave_up) return;
   ++stats_.prefetches;
-  request_load(ctx);
+  issue_prefetch(ctx, /*fill_only=*/false);
 }
 
 void Drcf::close_residency(Context& c, kern::Time at) {
   c.stats.active_time += at - c.residency_start;
+}
+
+Drcf::FetchResult Drcf::fetch_with_recovery(Context& ctx, usize target,
+                                            std::vector<bus::word>& buf) {
+  FetchResult res;
+  u32 attempt = 1;
+  u32 scrubs_left = cfg_.recovery.scrub_refetches;
+  kern::Time backoff = cfg_.recovery.backoff;
+  bool had_failed_attempt = false;
+  for (;;) {
+    const FetchOutcome out = fetch_context(ctx, target, buf, &res.digest);
+    if (out == FetchOutcome::kOk) {
+      if (had_failed_attempt)
+        ledger_.append(fault::FaultEventKind::kRecovered,
+                       sim().now().picoseconds(), site_id_,
+                       ctx.params.config_address, attempt);
+      res.ok = true;
+      return res;
+    }
+    if (out == FetchOutcome::kAbortedPrefetch) {
+      res.aborted = true;
+      return res;
+    }
+    had_failed_attempt = true;
+    if (out == FetchOutcome::kDigestMismatch &&
+        cfg_.recovery.policy == RecoveryPolicy::kScrub && scrubs_left > 0) {
+      // Scrubbing: the words arrived but were corrupted — re-fetch
+      // immediately (no backoff; the source copy is assumed good).
+      --scrubs_left;
+      ++stats_.scrubs;
+      ledger_.append(fault::FaultEventKind::kScrub, sim().now().picoseconds(),
+                     site_id_, ctx.params.config_address, target);
+      continue;
+    }
+    if (cfg_.recovery.policy == RecoveryPolicy::kRetryBackoff &&
+        attempt < cfg_.recovery.max_attempts) {
+      ++attempt;
+      ++stats_.fetch_retries;
+      ledger_.append(fault::FaultEventKind::kRetry, sim().now().picoseconds(),
+                     site_id_, ctx.params.config_address, attempt);
+      if (!backoff.is_zero()) kern::wait(backoff);
+      backoff = backoff * 2;
+      continue;
+    }
+    return res;
+  }
+}
+
+void Drcf::fill_cache(usize target, std::vector<bus::word>& buf) {
+  Context& ctx = *contexts_[target];
+  const kern::Time t0 = sim().now();
+  const u64 words_before = stats_.config_words_fetched;
+  ctx.fetch_in_progress = true;
+  ctx.fetch_started = t0;
+  const FetchResult res = fetch_with_recovery(ctx, target, buf);
+  ctx.fetch_in_progress = false;
+  // Everything a background fill moves over the bus is prefetch traffic,
+  // whether the fill succeeded, failed, or was aborted.
+  stats_.config_words_prefetched += stats_.config_words_fetched - words_before;
+  const bool demand_joined = !ctx.pending_is_prefetch;
+  ctx.load_pending = false;
+  ctx.pending_is_prefetch = false;
+  ctx.pending_fill_only = false;
+  if (res.aborted) {
+    ++stats_.prefetch_aborts;
+    emit_sched_prefetch(target);
+  }
+  if (res.ok) {
+    ctx.last_fetch_duration = sim().now() - t0;
+    const std::vector<usize> pinned = resident_contexts();
+    const auto ins = config_cache_.insert(target, res.digest,
+                                          /*prefetched=*/!demand_joined,
+                                          pinned);
+    if (ins.evicted.has_value()) ++stats_.cache_evictions;
+  }
+  // A failed fill with no takers is silent: nothing demanded the context,
+  // so no give-up and no load_failed — the next demand miss just fetches
+  // over the bus as usual. If callers joined mid-fill, hand the load back
+  // to the queue as a demand; it installs from the cache when the fill
+  // succeeded and performs its own recovery when it did not.
+  if (ctx.waiters > 0) request_load(target);
+}
+
+void Drcf::auto_prefetch_after(usize current) {
+  if (cfg_.prefetch.policy == PrefetchPolicy::kOnDemand) return;
+  const auto predicted = predictor_.predict(current);
+  if (!predicted.has_value()) return;
+  const usize p = *predicted;
+  if (p >= contexts_.size() || p == current) return;
+  Context& c = *contexts_[p];
+  if (c.load_pending || c.gave_up) return;
+  if (slot_table_.lookup(p).has_value()) return;
+  // Hybrid prefetches only on an idle configuration path: queued demand
+  // loads own the bus first.
+  if (cfg_.prefetch.policy == PrefetchPolicy::kHybrid && !load_queue_.empty())
+    return;
+  if (config_cache_.enabled()) {
+    if (cache_covers(p)) return;  // already staged: nothing to fetch
+    ++stats_.prefetches;
+    issue_prefetch(p, /*fill_only=*/true);
+    return;
+  }
+  // No cache: stage into a FREE fabric slot only — evicting here could
+  // displace the context the current caller is about to use.
+  bool free_slot = false;
+  for (u32 s = 0; s < slot_table_.slots(); ++s) {
+    if (!slot_table_.resident(s).has_value()) {
+      free_slot = true;
+      break;
+    }
+  }
+  if (!free_slot) return;
+  ++stats_.prefetches;
+  issue_prefetch(p, /*fill_only=*/false);
 }
 
 void Drcf::arb_and_instr() {
@@ -207,7 +426,17 @@ void Drcf::arb_and_instr() {
     Context& ctx = *contexts_[target];
     if (slot_table_.lookup(target).has_value()) {
       ctx.load_pending = false;
+      ctx.pending_is_prefetch = false;
+      ctx.pending_fill_only = false;
       ctx.loaded_event->notify();
+      continue;
+    }
+    if (ctx.pending_is_prefetch) emit_sched_prefetch(target);
+    if (ctx.pending_fill_only) {
+      // Background cache fill: no slot, no victim, no reconfiguring_ window
+      // — the fabric keeps serving calls while the fetch runs. This is the
+      // overlap that hides reconfiguration latency.
+      fill_cache(target, fetch_buf);
       continue;
     }
 
@@ -225,6 +454,7 @@ void Drcf::arb_and_instr() {
     }
     if (slot_table_.lookup(target).has_value()) {
       ctx.load_pending = false;
+      ctx.pending_is_prefetch = false;
       ctx.loaded_event->notify();
       continue;
     }
@@ -245,53 +475,56 @@ void Drcf::arb_and_instr() {
     // Step 4: generate the configuration reads into the fabric. This is the
     // real bus traffic the paper insists must be modeled. With
     // model_config_traffic off, fall back to the analytical delay of the
-    // related-work approaches the paper criticises (Sec. 4, [8]).
+    // related-work approaches the paper criticises (Sec. 4, [8]). A context
+    // whose configuration already sits in the cache skips the bus fetch
+    // entirely — that skipped fetch is the latency the prefetcher hid.
     bool fetch_ok = true;
-    if (cfg_.model_config_traffic) {
-      u32 attempt = 1;
-      u32 scrubs_left = cfg_.recovery.scrub_refetches;
-      kern::Time backoff = cfg_.recovery.backoff;
-      bool had_failed_attempt = false;
-      for (;;) {
-        const FetchOutcome out = fetch_context(ctx, target, fetch_buf);
-        if (out == FetchOutcome::kOk) {
-          if (had_failed_attempt)
-            ledger_.append(fault::FaultEventKind::kRecovered,
-                           sim().now().picoseconds(), site_id_,
-                           ctx.params.config_address, attempt);
-          break;
-        }
-        had_failed_attempt = true;
-        if (out == FetchOutcome::kDigestMismatch &&
-            cfg_.recovery.policy == RecoveryPolicy::kScrub &&
-            scrubs_left > 0) {
-          // Scrubbing: the words arrived but were corrupted — re-fetch
-          // immediately (no backoff; the source copy is assumed good).
-          --scrubs_left;
-          ++stats_.scrubs;
-          ledger_.append(fault::FaultEventKind::kScrub,
-                         sim().now().picoseconds(), site_id_,
-                         ctx.params.config_address, target);
-          continue;
-        }
-        if (cfg_.recovery.policy == RecoveryPolicy::kRetryBackoff &&
-            attempt < cfg_.recovery.max_attempts) {
-          ++attempt;
-          ++stats_.fetch_retries;
-          ledger_.append(fault::FaultEventKind::kRetry,
-                         sim().now().picoseconds(), site_id_,
-                         ctx.params.config_address, attempt);
-          if (!backoff.is_zero()) kern::wait(backoff);
-          backoff = backoff * 2;
-          continue;
-        }
-        fetch_ok = false;
-        break;
+    bool fetch_aborted = false;
+    bool cache_hit = false;
+    u64 fetched_digest = 0;
+    const u64 words_before = stats_.config_words_fetched;
+    if (config_cache_.contains(target) && !cache_covers(target))
+      config_cache_.invalidate(target);  // stale copy: fails the integrity
+                                         // expectation; refetch from memory
+    if (cache_covers(target)) {
+      cache_hit = true;
+      ++stats_.cache_hits;
+      config_cache_.touch(target);
+      stats_.config_words_skipped += ctx.params.size_words;
+      stats_.hidden_latency += ctx.last_fetch_duration;
+      if (config_cache_.was_prefetched(target)) {
+        ++stats_.prefetch_hits;
+        config_cache_.consume_prefetched(target);
       }
+    } else if (cfg_.model_config_traffic) {
+      ctx.fetch_in_progress = true;
+      ctx.fetch_started = t0;
+      const FetchResult res = fetch_with_recovery(ctx, target, fetch_buf);
+      ctx.fetch_in_progress = false;
+      fetch_ok = res.ok;
+      fetch_aborted = res.aborted;
+      fetched_digest = res.digest;
+      if (res.ok) ctx.last_fetch_duration = sim().now() - t0;
     } else if (cfg_.assumed_fetch_words_per_us > 0.0) {
       const double us = static_cast<double>(ctx.params.size_words) /
                         cfg_.assumed_fetch_words_per_us;
       kern::wait(kern::Time::ps(static_cast<u64>(us * 1e6)));
+    }
+
+    if (fetch_aborted) {
+      // A hybrid prefetch abandoned mid-fetch for a demand load. Nothing
+      // waits on it (a joined demand would have promoted it), so this is
+      // not a failure — the slot it vacates stays free.
+      ++stats_.prefetch_aborts;
+      emit_sched_prefetch(target);
+      stats_.config_words_prefetched +=
+          stats_.config_words_fetched - words_before;
+      ctx.load_pending = false;
+      ctx.pending_is_prefetch = false;
+      reconfiguring_ = false;
+      ctx.loaded_event->notify();
+      fabric_idle_event_.notify();
+      continue;
     }
 
     if (!fetch_ok) {
@@ -308,6 +541,7 @@ void Drcf::arb_and_instr() {
           *cfg_.recovery.fallback_context < contexts_.size())
         ctx.gave_up = true;
       ctx.load_pending = false;
+      ctx.pending_is_prefetch = false;
       ctx.load_failed = true;
       reconfiguring_ = false;
       ctx.loaded_event->notify();
@@ -337,9 +571,20 @@ void Drcf::arb_and_instr() {
     slot_table_.install(victim.slot, target);
     ADRIATIC_CHECK(slot_table_.lookup(target).has_value(),
                    "installed context not resident after install");
+    if (!cache_hit && cfg_.model_config_traffic && config_cache_.enabled()) {
+      // Keep a copy of the freshly fetched configuration: switching back to
+      // this context later becomes a cache hit.
+      const std::vector<usize> pinned = resident_contexts();
+      const auto ins = config_cache_.insert(target, fetched_digest,
+                                            /*prefetched=*/false, pinned);
+      if (ins.evicted.has_value()) ++stats_.cache_evictions;
+    }
+    const bool was_prefetch_load = ctx.pending_is_prefetch;
+    ctx.loaded_by_prefetch = was_prefetch_load;
     ctx.residency_start = sim().now();
     ++ctx.stats.activations;
     ctx.load_pending = false;
+    ctx.pending_is_prefetch = false;
     reconfiguring_ = false;
     if (active_ctx_signal_ != nullptr)
       active_ctx_signal_->write(static_cast<u32>(target));
@@ -347,6 +592,16 @@ void Drcf::arb_and_instr() {
     ctx.loaded_event->notify();
     any_loaded_event_.notify_delta();
     fabric_idle_event_.notify();
+
+    // Prediction learns from — and reacts to — demand-driven switches only;
+    // a completed prefetch never chains into another prefetch.
+    if (!was_prefetch_load &&
+        cfg_.prefetch.policy != PrefetchPolicy::kOnDemand) {
+      if (last_demand_target_.has_value())
+        predictor_.observe_switch(*last_demand_target_, target);
+      last_demand_target_ = target;
+      auto_prefetch_after(target);
+    }
   }
 }
 
@@ -385,7 +640,8 @@ bus::BusMasterIf& Drcf::fetch_master() {
 }
 
 Drcf::FetchOutcome Drcf::fetch_context(Context& ctx, usize target,
-                                       std::vector<bus::word>& buf) {
+                                       std::vector<bus::word>& buf,
+                                       u64* digest_out) {
   bus::BusMasterIf& master = fetch_master();
   const kern::Time start = sim().now();
   const kern::Time watchdog = cfg_.recovery.watchdog;
@@ -393,6 +649,13 @@ Drcf::FetchOutcome Drcf::fetch_context(Context& ctx, usize target,
   bus::addr_t a = ctx.params.config_address;
   u64 digest = kConfigDigestSeed;
   while (remaining > 0) {
+    // Hybrid abort/retarget: a prefetch fetch yields the configuration bus
+    // to a demand load at the next chunk boundary. A demand that joined
+    // THIS load promoted it (pending_is_prefetch is rechecked live), so an
+    // aborted fetch never strands a waiter.
+    if (cfg_.prefetch.policy == PrefetchPolicy::kHybrid &&
+        ctx.pending_is_prefetch && hybrid_demand_waiting(target))
+      return FetchOutcome::kAbortedPrefetch;
     const usize chunk =
         static_cast<usize>(std::min<u64>(cfg_.fetch_burst, remaining));
     buf.assign(chunk, 0);
@@ -435,6 +698,7 @@ Drcf::FetchOutcome Drcf::fetch_context(Context& ctx, usize target,
                    ctx.params.config_address, digest);
     return FetchOutcome::kDigestMismatch;
   }
+  if (digest_out != nullptr) *digest_out = digest;
   return FetchOutcome::kOk;
 }
 

@@ -26,6 +26,8 @@
 
 #include "bus/interfaces.hpp"
 #include "drcf/context.hpp"
+#include "drcf/context_cache.hpp"
+#include "drcf/prefetch_policy.hpp"
 #include "drcf/slot_table.hpp"
 #include "drcf/technology.hpp"
 #include "fault/interposer.hpp"
@@ -123,6 +125,11 @@ struct DrcfConfig {
   /// event lands in the fault ledger. Zero window (the default) disables it.
   kern::Time thrash_window;
   u32 thrash_switches = 4;
+  /// Context-prefetch policy and configuration cache (paper Sec. 5.4 lifts:
+  /// predictive loading + MorphoSys-style context planes). The default —
+  /// kOnDemand, no cache — keeps the paper-faithful behaviour and
+  /// byte-identical golden scheduler digests.
+  PrefetchConfig prefetch;
 };
 
 struct DrcfStats {
@@ -139,6 +146,15 @@ struct DrcfStats {
   u64 fallback_forwards = 0;   ///< Calls degraded to the fallback context.
   u64 load_give_ups = 0;       ///< Loads that failed terminally.
   u64 thrash_alerts = 0;       ///< Context-thrash detector firings.
+  u64 prefetch_hits = 0;       ///< Demand loads/calls covered by a prefetch.
+  u64 prefetch_misses = 0;     ///< Demand misses no prefetch had staged.
+  u64 prefetch_aborts = 0;     ///< Prefetch loads cancelled for a demand.
+  u64 cache_hits = 0;          ///< Switches installed from the context cache.
+  u64 cache_evictions = 0;     ///< Context-cache planes recycled.
+  u64 config_words_skipped = 0;    ///< Fetch words avoided by cache hits.
+  u64 config_words_prefetched = 0; ///< Words fetched by background fills
+                                   ///  (and aborted partial prefetches).
+  kern::Time hidden_latency;   ///< Fetch latency kept off the demand path.
   kern::Time reconfig_busy_time;  ///< Fabric time spent reconfiguring.
   double reconfig_energy_j = 0.0;
 };
@@ -236,6 +252,19 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
     /// Recovery exhausted under kFallbackContext: the context is never
     /// loaded again and calls to it degrade to the fallback context.
     bool gave_up = false;
+    /// The queued/in-flight load was issued by the prefetcher, not by a
+    /// suspended caller; cleared ("promoted") when a demand joins it.
+    bool pending_is_prefetch = false;
+    /// The load only fills the configuration cache — no slot is chosen, no
+    /// victim drained, the fabric stays usable throughout.
+    bool pending_fill_only = false;
+    /// The resident copy was installed by a prefetch no call consumed yet;
+    /// the first hit credits the fetch latency as hidden.
+    bool loaded_by_prefetch = false;
+    bool fetch_in_progress = false;
+    kern::Time fetch_started;        ///< Valid while fetch_in_progress.
+    kern::Time last_fetch_duration;  ///< Duration of the last real fetch.
+    u64 trace_id = 0;  ///< sched_name_hash of the loaded event's name.
   };
 
   /// Outcome of one complete configuration-fetch attempt.
@@ -244,6 +273,15 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
     kBusError = 1,
     kDigestMismatch = 2,
     kWatchdog = 3,
+    /// A hybrid prefetch abandoned mid-fetch because a demand load arrived.
+    kAbortedPrefetch = 4,
+  };
+
+  /// Result of a complete fetch including the recovery-policy retry loop.
+  struct FetchResult {
+    bool ok = false;
+    bool aborted = false;  ///< kAbortedPrefetch: not a failure, not a success.
+    u64 digest = 0;        ///< Digest of the fetched words when ok.
   };
 
   void arb_and_instr();  ///< The scheduler/instrumentation process.
@@ -251,6 +289,30 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   /// forwarded call since the previous one joins the sliding window.
   void note_switch();
   void request_load(usize ctx);
+  /// Queues a prefetcher-initiated load. With `fill_only` the load stages
+  /// the configuration into the cache without touching fabric slots.
+  void issue_prefetch(usize ctx, bool fill_only);
+  void request_load_impl(usize ctx, bool is_prefetch, bool fill_only);
+  /// Hybrid retargeting: cancels still-queued (unstarted) prefetch loads so
+  /// a demand load for `demanded` reaches the bus sooner.
+  void drop_queued_prefetches(usize demanded);
+  /// Prefetch-attribution bookkeeping when a call first misses on `target`.
+  void note_demand_miss(usize target, Context& ctx);
+  /// Consults the predictor after a demand-driven switch to `current` and
+  /// queues the staging load if the prediction is actionable.
+  void auto_prefetch_after(usize current);
+  /// Executes a fill-only prefetch: fetches `target`'s configuration into
+  /// the cache while the fabric keeps running.
+  void fill_cache(usize target, std::vector<bus::word>& buf);
+  /// True when the cache holds a copy of `target` that passes the context's
+  /// integrity expectation.
+  [[nodiscard]] bool cache_covers(usize target) const;
+  [[nodiscard]] std::vector<usize> resident_contexts() const;
+  /// True when a demand load for a context other than `current` is queued
+  /// (the hybrid policy's abort trigger).
+  [[nodiscard]] bool hybrid_demand_waiting(usize current) const;
+  /// Emits a kPrefetch scheduler-trace record for `target`'s load.
+  void emit_sched_prefetch(usize target);
   bool forward(bus::addr_t add, bus::word* data, bool is_read);
   [[nodiscard]] std::optional<usize> decode(bus::addr_t add) const;
   void close_residency(Context& c, kern::Time at);
@@ -258,7 +320,11 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   /// reads, watchdog checks, digest fold + integrity check. Updates stats
   /// and the ledger for the failure it reports.
   FetchOutcome fetch_context(Context& ctx, usize target,
-                             std::vector<bus::word>& buf);
+                             std::vector<bus::word>& buf, u64* digest_out);
+  /// The full fetch with the configured recovery policy applied: retries
+  /// under kRetryBackoff, scrubbing re-fetches, recovered-event ledgering.
+  FetchResult fetch_with_recovery(Context& ctx, usize target,
+                                  std::vector<bus::word>& buf);
   /// The master interface fetches go through: the fault interposer when a
   /// fetch_faults plan is configured, the bare mst_port binding otherwise.
   [[nodiscard]] bus::BusMasterIf& fetch_master();
@@ -269,6 +335,11 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   DrcfConfig cfg_;
   std::vector<std::unique_ptr<Context>> contexts_;
   SlotTable slot_table_;
+  PrefetchPredictor predictor_;
+  ContextCache config_cache_;
+  /// Target of the most recent demand-driven switch (the predictor's
+  /// Markov-edge source).
+  std::optional<usize> last_demand_target_;
   std::vector<usize> load_queue_;
   kern::Event load_request_event_;
   kern::Event any_loaded_event_;

@@ -1,0 +1,64 @@
+#include "drcf/prefetch_policy.hpp"
+
+namespace adriatic::drcf {
+
+const char* to_string(PrefetchPolicy policy) {
+  switch (policy) {
+    case PrefetchPolicy::kOnDemand:
+      return "on_demand";
+    case PrefetchPolicy::kStaticNext:
+      return "static_next";
+    case PrefetchPolicy::kHistory:
+      return "history";
+    case PrefetchPolicy::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+void PrefetchPredictor::observe_switch(usize from, usize to) {
+  if (policy_ != PrefetchPolicy::kHistory &&
+      policy_ != PrefetchPolicy::kHybrid)
+    return;
+  if (from == to) return;
+  ++edges_[from][to];
+}
+
+std::optional<usize> PrefetchPredictor::static_successor(usize current) const {
+  if (current >= static_next_.size()) return std::nullopt;
+  const usize next = static_next_[current];
+  if (next == current) return std::nullopt;
+  return next;
+}
+
+std::optional<usize> PrefetchPredictor::history_successor(usize current) const {
+  const auto it = edges_.find(current);
+  if (it == edges_.end()) return std::nullopt;
+  std::optional<usize> best;
+  u64 best_count = 0;
+  for (const auto& [to, count] : it->second) {
+    if (count > best_count) {  // strict: equal counts keep the lowest index
+      best = to;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::optional<usize> PrefetchPredictor::predict(usize current) const {
+  switch (policy_) {
+    case PrefetchPolicy::kOnDemand:
+      return std::nullopt;
+    case PrefetchPolicy::kStaticNext:
+      return static_successor(current);
+    case PrefetchPolicy::kHistory:
+      return history_successor(current);
+    case PrefetchPolicy::kHybrid: {
+      const auto annotated = static_successor(current);
+      return annotated.has_value() ? annotated : history_successor(current);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace adriatic::drcf

@@ -1,0 +1,83 @@
+// Context-prefetch policies for the DRCF scheduler.
+//
+// The paper's Sec. 5.4 lists "the DRCF cannot prefetch configurations" as a
+// limitation of the modeled context scheduler; this layer lifts it. A
+// PrefetchPredictor picks the context the scheduler should stage next, and
+// the scheduler overlaps that configuration fetch with useful fabric work
+// (Resano-style hybrid prefetch scheduling; see PAPERS.md).
+//
+// The predictor is deliberately kernel-independent plain C++: the test
+// oracle replays the same switch sequence through a second instance and the
+// two must agree decision-for-decision.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace adriatic::drcf {
+
+enum class PrefetchPolicy : u8 {
+  /// Paper-faithful base model: contexts load only when a call demands
+  /// them. Golden scheduler digests are recorded under this policy.
+  kOnDemand = 0,
+  /// Designer-annotated successor table: after switching to context i,
+  /// stage static_next[i].
+  kStaticNext = 1,
+  /// First-order Markov predictor over observed context-switch pairs:
+  /// stage the most frequent successor of the current context.
+  kHistory = 2,
+  /// Resano-style hybrid: the static annotation where one exists, history
+  /// otherwise; prefetches only issue on an idle configuration path and
+  /// are aborted/retargeted when a demand load arrives mid-fetch.
+  kHybrid = 3,
+};
+
+[[nodiscard]] const char* to_string(PrefetchPolicy policy);
+
+struct PrefetchConfig {
+  PrefetchPolicy policy = PrefetchPolicy::kOnDemand;
+  /// Successor table for kStaticNext/kHybrid. Entry i names the context to
+  /// stage after switching to context i; an entry equal to i, or out of
+  /// range, or past the end of the table means "no annotation".
+  std::vector<usize> static_next;
+  /// Configuration-cache planes (MorphoSys-style context planes). Zero
+  /// disables the cache: prefetches then stage into free fabric slots only.
+  u32 cache_slots = 0;
+
+  [[nodiscard]] bool operator==(const PrefetchConfig&) const = default;
+};
+
+/// Decides which context to stage next. Pure bookkeeping — no simulation
+/// dependencies — so an oracle can replay it outside the kernel.
+class PrefetchPredictor {
+ public:
+  PrefetchPredictor() = default;
+  PrefetchPredictor(PrefetchPolicy policy, std::vector<usize> static_next)
+      : policy_(policy), static_next_(std::move(static_next)) {}
+
+  /// Records a completed demand-driven context switch `from` -> `to`.
+  void observe_switch(usize from, usize to);
+
+  /// The context to stage after switching to `current`, if the policy has
+  /// a prediction. Never returns `current` itself.
+  [[nodiscard]] std::optional<usize> predict(usize current) const;
+
+  [[nodiscard]] PrefetchPolicy policy() const noexcept { return policy_; }
+
+  void reset() { edges_.clear(); }
+
+ private:
+  [[nodiscard]] std::optional<usize> static_successor(usize current) const;
+  [[nodiscard]] std::optional<usize> history_successor(usize current) const;
+
+  PrefetchPolicy policy_ = PrefetchPolicy::kOnDemand;
+  std::vector<usize> static_next_;
+  /// Markov edge counts: edges_[from][to] = observed transitions. Ordered
+  /// maps give a deterministic lowest-index tie-break on equal counts.
+  std::map<usize, std::map<usize, u64>> edges_;
+};
+
+}  // namespace adriatic::drcf

@@ -25,6 +25,11 @@ struct SchedRecord {
     kTimedNotify = 4,   ///< A timed notification fired.
     kTimeAdvance = 5,   ///< Simulated time moved forward.
     kDeltaCycleEnd = 6, ///< A delta cycle completed.
+    /// A DRCF background-prefetch lifecycle edge: emitted by the fabric's
+    /// context scheduler when a prefetch load starts fetching and when one
+    /// is aborted for a demand load. Never emitted by on-demand loads, so
+    /// digests of models that do not prefetch are unaffected.
+    kPrefetch = 7,
   };
   Kind kind;
   u64 time_ps;  ///< Simulated time of the record.

@@ -257,6 +257,21 @@ TransformReport transform_to_drcf(Design& design,
           "dedicated configuration port");
   }
 
+  // A static-next prefetch annotation naming a context the DRCF will not
+  // have is treated as "no annotation" at run time (the predictor ignores
+  // it). Warn here, where the context count is known, so a misconfigured
+  // sweep surfaces instead of quietly never prefetching.
+  const auto& pf = options.drcf_config.prefetch;
+  for (usize i = 0; i < pf.static_next.size(); ++i) {
+    if (i < drcf_decl.contexts.size() &&
+        pf.static_next[i] >= drcf_decl.contexts.size())
+      report.diagnostics.push_back(
+          "warning: prefetch.static_next[" + std::to_string(i) + "] = " +
+          std::to_string(pf.static_next[i]) + " is out of range for " +
+          std::to_string(drcf_decl.contexts.size()) +
+          " DRCF contexts — the annotation will never fire");
+  }
+
   report.before_listing = make_before_listing(report.candidates, shared_bus);
   report.after_listing = make_after_listing(report.candidates, shared_bus,
                                             options.drcf_name);

@@ -255,6 +255,100 @@ TEST(GoldenSuiteTest, ScenarioDigestsMatchGoldenFile) {
       << "golden file lists scenarios that no longer exist — regenerate";
 }
 
+// --- prefetch-policy differentials ------------------------------------------
+
+TEST(PrefetchDifferentialTest, ExplicitOnDemandDefaultsAreDigestNeutral) {
+  // The prefetch layer's paper-faithful default must be byte-identical to
+  // the pre-prefetch scheduler: the prefetch_on_demand scenario sets every
+  // knob explicitly (policy, an ignored successor table, zero cache planes)
+  // and must reproduce the plain sec53 digest exactly.
+  const auto base = run_scenario("sec53_varicore_s1_shared");
+  const auto knobs = run_scenario("prefetch_on_demand");
+  ASSERT_TRUE(base.has_value() && knobs.has_value());
+  EXPECT_EQ(digest_str(knobs->digest), digest_str(base->digest))
+      << "explicit on-demand prefetch knobs changed the schedule";
+  EXPECT_EQ(knobs->sim_time_ps, base->sim_time_ps);
+}
+
+TEST(PrefetchDifferentialTest, PoliciesPreserveFunctionalOutput) {
+  // A repeated-switch workload run under every prefetch policy x cache
+  // depth: the policies may move configuration traffic off the demand path,
+  // but the accelerator results must be byte-identical, and with no fault
+  // plan installed no policy may log a fault event.
+  FuzzCase base;
+  base.n_accels = 3;
+  base.n_candidates = 3;
+  base.slots = 1;
+  base.tech_index = 1;  // varicore: zero-overhead switches, pure bus cost
+  base.schedule = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  ASSERT_TRUE(valid(base));
+  const auto reference = run_case(base);
+  ASSERT_TRUE(reference.ok) << reference.failure;
+
+  for (u32 policy = 0; policy <= 3; ++policy) {
+    for (const u32 cache : {0u, 2u}) {
+      SCOPED_TRACE("policy " + std::to_string(policy) + " cache " +
+                   std::to_string(cache));
+      FuzzCase fc = base;
+      fc.prefetch_policy = policy;
+      fc.cache_slots = cache;
+      ASSERT_TRUE(valid(fc));
+      const auto r = run_case(fc);
+      ASSERT_TRUE(r.ok) << r.failure;
+      EXPECT_EQ(r.outputs, reference.outputs);
+      EXPECT_EQ(r.fault_ledger_digest, reference.fault_ledger_digest);
+    }
+  }
+}
+
+TEST(PrefetchDifferentialTest, PoliciesPreserveOutputUnderTimingFaults) {
+  // Same differential under a timing-only fault plan: injected fetch delays
+  // perturb prefetch completion order, but the functional result must still
+  // match the fault-free hardwired reference under every policy. (Ledger
+  // digests legitimately differ here: each policy fetches a different
+  // transaction sequence, so the rate-based plan fires differently.)
+  FuzzCase base;
+  base.n_accels = 3;
+  base.n_candidates = 3;
+  base.slots = 1;
+  base.tech_index = 1;
+  base.schedule = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  base.fault_rate_pct = 30;
+  base.recovery = 1;  // retry/backoff
+  const auto reference = run_case(base);
+  ASSERT_TRUE(reference.ok) << reference.failure;
+
+  for (u32 policy = 1; policy <= 3; ++policy) {
+    SCOPED_TRACE("policy " + std::to_string(policy));
+    FuzzCase fc = base;
+    fc.prefetch_policy = policy;
+    fc.cache_slots = 2;
+    ASSERT_TRUE(valid(fc));
+    const auto r = run_case(fc);
+    ASSERT_TRUE(r.ok) << r.failure;
+    EXPECT_EQ(r.outputs, reference.outputs);
+  }
+}
+
+TEST(FuzzCaseIoTest, PrefetchKnobsRoundTrip) {
+  FuzzCase fc = make_case(7);
+  fc.prefetch_policy = 3;
+  fc.cache_slots = 4;
+  ASSERT_TRUE(valid(fc));
+  const auto back = parse_case(serialize(fc));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, fc);
+  // Out-of-range knobs are structurally invalid and must not parse.
+  FuzzCase bad = fc;
+  bad.prefetch_policy = 4;
+  EXPECT_FALSE(valid(bad));
+  EXPECT_FALSE(parse_case(serialize(bad)).has_value());
+  bad = fc;
+  bad.cache_slots = 5;
+  EXPECT_FALSE(valid(bad));
+  EXPECT_FALSE(parse_case(serialize(bad)).has_value());
+}
+
 // --- shrinker ---------------------------------------------------------------
 
 TEST(ShrinkerTest, PassingCaseIsReturnedUnchanged) {

@@ -43,6 +43,11 @@ JobStats sample_stats(usize index) {
   s.faults_injected = 4;
   s.fault_events = 7;
   s.fault_digest = 0x0123456789abcdefull;
+  s.has_prefetch = true;
+  s.prefetch_hits = 11;
+  s.cache_hits = 17;
+  s.config_words_fetched = 2048;
+  s.hidden_latency = kern::Time::ns(640);
   return s;
 }
 
@@ -82,6 +87,11 @@ TEST(JournalTest, RoundTripRestoresCompletedStats) {
   EXPECT_EQ(s.faults_injected, ref.faults_injected);
   EXPECT_EQ(s.fault_events, ref.fault_events);
   EXPECT_EQ(s.fault_digest, ref.fault_digest);
+  EXPECT_TRUE(s.has_prefetch);
+  EXPECT_EQ(s.prefetch_hits, ref.prefetch_hits);
+  EXPECT_EQ(s.cache_hits, ref.cache_hits);
+  EXPECT_EQ(s.config_words_fetched, ref.config_words_fetched);
+  EXPECT_EQ(s.hidden_latency, ref.hidden_latency);
 }
 
 TEST(JournalTest, UnfinishedResultStaysRerunnable) {

@@ -411,6 +411,27 @@ TEST(TransformTest, Limitation3SharedBlockingBusWarns) {
   EXPECT_TRUE(report.has_warning("deadlock"));
 }
 
+TEST(TransformTest, StaticNextOutOfRangeWarns) {
+  auto d = make_reference_design();
+  TransformOptions opt = make_options();
+  opt.drcf_config.prefetch.policy = drcf::PrefetchPolicy::kStaticNext;
+  opt.drcf_config.prefetch.static_next = {1, 5};  // 5 >= 2 contexts
+  const auto report =
+      transform_to_drcf(d, std::vector<std::string>{"hwa", "hwb"}, opt);
+  EXPECT_TRUE(report.ok);  // a warning, not an error
+  EXPECT_TRUE(report.has_warning("static_next[1] = 5"));
+  EXPECT_TRUE(report.has_warning("never fire"));
+
+  auto d2 = make_reference_design();
+  TransformOptions opt2 = make_options();
+  opt2.drcf_config.prefetch.policy = drcf::PrefetchPolicy::kStaticNext;
+  opt2.drcf_config.prefetch.static_next = {1, 0};
+  const auto report2 =
+      transform_to_drcf(d2, std::vector<std::string>{"hwa", "hwb"}, opt2);
+  EXPECT_TRUE(report2.ok);
+  EXPECT_FALSE(report2.has_warning("static_next"));
+}
+
 TEST(TransformTest, Limitation3DeadlockReallyHappens) {
   auto d = make_reference_design(/*split_bus=*/false);
   const std::vector<std::string> candidates{"hwa", "hwb"};
