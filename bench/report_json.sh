@@ -4,13 +4,30 @@
 # trajectory (items/sec per benchmark, campaign jobs/sec per thread count)
 # is tracked from PR to PR. Also exposed as the `bench_report` CMake target.
 #
+# The committed baseline is only meaningful from an optimized build: the
+# script refuses a build directory that is not configured Release (or
+# RelWithDebInfo), and refuses to overwrite the output with numbers from a
+# binary compiled without NDEBUG (the "adriatic_build_type" context entry
+# the benchmark embeds in its JSON).
+#
 # Usage: bench/report_json.sh [BUILD_DIR] [OUT_FILE]
 set -eu
 
 SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 REPO_ROOT=$(dirname -- "$SCRIPT_DIR")
-BUILD_DIR=${1:-"$REPO_ROOT/build"}
+BUILD_DIR=${1:-"$REPO_ROOT/build-release"}
 OUT=${2:-"$REPO_ROOT/BENCH_meth_sim_speed.json"}
+
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    echo "error: $BUILD_DIR is configured as '${BUILD_TYPE:-unknown}', not an optimized build." >&2
+    echo "  cmake -B build-release -S $REPO_ROOT -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "  cmake --build build-release --target meth_sim_speed" >&2
+    exit 1
+    ;;
+esac
 
 BIN="$BUILD_DIR/bench/meth_sim_speed"
 if [ ! -x "$BIN" ]; then
@@ -18,6 +35,16 @@ if [ ! -x "$BIN" ]; then
   exit 1
 fi
 
-"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
+# Write to a temp file first: the tracked baseline must never be replaced by
+# a run that turns out to come from a debug binary.
+TMP="$OUT.tmp"
+trap 'rm -f "$TMP"' EXIT
+"$BIN" --benchmark_out="$TMP" --benchmark_out_format=json \
        --benchmark_format=console
+if ! grep -q '"adriatic_build_type": "release"' "$TMP"; then
+  echo "error: $BIN reports a debug build; refusing to overwrite $OUT" >&2
+  exit 1
+fi
+mv "$TMP" "$OUT"
+trap - EXIT
 echo "wrote $OUT"

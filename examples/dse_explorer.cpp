@@ -122,7 +122,19 @@ struct Config {
   /// how much fetch latency prediction can hide on each memory organisation.
   drcf::PrefetchPolicy policy = drcf::PrefetchPolicy::kOnDemand;
   u32 cache_slots = 0;
+  /// Timing abstraction the point simulates under (--loose / --quantum):
+  /// loose mode trades exact bus-cycle interleaving for wall-clock speed;
+  /// the functional objectives (outputs, switches, fetched words) are
+  /// preserved, latency/energy become quantum-granular approximations.
+  kern::TimingMode timing = kern::TimingMode::kTimed;
+  u32 quantum_ns = 0;  ///< 0 = kernel default quantum.
 };
+
+void apply_timing(kern::Simulation& sim, kern::TimingMode mode,
+                  u32 quantum_ns) {
+  sim.set_timing_mode(mode);
+  if (quantum_ns != 0) sim.set_quantum(kern::Time::ns(quantum_ns));
+}
 
 /// One design point == one job: builds, transforms, simulates and evaluates
 /// a configuration on whichever worker thread picks it up.
@@ -156,6 +168,7 @@ SweepOutcome run_config(const Config& cfg,
     return out;
   }
   kern::Simulation sim;
+  apply_timing(sim, cfg.timing, cfg.quantum_ns);
   netlist::Elaborated e(sim, d);
   if (ctx != nullptr) {
     // The guard lets a SIGINT/SIGTERM broadcast (or wall-clock watchdog)
@@ -165,7 +178,10 @@ SweepOutcome run_config(const Config& cfg,
   } else {
     sim.run();
   }
-  if (ctx != nullptr) ctx->record(sim);
+  if (ctx != nullptr) {
+    ctx->record(sim);
+    ctx->record_timing(sim);
+  }
   if (ctx != nullptr && ctx->interrupted()) {
     out.error = "interrupted";
     return out;
@@ -209,10 +225,12 @@ SweepOutcome run_config(const Config& cfg,
 }
 
 /// The reference architecture (everything hardwired) as its own job.
-SweepOutcome run_hardwired(u64 hw_gates, campaign::JobContext* ctx) {
+SweepOutcome run_hardwired(u64 hw_gates, kern::TimingMode timing,
+                           u32 quantum_ns, campaign::JobContext* ctx) {
   SweepOutcome out;
   auto d = make_app(false);
   kern::Simulation sim;
+  apply_timing(sim, timing, quantum_ns);
   netlist::Elaborated e(sim, d);
   if (ctx != nullptr) {
     const auto g = ctx->guard(sim);
@@ -220,7 +238,10 @@ SweepOutcome run_hardwired(u64 hw_gates, campaign::JobContext* ctx) {
   } else {
     sim.run();
   }
-  if (ctx != nullptr) ctx->record(sim);
+  if (ctx != nullptr) {
+    ctx->record(sim);
+    ctx->record_timing(sim);
+  }
   if (ctx != nullptr && ctx->interrupted()) {
     out.error = "interrupted";
     return out;
@@ -237,6 +258,8 @@ SweepOutcome run_hardwired(u64 hw_gates, campaign::JobContext* ctx) {
 
 int main(int argc, char** argv) {
   bool serial = false;
+  bool loose = false;
+  u32 quantum_ns = 0;
   usize jobs = 0;  // 0 = default_thread_count()
   std::string report_path;
   std::string journal_path;
@@ -244,6 +267,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serial") == 0) {
       serial = true;
+    } else if (std::strcmp(argv[i], "--loose") == 0) {
+      loose = true;
+    } else if (std::strcmp(argv[i], "--quantum") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      quantum_ns = static_cast<u32>(std::strtoul(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || quantum_ns == 0) {
+        std::cerr << "dse_explorer: --quantum expects a nonzero ns count, "
+                     "got '" << argv[i] << "'\n";
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       char* end = nullptr;
       jobs = static_cast<usize>(std::strtoul(argv[++i], &end, 10));
@@ -260,6 +293,7 @@ int main(int argc, char** argv) {
       resume_path = argv[++i];
     } else {
       std::cerr << "usage: dse_explorer [--serial] [--jobs N] "
+                   "[--loose] [--quantum NS] "
                    "[--report FILE.json] [--journal FILE.wal | "
                    "--resume FILE.wal]\n";
       return 2;
@@ -274,6 +308,12 @@ int main(int argc, char** argv) {
                  "(drop --serial)\n";
     return 2;
   }
+  if (quantum_ns != 0 && !loose) {
+    std::cerr << "dse_explorer: --quantum only applies with --loose\n";
+    return 2;
+  }
+  const kern::TimingMode timing =
+      loose ? kern::TimingMode::kLoose : kern::TimingMode::kTimed;
 
   const std::vector<std::string> candidates{"fir", "fft", "aes"};
   const std::vector<u64> kernel_gates{
@@ -295,6 +335,8 @@ int main(int argc, char** argv) {
             c.policy = drcf::PrefetchPolicy::kHybrid;
             c.cache_slots = 2;
           }
+          c.timing = timing;
+          c.quantum_ns = quantum_ns;
           configs.push_back(c);
         }
       }
@@ -376,7 +418,8 @@ int main(int argc, char** argv) {
     outcomes[configs.size()] =
         campaign::run_inline("hardwired", job_stats,
                              [&](campaign::JobContext& ctx) {
-                               return run_hardwired(hw_gates, &ctx);
+                               return run_hardwired(hw_gates, timing,
+                                                    quantum_ns, &ctx);
                              });
   } else {
     campaign::CampaignRunner runner(
@@ -405,8 +448,9 @@ int main(int argc, char** argv) {
       futures.emplace_back(configs.size(),
                            runner.submit("hardwired", o,
                                          [&](campaign::JobContext& ctx) {
-                                           return run_hardwired(hw_gates,
-                                                                &ctx);
+                                           return run_hardwired(
+                                               hw_gates, timing, quantum_ns,
+                                               &ctx);
                                          }));
     }
     for (auto& [i, f] : futures) {

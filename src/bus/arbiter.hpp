@@ -49,6 +49,11 @@ class Arbiter {
   void release();
 
   [[nodiscard]] bool busy() const noexcept { return busy_; }
+  /// Free right now: no holder and no queued requests (release() keeps the
+  /// resource busy while it hands over to a waiter).
+  [[nodiscard]] bool idle() const noexcept {
+    return !busy_ && waiters_.empty();
+  }
   [[nodiscard]] u64 grants() const noexcept { return grants_; }
   [[nodiscard]] u64 contended_grants() const noexcept { return contended_; }
   [[nodiscard]] kern::Time total_wait() const noexcept { return total_wait_; }

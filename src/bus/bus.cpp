@@ -1,5 +1,6 @@
 #include "bus/bus.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "kernel/simulation.hpp"
@@ -46,22 +47,111 @@ BusSlaveIf* Bus::decode(addr_t add) const {
   return nullptr;
 }
 
+Bus::DmiSlot& Bus::dmi_slot(BusSlaveIf& slave) {
+  for (DmiSlot& s : dmi_slots_)
+    if (s.slave == &slave) return s;
+  DmiSlot slot;
+  slot.slave = &slave;
+  slot.provider = dynamic_cast<DmiProvider*>(&slave);
+  dmi_slots_.push_back(slot);
+  if (slot.provider != nullptr) {
+    // Slots are append-only, so the captured index survives growth; the
+    // provider (a sibling module) shares our lifetime, and invalidations
+    // only fire from explicit re-arming during simulation.
+    const usize idx = dmi_slots_.size() - 1;
+    slot.provider->add_dmi_listener(
+        [this, idx] { dmi_slots_[idx].valid = false; });
+  }
+  return dmi_slots_.back();
+}
+
 BusStatus Bus::transfer(addr_t add, word* data, usize len, bool is_read,
-                        u32 priority, std::span<const word> wdata) {
+                        u32 priority, std::span<const word> wdata,
+                        usize* words_done) {
+  if (words_done != nullptr) *words_done = 0;
   BusSlaveIf* slave = decode(add);
-  if (slave == nullptr || add + len - 1 > slave->get_high_add()) {
+  if (slave == nullptr) {
     ++stats_.unmapped;
     return BusStatus::kUnmapped;
   }
+  // Clamp at the slave's upper boundary: a burst chunk that would cross
+  // get_high_add() moves only the mapped prefix (reported via words_done);
+  // the burst loop re-decodes the remainder — landing in the next slave
+  // with a fresh address phase, or in unmapped space.
+  const u64 avail = static_cast<u64>(slave->get_high_add()) - add + 1;
+  const usize n = static_cast<usize>(std::min<u64>(len, avail));
 
   const u32 beats_per_word = ceil_div<u32>(32, cfg_.data_width_bits);
   const kern::Time occupancy =
       cfg_.cycle_time *
       (cfg_.address_cycles +
-       static_cast<u64>(len) * beats_per_word * cfg_.data_cycles);
+       static_cast<u64>(n) * beats_per_word * cfg_.data_cycles);
 
-  stats_.wait_time += arbiter_.acquire(priority);
-  kern::wait(occupancy);
+  // Loose-mode direct path (b_transport style): with the bus idle and
+  // transactions split — the slave call happens with the bus released
+  // either way — arbitration is a foregone conclusion, so skip it and
+  // charge the occupancy to the caller's local offset. Non-split configs
+  // keep the arbitrated path even in loose mode: holding the bus across a
+  // suspending slave call is the paper's Sec. 5.4 deadlock semantics, and
+  // the fast path must not mask it.
+  BusStatus st;
+  if (sim().loose() && cfg_.split_transactions && arbiter_.idle() &&
+      sim().current_process() != nullptr) {
+    st = transfer_direct(*slave, add, data, n, is_read, wdata, occupancy);
+  } else {
+    stats_.wait_time += arbiter_.acquire(priority);
+    kern::wait(occupancy);
+    stats_.busy_time += occupancy;
+    stats_.beats += n * beats_per_word;
+    if (is_read)
+      ++stats_.reads;
+    else
+      ++stats_.writes;
+    if (n > 1) ++stats_.bursts;
+
+    bool ok = true;
+    if (cfg_.split_transactions) {
+      // Split: the bus is free again while the slave services the request.
+      arbiter_.release();
+      for (usize i = 0; i < n && ok; ++i) {
+        if (is_read) {
+          ok = slave->read(add + static_cast<addr_t>(i), data + i);
+        } else {
+          word w = wdata[i];
+          ok = slave->write(add + static_cast<addr_t>(i), &w);
+        }
+      }
+    } else {
+      // Blocking: the bus is held for the entire slave call — if the slave
+      // suspends (DRCF context switch), every other master is locked out.
+      for (usize i = 0; i < n && ok; ++i) {
+        if (is_read) {
+          ok = slave->read(add + static_cast<addr_t>(i), data + i);
+        } else {
+          word w = wdata[i];
+          ok = slave->write(add + static_cast<addr_t>(i), &w);
+        }
+      }
+      arbiter_.release();
+    }
+    if (!ok) {
+      ++stats_.slave_errors;
+      st = BusStatus::kSlaveError;
+    } else {
+      st = BusStatus::kOk;
+    }
+  }
+  if (st == BusStatus::kOk && words_done != nullptr) *words_done = n;
+  return st;
+}
+
+BusStatus Bus::transfer_direct(BusSlaveIf& slave, addr_t add, word* data,
+                               usize len, bool is_read,
+                               std::span<const word> wdata,
+                               kern::Time occupancy) {
+  const u32 beats_per_word = ceil_div<u32>(32, cfg_.data_width_bits);
+  ++stats_.direct_calls;
+  kern::wait(occupancy);  // accumulates on the caller's local offset
   stats_.busy_time += occupancy;
   stats_.beats += len * beats_per_word;
   if (is_read)
@@ -70,32 +160,40 @@ BusStatus Bus::transfer(addr_t add, word* data, usize len, bool is_read,
     ++stats_.writes;
   if (len > 1) ++stats_.bursts;
 
-  bool ok = true;
-  if (cfg_.split_transactions) {
-    // Split: the bus is free again while the slave services the request.
-    arbiter_.release();
-    for (usize i = 0; i < len && ok; ++i) {
+  // DMI: when the slave granted a pointer over the whole span, move the
+  // words directly and charge the slave-side per-word latency in one go.
+  // Grants are re-requested lazily after invalidation, so an armed fault
+  // interposer (which declines) regains sight of every access.
+  DmiSlot& slot = dmi_slot(slave);
+  if (slot.provider != nullptr) {
+    if (!slot.valid && slot.provider->get_dmi(add, &slot.region))
+      slot.valid = true;
+    if (slot.valid && slot.region.covers(add, len) &&
+        (is_read || slot.region.allow_write)) {
+      const kern::Time lat = is_read ? slot.region.read_latency
+                                     : slot.region.write_latency;
+      if (!lat.is_zero()) kern::wait(lat * static_cast<u64>(len));
       if (is_read) {
-        ok = slave->read(add + static_cast<addr_t>(i), data + i);
+        for (usize i = 0; i < len; ++i) data[i] = *slot.region.at(
+            add + static_cast<addr_t>(i));
       } else {
-        word w = wdata[i];
-        ok = slave->write(add + static_cast<addr_t>(i), &w);
+        for (usize i = 0; i < len; ++i)
+          *slot.region.at(add + static_cast<addr_t>(i)) = wdata[i];
       }
+      stats_.dmi_words += len;
+      return BusStatus::kOk;
     }
-  } else {
-    // Blocking: the bus is held for the entire slave call — if the slave
-    // suspends (DRCF context switch), every other master is locked out.
-    for (usize i = 0; i < len && ok; ++i) {
-      if (is_read) {
-        ok = slave->read(add + static_cast<addr_t>(i), data + i);
-      } else {
-        word w = wdata[i];
-        ok = slave->write(add + static_cast<addr_t>(i), &w);
-      }
-    }
-    arbiter_.release();
   }
 
+  bool ok = true;
+  for (usize i = 0; i < len && ok; ++i) {
+    if (is_read) {
+      ok = slave.read(add + static_cast<addr_t>(i), data + i);
+    } else {
+      word w = wdata[i];
+      ok = slave.write(add + static_cast<addr_t>(i), &w);
+    }
+  }
   if (!ok) {
     ++stats_.slave_errors;
     return BusStatus::kSlaveError;
@@ -115,10 +213,12 @@ BusStatus Bus::burst_read(addr_t add, std::span<word> data, u32 priority) {
   usize done = 0;
   while (done < data.size()) {
     const usize chunk = std::min<usize>(cfg_.max_burst, data.size() - done);
-    const BusStatus st = transfer(add + static_cast<addr_t>(done),
-                                  data.data() + done, chunk, true, priority, {});
+    usize moved = 0;
+    const BusStatus st =
+        transfer(add + static_cast<addr_t>(done), data.data() + done, chunk,
+                 true, priority, {}, &moved);
     if (st != BusStatus::kOk) return st;
-    done += chunk;
+    done += moved;  // may be < chunk when the chunk hit a slave boundary
   }
   return BusStatus::kOk;
 }
@@ -128,11 +228,12 @@ BusStatus Bus::burst_write(addr_t add, std::span<const word> data,
   usize done = 0;
   while (done < data.size()) {
     const usize chunk = std::min<usize>(cfg_.max_burst, data.size() - done);
+    usize moved = 0;
     const BusStatus st =
         transfer(add + static_cast<addr_t>(done), nullptr, chunk, false,
-                 priority, data.subspan(done, chunk));
+                 priority, data.subspan(done, chunk), &moved);
     if (st != BusStatus::kOk) return st;
-    done += chunk;
+    done += moved;  // may be < chunk when the chunk hit a slave boundary
   }
   return BusStatus::kOk;
 }

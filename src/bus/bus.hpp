@@ -39,6 +39,12 @@ struct BusStats {
   u64 bursts = 0;          ///< Burst transactions.
   u64 unmapped = 0;        ///< Accesses that decoded to no slave.
   u64 slave_errors = 0;
+  u64 direct_calls = 0;    ///< Loose-mode transactions that skipped the
+                           ///< arbiter (cost charged to the caller's local
+                           ///< offset; see docs/timing_modes.md).
+  u64 dmi_words = 0;       ///< Words moved through a DMI pointer instead of
+                           ///< per-word slave calls (subset of direct_calls
+                           ///< traffic; slave-side stats do not see them).
   kern::Time busy_time;    ///< Time the bus was occupied.
   kern::Time wait_time;    ///< Total master arbitration wait.
 };
@@ -70,14 +76,38 @@ class Bus : public kern::Module, public BusMasterIf {
   [[nodiscard]] usize slave_count() const noexcept { return slaves_.size(); }
 
  private:
+  /// Per-slave DMI bookkeeping: `provider` is the one-time dynamic_cast
+  /// result (nullptr = slave is not a DmiProvider, never probe again);
+  /// `valid` marks a usable cached region. Slots are append-only so the
+  /// invalidation listeners' captured indices stay stable.
+  struct DmiSlot {
+    BusSlaveIf* slave = nullptr;
+    DmiProvider* provider = nullptr;
+    bool valid = false;
+    DmiRegion region;
+  };
+
   void check_address_map() const;
   [[nodiscard]] BusSlaveIf* decode(addr_t add) const;
+  /// One arbitrated transaction, clamped at the decoded slave's upper
+  /// boundary: at most `len` words, never crossing get_high_add(). The
+  /// words actually moved are reported via `words_done` (burst loops use it
+  /// to continue into the next slave with a fresh address phase).
   BusStatus transfer(addr_t add, word* data, usize len, bool is_read,
-                     u32 priority, std::span<const word> wdata);
+                     u32 priority, std::span<const word> wdata,
+                     usize* words_done = nullptr);
+  /// Loose-mode direct path: no arbitration, occupancy charged to the
+  /// caller's local offset; uses DMI when the slave granted it.
+  BusStatus transfer_direct(BusSlaveIf& slave, addr_t add, word* data,
+                            usize len, bool is_read,
+                            std::span<const word> wdata,
+                            kern::Time occupancy);
+  [[nodiscard]] DmiSlot& dmi_slot(BusSlaveIf& slave);
 
   BusConfig cfg_;
   Arbiter arbiter_;
   std::vector<BusSlaveIf*> slaves_;
+  std::vector<DmiSlot> dmi_slots_;
   BusStats stats_;
 };
 

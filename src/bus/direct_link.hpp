@@ -19,7 +19,12 @@ class DirectLink : public kern::Module, public BusMasterIf {
              kern::Time word_time = kern::Time::ns(10))
       : Module(parent, std::move(name)), word_time_(word_time) {}
 
-  void bind_slave(BusSlaveIf& slave) { slave_ = &slave; }
+  void bind_slave(BusSlaveIf& slave) {
+    slave_ = &slave;
+    dmi_probed_ = false;
+    dmi_valid_ = false;
+    dmi_provider_ = nullptr;
+  }
 
   BusStatus read(addr_t add, word* data, u32 /*priority*/) override {
     return one(add, data, true);
@@ -29,6 +34,8 @@ class DirectLink : public kern::Module, public BusMasterIf {
   }
   BusStatus burst_read(addr_t add, std::span<word> data,
                        u32 /*priority*/) override {
+    if (dmi_burst(add, data.data(), data.size(), /*is_read=*/true, {}))
+      return BusStatus::kOk;
     for (usize i = 0; i < data.size(); ++i) {
       const BusStatus st = one(add + static_cast<addr_t>(i), &data[i], true);
       if (st != BusStatus::kOk) return st;
@@ -37,6 +44,8 @@ class DirectLink : public kern::Module, public BusMasterIf {
   }
   BusStatus burst_write(addr_t add, std::span<const word> data,
                         u32 /*priority*/) override {
+    if (dmi_burst(add, nullptr, data.size(), /*is_read=*/false, data))
+      return BusStatus::kOk;
     for (usize i = 0; i < data.size(); ++i) {
       word w = data[i];
       const BusStatus st = one(add + static_cast<addr_t>(i), &w, false);
@@ -46,6 +55,8 @@ class DirectLink : public kern::Module, public BusMasterIf {
   }
 
   [[nodiscard]] u64 transfers() const noexcept { return transfers_; }
+  /// Words moved through a DMI pointer (loose mode only).
+  [[nodiscard]] u64 dmi_words() const noexcept { return dmi_words_; }
 
  private:
   BusStatus one(addr_t add, word* data, bool is_read) {
@@ -58,9 +69,51 @@ class DirectLink : public kern::Module, public BusMasterIf {
     return ok ? BusStatus::kOk : BusStatus::kSlaveError;
   }
 
+  /// Loose-mode DMI burst: moves the whole span through the slave's direct
+  /// pointer, charging link word time plus the slave's per-word latency to
+  /// the caller's local offset. Returns false (caller takes the per-word
+  /// path) outside loose mode or without a covering grant.
+  bool dmi_burst(addr_t add, word* out, usize len, bool is_read,
+                 std::span<const word> wdata) {
+    if (len == 0 || slave_ == nullptr || !sim().loose() ||
+        sim().current_process() == nullptr)
+      return false;
+    if (!dmi_probed_) {
+      dmi_probed_ = true;
+      dmi_provider_ = dynamic_cast<DmiProvider*>(slave_);
+      if (dmi_provider_ != nullptr)
+        dmi_provider_->add_dmi_listener([this] { dmi_valid_ = false; });
+    }
+    if (dmi_provider_ == nullptr) return false;
+    if (!dmi_valid_ && dmi_provider_->get_dmi(add, &dmi_region_))
+      dmi_valid_ = true;
+    if (!dmi_valid_ || !dmi_region_.covers(add, len) ||
+        (!is_read && !dmi_region_.allow_write))
+      return false;
+    if (!word_time_.is_zero()) kern::wait(word_time_ * static_cast<u64>(len));
+    const kern::Time lat =
+        is_read ? dmi_region_.read_latency : dmi_region_.write_latency;
+    if (!lat.is_zero()) kern::wait(lat * static_cast<u64>(len));
+    if (is_read) {
+      for (usize i = 0; i < len; ++i)
+        out[i] = *dmi_region_.at(add + static_cast<addr_t>(i));
+    } else {
+      for (usize i = 0; i < len; ++i)
+        *dmi_region_.at(add + static_cast<addr_t>(i)) = wdata[i];
+    }
+    transfers_ += len;
+    dmi_words_ += len;
+    return true;
+  }
+
   kern::Time word_time_;
   BusSlaveIf* slave_ = nullptr;
   u64 transfers_ = 0;
+  u64 dmi_words_ = 0;
+  bool dmi_probed_ = false;
+  bool dmi_valid_ = false;
+  DmiProvider* dmi_provider_ = nullptr;
+  DmiRegion dmi_region_;
 };
 
 }  // namespace adriatic::bus

@@ -4,9 +4,12 @@
 // paper's Sec. 5.4 limitation 2 makes this pair mandatory.
 #pragma once
 
+#include <functional>
 #include <span>
+#include <vector>
 
 #include "kernel/channel.hpp"
+#include "kernel/time.hpp"
 #include "util/types.hpp"
 
 namespace adriatic::bus {
@@ -30,6 +33,60 @@ enum class BusStatus : u8 {
   kOk,
   kUnmapped,    ///< No slave decodes the address.
   kSlaveError,  ///< Slave returned false.
+};
+
+/// DMI-style direct-memory descriptor (TLM-2 get_direct_mem_ptr analogue):
+/// a bounds-checked host pointer into a slave's backing store plus the
+/// per-word latencies the fast path must still charge. Only consulted in
+/// TimingMode::kLoose — the bus-cycle-accurate path never uses it, so
+/// golden traces are unaffected by grants.
+struct DmiRegion {
+  word* data = nullptr;  ///< Host pointer to the word at address `low`.
+  addr_t low = 0;        ///< Inclusive granted range.
+  addr_t high = 0;
+  kern::Time read_latency;   ///< Slave-side cost per word read.
+  kern::Time write_latency;  ///< Slave-side cost per word written.
+  bool allow_write = true;   ///< False for ROMs: writes take the slow path.
+
+  /// True when [add, add+len) lies inside the granted range.
+  [[nodiscard]] bool covers(addr_t add, usize len) const noexcept {
+    return data != nullptr && len > 0 && add >= low && add <= high &&
+           static_cast<u64>(high) - add + 1 >= len;
+  }
+  [[nodiscard]] word* at(addr_t add) const noexcept {
+    return data + (add - low);
+  }
+};
+
+/// Optional capability of a BusSlaveIf implementation: grants DmiRegions to
+/// initiators (discovered by the bus via dynamic_cast) and notifies them
+/// when every outstanding grant becomes invalid — on remap, or when a fault
+/// interposer arms so injection sees every access again.
+class DmiProvider {
+ public:
+  virtual ~DmiProvider() = default;
+
+  /// Requests a region containing `add`. Returns false (leaving `out`
+  /// untouched) when the slave declines — not backed by plain storage, or
+  /// interposed by an armed fault plan.
+  virtual bool get_dmi(addr_t add, DmiRegion* out) = 0;
+
+  /// Registers a callback invoked by invalidate_dmi(). Listeners are never
+  /// unregistered: callers must outlive the provider or arrange teardown so
+  /// no invalidation fires after they die (module trees are destroyed
+  /// together, and invalidations only happen during explicit re-arming).
+  void add_dmi_listener(std::function<void()> cb) {
+    dmi_listeners_.push_back(std::move(cb));
+  }
+
+  /// Revokes every grant handed out so far: all cached descriptors must be
+  /// dropped and re-requested.
+  void invalidate_dmi() {
+    for (auto& cb : dmi_listeners_) cb();
+  }
+
+ private:
+  std::vector<std::function<void()>> dmi_listeners_;
 };
 
 /// Master-side interface: what a module's `mst_port` sees. Implemented by

@@ -94,6 +94,10 @@ struct JobStats {
   u64 cache_hits = 0;         ///< Switches installed from the context cache.
   u64 config_words_fetched = 0;  ///< Configuration words moved over the bus.
   kern::Time hidden_latency;  ///< Fetch latency kept off the demand path.
+  bool has_timing = false;    ///< record_timing() was called.
+  bool loose = false;         ///< Job ran under kern::TimingMode::kLoose.
+  kern::Time quantum;         ///< Loose-mode quantum the job ran under.
+  u64 loose_syncs = 0;        ///< Loose-mode synchronisation points.
 };
 
 /// Message for the exception currently in flight; call only inside `catch`.
@@ -154,6 +158,16 @@ class JobContext {
     stats_->cache_hits = cache_hits;
     stats_->config_words_fetched = config_words_fetched;
     stats_->hidden_latency = hidden_latency;
+  }
+
+  /// Stores the job's timing abstraction (mode, quantum, sync count) in its
+  /// stats; report_json() emits them as the job's "timing" object. Call
+  /// after sim.run() so loose_syncs() is final.
+  void record_timing(const kern::Simulation& sim) {
+    stats_->has_timing = true;
+    stats_->loose = sim.loose();
+    stats_->quantum = sim.quantum();
+    stats_->loose_syncs = sim.loose_syncs();
   }
 
   /// 1-based attempt currently running (grows with JobOptions::max_attempts).

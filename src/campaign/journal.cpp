@@ -171,6 +171,11 @@ void CampaignJournal::record_done(const JobStats& s) {
         static_cast<unsigned long long>(s.cache_hits),
         static_cast<unsigned long long>(s.config_words_fetched),
         static_cast<unsigned long long>(s.hidden_latency.picoseconds()));
+  if (s.has_timing)
+    line += strfmt(" tmode=%s quantum_ps=%llu loose_syncs=%llu",
+                   s.loose ? "loose" : "timed",
+                   static_cast<unsigned long long>(s.quantum.picoseconds()),
+                   static_cast<unsigned long long>(s.loose_syncs));
   append_line(line);
 }
 
@@ -238,6 +243,9 @@ std::optional<JournalState> read_journal(const std::string& path) {
         else if (key == "cache_hits") s.cache_hits = parse_u64(val);
         else if (key == "cfg_words") s.config_words_fetched = parse_u64(val);
         else if (key == "hidden_ps") s.hidden_latency = kern::Time::ps(parse_u64(val));
+        else if (key == "tmode") { s.has_timing = true; s.loose = val == "loose"; }
+        else if (key == "quantum_ps") s.quantum = kern::Time::ps(parse_u64(val));
+        else if (key == "loose_syncs") s.loose_syncs = parse_u64(val);
       }
       // Last record per index wins; only done results count as completed —
       // a quarantined/interrupted D leaves the job eligible for re-run.

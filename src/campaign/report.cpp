@@ -75,6 +75,15 @@ std::string report_json(const std::string& name, usize threads,
       w.field("hidden_latency_ns", s.hidden_latency.to_ns());
       w.end();
     }
+    // The timing summary: speed/accuracy curves come from plotting a job's
+    // wall time and sync count against its mode and quantum.
+    if (s.has_timing) {
+      w.key("timing").begin_object();
+      w.field("mode", s.loose ? "loose" : "timed");
+      w.field("quantum_ns", s.quantum.to_ns());
+      w.field("loose_syncs", s.loose_syncs);
+      w.end();
+    }
     w.end();
   }
   w.end();

@@ -73,6 +73,14 @@ FuzzCase make_case(u64 seed) {
     fc.prefetch_policy = static_cast<u32>(rng.next_below(4));
     fc.cache_slots = static_cast<u32>(rng.next_below(4));
   }
+  // Timing-mode draws extend the stream strictly at the end too: a quarter
+  // of the cases run the transformed design loosely timed, under a quantum
+  // swept from one bus cycle to well past the whole run.
+  if (rng.next_below(4) == 0) {
+    fc.timing_mode = 1;
+    const u32 quanta[] = {10, 100, 1000, 100000};
+    fc.quantum_ns = quanta[rng.next_below(4)];
+  }
   return fc;
 }
 
@@ -85,6 +93,8 @@ bool valid(const FuzzCase& fc) {
   if (fc.recovery > 3) return false;
   if (fc.prefetch_policy > 3) return false;
   if (fc.cache_slots > 4) return false;
+  if (fc.timing_mode > 1) return false;
+  if (fc.timing_mode == 0 && fc.quantum_ns != 0) return false;
   return std::all_of(fc.schedule.begin(), fc.schedule.end(),
                      [&](usize idx) { return idx < fc.n_accels; });
 }
@@ -209,10 +219,19 @@ CaseResult run_case(const FuzzCase& fc) {
   TraceDigest td;
   kern::Simulation sim;
   sim.set_observer(&td);
+  // The timing knob applies only to the transformed run; the hardwired
+  // reference above always runs timed, so a loose case checks the loosely
+  // timed schedule against a cycle-accurate functional baseline.
+  if (fc.timing_mode == 1) {
+    sim.set_timing_mode(kern::TimingMode::kLoose);
+    if (fc.quantum_ns != 0) sim.set_quantum(kern::Time::ns(fc.quantum_ns));
+  }
   netlist::Elaborated e(sim, d);
   sim.run();
   res.digest = td.value();
   res.sim_time_ps = sim.now().picoseconds();
+  res.dispatches = sim.activations();
+  res.loose_syncs = sim.loose_syncs();
 
   // Invariant 1: no deadlock on a split bus.
   if (!e.get_processor("cpu").finished()) {
@@ -234,6 +253,7 @@ CaseResult run_case(const FuzzCase& fc) {
   // Invariants 3-5: accounting closes.
   auto& fabric = e.get_drcf(report.drcf_name);
   res.fault_ledger_digest = fabric.fault_ledger().digest();
+  res.fault_ledger_functional = fabric.fault_ledger().functional_digest();
   const auto& s = fabric.stats();
   res.context_switches = s.switches;
   u64 accesses = 0;
@@ -315,6 +335,8 @@ std::string serialize(const FuzzCase& fc) {
   if (fc.prefetch_policy != 0)
     out += strfmt("prefetch_policy %u\n", fc.prefetch_policy);
   if (fc.cache_slots != 0) out += strfmt("cache_slots %u\n", fc.cache_slots);
+  if (fc.timing_mode != 0) out += strfmt("timing_mode %u\n", fc.timing_mode);
+  if (fc.quantum_ns != 0) out += strfmt("quantum_ns %u\n", fc.quantum_ns);
   return out;
 }
 
@@ -352,6 +374,10 @@ std::optional<FuzzCase> parse_case(const std::string& text) {
       ls >> fc.prefetch_policy;
     } else if (key == "cache_slots") {
       ls >> fc.cache_slots;
+    } else if (key == "timing_mode") {
+      ls >> fc.timing_mode;
+    } else if (key == "quantum_ns") {
+      ls >> fc.quantum_ns;
     } else {
       return std::nullopt;  // unknown key: refuse to guess
     }

@@ -31,6 +31,11 @@ struct FuzzCase {
   u32 recovery = 0;  ///< drcf::RecoveryPolicy under the faults (0..3).
   u32 prefetch_policy = 0;  ///< drcf::PrefetchPolicy (0..3; 0 = on-demand).
   u32 cache_slots = 0;  ///< Configuration-cache planes (0 = no cache).
+  /// Timing abstraction for the transformed run (the hardwired reference
+  /// always runs timed, so every loose case is an implicit cross-mode
+  /// differential): 0 = kTimed, 1 = kLoose.
+  u32 timing_mode = 0;
+  u32 quantum_ns = 0;  ///< Loose-mode quantum in ns (0 = kernel default).
 
   bool operator==(const FuzzCase&) const = default;
 };
@@ -56,6 +61,10 @@ struct CaseResult {
   u64 sim_time_ps = 0;  ///< Simulated end time of the transformed run.
   u64 context_switches = 0;  ///< DRCF switches in the transformed run.
   u64 fault_ledger_digest = 0;  ///< FaultLedger digest of the transformed run.
+  /// Time-independent ledger fold — the cross-timing-mode comparable form.
+  u64 fault_ledger_functional = 0;
+  u64 dispatches = 0;   ///< Scheduler activations in the transformed run.
+  u64 loose_syncs = 0;  ///< Loose-mode sync points (0 in timed runs).
   /// Output-region snapshot of the transformed run (the functional result
   /// the differential policy test compares across scheduler knobs).
   std::vector<bus::word> outputs;

@@ -19,15 +19,43 @@ using namespace kern::literals;
 
 namespace {
 
-ScenarioResult run_design(netlist::Design& d, const ScenarioOptions& opt) {
+// splitmix64 avalanche, same shape as TraceDigest::mix.
+constexpr u64 mix(u64 z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+ScenarioResult run_design(netlist::Design& d, const ScenarioOptions& opt,
+                          const std::string& drcf_name = {}) {
   TraceDigest td;
   kern::Simulation sim;
   sim.set_observer(&td);
   sim.set_timed_compaction(opt.timed_compaction);
   if (opt.lifo_perturbation) sim.debug_set_lifo_evaluation(true);
+  sim.set_timing_mode(opt.timing_mode);
+  if (!opt.quantum.is_zero()) sim.set_quantum(opt.quantum);
   netlist::Elaborated e(sim, d);
   sim.run();
-  return {td.value(), td.records(), sim.now().picoseconds()};
+  ScenarioResult r;
+  r.digest = td.value();
+  r.records = td.records();
+  r.sim_time_ps = sim.now().picoseconds();
+  r.dispatches = sim.activations();
+  r.loose_syncs = sim.loose_syncs();
+  // Every registered scenario places its working set in "ram"; folding the
+  // whole memory pins the functional result independent of the schedule.
+  if (e.has("ram")) {
+    auto& ram = e.get_memory("ram");
+    u64 h = 0x9e3779b97f4a7c15ULL;
+    for (usize i = 0; i < ram.size_words(); ++i)
+      h = mix(h ^ ram.peek(ram.get_low_add() + static_cast<bus::addr_t>(i)));
+    r.output_digest = h;
+  }
+  if (!drcf_name.empty() && e.has(drcf_name))
+    r.fault_ledger_digest =
+        e.get_drcf(drcf_name).fault_ledger().functional_digest();
+  return r;
 }
 
 // -- quickstart: the Sec. 5.2 flow (two accelerators folded into a DRCF) ----
@@ -87,7 +115,7 @@ ScenarioResult run_quickstart(const ScenarioOptions& opt) {
   const auto report =
       transform::transform_to_drcf(design, candidates, options);
   if (!report.ok) return {};
-  return run_design(design, opt);
+  return run_design(design, opt, report.drcf_name);
 }
 
 // -- sec53: the DSE sweep points (technology x slots x cfg-memory org) ------
@@ -171,7 +199,7 @@ ScenarioResult run_sec53(u32 tech_index, u32 slots, bool link,
   const std::vector<std::string> candidates{"fir", "fft", "aes"};
   const auto report = transform::transform_to_drcf(d, candidates, topt);
   if (!report.ok) return {};
-  return run_design(d, opt);
+  return run_design(d, opt, report.drcf_name);
 }
 
 // -- prefetch: the sec53 shared-bus varicore point under a prefetch policy --
@@ -195,7 +223,7 @@ ScenarioResult run_sec53_prefetch(drcf::PrefetchPolicy policy, u32 cache_slots,
   const std::vector<std::string> candidates{"fir", "fft", "aes"};
   const auto report = transform::transform_to_drcf(d, candidates, topt);
   if (!report.ok) return {};
-  return run_design(d, opt);
+  return run_design(d, opt, report.drcf_name);
 }
 
 // -- drcf: targeted context-scheduler shapes (Sec. 5.3 five-step walk) ------
@@ -211,7 +239,7 @@ ScenarioResult run_drcf_shape(const FuzzCase& fc, const ScenarioOptions& opt) {
   topt.config_memory = "cfg_mem";
   const auto report = transform::transform_to_drcf(d, candidates, topt);
   if (!report.ok) return {};
-  return run_design(d, opt);
+  return run_design(d, opt, report.drcf_name);
 }
 
 FuzzCase drcf_shape(usize n_accels, usize n_candidates, u32 slots,
@@ -256,7 +284,7 @@ ScenarioResult run_fault_shape(drcf::RecoveryPolicy policy,
   const std::vector<std::string> candidates{"acc0", "acc1"};
   const auto report = transform::transform_to_drcf(d, candidates, topt);
   if (!report.ok) return {};
-  return run_design(d, opt);
+  return run_design(d, opt, report.drcf_name);
 }
 
 struct Scenario {

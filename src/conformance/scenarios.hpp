@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "kernel/simulation.hpp"
+#include "kernel/time.hpp"
 #include "util/types.hpp"
 
 namespace adriatic::conformance {
@@ -21,12 +23,26 @@ struct ScenarioOptions {
   /// Test-only scheduler-order perturbation (LIFO evaluation); digests MUST
   /// depend on it — that is how the suite proves the digest has teeth.
   bool lifo_perturbation = false;
+  /// Timing abstraction for the run. Golden trace digests are only defined
+  /// in kTimed; under kLoose the suite compares output_digest and
+  /// fault_ledger_digest against the timed run instead.
+  kern::TimingMode timing_mode = kern::TimingMode::kTimed;
+  /// Loose-mode quantum; zero keeps the kernel default.
+  kern::Time quantum;
 };
 
 struct ScenarioResult {
   u64 digest = 0;
   u64 records = 0;      ///< Scheduler-trace records folded into the digest.
   u64 sim_time_ps = 0;  ///< Simulated end time.
+  u64 dispatches = 0;   ///< Process activations performed by the scheduler.
+  u64 loose_syncs = 0;  ///< Loose-mode synchronisation points (0 in kTimed).
+  /// Fold of the scenario's "ram" contents after the run — the functional
+  /// result, comparable across timing modes.
+  u64 output_digest = 0;
+  /// Time-independent fold of the DRCF's fault ledger (0 when the scenario
+  /// has no DRCF); comparable across timing modes.
+  u64 fault_ledger_digest = 0;
 };
 
 /// All registered scenario names, in golden-file order.

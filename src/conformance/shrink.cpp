@@ -140,6 +140,22 @@ ShrinkResult shrink_case(const FuzzCase& start,
     progress |= shrink_scalar(
         cur, cur.cache_slots, u32{0},
         [](FuzzCase& fc, u32 v) { fc.cache_slots = v; }, still_fails, out);
+
+    // Timing knob: back to the cycle-accurate baseline first (the failure
+    // may not be loose-mode-specific), then widen the quantum toward the
+    // kernel default — a larger quantum means fewer sync points, i.e. a
+    // structurally simpler loose schedule.
+    if (cur.timing_mode != 0) {
+      FuzzCase mutated = cur;
+      mutated.timing_mode = 0;
+      mutated.quantum_ns = 0;
+      progress |= try_accept(cur, mutated, still_fails, out);
+    }
+    if (cur.timing_mode != 0 && cur.quantum_ns != 0) {
+      FuzzCase mutated = cur;
+      mutated.quantum_ns = 0;
+      progress |= try_accept(cur, mutated, still_fails, out);
+    }
   }
   return out;
 }

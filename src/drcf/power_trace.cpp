@@ -18,14 +18,18 @@ PowerTracer::PowerTracer(kern::Object& parent, std::string name, Drcf& fabric,
       window_(window) {
   if (interval_.is_zero())
     throw std::invalid_argument(this->name() + ": zero sampling interval");
-  spawn_thread("sampler", [this] {
+  // Strict timing even in loose mode: the sampler reads sim().now() every
+  // interval, so decoupling would batch its samples at quantum boundaries.
+  auto& sampler = spawn_thread("sampler", [this] {
     const kern::Time start = sim().now();
     while (!stopped_ &&
            (window_.is_zero() || sim().now() - start < window_)) {
       sample();
       kern::wait(interval_);
     }
-  }).set_daemon();
+  });
+  sampler.set_daemon();
+  sampler.set_timing_strict();
 }
 
 void PowerTracer::sample() {

@@ -111,9 +111,31 @@ SlaveFaultInterposer::SlaveFaultInterposer(kern::Object& parent,
                                            bus::BusSlaveIf& inner,
                                            FaultPlan plan)
     : Module(parent, std::move(name)),
-      injector_(std::move(plan), kern::sched_name_hash(this->name())),
+      injector_(FaultPlan(plan), kern::sched_name_hash(this->name())),
       inner_(&inner),
-      site_(kern::sched_name_hash(this->name())) {}
+      site_(kern::sched_name_hash(this->name())),
+      armed_(!plan.empty()) {}
+
+void SlaveFaultInterposer::set_plan(FaultPlan plan) {
+  armed_ = !plan.empty();
+  injector_ = FaultInjector(std::move(plan), site_);
+  // Every grant forwarded so far bypasses read()/write(); revoke them all
+  // so the next access comes back through the interposed path.
+  invalidate_dmi();
+}
+
+bool SlaveFaultInterposer::get_dmi(bus::addr_t add, bus::DmiRegion* out) {
+  if (armed_) return false;
+  auto* provider = dynamic_cast<bus::DmiProvider*>(inner_);
+  if (provider == nullptr) return false;
+  if (!inner_listener_registered_) {
+    inner_listener_registered_ = true;
+    // Chain invalidations: if the inner slave revokes (e.g. a Memory
+    // disabling DMI), everyone holding a grant forwarded by us hears it.
+    provider->add_dmi_listener([this] { invalidate_dmi(); });
+  }
+  return provider->get_dmi(add, out);
+}
 
 bool SlaveFaultInterposer::read(bus::addr_t add, bus::word* data) {
   auto action = injector_.decide(sim().now(), add, /*is_read=*/true);

@@ -68,7 +68,15 @@ class BusFaultInterposer : public kern::Module, public bus::BusMasterIf {
 /// Slave-path interposer: wraps any bus::BusSlaveIf, mirroring its address
 /// range — drop-in on a Bus where the original slave was bound. Supersedes
 /// the ad-hoc FaultyMemory for anything that is not a Memory.
-class SlaveFaultInterposer : public kern::Module, public bus::BusSlaveIf {
+///
+/// DMI interaction: while the plan is active (any rule or scripted fault),
+/// the interposer declines to forward the inner slave's DMI grants — a
+/// direct pointer would bypass read()/write() and blind the injector.
+/// set_plan() re-arms at runtime and invalidates every grant already
+/// forwarded, so initiators fall back to the interposed path immediately.
+class SlaveFaultInterposer : public kern::Module,
+                             public bus::BusSlaveIf,
+                             public bus::DmiProvider {
  public:
   SlaveFaultInterposer(kern::Object& parent, std::string name,
                        bus::BusSlaveIf& inner, FaultPlan plan);
@@ -77,6 +85,13 @@ class SlaveFaultInterposer : public kern::Module, public bus::BusSlaveIf {
     ledger_ = ledger != nullptr ? ledger : &own_ledger_;
   }
   [[nodiscard]] const FaultLedger& ledger() const noexcept { return *ledger_; }
+
+  /// Replaces the fault plan (re-seeding the injector) and invalidates all
+  /// forwarded DMI grants. Passing an empty plan disarms the interposer,
+  /// which transparently forwards DMI again.
+  void set_plan(FaultPlan plan);
+  /// True when the current plan can inject (rules or scripted shots).
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
 
   // bus::BusSlaveIf ----------------------------------------------------------
   [[nodiscard]] bus::addr_t get_low_add() const override {
@@ -88,12 +103,18 @@ class SlaveFaultInterposer : public kern::Module, public bus::BusSlaveIf {
   bool read(bus::addr_t add, bus::word* data) override;
   bool write(bus::addr_t add, bus::word* data) override;
 
+  // bus::DmiProvider ----------------------------------------------------------
+  /// Forwards the inner slave's grant only while disarmed.
+  bool get_dmi(bus::addr_t add, bus::DmiRegion* out) override;
+
  private:
   FaultInjector injector_;
   FaultLedger own_ledger_;
   FaultLedger* ledger_ = &own_ledger_;
   bus::BusSlaveIf* inner_;
   u64 site_;
+  bool armed_ = false;
+  bool inner_listener_registered_ = false;
 };
 
 }  // namespace adriatic::fault

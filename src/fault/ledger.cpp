@@ -97,6 +97,27 @@ u64 FaultLedger::digest() const noexcept {
   return h;
 }
 
+u64 FaultLedger::functional_digest() const noexcept {
+  u64 h = 0x9e3779b97f4a7c15ULL;
+  const FaultRecord* prev = nullptr;
+  for (const FaultRecord& r : records_) {
+    // Consecutive identical records collapse into one: per-call events like
+    // kFallback repeat once per access, and the access count of a polling
+    // caller is a timing artifact, not a functional outcome. Run-length is
+    // the only information discarded — any change in kind, site, address or
+    // payload still lands in the fold.
+    if (prev != nullptr && prev->kind == r.kind && prev->site == r.site &&
+        prev->addr == r.addr && prev->arg == r.arg)
+      continue;
+    prev = &r;
+    h = mix(h ^ static_cast<u64>(r.kind));
+    h = mix(h ^ r.site);
+    h = mix(h ^ r.addr);
+    h = mix(h ^ r.arg);
+  }
+  return h;
+}
+
 void FaultLedger::to_json(JsonWriter& w) const {
   w.begin_object();
   w.field("events", static_cast<u64>(records_.size()));

@@ -59,6 +59,16 @@ class FaultLedger {
   /// counterpart of conformance::TraceDigest.
   [[nodiscard]] u64 digest() const noexcept;
 
+  /// Like digest(), but excluding timestamps and collapsing consecutive
+  /// identical records: folds kind/site/addr/arg of each run of equal
+  /// records in append order. Comparable across timing modes, where
+  /// loose-mode injection timestamps legitimately lag their timed-mode
+  /// counterparts and per-call repeat counts (e.g. one kFallback per poll
+  /// of a degraded context) vary with poll timing (see
+  /// docs/timing_modes.md), while the event-content sequence must not
+  /// change.
+  [[nodiscard]] u64 functional_digest() const noexcept;
+
   /// Writes a summary object: record/injection counts, per-kind counts for
   /// kinds that occurred, and the 16-hex-digit ledger digest.
   void to_json(JsonWriter& w) const;

@@ -69,7 +69,16 @@ void Process::mark_ready() {
 ThreadProcess::ThreadProcess(Object& parent, std::string name,
                              std::function<void()> fn, usize stack_bytes)
     : Process(parent, std::move(name)),
-      fiber_(std::move(fn), stack_bytes) {}
+      fiber_(
+          [this, fn = std::move(fn)] {
+            fn();
+            // Publish any local-time offset still pending when the body
+            // returns, so a loosely-timed thread terminates at the simulated
+            // time it actually reached instead of silently discarding the
+            // tail of its last quantum.
+            flush_local_time();
+          },
+          stack_bytes) {}
 
 void ThreadProcess::activate() {
   fiber_.resume();
@@ -86,6 +95,7 @@ void ThreadProcess::suspend() {
 }
 
 void ThreadProcess::wait_static() {
+  flush_local_time();
   if (static_events_.empty())
     log::warn() << name()
                 << ": wait() with empty static sensitivity never returns";
@@ -95,6 +105,17 @@ void ThreadProcess::wait_static() {
 }
 
 void ThreadProcess::wait_event(Event& e) {
+  if (!local_offset_.is_zero()) {
+    // Loose mode with a pending offset: the awaited event must be armed
+    // ACROSS the flush window. Flushing first (a plain timed wait) would
+    // drop any notification landing inside it — the classic missed-event
+    // deadlock: a producer the caller just signalled completes and notifies
+    // while the caller is still paying down its local offset. Arm both; a
+    // plain wait remains only when the flush finishes without the event.
+    wait_time_event(Time::zero(), e);
+    if (!timed_out_) return;  // the event fired inside the flush window
+    timed_out_ = false;
+  }
   timed_out_ = false;
   wait_mode_ = WaitMode::kOr;
   waited_events_.push_back(&e);
@@ -105,12 +126,43 @@ void ThreadProcess::wait_event(Event& e) {
 }
 
 void ThreadProcess::wait_time(Time t) {
+  Simulation& s = sim();
+  if (s.loose() && !timing_strict_) {
+    // Temporal decoupling: run ahead of global time, deferring the
+    // scheduler round-trip until the quantum is exhausted. A zero-time
+    // wait still synchronises — models use wait(0) as an explicit yield,
+    // and skipping it could spin a polling loop forever.
+    local_offset_ += t;
+    if (!t.is_zero() && local_offset_ < s.quantum()) return;
+    sync_local_time();
+    return;
+  }
   timeout_event_->notify(t);
   wait_event(*timeout_event_);
   timed_out_ = false;  // a plain timed wait is not a "timeout"
 }
 
+void ThreadProcess::sync_local_time() {
+  // Offset cleared before the wait so wait_event()'s flush is a no-op
+  // (no recursion) and a quantum boundary looks like one plain timed wait.
+  const Time offset = local_offset_;
+  local_offset_ = Time::zero();
+  sim().note_loose_sync();
+  timeout_event_->notify(offset);  // offset == 0 degrades to a delta yield
+  wait_event(*timeout_event_);
+  timed_out_ = false;
+}
+
 void ThreadProcess::wait_time_event(Time t, Event& e) {
+  // Fold any pending loose-mode offset into the timeout instead of flushing
+  // first: the timeout should expire `t` after the caller's LOCAL time, and
+  // the event stays armed over the whole flush window (see wait_event).
+  const Time owed = local_offset_;
+  if (!owed.is_zero()) {
+    t += owed;
+    local_offset_ = Time::zero();
+    sim().note_loose_sync();
+  }
   timed_out_ = false;
   wait_mode_ = WaitMode::kOr;
   timeout_event_->notify(t);
@@ -119,12 +171,51 @@ void ThreadProcess::wait_time_event(Time t, Event& e) {
   waited_events_.push_back(&e);
   e.add_dynamic(*this);
   state_ = State::kWaitDynamic;
-  wait_since_ = sim().now();
+  const Time start = sim().now();
+  wait_since_ = start;
   suspend();
+  // Local time is monotonic: if the event cut the wait short, the unpaid
+  // part of the folded offset is still owed. Discarding it would let a
+  // delta-notified producer/consumer ping-pong contract an entire run to
+  // one global instant — time would never advance and run(duration) would
+  // never return. Carrying it forward makes the quantum check in
+  // wait_time() force a hard sync once enough debt accumulates.
+  if (!timed_out_ && !owed.is_zero()) {
+    const Time paid = sim().now() - start;
+    if (paid < owed) local_offset_ = owed - paid;
+  }
 }
 
 void ThreadProcess::wait_any(std::span<Event* const> events) {
   if (events.empty()) throw std::invalid_argument("wait_any: empty list");
+  if (!local_offset_.is_zero()) {
+    // Arm the whole set across the flush window (see wait_event); re-arm
+    // plainly below only when the flush timeout was the sole trigger.
+    const Time offset = local_offset_;
+    local_offset_ = Time::zero();
+    sim().note_loose_sync();
+    timed_out_ = false;
+    wait_mode_ = WaitMode::kOr;
+    timeout_event_->notify(offset);
+    waited_events_.push_back(timeout_event_.get());
+    timeout_event_->add_dynamic(*this);
+    for (Event* e : events) {
+      waited_events_.push_back(e);
+      e->add_dynamic(*this);
+    }
+    state_ = State::kWaitDynamic;
+    const Time start = sim().now();
+    wait_since_ = start;
+    suspend();
+    if (!timed_out_) {
+      // An event cut the flush short: carry the unpaid offset forward
+      // (see wait_time_event — local time is monotonic).
+      const Time paid = sim().now() - start;
+      if (paid < offset) local_offset_ = offset - paid;
+      return;
+    }
+    timed_out_ = false;
+  }
   timed_out_ = false;
   wait_mode_ = WaitMode::kOr;
   for (Event* e : events) {
@@ -138,6 +229,13 @@ void ThreadProcess::wait_any(std::span<Event* const> events) {
 
 void ThreadProcess::wait_all(std::span<Event* const> events) {
   if (events.empty()) throw std::invalid_argument("wait_all: empty list");
+  // wait_all keeps flush-first semantics: a conjunction with a timeout mixed
+  // in has no clean meaning in the kOr/kAnd machinery, so events notified
+  // inside the flush window are not observed — the standard SystemC
+  // "notification before wait() is lost" contract, merely with a window
+  // widened by up to one quantum. Loosely-timed models combining wait_all
+  // with signalling producers should re-check state flags after waking.
+  flush_local_time();
   timed_out_ = false;
   wait_mode_ = WaitMode::kAnd;
   and_pending_ = events.size();

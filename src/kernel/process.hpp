@@ -47,6 +47,23 @@ class Process : public Object {
   void set_daemon(bool daemon = true) noexcept { daemon_ = daemon; }
   [[nodiscard]] bool is_daemon() const noexcept { return daemon_; }
 
+  /// Opts this process out of temporal decoupling: in TimingMode::kLoose its
+  /// wait(Time) calls still go through the scheduler one by one. Needed by
+  /// processes whose side effects between waits are consumed asynchronously
+  /// (e.g. a thread toggling a signal other processes edge-detect — under
+  /// decoupling the toggles would collapse into one delta and lose edges).
+  void set_timing_strict(bool strict = true) noexcept {
+    timing_strict_ = strict;
+  }
+  [[nodiscard]] bool timing_strict() const noexcept { return timing_strict_; }
+
+  /// Accumulated loose-mode delay not yet synchronised with the scheduler:
+  /// this process's view of time is sim().now() + local_time_offset().
+  /// Always zero in TimingMode::kTimed and while the process is suspended.
+  [[nodiscard]] Time local_time_offset() const noexcept {
+    return local_offset_;
+  }
+
   /// Notified when the process terminates (thread function returned).
   [[nodiscard]] Event& terminated_event() noexcept { return *terminated_event_; }
 
@@ -76,7 +93,8 @@ class Process : public Object {
 
   State state_ = State::kReady;
   WaitMode wait_mode_ = WaitMode::kNone;
-  Time wait_since_;  ///< Sim time the current wait began.
+  Time wait_since_;    ///< Sim time the current wait began.
+  Time local_offset_;  ///< Loose-mode local time ahead of sim().now().
   usize and_pending_ = 0;  ///< Outstanding events for an and-list wait.
   std::vector<Event*> waited_events_;
   std::unique_ptr<Event> timeout_event_;
@@ -84,6 +102,7 @@ class Process : public Object {
   std::vector<Event*> static_events_;
   bool dont_initialize_ = false;
   bool daemon_ = false;
+  bool timing_strict_ = false;
   bool timed_out_ = false;
   bool in_runnable_queue_ = false;
 };
@@ -109,6 +128,14 @@ class ThreadProcess final : public Process {
  private:
   void activate() override;
   void suspend();
+  /// Loose mode: performs one real timed wait for the accumulated local
+  /// offset (a synchronisation point) and resets the offset.
+  void sync_local_time();
+  /// Loose mode: synchronises iff a local offset is pending. Every blocking
+  /// wait flushes first so event waits happen at the process's local time.
+  void flush_local_time() {
+    if (!local_offset_.is_zero()) sync_local_time();
+  }
 
   Fiber fiber_;
 };

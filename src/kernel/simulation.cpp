@@ -39,6 +39,17 @@ thread_local Process* t_running = nullptr;
 Simulation::Simulation() = default;
 Simulation::~Simulation() = default;
 
+void Simulation::set_quantum(Time q) {
+  if (q.is_zero())
+    throw std::invalid_argument("Simulation::set_quantum: zero quantum");
+  quantum_ = q;
+}
+
+Time Simulation::local_now() const noexcept {
+  const Process* p = current_process_;
+  return p == nullptr ? now_ : now_ + p->local_time_offset();
+}
+
 // ---------------------------------------------------------------------------
 // Registration
 
@@ -128,6 +139,11 @@ void Simulation::report_stall(DeadlockReport::Kind k) {
   if (k == DeadlockReport::Kind::kDeadlock && report.waiters.empty()) return;
   log::warn() << "simulation " << to_string(k) << " at " << now_.str() << ": "
               << report.waiters.size() << " process(es) blocked";
+  for (const auto& w : report.waiters) {
+    auto l = log::warn();
+    l << "  waiter " << w.process << " on:";
+    for (const auto& e : w.awaited) l << " " << e;
+  }
   deadlock_report_.emplace(std::move(report));
   if (deadlock_handler_) deadlock_handler_(*deadlock_report_);
 }

@@ -33,6 +33,20 @@ enum class StopReason : u8 {
   kStalled,      ///< The max_quiet_time progress watchdog fired (livelock).
 };
 
+/// Timing abstraction the scheduler runs under (see docs/timing_modes.md).
+enum class TimingMode : u8 {
+  /// Bus-cycle-accurate: every wait(Time) is a real scheduler round-trip.
+  /// This is the paper's abstraction level and the conformance baseline —
+  /// golden trace digests are only defined in this mode.
+  kTimed,
+  /// Loosely timed (TLM-2 style): thread processes accumulate wait(Time)
+  /// delays in a per-process local-time offset and only synchronise with
+  /// the scheduler at quantum expiry, event waits, or zero-time yields.
+  /// Functional results are preserved; trace digests and exact event
+  /// interleavings are not.
+  kLoose,
+};
+
 class Simulation {
  public:
   Simulation();
@@ -58,6 +72,33 @@ class Simulation {
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] u64 delta_count() const noexcept { return delta_count_; }
   [[nodiscard]] u64 activations() const noexcept { return activations_; }
+
+  // -- Timing mode (temporal decoupling) ------------------------------------
+
+  /// Selects the timing abstraction for this run. Switch before run() (or
+  /// between run() calls); flipping it mid-quantum would strand accumulated
+  /// local offsets.
+  void set_timing_mode(TimingMode m) noexcept { timing_mode_ = m; }
+  [[nodiscard]] TimingMode timing_mode() const noexcept { return timing_mode_; }
+  [[nodiscard]] bool loose() const noexcept {
+    return timing_mode_ == TimingMode::kLoose;
+  }
+
+  /// Global quantum for kLoose: the largest local-time offset a decoupled
+  /// process may accumulate before it must synchronise with the scheduler.
+  /// Must be nonzero.
+  void set_quantum(Time q);
+  [[nodiscard]] Time quantum() const noexcept { return quantum_; }
+
+  /// The calling process's view of time: global time plus its local offset
+  /// (equal to now() in kTimed or outside a process).
+  [[nodiscard]] Time local_now() const noexcept;
+
+  /// Number of loose-mode synchronisations (quantum expiries and offset
+  /// flushes before event waits) performed so far.
+  [[nodiscard]] u64 loose_syncs() const noexcept { return loose_syncs_; }
+  /// Kernel-internal: counted by ThreadProcess when it synchronises.
+  void note_loose_sync() noexcept { ++loose_syncs_; }
   [[nodiscard]] bool pending_activity() const noexcept;
   /// Current timed-queue length including not-yet-compacted stale entries;
   /// exposed so tests can pin the compaction policy.
@@ -211,6 +252,9 @@ class Simulation {
   Time now_;
   u64 delta_count_ = 0;
   u64 activations_ = 0;
+  TimingMode timing_mode_ = TimingMode::kTimed;
+  Time quantum_ = Time::us(1);
+  u64 loose_syncs_ = 0;
   u64 timed_seq_ = 0;
   u64 timed_stale_ = 0;  ///< Upper-bound estimate of stale timed entries.
   bool elaborated_ = false;

@@ -51,6 +51,12 @@ class FaultyMemory : public Memory {
     return injected_errors_;
   }
 
+  /// Never grants DMI: a direct pointer would bypass the read() override
+  /// and silently disable injection.
+  bool get_dmi(bus::addr_t /*add*/, bus::DmiRegion* /*out*/) override {
+    return false;
+  }
+
  private:
   [[nodiscard]] bool in_window(bus::addr_t add) const {
     if (fault_.window_low == 0 && fault_.window_high == 0) return true;

@@ -37,6 +37,23 @@ bool Memory::write(bus::addr_t add, bus::word* data) {
   return true;
 }
 
+bool Memory::get_dmi(bus::addr_t add, bus::DmiRegion* out) {
+  if (!dmi_enabled_ || out == nullptr || !in_range(add)) return false;
+  out->data = words_.data();
+  out->low = low_;
+  out->high = get_high_add();
+  out->read_latency = read_latency_;
+  out->write_latency = write_latency_;
+  out->allow_write = true;
+  return true;
+}
+
+void Memory::set_dmi_enabled(bool enabled) {
+  const bool was = dmi_enabled_;
+  dmi_enabled_ = enabled;
+  if (was && !enabled) invalidate_dmi();
+}
+
 void Memory::load(bus::addr_t add, std::span<const bus::word> data) {
   if (!in_range(add) || add + data.size() - 1 > get_high_add())
     throw std::out_of_range(name() + ": load outside memory");
@@ -63,6 +80,12 @@ Rom::Rom(kern::Object& parent, std::string name, bus::addr_t low,
 bool Rom::write(bus::addr_t /*add*/, bus::word* /*data*/) {
   ++stats_.errors;
   return false;
+}
+
+bool Rom::get_dmi(bus::addr_t add, bus::DmiRegion* out) {
+  if (!Memory::get_dmi(add, out)) return false;
+  out->allow_write = false;
+  return true;
 }
 
 }  // namespace adriatic::mem

@@ -20,7 +20,9 @@ struct MemoryStats {
   u64 errors = 0;  ///< Out-of-range or read-only violations.
 };
 
-class Memory : public kern::Module, public bus::BusSlaveIf {
+class Memory : public kern::Module,
+               public bus::BusSlaveIf,
+               public bus::DmiProvider {
  public:
   Memory(kern::Object& parent, std::string name, bus::addr_t low,
          usize size_words, kern::Time read_latency = kern::Time::zero(),
@@ -33,6 +35,17 @@ class Memory : public kern::Module, public bus::BusSlaveIf {
   }
   bool read(bus::addr_t add, bus::word* data) override;
   bool write(bus::addr_t add, bus::word* data) override;
+
+  // bus::DmiProvider ----------------------------------------------------------
+  /// Grants the whole backing store with this memory's word latencies.
+  /// Loose-mode fast paths bypass read()/write() through the pointer, so
+  /// MemoryStats do not see DMI traffic (the usual TLM-2 trade-off).
+  /// Subclasses that intercept accesses (FaultyMemory) must decline.
+  bool get_dmi(bus::addr_t add, bus::DmiRegion* out) override;
+  /// Withdraws DMI for this memory: pending grants are invalidated and
+  /// future requests declined, forcing every access back through
+  /// read()/write(). Used by fault interposition and tests.
+  void set_dmi_enabled(bool enabled);
 
   // Backdoor access (no timing, no stats) — loaders and checkers only.
   void load(bus::addr_t add, std::span<const bus::word> data);
@@ -52,9 +65,11 @@ class Memory : public kern::Module, public bus::BusSlaveIf {
   kern::Time read_latency_;
   kern::Time write_latency_;
   MemoryStats stats_;
+  bool dmi_enabled_ = true;
 };
 
-/// Read-only memory: bus writes fail (and count as errors).
+/// Read-only memory: bus writes fail (and count as errors). DMI grants are
+/// read-only so fast-path writes fall back to write() and fail identically.
 class Rom : public Memory {
  public:
   Rom(kern::Object& parent, std::string name, bus::addr_t low,
@@ -62,6 +77,7 @@ class Rom : public Memory {
       kern::Time read_latency = kern::Time::zero());
 
   bool write(bus::addr_t add, bus::word* data) override;
+  bool get_dmi(bus::addr_t add, bus::DmiRegion* out) override;
 };
 
 }  // namespace adriatic::mem

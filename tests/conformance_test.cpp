@@ -15,12 +15,17 @@
 #include <string>
 #include <vector>
 
+#include "bus/bus.hpp"
 #include "campaign/campaign.hpp"
 #include "conformance/digest.hpp"
 #include "conformance/fuzz_case.hpp"
 #include "conformance/golden.hpp"
 #include "conformance/scenarios.hpp"
 #include "conformance/shrink.hpp"
+#include "fault/interposer.hpp"
+#include "fault/plan.hpp"
+#include "kernel/module.hpp"
+#include "memory/memory.hpp"
 #include "util/check.hpp"
 
 #ifndef ADRIATIC_GOLDEN_FILE
@@ -328,6 +333,177 @@ TEST(PrefetchDifferentialTest, PoliciesPreserveOutputUnderTimingFaults) {
     ASSERT_TRUE(r.ok) << r.failure;
     EXPECT_EQ(r.outputs, reference.outputs);
   }
+}
+
+// --- timed-vs-loose differentials -------------------------------------------
+
+TEST(TimingModeDifferentialTest, QuantumSweepPreservesFunctionalResults) {
+  // Every golden scenario re-run loosely timed under quanta of 1, 10 and
+  // 1000 bus cycles (the registry's buses all run a 10 ns cycle): the
+  // functional output fold and the time-independent fault-ledger fold must
+  // match the timed run exactly at every quantum. Trace digests are NOT
+  // compared — eliding and reordering scheduler activity is the point of
+  // loose mode, and the golden digests stay a kTimed-only contract.
+  using namespace kern::literals;
+  const kern::Time quanta[] = {10_ns, 100_ns, 10_us};
+  for (const auto& name : scenario_names()) {
+    const auto timed = run_scenario(name);
+    ASSERT_TRUE(timed.has_value());
+    ASSERT_NE(timed->output_digest, 0u) << name;
+    for (const auto q : quanta) {
+      SCOPED_TRACE(name + " quantum " + q.str());
+      ScenarioOptions opt;
+      opt.timing_mode = kern::TimingMode::kLoose;
+      opt.quantum = q;
+      const auto loose = run_scenario(name, opt);
+      ASSERT_TRUE(loose.has_value());
+      EXPECT_EQ(loose->output_digest, timed->output_digest);
+      EXPECT_EQ(loose->fault_ledger_digest, timed->fault_ledger_digest);
+      EXPECT_GT(loose->loose_syncs, 0u);
+      EXPECT_EQ(timed->loose_syncs, 0u);
+    }
+  }
+}
+
+TEST(TimingModeDifferentialTest, LooseModeLowersDispatchCount) {
+  // The speedup mechanism made observable: at the default quantum the
+  // sec53 shared-bus point must take strictly fewer scheduler dispatches
+  // loosely timed than timed, with identical functional results. The CI
+  // perf-smoke step gates on the same pair via examples/timing_smoke.
+  const auto timed = run_scenario("sec53_varicore_s1_shared");
+  ScenarioOptions opt;
+  opt.timing_mode = kern::TimingMode::kLoose;
+  const auto loose = run_scenario("sec53_varicore_s1_shared", opt);
+  ASSERT_TRUE(timed.has_value() && loose.has_value());
+  EXPECT_LT(loose->dispatches, timed->dispatches);
+  EXPECT_EQ(loose->output_digest, timed->output_digest);
+}
+
+TEST(TimingModeDifferentialTest, FaultLedgerSequenceMatchesAcrossModes) {
+  // A rate-based timing-fault plan on the fetch path, run timed and loose:
+  // the injector draws per transaction, so the ledger's event sequence
+  // (kinds, sites, addresses, payloads) must be identical across modes —
+  // only the timestamps may lag. run_case() additionally proves the loose
+  // run functionally equivalent to the timed hardwired reference.
+  FuzzCase base;
+  base.n_accels = 3;
+  base.n_candidates = 3;
+  base.slots = 1;
+  base.tech_index = 1;
+  base.schedule = {0, 1, 2, 0, 1, 2};
+  base.fault_rate_pct = 30;
+  base.recovery = 1;  // retry/backoff
+  ASSERT_TRUE(valid(base));
+  const auto timed = run_case(base);
+  ASSERT_TRUE(timed.ok) << timed.failure;
+  ASSERT_GT(timed.fault_ledger_functional, 0u);
+
+  for (const u32 quantum_ns : {100u, 10000u}) {
+    SCOPED_TRACE("quantum_ns " + std::to_string(quantum_ns));
+    FuzzCase fc = base;
+    fc.timing_mode = 1;
+    fc.quantum_ns = quantum_ns;
+    ASSERT_TRUE(valid(fc));
+    const auto loose = run_case(fc);
+    ASSERT_TRUE(loose.ok) << loose.failure;
+    EXPECT_EQ(loose.outputs, timed.outputs);
+    EXPECT_EQ(loose.fault_ledger_functional, timed.fault_ledger_functional);
+    EXPECT_GT(loose.loose_syncs, 0u);
+  }
+}
+
+TEST(TimingModeDifferentialTest, PrefetchPoliciesPreserveOutputsLoose) {
+  // The prefetch-policy differential, repeated loosely timed: every policy
+  // x cache point must still match the timed reference outputs, and with
+  // no fault plan installed no policy may log a ledger event in either
+  // mode.
+  FuzzCase base;
+  base.n_accels = 3;
+  base.n_candidates = 3;
+  base.slots = 1;
+  base.tech_index = 1;
+  base.schedule = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  const auto reference = run_case(base);
+  ASSERT_TRUE(reference.ok) << reference.failure;
+
+  for (u32 policy = 0; policy <= 3; ++policy) {
+    for (const u32 cache : {0u, 2u}) {
+      SCOPED_TRACE("policy " + std::to_string(policy) + " cache " +
+                   std::to_string(cache));
+      FuzzCase fc = base;
+      fc.prefetch_policy = policy;
+      fc.cache_slots = cache;
+      fc.timing_mode = 1;
+      ASSERT_TRUE(valid(fc));
+      const auto r = run_case(fc);
+      ASSERT_TRUE(r.ok) << r.failure;
+      EXPECT_EQ(r.outputs, reference.outputs);
+      EXPECT_EQ(r.fault_ledger_functional, reference.fault_ledger_functional);
+    }
+  }
+}
+
+TEST(TimingModeDifferentialTest, DmiInvalidationRestoresFaultVisibility) {
+  // DMI lifecycle against fault arming: a disarmed interposer forwards the
+  // memory's grant (reads bypass it entirely); set_plan() with a live plan
+  // must revoke every forwarded grant so the injector sees the very next
+  // access; disarming re-grants lazily.
+  kern::Simulation sim;
+  sim.set_timing_mode(kern::TimingMode::kLoose);
+  kern::Module top(sim, "top");
+  bus::Bus b(top, "bus");
+  mem::Memory ram(top, "ram", 0x100, 64);
+  fault::SlaveFaultInterposer shim(top, "shim", ram, fault::FaultPlan{});
+  b.bind_slave(shim);
+  top.spawn_thread("t", [&] {
+    std::vector<bus::word> data(16, 7);
+    EXPECT_EQ(b.burst_write(0x100, data, 0), bus::BusStatus::kOk);
+    std::vector<bus::word> back(16);
+    EXPECT_EQ(b.burst_read(0x100, back, 0), bus::BusStatus::kOk);
+    const u64 dmi_granted = b.stats().dmi_words;
+    EXPECT_GT(dmi_granted, 0u);  // disarmed: the inner grant was forwarded
+    EXPECT_EQ(shim.ledger().injected_count(), 0u);
+
+    fault::FaultPlan plan;
+    plan.seed = 1;
+    fault::FaultRule rule;
+    rule.rate = 1.0;  // hit every transaction
+    rule.kind = fault::FaultKind::kDelay;
+    rule.delay = kern::Time::ns(1);
+    plan.rules.push_back(rule);
+    shim.set_plan(std::move(plan));
+    EXPECT_TRUE(shim.armed());
+    EXPECT_EQ(b.burst_read(0x100, back, 0), bus::BusStatus::kOk);
+    EXPECT_EQ(back, data);
+    EXPECT_EQ(b.stats().dmi_words, dmi_granted);  // no DMI while armed
+    EXPECT_EQ(shim.ledger().injected_count(), 16u);  // every word was seen
+
+    shim.set_plan(fault::FaultPlan{});  // disarm: DMI engages again
+    EXPECT_FALSE(shim.armed());
+    EXPECT_EQ(b.burst_read(0x100, back, 0), bus::BusStatus::kOk);
+    EXPECT_GT(b.stats().dmi_words, dmi_granted);
+    EXPECT_EQ(shim.ledger().injected_count(), 16u);
+  });
+  sim.run();
+}
+
+TEST(FuzzCaseIoTest, TimingKnobsRoundTrip) {
+  FuzzCase fc = make_case(7);
+  fc.timing_mode = 1;
+  fc.quantum_ns = 1000;
+  ASSERT_TRUE(valid(fc));
+  const auto back = parse_case(serialize(fc));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, fc);
+  // Out-of-range / inconsistent knobs must not validate or parse.
+  FuzzCase bad = fc;
+  bad.timing_mode = 2;
+  EXPECT_FALSE(valid(bad));
+  EXPECT_FALSE(parse_case(serialize(bad)).has_value());
+  bad = fc;
+  bad.timing_mode = 0;  // a quantum without loose mode is meaningless
+  EXPECT_FALSE(valid(bad));
+  EXPECT_FALSE(parse_case(serialize(bad)).has_value());
 }
 
 TEST(FuzzCaseIoTest, PrefetchKnobsRoundTrip) {
