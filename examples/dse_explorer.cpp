@@ -30,6 +30,7 @@
 #include "campaign/campaign.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/report.hpp"
+#include "conformance/migration_harness.hpp"
 #include "dse/pareto.hpp"
 #include "estimate/area.hpp"
 #include "netlist/design.hpp"
@@ -224,6 +225,41 @@ SweepOutcome run_config(const Config& cfg,
   return out;
 }
 
+/// The task-migration probe as its own job: a clean two-fabric handover
+/// (checkpoint after two chunks, state transfer over the system bus, resume
+/// on the destination) whose controller counters land in --report as the
+/// job's "migration" object — the state-transfer cost figure next to the
+/// sweep's fetch/latency figures.
+SweepOutcome run_migration_probe(kern::TimingMode timing, u32 quantum_ns,
+                                 campaign::JobContext* ctx) {
+  SweepOutcome out;
+  conformance::MigrationSpec spec;
+  conformance::ScenarioOptions sopt;
+  sopt.timing_mode = timing;
+  if (quantum_ns != 0) sopt.quantum = kern::Time::ns(quantum_ns);
+  const auto r = conformance::run_migration(spec, sopt);
+  if (ctx != nullptr) {
+    ctx->record_digest(r.scenario.digest);
+    ctx->record_migration(r.controller.migrations,
+                          r.controller.state_words_moved,
+                          r.controller.transfer_faults_recovered);
+  }
+  if (ctx != nullptr && ctx->interrupted()) {
+    out.error = "interrupted";
+    return out;
+  }
+  if (!r.cpu_finished || !r.migration.ok()) {
+    out.error = "migration probe failed: " +
+                std::string(soc::to_string(r.migration.status));
+    return out;
+  }
+  out.row = {std::to_string(r.controller.migrations),
+             std::to_string(r.controller.state_words_moved),
+             std::to_string(r.controller.transfer_faults_recovered)};
+  out.ok = true;
+  return out;
+}
+
 /// The reference architecture (everything hardwired) as its own job.
 SweepOutcome run_hardwired(u64 hw_gates, kern::TimingMode timing,
                            u32 quantum_ns, campaign::JobContext* ctx) {
@@ -344,10 +380,14 @@ int main(int argc, char** argv) {
   }
   const u64 hw_gates = estimate::hardwired_gates(kernel_gates);
 
-  // The sweep's job list: every design point plus the hardwired reference.
-  const usize n_jobs = configs.size() + 1;
+  // The sweep's job list: every design point, the hardwired reference, and
+  // the task-migration probe.
+  const usize n_jobs = configs.size() + 2;
+  const usize hw_index = configs.size();
+  const usize probe_index = configs.size() + 1;
   const auto job_label = [&](usize i) {
-    return i < configs.size() ? configs[i].label : std::string("hardwired");
+    if (i < configs.size()) return configs[i].label;
+    return std::string(i == hw_index ? "hardwired" : "migration_probe");
   };
 
   // Journal / resume setup; --resume refuses a journal whose planned job
@@ -415,11 +455,17 @@ int main(int argc, char** argv) {
           configs[i].label, job_stats, [&](campaign::JobContext& ctx) {
             return run_config(configs[i], candidates, kernel_gates, &ctx);
           });
-    outcomes[configs.size()] =
+    outcomes[hw_index] =
         campaign::run_inline("hardwired", job_stats,
                              [&](campaign::JobContext& ctx) {
                                return run_hardwired(hw_gates, timing,
                                                     quantum_ns, &ctx);
+                             });
+    outcomes[probe_index] =
+        campaign::run_inline("migration_probe", job_stats,
+                             [&](campaign::JobContext& ctx) {
+                               return run_migration_probe(timing, quantum_ns,
+                                                          &ctx);
                              });
   } else {
     campaign::CampaignRunner runner(
@@ -442,15 +488,25 @@ int main(int argc, char** argv) {
             return run_config(cfg, candidates, kernel_gates, &ctx);
           }));
     }
-    if (rerun[configs.size()]) {
+    if (rerun[hw_index]) {
       campaign::JobOptions o;
-      o.stats_index = configs.size();
-      futures.emplace_back(configs.size(),
+      o.stats_index = hw_index;
+      futures.emplace_back(hw_index,
                            runner.submit("hardwired", o,
                                          [&](campaign::JobContext& ctx) {
                                            return run_hardwired(
                                                hw_gates, timing, quantum_ns,
                                                &ctx);
+                                         }));
+    }
+    if (rerun[probe_index]) {
+      campaign::JobOptions o;
+      o.stats_index = probe_index;
+      futures.emplace_back(probe_index,
+                           runner.submit("migration_probe", o,
+                                         [&](campaign::JobContext& ctx) {
+                                           return run_migration_probe(
+                                               timing, quantum_ns, &ctx);
                                          }));
     }
     for (auto& [i, f] : futures) {
@@ -504,16 +560,28 @@ int main(int argc, char** argv) {
               << " design point(s) restored from the journal (metrics in "
                  "--report; not re-run)\n";
 
-  const auto& hw = outcomes[configs.size()];
+  const auto& hw = outcomes[hw_index];
   if (hw.ok) {
     std::cout << "\nhardwired reference: " << hw.row[0] << " us, " << hw_gates
               << " gates, 0 uJ reconfig\n";
     points.push_back(hw.point);
   }
 
-  // The Pareto front is only meaningful over the complete design space:
-  // skip it when points are missing (interrupted or journal-restored runs).
-  if (points.size() == n_jobs) {
+  const auto& probe = outcomes[probe_index];
+  if (probe.ok) {
+    std::cout << "migration probe: " << probe.row[0] << " migration(s), "
+              << probe.row[1] << " state words over the bus, " << probe.row[2]
+              << " transfer fault(s) recovered\n";
+  } else if (restored.count(probe_index) == 0) {
+    std::cerr << "migration_probe: "
+              << (probe.error.empty() ? "interrupted" : probe.error) << '\n';
+  }
+
+  // The Pareto front is only meaningful over the complete design space
+  // (every design point plus the hardwired reference; the migration probe
+  // contributes no point): skip it when points are missing (interrupted or
+  // journal-restored runs).
+  if (points.size() == configs.size() + 1) {
     const auto front = dse::pareto_front(points);
     std::cout
         << "\nPareto-optimal configurations (time, area, energy, "

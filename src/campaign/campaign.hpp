@@ -98,6 +98,10 @@ struct JobStats {
   bool loose = false;         ///< Job ran under kern::TimingMode::kLoose.
   kern::Time quantum;         ///< Loose-mode quantum the job ran under.
   u64 loose_syncs = 0;        ///< Loose-mode synchronisation points.
+  bool has_migration = false;  ///< record_migration() was called.
+  u64 migrations = 0;          ///< Completed task migrations.
+  u64 state_words_moved = 0;   ///< Transfer words moved over the bus.
+  u64 transfer_faults_recovered = 0;  ///< Mid-transfer faults recovered from.
 };
 
 /// Message for the exception currently in flight; call only inside `catch`.
@@ -158,6 +162,17 @@ class JobContext {
     stats_->cache_hits = cache_hits;
     stats_->config_words_fetched = config_words_fetched;
     stats_->hidden_latency = hidden_latency;
+  }
+
+  /// Stores task-migration counters in the job's stats; report_json() emits
+  /// them as the job's "migration" object. Scalars (not a MigrationStats
+  /// reference) so the campaign layer stays migration-controller-agnostic.
+  void record_migration(u64 migrations, u64 state_words_moved,
+                        u64 transfer_faults_recovered) {
+    stats_->has_migration = true;
+    stats_->migrations = migrations;
+    stats_->state_words_moved = state_words_moved;
+    stats_->transfer_faults_recovered = transfer_faults_recovered;
   }
 
   /// Stores the job's timing abstraction (mode, quantum, sync count) in its

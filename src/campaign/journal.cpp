@@ -176,6 +176,12 @@ void CampaignJournal::record_done(const JobStats& s) {
                    s.loose ? "loose" : "timed",
                    static_cast<unsigned long long>(s.quantum.picoseconds()),
                    static_cast<unsigned long long>(s.loose_syncs));
+  if (s.has_migration)
+    line += strfmt(
+        " migrations=%llu state_words=%llu mig_recovered=%llu",
+        static_cast<unsigned long long>(s.migrations),
+        static_cast<unsigned long long>(s.state_words_moved),
+        static_cast<unsigned long long>(s.transfer_faults_recovered));
   append_line(line);
 }
 
@@ -246,6 +252,9 @@ std::optional<JournalState> read_journal(const std::string& path) {
         else if (key == "tmode") { s.has_timing = true; s.loose = val == "loose"; }
         else if (key == "quantum_ps") s.quantum = kern::Time::ps(parse_u64(val));
         else if (key == "loose_syncs") s.loose_syncs = parse_u64(val);
+        else if (key == "migrations") { s.has_migration = true; s.migrations = parse_u64(val); }
+        else if (key == "state_words") s.state_words_moved = parse_u64(val);
+        else if (key == "mig_recovered") s.transfer_faults_recovered = parse_u64(val);
       }
       // Last record per index wins; only done results count as completed —
       // a quarantined/interrupted D leaves the job eligible for re-run.

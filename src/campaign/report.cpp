@@ -84,6 +84,15 @@ std::string report_json(const std::string& name, usize threads,
       w.field("loose_syncs", s.loose_syncs);
       w.end();
     }
+    // The migration summary: state-transfer cost curves come from plotting
+    // words moved and recovered transfer faults against the sweep knobs.
+    if (s.has_migration) {
+      w.key("migration").begin_object();
+      w.field("migrations", s.migrations);
+      w.field("state_words_moved", s.state_words_moved);
+      w.field("transfer_faults_recovered", s.transfer_faults_recovered);
+      w.end();
+    }
     w.end();
   }
   w.end();

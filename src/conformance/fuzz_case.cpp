@@ -10,6 +10,7 @@
 #include "kernel/simulation.hpp"
 #include "netlist/elaborate.hpp"
 #include "soc/hwacc.hpp"
+#include "soc/migration.hpp"
 #include "transform/transform.hpp"
 #include "util/random.hpp"
 #include "util/strings.hpp"
@@ -81,6 +82,14 @@ FuzzCase make_case(u64 seed) {
     const u32 quanta[] = {10, 100, 1000, 100000};
     fc.quantum_ns = quanta[rng.next_below(4)];
   }
+  // Migration draws extend the stream strictly at the end as well: a fifth
+  // of the cases checkpoint context 0 mid-schedule and move it over the bus,
+  // either round-tripping into the same fabric or landing on a twin fabric.
+  if (rng.next_below(5) == 0 && !fc.schedule.empty()) {
+    fc.migrate_at_step =
+        1 + static_cast<u32>(rng.next_below(fc.schedule.size()));
+    fc.dest_fabric = static_cast<u32>(rng.next_below(2));
+  }
   return fc;
 }
 
@@ -95,6 +104,9 @@ bool valid(const FuzzCase& fc) {
   if (fc.cache_slots > 4) return false;
   if (fc.timing_mode > 1) return false;
   if (fc.timing_mode == 0 && fc.quantum_ns != 0) return false;
+  if (fc.migrate_at_step > fc.schedule.size()) return false;
+  if (fc.dest_fabric > 1) return false;
+  if (fc.migrate_at_step == 0 && fc.dest_fabric != 0) return false;
   return std::all_of(fc.schedule.begin(), fc.schedule.end(),
                      [&](usize idx) { return idx < fc.n_accels; });
 }
@@ -110,6 +122,11 @@ drcf::ReconfigTechnology tech_of(const FuzzCase& fc) {
 }
 
 netlist::Design build_design(const FuzzCase& fc) {
+  return build_design(fc, nullptr);
+}
+
+netlist::Design build_design(const FuzzCase& fc,
+                             const std::shared_ptr<CaseHook>& hook) {
   netlist::Design d;
   d.add("system_bus", netlist::BusDecl{});
   netlist::MemoryDecl ram;
@@ -129,13 +146,27 @@ netlist::Design build_design(const FuzzCase& fc) {
     acc.slave_bus = acc.master_bus = "system_bus";
     d.add("acc" + std::to_string(i), acc);
   }
+  if (fc.migrate_at_step > 0 && fc.dest_fabric == 1) {
+    // The twin fabric's accelerator: same kernel spec as accelerator 0, so
+    // context 0 of both fabrics has identical geometry and an identical
+    // elaboration-armed bitstream digest — the restore integrity check can
+    // pass. It sits in the reference design too (idle there), so functional
+    // equivalence still compares like with like.
+    netlist::HwAccelDecl twin;
+    twin.base = static_cast<bus::addr_t>(0x100 + fc.n_accels * 0x100);
+    twin.spec = kernel_by_index(0);
+    twin.slave_bus = twin.master_bus = "system_bus";
+    d.add("acc_twin", twin);
+  }
   netlist::ProcessorDecl cpu;
   cpu.master_bus = "system_bus";
-  cpu.program = [schedule = fc.schedule](soc::Cpu& c) {
+  cpu.program = [schedule = fc.schedule, hook,
+                 migrate_at = fc.migrate_at_step](soc::Cpu& c) {
     std::vector<bus::word> data(32);
     for (usize i = 0; i < data.size(); ++i)
       data[i] = static_cast<bus::word>(3 * i + 1);
     c.burst_write(0x1000, data);
+    usize done = 0;
     for (const usize idx : schedule) {
       const auto base = static_cast<bus::addr_t>(0x100 + idx * 0x100);
       c.write(base + soc::HwAccel::kSrc, 0x1000);
@@ -145,6 +176,8 @@ netlist::Design build_design(const FuzzCase& fc) {
       c.write(base + soc::HwAccel::kCtrl, 1);
       c.poll_until(base + soc::HwAccel::kStatus, soc::HwAccel::kDone, 200_ns);
       c.write(base + soc::HwAccel::kStatus, 0);
+      ++done;
+      if (hook && done == migrate_at) hook->fire();
     }
   };
   d.add("cpu", cpu);
@@ -173,7 +206,8 @@ CaseResult run_case(const FuzzCase& fc) {
   }
 
   // Transformed design: first n_candidates accelerators share a DRCF.
-  auto d = build_design(fc);
+  auto hook = std::make_shared<CaseHook>();
+  auto d = build_design(fc, hook);
   std::vector<std::string> candidates;
   for (usize i = 0; i < fc.n_candidates; ++i)
     candidates.push_back("acc" + std::to_string(i));
@@ -215,6 +249,26 @@ CaseResult run_case(const FuzzCase& fc) {
                                               : report.diagnostics[0]);
     return res;
   }
+  if (fc.migrate_at_step > 0 && fc.dest_fabric == 1) {
+    // The twin fabric the migrated task lands on. Its contexts pack from an
+    // explicit config_base so its bitstreams don't overlap the primary
+    // fabric's, which packed from the memory base.
+    transform::TransformOptions twin_opt;
+    twin_opt.drcf_config.technology = tech_of(fc);
+    twin_opt.drcf_name = "drcf_dst";
+    twin_opt.config_memory = "cfg_mem";
+    twin_opt.config_base = 0x100000 + 0x8000;
+    const std::vector<std::string> twin_candidates = {"acc_twin"};
+    const auto twin_report =
+        transform::transform_to_drcf(d, twin_candidates, twin_opt);
+    if (!twin_report.ok) {
+      res.failure = "twin-fabric transform failed: " +
+                    (twin_report.diagnostics.empty()
+                         ? std::string("?")
+                         : twin_report.diagnostics[0]);
+      return res;
+    }
+  }
 
   TraceDigest td;
   kern::Simulation sim;
@@ -227,6 +281,22 @@ CaseResult run_case(const FuzzCase& fc) {
     if (fc.quantum_ns != 0) sim.set_quantum(kern::Time::ns(fc.quantum_ns));
   }
   netlist::Elaborated e(sim, d);
+  std::unique_ptr<soc::MigrationController> ctrl;
+  std::optional<soc::MigrationResult> mig;
+  if (fc.migrate_at_step > 0) {
+    soc::MigrationConfig mcfg;
+    // Staging sits in the top words of cfg_mem, far above both fabrics'
+    // packed bitstreams.
+    mcfg.staging_base = 0x100000 + (1u << 16) - 64;
+    ctrl = std::make_unique<soc::MigrationController>(e.top(), "migrator",
+                                                      mcfg);
+    ctrl->mst_port.bind(e.get_bus("system_bus"));
+    auto& src = e.get_drcf(report.drcf_name);
+    auto& dst = fc.dest_fabric == 1 ? e.get_drcf("drcf_dst") : src;
+    hook->fire = [&ctrl, &src, &dst, &mig] {
+      mig = ctrl->migrate(src, 0, dst, 0);
+    };
+  }
   sim.run();
   res.digest = td.value();
   res.sim_time_ps = sim.now().picoseconds();
@@ -300,6 +370,36 @@ CaseResult run_case(const FuzzCase& fc) {
     return res;
   }
 
+  // Invariant 6: when the migration knob is on, the hook must have run,
+  // and the controller must report either a completed migration (with
+  // closed accounting) or a typed checkpoint refusal — legal when context
+  // 0 happens to be mid-prefetch at the handover step. Anything else is a
+  // real failure: the transfer or restore path broke.
+  if (fc.migrate_at_step > 0) {
+    if (!mig.has_value()) {
+      res.failure = "migration hook never fired";
+      return res;
+    }
+    if (mig->ok()) {
+      const auto& ms = ctrl->stats();
+      if (ms.migrations != 1 || ms.restores != 1 ||
+          ms.state_words_moved == 0) {
+        res.failure = strfmt(
+            "migration accounting open: %llu migrations, %llu restores, "
+            "%llu words moved",
+            static_cast<unsigned long long>(ms.migrations),
+            static_cast<unsigned long long>(ms.restores),
+            static_cast<unsigned long long>(ms.state_words_moved));
+        return res;
+      }
+    } else if (mig->status != soc::MigrationStatus::kCheckpointRefused) {
+      res.failure = strfmt("migration failed: %s (restore: %s)",
+                           soc::to_string(mig->status),
+                           drcf::to_string(mig->restore_error));
+      return res;
+    }
+  }
+
   res.ok = true;
   return res;
 }
@@ -337,6 +437,9 @@ std::string serialize(const FuzzCase& fc) {
   if (fc.cache_slots != 0) out += strfmt("cache_slots %u\n", fc.cache_slots);
   if (fc.timing_mode != 0) out += strfmt("timing_mode %u\n", fc.timing_mode);
   if (fc.quantum_ns != 0) out += strfmt("quantum_ns %u\n", fc.quantum_ns);
+  if (fc.migrate_at_step != 0)
+    out += strfmt("migrate_at_step %u\n", fc.migrate_at_step);
+  if (fc.dest_fabric != 0) out += strfmt("dest_fabric %u\n", fc.dest_fabric);
   return out;
 }
 
@@ -378,6 +481,10 @@ std::optional<FuzzCase> parse_case(const std::string& text) {
       ls >> fc.timing_mode;
     } else if (key == "quantum_ns") {
       ls >> fc.quantum_ns;
+    } else if (key == "migrate_at_step") {
+      ls >> fc.migrate_at_step;
+    } else if (key == "dest_fabric") {
+      ls >> fc.dest_fabric;
     } else {
       return std::nullopt;  // unknown key: refuse to guess
     }

@@ -6,6 +6,8 @@
 // shrinker minimizes them; the conformance_replay binary replays them.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,6 +38,16 @@ struct FuzzCase {
   /// differential): 0 = kTimed, 1 = kLoose.
   u32 timing_mode = 0;
   u32 quantum_ns = 0;  ///< Loose-mode quantum in ns (0 = kernel default).
+  /// Task-migration knob: after this many completed schedule steps the
+  /// driver checkpoints DRCF context 0 and moves it over the bus via a
+  /// MigrationController. 0 = migration off (the historical behaviour).
+  u32 migrate_at_step = 0;
+  /// Where the checkpointed task lands: 0 = a bus-visible round trip back
+  /// into the same fabric and context; 1 = a second DRCF ("drcf_dst")
+  /// wrapping a twin of accelerator 0, added to the design only for this
+  /// setting. Either way the restored state must not disturb the run, so
+  /// the functional-equivalence invariant keeps holding.
+  u32 dest_fabric = 0;
 
   bool operator==(const FuzzCase&) const = default;
 };
@@ -51,8 +63,20 @@ struct FuzzCase {
 /// contexts stay small enough for quick runs).
 [[nodiscard]] drcf::ReconfigTechnology tech_of(const FuzzCase& fc);
 
+/// Lets the runner inject a mid-schedule action (the migration) into the
+/// CPU program after elaboration: the program captures the hook at design
+/// time, the runner fills `fire` once the live modules exist.
+struct CaseHook {
+  std::function<void()> fire = [] {};
+};
+
 /// Builds the (untransformed) design the case describes.
 [[nodiscard]] netlist::Design build_design(const FuzzCase& fc);
+/// As above, with a hook the CPU program fires after `migrate_at_step`
+/// completed schedule steps (never fired when the knob is 0 or `hook` is
+/// null — the design is behaviourally identical then).
+[[nodiscard]] netlist::Design build_design(
+    const FuzzCase& fc, const std::shared_ptr<CaseHook>& hook);
 
 struct CaseResult {
   bool ok = false;

@@ -1,0 +1,247 @@
+#include "conformance/migration_harness.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accel_lib.hpp"
+#include "conformance/digest.hpp"
+#include "kernel/simulation.hpp"
+#include "netlist/design.hpp"
+#include "netlist/elaborate.hpp"
+#include "soc/hwacc.hpp"
+#include "transform/transform.hpp"
+#include "util/random.hpp"
+
+namespace adriatic::conformance {
+
+using namespace kern::literals;
+
+namespace {
+
+// splitmix64 avalanche, same shape as TraceDigest::mix.
+constexpr u64 mix(u64 z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Fixed geometry. acc_a and acc_p sit adjacent so fabric A's address union
+// [0x100, 0x117] stays clear of acc_b at 0x200 (the two fabrics must decode
+// disjoint ranges on the shared bus).
+constexpr bus::addr_t kAccA = 0x100;
+constexpr bus::addr_t kAccP = 0x110;
+constexpr bus::addr_t kAccB = 0x200;
+constexpr bus::addr_t kRamBase = 0x1000;
+constexpr bus::addr_t kDstBase = 0x1800;
+constexpr bus::addr_t kSideDst = 0x1F00;
+constexpr bus::addr_t kCfgBase = 0x100000;
+constexpr u32 kCfgWords = 1u << 17;
+// Fabric B's bitstreams pack into the upper half of cfg_mem; the staging
+// buffer for state transfers sits at the very top, clear of both.
+constexpr bus::addr_t kCfgBaseB = kCfgBase + 0x8000;
+constexpr bus::addr_t kStaging = kCfgBase + kCfgWords - 0x200;
+constexpr u32 kChunkWords = 16;
+
+/// Filled in after elaboration; the CPU program calls fire() at the
+/// handover point (so the migration runs on the CPU's simulation thread).
+struct MigrationHook {
+  std::function<void()> fire;
+};
+
+netlist::Design build_migration_design(
+    const MigrationSpec& spec, const std::shared_ptr<MigrationHook>& hook) {
+  netlist::Design d;
+
+  netlist::BusDecl bus_decl;
+  bus_decl.config.cycle_time = 10_ns;
+  d.add("system_bus", bus_decl);
+
+  netlist::MemoryDecl ram;
+  ram.low = kRamBase;
+  ram.words = 4096;
+  ram.bus = "system_bus";
+  d.add("ram", ram);
+
+  netlist::MemoryDecl cfg;
+  cfg.low = kCfgBase;
+  cfg.words = kCfgWords;
+  cfg.bus = "system_bus";
+  d.add("cfg_mem", cfg);
+
+  netlist::HwAccelDecl acc_a;
+  acc_a.base = kAccA;
+  acc_a.spec = accel::make_crc_spec();
+  acc_a.slave_bus = acc_a.master_bus = "system_bus";
+  d.add("acc_a", acc_a);
+
+  netlist::HwAccelDecl acc_b;
+  acc_b.base = kAccB;
+  acc_b.spec = accel::make_crc_spec();
+  acc_b.slave_bus = acc_b.master_bus = "system_bus";
+  d.add("acc_b", acc_b);
+
+  if (spec.preempt) {
+    netlist::HwAccelDecl acc_p;
+    acc_p.base = kAccP;
+    acc_p.spec = accel::make_crc_spec();
+    acc_p.slave_bus = acc_p.master_bus = "system_bus";
+    d.add("acc_p", acc_p);
+  }
+
+  netlist::ProcessorDecl cpu;
+  cpu.master_bus = "system_bus";
+  cpu.program = [spec, hook](soc::Cpu& c) {
+    // Deterministic input block, one 16-word chunk per processing step.
+    Xoshiro256 rng(7);
+    std::vector<bus::word> data(spec.n_chunks * kChunkWords);
+    for (auto& v : data) v = static_cast<bus::word>(rng.next_range(0, 0xFFFF));
+    c.burst_write(kRamBase, data);
+
+    const auto program_chunk = [&c](bus::addr_t base, u32 i) {
+      c.write(base + soc::HwAccel::kSrc,
+              static_cast<bus::word>(kRamBase + i * kChunkWords));
+      c.write(base + soc::HwAccel::kDst,
+              static_cast<bus::word>(kDstBase + i * 0x40));
+      c.write(base + soc::HwAccel::kLen, kChunkWords);
+    };
+    const auto start_wait = [&c](bus::addr_t base) {
+      c.write(base + soc::HwAccel::kCtrl, 1);
+      c.poll_until(base + soc::HwAccel::kStatus, soc::HwAccel::kDone, 200_ns);
+      c.write(base + soc::HwAccel::kStatus, 0);
+    };
+
+    const u32 handover = std::min(spec.migrate_after, spec.n_chunks);
+    u32 i = 0;
+    for (; i < handover; ++i) {
+      program_chunk(kAccA, i);
+      start_wait(kAccA);
+    }
+    if (i < spec.n_chunks) {
+      // The handover chunk: its registers are programmed into fabric A's
+      // context 0 and travel with the checkpointed state.
+      program_chunk(kAccA, i);
+      if (spec.preempt) {
+        // A side job on the other A-context evicts context 0 from its slot;
+        // under preempt_checkpoint the scheduler parks its snapshot. The
+        // straight run performs the same job so ram stays identical.
+        c.write(kAccP + soc::HwAccel::kSrc, kRamBase);
+        c.write(kAccP + soc::HwAccel::kDst, kSideDst);
+        c.write(kAccP + soc::HwAccel::kLen, 4);
+        start_wait(kAccP);
+      }
+      if (spec.migrate) {
+        hook->fire();
+        // CTRL only: the restored SRC/DST/LEN registers drive this chunk.
+        start_wait(kAccB);
+      } else {
+        start_wait(kAccA);
+      }
+      ++i;
+    }
+    const bus::addr_t rest = spec.migrate ? kAccB : kAccA;
+    for (; i < spec.n_chunks; ++i) {
+      program_chunk(rest, i);
+      start_wait(rest);
+    }
+  };
+  d.add("cpu", cpu);
+  return d;
+}
+
+}  // namespace
+
+MigrationRunResult run_migration(const MigrationSpec& spec,
+                                 const ScenarioOptions& opt) {
+  auto hook = std::make_shared<MigrationHook>();
+  hook->fire = [] {};
+  auto d = build_migration_design(spec, hook);
+
+  transform::TransformOptions topt_a;
+  topt_a.drcf_config.technology = drcf::varicore_like();
+  topt_a.drcf_config.slots = 1;
+  topt_a.drcf_config.prefetch.policy = spec.prefetch_policy;
+  topt_a.drcf_config.prefetch.cache_slots = spec.cache_slots;
+  topt_a.drcf_config.preempt_checkpoint = spec.preempt;
+  topt_a.drcf_name = "drcfA";
+  topt_a.config_memory = "cfg_mem";
+  std::vector<std::string> candidates_a{"acc_a"};
+  if (spec.preempt) candidates_a.push_back("acc_p");
+  const auto report_a =
+      transform::transform_to_drcf(d, candidates_a, topt_a);
+  if (!report_a.ok) return {};
+
+  transform::TransformOptions topt_b;
+  topt_b.drcf_config.technology = drcf::varicore_like();
+  topt_b.drcf_config.slots = 1;
+  topt_b.drcf_config.prefetch.policy = spec.prefetch_policy;
+  topt_b.drcf_config.prefetch.cache_slots = spec.cache_slots;
+  topt_b.drcf_config.recovery = spec.dst_recovery;
+  topt_b.drcf_name = "drcfB";
+  topt_b.config_memory = "cfg_mem";
+  topt_b.config_base = kCfgBaseB;
+  const std::vector<std::string> candidates_b{"acc_b"};
+  const auto report_b =
+      transform::transform_to_drcf(d, candidates_b, topt_b);
+  if (!report_b.ok) return {};
+
+  TraceDigest td;
+  kern::Simulation sim;
+  sim.set_observer(&td);
+  sim.set_timed_compaction(opt.timed_compaction);
+  if (opt.lifo_perturbation) sim.debug_set_lifo_evaluation(true);
+  sim.set_timing_mode(opt.timing_mode);
+  if (!opt.quantum.is_zero()) sim.set_quantum(opt.quantum);
+  netlist::Elaborated e(sim, d);
+
+  soc::MigrationConfig mcfg;
+  mcfg.staging_base = kStaging;
+  mcfg.transfer_faults = spec.transfer_faults;
+  soc::MigrationController ctrl(e.top(), "migrator", mcfg);
+  ctrl.mst_port.bind(e.get_bus("system_bus"));
+
+  auto& fabric_a = e.get_drcf("drcfA");
+  auto& fabric_b = e.get_drcf("drcfB");
+  soc::MigrationResult mres;
+  hook->fire = [&] {
+    if (spec.preempt) {
+      if (auto parked = fabric_a.take_parked_snapshot(0)) {
+        mres = ctrl.migrate_state(*parked, fabric_b, 0);
+      } else {
+        mres.status = soc::MigrationStatus::kCheckpointRefused;
+      }
+    } else {
+      mres = ctrl.migrate(fabric_a, 0, fabric_b, 0);
+    }
+  };
+
+  sim.run();
+
+  MigrationRunResult out;
+  out.scenario.digest = td.value();
+  out.scenario.records = td.records();
+  out.scenario.sim_time_ps = sim.now().picoseconds();
+  out.scenario.dispatches = sim.activations();
+  out.scenario.loose_syncs = sim.loose_syncs();
+  auto& ram = e.get_memory("ram");
+  u64 h = 0x9e3779b97f4a7c15ULL;
+  for (usize i = 0; i < ram.size_words(); ++i)
+    h = mix(h ^ ram.peek(ram.get_low_add() + static_cast<bus::addr_t>(i)));
+  out.scenario.output_digest = h;
+  out.src_ledger_digest = fabric_a.fault_ledger().functional_digest();
+  out.dst_ledger_digest = fabric_b.fault_ledger().functional_digest();
+  out.controller_ledger_digest = ctrl.fault_ledger().functional_digest();
+  out.scenario.fault_ledger_digest = mix(
+      out.src_ledger_digest ^
+      mix(out.dst_ledger_digest ^ mix(out.controller_ledger_digest)));
+  out.migration = mres;
+  out.controller = ctrl.stats();
+  out.src_stats = fabric_a.stats();
+  out.dst_stats = fabric_b.stats();
+  out.cpu_finished = e.get_processor("cpu").finished();
+  return out;
+}
+
+}  // namespace adriatic::conformance

@@ -1,0 +1,61 @@
+// Shared build-and-run harness for task-migration scenarios: a two-fabric
+// design (both produced by the Fig. 4 transformation on one netlist) whose
+// CPU program processes a block of data in chunks, optionally handing the
+// task over from fabric A to fabric B mid-stream via a MigrationController.
+//
+// The harness exists so the golden migrate_* scenarios and the differential
+// checkpoint-equivalence suite (tests/migration_test.cpp) exercise exactly
+// the same model: a straight run (every chunk on fabric A) and a migrated
+// run (checkpoint after `migrate_after` chunks, state transfer over the
+// system bus, resume on fabric B) must produce identical ram contents and
+// identical fabric fault-ledger functional digests.
+#pragma once
+
+#include "conformance/scenarios.hpp"
+#include "drcf/drcf.hpp"
+#include "fault/plan.hpp"
+#include "soc/migration.hpp"
+
+namespace adriatic::conformance {
+
+struct MigrationSpec {
+  /// False = straight run: every chunk executes on fabric A and the
+  /// controller never fires — the differential baseline.
+  bool migrate = true;
+  u32 n_chunks = 4;
+  /// Chunks completed on fabric A before the handover chunk.
+  u32 migrate_after = 2;
+  /// Take the state from fabric A's preemption-parked snapshot (a second
+  /// A-context evicts the task under preempt_checkpoint) instead of a live
+  /// checkpoint.
+  bool preempt = false;
+  drcf::PrefetchPolicy prefetch_policy = drcf::PrefetchPolicy::kOnDemand;
+  u32 cache_slots = 0;
+  /// Fault plan applied to the controller's transfer path only.
+  fault::FaultPlan transfer_faults;
+  /// Destination fabric's recovery ladder (applies to mid-transfer faults).
+  drcf::RecoveryConfig dst_recovery;
+};
+
+struct MigrationRunResult {
+  /// Digest folds shaped exactly like any other scenario's; the
+  /// fault_ledger_digest combines both fabrics' and the controller's
+  /// functional digests (each timing-mode invariant, so the combination is
+  /// too).
+  ScenarioResult scenario;
+  soc::MigrationResult migration;
+  soc::MigrationStats controller;
+  drcf::DrcfStats src_stats;
+  drcf::DrcfStats dst_stats;
+  u64 src_ledger_digest = 0;         ///< Fabric A, functional_digest().
+  u64 dst_ledger_digest = 0;         ///< Fabric B, functional_digest().
+  u64 controller_ledger_digest = 0;  ///< Transfer path, functional_digest().
+  bool cpu_finished = false;
+};
+
+/// Builds the two-fabric design and runs it under `opt`. Deterministic:
+/// same spec + options -> bit-identical result.
+[[nodiscard]] MigrationRunResult run_migration(const MigrationSpec& spec,
+                                               const ScenarioOptions& opt = {});
+
+}  // namespace adriatic::conformance

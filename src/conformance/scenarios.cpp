@@ -6,6 +6,7 @@
 #include "accel/accel_lib.hpp"
 #include "conformance/digest.hpp"
 #include "conformance/fuzz_case.hpp"
+#include "conformance/migration_harness.hpp"
 #include "fault/plan.hpp"
 #include "kernel/simulation.hpp"
 #include "netlist/design.hpp"
@@ -356,6 +357,33 @@ const std::vector<Scenario>& registry() {
     v.push_back({"prefetch_hybrid", [](const ScenarioOptions& opt) {
                    return run_sec53_prefetch(drcf::PrefetchPolicy::kHybrid, 2,
                                              opt);
+                 }});
+
+    // Task-migration scenarios (conformance/migration_harness.hpp): a
+    // checkpointed task moves from fabric A to fabric B mid-stream over the
+    // system bus. Appended after every pre-existing scenario so the golden
+    // file's earlier lines are untouched.
+    v.push_back({"migrate_clean", [](const ScenarioOptions& opt) {
+                   MigrationSpec spec;
+                   return run_migration(spec, opt).scenario;
+                 }});
+    v.push_back({"migrate_preempt", [](const ScenarioOptions& opt) {
+                   MigrationSpec spec;
+                   spec.preempt = true;
+                   spec.cache_slots = 2;
+                   return run_migration(spec, opt).scenario;
+                 }});
+    v.push_back({"migrate_faulted_transfer", [](const ScenarioOptions& opt) {
+                   MigrationSpec spec;
+                   fault::ScriptedFault shot;
+                   shot.kind = fault::FaultKind::kError;
+                   shot.count = 2;
+                   spec.transfer_faults.seed = 0x516;
+                   spec.transfer_faults.scripted.push_back(shot);
+                   spec.dst_recovery.policy = drcf::RecoveryPolicy::kRetryBackoff;
+                   spec.dst_recovery.max_attempts = 4;
+                   spec.dst_recovery.backoff = 100_ns;
+                   return run_migration(spec, opt).scenario;
                  }});
     return v;
   }();

@@ -156,6 +156,25 @@ ShrinkResult shrink_case(const FuzzCase& start,
       mutated.quantum_ns = 0;
       progress |= try_accept(cur, mutated, still_fails, out);
     }
+
+    // Migration knobs: drop the whole migration first (both fields together,
+    // since dest_fabric alone is invalid), then land it back on the source
+    // fabric, then walk the handover point earlier. Dropping also unblocks
+    // further schedule ddmin, which migrate_at_step <= schedule.size() pins.
+    if (cur.migrate_at_step > 0) {
+      FuzzCase mutated = cur;
+      mutated.migrate_at_step = 0;
+      mutated.dest_fabric = 0;
+      progress |= try_accept(cur, mutated, still_fails, out);
+    }
+    progress |= shrink_scalar(
+        cur, cur.dest_fabric, u32{0},
+        [](FuzzCase& fc, u32 v) { fc.dest_fabric = v; }, still_fails, out);
+    if (cur.migrate_at_step > 1)
+      progress |= shrink_scalar(
+          cur, cur.migrate_at_step, u32{1},
+          [](FuzzCase& fc, u32 v) { fc.migrate_at_step = v; }, still_fails,
+          out);
   }
   return out;
 }

@@ -38,6 +38,7 @@ ContextCache::InsertResult ContextCache::insert(usize ctx, u64 digest,
   slot->digest = digest;
   slot->prefetched = prefetched;
   slot->touched = ++seq_;
+  slot->snapshot.reset();  // recycled plane: the old task's parked state dies
   r.inserted = true;
   return r;
 }

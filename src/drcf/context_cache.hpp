@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "drcf/task_state.hpp"
 #include "util/types.hpp"
 
 namespace adriatic::drcf {
@@ -61,8 +62,35 @@ class ContextCache {
                       std::span<const usize> pinned);
 
   /// Drops a cached copy (e.g. its digest no longer matches expectations).
+  /// Any parked snapshot goes with it — a snapshot is only as trustworthy
+  /// as the configuration it was captured under.
   void invalidate(usize ctx) {
-    if (Plane* p = find(ctx)) p->ctx.reset();
+    if (Plane* p = find(ctx)) {
+      p->ctx.reset();
+      p->snapshot.reset();
+    }
+  }
+
+  // Snapshot slot: each plane can park one checkpointed TaskState next to
+  // its cached configuration (the preemptive-checkpoint landing zone).
+  // Parking requires the context to be cached; the snapshot is dropped
+  // whenever its plane is recycled or invalidated.
+  [[nodiscard]] bool park_snapshot(usize ctx, TaskState state) {
+    Plane* p = find(ctx);
+    if (p == nullptr) return false;
+    p->snapshot = std::move(state);
+    return true;
+  }
+  [[nodiscard]] bool has_snapshot(usize ctx) const {
+    const Plane* p = find(ctx);
+    return p != nullptr && p->snapshot.has_value();
+  }
+  [[nodiscard]] std::optional<TaskState> take_snapshot(usize ctx) {
+    Plane* p = find(ctx);
+    if (p == nullptr || !p->snapshot.has_value()) return std::nullopt;
+    std::optional<TaskState> s = std::move(p->snapshot);
+    p->snapshot.reset();
+    return s;
   }
 
  private:
@@ -71,6 +99,7 @@ class ContextCache {
     u64 digest = 0;
     bool prefetched = false;
     u64 touched = 0;
+    std::optional<TaskState> snapshot;
   };
 
   [[nodiscard]] const Plane* find(usize ctx) const {

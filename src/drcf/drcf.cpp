@@ -270,6 +270,106 @@ void Drcf::emit_sched_prefetch(usize target) {
                                    contexts_[target]->trace_id});
 }
 
+void Drcf::emit_sched_migrate(usize target) {
+  kern::SchedulerObserver* obs = sim().observer();
+  if (obs == nullptr) return;
+  obs->on_record(kern::SchedRecord{kern::SchedRecord::Kind::kMigrate,
+                                   sim().now().picoseconds(),
+                                   sim().delta_count(),
+                                   contexts_[target]->trace_id});
+}
+
+std::optional<TaskState> Drcf::checkpoint_task(usize ctx) {
+  if (ctx >= contexts_.size()) return std::nullopt;
+  Context& c = *contexts_[ctx];
+  // Checkpoints only happen at context-switch boundaries: a context with
+  // in-flight forwarded calls, woken waiters, or a load under way is not at
+  // one, and snapshotting it would capture a half-written window.
+  if (c.pins != 0 || c.waiters != 0 || c.load_pending) return std::nullopt;
+  const bus::addr_t lo = c.inner->get_low_add();
+  const u32 window =
+      static_cast<u32>(c.inner->get_high_add() - lo + 1);
+  TaskState s;
+  s.context_id = ctx;
+  s.config_digest = c.params.expected_digest;
+  s.window_words = window;
+  s.progress_cursor = c.stats.accesses;
+  s.image.resize(window, 0);
+  for (u32 i = 0; i < window; ++i) {
+    bus::word w = 0;
+    // Side-door capture: read the wrapped module directly, bypassing the
+    // scheduler (no pin, no residency requirement, no simulated time).
+    if (c.inner->read(lo + i, &w)) s.image[i] = w;
+  }
+  ++stats_.checkpoints;
+  emit_sched_migrate(ctx);
+  return s;
+}
+
+RestoreError Drcf::restore_task(usize ctx, const TaskState& state) {
+  const auto reject = [this](RestoreError err, bus::addr_t addr, u64 arg) {
+    ++stats_.restore_rejects;
+    ledger_.append(fault::FaultEventKind::kMigrateError,
+                   sim().now().picoseconds(), site_id_, addr,
+                   static_cast<u64>(err) << 32 | (arg & 0xFFFFFFFFu));
+    return err;
+  };
+  if (ctx >= contexts_.size())
+    return reject(RestoreError::kUnknownContext, 0, ctx);
+  Context& c = *contexts_[ctx];
+  const bus::addr_t lo = c.inner->get_low_add();
+  // Every check runs before the first register write: a rejected restore
+  // must never leave the destination half-overwritten.
+  if (state.image.size() != state.window_words)
+    return reject(RestoreError::kTruncatedImage, lo,
+                  static_cast<u64>(state.image.size()));
+  const u32 window =
+      static_cast<u32>(c.inner->get_high_add() - lo + 1);
+  if (window != state.window_words)
+    return reject(RestoreError::kGeometryMismatch, lo, state.window_words);
+  if (c.pins != 0 || c.waiters != 0 || c.load_pending)
+    return reject(RestoreError::kBusyContext, lo, ctx);
+  if (state.config_digest != 0 && c.params.expected_digest != 0 &&
+      state.config_digest != c.params.expected_digest)
+    return reject(RestoreError::kDigestMismatch, lo, state.config_digest);
+  for (u32 i = 0; i < window; ++i) {
+    bus::word w = state.image[i];
+    // Read-only and reserved offsets refuse the write (returning false);
+    // their architectural value is derived, not restorable state.
+    (void)c.inner->write(lo + i, &w);
+  }
+  ++stats_.restores;
+  emit_sched_migrate(ctx);
+  return RestoreError::kNone;
+}
+
+void Drcf::park_preempt_snapshot(usize victim) {
+  auto snap = checkpoint_task(victim);
+  if (!snap.has_value()) return;  // not quiescent: nothing to park
+  ++stats_.preempt_parks;
+  if (config_cache_.enabled() && config_cache_.contains(victim)) {
+    if (config_cache_.park_snapshot(victim, std::move(*snap))) {
+      parked_snapshots_.erase(victim);  // plane copy supersedes any old one
+      return;
+    }
+  }
+  parked_snapshots_.insert_or_assign(victim, std::move(*snap));
+}
+
+bool Drcf::has_parked_snapshot(usize ctx) const {
+  return config_cache_.has_snapshot(ctx) ||
+         parked_snapshots_.find(ctx) != parked_snapshots_.end();
+}
+
+std::optional<TaskState> Drcf::take_parked_snapshot(usize ctx) {
+  if (auto s = config_cache_.take_snapshot(ctx); s.has_value()) return s;
+  const auto it = parked_snapshots_.find(ctx);
+  if (it == parked_snapshots_.end()) return std::nullopt;
+  std::optional<TaskState> s = std::move(it->second);
+  parked_snapshots_.erase(it);
+  return s;
+}
+
 bool Drcf::retarget_to_fallback(usize& target, bus::addr_t& add) {
   if (cfg_.recovery.policy != RecoveryPolicy::kFallbackContext) return false;
   if (!cfg_.recovery.fallback_context.has_value()) return false;
@@ -468,6 +568,10 @@ void Drcf::arb_and_instr() {
       // may only start once the victim is idle).
       ADRIATIC_CHECK(old.pins == 0 && old.waiters == 0,
                      "evicting a context with in-flight calls or waiters");
+      // Preemptive checkpoint: the victim is drained (quiescent), so this
+      // is exactly a context-switch boundary — snapshot its task state and
+      // park it before the fabric underneath is reprogrammed.
+      if (cfg_.preempt_checkpoint) park_preempt_snapshot(*victim.evicted);
       close_residency(old, t0);
       slot_table_.evict(victim.slot);
     }

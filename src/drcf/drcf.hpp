@@ -18,6 +18,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -29,6 +30,7 @@
 #include "drcf/context_cache.hpp"
 #include "drcf/prefetch_policy.hpp"
 #include "drcf/slot_table.hpp"
+#include "drcf/task_state.hpp"
 #include "drcf/technology.hpp"
 #include "fault/interposer.hpp"
 #include "kernel/event.hpp"
@@ -130,6 +132,13 @@ struct DrcfConfig {
   /// kOnDemand, no cache — keeps the paper-faithful behaviour and
   /// byte-identical golden scheduler digests.
   PrefetchConfig prefetch;
+  /// Preemptive checkpointing: when a quiescent context is evicted by the
+  /// scheduler, its task state is snapshotted first and parked — in the
+  /// context cache's snapshot slot when the cache holds the context, in a
+  /// fabric-side slot otherwise — so a migration controller (or the next
+  /// residency) can resume it instead of restarting. Off by default: no
+  /// checkpoint, no kMigrate trace records, golden digests unchanged.
+  bool preempt_checkpoint = false;
 };
 
 struct DrcfStats {
@@ -154,6 +163,10 @@ struct DrcfStats {
   u64 config_words_skipped = 0;    ///< Fetch words avoided by cache hits.
   u64 config_words_prefetched = 0; ///< Words fetched by background fills
                                    ///  (and aborted partial prefetches).
+  u64 checkpoints = 0;       ///< Task states snapshotted off this fabric.
+  u64 restores = 0;          ///< Task states restored into this fabric.
+  u64 preempt_parks = 0;     ///< Eviction-time checkpoints parked.
+  u64 restore_rejects = 0;   ///< Restores rejected by the integrity checks.
   kern::Time hidden_latency;   ///< Fetch latency kept off the demand path.
   kern::Time reconfig_busy_time;  ///< Fabric time spent reconfiguring.
   double reconfig_energy_j = 0.0;
@@ -227,6 +240,31 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   [[nodiscard]] const fault::FaultLedger& fault_ledger() const noexcept {
     return ledger_;
   }
+
+  // Task checkpoint/restore (drcf/task_state.hpp) ---------------------------
+  /// Snapshots `ctx`'s task state at a context-switch boundary. The context
+  /// must be quiescent — no pinned (in-flight) calls, no waiters, no load in
+  /// flight — or the checkpoint is refused (nullopt). The capture itself is
+  /// a zero-sim-time side-door read of the context's register window
+  /// (modeling a dedicated scan path); moving the state somewhere costs real
+  /// bus traffic, charged by the MigrationController. Emits one kMigrate
+  /// scheduler-trace record.
+  [[nodiscard]] std::optional<TaskState> checkpoint_task(usize ctx);
+
+  /// Restores a checkpointed task into `ctx`. Every integrity check runs
+  /// BEFORE the first register write, so a rejected restore never corrupts a
+  /// running context: unknown context, truncated image, window-geometry
+  /// mismatch, busy destination, and config-digest mismatch (when both the
+  /// snapshot and the destination carry a nonzero expected digest) each
+  /// return their typed error and append a kMigrateError ledger entry.
+  /// Emits one kMigrate scheduler-trace record on success.
+  RestoreError restore_task(usize ctx, const TaskState& state);
+
+  /// Parked preemption snapshots: written by the scheduler when
+  /// DrcfConfig::preempt_checkpoint is on and it evicts a quiescent context.
+  [[nodiscard]] bool has_parked_snapshot(usize ctx) const;
+  /// Removes and returns the parked snapshot for `ctx`, if any.
+  [[nodiscard]] std::optional<TaskState> take_parked_snapshot(usize ctx);
 
   /// Clears aggregate and per-context statistics (steady-state measurement
   /// after warm-up). Residency baselines restart at the current time.
@@ -313,6 +351,13 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   [[nodiscard]] bool hybrid_demand_waiting(usize current) const;
   /// Emits a kPrefetch scheduler-trace record for `target`'s load.
   void emit_sched_prefetch(usize target);
+  /// Emits a kMigrate scheduler-trace record for `target`'s checkpoint or
+  /// restore edge.
+  void emit_sched_migrate(usize target);
+  /// Eviction-time preemptive checkpoint: snapshots `victim` (already
+  /// drained by the caller) and parks the state in the context cache's
+  /// snapshot slot, or fabric-side when the cache does not hold it.
+  void park_preempt_snapshot(usize victim);
   bool forward(bus::addr_t add, bus::word* data, bool is_read);
   [[nodiscard]] std::optional<usize> decode(bus::addr_t add) const;
   void close_residency(Context& c, kern::Time at);
@@ -351,6 +396,9 @@ class Drcf : public kern::Module, public bus::BusSlaveIf {
   u64 forwards_at_last_switch_ = 0;
   /// Completion times of recent fruitless switches (thrash window).
   std::deque<kern::Time> fruitless_switches_;
+  /// Preemption snapshots for contexts the cache does not hold (and for
+  /// cache-less fabrics); cache-held contexts park in their plane instead.
+  std::map<usize, TaskState> parked_snapshots_;
   fault::FaultLedger ledger_;
   std::unique_ptr<fault::BusFaultInterposer> fetch_interposer_;
   u64 site_id_ = 0;  ///< sched_name_hash(name()), the ledger site id.

@@ -29,6 +29,8 @@ enum class FaultEventKind : u8 {
   kGaveUp = 10,          ///< Recovery exhausted; the load failed terminally.
   kRecovered = 11,       ///< A load succeeded after >= 1 failed attempt.
   kThrash = 12,          ///< Context-thrash detector fired (arg = switches).
+  kMigrateError = 13,    ///< A task-state restore or migration transfer was
+                         ///  rejected (arg = drcf::RestoreError / status).
 };
 
 [[nodiscard]] const char* to_string(FaultEventKind kind);

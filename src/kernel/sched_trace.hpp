@@ -30,6 +30,11 @@ struct SchedRecord {
     /// is aborted for a demand load. Never emitted by on-demand loads, so
     /// digests of models that do not prefetch are unaffected.
     kPrefetch = 7,
+    /// A task checkpoint/restore edge: emitted when a fabric snapshots a
+    /// quiescent task's state and when it restores one (drcf/task_state.hpp).
+    /// Never emitted unless checkpointing/migration is actually used, so
+    /// digests of models that do not migrate are unaffected.
+    kMigrate = 8,
   };
   Kind kind;
   u64 time_ps;  ///< Simulated time of the record.

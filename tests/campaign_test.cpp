@@ -6,13 +6,18 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
 #include "campaign/report.hpp"
+#include "conformance/migration_harness.hpp"
 #include "kernel/kernel.hpp"
 #include "util/random.hpp"
 
@@ -447,6 +452,128 @@ TEST(CampaignTest, ReportEmitsNullTotalsWhenNothingCompleted) {
   EXPECT_NE(empty.find("\"totals\":null"), std::string::npos);
   EXPECT_NE(empty.find("\"totals_reason\":\"no jobs submitted\""),
             std::string::npos);
+}
+
+// -- Migration sweep journaling ----------------------------------------------
+
+/// One migration job: a clean two-fabric task handover whose controller
+/// counters land in the job's stats (and therefore in the journal's D
+/// record and the report's "migration" object).
+u64 run_migration_job(bool faulted, JobContext& ctx) {
+  conformance::MigrationSpec spec;
+  if (faulted) {
+    fault::ScriptedFault f;
+    f.kind = fault::FaultKind::kError;
+    f.count = 2;
+    spec.transfer_faults.seed = 0x516;
+    spec.transfer_faults.scripted.push_back(f);
+    spec.dst_recovery.policy = drcf::RecoveryPolicy::kRetryBackoff;
+    spec.dst_recovery.max_attempts = 4;
+    spec.dst_recovery.backoff = Time::ns(100);
+  }
+  const auto r = conformance::run_migration(spec);
+  EXPECT_TRUE(r.migration.ok());
+  ctx.record_digest(r.scenario.digest);
+  ctx.record_migration(r.controller.migrations, r.controller.state_words_moved,
+                       r.controller.transfer_faults_recovered);
+  return r.controller.state_words_moved;
+}
+
+TEST(CampaignTest, MigrationSweepSurvivesSigkillStyleResume) {
+  const std::string path =
+      testing::TempDir() + "adriatic_campaign_migration.wal";
+  std::remove(path.c_str());
+  const std::vector<std::string> labels = {"mig_clean", "mig_faulted"};
+  const auto job_body = [](usize i) {
+    return [i](JobContext& ctx) { return run_migration_job(i == 1, ctx); };
+  };
+
+  // The uninterrupted run: both migration jobs complete, journaled.
+  std::vector<JobStats> baseline;
+  {
+    auto journal = CampaignJournal::create(path, "migration_sweep");
+    ASSERT_NE(journal, nullptr);
+    for (usize i = 0; i < labels.size(); ++i)
+      journal->record_planned(i, spec_hash(labels[i]), labels[i]);
+    CampaignRunner runner(2);
+    runner.set_journal(journal.get());
+    std::vector<std::future<u64>> futures;
+    for (usize i = 0; i < labels.size(); ++i)
+      futures.push_back(runner.submit(labels[i], job_body(i)));
+    for (auto& f : futures) EXPECT_GT(f.get(), 0u);
+    runner.wait_idle();
+    baseline = runner.stats();
+  }
+  ASSERT_EQ(baseline.size(), 2u);
+  for (const JobStats& s : baseline) {
+    EXPECT_TRUE(s.has_migration);
+    EXPECT_EQ(s.migrations, 1u);
+    EXPECT_GT(s.state_words_moved, 0u);
+  }
+  EXPECT_EQ(baseline[0].transfer_faults_recovered, 0u);
+  EXPECT_EQ(baseline[1].transfer_faults_recovered, 1u);
+
+  // Simulate SIGKILL after job 0 committed: keep the journal's header,
+  // plan and job-0 records, leave job 1 as a torn half-written D line (the
+  // crash cut it off before its checksum).
+  {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::vector<std::string> keep;
+    while (std::getline(in, line))
+      if (line.rfind("D 1", 0) != 0) keep.push_back(line);
+    in.close();
+    std::ofstream out(path, std::ios::trunc);
+    for (const auto& l : keep) out << l << '\n';
+    out << "D 1 label=mig_faulted done=1 migrations=";  // torn mid-append
+  }
+
+  // Resume: job 0 restores verbatim from its D record, job 1 re-runs, and
+  // the merged migration counters match the uninterrupted run exactly.
+  const auto state = read_journal(path);
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->campaign, "migration_sweep");
+  EXPECT_EQ(state->torn_lines, 1u);
+  ASSERT_EQ(state->completed.size(), 1u);
+  ASSERT_EQ(state->completed.count(0), 1u);
+
+  std::vector<JobStats> resumed(labels.size());
+  resumed[0] = state->completed.at(0);
+  {
+    auto journal = CampaignJournal::append_to(path);
+    ASSERT_NE(journal, nullptr);
+    CampaignRunner runner(1);
+    runner.set_journal(journal.get());
+    JobOptions opt;
+    opt.stats_index = 1;  // the re-run keeps its original campaign index
+    auto f = runner.submit(labels[1], opt, job_body(1));
+    EXPECT_GT(f.get(), 0u);
+    runner.wait_idle();
+    for (const auto& rec : runner.stats()) resumed[rec.index] = rec;
+  }
+  for (usize i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(resumed[i].label, baseline[i].label);
+    EXPECT_TRUE(resumed[i].has_migration) << labels[i];
+    EXPECT_EQ(resumed[i].migrations, baseline[i].migrations);
+    EXPECT_EQ(resumed[i].state_words_moved, baseline[i].state_words_moved);
+    EXPECT_EQ(resumed[i].transfer_faults_recovered,
+              baseline[i].transfer_faults_recovered);
+    EXPECT_EQ(resumed[i].digest, baseline[i].digest) << labels[i];
+  }
+
+  // The resumed journal now shows both jobs done with the right counters.
+  const auto final_state = read_journal(path);
+  ASSERT_TRUE(final_state.has_value());
+  ASSERT_EQ(final_state->completed.size(), 2u);
+  EXPECT_EQ(final_state->completed.at(1).state_words_moved,
+            baseline[1].state_words_moved);
+
+  // And the report carries a "migration" object for both jobs.
+  const std::string json = report_json("migration_sweep", 2, resumed);
+  EXPECT_NE(json.find("\"migration\":{\"migrations\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"transfer_faults_recovered\":1"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

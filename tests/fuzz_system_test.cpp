@@ -49,5 +49,84 @@ TEST_P(SystemFuzz, InvariantsHoldUnderRandomDesigns) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SystemFuzz,
                          ::testing::Range<u64>(1, 21));  // 20 random systems
 
+// The migration knobs are drawn for ~a fifth of seeds; pin a few directed
+// cases so both destinations are exercised every run regardless of which
+// random seeds happen to draw them.
+class MigrationFuzz : public ::testing::TestWithParam<u32> {};
+
+TEST_P(MigrationFuzz, InvariantsHoldWithMigrationKnobs) {
+  FuzzCase fc = make_case(3);  // any historical seed: deterministic shape
+  fc.migrate_at_step = 1 + GetParam() % static_cast<u32>(fc.schedule.size());
+  fc.dest_fabric = GetParam() % 2;
+  ASSERT_TRUE(valid(fc));
+  const auto res = run_case(fc);
+  EXPECT_TRUE(res.ok) << res.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(Knobs, MigrationFuzz, ::testing::Range<u32>(0, 6));
+
+TEST(FuzzCaseMigrationKnobs, ReplayRoundTripPreservesKnobs) {
+  FuzzCase fc = make_case(11);
+  fc.migrate_at_step = 2;
+  fc.dest_fabric = 1;
+  ASSERT_TRUE(valid(fc));
+  const auto parsed = parse_case(serialize(fc));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, fc);
+}
+
+TEST(FuzzCaseMigrationKnobs, KnobFreeSerializationIsUnchanged) {
+  // Migration keys only appear when set, so replay files written before the
+  // knobs existed — and files for migration-free cases — stay byte-identical.
+  const FuzzCase fc = make_case(11);
+  if (fc.migrate_at_step == 0) {
+    EXPECT_EQ(serialize(fc).find("migrate_at_step"), std::string::npos);
+    EXPECT_EQ(serialize(fc).find("dest_fabric"), std::string::npos);
+  }
+}
+
+TEST(FuzzCaseMigrationKnobs, ValidityCrossChecks) {
+  FuzzCase fc = make_case(11);
+  fc.migrate_at_step = static_cast<u32>(fc.schedule.size());
+  fc.dest_fabric = 1;
+  EXPECT_TRUE(valid(fc));
+  fc.migrate_at_step = static_cast<u32>(fc.schedule.size()) + 1;
+  EXPECT_FALSE(valid(fc));  // handover past the end of the schedule
+  fc.migrate_at_step = 1;
+  fc.dest_fabric = 2;
+  EXPECT_FALSE(valid(fc));  // only two fabrics exist
+  fc.migrate_at_step = 0;
+  fc.dest_fabric = 1;
+  EXPECT_FALSE(valid(fc));  // a destination without a migration
+}
+
+TEST(FuzzCaseMigrationKnobs, ShrinkDropsMigrationWhenIrrelevant) {
+  FuzzCase fc = make_case(11);
+  fc.migrate_at_step = 3;
+  fc.dest_fabric = 1;
+  ASSERT_TRUE(valid(fc));
+  // An oracle that fails regardless of the migration knobs: the shrinker
+  // must remove them (and then keep shrinking the schedule beneath them).
+  const auto shrunk = shrink_case(fc, [](const FuzzCase&) { return true; });
+  EXPECT_EQ(shrunk.minimal.migrate_at_step, 0u);
+  EXPECT_EQ(shrunk.minimal.dest_fabric, 0u);
+  EXPECT_TRUE(valid(shrunk.minimal));
+}
+
+TEST(FuzzCaseMigrationKnobs, ShrinkKeepsMigrationWhenLoadBearing) {
+  FuzzCase fc = make_case(11);
+  fc.migrate_at_step = 3;
+  fc.dest_fabric = 1;
+  ASSERT_TRUE(valid(fc));
+  // An oracle that only fails while a twin-fabric migration is present: the
+  // knobs must survive, minimized (earliest handover), and stay valid.
+  const auto shrunk = shrink_case(fc, [](const FuzzCase& c) {
+    return c.migrate_at_step > 0 && c.dest_fabric == 1;
+  });
+  EXPECT_EQ(shrunk.minimal.migrate_at_step, 1u);
+  EXPECT_EQ(shrunk.minimal.dest_fabric, 1u);
+  EXPECT_TRUE(valid(shrunk.minimal));
+}
+
 }  // namespace
 }  // namespace adriatic::conformance

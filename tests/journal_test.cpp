@@ -48,6 +48,10 @@ JobStats sample_stats(usize index) {
   s.cache_hits = 17;
   s.config_words_fetched = 2048;
   s.hidden_latency = kern::Time::ns(640);
+  s.has_migration = true;
+  s.migrations = 2;
+  s.state_words_moved = 68;
+  s.transfer_faults_recovered = 1;
   return s;
 }
 
@@ -92,6 +96,10 @@ TEST(JournalTest, RoundTripRestoresCompletedStats) {
   EXPECT_EQ(s.cache_hits, ref.cache_hits);
   EXPECT_EQ(s.config_words_fetched, ref.config_words_fetched);
   EXPECT_EQ(s.hidden_latency, ref.hidden_latency);
+  EXPECT_TRUE(s.has_migration);
+  EXPECT_EQ(s.migrations, ref.migrations);
+  EXPECT_EQ(s.state_words_moved, ref.state_words_moved);
+  EXPECT_EQ(s.transfer_faults_recovered, ref.transfer_faults_recovered);
 }
 
 TEST(JournalTest, UnfinishedResultStaysRerunnable) {
