@@ -13,12 +13,21 @@
 //                                             [--report FILE.json]
 //                                             [--journal FILE.wal |
 //                                              --resume FILE.wal]
+//                                             [--processes] [--cache FILE]
 //
 // --journal write-ahead-logs every job so a killed sweep restarts with
 // --resume, re-running only the design points the journal does not show as
 // done. SIGINT/SIGTERM stop the sweep gracefully: running simulations get
 // request_stop() and --report still emits a valid partial report (exit 130);
 // the Pareto front is only printed when every point completed.
+//
+// --processes forks one child per design point (a crashing point is
+// quarantined with a structured reason instead of killing the sweep);
+// --cache serves points whose spec hash already has a cached result without
+// re-simulating. The spec hash folds the timing mode and quantum, so
+// --loose/--quantum variants of a grid point never alias in the journal or
+// the cache.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -30,12 +39,14 @@
 #include "campaign/campaign.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/report.hpp"
+#include "campaign/result_cache.hpp"
 #include "conformance/migration_harness.hpp"
 #include "dse/pareto.hpp"
 #include "estimate/area.hpp"
 #include "netlist/design.hpp"
 #include "netlist/elaborate.hpp"
 #include "transform/transform.hpp"
+#include "util/strings.hpp"
 #include "util/table.hpp"
 
 using namespace adriatic;
@@ -146,6 +157,35 @@ struct SweepOutcome {
   dse::DesignPoint point;
 };
 
+/// user_data codec for SweepOutcome: the print-ready table row and the
+/// Pareto objectives travel inside JobStats, so process-mode children,
+/// cache hits and journal restores reproduce the tool output (table,
+/// reference lines, Pareto front) without re-simulating. Row cells are
+/// '\t'-joined; the design point rides behind a 0x1e record separator with
+/// label and objectives 0x1f-split (%.17g round-trips doubles exactly).
+std::string pack_outcome(const SweepOutcome& out) {
+  std::string s = join(out.row, "\t");
+  s += '\x1e';
+  s += out.point.label;
+  for (const double v : out.point.objectives)
+    s += '\x1f' + strfmt("%.17g", v);
+  return s;
+}
+
+SweepOutcome unpack_outcome(const campaign::JobStats& s) {
+  SweepOutcome out;
+  if (!s.done || s.failed || s.user_data.empty()) return out;
+  const auto sep = s.user_data.find('\x1e');
+  if (sep == std::string::npos) return out;
+  out.row = split(s.user_data.substr(0, sep), '\t');
+  const auto point = split(s.user_data.substr(sep + 1), '\x1f');
+  if (!point.empty()) out.point.label = point[0];
+  for (usize i = 1; i < point.size(); ++i)
+    out.point.objectives.push_back(std::strtod(point[i].c_str(), nullptr));
+  out.ok = true;
+  return out;
+}
+
 SweepOutcome run_config(const Config& cfg,
                         const std::vector<std::string>& candidates,
                         const std::vector<u64>& kernel_gates,
@@ -222,6 +262,7 @@ SweepOutcome run_config(const Config& cfg,
                 static_cast<double>(fs.config_words_fetched) *
                     sizeof(bus::word)}};
   out.ok = true;
+  if (ctx != nullptr) ctx->record_user_data(pack_outcome(out));
   return out;
 }
 
@@ -257,6 +298,7 @@ SweepOutcome run_migration_probe(kern::TimingMode timing, u32 quantum_ns,
              std::to_string(r.controller.state_words_moved),
              std::to_string(r.controller.transfer_faults_recovered)};
   out.ok = true;
+  if (ctx != nullptr) ctx->record_user_data(pack_outcome(out));
   return out;
 }
 
@@ -287,6 +329,7 @@ SweepOutcome run_hardwired(u64 hw_gates, kern::TimingMode timing,
                {sim.now().to_us(), static_cast<double>(hw_gates), 0.0, 1.0,
                 0.0}};
   out.ok = true;
+  if (ctx != nullptr) ctx->record_user_data(pack_outcome(out));
   return out;
 }
 
@@ -295,11 +338,13 @@ SweepOutcome run_hardwired(u64 hw_gates, kern::TimingMode timing,
 int main(int argc, char** argv) {
   bool serial = false;
   bool loose = false;
+  bool processes = false;
   u32 quantum_ns = 0;
   usize jobs = 0;  // 0 = default_thread_count()
   std::string report_path;
   std::string journal_path;
   std::string resume_path;
+  std::string cache_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serial") == 0) {
       serial = true;
@@ -327,11 +372,15 @@ int main(int argc, char** argv) {
       journal_path = argv[++i];
     } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
       resume_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--processes") == 0) {
+      processes = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache_path = argv[++i];
     } else {
       std::cerr << "usage: dse_explorer [--serial] [--jobs N] "
                    "[--loose] [--quantum NS] "
                    "[--report FILE.json] [--journal FILE.wal | "
-                   "--resume FILE.wal]\n";
+                   "--resume FILE.wal] [--processes] [--cache FILE]\n";
       return 2;
     }
   }
@@ -341,6 +390,11 @@ int main(int argc, char** argv) {
   }
   if (serial && (!journal_path.empty() || !resume_path.empty())) {
     std::cerr << "dse_explorer: journaling requires the pool runner "
+                 "(drop --serial)\n";
+    return 2;
+  }
+  if (serial && (processes || !cache_path.empty())) {
+    std::cerr << "dse_explorer: --processes/--cache require the pool runner "
                  "(drop --serial)\n";
     return 2;
   }
@@ -389,6 +443,14 @@ int main(int argc, char** argv) {
     if (i < configs.size()) return configs[i].label;
     return std::string(i == hw_index ? "hardwired" : "migration_probe");
   };
+  // Spec hash per job: folds the timing axis (mode + quantum) on top of the
+  // label, so --loose/--quantum variants of the same grid point never alias
+  // in the journal or the result cache (see the ResultCache reuse caveat).
+  const auto point_spec = [&](usize i) {
+    u64 p = timing == kern::TimingMode::kLoose ? 1 : 0;
+    p = p * 1099511628211ULL + quantum_ns;
+    return campaign::spec_hash(job_label(i), p);
+  };
 
   // Journal / resume setup; --resume refuses a journal whose planned job
   // set does not match this sweep.
@@ -410,7 +472,7 @@ int main(int argc, char** argv) {
     for (usize i = 0; i < n_jobs; ++i) {
       const auto it = state->planned.find(i);
       if (it == state->planned.end() ||
-          it->second.spec != campaign::spec_hash(job_label(i))) {
+          it->second.spec != point_spec(i)) {
         std::cerr << "dse_explorer: journal job " << i
                   << " does not match this sweep, refusing to resume\n";
         return 2;
@@ -438,8 +500,30 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (usize i = 0; i < n_jobs; ++i)
-      journal->record_planned(i, campaign::spec_hash(job_label(i)),
-                              job_label(i));
+      journal->record_planned(i, point_spec(i), job_label(i));
+  }
+
+  // Digest-keyed cross-run cache: a planned job whose spec hash already has
+  // a cleanly finished entry is served verbatim instead of re-simulated.
+  std::unique_ptr<campaign::ResultCache> cache;
+  std::map<usize, campaign::JobStats> cached_results;
+  if (!cache_path.empty()) {
+    cache = campaign::ResultCache::open(cache_path);
+    if (cache == nullptr) {
+      std::cerr << "dse_explorer: cannot open cache '" << cache_path << "'\n";
+      return 2;
+    }
+    for (usize i = 0; i < n_jobs; ++i) {
+      if (!rerun[i]) continue;
+      auto hit = cache->lookup(point_spec(i));
+      if (!hit.has_value()) continue;
+      hit->index = i;
+      hit->label = job_label(i);
+      hit->from_cache = true;
+      cached_results.emplace(i, std::move(*hit));
+      rerun[i] = false;
+      if (journal != nullptr) journal->record_cache_hit(point_spec(i));
+    }
   }
 
   // Run every design point; `outcomes` ends up in submission order either
@@ -469,7 +553,12 @@ int main(int argc, char** argv) {
                              });
   } else {
     campaign::CampaignRunner runner(
-        jobs != 0 ? jobs : campaign::default_thread_count());
+        jobs != 0 ? jobs : campaign::default_thread_count(),
+        processes ? campaign::ExecutionMode::kProcesses
+                  : campaign::ExecutionMode::kThreads);
+    if (processes && runner.mode() != campaign::ExecutionMode::kProcesses)
+      std::cerr << "dse_explorer: fork unavailable, degrading to thread "
+                   "workers\n";
     threads_used = runner.thread_count();
     // SIGINT/SIGTERM wind the sweep down gracefully: running simulations
     // are stopped via their guards, pending jobs quarantine as
@@ -482,6 +571,8 @@ int main(int argc, char** argv) {
       if (!rerun[i]) continue;
       campaign::JobOptions o;
       o.stats_index = i;  // resumed jobs keep their original indices
+      o.spec = point_spec(i);
+      o.heartbeat_timeout_seconds = 10.0;
       const Config cfg = configs[i];
       futures.emplace_back(
           i, runner.submit(cfg.label, o, [&, cfg](campaign::JobContext& ctx) {
@@ -491,6 +582,8 @@ int main(int argc, char** argv) {
     if (rerun[hw_index]) {
       campaign::JobOptions o;
       o.stats_index = hw_index;
+      o.spec = point_spec(hw_index);
+      o.heartbeat_timeout_seconds = 10.0;
       futures.emplace_back(hw_index,
                            runner.submit("hardwired", o,
                                          [&](campaign::JobContext& ctx) {
@@ -502,6 +595,8 @@ int main(int argc, char** argv) {
     if (rerun[probe_index]) {
       campaign::JobOptions o;
       o.stats_index = probe_index;
+      o.spec = point_spec(probe_index);
+      o.heartbeat_timeout_seconds = 10.0;
       futures.emplace_back(probe_index,
                            runner.submit("migration_probe", o,
                                          [&](campaign::JobContext& ctx) {
@@ -523,15 +618,27 @@ int main(int argc, char** argv) {
     interrupted = campaign::signal_stop_requested();
 
     // Merge: placeholders for every job, journal-restored records under
-    // them, fresh records (keyed by their original indices) on top.
+    // them, cache-served results beside them, fresh records (keyed by their
+    // original indices) on top.
     job_stats.resize(n_jobs);
     for (usize i = 0; i < n_jobs; ++i) {
       job_stats[i].index = i;
       job_stats[i].label = job_label(i);
     }
     for (const auto& [idx, stats] : restored) job_stats[idx] = stats;
+    for (const auto& [idx, stats] : cached_results) job_stats[idx] = stats;
     for (const auto& rec : runner.stats())
       if (rec.index < job_stats.size()) job_stats[rec.index] = rec;
+    // Feed the cache with every cleanly finished fresh result (store()
+    // itself ignores failed/quarantined/cache-served stats).
+    if (cache != nullptr)
+      for (usize i = 0; i < n_jobs; ++i)
+        cache->store(point_spec(i), job_stats[i]);
+    // Rebuild print-ready outcomes for jobs that did not run in this
+    // address space: process-mode children, cache hits and journal
+    // restores all carry their SweepOutcome packed in user_data.
+    for (usize i = 0; i < n_jobs; ++i)
+      if (!outcomes[i].ok) outcomes[i] = unpack_outcome(job_stats[i]);
   }
 
   Table t("DSE sweep: technology x slots x config-memory x scheduler policy (" +
@@ -559,6 +666,9 @@ int main(int argc, char** argv) {
     std::cout << missing
               << " design point(s) restored from the journal (metrics in "
                  "--report; not re-run)\n";
+  if (!cached_results.empty())
+    std::cout << cached_results.size()
+              << " job(s) served from the result cache (not re-simulated)\n";
 
   const auto& hw = outcomes[hw_index];
   if (hw.ok) {

@@ -16,6 +16,7 @@
 // Build & run:  ./build/examples/fault_sweep [--seed N] [--serial]
 //               [--jobs N] [--report FILE.json] [--journal FILE.wal]
 //               [--resume FILE.wal [--verify-resume]] [--throttle-ms N]
+//               [--processes] [--cache FILE] [--inject-failures]
 //
 // With --journal every planned job, begun attempt and finished result is an
 // fsync'd write-ahead record; a sweep killed mid-run (SIGKILL included)
@@ -24,6 +25,14 @@
 // request_stop(), the journal is flushed, and --report still emits a valid
 // partial report (exit status 130). --verify-resume re-runs completed jobs
 // too and checks their scheduler-trace digests against the journaled ones.
+//
+// --processes runs every job in a forked child (crash containment: a
+// segfaulting or spinning job is quarantined with a structured reason, the
+// sweep completes). --cache keeps a digest-keyed result cache across runs:
+// jobs whose spec hash is already cached are served without re-simulating
+// and flagged "cached" in the report. --inject-failures appends two
+// deliberately broken jobs (a segfault and a CPU spin) to exercise the
+// containment path — see docs/campaign.md.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -38,10 +47,12 @@
 #include "campaign/campaign.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/report.hpp"
+#include "campaign/result_cache.hpp"
 #include "conformance/digest.hpp"
 #include "drcf/drcf_lib.hpp"
 #include "kernel/kernel.hpp"
 #include "memory/memory.hpp"
+#include "util/strings.hpp"
 #include "util/table.hpp"
 
 using namespace adriatic;
@@ -170,13 +181,6 @@ SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx,
   sim.set_observer(nullptr);
 
   const auto& fs = fabric.stats();
-  if (ctx != nullptr) {
-    ctx->record(sim);
-    ctx->record_digest(digest.value());
-    ctx->record_faults(fs.fetch_errors, fabric.fault_ledger());
-    ctx->record_prefetch(fs.prefetch_hits, fs.cache_hits,
-                         fs.config_words_fetched, fs.hidden_latency);
-  }
   const double availability = static_cast<double>(ok_steps) / kSteps;
   out.row = {cfg.label,
              Table::integer(ok_steps),
@@ -187,8 +191,26 @@ SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx,
                  static_cast<long long>(fabric.fault_ledger().injected_count())),
              Table::integer(static_cast<long long>(fs.cache_hits)),
              Table::num(availability, 3)};
+  if (ctx != nullptr) {
+    ctx->record(sim);
+    ctx->record_digest(digest.value());
+    ctx->record_faults(fs.fetch_errors, fabric.fault_ledger());
+    ctx->record_prefetch(fs.prefetch_hits, fs.cache_hits,
+                         fs.config_words_fetched, fs.hidden_latency);
+    // The table row rides JobStats::user_data through the worker pipe, the
+    // journal and the result cache, so process-mode / cached / restored
+    // jobs still print — futures cannot carry values across a fork.
+    ctx->record_user_data(join(out.row, "\t"));
+  }
   out.ok = true;
   return out;
+}
+
+/// Rebuilds a run_point() table row from a JobStats, whichever path the
+/// stats took (fresh run, forked child, journal restore, cache hit).
+std::vector<std::string> row_from_stats(const campaign::JobStats& s) {
+  if (!s.done || s.user_data.empty()) return {};
+  return split(s.user_data, '\t');
 }
 
 }  // namespace
@@ -196,18 +218,22 @@ SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx,
 int main(int argc, char** argv) {
   bool serial = false;
   bool verify_resume = false;
+  bool processes = false;
+  bool inject_failures = false;
   usize jobs = 0;
   u64 seed = 1;
   unsigned throttle_ms = 0;
   std::string report_path;
   std::string journal_path;
   std::string resume_path;
+  std::string cache_path;
   const auto usage = [] {
     std::cerr << "usage: fault_sweep [--seed N] [--serial] [--jobs N] "
                  "[--report FILE.json]\n"
                  "                   [--journal FILE.wal | --resume FILE.wal "
                  "[--verify-resume]]\n"
-                 "                   [--throttle-ms N]\n";
+                 "                   [--throttle-ms N] [--processes] "
+                 "[--cache FILE] [--inject-failures]\n";
     return 2;
   };
   for (int i = 1; i < argc; ++i) {
@@ -228,6 +254,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--throttle-ms") == 0 && i + 1 < argc) {
       throttle_ms =
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--processes") == 0) {
+      processes = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--inject-failures") == 0) {
+      inject_failures = true;
     } else {
       return usage();
     }
@@ -237,6 +269,16 @@ int main(int argc, char** argv) {
   if (serial && (!journal_path.empty() || !resume_path.empty())) {
     std::cerr << "fault_sweep: journaling requires the pool runner "
                  "(drop --serial)\n";
+    return 2;
+  }
+  if (serial && (processes || !cache_path.empty())) {
+    std::cerr << "fault_sweep: --processes/--cache require the pool runner "
+                 "(drop --serial)\n";
+    return 2;
+  }
+  if (inject_failures && !resume_path.empty()) {
+    std::cerr << "fault_sweep: --inject-failures cannot be combined with "
+                 "--resume\n";
     return 2;
   }
 
@@ -256,12 +298,27 @@ int main(int argc, char** argv) {
                            policy, rate, seed * 1000 + configs.size(),
                            prefetch});
 
+  // --inject-failures appends two deliberately broken jobs AFTER the sweep
+  // grid, so the 24 real points stay comparable with a clean run: a child
+  // that segfaults (quarantined "signal:SIGSEGV" after its retries) and one
+  // that spins forever (the supervisor's wall deadline kills it, reason
+  // "timeout"). In thread mode the hooks are inert no-op jobs.
+  struct DebugJob {
+    std::string label;
+    campaign::DebugFailure failure;
+  };
+  std::vector<DebugJob> debug_jobs;
+  if (inject_failures)
+    debug_jobs = {{"debug/segv", campaign::DebugFailure::kSegv},
+                  {"debug/hang-cpu", campaign::DebugFailure::kHangCpu}};
+  const usize n_jobs = configs.size() + debug_jobs.size();
+
   // Journal / resume setup. Resume validates the journal's identity first:
   // same campaign, same planned job set (spec hashes cover every simulation
   // parameter), otherwise it refuses rather than merge unrelated results.
   std::unique_ptr<campaign::CampaignJournal> journal;
   std::map<usize, campaign::JobStats> restored;
-  std::vector<bool> rerun(configs.size(), true);
+  std::vector<bool> rerun(n_jobs, true);
   if (!resume_path.empty()) {
     const auto state = campaign::read_journal(resume_path);
     if (!state.has_value()) {
@@ -308,29 +365,63 @@ int main(int argc, char** argv) {
     }
     for (usize i = 0; i < configs.size(); ++i)
       journal->record_planned(i, point_spec(configs[i]), configs[i].label);
+    for (usize d = 0; d < debug_jobs.size(); ++d)
+      journal->record_planned(configs.size() + d,
+                              campaign::spec_hash(debug_jobs[d].label),
+                              debug_jobs[d].label);
+  }
+
+  // Digest-keyed cross-run cache: a planned job whose spec hash already has
+  // a cleanly finished entry is served from the cache instead of
+  // re-simulated; every fresh result is stored back after the sweep.
+  std::unique_ptr<campaign::ResultCache> cache;
+  std::map<usize, campaign::JobStats> cached_results;
+  if (!cache_path.empty()) {
+    cache = campaign::ResultCache::open(cache_path);
+    if (cache == nullptr) {
+      std::cerr << "fault_sweep: cannot open cache '" << cache_path << "'\n";
+      return 2;
+    }
+    for (usize i = 0; !verify_resume && i < configs.size(); ++i) {
+      if (!rerun[i]) continue;  // journal-restored already
+      auto hit = cache->lookup(point_spec(configs[i]));
+      if (!hit.has_value()) continue;
+      hit->index = i;
+      hit->label = configs[i].label;
+      hit->from_cache = true;
+      cached_results.emplace(i, std::move(*hit));
+      rerun[i] = false;
+      if (journal != nullptr) journal->record_cache_hit(point_spec(configs[i]));
+    }
   }
 
   // Each policy/rate point is one campaign job; jobs get a generous
   // wall-clock budget and one retry so a wedged run is quarantined instead
-  // of hanging the sweep.
+  // of hanging the sweep. In process mode the heartbeat timeout also kills
+  // children that die without exiting.
   campaign::JobOptions opt;
   opt.max_attempts = 2;
   opt.wall_timeout_seconds = 60.0;
+  opt.heartbeat_timeout_seconds = 10.0;
 
-  std::vector<SweepOutcome> outcomes(configs.size());
   std::vector<campaign::JobStats> job_stats;
   usize threads_used = 1;
   bool interrupted = false;
   if (serial) {
     for (usize i = 0; i < configs.size(); ++i)
-      outcomes[i] = campaign::run_inline(
-          configs[i].label, job_stats, [&](campaign::JobContext& ctx) {
-            return run_point(configs[i], &ctx, throttle_ms);
-          });
+      campaign::run_inline(configs[i].label, job_stats,
+                           [&](campaign::JobContext& ctx) {
+                             return run_point(configs[i], &ctx, throttle_ms);
+                           });
   } else {
     campaign::CampaignRunner runner(
-        jobs != 0 ? jobs : campaign::default_thread_count());
+        jobs != 0 ? jobs : campaign::default_thread_count(),
+        processes ? campaign::ExecutionMode::kProcesses
+                  : campaign::ExecutionMode::kThreads);
     threads_used = runner.thread_count();
+    if (processes && runner.mode() != campaign::ExecutionMode::kProcesses)
+      std::cerr << "fault_sweep: process isolation unavailable here, "
+                   "running in thread mode\n";
     // SIGINT/SIGTERM land in an atomic flag; the runner's watchdog polls it
     // and broadcasts request_stop() to every guarded simulation, so the
     // sweep winds down with journaled, reportable partial results.
@@ -338,21 +429,42 @@ int main(int argc, char** argv) {
     runner.enable_signal_stop();
     if (journal != nullptr) runner.set_journal(journal.get());
     std::vector<std::pair<usize, std::future<SweepOutcome>>> futures;
-    for (usize i = 0; i < configs.size(); ++i) {
+    for (usize i = 0; i < n_jobs; ++i) {
       if (!rerun[i]) continue;
       campaign::JobOptions o = opt;
       o.stats_index = i;  // resumed jobs keep their original indices
-      const SweepConfig cfg = configs[i];
-      futures.emplace_back(
-          i, runner.submit(cfg.label, o, [&, cfg](campaign::JobContext& ctx) {
-            return run_point(cfg, &ctx, throttle_ms);
-          }));
+      if (i < configs.size()) {
+        o.spec = point_spec(configs[i]);
+        const SweepConfig cfg = configs[i];
+        futures.emplace_back(i, runner.submit(
+                                    cfg.label, o,
+                                    [&, cfg](campaign::JobContext& ctx) {
+                                      return run_point(cfg, &ctx, throttle_ms);
+                                    }));
+      } else {
+        const DebugJob& dbg = debug_jobs[i - configs.size()];
+        o.spec = campaign::spec_hash(dbg.label);
+        o.debug_failure = dbg.failure;
+        if (dbg.failure == campaign::DebugFailure::kHangCpu) {
+          // The spin never finishes; give the supervisor a short deadline
+          // and do not retry what can only time out again.
+          o.wall_timeout_seconds = 2.0;
+          o.max_attempts = 1;
+        }
+        futures.emplace_back(
+            i, runner.submit(dbg.label, o, [](campaign::JobContext&) {
+              return SweepOutcome{};  // inert in thread mode
+            }));
+      }
     }
     for (auto& [i, f] : futures) {
       try {
-        outcomes[i] = f.get();
+        (void)f.get();
       } catch (const std::exception& e) {
-        std::cerr << configs[i].label << ": " << e.what() << '\n';
+        const std::string& label =
+            i < configs.size() ? configs[i].label
+                               : debug_jobs[i - configs.size()].label;
+        std::cerr << label << ": " << e.what() << '\n';
       }
     }
     runner.wait_idle();
@@ -360,15 +472,26 @@ int main(int argc, char** argv) {
     interrupted = campaign::signal_stop_requested();
 
     // Merge: placeholders for every point, journal-restored results under
-    // them, fresh results (keyed by their original indices) on top.
-    job_stats.resize(configs.size());
-    for (usize i = 0; i < configs.size(); ++i) {
+    // them, cache-served results beside them, fresh results (keyed by their
+    // original indices) on top.
+    job_stats.resize(n_jobs);
+    for (usize i = 0; i < n_jobs; ++i) {
       job_stats[i].index = i;
-      job_stats[i].label = configs[i].label;
+      job_stats[i].label = i < configs.size()
+                               ? configs[i].label
+                               : debug_jobs[i - configs.size()].label;
     }
     for (const auto& [idx, stats] : restored) job_stats[idx] = stats;
+    for (const auto& [idx, stats] : cached_results) job_stats[idx] = stats;
     for (const auto& rec : runner.stats())
-      if (rec.index < job_stats.size()) job_stats[rec.index] = rec;
+      if (rec.index < job_stats.size() && rerun[rec.index])
+        job_stats[rec.index] = rec;
+
+    // Feed the cache with every cleanly finished fresh result (store()
+    // ignores failed/quarantined/cache-served stats itself).
+    if (cache != nullptr)
+      for (usize i = 0; i < configs.size(); ++i)
+        cache->store(point_spec(configs[i]), job_stats[i]);
   }
 
   Table t("Fault sweep: recovery policy x fetch error rate x scheduler (" +
@@ -376,12 +499,19 @@ int main(int argc, char** argv) {
           ")");
   t.header({"policy/rate/sched", "steps ok", "fetch errs", "retries",
             "fallbacks", "injected", "cache hits", "availability"});
-  for (const auto& out : outcomes)
-    if (out.ok) t.row(out.row);
+  // Rows come from the stats' user_data payload, so journal-restored,
+  // cache-served and process-mode jobs all print alongside fresh ones.
+  for (const auto& s : job_stats) {
+    const auto row = row_from_stats(s);
+    if (!row.empty()) t.row(row);
+  }
   t.print(std::cout);
   if (!resume_path.empty() && !verify_resume && !restored.empty())
     std::cout << restored.size()
               << " job(s) restored from the journal (not re-run)\n";
+  if (!cached_results.empty())
+    std::cout << cached_results.size()
+              << " job(s) served from the result cache (not re-simulated)\n";
   if (interrupted)
     std::cerr << "fault_sweep: interrupted — report/journal hold partial "
                  "results; resume with --resume\n";

@@ -1,10 +1,13 @@
 #include "campaign/campaign.hpp"
 
+#include <algorithm>
 #include <csignal>
 #include <chrono>
 #include <cstdlib>
 
 #include "campaign/journal.hpp"
+#include "campaign/worker_pool.hpp"
+#include "util/log.hpp"
 
 namespace adriatic::campaign {
 
@@ -37,7 +40,18 @@ void clear_signal_stop() noexcept {
   g_signal_stop.store(false, std::memory_order_relaxed);
 }
 
-CampaignRunner::CampaignRunner(usize threads) {
+CampaignRunner::CampaignRunner(usize threads, ExecutionMode mode) {
+  if (mode == ExecutionMode::kProcesses) {
+    if (ProcessWorkerPool::fork_available()) {
+      mode_ = ExecutionMode::kProcesses;
+      pool_ = std::make_unique<ProcessWorkerPool>();
+    } else {
+      // Graceful degrade, not an error: the campaign still runs, it just
+      // loses crash containment. mode() tells callers what they got.
+      log::warn() << "campaign: fork unavailable (sanitizer build or "
+                     "ADRIATIC_NO_FORK=1); degrading to thread mode";
+    }
+  }
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw == 0 ? 1 : hw;
@@ -110,7 +124,7 @@ void CampaignRunner::worker_loop() {
     local.label = job.label;
     JobContext ctx(&local);
     ctx.runner_ = this;
-    ctx.wall_timeout_seconds_ = job.opt.wall_timeout_seconds;
+    ctx.opt_ = job.opt;
     const auto t0 = std::chrono::steady_clock::now();
     job.body(ctx);  // a packaged_task: exceptions land in the job's future
     local.wall_seconds =
@@ -149,6 +163,22 @@ void CampaignRunner::journal_done(const JobStats& stats) {
   if (journal_ != nullptr) journal_->record_done(stats);
 }
 
+void CampaignRunner::journal_worker_death(usize index,
+                                          const std::string& reason) {
+  if (journal_ != nullptr) journal_->record_worker_death(index, reason);
+}
+
+u32 CampaignRunner::note_crash(u64 spec) {
+  std::lock_guard<std::mutex> lk(cmu_);
+  return ++crash_counts_[spec];
+}
+
+u32 CampaignRunner::crash_count(u64 spec) const {
+  std::lock_guard<std::mutex> lk(cmu_);
+  const auto it = crash_counts_.find(spec);
+  return it == crash_counts_.end() ? 0 : it->second;
+}
+
 void CampaignRunner::watchdog_loop() {
   std::unique_lock<std::mutex> lk(wmu_);
   for (;;) {
@@ -183,6 +213,9 @@ void CampaignRunner::watchdog_loop() {
         w.interrupted = true;
         w.sim->request_stop();
       }
+      // Forked workers can't observe the stop flag — kill them; their
+      // run_child calls return an "interrupted" verdict.
+      if (pool_ != nullptr) pool_->kill_all();
     }
     const auto now = std::chrono::steady_clock::now();
     for (Watch& w : watches_) {
@@ -198,11 +231,14 @@ void CampaignRunner::watchdog_loop() {
 
 void CampaignRunner::request_stop_all() {
   cancelled_.store(true, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(wmu_);
-  for (Watch& w : watches_) {
-    w.interrupted = true;
-    w.sim->request_stop();
+  {
+    std::lock_guard<std::mutex> lk(wmu_);
+    for (Watch& w : watches_) {
+      w.interrupted = true;
+      w.sim->request_stop();
+    }
   }
+  if (pool_ != nullptr) pool_->kill_all();
 }
 
 u64 CampaignRunner::watch(kern::Simulation& sim, double timeout_seconds) {
@@ -241,11 +277,14 @@ CampaignRunner::WatchResult CampaignRunner::unwatch(u64 id) {
 }
 
 WatchdogGuard JobContext::guard(kern::Simulation& sim) {
+  // runner_ == nullptr covers both out-of-pool contexts (run_inline) and
+  // forked worker children: the child's deadline is the parent supervisor's
+  // SIGKILL, not an in-process watchdog.
   if (runner_ == nullptr) return WatchdogGuard(this, 0);
   // Register even without a wall timeout: the watch is the only path by
   // which request_stop_all() or a SIGINT/SIGTERM broadcast can reach this
   // job's kernel while it simulates.
-  return WatchdogGuard(this, runner_->watch(sim, wall_timeout_seconds_));
+  return WatchdogGuard(this, runner_->watch(sim, opt_.wall_timeout_seconds));
 }
 
 WatchdogGuard::~WatchdogGuard() {
@@ -266,6 +305,74 @@ void JobContext::begin_attempt(u32 attempt) {
 
 bool JobContext::interrupted() const noexcept {
   return interrupted_ || (runner_ != nullptr && runner_->cancelled());
+}
+
+bool JobContext::process_mode() const noexcept {
+  return runner_ != nullptr && runner_->mode() == ExecutionMode::kProcesses;
+}
+
+u64 JobContext::crash_key() const {
+  return opt_.spec != 0 ? opt_.spec : spec_hash(stats_->label);
+}
+
+bool JobContext::crash_quarantined() const noexcept {
+  return opt_.crash_limit > 0 && runner_ != nullptr &&
+         runner_->crash_count(crash_key()) >= opt_.crash_limit;
+}
+
+void JobContext::retry_backoff(u32 next_attempt) {
+  if (opt_.retry_backoff_seconds <= 0 || next_attempt < 2) return;
+  double delay = opt_.retry_backoff_seconds;
+  for (u32 a = 2; a < next_attempt; ++a) delay = std::min(delay * 2, 30.0);
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(delay);
+  // Small slices keep a backing-off job responsive to stop broadcasts.
+  while (std::chrono::steady_clock::now() < until) {
+    if (interrupted()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void JobContext::run_attempt_in_child(
+    const std::function<void(JobContext&)>& body) {
+  ChildRequest req;
+  req.index = stats_->index;
+  req.label = stats_->label;
+  req.attempt = stats_->attempts;
+  req.opt = opt_;
+  req.body = body;
+  const ChildResult r = runner_->pool_->run_child(req);
+
+  if (r.has_stats) {
+    JobStats fresh = r.stats;
+    // Parent-side identity and attempt bookkeeping stay authoritative —
+    // the child only knows about its own single attempt.
+    fresh.index = stats_->index;
+    fresh.label = stats_->label;
+    fresh.attempts = stats_->attempts;
+    fresh.worker_deaths = stats_->worker_deaths;
+    const bool child_failed = fresh.failed;
+    std::string child_error = fresh.error;
+    if (child_failed) {
+      fresh.failed = false;
+      fresh.error.clear();
+    }
+    *stats_ = std::move(fresh);
+    // A body that threw inside the child replays as an exception here, so
+    // the retry loop treats thread-mode and process-mode failures alike.
+    if (child_failed) throw std::runtime_error(std::move(child_error));
+    return;
+  }
+
+  ++stats_->worker_deaths;
+  runner_->journal_worker_death(stats_->index, r.failure.reason());
+  using Kind = WorkerFailure::Kind;
+  const bool crash = r.failure.kind == Kind::kSignal ||
+                     r.failure.kind == Kind::kExitCode ||
+                     r.failure.kind == Kind::kHeartbeatLost ||
+                     r.failure.kind == Kind::kProtocol;
+  if (crash) runner_->note_crash(crash_key());
+  throw WorkerDeathError(r.failure);
 }
 
 void CampaignRunner::wait_idle() {

@@ -21,6 +21,7 @@
 #include <exception>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -38,6 +39,67 @@
 namespace adriatic::campaign {
 
 class CampaignJournal;
+class ProcessWorkerPool;
+
+/// How the runner executes job bodies.
+///
+///  * kThreads — in-process, one job per worker thread (the historical
+///    mode). A job that segfaults, exhausts memory or spins without ever
+///    reaching a delta boundary takes the whole campaign with it.
+///  * kProcesses — each attempt runs in a forked child; its JobStats come
+///    back over a pipe (worker_pool.hpp) and the parent's supervisor
+///    SIGKILLs hung or runaway children. Crashes become structured
+///    quarantine reasons ("signal:SIGSEGV", "timeout", "exit:N") instead of
+///    campaign deaths. Falls back to kThreads where fork is unusable
+///    (ThreadSanitizer builds, ADRIATIC_NO_FORK=1) — check mode() after
+///    construction.
+enum class ExecutionMode { kThreads, kProcesses };
+
+/// Deliberate failure injected into a forked job child *before* its body
+/// runs, so crash containment is testable deterministically. Honoured only
+/// in kProcesses mode (in kThreads mode a segfault would be the very
+/// containment failure this exists to test for).
+enum class DebugFailure {
+  kNone,
+  kSegv,      ///< Die by SIGSEGV (default disposition restored first).
+  kAbort,     ///< Die by SIGABRT.
+  kHangCpu,   ///< Spin forever burning CPU; heartbeats keep flowing, so
+              ///< only the wall deadline catches it ("timeout").
+  kHangSleep, ///< Block heartbeats and sleep forever; caught by the
+              ///< heartbeat timeout ("heartbeat-lost") or wall deadline.
+  kExitCode,  ///< _exit(JobOptions::debug_exit_code) without a result.
+};
+
+/// Structured decode of a worker child's death: what the supervisor or
+/// waitpid() learned, normalised into the retry/quarantine machinery's
+/// vocabulary. reason() is the string that lands in quarantine_reason and
+/// the journal's X record.
+struct WorkerFailure {
+  enum class Kind {
+    kNone,
+    kSignal,         ///< Child died by signal `code` (crash class).
+    kExitCode,       ///< Child exited with status `code` != 0 (crash class).
+    kTimeout,        ///< Supervisor SIGKILLed it at the wall deadline.
+    kHeartbeatLost,  ///< Supervisor SIGKILLed it after heartbeat silence.
+    kInterrupted,    ///< Killed by a campaign-wide stop broadcast.
+    kProtocol,       ///< Pipe closed mid-frame / bad checksum / fork error.
+  };
+  Kind kind = Kind::kNone;
+  int code = 0;  ///< Signal number or exit status, by kind.
+  /// "signal:SIGSEGV", "timeout", "exit:3", "heartbeat-lost",
+  /// "interrupted", "protocol".
+  [[nodiscard]] std::string reason() const;
+};
+
+/// Thrown inside the runner's attempt loop when a forked worker dies
+/// without delivering a result; carries the structured failure so the
+/// retry machinery can distinguish timeouts from crashes.
+class WorkerDeathError : public std::runtime_error {
+ public:
+  explicit WorkerDeathError(WorkerFailure f)
+      : std::runtime_error("worker died: " + f.reason()), failure(f) {}
+  WorkerFailure failure;
+};
 
 // -- Process-wide graceful-stop signal plumbing ------------------------------
 // install_stop_signal_handlers() routes SIGINT/SIGTERM into a lock-free
@@ -63,6 +125,28 @@ struct JobOptions {
   /// (defaults to the submission index). Resume paths set it so re-run jobs
   /// keep their original campaign indices.
   std::optional<usize> stats_index;
+  /// Identity of the job's simulation parameters (spec_hash(label, params)),
+  /// shared with the journal's P records and the result cache. Keys the
+  /// runner's per-spec crash quarantine; 0 falls back to spec_hash(label).
+  u64 spec = 0;
+  /// Process mode: a spec whose children crashed (signal / nonzero exit /
+  /// heartbeat loss) this many times is quarantined instead of retried —
+  /// a deterministic segfault must not burn every retry of every resume.
+  /// 0 disables crash quarantine.
+  u32 crash_limit = 3;
+  /// Base delay before retry attempt 2; doubles per further attempt
+  /// (capped at 30 s). Sleeps in small interruptible slices so a stop
+  /// broadcast still cancels a backing-off job promptly. 0 disables it.
+  double retry_backoff_seconds = 0;
+  /// Process mode: SIGKILL a child whose pipe has been silent (no result,
+  /// no heartbeat frame) for this long — catches workers that die without
+  /// exiting. Heartbeats tick ~10x per second while the child is alive,
+  /// so legitimate long simulations never trip this. 0 disables it.
+  double heartbeat_timeout_seconds = 0;
+  /// Deliberate child failure for crash-containment tests (process mode
+  /// only; see DebugFailure).
+  DebugFailure debug_failure = DebugFailure::kNone;
+  int debug_exit_code = 0;  ///< Exit status used by DebugFailure::kExitCode.
 };
 
 /// Per-job record, reported in submission order regardless of which worker
@@ -102,6 +186,14 @@ struct JobStats {
   u64 migrations = 0;          ///< Completed task migrations.
   u64 state_words_moved = 0;   ///< Transfer words moved over the bus.
   u64 transfer_faults_recovered = 0;  ///< Mid-transfer faults recovered from.
+  bool from_cache = false;  ///< Served from a ResultCache, not re-simulated.
+  u64 worker_deaths = 0;    ///< Forked children lost while running this job
+                            ///< (crash, timeout kill, heartbeat kill).
+  std::string user_data;    ///< Opaque tool payload (record_user_data):
+                            ///< rides the journal, the worker pipe and the
+                            ///< result cache, so a cache-served job can
+                            ///< reproduce its tool-side output (e.g. a
+                            ///< table row) without re-simulating.
 };
 
 /// Message for the exception currently in flight; call only inside `catch`.
@@ -175,6 +267,15 @@ class JobContext {
     stats_->transfer_faults_recovered = transfer_faults_recovered;
   }
 
+  /// Stores an opaque tool payload in the job's stats. It travels with the
+  /// JobStats through the journal, the process-worker pipe and the result
+  /// cache, so tools can reconstruct per-job output (table rows, packed
+  /// metrics) for jobs that ran in a child process or were served from
+  /// cache without re-simulating.
+  void record_user_data(std::string data) {
+    stats_->user_data = std::move(data);
+  }
+
   /// Stores the job's timing abstraction (mode, quantum, sync count) in its
   /// stats; report_json() emits them as the job's "timing" object. Call
   /// after sim.run() so loose_syncs() is final.
@@ -197,11 +298,41 @@ class JobContext {
 
   /// Arms the job's wall-clock timeout against `sim` for the lifetime of
   /// the returned guard (typically wrapped around sim.run()). No-op when
-  /// the job has no timeout or runs outside a pool.
+  /// the job has no timeout or runs outside a pool — including inside a
+  /// forked worker child, where the parent's supervisor (not an in-process
+  /// watchdog) enforces the deadline by SIGKILL.
   [[nodiscard]] WatchdogGuard guard(kern::Simulation& sim);
+
+  /// True when this job's attempts run in forked children (the runner was
+  /// built with ExecutionMode::kProcesses and fork is usable).
+  [[nodiscard]] bool process_mode() const noexcept;
+
+  /// True once this job's spec has crashed JobOptions::crash_limit times
+  /// (across submissions of the same runner): further attempts quarantine
+  /// immediately instead of re-crashing.
+  [[nodiscard]] bool crash_quarantined() const noexcept;
+
+  /// Quarantine vocabulary differs by mode: the supervisor's verdict is
+  /// "timeout"; the cooperative in-thread watchdog's is "wall-clock
+  /// timeout" (kept for report/journal compatibility).
+  [[nodiscard]] const char* timeout_reason() const noexcept {
+    return process_mode() ? "timeout" : "wall-clock timeout";
+  }
+
+  /// Runs one attempt in a forked child: the body executes against a
+  /// child-local JobContext, the resulting JobStats stream back over the
+  /// worker pipe and replace this job's record. Throws WorkerDeathError if
+  /// the child dies without a result (crash / timeout / lost heartbeat),
+  /// or std::runtime_error carrying the child's error if its body threw.
+  void run_attempt_in_child(const std::function<void(JobContext&)>& body);
+
+  /// Exponential pre-retry backoff (JobOptions::retry_backoff_seconds),
+  /// interruptible by a stop broadcast. No-op before the first attempt.
+  void retry_backoff(u32 next_attempt);
 
  private:
   friend class CampaignRunner;
+  friend class ProcessWorkerPool;
   friend class WatchdogGuard;
   template <typename F>
   friend auto run_inline(std::string label, std::vector<JobStats>& records,
@@ -217,17 +348,24 @@ class JobContext {
   }
   /// Resets per-attempt state, journals the attempt, observes cancellation.
   void begin_attempt(u32 attempt);
+  /// Crash-quarantine key: JobOptions::spec, else spec_hash(label).
+  [[nodiscard]] u64 crash_key() const;
   JobStats* stats_;
   CampaignRunner* runner_ = nullptr;
-  double wall_timeout_seconds_ = 0;
+  JobOptions opt_;
   bool timed_out_ = false;
   bool interrupted_ = false;
 };
 
 class CampaignRunner {
  public:
-  /// threads == 0 picks the hardware concurrency (at least 1).
-  explicit CampaignRunner(usize threads = 0);
+  /// threads == 0 picks the hardware concurrency (at least 1). With
+  /// ExecutionMode::kProcesses each worker thread forks one child per job
+  /// attempt; where fork is unusable (ThreadSanitizer builds,
+  /// ADRIATIC_NO_FORK=1) the runner logs a warning and degrades to
+  /// kThreads — check mode() to see what it actually runs.
+  explicit CampaignRunner(usize threads = 0,
+                          ExecutionMode mode = ExecutionMode::kThreads);
   ~CampaignRunner();
 
   CampaignRunner(const CampaignRunner&) = delete;
@@ -236,6 +374,9 @@ class CampaignRunner {
   [[nodiscard]] usize thread_count() const noexcept {
     return workers_.size();
   }
+
+  /// Effective execution mode (kProcesses only when fork is usable).
+  [[nodiscard]] ExecutionMode mode() const noexcept { return mode_; }
 
   /// Submits a job. `fn` is either `R()` or `R(JobContext&)`; it runs on a
   /// worker thread and must build its own Simulation (never share kernel
@@ -252,6 +393,16 @@ class CampaignRunner {
   /// whose final attempt still fails on timeout — or that exhausts its
   /// retries on timeouts — is quarantined: its record keeps done == false
   /// with a reason, and the future carries a std::runtime_error.
+  ///
+  /// In kProcesses mode each attempt forks: the body runs in a child whose
+  /// JobStats come back over a pipe and replace this job's record. The
+  /// future then resolves with a value-initialised R (process boundaries
+  /// can't carry arbitrary return values) — process-mode campaigns read
+  /// runner.stats() / JobStats::user_data instead of futures, and a
+  /// non-default-constructible R is a runtime error. Child deaths (signal,
+  /// nonzero exit, heartbeat loss) feed the retry machinery as structured
+  /// WorkerFailures and, after JobOptions::crash_limit crashes of the same
+  /// spec, quarantine the job with the failure's reason().
   template <typename F>
   auto submit(std::string label, JobOptions opt, F fn) {
     constexpr bool kTakesCtx = std::is_invocable_v<F&, JobContext&>;
@@ -270,8 +421,40 @@ class CampaignRunner {
               ctx.mark_quarantined("interrupted");
               throw std::runtime_error("job interrupted");
             }
+            // A spec that already crashed crash_limit times never forks
+            // again: resumes and repeat submissions fail fast instead of
+            // burning retries on a deterministic segfault.
+            if (ctx.process_mode() && ctx.crash_quarantined()) {
+              ctx.mark_quarantined("crash-quarantined");
+              throw std::runtime_error("job quarantined: " +
+                                       ctx.stats_->quarantine_reason);
+            }
             try {
-              if constexpr (std::is_void_v<R>) {
+              if (ctx.process_mode()) {
+                ctx.run_attempt_in_child([&f](JobContext& child_ctx) {
+                  if constexpr (kTakesCtx) {
+                    (void)f(child_ctx);
+                  } else {
+                    (void)f();
+                  }
+                });
+                if (ctx.interrupted()) {
+                  ctx.mark_quarantined("interrupted");
+                  throw std::runtime_error("job interrupted");
+                }
+                if (!ctx.attempt_timed_out()) {
+                  if constexpr (std::is_void_v<R>) {
+                    return;
+                  } else if constexpr (std::is_default_constructible_v<R>) {
+                    return R{};  // Real results live in runner.stats().
+                  } else {
+                    throw std::logic_error(
+                        "process-mode jobs cannot return a "
+                        "non-default-constructible value; read "
+                        "CampaignRunner::stats() instead");
+                  }
+                }
+              } else if constexpr (std::is_void_v<R>) {
                 if constexpr (kTakesCtx) {
                   f(ctx);
                 } else {
@@ -296,6 +479,23 @@ class CampaignRunner {
                 }
                 if (!ctx.attempt_timed_out()) return result;
               }
+            } catch (const WorkerDeathError& death) {
+              using Kind = WorkerFailure::Kind;
+              if (ctx.interrupted() ||
+                  death.failure.kind == Kind::kInterrupted) {
+                if (!ctx.stats_->quarantined)
+                  ctx.mark_quarantined("interrupted");
+                throw std::runtime_error("job interrupted");
+              }
+              if (death.failure.kind == Kind::kTimeout) {
+                // Rides the shared timeout tail below, like a thread-mode
+                // watchdog stop.
+                ctx.timed_out_ = true;
+              } else if (ctx.crash_quarantined() || attempt >= max_attempts) {
+                ctx.mark_quarantined(death.failure.reason());
+                throw std::runtime_error("job quarantined: " +
+                                         ctx.stats_->quarantine_reason);
+              }
             } catch (...) {
               // An interrupted attempt never retries: its simulation was
               // stopped mid-flight, so the result is partial by design.
@@ -315,11 +515,12 @@ class CampaignRunner {
             }
             if (attempt >= max_attempts) {
               ctx.mark_quarantined(ctx.attempt_timed_out()
-                                       ? "wall-clock timeout"
+                                       ? ctx.timeout_reason()
                                        : "retries exhausted");
               throw std::runtime_error("job quarantined: " +
                                        ctx.stats_->quarantine_reason);
             }
+            ctx.retry_backoff(attempt + 1);
           }
         });
     std::future<R> fut = task->get_future();
@@ -407,6 +608,12 @@ class CampaignRunner {
   /// Journal hooks (no-ops without a journal).
   void journal_begun(usize index, u32 attempt);
   void journal_done(const JobStats& stats);
+  void journal_worker_death(usize index, const std::string& reason);
+
+  /// Per-spec crash accounting (process mode), guarded by cmu_. Returns
+  /// the new count.
+  u32 note_crash(u64 spec);
+  [[nodiscard]] u32 crash_count(u64 spec) const;
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;
@@ -421,6 +628,10 @@ class CampaignRunner {
   CampaignJournal* journal_ = nullptr;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> signal_stop_enabled_{false};
+  ExecutionMode mode_ = ExecutionMode::kThreads;
+  std::unique_ptr<ProcessWorkerPool> pool_;  ///< Non-null in kProcesses mode.
+  mutable std::mutex cmu_;                   ///< Guards crash_counts_.
+  std::map<u64, u32> crash_counts_;          ///< spec -> child crashes.
 
   // Watchdog state, guarded by wmu_ (separate from mu_: the watchdog must
   // never contend with the job queue).

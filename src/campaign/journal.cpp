@@ -17,7 +17,14 @@ namespace {
 
 constexpr char kHeaderMagic[] = "J adriatic-campaign-journal v1";
 
-[[nodiscard]] u64 fnv1a(const std::string& s, u64 h = 14695981039346656037ULL) {
+[[nodiscard]] u64 parse_u64(const std::string& s, int base = 10) {
+  return std::strtoull(s.c_str(), nullptr, base);
+}
+
+}  // namespace
+
+u64 fnv1a(const std::string& s, u64 seed) {
+  u64 h = seed;
   for (const char c : s) {
     h ^= static_cast<u8>(c);
     h *= 1099511628211ULL;
@@ -27,7 +34,7 @@ constexpr char kHeaderMagic[] = "J adriatic-campaign-journal v1";
 
 // Percent-encoding for string fields: keeps every token free of spaces and
 // newlines so the line grammar stays splittable.
-[[nodiscard]] std::string encode_field(const std::string& s) {
+std::string encode_field(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
@@ -41,7 +48,7 @@ constexpr char kHeaderMagic[] = "J adriatic-campaign-journal v1";
   return out;
 }
 
-[[nodiscard]] std::string decode_field(const std::string& s) {
+std::string decode_field(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (usize i = 0; i < s.size(); ++i) {
@@ -56,26 +63,18 @@ constexpr char kHeaderMagic[] = "J adriatic-campaign-journal v1";
   return out;
 }
 
-[[nodiscard]] std::string checksum_suffix(const std::string& content) {
+std::string checksum_suffix(const std::string& content) {
   return strfmt(" cks=%016llx",
                 static_cast<unsigned long long>(fnv1a(content)));
 }
 
-/// Splits "content cks=hex" and verifies; empty optional on mismatch.
-[[nodiscard]] std::optional<std::string> strip_checksum(
-    const std::string& line) {
+std::optional<std::string> strip_checksum(const std::string& line) {
   const usize pos = line.rfind(" cks=");
   if (pos == std::string::npos) return std::nullopt;
   const std::string content = line.substr(0, pos);
   if (line.substr(pos) != checksum_suffix(content)) return std::nullopt;
   return content;
 }
-
-[[nodiscard]] u64 parse_u64(const std::string& s, int base = 10) {
-  return std::strtoull(s.c_str(), nullptr, base);
-}
-
-}  // namespace
 
 u64 spec_hash(const std::string& label, u64 param_digest) {
   u64 h = fnv1a(label);
@@ -144,45 +143,104 @@ void CampaignJournal::record_begun(usize index, u32 attempt) {
   append_line(strfmt("B %zu %u", index, attempt));
 }
 
-void CampaignJournal::record_done(const JobStats& s) {
-  std::string line = strfmt("D %zu", s.index);
-  line += " label=" + encode_field(s.label);
-  line += strfmt(" done=%d failed=%d quarantined=%d attempts=%u", s.done ? 1 : 0,
+std::string encode_job_stats(const JobStats& s) {
+  std::string tail = "label=" + encode_field(s.label);
+  tail += strfmt(" done=%d failed=%d quarantined=%d attempts=%u", s.done ? 1 : 0,
                  s.failed ? 1 : 0, s.quarantined ? 1 : 0, s.attempts);
-  line += strfmt(" wall=%.17g sim_ps=%llu deltas=%llu activations=%llu",
+  tail += strfmt(" wall=%.17g sim_ps=%llu deltas=%llu activations=%llu",
                  s.wall_seconds,
                  static_cast<unsigned long long>(s.sim_time.picoseconds()),
                  static_cast<unsigned long long>(s.delta_count),
                  static_cast<unsigned long long>(s.activations));
-  line += strfmt(" digest=%016llx", static_cast<unsigned long long>(s.digest));
-  if (s.failed) line += " error=" + encode_field(s.error);
-  if (s.quarantined) line += " qreason=" + encode_field(s.quarantine_reason);
+  tail += strfmt(" digest=%016llx", static_cast<unsigned long long>(s.digest));
+  if (s.failed) tail += " error=" + encode_field(s.error);
+  if (s.quarantined) tail += " qreason=" + encode_field(s.quarantine_reason);
   if (s.has_faults)
-    line += strfmt(
+    tail += strfmt(
         " fetch_errors=%llu injected=%llu fault_events=%llu fault_digest=%016llx",
         static_cast<unsigned long long>(s.fetch_errors),
         static_cast<unsigned long long>(s.faults_injected),
         static_cast<unsigned long long>(s.fault_events),
         static_cast<unsigned long long>(s.fault_digest));
   if (s.has_prefetch)
-    line += strfmt(
+    tail += strfmt(
         " prefetch_hits=%llu cache_hits=%llu cfg_words=%llu hidden_ps=%llu",
         static_cast<unsigned long long>(s.prefetch_hits),
         static_cast<unsigned long long>(s.cache_hits),
         static_cast<unsigned long long>(s.config_words_fetched),
         static_cast<unsigned long long>(s.hidden_latency.picoseconds()));
   if (s.has_timing)
-    line += strfmt(" tmode=%s quantum_ps=%llu loose_syncs=%llu",
+    tail += strfmt(" tmode=%s quantum_ps=%llu loose_syncs=%llu",
                    s.loose ? "loose" : "timed",
                    static_cast<unsigned long long>(s.quantum.picoseconds()),
                    static_cast<unsigned long long>(s.loose_syncs));
   if (s.has_migration)
-    line += strfmt(
+    tail += strfmt(
         " migrations=%llu state_words=%llu mig_recovered=%llu",
         static_cast<unsigned long long>(s.migrations),
         static_cast<unsigned long long>(s.state_words_moved),
         static_cast<unsigned long long>(s.transfer_faults_recovered));
-  append_line(line);
+  // New-in-v8 fields are emitted only when set, so records written by clean
+  // thread-mode runs stay byte-identical to the pre-process-mode format.
+  if (s.worker_deaths > 0)
+    tail += strfmt(" deaths=%llu",
+                   static_cast<unsigned long long>(s.worker_deaths));
+  if (s.from_cache) tail += " cached=1";
+  if (!s.user_data.empty()) tail += " udata=" + encode_field(s.user_data);
+  return tail;
+}
+
+JobStats decode_job_stats(const std::string& tail) {
+  JobStats s;
+  for (const std::string& t : split(tail, ' ')) {
+    const usize eq = t.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = t.substr(0, eq);
+    const std::string val = t.substr(eq + 1);
+    if (key == "label") s.label = decode_field(val);
+    else if (key == "done") s.done = val == "1";
+    else if (key == "failed") s.failed = val == "1";
+    else if (key == "quarantined") s.quarantined = val == "1";
+    else if (key == "attempts") s.attempts = static_cast<u32>(parse_u64(val));
+    else if (key == "wall") s.wall_seconds = std::strtod(val.c_str(), nullptr);
+    else if (key == "sim_ps") s.sim_time = kern::Time::ps(parse_u64(val));
+    else if (key == "deltas") s.delta_count = parse_u64(val);
+    else if (key == "activations") s.activations = parse_u64(val);
+    else if (key == "digest") s.digest = parse_u64(val, 16);
+    else if (key == "error") s.error = decode_field(val);
+    else if (key == "qreason") s.quarantine_reason = decode_field(val);
+    else if (key == "fetch_errors") { s.has_faults = true; s.fetch_errors = parse_u64(val); }
+    else if (key == "injected") s.faults_injected = parse_u64(val);
+    else if (key == "fault_events") s.fault_events = parse_u64(val);
+    else if (key == "fault_digest") s.fault_digest = parse_u64(val, 16);
+    else if (key == "prefetch_hits") { s.has_prefetch = true; s.prefetch_hits = parse_u64(val); }
+    else if (key == "cache_hits") s.cache_hits = parse_u64(val);
+    else if (key == "cfg_words") s.config_words_fetched = parse_u64(val);
+    else if (key == "hidden_ps") s.hidden_latency = kern::Time::ps(parse_u64(val));
+    else if (key == "tmode") { s.has_timing = true; s.loose = val == "loose"; }
+    else if (key == "quantum_ps") s.quantum = kern::Time::ps(parse_u64(val));
+    else if (key == "loose_syncs") s.loose_syncs = parse_u64(val);
+    else if (key == "migrations") { s.has_migration = true; s.migrations = parse_u64(val); }
+    else if (key == "state_words") s.state_words_moved = parse_u64(val);
+    else if (key == "mig_recovered") s.transfer_faults_recovered = parse_u64(val);
+    else if (key == "deaths") s.worker_deaths = parse_u64(val);
+    else if (key == "cached") s.from_cache = val == "1";
+    else if (key == "udata") s.user_data = decode_field(val);
+  }
+  return s;
+}
+
+void CampaignJournal::record_done(const JobStats& s) {
+  append_line(strfmt("D %zu ", s.index) + encode_job_stats(s));
+}
+
+void CampaignJournal::record_worker_death(usize index,
+                                          const std::string& reason) {
+  append_line(strfmt("X %zu ", index) + encode_field(reason));
+}
+
+void CampaignJournal::record_cache_hit(u64 spec) {
+  append_line(strfmt("C %016llx", static_cast<unsigned long long>(spec)));
 }
 
 void CampaignJournal::flush() {
@@ -222,40 +280,14 @@ std::optional<JournalState> read_journal(const std::string& path) {
     } else if (tok[0] == "B" && tok.size() >= 3) {
       ++state.begun_records;
     } else if (tok[0] == "D" && tok.size() >= 2) {
-      JobStats s;
+      // The tail (everything after "D <index> ") round-trips through the
+      // shared codec, the same one the worker pipe and result cache use.
+      usize tail_at = content->find(' ');
+      if (tail_at != std::string::npos)
+        tail_at = content->find(' ', tail_at + 1);
+      JobStats s = decode_job_stats(
+          tail_at == std::string::npos ? "" : content->substr(tail_at + 1));
       s.index = static_cast<usize>(parse_u64(tok[1]));
-      for (usize i = 2; i < tok.size(); ++i) {
-        const usize eq = tok[i].find('=');
-        if (eq == std::string::npos) continue;
-        const std::string key = tok[i].substr(0, eq);
-        const std::string val = tok[i].substr(eq + 1);
-        if (key == "label") s.label = decode_field(val);
-        else if (key == "done") s.done = val == "1";
-        else if (key == "failed") s.failed = val == "1";
-        else if (key == "quarantined") s.quarantined = val == "1";
-        else if (key == "attempts") s.attempts = static_cast<u32>(parse_u64(val));
-        else if (key == "wall") s.wall_seconds = std::strtod(val.c_str(), nullptr);
-        else if (key == "sim_ps") s.sim_time = kern::Time::ps(parse_u64(val));
-        else if (key == "deltas") s.delta_count = parse_u64(val);
-        else if (key == "activations") s.activations = parse_u64(val);
-        else if (key == "digest") s.digest = parse_u64(val, 16);
-        else if (key == "error") s.error = decode_field(val);
-        else if (key == "qreason") s.quarantine_reason = decode_field(val);
-        else if (key == "fetch_errors") { s.has_faults = true; s.fetch_errors = parse_u64(val); }
-        else if (key == "injected") s.faults_injected = parse_u64(val);
-        else if (key == "fault_events") s.fault_events = parse_u64(val);
-        else if (key == "fault_digest") s.fault_digest = parse_u64(val, 16);
-        else if (key == "prefetch_hits") { s.has_prefetch = true; s.prefetch_hits = parse_u64(val); }
-        else if (key == "cache_hits") s.cache_hits = parse_u64(val);
-        else if (key == "cfg_words") s.config_words_fetched = parse_u64(val);
-        else if (key == "hidden_ps") s.hidden_latency = kern::Time::ps(parse_u64(val));
-        else if (key == "tmode") { s.has_timing = true; s.loose = val == "loose"; }
-        else if (key == "quantum_ps") s.quantum = kern::Time::ps(parse_u64(val));
-        else if (key == "loose_syncs") s.loose_syncs = parse_u64(val);
-        else if (key == "migrations") { s.has_migration = true; s.migrations = parse_u64(val); }
-        else if (key == "state_words") s.state_words_moved = parse_u64(val);
-        else if (key == "mig_recovered") s.transfer_faults_recovered = parse_u64(val);
-      }
       // Last record per index wins; only done results count as completed —
       // a quarantined/interrupted D leaves the job eligible for re-run.
       if (s.done) {
@@ -263,6 +295,11 @@ std::optional<JournalState> read_journal(const std::string& path) {
       } else {
         state.completed.erase(s.index);
       }
+    } else if (tok[0] == "X" && tok.size() >= 3) {
+      state.worker_deaths.push_back(
+          {static_cast<usize>(parse_u64(tok[1])), decode_field(tok[2])});
+    } else if (tok[0] == "C" && tok.size() >= 2) {
+      state.cache_hits.push_back(parse_u64(tok[1], 16));
     }
   }
   if (!have_header) return std::nullopt;

@@ -12,6 +12,9 @@
 //   P <index> <spec_hash_hex> <label>       -- job planned
 //   B <index> <attempt>                     -- attempt begun
 //   D <index> key=value ...                 -- result (full JobStats)
+//   X <index> <reason>                      -- worker child died (process
+//                                              mode: crash/timeout kill)
+//   C <spec_hash_hex>                       -- job served from result cache
 // Every line ends with ` cks=<fnv1a_hex>` over the preceding content. The
 // last D record per index wins; a D with done=0 (quarantined/interrupted)
 // leaves the job eligible for re-run.
@@ -22,6 +25,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "campaign/campaign.hpp"
 #include "util/types.hpp"
@@ -32,6 +36,33 @@ namespace adriatic::campaign {
 /// caller-supplied parameter digest. Resume refuses to reuse a journal whose
 /// planned specs do not match the jobs the tool is about to run.
 [[nodiscard]] u64 spec_hash(const std::string& label, u64 param_digest = 0);
+
+// -- Wire helpers ------------------------------------------------------------
+// Shared by the journal, the process-worker pipe frames (worker_pool.cpp)
+// and the result cache (result_cache.cpp), so every JobStats restore path —
+// journal resume, child-to-parent pipe, warm cache — deserialises the exact
+// same byte layout.
+
+[[nodiscard]] u64 fnv1a(const std::string& s,
+                        u64 seed = 14695981039346656037ULL);
+/// Percent-encodes control bytes, space, DEL and '%' so a string field stays
+/// one splittable token.
+[[nodiscard]] std::string encode_field(const std::string& s);
+[[nodiscard]] std::string decode_field(const std::string& s);
+/// " cks=<fnv1a_hex>" over `content`; appended to every journal/cache line.
+[[nodiscard]] std::string checksum_suffix(const std::string& content);
+/// Splits "content cks=hex" and verifies; nullopt on mismatch (torn line).
+[[nodiscard]] std::optional<std::string> strip_checksum(
+    const std::string& line);
+/// Serialises every populated JobStats field as the `key=value ...` tail of
+/// a D record (everything after "D <index>"). Field order is fixed and
+/// optional blocks are emitted only when their has_* flag (or a non-default
+/// value) is set, so encoding the same stats twice is byte-identical.
+[[nodiscard]] std::string encode_job_stats(const JobStats& s);
+/// Parses an encode_job_stats() tail; absent keys keep their defaults and
+/// unknown keys are ignored (stale-schema tolerance). `index` is not part
+/// of the tail — callers carry it beside the payload.
+[[nodiscard]] JobStats decode_job_stats(const std::string& tail);
 
 class CampaignJournal {
  public:
@@ -48,6 +79,11 @@ class CampaignJournal {
   void record_planned(usize index, u64 spec, const std::string& label);
   void record_begun(usize index, u32 attempt);
   void record_done(const JobStats& stats);
+  /// Process mode: a forked worker child died without a result (crash,
+  /// timeout kill, heartbeat kill); `reason` is WorkerFailure::reason().
+  void record_worker_death(usize index, const std::string& reason);
+  /// The job keyed by `spec` was served from the result cache.
+  void record_cache_hit(u64 spec);
   /// fsync the journal fd (appends already sync per record; this is for
   /// explicit barriers, e.g. before a graceful signal-stop exit).
   void flush();
@@ -76,6 +112,12 @@ struct JournalState {
   std::map<usize, JobStats> completed;
   usize begun_records = 0;  ///< B lines seen (attempts started pre-crash).
   usize torn_lines = 0;     ///< Lines dropped by the checksum (torn writes).
+  struct WorkerDeath {
+    usize index = 0;
+    std::string reason;
+  };
+  std::vector<WorkerDeath> worker_deaths;  ///< X lines, in journal order.
+  std::vector<u64> cache_hits;             ///< C lines (spec hashes).
 };
 
 /// Reads a journal back; nullopt when the file is missing or its header is

@@ -22,6 +22,8 @@ std::string report_json(const std::string& name, usize threads,
   u64 quarantined = 0;
   u64 total_fetch_errors = 0;
   u64 total_injected = 0;
+  u64 total_cache_hits = 0;
+  u64 total_worker_deaths = 0;
   for (const JobStats& s : stats) {
     // A record with done == false is a still-queued/running placeholder
     // (stats() taken before wait_idle()): its metrics are zeros, not
@@ -35,6 +37,8 @@ std::string report_json(const std::string& name, usize threads,
     if (s.quarantined) ++quarantined;
     total_fetch_errors += s.fetch_errors;
     total_injected += s.faults_injected;
+    if (s.from_cache) ++total_cache_hits;
+    total_worker_deaths += s.worker_deaths;
     w.begin_object();
     w.field("index", static_cast<u64>(s.index));
     w.field("label", s.label);
@@ -53,6 +57,9 @@ std::string report_json(const std::string& name, usize threads,
       w.field("quarantined", true);
       w.field("quarantine_reason", s.quarantine_reason);
     }
+    // Cross-run dedup / crash-containment markers (process mode + cache).
+    if (s.from_cache) w.field("cached", true);
+    if (s.worker_deaths > 0) w.field("worker_deaths", s.worker_deaths);
     // The fault summary: availability/degradation curves come from plotting
     // these per-job counters against the jobs' sweep parameters.
     if (s.has_faults) {
@@ -113,6 +120,8 @@ std::string report_json(const std::string& name, usize threads,
     w.field("quarantined", quarantined);
     w.field("fetch_errors", total_fetch_errors);
     w.field("faults_injected", total_injected);
+    w.field("cache_hits", total_cache_hits);
+    w.field("worker_deaths", total_worker_deaths);
     if (total_wall > 0)
       w.field("jobs_per_cpu_second", static_cast<double>(done) / total_wall);
     w.end();

@@ -1,0 +1,146 @@
+// Fork-based process isolation for campaign jobs (ExecutionMode::kProcesses).
+//
+// Each job attempt runs in a forked child: the worker thread forks, the
+// child executes the job body against a child-local JobContext and streams
+// the resulting JobStats back over a pipe as a length-prefixed, checksummed
+// frame, then _exit()s without running parent destructors. While the child
+// runs, a SIGALRM-driven timer inside it writes heartbeat frames (~10/s) —
+// the child stays single-threaded, which keeps fork()-from-a-threaded-parent
+// on the well-trodden glibc path and works under sanitizers that veto
+// threads after fork.
+//
+// A single supervisor thread in the parent scans every live child: a child
+// past its wall deadline is SIGKILLed with verdict kTimeout; one whose pipe
+// has been silent past the heartbeat timeout is SIGKILLed with verdict
+// kHeartbeatLost; a campaign-wide stop broadcast (kill_all) SIGKILLs all of
+// them with verdict kInterrupted. The worker thread that owns a child reads
+// its pipe to EOF, takes the supervisor's verdict, then reaps the child with
+// a blocking waitpid() — children are unregistered before the reap, so the
+// supervisor can never signal a recycled pid, and no zombies accumulate.
+//
+// Wire format (pipe frames):
+//   [0] magic 'A'   [1] type   [2..5] payload length (u32 LE)
+//   [6..9] FNV-1a checksum of the payload (u32 LE)   [10..] payload
+// Types: 'H' heartbeat (empty payload), 'R' result (payload is the
+// journal's encode_job_stats() tail, so pipe, journal and result cache all
+// share one JobStats serialisation).
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "campaign/campaign.hpp"
+#include "util/types.hpp"
+
+namespace adriatic::campaign {
+
+// -- Frame codec -------------------------------------------------------------
+
+inline constexpr char kFrameMagic = 'A';
+inline constexpr char kFrameHeartbeat = 'H';
+inline constexpr char kFrameResult = 'R';
+inline constexpr usize kFrameHeaderSize = 10;
+/// Upper bound on one frame's payload; a length field beyond it means the
+/// stream is corrupt, not that a 4 GB allocation is pending.
+inline constexpr u32 kFrameMaxPayload = 16u << 20;
+
+/// One wire frame: header + checksummed payload.
+[[nodiscard]] std::string encode_frame(char type, const std::string& payload);
+
+struct Frame {
+  char type = 0;
+  std::string payload;
+};
+
+/// Incremental frame parser fed from read() chunks. next() yields complete
+/// frames; a magic/length/checksum violation latches error() — the stream
+/// is unrecoverable past that point (treated as a protocol failure).
+class FrameDecoder {
+ public:
+  void feed(const char* data, usize n) { buf_.append(data, n); }
+  [[nodiscard]] std::optional<Frame> next();
+  [[nodiscard]] bool error() const noexcept { return error_; }
+
+ private:
+  std::string buf_;
+  bool error_ = false;
+};
+
+// -- Process worker pool -----------------------------------------------------
+
+/// Everything one forked attempt needs, captured before the fork.
+struct ChildRequest {
+  usize index = 0;
+  std::string label;
+  u32 attempt = 1;  ///< Parent's attempt counter, so the child's
+                    ///< JobContext::attempt() matches thread mode.
+  JobOptions opt;
+  std::function<void(JobContext&)> body;
+};
+
+/// What came back from one forked attempt: a decoded JobStats when the
+/// child delivered a checksummed result frame and nothing killed it first,
+/// otherwise the structured failure for the retry machinery.
+struct ChildResult {
+  bool has_stats = false;
+  JobStats stats;
+  WorkerFailure failure;
+};
+
+class ProcessWorkerPool {
+ public:
+  ProcessWorkerPool();
+  ~ProcessWorkerPool();
+
+  ProcessWorkerPool(const ProcessWorkerPool&) = delete;
+  ProcessWorkerPool& operator=(const ProcessWorkerPool&) = delete;
+
+  /// False where fork-based isolation cannot work: ThreadSanitizer builds
+  /// (TSan forbids new threads after a multithreaded fork) and
+  /// ADRIATIC_NO_FORK=1 (deterministic degrade-path test hook).
+  /// CampaignRunner consults this and falls back to kThreads.
+  [[nodiscard]] static bool fork_available() noexcept;
+
+  /// Runs one attempt in a forked child, blocking the calling worker thread
+  /// until the child delivers a result or dies. Thread-safe: one concurrent
+  /// call per worker thread.
+  [[nodiscard]] ChildResult run_child(const ChildRequest& req);
+
+  /// SIGKILLs every live child (campaign-wide stop broadcast); their
+  /// pending run_child() calls return WorkerFailure::Kind::kInterrupted.
+  void kill_all();
+
+  /// Live (registered, unreaped) children — 0 once the pool is idle.
+  [[nodiscard]] usize live_children() const;
+
+ private:
+  struct ChildWatch {
+    int pid = -1;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    double heartbeat_timeout = 0;  ///< Seconds; 0 disables the check.
+    std::chrono::steady_clock::time_point last_heartbeat;
+    WorkerFailure verdict;  ///< kind != kNone once the supervisor acted.
+  };
+
+  /// Runs the job body in the forked child and never returns.
+  [[noreturn]] static void child_main(const ChildRequest& req, int write_fd);
+
+  void supervisor_loop();
+  u64 register_child(int pid, const JobOptions& opt);
+  void note_heartbeat(u64 token);
+  WorkerFailure unregister_child(u64 token);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<u64, ChildWatch> children_;
+  u64 next_token_ = 1;
+  bool shutdown_ = false;
+  std::thread supervisor_;
+};
+
+}  // namespace adriatic::campaign

@@ -4,9 +4,13 @@
 // must reach its future without harming the pool.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <stdexcept>
@@ -17,6 +21,7 @@
 #include "campaign/campaign.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/report.hpp"
+#include "campaign/worker_pool.hpp"
 #include "conformance/migration_harness.hpp"
 #include "kernel/kernel.hpp"
 #include "util/random.hpp"
@@ -573,6 +578,309 @@ TEST(CampaignTest, MigrationSweepSurvivesSigkillStyleResume) {
   const std::string json = report_json("migration_sweep", 2, resumed);
   EXPECT_NE(json.find("\"migration\":{\"migrations\":1"), std::string::npos);
   EXPECT_NE(json.find("\"transfer_faults_recovered\":1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// -- Frame codec (process-isolation wire format) -----------------------------
+
+TEST(WorkerPoolTest, FrameCodecRoundTripsAndToleratesTornReads) {
+  const std::string payload = "label=x done=1 digest=00000000000000aa";
+  const std::string wire = encode_frame(kFrameResult, payload);
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());
+  EXPECT_EQ(wire[0], kFrameMagic);
+
+  // Feed byte by byte: a torn read never yields a partial frame.
+  FrameDecoder dec;
+  for (usize i = 0; i + 1 < wire.size(); ++i) {
+    dec.feed(&wire[i], 1);
+    EXPECT_FALSE(dec.next().has_value()) << "premature frame at byte " << i;
+    EXPECT_FALSE(dec.error());
+  }
+  dec.feed(&wire[wire.size() - 1], 1);
+  const auto frame = dec.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, kFrameResult);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_FALSE(dec.next().has_value());
+
+  // Two frames in one buffer (heartbeat then result) decode in order.
+  const std::string both =
+      encode_frame(kFrameHeartbeat, "") + encode_frame(kFrameResult, "done=1");
+  FrameDecoder dec2;
+  dec2.feed(both.data(), both.size());
+  const auto hb = dec2.next();
+  ASSERT_TRUE(hb.has_value());
+  EXPECT_EQ(hb->type, kFrameHeartbeat);
+  EXPECT_TRUE(hb->payload.empty());
+  const auto res = dec2.next();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->payload, "done=1");
+}
+
+TEST(WorkerPoolTest, FrameDecoderLatchesErrorOnCorruption) {
+  // A flipped payload byte fails the checksum: no frame, stream is dead.
+  std::string wire = encode_frame(kFrameResult, "label=x done=1");
+  wire[kFrameHeaderSize] ^= 0x20;
+  FrameDecoder bad_payload;
+  bad_payload.feed(wire.data(), wire.size());
+  EXPECT_FALSE(bad_payload.next().has_value());
+  EXPECT_TRUE(bad_payload.error());
+
+  // A wrong magic byte is a protocol failure immediately.
+  std::string bad_magic = encode_frame(kFrameHeartbeat, "");
+  bad_magic[0] = 'Z';
+  FrameDecoder dec2;
+  dec2.feed(bad_magic.data(), bad_magic.size());
+  EXPECT_FALSE(dec2.next().has_value());
+  EXPECT_TRUE(dec2.error());
+
+  // An absurd length field is corruption, not a pending 4 GB allocation.
+  std::string huge = encode_frame(kFrameResult, "x");
+  huge[2] = '\xff';
+  huge[3] = '\xff';
+  huge[4] = '\xff';
+  huge[5] = '\xff';
+  FrameDecoder dec3;
+  dec3.feed(huge.data(), huge.size());
+  EXPECT_FALSE(dec3.next().has_value());
+  EXPECT_TRUE(dec3.error());
+}
+
+// -- Process isolation (ExecutionMode::kProcesses) ---------------------------
+
+#define ADRIATIC_SKIP_WITHOUT_FORK()                       \
+  do {                                                     \
+    if (!ProcessWorkerPool::fork_available())              \
+      GTEST_SKIP() << "fork-based isolation unavailable "  \
+                      "in this build/environment";         \
+  } while (0)
+
+TEST(CampaignTest, SegfaultingChildIsQuarantinedWithSignalReason) {
+  ADRIATIC_SKIP_WITHOUT_FORK();
+  CampaignRunner runner(2, ExecutionMode::kProcesses);
+  ASSERT_EQ(runner.mode(), ExecutionMode::kProcesses);
+  JobOptions opt;
+  opt.debug_failure = DebugFailure::kSegv;
+  opt.max_attempts = 2;
+  auto crash = runner.submit("crash", opt, [](JobContext&) {});
+  // A well-behaved sibling in its own child is untouched by the crash.
+  auto good = runner.submit("good", [](JobContext& ctx) {
+    kern::Simulation sim;
+    kern::Module top(sim, "top");
+    top.spawn_thread("t", [] { kern::wait(Time::ns(5)); });
+    sim.run();
+    ctx.record(sim);
+  });
+  EXPECT_THROW(crash.get(), std::runtime_error);
+  good.get();
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_FALSE(stats[0].done);
+  EXPECT_TRUE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].quarantine_reason, "signal:SIGSEGV");
+  EXPECT_EQ(stats[0].worker_deaths, 2u);  // both attempts died by signal
+  EXPECT_EQ(stats[0].attempts, 2u);
+  EXPECT_TRUE(stats[1].done);
+  EXPECT_EQ(stats[1].sim_time, Time::ns(5));
+  EXPECT_EQ(stats[1].worker_deaths, 0u);
+}
+
+TEST(CampaignTest, SpinningChildIsKilledByWallDeadline) {
+  ADRIATIC_SKIP_WITHOUT_FORK();
+  CampaignRunner runner(1, ExecutionMode::kProcesses);
+  JobOptions opt;
+  opt.debug_failure = DebugFailure::kHangCpu;  // heartbeats keep flowing
+  opt.wall_timeout_seconds = 0.3;
+  opt.heartbeat_timeout_seconds = 10.0;
+  auto hung = runner.submit("hung", opt, [](JobContext&) {});
+  EXPECT_THROW(hung.get(), std::runtime_error);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_FALSE(stats[0].done);
+  EXPECT_TRUE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].quarantine_reason, "timeout");
+  EXPECT_GE(stats[0].worker_deaths, 1u);
+}
+
+TEST(CampaignTest, SilentChildIsKilledByHeartbeatTimeout) {
+  ADRIATIC_SKIP_WITHOUT_FORK();
+  CampaignRunner runner(1, ExecutionMode::kProcesses);
+  JobOptions opt;
+  opt.debug_failure = DebugFailure::kHangSleep;  // blocks its heartbeats
+  opt.heartbeat_timeout_seconds = 0.3;
+  auto silent = runner.submit("silent", opt, [](JobContext&) {});
+  EXPECT_THROW(silent.get(), std::runtime_error);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].quarantine_reason, "heartbeat-lost");
+}
+
+TEST(CampaignTest, NonZeroExitChildQuarantinesWithExitReason) {
+  ADRIATIC_SKIP_WITHOUT_FORK();
+  CampaignRunner runner(1, ExecutionMode::kProcesses);
+  JobOptions opt;
+  opt.debug_failure = DebugFailure::kExitCode;
+  opt.debug_exit_code = 42;
+  auto gone = runner.submit("gone", opt, [](JobContext&) {});
+  EXPECT_THROW(gone.get(), std::runtime_error);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].quarantine_reason, "exit:42");
+}
+
+TEST(CampaignTest, RepeatCrasherSpecIsCrashQuarantined) {
+  ADRIATIC_SKIP_WITHOUT_FORK();
+  CampaignRunner runner(1, ExecutionMode::kProcesses);
+  JobOptions opt;
+  opt.spec = spec_hash("crasher");
+  opt.debug_failure = DebugFailure::kSegv;
+  opt.crash_limit = 2;
+  opt.max_attempts = 5;  // quarantine must trip before retries run out
+  auto first = runner.submit("crasher", opt, [](JobContext&) {});
+  EXPECT_THROW(first.get(), std::runtime_error);
+  // The same spec resubmitted never forks again: instant quarantine.
+  auto second = runner.submit("crasher again", opt, [](JobContext&) {});
+  EXPECT_THROW(second.get(), std::runtime_error);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_TRUE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].quarantine_reason, "signal:SIGSEGV");
+  EXPECT_EQ(stats[0].attempts, 2u);       // crash_limit, not max_attempts
+  EXPECT_EQ(stats[0].worker_deaths, 2u);
+  EXPECT_TRUE(stats[1].quarantined);
+  EXPECT_EQ(stats[1].quarantine_reason, "crash-quarantined");
+  EXPECT_EQ(stats[1].worker_deaths, 0u);  // no child was ever forked
+}
+
+TEST(CampaignTest, ProcessModeMatchesThreadModeBitExact) {
+  ADRIATIC_SKIP_WITHOUT_FORK();
+  constexpr u64 kSeeds[] = {3, 7, 11, 13};
+  const auto body = [](u64 seed, JobContext& ctx) {
+    const auto digest = run_seeded_sim(seed);
+    u64 fold = 1469598103934665603ull;
+    for (const u64 v : digest) {
+      fold ^= v;
+      fold *= 1099511628211ull;
+    }
+    ctx.record_digest(fold);
+    ctx.record_user_data(std::to_string(fold));
+  };
+  const auto sweep = [&](ExecutionMode mode) {
+    CampaignRunner runner(2, mode);
+    std::vector<std::future<void>> futures;
+    for (const u64 seed : kSeeds)
+      futures.push_back(runner.submit(
+          "seed" + std::to_string(seed),
+          [&body, seed](JobContext& ctx) { body(seed, ctx); }));
+    for (auto& f : futures) f.get();
+    runner.wait_idle();
+    return runner.stats();
+  };
+  const auto threads = sweep(ExecutionMode::kThreads);
+  const auto processes = sweep(ExecutionMode::kProcesses);
+  ASSERT_EQ(threads.size(), processes.size());
+  for (usize i = 0; i < threads.size(); ++i) {
+    EXPECT_TRUE(processes[i].done);
+    EXPECT_EQ(processes[i].digest, threads[i].digest) << "seed job " << i;
+    EXPECT_EQ(processes[i].user_data, threads[i].user_data);
+    EXPECT_EQ(processes[i].label, threads[i].label);
+  }
+}
+
+TEST(CampaignTest, ChildFailureReplaysThreadRetrySemantics) {
+  ADRIATIC_SKIP_WITHOUT_FORK();
+  // A child whose body *throws* (no crash) reports the failure over the
+  // pipe; the parent replays thread-mode retry semantics on it.
+  CampaignRunner runner(1, ExecutionMode::kProcesses);
+  JobOptions opt;
+  opt.max_attempts = 3;
+  auto flaky = runner.submit("flaky", opt, [](JobContext& ctx) {
+    if (ctx.attempt() < 3) throw std::runtime_error("transient");
+  });
+  flaky.get();
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].done);
+  EXPECT_FALSE(stats[0].failed);
+  EXPECT_EQ(stats[0].attempts, 3u);
+  EXPECT_EQ(stats[0].worker_deaths, 0u);  // clean exits, not crashes
+}
+
+TEST(CampaignTest, ForkUnavailableDegradesToThreads) {
+  ASSERT_EQ(::setenv("ADRIATIC_NO_FORK", "1", 1), 0);
+  EXPECT_FALSE(ProcessWorkerPool::fork_available());
+  CampaignRunner runner(2, ExecutionMode::kProcesses);
+  EXPECT_EQ(runner.mode(), ExecutionMode::kThreads);  // graceful degrade
+  auto f = runner.submit("still-works", [] { return 5; });
+  EXPECT_EQ(f.get(), 5);
+  runner.wait_idle();
+  ASSERT_EQ(::unsetenv("ADRIATIC_NO_FORK"), 0);
+}
+
+TEST(CampaignTest, StopHandlersDoNotLeakIntoChildrenAndNoZombiesRemain) {
+  ADRIATIC_SKIP_WITHOUT_FORK();
+  // Children must reset the parent's SIGINT/SIGTERM dispositions: a leaked
+  // handler would swallow this child's self-SIGTERM (setting the global
+  // stop flag and completing the job); with SIG_DFL restored the child dies
+  // by the signal and the supervisor reports it.
+  install_stop_signal_handlers();
+  clear_signal_stop();
+  CampaignRunner runner(1, ExecutionMode::kProcesses);
+  JobOptions opt;
+  opt.max_attempts = 1;
+  auto f = runner.submit("selfterm", opt, [](JobContext&) {
+    std::raise(SIGTERM);
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].quarantine_reason, "signal:SIGTERM");
+  EXPECT_EQ(stats[0].worker_deaths, 1u);
+  EXPECT_FALSE(signal_stop_requested());  // the parent's flag stayed clear
+  // Every forked child was reaped with waitpid: no zombies left behind.
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+  clear_signal_stop();
+}
+
+TEST(CampaignTest, WorkerDeathsLandInJournalAndReport) {
+  ADRIATIC_SKIP_WITHOUT_FORK();
+  const std::string path = testing::TempDir() + "adriatic_campaign_death.wal";
+  std::remove(path.c_str());
+  {
+    auto journal = CampaignJournal::create(path, "death_sweep");
+    ASSERT_NE(journal, nullptr);
+    journal->record_planned(0, spec_hash("crash"), "crash");
+    CampaignRunner runner(1, ExecutionMode::kProcesses);
+    runner.set_journal(journal.get());
+    JobOptions opt;
+    opt.debug_failure = DebugFailure::kSegv;
+    opt.max_attempts = 1;
+    auto f = runner.submit("crash", opt, [](JobContext&) {});
+    EXPECT_THROW(f.get(), std::runtime_error);
+    runner.wait_idle();
+    const std::string json =
+        report_json("death_sweep", runner.thread_count(), runner.stats());
+    EXPECT_NE(json.find("\"worker_deaths\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"quarantine_reason\":\"signal:SIGSEGV\""),
+              std::string::npos);
+  }
+  const auto state = read_journal(path);
+  ASSERT_TRUE(state.has_value());
+  ASSERT_EQ(state->worker_deaths.size(), 1u);
+  EXPECT_EQ(state->worker_deaths[0].index, 0u);
+  EXPECT_EQ(state->worker_deaths[0].reason, "signal:SIGSEGV");
   std::remove(path.c_str());
 }
 

@@ -52,6 +52,9 @@ JobStats sample_stats(usize index) {
   s.migrations = 2;
   s.state_words_moved = 68;
   s.transfer_faults_recovered = 1;
+  s.worker_deaths = 2;
+  s.from_cache = true;
+  s.user_data = "cell a\tcell b\x1f" "1.5";  // tool payload, control chars
   return s;
 }
 
@@ -100,6 +103,23 @@ TEST(JournalTest, RoundTripRestoresCompletedStats) {
   EXPECT_EQ(s.migrations, ref.migrations);
   EXPECT_EQ(s.state_words_moved, ref.state_words_moved);
   EXPECT_EQ(s.transfer_faults_recovered, ref.transfer_faults_recovered);
+  EXPECT_EQ(s.worker_deaths, ref.worker_deaths);
+  EXPECT_TRUE(s.from_cache);
+  EXPECT_EQ(s.user_data, ref.user_data);
+}
+
+TEST(JournalTest, PlainStatsEmitNoProcessOrCacheKeys) {
+  // Thread-mode jobs that never forked and never hit the cache must keep
+  // the pre-process-isolation D-record byte format: the new keys are
+  // strictly opt-in, so old readers and golden journals stay valid.
+  JobStats s;
+  s.index = 0;
+  s.label = "plain";
+  s.done = true;
+  const std::string tail = encode_job_stats(s);
+  EXPECT_EQ(tail.find("deaths="), std::string::npos);
+  EXPECT_EQ(tail.find("cached="), std::string::npos);
+  EXPECT_EQ(tail.find("udata="), std::string::npos);
 }
 
 TEST(JournalTest, UnfinishedResultStaysRerunnable) {
@@ -230,6 +250,54 @@ TEST(JournalTest, SpecHashCoversLabelAndParams) {
   EXPECT_NE(spec_hash("a"), spec_hash("b"));
   EXPECT_NE(spec_hash("a", 1), spec_hash("a", 2));
   EXPECT_NE(spec_hash("a"), spec_hash("a", 1));
+}
+
+TEST(JournalTest, WorkerDeathAndCacheHitLinesRoundTrip) {
+  TempPath tmp("xc");
+  {
+    auto j = CampaignJournal::create(tmp.str(), "unit_sweep");
+    ASSERT_NE(j, nullptr);
+    j->record_planned(0, spec_hash("a"), "a");
+    j->record_worker_death(0, "signal:SIGSEGV");
+    j->record_worker_death(3, "exit code 42 (oom)");  // space-encoding path
+    j->record_cache_hit(spec_hash("a"));
+    j->record_cache_hit(0x0123456789abcdefull);
+  }
+  const auto state = read_journal(tmp.str());
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->torn_lines, 0u);
+  ASSERT_EQ(state->worker_deaths.size(), 2u);
+  EXPECT_EQ(state->worker_deaths[0].index, 0u);
+  EXPECT_EQ(state->worker_deaths[0].reason, "signal:SIGSEGV");
+  EXPECT_EQ(state->worker_deaths[1].index, 3u);
+  EXPECT_EQ(state->worker_deaths[1].reason, "exit code 42 (oom)");
+  ASSERT_EQ(state->cache_hits.size(), 2u);
+  EXPECT_EQ(state->cache_hits[0], spec_hash("a"));
+  EXPECT_EQ(state->cache_hits[1], 0x0123456789abcdefull);
+}
+
+TEST(JournalTest, TornWorkerDeathAndCacheLinesAreDroppedNotFatal) {
+  TempPath tmp("xctorn");
+  {
+    auto j = CampaignJournal::create(tmp.str(), "unit_sweep");
+    ASSERT_NE(j, nullptr);
+    j->record_worker_death(0, "timeout");
+    j->record_cache_hit(7);
+  }
+  {
+    // SIGKILL mid-append: an X and a C record cut off before their
+    // checksums must drop without losing the intact records above them.
+    std::ofstream out(tmp.str(), std::ios::app);
+    out << "X 1 signal:SIG\n"
+        << "C 0123";  // no cks=, no newline
+  }
+  const auto state = read_journal(tmp.str());
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->torn_lines, 2u);
+  ASSERT_EQ(state->worker_deaths.size(), 1u);
+  EXPECT_EQ(state->worker_deaths[0].reason, "timeout");
+  ASSERT_EQ(state->cache_hits.size(), 1u);
+  EXPECT_EQ(state->cache_hits[0], 7u);
 }
 
 TEST(JournalTest, RunnerJournalsEveryJobLifecycle) {
