@@ -4,12 +4,16 @@
 // overhead versus a raw accelerator model.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <future>
+#include <string>
+#include <vector>
 
 #include "accel/accel_lib.hpp"
 #include "bench_common.hpp"
 #include "campaign/campaign.hpp"
 #include "conformance/digest.hpp"
+#include "memory/memory.hpp"
 
 using namespace adriatic;
 using namespace adriatic::kern::literals;
@@ -403,6 +407,80 @@ void BM_QuantumSweep(benchmark::State& state) {
       kern::Time::ns(static_cast<u64>(state.range(0))));
 }
 BENCHMARK(BM_QuantumSweep)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// -- Paged memory costs ---------------------------------------------------------
+
+// Word-path overhead of the sparse copy-on-write backing versus eager flat
+// storage: the same write+read traffic against one word per page across a
+// quarter of a 64-page store. The paged variant also reports how few pages
+// it ended up materializing (docs/memory.md).
+void BM_PagedVsFlat(benchmark::State& state, bool flat) {
+  const bool prev = mem::PagedStore::debug_set_flat_backing(flat);
+  mem::PagedStore store(64 * mem::kPageWords, "bench_store");
+  mem::PagedStore::debug_set_flat_backing(prev);
+  u64 words = 0;
+  for (auto _ : state) {
+    for (usize p = 0; p < 16; ++p) {
+      const usize idx = p * mem::kPageWords + (words % mem::kPageWords);
+      store.write(idx, static_cast<bus::word>(words));
+      benchmark::DoNotOptimize(store.read(idx));
+      ++words;
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(words));
+  state.counters["resident_pages"] =
+      static_cast<double>(store.resident_pages());
+}
+BENCHMARK_CAPTURE(BM_PagedVsFlat, paged, false);
+BENCHMARK_CAPTURE(BM_PagedVsFlat, flat, true);
+
+// Resident-set high-water of a campaign whose jobs replay the same 64 KiB
+// configuration image: COW-attached from the process-wide registry versus
+// privately loaded per job. The peak_resident_mb counter is the headline —
+// sharing keeps one copy resident no matter how many jobs are in flight
+// (EXPERIMENTS.md records the methodology).
+void BM_CampaignResidentSet(benchmark::State& state, bool shared) {
+  constexpr usize kJobs = 8;
+  constexpr usize kImgWords = 16 * mem::kPageWords;
+  std::vector<bus::word> bits(kImgWords);
+  for (usize i = 0; i < bits.size(); ++i)
+    bits[i] = static_cast<bus::word>(0x1A6E0000u + i);
+  const auto img = mem::ImageRegistry::instance().intern(bits);
+  auto& budget = mem::MemoryBudget::instance();
+  u64 peak_over_base = 0;
+  for (auto _ : state) {
+    const u64 base = budget.resident_bytes();
+    budget.reset_high_water();
+    campaign::CampaignRunner runner(4);
+    std::vector<std::future<u64>> futures;
+    futures.reserve(kJobs);
+    for (usize j = 0; j < kJobs; ++j) {
+      futures.push_back(
+          runner.submit("rs" + std::to_string(j), [&img, &bits, shared] {
+            kern::Simulation sim;
+            kern::Module top(sim, "top");
+            mem::Memory m(top, "m", 0, kImgWords);
+            if (shared) {
+              m.attach_image(img, 0);
+            } else {
+              m.load(0, bits);
+            }
+            u64 sum = 0;
+            for (usize w = 0; w < kImgWords; w += 64)
+              sum += static_cast<u64>(m.peek(static_cast<bus::addr_t>(w)));
+            return sum;
+          }));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+    peak_over_base =
+        std::max(peak_over_base, budget.high_water_bytes() - base);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * kJobs);
+  state.counters["peak_resident_mb"] =
+      static_cast<double>(peak_over_base) / (1024.0 * 1024.0);
+}
+BENCHMARK_CAPTURE(BM_CampaignResidentSet, shared_image, true);
+BENCHMARK_CAPTURE(BM_CampaignResidentSet, private_pages, false);
 
 }  // namespace
 

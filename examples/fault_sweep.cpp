@@ -17,6 +17,7 @@
 //               [--jobs N] [--report FILE.json] [--journal FILE.wal]
 //               [--resume FILE.wal [--verify-resume]] [--throttle-ms N]
 //               [--processes] [--cache FILE] [--inject-failures]
+//               [--mem-budget-mb N] [--inject-oversized]
 //
 // With --journal every planned job, begun attempt and finished result is an
 // fsync'd write-ahead record; a sweep killed mid-run (SIGKILL included)
@@ -33,6 +34,14 @@
 // and flagged "cached" in the report. --inject-failures appends two
 // deliberately broken jobs (a segfault and a CPU spin) to exercise the
 // containment path — see docs/campaign.md.
+//
+// --mem-budget-mb caps the process-wide paged-store budget (also settable
+// via ADRIATIC_MEM_BUDGET_MB); --inject-oversized appends a job whose model
+// cannot fit that budget, demonstrating graceful degradation: the job is
+// quarantined "budget-quarantined" while the rest of the sweep completes —
+// see docs/memory.md. The two contexts' bitstreams land on page-aligned
+// offsets, so every job attaches the same two interned images instead of
+// materialising private configuration pages.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -137,17 +146,20 @@ SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx,
   drcf::Drcf fabric(top, "drcf", dc);
 
   // Synthetic bitstreams + armed integrity check, as elaborate.cpp does it.
+  // Each context's bitstream sits at a page-aligned offset (0 and 0x400 =
+  // 1024 words), so the images intern once process-wide and every job in
+  // the sweep shares the same two golden pages copy-on-write.
   for (usize c = 0; c < 2; ++c) {
     const bus::addr_t base = kCfgBase + static_cast<bus::addr_t>(c) * 0x400;
     const usize id = fabric.add_context(
         c == 0 ? static_cast<bus::BusSlaveIf&>(ctx_mem0) : ctx_mem1,
         {.config_address = base, .size_words = kConfigWords, .gates = 10'000});
+    const std::vector<bus::word> bits(
+        kConfigWords, static_cast<bus::word>(0xC0DE0000u | c));
     u64 digest = drcf::kConfigDigestSeed;
-    for (u64 w = 0; w < kConfigWords; ++w) {
-      const auto word = static_cast<bus::word>(0xC0DE0000u | c);
-      cfg_mem.poke(base + static_cast<bus::addr_t>(w), word);
-      digest = drcf::config_digest_step(digest, word);
-    }
+    for (u64 w = 0; w < kConfigWords; ++w)
+      digest = drcf::config_digest_step(digest, bits[w]);
+    cfg_mem.attach_image(mem::ImageRegistry::instance().intern(bits), base);
     fabric.set_expected_digest(id, digest);
   }
   fabric.mst_port.bind(sys_bus);
@@ -197,6 +209,22 @@ SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx,
     ctx->record_faults(fs.fetch_errors, fabric.fault_ledger());
     ctx->record_prefetch(fs.prefetch_hits, fs.cache_hits,
                          fs.config_words_fetched, fs.hidden_latency);
+    // Memory footprint of this job's model: resident pages across its three
+    // stores, how many of those alias interned golden pages, and the
+    // process-wide high-water (per-child in process mode, shared across
+    // concurrent jobs in thread mode).
+    const mem::PagedStore* stores[] = {&cfg_mem.backing(), &ctx_mem0.backing(),
+                                       &ctx_mem1.backing()};
+    u64 pages = 0;
+    u64 shared = 0;
+    u64 splits = 0;
+    for (const auto* st : stores) {
+      pages += st->resident_pages();
+      shared += st->shared_pages();
+      splits += st->stats().cow_splits;
+    }
+    ctx->record_memory(mem::MemoryBudget::instance().high_water_bytes(),
+                       pages, splits, shared);
     // The table row rides JobStats::user_data through the worker pipe, the
     // journal and the result cache, so process-mode / cached / restored
     // jobs still print — futures cannot carry values across a fork.
@@ -220,6 +248,8 @@ int main(int argc, char** argv) {
   bool verify_resume = false;
   bool processes = false;
   bool inject_failures = false;
+  bool inject_oversized = false;
+  u64 mem_budget_mb = 0;
   usize jobs = 0;
   u64 seed = 1;
   unsigned throttle_ms = 0;
@@ -233,7 +263,8 @@ int main(int argc, char** argv) {
                  "                   [--journal FILE.wal | --resume FILE.wal "
                  "[--verify-resume]]\n"
                  "                   [--throttle-ms N] [--processes] "
-                 "[--cache FILE] [--inject-failures]\n";
+                 "[--cache FILE] [--inject-failures]\n"
+                 "                   [--mem-budget-mb N] [--inject-oversized]\n";
     return 2;
   };
   for (int i = 1; i < argc; ++i) {
@@ -260,6 +291,10 @@ int main(int argc, char** argv) {
       cache_path = argv[++i];
     } else if (std::strcmp(argv[i], "--inject-failures") == 0) {
       inject_failures = true;
+    } else if (std::strcmp(argv[i], "--inject-oversized") == 0) {
+      inject_oversized = true;
+    } else if (std::strcmp(argv[i], "--mem-budget-mb") == 0 && i + 1 < argc) {
+      mem_budget_mb = std::strtoull(argv[++i], nullptr, 10);
     } else {
       return usage();
     }
@@ -276,11 +311,14 @@ int main(int argc, char** argv) {
                  "(drop --serial)\n";
     return 2;
   }
-  if (inject_failures && !resume_path.empty()) {
-    std::cerr << "fault_sweep: --inject-failures cannot be combined with "
-                 "--resume\n";
+  if ((inject_failures || inject_oversized) && !resume_path.empty()) {
+    std::cerr << "fault_sweep: --inject-failures/--inject-oversized cannot "
+                 "be combined with --resume\n";
     return 2;
   }
+  if (mem_budget_mb > 0)
+    mem::MemoryBudget::instance().set_limit_bytes(mem_budget_mb * 1024 *
+                                                  1024);
 
   const std::pair<const char*, drcf::RecoveryPolicy> policies[] = {
       {"fail_fast", drcf::RecoveryPolicy::kFailFast},
@@ -311,7 +349,14 @@ int main(int argc, char** argv) {
   if (inject_failures)
     debug_jobs = {{"debug/segv", campaign::DebugFailure::kSegv},
                   {"debug/hang-cpu", campaign::DebugFailure::kHangCpu}};
-  const usize n_jobs = configs.size() + debug_jobs.size();
+  // --inject-oversized appends one more: a job whose model cannot fit the
+  // paged-store budget. Materialising its pages throws BudgetExceededError
+  // on the plain call stack (no simulation is ever run), which the runner
+  // turns into a "budget-quarantined" verdict in both thread and process
+  // mode while every other job completes normally.
+  const char* kOversizedLabel = "debug/oversized";
+  const usize n_jobs =
+      configs.size() + debug_jobs.size() + (inject_oversized ? 1 : 0);
 
   // Journal / resume setup. Resume validates the journal's identity first:
   // same campaign, same planned job set (spec hashes cover every simulation
@@ -369,6 +414,10 @@ int main(int argc, char** argv) {
       journal->record_planned(configs.size() + d,
                               campaign::spec_hash(debug_jobs[d].label),
                               debug_jobs[d].label);
+    if (inject_oversized)
+      journal->record_planned(configs.size() + debug_jobs.size(),
+                              campaign::spec_hash(kOversizedLabel),
+                              kOversizedLabel);
   }
 
   // Digest-keyed cross-run cache: a planned job whose spec hash already has
@@ -428,6 +477,12 @@ int main(int argc, char** argv) {
     campaign::install_stop_signal_handlers();
     runner.enable_signal_stop();
     if (journal != nullptr) runner.set_journal(journal.get());
+    const auto job_label = [&](usize i) -> std::string {
+      if (i < configs.size()) return configs[i].label;
+      if (i < configs.size() + debug_jobs.size())
+        return debug_jobs[i - configs.size()].label;
+      return kOversizedLabel;
+    };
     std::vector<std::pair<usize, std::future<SweepOutcome>>> futures;
     for (usize i = 0; i < n_jobs; ++i) {
       if (!rerun[i]) continue;
@@ -441,7 +496,7 @@ int main(int argc, char** argv) {
                                     [&, cfg](campaign::JobContext& ctx) {
                                       return run_point(cfg, &ctx, throttle_ms);
                                     }));
-      } else {
+      } else if (i < configs.size() + debug_jobs.size()) {
         const DebugJob& dbg = debug_jobs[i - configs.size()];
         o.spec = campaign::spec_hash(dbg.label);
         o.debug_failure = dbg.failure;
@@ -455,16 +510,28 @@ int main(int argc, char** argv) {
             i, runner.submit(dbg.label, o, [](campaign::JobContext&) {
               return SweepOutcome{};  // inert in thread mode
             }));
+      } else {
+        o.spec = campaign::spec_hash(kOversizedLabel);
+        o.max_attempts = 1;  // a retry can only blow the budget again
+        futures.emplace_back(
+            i, runner.submit(kOversizedLabel, o, [](campaign::JobContext&) {
+              kern::Simulation sim;
+              kern::Module top(sim, "top");
+              // 64 MiB of pages, far past any sensible sweep budget; touch
+              // each page so the sparse store actually materialises them.
+              constexpr usize kHugeWords = usize{16} << 20;
+              mem::Memory big(top, "oversized_mem", 0, kHugeWords);
+              for (usize w = 0; w < kHugeWords; w += mem::kPageWords)
+                big.poke(static_cast<bus::addr_t>(w), 1);
+              return SweepOutcome{};
+            }));
       }
     }
     for (auto& [i, f] : futures) {
       try {
         (void)f.get();
       } catch (const std::exception& e) {
-        const std::string& label =
-            i < configs.size() ? configs[i].label
-                               : debug_jobs[i - configs.size()].label;
-        std::cerr << label << ": " << e.what() << '\n';
+        std::cerr << job_label(i) << ": " << e.what() << '\n';
       }
     }
     runner.wait_idle();
@@ -477,9 +544,7 @@ int main(int argc, char** argv) {
     job_stats.resize(n_jobs);
     for (usize i = 0; i < n_jobs; ++i) {
       job_stats[i].index = i;
-      job_stats[i].label = i < configs.size()
-                               ? configs[i].label
-                               : debug_jobs[i - configs.size()].label;
+      job_stats[i].label = job_label(i);
     }
     for (const auto& [idx, stats] : restored) job_stats[idx] = stats;
     for (const auto& [idx, stats] : cached_results) job_stats[idx] = stats;

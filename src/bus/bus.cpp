@@ -166,10 +166,19 @@ BusStatus Bus::transfer_direct(BusSlaveIf& slave, addr_t add, word* data,
   // interposer (which declines) regains sight of every access.
   DmiSlot& slot = dmi_slot(slave);
   if (slot.provider != nullptr) {
-    if (!slot.valid && slot.provider->get_dmi(add, &slot.region))
-      slot.valid = true;
-    if (slot.valid && slot.region.covers(add, len) &&
-        (is_read || slot.region.allow_write)) {
+    const auto usable = [&](const DmiSlot& s) {
+      return s.valid && s.region.covers(add, len) &&
+             (is_read || s.region.allow_write);
+    };
+    if (!usable(slot)) {
+      // Page-granular providers (paged memory) grant one page at a time, so
+      // a cached region that does not cover — or cannot write — this access
+      // is not a DMI refusal: re-request at the new address and only fall
+      // back to slave calls if the provider declines.
+      if (slot.valid) ++stats_.dmi_regrants;
+      slot.valid = slot.provider->get_dmi(add, &slot.region);
+    }
+    if (usable(slot)) {
       const kern::Time lat = is_read ? slot.region.read_latency
                                      : slot.region.write_latency;
       if (!lat.is_zero()) kern::wait(lat * static_cast<u64>(len));

@@ -45,6 +45,9 @@ struct BusStats {
   u64 dmi_words = 0;       ///< Words moved through a DMI pointer instead of
                            ///< per-word slave calls (subset of direct_calls
                            ///< traffic; slave-side stats do not see them).
+  u64 dmi_regrants = 0;    ///< Valid cached DMI regions replaced because an
+                           ///< access fell outside them — page-granular
+                           ///< providers (paged memory) regrant per page.
   kern::Time busy_time;    ///< Time the bus was occupied.
   kern::Time wait_time;    ///< Total master arbitration wait.
 };

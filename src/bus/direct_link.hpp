@@ -85,11 +85,15 @@ class DirectLink : public kern::Module, public BusMasterIf {
         dmi_provider_->add_dmi_listener([this] { dmi_valid_ = false; });
     }
     if (dmi_provider_ == nullptr) return false;
-    if (!dmi_valid_ && dmi_provider_->get_dmi(add, &dmi_region_))
-      dmi_valid_ = true;
-    if (!dmi_valid_ || !dmi_region_.covers(add, len) ||
-        (!is_read && !dmi_region_.allow_write))
-      return false;
+    const auto usable = [&] {
+      return dmi_valid_ && dmi_region_.covers(add, len) &&
+             (is_read || dmi_region_.allow_write);
+    };
+    // Page-granular providers grant one page at a time: a cached region
+    // that does not cover this access is re-requested, not treated as a
+    // refusal.
+    if (!usable()) dmi_valid_ = dmi_provider_->get_dmi(add, &dmi_region_);
+    if (!usable()) return false;
     if (!word_time_.is_zero()) kern::wait(word_time_ * static_cast<u64>(len));
     const kern::Time lat =
         is_read ? dmi_region_.read_latency : dmi_region_.write_latency;

@@ -360,6 +360,13 @@ void JobContext::run_attempt_in_child(
     *stats_ = std::move(fresh);
     // A body that threw inside the child replays as an exception here, so
     // the retry loop treats thread-mode and process-mode failures alike.
+    // Budget exhaustion keeps its type across the pipe: the child ships a
+    // structured `budget-quarantined` verdict (not a crash), and the parent
+    // re-raises it typed so the attempt loop's handler applies uniformly.
+    if (stats_->quarantined && stats_->quarantine_reason == "budget-quarantined")
+      throw mem::BudgetExceededError(
+          0, 0, mem::MemoryBudget::instance().limit_bytes(),
+          stats_->mem_resident_peak_bytes);
     if (child_failed) throw std::runtime_error(std::move(child_error));
     return;
   }

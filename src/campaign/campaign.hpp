@@ -34,6 +34,7 @@
 #include "fault/ledger.hpp"
 #include "kernel/simulation.hpp"
 #include "kernel/time.hpp"
+#include "memory/budget.hpp"
 #include "util/types.hpp"
 
 namespace adriatic::campaign {
@@ -186,6 +187,15 @@ struct JobStats {
   u64 migrations = 0;          ///< Completed task migrations.
   u64 state_words_moved = 0;   ///< Transfer words moved over the bus.
   u64 transfer_faults_recovered = 0;  ///< Mid-transfer faults recovered from.
+  bool has_memory = false;  ///< record_memory() was called (or the job was
+                            ///< budget-quarantined with a high-water mark).
+  u64 mem_resident_peak_bytes = 0;  ///< MemoryBudget high-water seen by the
+                                    ///< job (process-wide in thread mode).
+  u64 mem_pages_resident = 0;  ///< Resident pages in the job's stores.
+  u64 mem_cow_splits = 0;      ///< Shared pages copied on first write.
+  u64 mem_shared_pages = 0;    ///< Pages still shared with an image at end.
+  u64 ecc_corrected = 0;       ///< Single-bit upsets silently corrected.
+  u64 ecc_uncorrectable = 0;   ///< Detected-uncorrectable upsets.
   bool from_cache = false;  ///< Served from a ResultCache, not re-simulated.
   u64 worker_deaths = 0;    ///< Forked children lost while running this job
                             ///< (crash, timeout kill, heartbeat kill).
@@ -274,6 +284,35 @@ class JobContext {
   /// cache without re-simulating.
   void record_user_data(std::string data) {
     stats_->user_data = std::move(data);
+  }
+
+  /// Stores resident-set and ECC counters in the job's stats; report_json()
+  /// emits them as the job's "memory" object. Scalars (not PagedStore/
+  /// EccModel references) so the campaign layer stays backing-agnostic;
+  /// pass MemoryBudget::instance().high_water_bytes() as the peak.
+  void record_memory(u64 resident_peak_bytes, u64 pages_resident,
+                     u64 cow_splits, u64 shared_pages, u64 ecc_corrected = 0,
+                     u64 ecc_uncorrectable = 0) {
+    stats_->has_memory = true;
+    stats_->mem_resident_peak_bytes = resident_peak_bytes;
+    stats_->mem_pages_resident = pages_resident;
+    stats_->mem_cow_splits = cow_splits;
+    stats_->mem_shared_pages = shared_pages;
+    stats_->ecc_corrected = ecc_corrected;
+    stats_->ecc_uncorrectable = ecc_uncorrectable;
+  }
+
+  /// Converts a typed over-budget failure into the structured
+  /// `budget-quarantined` verdict: reason + high-water mark in the record,
+  /// never a bad_alloc crash. Called by the submit() attempt loop and by
+  /// the forked child's top-level handler; idempotent.
+  void mark_budget_quarantined(const mem::BudgetExceededError& over) {
+    stats_->has_memory = true;
+    stats_->mem_resident_peak_bytes =
+        std::max(stats_->mem_resident_peak_bytes, over.high_water_bytes());
+    stats_->failed = false;
+    stats_->error.clear();
+    mark_quarantined("budget-quarantined");
   }
 
   /// Stores the job's timing abstraction (mode, quantum, sync count) in its
@@ -479,6 +518,18 @@ class CampaignRunner {
                 }
                 if (!ctx.attempt_timed_out()) return result;
               }
+            } catch (const mem::BudgetExceededError& over) {
+              if (ctx.interrupted()) {
+                if (!ctx.stats_->quarantined)
+                  ctx.mark_quarantined("interrupted");
+                throw std::runtime_error("job interrupted");
+              }
+              // Over-budget is deterministic: retrying would allocate the
+              // same pages again, so quarantine immediately — the rest of
+              // the sweep keeps its budget headroom.
+              ctx.mark_budget_quarantined(over);
+              throw std::runtime_error("job quarantined: " +
+                                       ctx.stats_->quarantine_reason);
             } catch (const WorkerDeathError& death) {
               using Kind = WorkerFailure::Kind;
               if (ctx.interrupted() ||

@@ -180,6 +180,18 @@ std::string encode_job_stats(const JobStats& s) {
         static_cast<unsigned long long>(s.migrations),
         static_cast<unsigned long long>(s.state_words_moved),
         static_cast<unsigned long long>(s.transfer_faults_recovered));
+  // New-in-v9 memory/ECC fields, emitted only when recorded, so older
+  // journals (and memory-silent jobs) keep their exact byte format.
+  if (s.has_memory)
+    tail += strfmt(
+        " mem_peak=%llu mem_pages=%llu mem_splits=%llu mem_shared=%llu"
+        " ecc_cor=%llu ecc_unc=%llu",
+        static_cast<unsigned long long>(s.mem_resident_peak_bytes),
+        static_cast<unsigned long long>(s.mem_pages_resident),
+        static_cast<unsigned long long>(s.mem_cow_splits),
+        static_cast<unsigned long long>(s.mem_shared_pages),
+        static_cast<unsigned long long>(s.ecc_corrected),
+        static_cast<unsigned long long>(s.ecc_uncorrectable));
   // New-in-v8 fields are emitted only when set, so records written by clean
   // thread-mode runs stay byte-identical to the pre-process-mode format.
   if (s.worker_deaths > 0)
@@ -223,6 +235,12 @@ JobStats decode_job_stats(const std::string& tail) {
     else if (key == "migrations") { s.has_migration = true; s.migrations = parse_u64(val); }
     else if (key == "state_words") s.state_words_moved = parse_u64(val);
     else if (key == "mig_recovered") s.transfer_faults_recovered = parse_u64(val);
+    else if (key == "mem_peak") { s.has_memory = true; s.mem_resident_peak_bytes = parse_u64(val); }
+    else if (key == "mem_pages") s.mem_pages_resident = parse_u64(val);
+    else if (key == "mem_splits") s.mem_cow_splits = parse_u64(val);
+    else if (key == "mem_shared") s.mem_shared_pages = parse_u64(val);
+    else if (key == "ecc_cor") s.ecc_corrected = parse_u64(val);
+    else if (key == "ecc_unc") s.ecc_uncorrectable = parse_u64(val);
     else if (key == "deaths") s.worker_deaths = parse_u64(val);
     else if (key == "cached") s.from_cache = val == "1";
     else if (key == "udata") s.user_data = decode_field(val);

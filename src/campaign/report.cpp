@@ -24,6 +24,11 @@ std::string report_json(const std::string& name, usize threads,
   u64 total_injected = 0;
   u64 total_cache_hits = 0;
   u64 total_worker_deaths = 0;
+  u64 peak_resident = 0;
+  u64 total_cow_splits = 0;
+  u64 total_ecc_corrected = 0;
+  u64 total_ecc_uncorrectable = 0;
+  u64 budget_quarantined = 0;
   for (const JobStats& s : stats) {
     // A record with done == false is a still-queued/running placeholder
     // (stats() taken before wait_idle()): its metrics are zeros, not
@@ -39,6 +44,15 @@ std::string report_json(const std::string& name, usize threads,
     total_injected += s.faults_injected;
     if (s.from_cache) ++total_cache_hits;
     total_worker_deaths += s.worker_deaths;
+    if (s.has_memory) {
+      if (s.mem_resident_peak_bytes > peak_resident)
+        peak_resident = s.mem_resident_peak_bytes;
+      total_cow_splits += s.mem_cow_splits;
+      total_ecc_corrected += s.ecc_corrected;
+      total_ecc_uncorrectable += s.ecc_uncorrectable;
+    }
+    if (s.quarantined && s.quarantine_reason == "budget-quarantined")
+      ++budget_quarantined;
     w.begin_object();
     w.field("index", static_cast<u64>(s.index));
     w.field("label", s.label);
@@ -91,6 +105,18 @@ std::string report_json(const std::string& name, usize threads,
       w.field("loose_syncs", s.loose_syncs);
       w.end();
     }
+    // The memory summary: resident-set and degradation curves come from
+    // plotting page/COW counters against sweep size and budget limits.
+    if (s.has_memory) {
+      w.key("memory").begin_object();
+      w.field("resident_peak_bytes", s.mem_resident_peak_bytes);
+      w.field("pages_resident", s.mem_pages_resident);
+      w.field("cow_splits", s.mem_cow_splits);
+      w.field("shared_pages", s.mem_shared_pages);
+      w.field("ecc_corrected", s.ecc_corrected);
+      w.field("ecc_uncorrectable", s.ecc_uncorrectable);
+      w.end();
+    }
     // The migration summary: state-transfer cost curves come from plotting
     // words moved and recovered transfer faults against the sweep knobs.
     if (s.has_migration) {
@@ -122,6 +148,14 @@ std::string report_json(const std::string& name, usize threads,
     w.field("faults_injected", total_injected);
     w.field("cache_hits", total_cache_hits);
     w.field("worker_deaths", total_worker_deaths);
+    if (peak_resident > 0) w.field("resident_peak_bytes", peak_resident);
+    if (total_cow_splits > 0) w.field("cow_splits", total_cow_splits);
+    if (total_ecc_corrected > 0)
+      w.field("ecc_corrected", total_ecc_corrected);
+    if (total_ecc_uncorrectable > 0)
+      w.field("ecc_uncorrectable", total_ecc_uncorrectable);
+    if (budget_quarantined > 0)
+      w.field("budget_quarantined", budget_quarantined);
     if (total_wall > 0)
       w.field("jobs_per_cpu_second", static_cast<double>(done) / total_wall);
     w.end();

@@ -314,6 +314,10 @@ void ProcessWorkerPool::child_main(const ChildRequest& req, int write_fd) {
   const auto t0 = std::chrono::steady_clock::now();
   try {
     req.body(ctx);
+  } catch (const mem::BudgetExceededError& over) {
+    // A structured verdict, not a crash: the child exits cleanly with a
+    // `budget-quarantined` result frame instead of dying to the OOM killer.
+    ctx.mark_budget_quarantined(over);
   } catch (...) {
     ctx.mark_failed(describe_current_exception());
   }

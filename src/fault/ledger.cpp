@@ -45,6 +45,10 @@ const char* to_string(FaultEventKind kind) {
       return "thrash";
     case FaultEventKind::kMigrateError:
       return "migrate_error";
+    case FaultEventKind::kEccUncorrectable:
+      return "ecc_uncorrectable";
+    case FaultEventKind::kEccScrub:
+      return "ecc_scrub";
   }
   return "?";
 }
@@ -125,7 +129,7 @@ void FaultLedger::to_json(JsonWriter& w) const {
   w.field("events", static_cast<u64>(records_.size()));
   w.field("injected", injected_count());
   // Per-kind counts, stable order, only kinds that occurred.
-  for (u8 k = 1; k <= 13; ++k) {
+  for (u8 k = 1; k < kFaultEventKindCount; ++k) {
     const auto kind = static_cast<FaultEventKind>(k);
     const u64 n = count(kind);
     if (n > 0) w.field(to_string(kind), n);

@@ -31,7 +31,17 @@ enum class FaultEventKind : u8 {
   kThrash = 12,          ///< Context-thrash detector fired (arg = switches).
   kMigrateError = 13,    ///< A task-state restore or migration transfer was
                          ///  rejected (arg = drcf::RestoreError / status).
+  // Memory-integrity events (recorded by the ECC model and page scrubber,
+  // see docs/memory.md).
+  kEccUncorrectable = 14,  ///< A read saw an upset beyond ECC correction
+                           ///  (arg = flipped bits; 0 = torn-page checksum).
+  kEccScrub = 15,          ///< A scrub restored a page from its golden image
+                           ///  (addr = first word of the page).
 };
+
+/// One past the highest FaultEventKind — keeps per-kind iteration (e.g. the
+/// to_json summary) in sync when kinds are added.
+inline constexpr u8 kFaultEventKindCount = 16;
 
 [[nodiscard]] const char* to_string(FaultEventKind kind);
 

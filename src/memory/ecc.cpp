@@ -1,0 +1,93 @@
+#include "memory/ecc.hpp"
+
+namespace adriatic::mem {
+
+EccModel::EccModel(EccConfig cfg, u64 site, PagedStore* store, bus::addr_t low)
+    : cfg_(std::move(cfg)),
+      injector_(cfg_.upsets, site),
+      site_(site),
+      store_(store),
+      low_(low) {}
+
+void EccModel::clear_poison_in_page(usize page) {
+  const bus::addr_t base = low_ + static_cast<bus::addr_t>(page * kPageWords);
+  for (auto it = poisoned_.begin(); it != poisoned_.end();) {
+    it = (it->first >= base && it->first < base + kPageWords)
+             ? poisoned_.erase(it)
+             : std::next(it);
+  }
+}
+
+bool EccModel::repair_page(kern::Time now, usize page) {
+  if (store_ == nullptr || !store_->restore_from_golden(page)) return false;
+  clear_poison_in_page(page);
+  if (ledger_ != nullptr)
+    ledger_->append(fault::FaultEventKind::kEccScrub, now.picoseconds(), site_,
+                    low_ + static_cast<u64>(page * kPageWords));
+  return true;
+}
+
+EccModel::ReadOutcome EccModel::on_read(kern::Time now, bus::addr_t addr,
+                                        bus::word* data) {
+  // A word already poisoned by an earlier upset keeps failing detectably
+  // until its page is repaired — the RecoveryPolicy retry ladder depends on
+  // "same fetch, same fault" persistence, not per-read re-rolls.
+  if (const auto it = poisoned_.find(addr); it != poisoned_.end()) {
+    ++stats_.detected_reads;
+    if (ledger_ != nullptr)
+      ledger_->append(fault::FaultEventKind::kEccUncorrectable,
+                      now.picoseconds(), site_, addr, it->second);
+    if (cfg_.repair_on_detect && store_ != nullptr &&
+        repair_page(now, PagedStore::page_of(addr - low_))) {
+      ++stats_.repairs;
+      *data = store_->read(addr - low_);
+    }
+    return ReadOutcome::kUncorrectable;
+  }
+  const auto action = injector_.decide(now, addr, /*is_read=*/true);
+  if (!action || action->kind != fault::FaultKind::kCorrupt)
+    return ReadOutcome::kClean;
+  ++stats_.upsets;
+  const u32 bits = action->corrupt_bits;
+  if (bits <= 1 && cfg_.correct_single) {
+    // SEC: the syndrome pinpoints a single flipped bit; deliver the
+    // corrected word and burn the mask draw so random streams stay aligned
+    // with the uncorrected configuration.
+    (void)injector_.corrupt(0, 1);
+    ++stats_.corrected;
+    return ReadOutcome::kCorrected;
+  }
+  const u32 mask = injector_.corrupt(0, bits);
+  if (data != nullptr)
+    *data = static_cast<bus::word>(static_cast<u32>(*data) ^ mask);
+  if (cfg_.storage_upsets && store_ != nullptr) {
+    store_->corrupt_stored(addr - low_, mask);
+    poisoned_[addr] = bits;
+  }
+  if (bits >= 2) {
+    // DED: detected but beyond correction. Single-bit upsets with
+    // correction off corrupt silently — there is no ECC word to notice.
+    ++stats_.uncorrectable;
+    if (ledger_ != nullptr)
+      ledger_->append(fault::FaultEventKind::kEccUncorrectable,
+                      now.picoseconds(), site_, addr, bits);
+    return ReadOutcome::kUncorrectable;
+  }
+  return ReadOutcome::kClean;
+}
+
+usize EccModel::scrub_resident(kern::Time now) {
+  ++stats_.scrub_sweeps;
+  if (store_ == nullptr) return 0;
+  usize repaired = 0;
+  for (usize p = 0; p < store_->page_count(); ++p) {
+    if (!store_->page_resident(p) || store_->verify_page(p)) continue;
+    if (repair_page(now, p)) {
+      ++repaired;
+      ++stats_.scrub_repairs;
+    }
+  }
+  return repaired;
+}
+
+}  // namespace adriatic::mem

@@ -1,12 +1,17 @@
 // Failure-injection memory: a RAM whose reads flip bits with a configured
 // probability — modeling soft errors in the buffers between accelerator
-// stages. Used to verify that the system-level models propagate corruption
-// observably (e.g. the CRC stage catches it) rather than masking faults.
+// stages. Rebased on the ECC fault model (memory/ecc.hpp): upsets are
+// transient payload corruption (the backing store stays clean), multi-bit
+// upsets are detected by the SECDED code and surface as kEccUncorrectable
+// entries when a FaultLedger is attached (set_fault_ledger), and setting
+// FaultConfig::ecc corrects single-bit upsets instead of delivering them.
+// With ecc off (the default) the delivered data keeps the legacy
+// fault::flip_distinct_bits semantics: corruption propagates observably
+// (e.g. a CRC stage catches it) rather than being masked.
 #pragma once
 
-#include "fault/plan.hpp"
+#include "memory/ecc.hpp"
 #include "memory/memory.hpp"
-#include "util/random.hpp"
 
 namespace adriatic::mem {
 
@@ -19,6 +24,9 @@ struct FaultConfig {
   /// Inject only within [window_low, window_high] (0,0 = everywhere).
   bus::addr_t window_low = 0;
   bus::addr_t window_high = 0;
+  /// Model the ECC correcting single-bit upsets (counted, not delivered).
+  /// Off by default: legacy behavior delivers every upset.
+  bool ecc = false;
 };
 
 class FaultyMemory : public Memory {
@@ -28,44 +36,38 @@ class FaultyMemory : public Memory {
                kern::Time read_latency = kern::Time::zero(),
                kern::Time write_latency = kern::Time::zero())
       : Memory(parent, std::move(name), low, size_words, read_latency,
-               write_latency),
-        fault_(fault),
-        rng_(fault.seed) {}
-
-  bool read(bus::addr_t add, bus::word* data) override {
-    const bool ok = Memory::read(add, data);
-    if (!ok || data == nullptr) return ok;
-    if (!in_window(add)) return true;
-    if (fault_.read_error_rate > 0.0 &&
-        rng_.next_bool(fault_.read_error_rate)) {
-      // Distinct bit positions: repeated draws of the same position must not
-      // cancel out, or an even-weight upset could silently be a no-op.
-      *data = static_cast<bus::word>(fault::flip_distinct_bits(
-          static_cast<u32>(*data), fault_.bits_per_error, rng_));
-      ++injected_errors_;
-    }
-    return true;
+               write_latency) {
+    EccConfig cfg;
+    cfg.upsets.seed = fault.seed;
+    fault::FaultRule rule;
+    rule.rate = fault.read_error_rate;
+    rule.kind = fault::FaultKind::kCorrupt;
+    rule.corrupt_bits = fault.bits_per_error;
+    rule.window_low = fault.window_low;
+    rule.window_high = fault.window_high;
+    rule.reads_only = true;
+    cfg.upsets.rules.push_back(rule);
+    cfg.correct_single = fault.ecc;
+    // Transient upsets: corrupt the delivered payload, not the store, and
+    // deliver rather than fail the read — downstream integrity checks (CRC,
+    // config digests) are what must catch the divergence.
+    cfg.storage_upsets = false;
+    cfg.repair_on_detect = false;
+    cfg.signal_uncorrectable = false;
+    set_ecc(std::move(cfg));
   }
 
+  /// Upset events drawn (with FaultConfig::ecc, corrected ones included).
   [[nodiscard]] u64 injected_errors() const noexcept {
-    return injected_errors_;
+    return ecc()->stats().upsets;
   }
 
-  /// Never grants DMI: a direct pointer would bypass the read() override
-  /// and silently disable injection.
+  /// Never grants DMI: a direct pointer would bypass the ECC model and
+  /// silently disable injection. (Memory already declines while the model
+  /// is active; this keeps the guarantee even at rate 0.)
   bool get_dmi(bus::addr_t /*add*/, bus::DmiRegion* /*out*/) override {
     return false;
   }
-
- private:
-  [[nodiscard]] bool in_window(bus::addr_t add) const {
-    if (fault_.window_low == 0 && fault_.window_high == 0) return true;
-    return add >= fault_.window_low && add <= fault_.window_high;
-  }
-
-  FaultConfig fault_;
-  Xoshiro256 rng_;
-  u64 injected_errors_ = 0;
 };
 
 }  // namespace adriatic::mem

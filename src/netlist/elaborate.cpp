@@ -139,15 +139,28 @@ Elaborated::Elaborated(kern::Simulation& sim, const Design& design,
             if (params.config_address >= mem.get_low_add() &&
                 params.config_address + params.size_words - 1 <=
                     mem.get_high_add()) {
-              // Fold the words as poked into the expected digest, arming
-              // the fabric's fetch integrity check for this context.
+              // Fold the words into the expected digest as they are placed,
+              // arming the fabric's fetch integrity check for this context.
+              const auto word = static_cast<bus::word>(
+                  kBitstreamPattern | static_cast<u32>(ctx));
+              const std::vector<bus::word> bits(params.size_words, word);
               u64 digest = drcf::kConfigDigestSeed;
-              for (u64 w = 0; w < params.size_words; ++w) {
-                const auto word = static_cast<bus::word>(
-                    kBitstreamPattern | static_cast<u32>(ctx));
-                mem.poke(params.config_address + static_cast<bus::addr_t>(w),
-                         word);
-                digest = drcf::config_digest_step(digest, word);
+              for (u64 w = 0; w < params.size_words; ++w)
+                digest = drcf::config_digest_step(digest, bits[w]);
+              // Bitstreams are shared read-mostly data: intern the image
+              // process-wide and attach it page-for-page when the placement
+              // allows, so identical contexts across campaign jobs alias one
+              // golden copy instead of materialising private pages.
+              const usize off = params.config_address - mem.get_low_add();
+              if (off % mem::kPageWords == 0 &&
+                  mem.backing().pages_untouched(off, params.size_words)) {
+                mem.attach_image(mem::ImageRegistry::instance().intern(bits),
+                                 params.config_address);
+              } else {
+                for (u64 w = 0; w < params.size_words; ++w)
+                  mem.poke(
+                      params.config_address + static_cast<bus::addr_t>(w),
+                      bits[w]);
               }
               fabric.set_expected_digest(ctx, digest);
               break;

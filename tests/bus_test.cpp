@@ -530,5 +530,66 @@ TEST(BusTest, StarvationDisabledByDefault) {
   EXPECT_EQ(b.arbiter().master_stats().size(), 2u);
 }
 
+TEST(BusTest, DmiRevokedOnCowSplitAndRegranted) {
+  // Loose-mode fast path against a COW-shared page: the first grant is
+  // read-only (writing through it would bypass the split), the write goes
+  // through the slave path and splits the page — revoking the cached
+  // pointer — and the re-request gets a writable grant into the private
+  // copy. Data stays coherent throughout.
+  Fixture f;
+  f.sim.set_timing_mode(kern::TimingMode::kLoose);
+  bus::Bus b(f.top, "bus");
+  mem::Memory m(f.top, "ram", 0, mem::kPageWords);
+  b.bind_slave(m);
+  std::vector<bus::word> image(mem::kPageWords);
+  for (usize i = 0; i < image.size(); ++i)
+    image[i] = static_cast<bus::word>(0xD3110000u + i);
+  m.attach_image(mem::ImageRegistry::instance().intern(image), 0);
+  ASSERT_TRUE(m.backing().page_shared(0));
+  f.top.spawn_thread("t", [&] {
+    std::vector<bus::word> r(16, 0);
+    // Reads against the shared page run through a read-only DMI grant.
+    EXPECT_EQ(b.burst_read(0x10, r, 0), BusStatus::kOk);
+    EXPECT_EQ(r[0], image[0x10]);
+    // The write COW-splits the page; the RO pointer is revoked mid-flight.
+    std::vector<bus::word> w(4, 0xBEEF);
+    EXPECT_EQ(b.burst_write(0x10, w, 0), BusStatus::kOk);
+    // Back to reads: the bus re-requests and gets a writable grant into the
+    // now-private page, observing the new data.
+    EXPECT_EQ(b.burst_read(0x10, r, 0), BusStatus::kOk);
+    EXPECT_EQ(r[0], 0xBEEF);
+    EXPECT_EQ(r[4], image[0x14]);  // untouched words kept the image values
+  });
+  f.sim.run();
+  EXPECT_FALSE(m.backing().page_shared(0));
+  EXPECT_EQ(m.backing().stats().cow_splits, 1u);
+  EXPECT_GE(m.backing().stats().revocations, 1u);
+  EXPECT_GT(b.stats().dmi_words, 0u);
+}
+
+TEST(BusTest, DmiPageMissRegrantsInsteadOfFallingBack) {
+  // Page-granular DMI: a burst that leaves the granted page behind must
+  // replace the cached region with the next page's grant, not silently
+  // fall back to per-word slave calls.
+  Fixture f;
+  f.sim.set_timing_mode(kern::TimingMode::kLoose);
+  bus::Bus b(f.top, "bus");
+  mem::Memory m(f.top, "ram", 0, 2 * mem::kPageWords);
+  b.bind_slave(m);
+  // Materialize both pages privately so every grant is writable.
+  m.poke(0, 1);
+  m.poke(mem::kPageWords, 2);
+  f.top.spawn_thread("t", [&] {
+    bus::word w = 0;
+    EXPECT_EQ(b.read(0, &w, 0), BusStatus::kOk);  // grant for page 0
+    EXPECT_EQ(w, 1u);
+    EXPECT_EQ(b.read(mem::kPageWords, &w, 0), BusStatus::kOk);  // page miss
+    EXPECT_EQ(w, 2u);
+  });
+  f.sim.run();
+  EXPECT_EQ(b.stats().dmi_regrants, 1u);
+  EXPECT_EQ(b.stats().dmi_words, 2u);  // both reads used a direct pointer
+}
+
 }  // namespace
 }  // namespace adriatic

@@ -24,6 +24,7 @@
 #include "campaign/worker_pool.hpp"
 #include "conformance/migration_harness.hpp"
 #include "kernel/kernel.hpp"
+#include "memory/memory.hpp"
 #include "util/random.hpp"
 
 namespace adriatic::campaign {
@@ -646,6 +647,62 @@ TEST(WorkerPoolTest, FrameDecoderLatchesErrorOnCorruption) {
   EXPECT_TRUE(dec3.error());
 }
 
+/// Restores the process-wide memory budget limit on scope exit (shared
+/// singleton — a failing assertion must not leak a tiny limit into later
+/// tests).
+struct BudgetLimitGuard {
+  u64 saved = mem::MemoryBudget::instance().limit_bytes();
+  ~BudgetLimitGuard() { mem::MemoryBudget::instance().set_limit_bytes(saved); }
+};
+
+TEST(CampaignTest, OverBudgetJobIsQuarantinedNotFailed) {
+  BudgetLimitGuard guard;
+  auto& budget = mem::MemoryBudget::instance();
+  mem::ImageRegistry::instance().drop_unused();
+  // One worker: jobs run serially, so the small job cannot race the big one
+  // for the shared budget headroom.
+  CampaignRunner runner(1);
+  budget.set_limit_bytes(budget.resident_bytes() + 4 * mem::kPageBytes);
+  auto fits = runner.submit("fits", [](JobContext& ctx) {
+    kern::Simulation sim;
+    kern::Module top(sim, "top");
+    mem::Memory m(top, "small", 0, 2 * mem::kPageWords);
+    m.poke(0, 1);  // one resident page: comfortably inside the budget
+    sim.run();
+    ctx.record(sim);
+    ctx.record_memory(mem::MemoryBudget::instance().high_water_bytes(),
+                      m.backing().resident_pages(), 0, 0);
+    return 1;
+  });
+  auto over = runner.submit("over", [](JobContext&) {
+    kern::Simulation sim;
+    kern::Module top(sim, "top");
+    mem::Memory m(top, "big", 0, 64 * mem::kPageWords);
+    for (usize p = 0; p < 64; ++p)
+      m.poke(static_cast<bus::addr_t>(p * mem::kPageWords), 1);
+    return 2;
+  });
+  EXPECT_EQ(fits.get(), 1);
+  EXPECT_THROW(over.get(), std::runtime_error);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_TRUE(stats[0].done);
+  EXPECT_TRUE(stats[0].has_memory);
+  EXPECT_EQ(stats[0].mem_pages_resident, 1u);
+  // Over budget is a structured verdict, not a failure: the job is
+  // quarantined with the reason and its high-water mark, failed stays
+  // false, and only one attempt ran (a retry would allocate the same
+  // pages again).
+  EXPECT_FALSE(stats[1].done);
+  EXPECT_FALSE(stats[1].failed);
+  EXPECT_TRUE(stats[1].quarantined);
+  EXPECT_EQ(stats[1].quarantine_reason, "budget-quarantined");
+  EXPECT_EQ(stats[1].attempts, 1u);
+  EXPECT_TRUE(stats[1].has_memory);
+  EXPECT_GT(stats[1].mem_resident_peak_bytes, 0u);
+}
+
 // -- Process isolation (ExecutionMode::kProcesses) ---------------------------
 
 #define ADRIATIC_SKIP_WITHOUT_FORK()                       \
@@ -757,6 +814,37 @@ TEST(CampaignTest, RepeatCrasherSpecIsCrashQuarantined) {
   EXPECT_TRUE(stats[1].quarantined);
   EXPECT_EQ(stats[1].quarantine_reason, "crash-quarantined");
   EXPECT_EQ(stats[1].worker_deaths, 0u);  // no child was ever forked
+}
+
+TEST(CampaignTest, OverBudgetChildCarriesVerdictAcrossThePipe) {
+  ADRIATIC_SKIP_WITHOUT_FORK();
+  // Same contract as thread mode, but the typed BudgetExceededError is
+  // raised inside a forked child: it must come back as the structured
+  // `budget-quarantined` verdict (a clean result frame), not as a crash or
+  // a worker death.
+  BudgetLimitGuard guard;
+  auto& budget = mem::MemoryBudget::instance();
+  mem::ImageRegistry::instance().drop_unused();
+  CampaignRunner runner(1, ExecutionMode::kProcesses);
+  budget.set_limit_bytes(budget.resident_bytes() + 4 * mem::kPageBytes);
+  auto over = runner.submit("over", [](JobContext&) {
+    kern::Simulation sim;
+    kern::Module top(sim, "top");
+    mem::Memory m(top, "big", 0, 64 * mem::kPageWords);
+    for (usize p = 0; p < 64; ++p)
+      m.poke(static_cast<bus::addr_t>(p * mem::kPageWords), 1);
+  });
+  EXPECT_THROW(over.get(), std::runtime_error);
+  runner.wait_idle();
+  const auto stats = runner.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_FALSE(stats[0].done);
+  EXPECT_FALSE(stats[0].failed);
+  EXPECT_TRUE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].quarantine_reason, "budget-quarantined");
+  EXPECT_EQ(stats[0].worker_deaths, 0u);  // verdict, not a dead worker
+  EXPECT_TRUE(stats[0].has_memory);
+  EXPECT_GT(stats[0].mem_resident_peak_bytes, 0u);
 }
 
 TEST(CampaignTest, ProcessModeMatchesThreadModeBitExact) {

@@ -52,6 +52,13 @@ JobStats sample_stats(usize index) {
   s.migrations = 2;
   s.state_words_moved = 68;
   s.transfer_faults_recovered = 1;
+  s.has_memory = true;
+  s.mem_resident_peak_bytes = 5 * 4096;
+  s.mem_pages_resident = 5;
+  s.mem_cow_splits = 3;
+  s.mem_shared_pages = 2;
+  s.ecc_corrected = 9;
+  s.ecc_uncorrectable = 1;
   s.worker_deaths = 2;
   s.from_cache = true;
   s.user_data = "cell a\tcell b\x1f" "1.5";  // tool payload, control chars
@@ -103,6 +110,13 @@ TEST(JournalTest, RoundTripRestoresCompletedStats) {
   EXPECT_EQ(s.migrations, ref.migrations);
   EXPECT_EQ(s.state_words_moved, ref.state_words_moved);
   EXPECT_EQ(s.transfer_faults_recovered, ref.transfer_faults_recovered);
+  EXPECT_TRUE(s.has_memory);
+  EXPECT_EQ(s.mem_resident_peak_bytes, ref.mem_resident_peak_bytes);
+  EXPECT_EQ(s.mem_pages_resident, ref.mem_pages_resident);
+  EXPECT_EQ(s.mem_cow_splits, ref.mem_cow_splits);
+  EXPECT_EQ(s.mem_shared_pages, ref.mem_shared_pages);
+  EXPECT_EQ(s.ecc_corrected, ref.ecc_corrected);
+  EXPECT_EQ(s.ecc_uncorrectable, ref.ecc_uncorrectable);
   EXPECT_EQ(s.worker_deaths, ref.worker_deaths);
   EXPECT_TRUE(s.from_cache);
   EXPECT_EQ(s.user_data, ref.user_data);
@@ -120,6 +134,9 @@ TEST(JournalTest, PlainStatsEmitNoProcessOrCacheKeys) {
   EXPECT_EQ(tail.find("deaths="), std::string::npos);
   EXPECT_EQ(tail.find("cached="), std::string::npos);
   EXPECT_EQ(tail.find("udata="), std::string::npos);
+  // Memory/ECC keys (new in v9) are likewise opt-in via record_memory().
+  EXPECT_EQ(tail.find("mem_peak="), std::string::npos);
+  EXPECT_EQ(tail.find("ecc_cor="), std::string::npos);
 }
 
 TEST(JournalTest, UnfinishedResultStaysRerunnable) {
