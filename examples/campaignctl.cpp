@@ -1,0 +1,165 @@
+// campaignctl: command-line client for campaignd (see docs/service.md).
+//
+//   campaignctl SOCK stats                  -- server counters snapshot
+//   campaignctl SOCK drain                  -- block until no job in flight
+//   campaignctl SOCK watch [N]              -- print the next N finished
+//                                              results (default: forever)
+//   campaignctl SOCK submit KIND LABEL [key=value ...]
+//                                           -- submit one job, wait for its
+//                                              result, print the stats tail
+//
+// submit computes the job's spec hash the same way the sweep tools do
+// (service/jobs.hpp), so a submission dedups against campaignd's cache and
+// against fault_sweep/dse_explorer --server traffic for the same point.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "campaign/journal.hpp"
+#include "service/client.hpp"
+#include "service/jobs.hpp"
+
+using namespace adriatic;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: campaignctl SOCKET stats\n"
+               "       campaignctl SOCKET drain\n"
+               "       campaignctl SOCKET watch [N]\n"
+               "       campaignctl SOCKET submit KIND LABEL [key=value ...]\n";
+  return 2;
+}
+
+/// Spec hash for a kind+label+params the way the matching sweep tool
+/// computes it, so campaignctl submissions share cache entries with
+/// fault_sweep / dse_explorer traffic.
+u64 spec_for(const std::string& kind, const std::string& label,
+             const service::ParamMap& params) {
+  if (kind == "fault_point") {
+    const auto spec = service::fault_point_from_params(label, params);
+    if (spec.has_value()) return service::fault_point_spec_hash(*spec);
+  } else if (kind == "dse_point" || kind == "dse_hardwired" ||
+             kind == "dse_migration_probe") {
+    bool loose = false;
+    u32 quantum_ns = 0;
+    const auto it = params.find("loose");
+    if (it != params.end()) loose = it->second == "1";
+    const auto qt = params.find("quantum_ns");
+    if (qt != params.end())
+      quantum_ns = static_cast<u32>(std::strtoul(qt->second.c_str(), nullptr,
+                                                 10));
+    return service::dse_spec_hash(label, loose, quantum_ns);
+  } else if (kind == "golden") {
+    const auto it = params.find("seed");
+    if (it != params.end())
+      return service::golden_spec_hash(
+          std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+  return campaign::spec_hash(label);
+}
+
+void print_result(const service::Response& resp) {
+  std::cout << "result index=" << resp.index << " label="
+            << resp.stats.label
+            << (resp.stats.from_cache ? " [cached]" : "")
+            << (resp.stats.failed ? " [failed]" : "")
+            << (resp.stats.quarantined
+                    ? " [quarantined:" + resp.stats.quarantine_reason + "]"
+                    : "")
+            << "\n  " << campaign::encode_job_stats(resp.stats) << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sock = argv[1];
+  const std::string cmd = argv[2];
+
+  auto client = service::ServiceClient::connect(sock);
+  if (client == nullptr) return 1;
+
+  const auto fail = [&](const char* what) {
+    std::cerr << "campaignctl: " << what;
+    if (client->wire_error().has_value())
+      std::cerr << " (" << service::error_code_name(client->wire_error()->code)
+                << ")";
+    std::cerr << '\n';
+    return 1;
+  };
+
+  if (cmd == "stats") {
+    if (argc != 3 || !client->stats(1)) return usage();
+    const auto resp = client->next_response();
+    if (!resp.has_value() || resp->type != service::ResponseType::kStats)
+      return fail("no stats reply");
+    for (const auto& [k, v] : resp->fields) std::cout << k << '=' << v << '\n';
+    return 0;
+  }
+
+  if (cmd == "drain") {
+    if (argc != 3 || !client->drain(1)) return usage();
+    const auto resp = client->next_response();
+    if (!resp.has_value() || resp->type != service::ResponseType::kDrained)
+      return fail("no drained reply");
+    std::cout << "drained\n";
+    return 0;
+  }
+
+  if (cmd == "watch") {
+    if (argc > 4) return usage();
+    long remaining = -1;  // forever
+    if (argc == 4) remaining = std::strtol(argv[3], nullptr, 10);
+    if (!client->watch(1)) return fail("connection lost");
+    while (remaining != 0) {
+      const auto resp = client->next_response();
+      if (!resp.has_value()) {
+        if (client->wire_error().has_value()) return fail("bad frame");
+        return 0;  // server closed (shutdown): a clean end of the stream
+      }
+      if (resp->type != service::ResponseType::kResult) continue;
+      print_result(*resp);
+      if (remaining > 0) --remaining;
+    }
+    return 0;
+  }
+
+  if (cmd == "submit") {
+    if (argc < 5) return usage();
+    const std::string kind = argv[3];
+    const std::string label = argv[4];
+    service::ParamMap params;
+    for (int i = 5; i < argc; ++i) {
+      const std::string tok = argv[i];
+      const auto eq = tok.find('=');
+      if (eq == std::string::npos || eq == 0) return usage();
+      params[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+    const u64 spec = spec_for(kind, label, params);
+    if (!client->submit(1, spec, kind, label, params))
+      return fail("connection lost");
+    for (;;) {
+      const auto resp = client->next_response();
+      if (!resp.has_value()) return fail("connection lost before the result");
+      if (resp->type == service::ResponseType::kError) {
+        std::cerr << "campaignctl: server error '"
+                  << service::error_code_name(resp->code) << "': "
+                  << resp->detail << '\n';
+        return 1;
+      }
+      if (resp->type == service::ResponseType::kOk) {
+        std::cout << "accepted index=" << resp->index
+                  << (resp->cached ? " [cached]" : "") << '\n';
+        continue;
+      }
+      if (resp->type == service::ResponseType::kResult) {
+        print_result(*resp);
+        return resp->stats.done && !resp->stats.failed ? 0 : 1;
+      }
+    }
+  }
+
+  return usage();
+}

@@ -27,6 +27,13 @@
 // re-simulating. The spec hash folds the timing mode and quantum, so
 // --loose/--quantum variants of a grid point never alias in the journal or
 // the cache.
+//
+// --server SOCKET runs the sweep as a thin client of campaignd
+// (docs/service.md): the same design points are submitted over the socket
+// as dse_point/dse_hardwired/dse_migration_probe jobs, the daemon schedules
+// them on its own pool (consulting its result cache first) and streams back
+// per-job results; table, Pareto front and --report match a local run
+// modulo timing fields.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -34,304 +41,29 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
-#include "accel/accel_lib.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/report.hpp"
 #include "campaign/result_cache.hpp"
-#include "conformance/migration_harness.hpp"
 #include "dse/pareto.hpp"
-#include "estimate/area.hpp"
-#include "netlist/design.hpp"
-#include "netlist/elaborate.hpp"
-#include "transform/transform.hpp"
+#include "service/client.hpp"
+#include "service/jobs.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 using namespace adriatic;
-using namespace adriatic::kern::literals;
 
 namespace {
 
-constexpr int kFrames = 4;
+constexpr int kFrames = 4;  // frames the synthetic app processes (jobs.cpp)
 
-void run_accelerator(soc::Cpu& c, bus::addr_t base, bus::addr_t src,
-                     bus::addr_t dst, u32 len) {
-  c.write(base + soc::HwAccel::kSrc, static_cast<bus::word>(src));
-  c.write(base + soc::HwAccel::kDst, static_cast<bus::word>(dst));
-  c.write(base + soc::HwAccel::kLen, static_cast<bus::word>(len));
-  c.write(base + soc::HwAccel::kCtrl, 1);
-  c.poll_until(base + soc::HwAccel::kStatus, soc::HwAccel::kDone, 100_ns);
-  c.write(base + soc::HwAccel::kStatus, 0);
-}
-
-netlist::Design make_app(bool dedicated_cfg_link) {
-  netlist::Design d;
-  netlist::BusDecl bus_decl;
-  bus_decl.config.cycle_time = 10_ns;
-  d.add("system_bus", bus_decl);
-
-  netlist::MemoryDecl ram;
-  ram.low = 0x1000;
-  ram.words = 0x8000;
-  ram.bus = "system_bus";
-  d.add("ram", ram);
-
-  netlist::MemoryDecl cfg;
-  cfg.low = 0x100000;
-  cfg.words = 1u << 18;
-  if (!dedicated_cfg_link) cfg.bus = "system_bus";
-  d.add("cfg_mem", cfg);
-  if (dedicated_cfg_link) {
-    netlist::DirectLinkDecl link;
-    link.word_time = 10_ns;
-    link.slave = "cfg_mem";
-    d.add("cfg_link", link);
-  }
-
-  const std::pair<const char*, accel::KernelSpec> kernels[] = {
-      {"fir", accel::make_fir_spec(accel::fir_lowpass_taps(24))},
-      {"fft", accel::make_fft_spec(64)},
-      {"aes", accel::make_aes_spec(accel::AesKey{1, 2, 3})},
-  };
-  bus::addr_t base = 0x100;
-  for (const auto& [name, spec] : kernels) {
-    netlist::HwAccelDecl acc;
-    acc.base = base;
-    acc.spec = spec;
-    acc.slave_bus = acc.master_bus = "system_bus";
-    d.add(name, acc);
-    base += 0x100;
-  }
-
-  netlist::ProcessorDecl cpu;
-  cpu.master_bus = "system_bus";
-  cpu.program = [](soc::Cpu& c) {
-    Xoshiro256 rng(11);
-    for (int f = 0; f < kFrames; ++f) {
-      std::vector<bus::word> data(64);
-      for (auto& v : data) v = static_cast<bus::word>(rng.next_range(0, 4095));
-      c.burst_write(0x1000, data);
-      run_accelerator(c, 0x100, 0x1000, 0x2000, 64);  // fir
-      run_accelerator(c, 0x200, 0x2000, 0x3000, 64);  // fft
-      run_accelerator(c, 0x300, 0x3000, 0x4000, 64);  // aes
-      c.compute(300);
-    }
-  };
-  d.add("cpu", cpu);
-  return d;
-}
-
-struct Config {
-  std::string label;
-  drcf::ReconfigTechnology tech;
-  u32 slots;
-  bool dedicated_link;
-  /// Context-scheduler policy axis: on-demand (paper-faithful) vs hybrid
-  /// prefetch into a 2-plane configuration cache. The driver's fir->fft->aes
-  /// ring makes the static successor annotation exact, so this axis shows
-  /// how much fetch latency prediction can hide on each memory organisation.
-  drcf::PrefetchPolicy policy = drcf::PrefetchPolicy::kOnDemand;
-  u32 cache_slots = 0;
-  /// Timing abstraction the point simulates under (--loose / --quantum):
-  /// loose mode trades exact bus-cycle interleaving for wall-clock speed;
-  /// the functional objectives (outputs, switches, fetched words) are
-  /// preserved, latency/energy become quantum-granular approximations.
-  kern::TimingMode timing = kern::TimingMode::kTimed;
-  u32 quantum_ns = 0;  ///< 0 = kernel default quantum.
-};
-
-void apply_timing(kern::Simulation& sim, kern::TimingMode mode,
-                  u32 quantum_ns) {
-  sim.set_timing_mode(mode);
-  if (quantum_ns != 0) sim.set_quantum(kern::Time::ns(quantum_ns));
-}
-
-/// One design point == one job: builds, transforms, simulates and evaluates
-/// a configuration on whichever worker thread picks it up.
-struct SweepOutcome {
-  bool ok = false;
-  std::string error;
-  std::vector<std::string> row;  ///< Table cells, print-ready.
-  dse::DesignPoint point;
-};
-
-/// user_data codec for SweepOutcome: the print-ready table row and the
-/// Pareto objectives travel inside JobStats, so process-mode children,
-/// cache hits and journal restores reproduce the tool output (table,
-/// reference lines, Pareto front) without re-simulating. Row cells are
-/// '\t'-joined; the design point rides behind a 0x1e record separator with
-/// label and objectives 0x1f-split (%.17g round-trips doubles exactly).
-std::string pack_outcome(const SweepOutcome& out) {
-  std::string s = join(out.row, "\t");
-  s += '\x1e';
-  s += out.point.label;
-  for (const double v : out.point.objectives)
-    s += '\x1f' + strfmt("%.17g", v);
-  return s;
-}
-
-SweepOutcome unpack_outcome(const campaign::JobStats& s) {
-  SweepOutcome out;
-  if (!s.done || s.failed || s.user_data.empty()) return out;
-  const auto sep = s.user_data.find('\x1e');
-  if (sep == std::string::npos) return out;
-  out.row = split(s.user_data.substr(0, sep), '\t');
-  const auto point = split(s.user_data.substr(sep + 1), '\x1f');
-  if (!point.empty()) out.point.label = point[0];
-  for (usize i = 1; i < point.size(); ++i)
-    out.point.objectives.push_back(std::strtod(point[i].c_str(), nullptr));
-  out.ok = true;
-  return out;
-}
-
-SweepOutcome run_config(const Config& cfg,
-                        const std::vector<std::string>& candidates,
-                        const std::vector<u64>& kernel_gates,
-                        campaign::JobContext* ctx) {
-  SweepOutcome out;
-  auto d = make_app(cfg.dedicated_link);
-  transform::TransformOptions opt;
-  opt.drcf_config.technology = cfg.tech;
-  opt.drcf_config.slots = cfg.slots;
-  if (cfg.policy != drcf::PrefetchPolicy::kOnDemand) {
-    opt.drcf_config.prefetch.policy = cfg.policy;
-    opt.drcf_config.prefetch.cache_slots = cfg.cache_slots;
-    for (u32 i = 0; i < 3; ++i)  // fir->fft->aes ring
-      opt.drcf_config.prefetch.static_next.push_back((i + 1) % 3);
-  }
-  opt.config_memory = "cfg_mem";
-  if (cfg.dedicated_link) opt.config_bus = "cfg_link";
-  const auto report = transform::transform_to_drcf(d, candidates, opt);
-  if (!report.ok) {
-    out.error = "transform failed";
-    return out;
-  }
-  kern::Simulation sim;
-  apply_timing(sim, cfg.timing, cfg.quantum_ns);
-  netlist::Elaborated e(sim, d);
-  if (ctx != nullptr) {
-    // The guard lets a SIGINT/SIGTERM broadcast (or wall-clock watchdog)
-    // reach this job's kernel via request_stop().
-    const auto g = ctx->guard(sim);
-    sim.run();
-  } else {
-    sim.run();
-  }
-  if (ctx != nullptr) {
-    ctx->record(sim);
-    ctx->record_timing(sim);
-  }
-  if (ctx != nullptr && ctx->interrupted()) {
-    out.error = "interrupted";
-    return out;
-  }
-  if (!e.get_processor("cpu").finished()) {
-    out.error = "did not finish";
-    return out;
-  }
-  const auto& fabric = e.get_drcf("drcf1");
-  const auto& fs = fabric.stats();
-  if (ctx != nullptr) ctx->record_faults(fs.fetch_errors, fabric.fault_ledger());
-  if (ctx != nullptr)
-    ctx->record_prefetch(fs.prefetch_hits, fs.cache_hits,
-                         fs.config_words_fetched, fs.hidden_latency);
-  const auto area = estimate::drcf_area(kernel_gates, cfg.tech, cfg.slots);
-  const double time_us = sim.now().to_us();
-  const double energy_uj = fs.reconfig_energy_j * 1e6;
-  const double hidden_us = fs.hidden_latency.to_us();
-  const double busy_us = fs.reconfig_busy_time.to_us();
-  const double hide_pct =
-      hidden_us + busy_us > 0 ? 100.0 * hidden_us / (hidden_us + busy_us) : 0.0;
-  out.row = {cfg.label, Table::num(time_us, 1),
-             Table::integer(static_cast<long long>(fs.switches)),
-             Table::integer(static_cast<long long>(fs.config_words_fetched)),
-             Table::num(hidden_us, 2), Table::num(hide_pct, 1),
-             Table::integer(
-                 static_cast<long long>(area.total_gate_equivalents())),
-             Table::num(energy_uj, 2)};
-  // Fourth objective: inflexibility (0 = field-upgradable fabric, 1 =
-  // frozen silicon) — the axis that motivates reconfigurable hardware in
-  // the first place (paper Fig. 2). Fifth: fetched configuration bytes,
-  // the config-memory bandwidth bill a prefetching scheduler can lower
-  // (cache hits) or raise (mispredicted fills).
-  out.point = {cfg.label,
-               {time_us, static_cast<double>(area.total_gate_equivalents()),
-                energy_uj, 0.0,
-                static_cast<double>(fs.config_words_fetched) *
-                    sizeof(bus::word)}};
-  out.ok = true;
-  if (ctx != nullptr) ctx->record_user_data(pack_outcome(out));
-  return out;
-}
-
-/// The task-migration probe as its own job: a clean two-fabric handover
-/// (checkpoint after two chunks, state transfer over the system bus, resume
-/// on the destination) whose controller counters land in --report as the
-/// job's "migration" object — the state-transfer cost figure next to the
-/// sweep's fetch/latency figures.
-SweepOutcome run_migration_probe(kern::TimingMode timing, u32 quantum_ns,
-                                 campaign::JobContext* ctx) {
-  SweepOutcome out;
-  conformance::MigrationSpec spec;
-  conformance::ScenarioOptions sopt;
-  sopt.timing_mode = timing;
-  if (quantum_ns != 0) sopt.quantum = kern::Time::ns(quantum_ns);
-  const auto r = conformance::run_migration(spec, sopt);
-  if (ctx != nullptr) {
-    ctx->record_digest(r.scenario.digest);
-    ctx->record_migration(r.controller.migrations,
-                          r.controller.state_words_moved,
-                          r.controller.transfer_faults_recovered);
-  }
-  if (ctx != nullptr && ctx->interrupted()) {
-    out.error = "interrupted";
-    return out;
-  }
-  if (!r.cpu_finished || !r.migration.ok()) {
-    out.error = "migration probe failed: " +
-                std::string(soc::to_string(r.migration.status));
-    return out;
-  }
-  out.row = {std::to_string(r.controller.migrations),
-             std::to_string(r.controller.state_words_moved),
-             std::to_string(r.controller.transfer_faults_recovered)};
-  out.ok = true;
-  if (ctx != nullptr) ctx->record_user_data(pack_outcome(out));
-  return out;
-}
-
-/// The reference architecture (everything hardwired) as its own job.
-SweepOutcome run_hardwired(u64 hw_gates, kern::TimingMode timing,
-                           u32 quantum_ns, campaign::JobContext* ctx) {
-  SweepOutcome out;
-  auto d = make_app(false);
-  kern::Simulation sim;
-  apply_timing(sim, timing, quantum_ns);
-  netlist::Elaborated e(sim, d);
-  if (ctx != nullptr) {
-    const auto g = ctx->guard(sim);
-    sim.run();
-  } else {
-    sim.run();
-  }
-  if (ctx != nullptr) {
-    ctx->record(sim);
-    ctx->record_timing(sim);
-  }
-  if (ctx != nullptr && ctx->interrupted()) {
-    out.error = "interrupted";
-    return out;
-  }
-  out.row = {Table::num(sim.now().to_us(), 1)};
-  out.point = {"hardwired",
-               {sim.now().to_us(), static_cast<double>(hw_gates), 0.0, 1.0,
-                0.0}};
-  out.ok = true;
-  if (ctx != nullptr) ctx->record_user_data(pack_outcome(out));
-  return out;
-}
+/// One design point; the simulation body lives in service/jobs.cpp
+/// (run_dse_point and friends), shared verbatim with campaignd so a
+/// --server run executes the same code in another process.
+using Config = service::DsePointSpec;
+using SweepOutcome = service::DseOutcome;
 
 }  // namespace
 
@@ -345,6 +77,7 @@ int main(int argc, char** argv) {
   std::string journal_path;
   std::string resume_path;
   std::string cache_path;
+  std::string server_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serial") == 0) {
       serial = true;
@@ -376,11 +109,14 @@ int main(int argc, char** argv) {
       processes = true;
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       cache_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      server_path = argv[++i];
     } else {
       std::cerr << "usage: dse_explorer [--serial] [--jobs N] "
                    "[--loose] [--quantum NS] "
                    "[--report FILE.json] [--journal FILE.wal | "
-                   "--resume FILE.wal] [--processes] [--cache FILE]\n";
+                   "--resume FILE.wal] [--processes] [--cache FILE] "
+                   "[--server SOCKET]\n";
       return 2;
     }
   }
@@ -402,37 +138,34 @@ int main(int argc, char** argv) {
     std::cerr << "dse_explorer: --quantum only applies with --loose\n";
     return 2;
   }
-  const kern::TimingMode timing =
-      loose ? kern::TimingMode::kLoose : kern::TimingMode::kTimed;
-
-  const std::vector<std::string> candidates{"fir", "fft", "aes"};
-  const std::vector<u64> kernel_gates{
-      accel::make_fir_spec(accel::fir_lowpass_taps(24)).gate_count,
-      accel::make_fft_spec(64).gate_count,
-      accel::make_aes_spec(accel::AesKey{1, 2, 3}).gate_count};
+  if (!server_path.empty() &&
+      (serial || processes || !journal_path.empty() || !resume_path.empty() ||
+       !cache_path.empty())) {
+    std::cerr << "dse_explorer: --server delegates execution to campaignd; "
+                 "drop the local runner flags\n";
+    return 2;
+  }
 
   std::vector<Config> configs;
-  for (const auto& tech : {drcf::virtex2pro_like(), drcf::varicore_like(),
-                           drcf::morphosys_like()}) {
+  for (u32 tech = 0; tech < 3; ++tech) {
     for (const u32 slots : {1u, 2u}) {
       for (const bool link : {false, true}) {
         for (const bool prefetch : {false, true}) {
-          Config c{tech.name + "/s" + std::to_string(slots) +
-                       (link ? "/link" : "/shared") +
-                       (prefetch ? "/hybrid" : "/demand"),
-                   tech, slots, link};
-          if (prefetch) {
-            c.policy = drcf::PrefetchPolicy::kHybrid;
-            c.cache_slots = 2;
-          }
-          c.timing = timing;
+          Config c;
+          c.label = std::string(service::dse_tech_name(tech)) + "/s" +
+                    std::to_string(slots) + (link ? "/link" : "/shared") +
+                    (prefetch ? "/hybrid" : "/demand");
+          c.tech = tech;
+          c.slots = slots;
+          c.dedicated_link = link;
+          c.prefetch = prefetch;
+          c.loose = loose;
           c.quantum_ns = quantum_ns;
           configs.push_back(c);
         }
       }
     }
   }
-  const u64 hw_gates = estimate::hardwired_gates(kernel_gates);
 
   // The sweep's job list: every design point, the hardwired reference, and
   // the task-migration probe.
@@ -447,9 +180,7 @@ int main(int argc, char** argv) {
   // label, so --loose/--quantum variants of the same grid point never alias
   // in the journal or the result cache (see the ResultCache reuse caveat).
   const auto point_spec = [&](usize i) {
-    u64 p = timing == kern::TimingMode::kLoose ? 1 : 0;
-    p = p * 1099511628211ULL + quantum_ns;
-    return campaign::spec_hash(job_label(i), p);
+    return service::dse_spec_hash(job_label(i), loose, quantum_ns);
   };
 
   // Journal / resume setup; --resume refuses a journal whose planned job
@@ -531,25 +262,65 @@ int main(int argc, char** argv) {
   // modes record the JobStats that --report serialises.
   std::vector<SweepOutcome> outcomes(n_jobs);
   std::vector<campaign::JobStats> job_stats;
+  campaign::ServiceTotals service_totals;
   usize threads_used = 1;
   bool interrupted = false;
-  if (serial) {
+  if (!server_path.empty()) {
+    // Thin-client mode: ship every job spec to campaignd, stream RESULT
+    // frames back, and rebuild the print-ready outcomes from the stats'
+    // packed user_data — the same decode path process-mode children and
+    // cache hits already use.
+    std::vector<service::ServiceJob> sjobs;
+    for (usize i = 0; i < configs.size(); ++i)
+      sjobs.push_back({i, point_spec(i), "dse_point", configs[i].label,
+                       service::dse_point_params(configs[i])});
+    service::ParamMap timing_params;
+    timing_params["loose"] = loose ? "1" : "0";
+    timing_params["quantum_ns"] = std::to_string(quantum_ns);
+    sjobs.push_back({hw_index, point_spec(hw_index), "dse_hardwired",
+                     "hardwired", timing_params});
+    sjobs.push_back({probe_index, point_spec(probe_index),
+                     "dse_migration_probe", "migration_probe", timing_params});
+    const auto run = service::run_jobs_over_service(server_path, sjobs);
+    if (!run.ok && run.stats.empty()) {
+      std::cerr << "dse_explorer: " << run.error << '\n';
+      return 2;
+    }
+    if (!run.error.empty())
+      std::cerr << "dse_explorer: " << run.error << '\n';
+    job_stats.resize(n_jobs);
+    for (usize i = 0; i < n_jobs; ++i) {
+      job_stats[i].index = i;
+      job_stats[i].label = job_label(i);
+    }
+    for (const auto& [idx, s] : run.stats)
+      if (idx < n_jobs) job_stats[idx] = s;
+    for (usize i = 0; i < n_jobs; ++i)
+      outcomes[i] = service::unpack_dse_outcome(job_stats[i]);
+    service_totals = run.totals;
+    threads_used = 0;  // the daemon's pool, not ours
+    interrupted = run.interrupted;
+    if (run.totals.dedup_hits > 0)
+      std::cout << run.totals.dedup_hits
+                << " job(s) served from the service cache (not "
+                   "re-simulated)\n";
+  } else if (serial) {
     for (usize i = 0; i < configs.size(); ++i)
       outcomes[i] = campaign::run_inline(
           configs[i].label, job_stats, [&](campaign::JobContext& ctx) {
-            return run_config(configs[i], candidates, kernel_gates, &ctx);
+            return service::run_dse_point(configs[i], &ctx);
           });
     outcomes[hw_index] =
         campaign::run_inline("hardwired", job_stats,
                              [&](campaign::JobContext& ctx) {
-                               return run_hardwired(hw_gates, timing,
-                                                    quantum_ns, &ctx);
+                               return service::run_dse_hardwired(
+                                   loose, quantum_ns, &ctx);
                              });
     outcomes[probe_index] =
         campaign::run_inline("migration_probe", job_stats,
                              [&](campaign::JobContext& ctx) {
-                               return run_migration_probe(timing, quantum_ns,
-                                                          &ctx);
+                               return service::run_dse_migration_probe(
+                                   loose, quantum_ns, &ctx);
                              });
   } else {
     campaign::CampaignRunner runner(
@@ -575,8 +346,8 @@ int main(int argc, char** argv) {
       o.heartbeat_timeout_seconds = 10.0;
       const Config cfg = configs[i];
       futures.emplace_back(
-          i, runner.submit(cfg.label, o, [&, cfg](campaign::JobContext& ctx) {
-            return run_config(cfg, candidates, kernel_gates, &ctx);
+          i, runner.submit(cfg.label, o, [cfg](campaign::JobContext& ctx) {
+            return service::run_dse_point(cfg, &ctx);
           }));
     }
     if (rerun[hw_index]) {
@@ -587,9 +358,8 @@ int main(int argc, char** argv) {
       futures.emplace_back(hw_index,
                            runner.submit("hardwired", o,
                                          [&](campaign::JobContext& ctx) {
-                                           return run_hardwired(
-                                               hw_gates, timing, quantum_ns,
-                                               &ctx);
+                                           return service::run_dse_hardwired(
+                                               loose, quantum_ns, &ctx);
                                          }));
     }
     if (rerun[probe_index]) {
@@ -597,12 +367,11 @@ int main(int argc, char** argv) {
       o.stats_index = probe_index;
       o.spec = point_spec(probe_index);
       o.heartbeat_timeout_seconds = 10.0;
-      futures.emplace_back(probe_index,
-                           runner.submit("migration_probe", o,
-                                         [&](campaign::JobContext& ctx) {
-                                           return run_migration_probe(
-                                               timing, quantum_ns, &ctx);
-                                         }));
+      futures.emplace_back(
+          probe_index,
+          runner.submit("migration_probe", o, [&](campaign::JobContext& ctx) {
+            return service::run_dse_migration_probe(loose, quantum_ns, &ctx);
+          }));
     }
     for (auto& [i, f] : futures) {
       try {
@@ -638,7 +407,8 @@ int main(int argc, char** argv) {
     // address space: process-mode children, cache hits and journal
     // restores all carry their SweepOutcome packed in user_data.
     for (usize i = 0; i < n_jobs; ++i)
-      if (!outcomes[i].ok) outcomes[i] = unpack_outcome(job_stats[i]);
+      if (!outcomes[i].ok)
+        outcomes[i] = service::unpack_dse_outcome(job_stats[i]);
   }
 
   Table t("DSE sweep: technology x slots x config-memory x scheduler policy (" +
@@ -672,7 +442,10 @@ int main(int argc, char** argv) {
 
   const auto& hw = outcomes[hw_index];
   if (hw.ok) {
-    std::cout << "\nhardwired reference: " << hw.row[0] << " us, " << hw_gates
+    std::cout << "\nhardwired reference: " << hw.row[0] << " us, "
+              << (hw.point.objectives.size() > 1
+                      ? static_cast<u64>(hw.point.objectives[1])
+                      : 0)
               << " gates, 0 uJ reconfig\n";
     points.push_back(hw.point);
   }
@@ -707,7 +480,8 @@ int main(int argc, char** argv) {
     std::cerr << "dse_explorer: interrupted — report/journal hold partial "
                  "results; resume with --resume\n";
   if (!report_path.empty())
-    campaign::write_report_file(report_path, "dse_explorer", threads_used,
-                                job_stats);
+    campaign::write_report_file(
+        report_path, "dse_explorer", threads_used, job_stats,
+        server_path.empty() ? nullptr : &service_totals);
   return interrupted ? 130 : 0;
 }

@@ -18,6 +18,7 @@
 //               [--resume FILE.wal [--verify-resume]] [--throttle-ms N]
 //               [--processes] [--cache FILE] [--inject-failures]
 //               [--mem-budget-mb N] [--inject-oversized]
+//               [--server SOCKET]
 //
 // With --journal every planned job, begun attempt and finished result is an
 // fsync'd write-ahead record; a sweep killed mid-run (SIGKILL included)
@@ -42,6 +43,12 @@
 // see docs/memory.md. The two contexts' bitstreams land on page-aligned
 // offsets, so every job attaches the same two interned images instead of
 // materialising private configuration pages.
+//
+// --server SOCKET runs the sweep as a thin client of campaignd
+// (docs/service.md): the same 24 job specs are submitted over the socket,
+// the daemon schedules them on its own pool (consulting its result cache
+// first) and streams back per-job results; the table and --report are
+// byte-identical to a local run modulo timing fields.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -52,186 +59,34 @@
 #include <utility>
 #include <vector>
 
-#include "bus/bus_lib.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/report.hpp"
 #include "campaign/result_cache.hpp"
 #include "conformance/digest.hpp"
-#include "drcf/drcf_lib.hpp"
 #include "kernel/kernel.hpp"
 #include "memory/memory.hpp"
+#include "service/client.hpp"
+#include "service/jobs.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 using namespace adriatic;
-using namespace adriatic::kern::literals;
 
 namespace {
 
-constexpr int kSteps = 24;
-constexpr u64 kConfigWords = 64;
-constexpr bus::addr_t kCfgBase = 0x10000;
-constexpr bus::addr_t kCtxBase[2] = {0x100, 0x200};
-constexpr u32 kCtxWords = 16;
+constexpr int kSteps = 24;  // driver steps per point (see service/jobs.cpp)
 
-struct SweepConfig {
-  std::string label;
-  drcf::RecoveryPolicy policy;
-  u32 rate_pct;
-  u64 plan_seed;
-  /// Scheduler axis: hybrid prefetch into a 2-plane cache vs on-demand.
-  /// Faulted background fills fail silently (the demand path re-fetches),
-  /// so this axis shows how much availability prefetching preserves — or
-  /// costs — under each recovery policy.
-  bool prefetch = false;
-};
-
-struct SweepOutcome {
-  bool ok = false;
-  std::vector<std::string> row;
-};
+/// One sweep point; the simulation body lives in service/jobs.cpp
+/// (run_fault_point), shared verbatim with campaignd so a --server run is
+/// the same code executing in another process.
+using SweepConfig = service::FaultPointSpec;
 
 /// Journal identity of one sweep point: the label plus every parameter that
 /// shapes the simulation, so --resume refuses a journal written for a
 /// different --seed or policy/rate grid.
 u64 point_spec(const SweepConfig& cfg) {
-  u64 p = static_cast<u64>(cfg.policy);
-  p = p * 1099511628211ULL + cfg.rate_pct;
-  p = p * 1099511628211ULL + cfg.plan_seed;
-  p = p * 1099511628211ULL + (cfg.prefetch ? 1 : 0);
-  return campaign::spec_hash(cfg.label, p);
-}
-
-SweepOutcome run_point(const SweepConfig& cfg, campaign::JobContext* ctx,
-                       unsigned throttle_ms) {
-  SweepOutcome out;
-  // Deliberate slow-down used by the crash/resume CI job to widen the
-  // SIGKILL window; 0 (the default) skips it entirely.
-  if (throttle_ms > 0)
-    std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
-  kern::Simulation sim;
-  kern::Module top(sim, "top");
-
-  bus::BusConfig bus_cfg;
-  bus_cfg.cycle_time = 10_ns;
-  bus_cfg.split_transactions = true;
-  bus::Bus sys_bus(top, "bus", bus_cfg);
-  mem::Memory cfg_mem(top, "cfg_mem", kCfgBase, 4096);
-  mem::Memory ctx_mem0(top, "ctx_mem0", kCtxBase[0], kCtxWords);
-  mem::Memory ctx_mem1(top, "ctx_mem1", kCtxBase[1], kCtxWords);
-
-  drcf::DrcfConfig dc;
-  dc.technology = drcf::varicore_like();
-  dc.technology.per_switch_overhead = kern::Time::zero();
-  dc.slots = 1;  // ping-pong => every step reconfigures
-  dc.recovery.policy = cfg.policy;
-  dc.recovery.max_attempts = 4;
-  dc.recovery.backoff = 50_ns;
-  if (cfg.policy == drcf::RecoveryPolicy::kFallbackContext)
-    dc.recovery.fallback_context = 0;
-  if (cfg.prefetch) {
-    dc.prefetch.policy = drcf::PrefetchPolicy::kHybrid;
-    dc.prefetch.cache_slots = 2;
-    dc.prefetch.static_next = {1, 0};  // the driver's ping-pong, exactly
-  }
-  if (cfg.rate_pct > 0) {
-    fault::FaultRule rule;
-    rule.rate = cfg.rate_pct / 100.0;
-    rule.kind = fault::FaultKind::kError;
-    rule.reads_only = true;
-    dc.fetch_faults.seed = cfg.plan_seed;
-    dc.fetch_faults.rules.push_back(rule);
-  }
-  drcf::Drcf fabric(top, "drcf", dc);
-
-  // Synthetic bitstreams + armed integrity check, as elaborate.cpp does it.
-  // Each context's bitstream sits at a page-aligned offset (0 and 0x400 =
-  // 1024 words), so the images intern once process-wide and every job in
-  // the sweep shares the same two golden pages copy-on-write.
-  for (usize c = 0; c < 2; ++c) {
-    const bus::addr_t base = kCfgBase + static_cast<bus::addr_t>(c) * 0x400;
-    const usize id = fabric.add_context(
-        c == 0 ? static_cast<bus::BusSlaveIf&>(ctx_mem0) : ctx_mem1,
-        {.config_address = base, .size_words = kConfigWords, .gates = 10'000});
-    const std::vector<bus::word> bits(
-        kConfigWords, static_cast<bus::word>(0xC0DE0000u | c));
-    u64 digest = drcf::kConfigDigestSeed;
-    for (u64 w = 0; w < kConfigWords; ++w)
-      digest = drcf::config_digest_step(digest, bits[w]);
-    cfg_mem.attach_image(mem::ImageRegistry::instance().intern(bits), base);
-    fabric.set_expected_digest(id, digest);
-  }
-  fabric.mst_port.bind(sys_bus);
-  sys_bus.bind_slave(cfg_mem);
-  sys_bus.bind_slave(fabric);
-
-  int ok_steps = 0;
-  top.spawn_thread("driver", [&] {
-    for (int i = 0; i < kSteps; ++i) {
-      const bus::addr_t base = kCtxBase[i % 2];
-      const auto off = static_cast<bus::addr_t>(i % kCtxWords);
-      bus::word v = static_cast<bus::word>(0x5000 + i);
-      bus::word r = 0;
-      if (sys_bus.write(base + off, &v) == bus::BusStatus::kOk &&
-          sys_bus.read(base + off, &r) == bus::BusStatus::kOk)
-        ++ok_steps;
-    }
-  });
-  // The digest makes each job's schedule comparable across runs — it is what
-  // --verify-resume checks a resumed sweep against.
-  conformance::TraceDigest digest;
-  sim.set_observer(&digest);
-  if (ctx != nullptr) {
-    // The guard is how the wall-clock watchdog and a SIGINT/SIGTERM
-    // broadcast reach this job's kernel (request_stop()).
-    const auto g = ctx->guard(sim);
-    sim.run();
-  } else {
-    sim.run();
-  }
-  sim.set_observer(nullptr);
-
-  const auto& fs = fabric.stats();
-  const double availability = static_cast<double>(ok_steps) / kSteps;
-  out.row = {cfg.label,
-             Table::integer(ok_steps),
-             Table::integer(static_cast<long long>(fs.fetch_errors)),
-             Table::integer(static_cast<long long>(fs.fetch_retries)),
-             Table::integer(static_cast<long long>(fs.fallback_forwards)),
-             Table::integer(
-                 static_cast<long long>(fabric.fault_ledger().injected_count())),
-             Table::integer(static_cast<long long>(fs.cache_hits)),
-             Table::num(availability, 3)};
-  if (ctx != nullptr) {
-    ctx->record(sim);
-    ctx->record_digest(digest.value());
-    ctx->record_faults(fs.fetch_errors, fabric.fault_ledger());
-    ctx->record_prefetch(fs.prefetch_hits, fs.cache_hits,
-                         fs.config_words_fetched, fs.hidden_latency);
-    // Memory footprint of this job's model: resident pages across its three
-    // stores, how many of those alias interned golden pages, and the
-    // process-wide high-water (per-child in process mode, shared across
-    // concurrent jobs in thread mode).
-    const mem::PagedStore* stores[] = {&cfg_mem.backing(), &ctx_mem0.backing(),
-                                       &ctx_mem1.backing()};
-    u64 pages = 0;
-    u64 shared = 0;
-    u64 splits = 0;
-    for (const auto* st : stores) {
-      pages += st->resident_pages();
-      shared += st->shared_pages();
-      splits += st->stats().cow_splits;
-    }
-    ctx->record_memory(mem::MemoryBudget::instance().high_water_bytes(),
-                       pages, splits, shared);
-    // The table row rides JobStats::user_data through the worker pipe, the
-    // journal and the result cache, so process-mode / cached / restored
-    // jobs still print — futures cannot carry values across a fork.
-    ctx->record_user_data(join(out.row, "\t"));
-  }
-  out.ok = true;
-  return out;
+  return service::fault_point_spec_hash(cfg);
 }
 
 /// Rebuilds a run_point() table row from a JobStats, whichever path the
@@ -257,6 +112,7 @@ int main(int argc, char** argv) {
   std::string journal_path;
   std::string resume_path;
   std::string cache_path;
+  std::string server_path;
   const auto usage = [] {
     std::cerr << "usage: fault_sweep [--seed N] [--serial] [--jobs N] "
                  "[--report FILE.json]\n"
@@ -264,7 +120,8 @@ int main(int argc, char** argv) {
                  "[--verify-resume]]\n"
                  "                   [--throttle-ms N] [--processes] "
                  "[--cache FILE] [--inject-failures]\n"
-                 "                   [--mem-budget-mb N] [--inject-oversized]\n";
+                 "                   [--mem-budget-mb N] [--inject-oversized]\n"
+                 "                   [--server SOCKET]\n";
     return 2;
   };
   for (int i = 1; i < argc; ++i) {
@@ -295,11 +152,20 @@ int main(int argc, char** argv) {
       inject_oversized = true;
     } else if (std::strcmp(argv[i], "--mem-budget-mb") == 0 && i + 1 < argc) {
       mem_budget_mb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      server_path = argv[++i];
     } else {
       return usage();
     }
   }
   if (!journal_path.empty() && !resume_path.empty()) return usage();
+  if (!server_path.empty() &&
+      (serial || processes || !journal_path.empty() || !resume_path.empty() ||
+       !cache_path.empty() || inject_failures || inject_oversized)) {
+    std::cerr << "fault_sweep: --server delegates execution to campaignd; "
+                 "drop the local runner flags\n";
+    return 2;
+  }
   if (verify_resume && resume_path.empty()) return usage();
   if (serial && (!journal_path.empty() || !resume_path.empty())) {
     std::cerr << "fault_sweep: journaling requires the pool runner "
@@ -320,10 +186,12 @@ int main(int argc, char** argv) {
     mem::MemoryBudget::instance().set_limit_bytes(mem_budget_mb * 1024 *
                                                   1024);
 
-  const std::pair<const char*, drcf::RecoveryPolicy> policies[] = {
-      {"fail_fast", drcf::RecoveryPolicy::kFailFast},
-      {"retry_backoff", drcf::RecoveryPolicy::kRetryBackoff},
-      {"fallback", drcf::RecoveryPolicy::kFallbackContext},
+  // Policy indices are drcf::RecoveryPolicy values (fail_fast=0,
+  // retry_backoff=1, fallback=2); jobs.cpp casts them back.
+  const std::pair<const char*, u32> policies[] = {
+      {"fail_fast", 0},
+      {"retry_backoff", 1},
+      {"fallback", 2},
   };
   const u32 rates[] = {0, 2, 5, 10};
 
@@ -334,7 +202,55 @@ int main(int argc, char** argv) {
         configs.push_back({std::string(pname) + "/r" + std::to_string(rate) +
                                (prefetch ? "/hybrid" : "/demand"),
                            policy, rate, seed * 1000 + configs.size(),
-                           prefetch});
+                           prefetch, throttle_ms});
+
+  // --server: hand the whole grid to a running campaignd and stream results
+  // back. The daemon runs the same run_fault_point() bodies, consults its
+  // result cache before simulating anything, and dedups concurrent
+  // submissions of the same spec — so a warm pass reports dedup_ratio 1.0.
+  if (!server_path.empty()) {
+    std::vector<service::ServiceJob> sjobs;
+    for (usize i = 0; i < configs.size(); ++i)
+      sjobs.push_back({i, point_spec(configs[i]), "fault_point",
+                       configs[i].label,
+                       service::fault_point_params(configs[i])});
+    const auto run = service::run_jobs_over_service(server_path, sjobs);
+    if (!run.ok && run.stats.empty()) {
+      std::cerr << "fault_sweep: " << run.error << '\n';
+      return 2;
+    }
+    if (!run.error.empty())
+      std::cerr << "fault_sweep: " << run.error << '\n';
+    std::vector<campaign::JobStats> remote_stats(configs.size());
+    for (usize i = 0; i < configs.size(); ++i) {
+      remote_stats[i].index = i;
+      remote_stats[i].label = configs[i].label;
+    }
+    for (const auto& [idx, s] : run.stats)
+      if (idx < remote_stats.size()) remote_stats[idx] = s;
+
+    Table t("Fault sweep: recovery policy x fetch error rate x scheduler (" +
+            std::to_string(kSteps) + " steps, seed " + std::to_string(seed) +
+            ", via " + server_path + ")");
+    t.header({"policy/rate/sched", "steps ok", "fetch errs", "retries",
+              "fallbacks", "injected", "cache hits", "availability"});
+    for (const auto& s : remote_stats) {
+      const auto row = row_from_stats(s);
+      if (!row.empty()) t.row(row);
+    }
+    t.print(std::cout);
+    if (run.totals.dedup_hits > 0)
+      std::cout << run.totals.dedup_hits
+                << " job(s) served from the service cache (not "
+                   "re-simulated)\n";
+    if (run.interrupted)
+      std::cerr << "fault_sweep: server interrupted — partial results\n";
+    if (!report_path.empty())
+      campaign::write_report_file(report_path, "fault_sweep", 0, remote_stats,
+                                  &run.totals);
+    if (run.interrupted) return 130;
+    return run.ok ? 0 : 3;
+  }
 
   // --inject-failures appends two deliberately broken jobs AFTER the sweep
   // grid, so the 24 real points stay comparable with a clean run: a child
@@ -460,7 +376,7 @@ int main(int argc, char** argv) {
     for (usize i = 0; i < configs.size(); ++i)
       campaign::run_inline(configs[i].label, job_stats,
                            [&](campaign::JobContext& ctx) {
-                             return run_point(configs[i], &ctx, throttle_ms);
+                             return service::run_fault_point(configs[i], &ctx);
                            });
   } else {
     campaign::CampaignRunner runner(
@@ -483,7 +399,8 @@ int main(int argc, char** argv) {
         return debug_jobs[i - configs.size()].label;
       return kOversizedLabel;
     };
-    std::vector<std::pair<usize, std::future<SweepOutcome>>> futures;
+    std::vector<std::pair<usize, std::future<service::FaultPointOutcome>>>
+        futures;
     for (usize i = 0; i < n_jobs; ++i) {
       if (!rerun[i]) continue;
       campaign::JobOptions o = opt;
@@ -491,11 +408,10 @@ int main(int argc, char** argv) {
       if (i < configs.size()) {
         o.spec = point_spec(configs[i]);
         const SweepConfig cfg = configs[i];
-        futures.emplace_back(i, runner.submit(
-                                    cfg.label, o,
-                                    [&, cfg](campaign::JobContext& ctx) {
-                                      return run_point(cfg, &ctx, throttle_ms);
-                                    }));
+        futures.emplace_back(
+            i, runner.submit(cfg.label, o, [cfg](campaign::JobContext& ctx) {
+              return service::run_fault_point(cfg, &ctx);
+            }));
       } else if (i < configs.size() + debug_jobs.size()) {
         const DebugJob& dbg = debug_jobs[i - configs.size()];
         o.spec = campaign::spec_hash(dbg.label);
@@ -508,7 +424,7 @@ int main(int argc, char** argv) {
         }
         futures.emplace_back(
             i, runner.submit(dbg.label, o, [](campaign::JobContext&) {
-              return SweepOutcome{};  // inert in thread mode
+              return service::FaultPointOutcome{};  // inert in thread mode
             }));
       } else {
         o.spec = campaign::spec_hash(kOversizedLabel);
@@ -523,7 +439,7 @@ int main(int argc, char** argv) {
               mem::Memory big(top, "oversized_mem", 0, kHugeWords);
               for (usize w = 0; w < kHugeWords; w += mem::kPageWords)
                 big.poke(static_cast<bus::addr_t>(w), 1);
-              return SweepOutcome{};
+              return service::FaultPointOutcome{};
             }));
       }
     }

@@ -148,10 +148,14 @@ void CampaignRunner::worker_loop() {
     journal_done(local);
     {
       std::lock_guard<std::mutex> lk(mu_);
-      records_[job.index] = std::move(local);
+      records_[job.index] = local;
       --inflight_;
       if (queue_.empty() && inflight_ == 0) cv_idle_.notify_all();
     }
+    // After the commit and outside the lock: the hook observes the same
+    // record stats() now serves, and may block (socket writes) without
+    // stalling other workers' commits.
+    if (completion_hook_) completion_hook_(local);
   }
 }
 

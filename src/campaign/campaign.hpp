@@ -588,6 +588,16 @@ class CampaignRunner {
   /// campaign/journal.hpp). The journal must outlive all submitted jobs.
   void set_journal(CampaignJournal* journal) noexcept { journal_ = journal; }
 
+  /// Registers a hook invoked on the worker thread right after a job's final
+  /// record is committed (visible to stats()). Unlike the job's future —
+  /// which resolves *before* the commit — the hook always sees the complete
+  /// JobStats, so streaming consumers (the campaign service) can forward
+  /// results as they land. Set it before the first submit(); it runs outside
+  /// the runner's locks and must not call back into this runner.
+  void set_completion_hook(std::function<void(const JobStats&)> hook) {
+    completion_hook_ = std::move(hook);
+  }
+
   /// Makes the watchdog thread poll the process-wide signal-stop flag (see
   /// install_stop_signal_handlers); when it fires, pending jobs are
   /// cancelled and every guarded Simulation gets request_stop().
@@ -677,6 +687,7 @@ class CampaignRunner {
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
   CampaignJournal* journal_ = nullptr;
+  std::function<void(const JobStats&)> completion_hook_;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> signal_stop_enabled_{false};
   ExecutionMode mode_ = ExecutionMode::kThreads;

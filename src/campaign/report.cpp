@@ -9,7 +9,8 @@
 namespace adriatic::campaign {
 
 std::string report_json(const std::string& name, usize threads,
-                        const std::vector<JobStats>& stats) {
+                        const std::vector<JobStats>& stats,
+                        const ServiceTotals* service) {
   JsonWriter w;
   w.begin_object();
   w.field("campaign", name);
@@ -156,6 +157,15 @@ std::string report_json(const std::string& name, usize threads,
       w.field("ecc_uncorrectable", total_ecc_uncorrectable);
     if (budget_quarantined > 0)
       w.field("budget_quarantined", budget_quarantined);
+    if (service != nullptr) {
+      w.field("service_requests", service->service_requests);
+      w.field("dedup_hits", service->dedup_hits);
+      w.field("dedup_ratio",
+              service->service_requests > 0
+                  ? static_cast<double>(service->dedup_hits) /
+                        static_cast<double>(service->service_requests)
+                  : 0.0);
+    }
     if (total_wall > 0)
       w.field("jobs_per_cpu_second", static_cast<double>(done) / total_wall);
     w.end();
@@ -165,13 +175,14 @@ std::string report_json(const std::string& name, usize threads,
 }
 
 bool write_report_file(const std::string& path, const std::string& name,
-                       usize threads, const std::vector<JobStats>& stats) {
+                       usize threads, const std::vector<JobStats>& stats,
+                       const ServiceTotals* service) {
   std::ofstream out(path);
   if (!out) {
     log::error() << "campaign report: cannot open " << path;
     return false;
   }
-  out << report_json(name, threads, stats) << '\n';
+  out << report_json(name, threads, stats, service) << '\n';
   return static_cast<bool>(out);
 }
 

@@ -12,13 +12,27 @@
 
 namespace adriatic::campaign {
 
+/// Cross-run dedup counters for campaigns that ran through the socket
+/// service (fault_sweep/dse_explorer --server): how many jobs were requested
+/// over the wire and how many of those the server answered from its result
+/// cache without simulating. report_json() emits them in "totals" as
+/// service_requests / dedup_hits / dedup_ratio; a fully warm pass has
+/// dedup_ratio == 1.0.
+struct ServiceTotals {
+  u64 service_requests = 0;
+  u64 dedup_hits = 0;
+};
+
 /// Serialises the per-job records as a JSON document:
 /// {"campaign": name, "threads": N, "jobs": [...], "totals": {...}}.
+/// `service` (optional) adds the cross-run dedup totals.
 [[nodiscard]] std::string report_json(const std::string& name, usize threads,
-                                      const std::vector<JobStats>& stats);
+                                      const std::vector<JobStats>& stats,
+                                      const ServiceTotals* service = nullptr);
 
 /// Writes report_json() to `path`; returns false (and logs) on I/O failure.
 bool write_report_file(const std::string& path, const std::string& name,
-                       usize threads, const std::vector<JobStats>& stats);
+                       usize threads, const std::vector<JobStats>& stats,
+                       const ServiceTotals* service = nullptr);
 
 }  // namespace adriatic::campaign

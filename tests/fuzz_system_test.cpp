@@ -10,10 +10,15 @@
 // build mode — via  ./build/examples/conformance_replay <file>.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "conformance/fuzz_case.hpp"
 #include "conformance/shrink.hpp"
+#include "service/protocol.hpp"
+#include "util/random.hpp"
+#include "util/strings.hpp"
 
 namespace adriatic::conformance {
 namespace {
@@ -126,6 +131,299 @@ TEST(FuzzCaseMigrationKnobs, ShrinkKeepsMigrationWhenLoadBearing) {
   EXPECT_EQ(shrunk.minimal.migrate_at_step, 1u);
   EXPECT_EQ(shrunk.minimal.dest_fabric, 1u);
   EXPECT_TRUE(valid(shrunk.minimal));
+}
+
+// -- Service request-parser fuzz ---------------------------------------------
+// Hostile byte streams — valid frames, mutated frames, raw garbage — through
+// the campaign service's LineParser + to_request. The invariants a server
+// stakes its connections on: parsing never crashes, chunk boundaries never
+// change the event stream, and every complete non-blank line yields exactly
+// one typed event until a framing violation latches the parser. A violated
+// invariant is delta-debugged (ddmin over the byte string, the byte-level
+// analogue of conformance/shrink.hpp) to a minimal reproducer before failing.
+
+struct ParseSummary {
+  std::vector<std::string> events;
+  bool fatal = false;
+  bool operator==(const ParseSummary&) const = default;
+};
+
+/// Feeds `bytes` in `chunk`-sized slices and folds every event to a stable
+/// tag: "error:<code>" for wire-layer violations, "line:<verb>:<outcome>"
+/// for parsed lines (outcome = "request" or the to_request error code).
+ParseSummary parse_stream(const std::string& bytes, usize chunk) {
+  ParseSummary sum;
+  service::LineParser parser;
+  const auto drain = [&] {
+    while (const auto ev = parser.next()) {
+      if (ev->error.has_value()) {
+        sum.events.push_back(std::string("error:") +
+                             service::error_code_name(ev->error->code));
+        continue;
+      }
+      const service::RequestEvent rev = service::to_request(*ev->line);
+      sum.events.push_back(
+          "line:" + ev->line->verb + ":" +
+          (rev.request.has_value()
+               ? std::string("request")
+               : std::string(service::error_code_name(rev.error->code))));
+    }
+  };
+  for (usize off = 0; off < bytes.size(); off += chunk) {
+    parser.feed(bytes.data() + off, std::min(chunk, bytes.size() - off));
+    drain();
+  }
+  drain();
+  sum.fatal = parser.fatal();
+  return sum;
+}
+
+/// Newline-terminated lines that the parser does not skip as blank
+/// keepalives (mirrors LineParser's CR stripping).
+usize complete_lines(const std::string& bytes) {
+  usize n = 0;
+  usize start = 0;
+  for (;;) {
+    const usize nl = bytes.find('\n', start);
+    if (nl == std::string::npos) return n;
+    usize len = nl - start;
+    if (len > 0 && bytes[start + len - 1] == '\r') --len;
+    if (len > 0) ++n;
+    start = nl + 1;
+  }
+}
+
+/// The fuzz oracle: empty string when every invariant holds, else a stable
+/// description of the first violated one (stable so the shrinker can
+/// preserve the SAME violation).
+std::string parser_violation(const std::string& bytes) {
+  const usize whole_chunk = bytes.empty() ? 1 : bytes.size();
+  const ParseSummary whole = parse_stream(bytes, whole_chunk);
+  if (parse_stream(bytes, 1) != whole)
+    return "byte-at-a-time parse diverges from whole-buffer parse";
+  if (parse_stream(bytes, 7) != whole)
+    return "7-byte-chunk parse diverges from whole-buffer parse";
+  if (parse_stream(bytes, whole_chunk) != whole)
+    return "re-parse of identical bytes diverges";
+  const usize lines = complete_lines(bytes);
+  if (whole.events.size() > lines)
+    return "more events than complete lines";
+  if (!whole.fatal && whole.events.size() != lines)
+    return "a complete line was silently dropped";
+  if (whole.fatal) {
+    if (whole.events.empty()) return "fatal latch with no error event";
+    const std::string& last = whole.events.back();
+    if (last != "error:torn-line" && last != "error:bad-checksum" &&
+        last != "error:oversize-frame")
+      return "fatal latch without a framing-error event";
+  }
+  return {};
+}
+
+std::string hostile_string(Xoshiro256& rng) {
+  // Characters that exercise percent-encoding, token splitting and CR
+  // stripping inside field values.
+  static constexpr char kPool[] = "abcXYZ019 %\t=\r/";
+  std::string s;
+  const usize len = rng.next_below(12);
+  for (usize i = 0; i < len; ++i)
+    s += kPool[rng.next_below(sizeof(kPool) - 1)];
+  return s;
+}
+
+std::string random_frame(Xoshiro256& rng) {
+  service::Request req;
+  switch (rng.next_below(4)) {
+    case 0: req.verb = service::Verb::kSubmit; break;
+    case 1: req.verb = service::Verb::kWatch; break;
+    case 2: req.verb = service::Verb::kStats; break;
+    default: req.verb = service::Verb::kDrain; break;
+  }
+  req.id = 1 + rng.next_below(1u << 16);
+  if (req.verb == service::Verb::kSubmit) {
+    static constexpr const char* kKinds[] = {"golden", "fault_point",
+                                             "dse_point", "no-such-kind"};
+    req.spec = rng.next();
+    req.kind = kKinds[rng.next_below(4)];
+    req.label = "fuzz" + hostile_string(rng);
+    service::ParamMap params;
+    const usize n = rng.next_below(4);
+    for (usize i = 0; i < n; ++i)
+      params["k" + std::to_string(i)] = hostile_string(rng);
+    req.params = service::encode_params(params);
+  }
+  return service::encode_request(req);
+}
+
+std::string mutated_frame(Xoshiro256& rng) {
+  std::string s = random_frame(rng);
+  if (s.empty()) return s;
+  const usize pos = rng.next_below(s.size());
+  switch (rng.next_below(5)) {
+    case 0:  // corrupt one byte (checksum must catch it or parsing survives)
+      s[pos] = static_cast<char>(rng.next_below(256));
+      break;
+    case 1:  // torn tail: the frame ends mid-write
+      s = s.substr(0, pos) + "\n";
+      break;
+    case 2:
+      s.insert(pos, 1, static_cast<char>(rng.next_below(256)));
+      break;
+    case 3:
+      s.erase(pos, 1);
+      break;
+    default:  // split the frame across an extra line boundary
+      s.insert(pos, "\n");
+      break;
+  }
+  return s;
+}
+
+std::string random_garbage(Xoshiro256& rng) {
+  std::string s;
+  const usize len = rng.next_below(48);
+  for (usize i = 0; i < len; ++i)
+    s += static_cast<char>(rng.next_below(256));
+  if (rng.next_bool(0.7)) s += '\n';
+  return s;
+}
+
+std::string random_stream(u64 seed) {
+  Xoshiro256 rng(seed);
+  std::string bytes;
+  const usize segments = 2 + rng.next_below(7);
+  for (usize i = 0; i < segments; ++i) {
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1:
+        bytes += random_frame(rng);
+        break;
+      case 2:
+        bytes += mutated_frame(rng);
+        break;
+      default:
+        bytes += random_garbage(rng);
+        break;
+    }
+  }
+  return bytes;
+}
+
+struct DdminResult {
+  std::string minimal;
+  usize oracle_calls = 0;
+};
+
+/// Classic delta debugging over a byte string: removes complement chunks at
+/// doubling granularity while `failing` keeps reproducing; terminates
+/// 1-minimal (no single byte can be removed without losing the failure).
+DdminResult ddmin_bytes(std::string input,
+                        const std::function<bool(const std::string&)>& failing) {
+  DdminResult res;
+  usize granularity = 2;
+  while (input.size() >= 2) {
+    const usize chunk = std::max<usize>(1, input.size() / granularity);
+    bool reduced = false;
+    for (usize start = 0; start < input.size() && !reduced; start += chunk) {
+      std::string candidate = input.substr(0, start);
+      if (start + chunk < input.size()) candidate += input.substr(start + chunk);
+      ++res.oracle_calls;
+      if (failing(candidate)) {
+        input = std::move(candidate);
+        granularity = std::max<usize>(2, granularity - 1);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (chunk <= 1) break;  // 1-minimal
+      granularity = std::min(input.size(), granularity * 2);
+    }
+  }
+  res.minimal = std::move(input);
+  return res;
+}
+
+std::string escape_bytes(const std::string& s) {
+  std::string out;
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c >= 0x20 && c < 0x7f) {
+      out += static_cast<char>(c);
+    } else {
+      out += strfmt("\\x%02x", c);
+    }
+  }
+  return out;
+}
+
+class ServiceRequestFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ServiceRequestFuzz, ParserInvariantsHoldUnderHostileBytes) {
+  const std::string bytes = random_stream(GetParam());
+  const std::string failure = parser_violation(bytes);
+  if (failure.empty()) return;
+
+  const auto shrunk = ddmin_bytes(bytes, [&](const std::string& candidate) {
+    return parser_violation(candidate) == failure;
+  });
+  FAIL() << "seed " << GetParam() << ": " << failure
+         << "\nminimal reproducer (" << shrunk.minimal.size() << " bytes, "
+         << shrunk.oracle_calls << " shrink runs):\n"
+         << escape_bytes(shrunk.minimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceRequestFuzz,
+                         ::testing::Range<u64>(1, 41));  // 40 random streams
+
+TEST(ServiceRequestFuzzOracle, ValidFramesAllParseAsRequests) {
+  Xoshiro256 rng(12345);
+  std::string bytes;
+  constexpr usize kFrames = 25;
+  for (usize i = 0; i < kFrames; ++i) bytes += random_frame(rng);
+  const ParseSummary sum = parse_stream(bytes, 3);
+  EXPECT_FALSE(sum.fatal);
+  ASSERT_EQ(sum.events.size(), kFrames);
+  for (const std::string& ev : sum.events)
+    EXPECT_EQ(ev.substr(ev.rfind(':') + 1), "request") << ev;
+}
+
+TEST(ServiceRequestFuzzOracle, DdminShrinksToAOneMinimalReproducer) {
+  // A stream whose interesting property is a bad-checksum event buried
+  // between healthy traffic; the shrinker must isolate it. (The bad line
+  // must be the first framing violation — any earlier one latches the
+  // parser and masks it.)
+  Xoshiro256 rng(6);
+  const std::string bytes = random_frame(rng) + random_frame(rng) +
+                            "STATS v1 id=9 cks=0000000000000000\n" +
+                            random_frame(rng);
+  const auto failing = [](const std::string& candidate) {
+    const ParseSummary sum =
+        parse_stream(candidate, candidate.empty() ? 1 : candidate.size());
+    for (const std::string& ev : sum.events)
+      if (ev == "error:bad-checksum") return true;
+    return false;
+  };
+  ASSERT_TRUE(failing(bytes));
+
+  const auto shrunk = ddmin_bytes(bytes, failing);
+  EXPECT_TRUE(failing(shrunk.minimal));
+  EXPECT_LT(shrunk.minimal.size(), bytes.size());
+  // 1-minimality: removing any single byte loses the violation.
+  for (usize i = 0; i < shrunk.minimal.size(); ++i) {
+    std::string candidate = shrunk.minimal;
+    candidate.erase(i, 1);
+    EXPECT_FALSE(failing(candidate))
+        << "byte " << i << " of '" << escape_bytes(shrunk.minimal)
+        << "' is removable";
+  }
 }
 
 }  // namespace

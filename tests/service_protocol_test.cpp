@@ -1,0 +1,405 @@
+// Protocol battery for the campaign service (service/protocol.hpp): codec
+// round-trips, a table of framing/semantic violations through the
+// incremental LineParser, and a live in-process campaignd answering each
+// malformed request with a structured ERROR frame — never a crash, never a
+// silent drop. Framing violations (torn line, bad checksum, oversize frame)
+// latch the parser and end the connection; semantic violations (unknown
+// verb, stale version, duplicate id, unknown kind, bad params) are answered
+// and the connection keeps serving.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+using namespace adriatic;
+using namespace adriatic::service;
+
+namespace {
+
+/// Short unique socket paths (sun_path caps at ~107 bytes, so no deep
+/// build-tree temp dirs).
+std::string temp_socket(const char* tag) {
+  static std::atomic<int> counter{0};
+  return "/tmp/adriatic_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// A checksummed wire line with full control over the version token —
+/// encode_wire_line() always stamps kProtocolVersion, so stale-version
+/// frames must be built by hand.
+std::string raw_line(const std::string& content) {
+  return content + campaign::checksum_suffix(content) + "\n";
+}
+
+}  // namespace
+
+// -- Codec round-trips --------------------------------------------------------
+
+TEST(ServiceProtocolTest, WireLineRoundTripsHostileValues) {
+  WireLine line;
+  line.verb = "SUBMIT";
+  line.add("id", "42");
+  line.add("label", "has spaces\tand\ttabs");
+  line.add("detail", "percent % newline \n cr \r null-ish");
+  line.add("empty", "");
+  const std::string encoded = encode_wire_line(line);
+  ASSERT_EQ(encoded.back(), '\n');
+  // One line on the wire, no embedded newlines.
+  EXPECT_EQ(encoded.find('\n'), encoded.size() - 1);
+
+  const auto ev = parse_wire_line(encoded.substr(0, encoded.size() - 1));
+  ASSERT_TRUE(ev.line.has_value()) << encoded;
+  EXPECT_FALSE(ev.error.has_value());
+  EXPECT_EQ(ev.line->verb, "SUBMIT");
+  ASSERT_EQ(ev.line->fields.size(), line.fields.size());
+  for (usize i = 0; i < line.fields.size(); ++i) {
+    EXPECT_EQ(ev.line->fields[i].first, line.fields[i].first);
+    EXPECT_EQ(ev.line->fields[i].second, line.fields[i].second);
+  }
+}
+
+TEST(ServiceProtocolTest, ParamsRoundTrip) {
+  ParamMap params;
+  params["plain"] = "123";
+  params["spacey value"] = "a b c";
+  params["empty"] = "";
+  params["pct"] = "100%";
+  EXPECT_EQ(decode_params(encode_params(params)), params);
+  EXPECT_EQ(decode_params(encode_params(ParamMap{})), ParamMap{});
+}
+
+TEST(ServiceProtocolTest, RequestRoundTrips) {
+  Request req;
+  req.verb = Verb::kSubmit;
+  req.id = 7;
+  req.spec = 0xdeadbeefcafef00dULL;
+  req.kind = "fault_point";
+  req.label = "fail_fast/r10 with space";
+  ParamMap params;
+  params["rate_pct"] = "10";
+  req.params = encode_params(params);
+
+  const std::string wire = encode_request(req);
+  const auto ev = parse_wire_line(wire.substr(0, wire.size() - 1));
+  ASSERT_TRUE(ev.line.has_value());
+  const auto rev = to_request(*ev.line);
+  ASSERT_TRUE(rev.request.has_value())
+      << (rev.error.has_value() ? rev.error->detail : "");
+  EXPECT_EQ(rev.request->verb, Verb::kSubmit);
+  EXPECT_EQ(rev.request->id, 7u);
+  EXPECT_EQ(rev.request->spec, req.spec);
+  EXPECT_EQ(rev.request->kind, req.kind);
+  EXPECT_EQ(rev.request->label, req.label);
+  EXPECT_EQ(decode_params(rev.request->params), params);
+
+  for (const Verb verb : {Verb::kWatch, Verb::kStats, Verb::kDrain}) {
+    Request simple;
+    simple.verb = verb;
+    simple.id = 9;
+    const std::string w = encode_request(simple);
+    const auto e = parse_wire_line(w.substr(0, w.size() - 1));
+    ASSERT_TRUE(e.line.has_value());
+    const auto r = to_request(*e.line);
+    ASSERT_TRUE(r.request.has_value());
+    EXPECT_EQ(r.request->verb, verb);
+    EXPECT_EQ(r.request->id, 9u);
+  }
+}
+
+TEST(ServiceProtocolTest, ResponseRoundTrips) {
+  // OK
+  {
+    const std::string w = encode_ok(3, 17, true);
+    const auto ev = parse_wire_line(w.substr(0, w.size() - 1));
+    ASSERT_TRUE(ev.line.has_value());
+    const auto r = to_response(*ev.line);
+    ASSERT_TRUE(r.response.has_value());
+    EXPECT_EQ(r.response->type, ResponseType::kOk);
+    EXPECT_EQ(r.response->id, 3u);
+    EXPECT_EQ(r.response->index, 17u);
+    EXPECT_TRUE(r.response->cached);
+  }
+  // RESULT carries a full encode_job_stats tail, byte-exactly.
+  {
+    campaign::JobStats stats;
+    stats.index = 5;
+    stats.label = "golden 42";
+    stats.done = true;
+    stats.attempts = 2;
+    stats.wall_seconds = 0.25;
+    stats.digest = 0x1234'5678'9abc'def0ULL;
+    stats.user_data = "fold\t123\tsecond cell";
+    const std::string w = encode_result(11, 0xfeedULL, stats);
+    const auto ev = parse_wire_line(w.substr(0, w.size() - 1));
+    ASSERT_TRUE(ev.line.has_value());
+    const auto r = to_response(*ev.line);
+    ASSERT_TRUE(r.response.has_value())
+        << (r.error.has_value() ? r.error->detail : "");
+    EXPECT_EQ(r.response->type, ResponseType::kResult);
+    EXPECT_EQ(r.response->id, 11u);
+    EXPECT_EQ(r.response->spec, 0xfeedULL);
+    EXPECT_EQ(r.response->index, 5u);
+    EXPECT_EQ(campaign::encode_job_stats(r.response->stats),
+              campaign::encode_job_stats(stats));
+  }
+  // ERROR
+  {
+    const std::string w =
+        encode_error(0, ErrorCode::kBadChecksum, "detail with spaces");
+    const auto ev = parse_wire_line(w.substr(0, w.size() - 1));
+    ASSERT_TRUE(ev.line.has_value());
+    const auto r = to_response(*ev.line);
+    ASSERT_TRUE(r.response.has_value());
+    EXPECT_EQ(r.response->type, ResponseType::kError);
+    EXPECT_EQ(r.response->code, ErrorCode::kBadChecksum);
+    EXPECT_EQ(r.response->detail, "detail with spaces");
+  }
+  // STATS + DRAINED
+  {
+    const std::string w =
+        encode_stats_reply(2, {{"requests", "10"}, {"dedup_hits", "4"}});
+    const auto ev = parse_wire_line(w.substr(0, w.size() - 1));
+    ASSERT_TRUE(ev.line.has_value());
+    const auto r = to_response(*ev.line);
+    ASSERT_TRUE(r.response.has_value());
+    EXPECT_EQ(r.response->type, ResponseType::kStats);
+    bool saw = false;
+    for (const auto& [k, v] : r.response->fields)
+      if (k == "dedup_hits") {
+        EXPECT_EQ(v, "4");
+        saw = true;
+      }
+    EXPECT_TRUE(saw);
+
+    const std::string d = encode_drained(8);
+    const auto de = parse_wire_line(d.substr(0, d.size() - 1));
+    ASSERT_TRUE(de.line.has_value());
+    const auto dr = to_response(*de.line);
+    ASSERT_TRUE(dr.response.has_value());
+    EXPECT_EQ(dr.response->type, ResponseType::kDrained);
+    EXPECT_EQ(dr.response->id, 8u);
+  }
+}
+
+TEST(ServiceProtocolTest, ErrorCodeNamesRoundTrip) {
+  for (const ErrorCode code :
+       {ErrorCode::kTornLine, ErrorCode::kBadChecksum, ErrorCode::kOversizeFrame,
+        ErrorCode::kUnknownVerb, ErrorCode::kStaleVersion,
+        ErrorCode::kDuplicateId, ErrorCode::kBadRequest, ErrorCode::kUnknownKind,
+        ErrorCode::kShutdown}) {
+    const auto parsed = parse_error_code(error_code_name(code));
+    ASSERT_TRUE(parsed.has_value()) << error_code_name(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(parse_error_code("no-such-code").has_value());
+}
+
+// -- LineParser violation table -----------------------------------------------
+
+TEST(ServiceProtocolTest, ParserViolationTable) {
+  struct Case {
+    const char* name;
+    std::string bytes;      ///< Fed verbatim.
+    ErrorCode expect;       ///< Code of the first event.
+    bool fatal;             ///< Parser must latch afterwards.
+  };
+  const std::vector<Case> cases = {
+      {"torn line (no checksum)", "SUBMIT v1 id=1\n", ErrorCode::kTornLine,
+       true},
+      {"bad checksum", "STATS v1 id=1 cks=0123456789abcdef\n",
+       ErrorCode::kBadChecksum, true},
+      {"oversize frame", std::string(kMaxLineBytes + 2, 'a'),
+       ErrorCode::kOversizeFrame, true},
+      {"stale version", raw_line("STATS v0 id=1"), ErrorCode::kStaleVersion,
+       false},
+      {"checksummed but empty content", raw_line(""), ErrorCode::kBadRequest,
+       false},
+  };
+  for (const auto& c : cases) {
+    LineParser parser;
+    parser.feed(c.bytes.data(), c.bytes.size());
+    const auto ev = parser.next();
+    ASSERT_TRUE(ev.has_value()) << c.name;
+    ASSERT_TRUE(ev->error.has_value()) << c.name;
+    EXPECT_EQ(ev->error->code, c.expect) << c.name;
+    EXPECT_EQ(parser.fatal(), c.fatal) << c.name;
+    EXPECT_EQ(is_fatal(ev->error->code), c.fatal) << c.name;
+    if (c.fatal) {
+      // A latched parser yields nothing more, even for valid input.
+      const std::string good = encode_request({Verb::kStats, 1});
+      parser.feed(good.data(), good.size());
+      EXPECT_FALSE(parser.next().has_value()) << c.name;
+    }
+  }
+}
+
+TEST(ServiceProtocolTest, SemanticViolationTable) {
+  // Violations below the wire layer: the line parses, to_request() rejects.
+  struct Case {
+    const char* name;
+    std::string content;  ///< Pre-checksum line content.
+    ErrorCode expect;
+  };
+  const std::vector<Case> cases = {
+      {"unknown verb", "FROB v1 id=3", ErrorCode::kUnknownVerb},
+      {"zero id", "STATS v1 id=0", ErrorCode::kBadRequest},
+      {"missing id", "STATS v1", ErrorCode::kBadRequest},
+      {"non-numeric id", "STATS v1 id=abc", ErrorCode::kBadRequest},
+      {"overflow id", "STATS v1 id=99999999999999999999",
+       ErrorCode::kBadRequest},
+      {"submit without spec", "SUBMIT v1 id=1 kind=golden label=x",
+       ErrorCode::kBadRequest},
+      {"submit without kind", "SUBMIT v1 id=1 spec=00000000000000ff label=x",
+       ErrorCode::kBadRequest},
+  };
+  for (const auto& c : cases) {
+    LineParser parser;
+    const std::string bytes = raw_line(c.content);
+    parser.feed(bytes.data(), bytes.size());
+    const auto ev = parser.next();
+    ASSERT_TRUE(ev.has_value()) << c.name;
+    ASSERT_TRUE(ev->line.has_value()) << c.name;
+    const auto rev = to_request(*ev->line);
+    ASSERT_TRUE(rev.error.has_value()) << c.name;
+    EXPECT_EQ(rev.error->code, c.expect) << c.name;
+    EXPECT_FALSE(parser.fatal()) << c.name;
+  }
+}
+
+TEST(ServiceProtocolTest, ParserHandlesChunksBlanksAndCrlf) {
+  LineParser parser;
+  const std::string wire =
+      "\n" + encode_request({Verb::kStats, 5}) + "\r\n" +
+      encode_request({Verb::kDrain, 6});
+  // Byte-at-a-time feeding must produce exactly the same two events.
+  std::vector<WireEvent> events;
+  for (const char byte : wire) {
+    parser.feed(&byte, 1);
+    while (auto ev = parser.next()) events.push_back(*ev);
+  }
+  ASSERT_EQ(events.size(), 2u);
+  ASSERT_TRUE(events[0].line.has_value());
+  EXPECT_EQ(events[0].line->verb, "STATS");
+  ASSERT_TRUE(events[1].line.has_value());
+  EXPECT_EQ(events[1].line->verb, "DRAIN");
+  EXPECT_FALSE(parser.fatal());
+}
+
+// -- Live server: every violation answered with a typed ERROR frame ----------
+
+namespace {
+
+struct LiveServer {
+  ServerOptions opt;
+  std::unique_ptr<CampaignServer> server;
+
+  explicit LiveServer(const char* tag) {
+    opt.socket_path = temp_socket(tag);
+    opt.threads = 1;
+    server = std::make_unique<CampaignServer>(opt);
+  }
+  ~LiveServer() { server->stop(); }
+};
+
+}  // namespace
+
+TEST(ServiceProtocolTest, ServerAnswersFramingViolationsAndCloses) {
+  struct Case {
+    const char* name;
+    std::string bytes;
+    ErrorCode expect;
+  };
+  const std::vector<Case> cases = {
+      {"torn line", "SUBMIT v1 id=1\n", ErrorCode::kTornLine},
+      {"bad checksum", "STATS v1 id=1 cks=0123456789abcdef\n",
+       ErrorCode::kBadChecksum},
+  };
+  LiveServer live("proto_fatal");
+  ASSERT_TRUE(live.server->start());
+  for (const auto& c : cases) {
+    auto client = ServiceClient::connect(live.opt.socket_path);
+    ASSERT_NE(client, nullptr) << c.name;
+    ASSERT_TRUE(client->send_raw(c.bytes)) << c.name;
+    const auto resp = client->next_response();
+    ASSERT_TRUE(resp.has_value()) << c.name;
+    EXPECT_EQ(resp->type, ResponseType::kError) << c.name;
+    EXPECT_EQ(resp->code, c.expect) << c.name;
+    EXPECT_EQ(resp->id, 0u) << c.name;  // no trustworthy id on a torn frame
+    // Framing violations end the connection: EOF, not more frames.
+    EXPECT_FALSE(client->next_response().has_value()) << c.name;
+    EXPECT_FALSE(client->wire_error().has_value()) << c.name;
+  }
+  EXPECT_GE(live.server->counters().errors, cases.size());
+}
+
+TEST(ServiceProtocolTest, ServerAnswersSemanticViolationsAndKeepsServing) {
+  LiveServer live("proto_sem");
+  ASSERT_TRUE(live.server->start());
+  auto client = ServiceClient::connect(live.opt.socket_path);
+  ASSERT_NE(client, nullptr);
+
+  struct Case {
+    const char* name;
+    std::string bytes;
+    ErrorCode expect;
+    u64 id;  ///< Expected id echoed in the ERROR frame.
+  };
+  const std::vector<Case> cases = {
+      {"unknown verb", raw_line("FROB v1 id=3"), ErrorCode::kUnknownVerb, 3},
+      {"stale version", raw_line("STATS v0 id=4"), ErrorCode::kStaleVersion,
+       0},
+      {"bad request", raw_line("STATS v1 id=0"), ErrorCode::kBadRequest, 0},
+  };
+  for (const auto& c : cases) {
+    ASSERT_TRUE(client->send_raw(c.bytes)) << c.name;
+    const auto resp = client->next_response();
+    ASSERT_TRUE(resp.has_value()) << c.name;
+    EXPECT_EQ(resp->type, ResponseType::kError) << c.name;
+    EXPECT_EQ(resp->code, c.expect) << c.name;
+    EXPECT_EQ(resp->id, c.id) << c.name;
+  }
+
+  // Unknown kind and invalid params, through the regular client encoder.
+  ASSERT_TRUE(client->submit(20, 0x1234, "no_such_kind", "x", {}));
+  auto resp = client->next_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->type, ResponseType::kError);
+  EXPECT_EQ(resp->code, ErrorCode::kUnknownKind);
+  EXPECT_EQ(resp->id, 20u);
+
+  ASSERT_TRUE(client->submit(21, 0x1235, "golden", "golden", {}));  // no seed
+  resp = client->next_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->type, ResponseType::kError);
+  EXPECT_EQ(resp->code, ErrorCode::kBadRequest);
+  EXPECT_EQ(resp->id, 21u);
+
+  // Duplicate request id on the same connection.
+  ASSERT_TRUE(client->stats(30));
+  resp = client->next_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->type, ResponseType::kStats);
+  ASSERT_TRUE(client->stats(30));
+  resp = client->next_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->type, ResponseType::kError);
+  EXPECT_EQ(resp->code, ErrorCode::kDuplicateId);
+
+  // The connection survived every semantic violation above.
+  ASSERT_TRUE(client->stats(40));
+  resp = client->next_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->type, ResponseType::kStats);
+  u64 errors = 0;
+  for (const auto& [k, v] : resp->fields)
+    if (k == "errors") errors = std::strtoull(v.c_str(), nullptr, 10);
+  EXPECT_GE(errors, 6u);
+}

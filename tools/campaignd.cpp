@@ -1,0 +1,64 @@
+// campaignd: the campaign simulation daemon. One process owns the worker
+// pool, the write-ahead journal and the digest-keyed result cache; clients
+// connect over a Unix-domain socket, SUBMIT job specs and stream back
+// RESULT frames as jobs finish (see docs/service.md for the wire format).
+//
+// Build & run:  ./build/tools/campaignd --socket /tmp/campaignd.sock
+//                 [--jobs N] [--processes] [--name NAME]
+//                 [--journal FILE.wal | --resume FILE.wal] [--cache FILE]
+//
+// SIGINT/SIGTERM stop the daemon gracefully: in-flight simulations get
+// request_stop(), their records are journaled as interrupted (still
+// streamed to waiting clients), the journal is flushed and the exit status
+// is 130. A daemon restarted on the same --cache (or with --resume) serves
+// every previously finished spec without re-simulating.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "service/server.hpp"
+
+using namespace adriatic;
+
+int main(int argc, char** argv) {
+  service::ServerOptions opt;
+  const auto usage = [] {
+    std::cerr << "usage: campaignd --socket PATH [--jobs N] [--processes]\n"
+                 "                 [--name NAME] [--journal FILE.wal | "
+                 "--resume FILE.wal]\n"
+                 "                 [--cache FILE]\n";
+    return 2;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      opt.socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opt.threads = static_cast<usize>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--processes") == 0) {
+      opt.processes = true;
+    } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      opt.campaign_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      opt.journal_path = argv[++i];
+      opt.resume = false;
+    } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+      opt.journal_path = argv[++i];
+      opt.resume = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      opt.cache_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (opt.socket_path.empty()) return usage();
+
+  campaign::install_stop_signal_handlers();
+  service::CampaignServer server(opt);
+  const int rc = server.serve();
+  if (rc == 130)
+    std::cerr << "campaignd: interrupted — journal/cache hold partial "
+                 "results\n";
+  return rc;
+}
